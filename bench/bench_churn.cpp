@@ -1,0 +1,96 @@
+// E11 — Extension (paper future work): joins/leaves. Incremental greedy
+// repair vs. from-scratch recomputation: satisfaction trajectory, connection
+// disruption, and the weight premium recomputation would buy.
+#include "bench/bench_common.hpp"
+#include "overlay/churn.hpp"
+
+namespace overmatch {
+namespace {
+
+void churn_trajectory() {
+  auto inst = bench::Instance::make("er", 120, 8.0, 3, 31337);
+  overlay::ChurnSimulator churn(*inst->profile, *inst->weights);
+  util::Rng rng(1);
+
+  const double w0 = churn.matching().total_weight(*inst->weights);
+  const double s0 = churn.total_satisfaction_alive();
+  std::printf("initial: weight %.4f, total satisfaction %.4f, edges %zu\n\n", w0, s0,
+              churn.matching().size());
+
+  util::Table t({"event", "node", "removed", "added", "incr weight", "scratch weight",
+                 "gap %", "disruption", "alive satisfaction"});
+  std::vector<graph::NodeId> offline;
+  for (int step = 1; step <= 24; ++step) {
+    overlay::ChurnEvent ev;
+    if (!offline.empty() && rng.chance(0.45)) {
+      const auto idx = rng.index(offline.size());
+      ev = churn.join(offline[idx]);
+      offline.erase(offline.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      graph::NodeId v;
+      do {
+        v = static_cast<graph::NodeId>(rng.index(inst->g.num_nodes()));
+      } while (!churn.alive(v));
+      ev = churn.leave(v);
+      offline.push_back(v);
+    }
+    const double gap =
+        100.0 * (ev.recompute_weight - ev.incremental_weight) / ev.recompute_weight;
+    t.row()
+        .cell(ev.join ? "join" : "leave")
+        .cell(std::int64_t{ev.node})
+        .cell(std::uint64_t{ev.edges_removed})
+        .cell(std::uint64_t{ev.edges_added})
+        .cell(ev.incremental_weight, 4)
+        .cell(ev.recompute_weight, 4)
+        .cell(gap, 2)
+        .cell(std::uint64_t{ev.disruption})
+        .cell(ev.satisfaction_total, 3);
+  }
+  t.print("Churn trajectory (ER n=120, b=3; 24 random leave/join events):");
+}
+
+void burst_recovery() {
+  // Take 25% of the network down at once, then bring it back; how fast does
+  // quality recover and how much reconnection work is done?
+  auto inst = bench::Instance::make("ba", 120, 8.0, 3, 997);
+  overlay::ChurnSimulator churn(*inst->profile, *inst->weights);
+  util::Rng rng(2);
+  const double w0 = churn.matching().total_weight(*inst->weights);
+
+  const auto victims = rng.sample_indices(inst->g.num_nodes(), 30);
+  std::size_t removed = 0;
+  std::size_t added_during_leave = 0;
+  for (const auto v : victims) {
+    const auto ev = churn.leave(static_cast<graph::NodeId>(v));
+    removed += ev.edges_removed;
+    added_during_leave += ev.edges_added;
+  }
+  const double w_down = churn.matching().total_weight(*inst->weights);
+  std::size_t added_back = 0;
+  for (const auto v : victims) {
+    added_back += churn.join(static_cast<graph::NodeId>(v)).edges_added;
+  }
+  const double w_up = churn.matching().total_weight(*inst->weights);
+
+  util::Table t({"phase", "weight", "% of initial", "edges torn", "edges added"});
+  t.row().cell("initial").cell(w0, 4).cell(100.0, 1).cell(std::uint64_t{0})
+      .cell(std::uint64_t{0});
+  t.row().cell("after 25% leave").cell(w_down, 4).cell(100.0 * w_down / w0, 1)
+      .cell(std::uint64_t{removed}).cell(std::uint64_t{added_during_leave});
+  t.row().cell("after rejoin").cell(w_up, 4).cell(100.0 * w_up / w0, 1)
+      .cell(std::uint64_t{0}).cell(std::uint64_t{added_back});
+  t.print("Burst churn (BA n=120, b=3, 30 nodes leave then rejoin):");
+}
+
+}  // namespace
+}  // namespace overmatch
+
+int main() {
+  overmatch::bench::print_header(
+      "E11", "Dynamicity extension (paper §7 future work)",
+      "Incremental repair under churn vs. from-scratch recomputation.");
+  overmatch::churn_trajectory();
+  overmatch::burst_recovery();
+  return 0;
+}

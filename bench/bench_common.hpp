@@ -1,0 +1,67 @@
+// Shared helpers for the experiment benches (E1–E12 in DESIGN.md).
+//
+// Every bench prints a header naming the experiment and the paper artifact it
+// regenerates, then one or more markdown tables. All randomness is seeded and
+// the seeds are printed, so each row is independently reproducible.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "prefs/preference_profile.hpp"
+#include "prefs/weights.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace overmatch::bench {
+
+/// A fully-owned random instance (graph + preferences + eq.-9 weights).
+struct Instance {
+  graph::Graph g;
+  std::unique_ptr<prefs::PreferenceProfile> profile;
+  std::unique_ptr<prefs::EdgeWeights> weights;
+
+  static std::unique_ptr<Instance> make(const std::string& topology, std::size_t n,
+                                        double avg_degree, std::uint32_t quota,
+                                        std::uint64_t seed) {
+    auto inst = std::make_unique<Instance>();
+    util::Rng rng(seed);
+    inst->g = graph::by_name(topology, n, avg_degree, rng);
+    inst->profile = std::make_unique<prefs::PreferenceProfile>(
+        prefs::PreferenceProfile::random(inst->g,
+                                         prefs::uniform_quotas(inst->g, quota), rng));
+    inst->weights =
+        std::make_unique<prefs::EdgeWeights>(prefs::paper_weights(*inst->profile));
+    return inst;
+  }
+
+  static std::unique_ptr<Instance> make_mixed_quotas(const std::string& topology,
+                                                     std::size_t n, double avg_degree,
+                                                     std::uint32_t quota_max,
+                                                     std::uint64_t seed) {
+    auto inst = std::make_unique<Instance>();
+    util::Rng rng(seed);
+    inst->g = graph::by_name(topology, n, avg_degree, rng);
+    inst->profile = std::make_unique<prefs::PreferenceProfile>(
+        prefs::PreferenceProfile::random(
+            inst->g, prefs::random_quotas(inst->g, quota_max, rng), rng));
+    inst->weights =
+        std::make_unique<prefs::EdgeWeights>(prefs::paper_weights(*inst->profile));
+    return inst;
+  }
+};
+
+inline void print_header(const char* experiment_id, const char* paper_artifact,
+                         const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n%s\n", experiment_id, paper_artifact, description);
+  std::printf("==============================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace overmatch::bench

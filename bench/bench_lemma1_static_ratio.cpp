@@ -1,0 +1,83 @@
+// E2 — Lemma 1 / eq. 8: the static share of satisfaction is ≥ ½(1 + 1/b).
+//
+// Two tables: (a) the paper's worst-case construction, where the measured
+// ratio must match the bound exactly; (b) random instances, where the
+// *minimum observed* per-node static share must sit at or above the bound
+// (usually well above — the bound is worst-case).
+#include "bench/bench_common.hpp"
+#include "core/certificates.hpp"
+#include "core/solvers.hpp"
+#include "prefs/satisfaction.hpp"
+
+namespace overmatch {
+namespace {
+
+void worst_case_table() {
+  util::Table t({"b", "L", "measured S_s/(S_s+S_d)", "bound ½(1+1/b)", "gap"});
+  for (const std::uint32_t b : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+    const std::size_t L = 2 * b + 5;
+    static graph::Graph g;
+    g = graph::star(L + 1);
+    std::vector<std::vector<graph::NodeId>> lists(L + 1, std::vector<graph::NodeId>{0});
+    lists[0].clear();
+    for (graph::NodeId leaf = 1; leaf <= L; ++leaf) lists[0].push_back(leaf);
+    prefs::Quotas q(L + 1, 1);
+    q[0] = b;
+    auto p = prefs::PreferenceProfile::from_lists(g, q, std::move(lists));
+    std::vector<graph::NodeId> bottom;
+    for (std::size_t k = L - b + 1; k <= L; ++k) {
+      bottom.push_back(static_cast<graph::NodeId>(k));
+    }
+    const auto parts = prefs::satisfaction_parts(p, 0, bottom);
+    const double measured = parts.static_part / parts.total();
+    const double bound = core::theorem1_bound(b);
+    t.row()
+        .cell(std::int64_t{b})
+        .cell(std::int64_t{L})
+        .cell(measured, 6)
+        .cell(bound, 6)
+        .cell(measured - bound, 6);
+  }
+  t.print("Worst case (quota-b node connected to the bottom b of its list):");
+}
+
+void random_instance_table() {
+  util::Table t({"topology", "n", "b", "min node ratio", "mean node ratio",
+                 "bound", "nodes"});
+  for (const char* topology : {"er", "ba", "geo"}) {
+    for (const std::uint32_t b : {1u, 2u, 4u, 8u}) {
+      util::StreamingStats ratio;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        auto inst = bench::Instance::make(topology, 48, 10.0, b, seed * 7 + b);
+        const auto r = core::solve(*inst->profile, core::Algorithm::kLicGlobal);
+        for (graph::NodeId v = 0; v < inst->g.num_nodes(); ++v) {
+          const auto conns = r.matching.connections(v);
+          if (conns.empty()) continue;
+          const auto parts = prefs::satisfaction_parts(*inst->profile, v, conns);
+          ratio.add(parts.static_part / parts.total());
+        }
+      }
+      t.row()
+          .cell(topology)
+          .cell(std::int64_t{48})
+          .cell(std::int64_t{b})
+          .cell(ratio.min(), 4)
+          .cell(ratio.mean(), 4)
+          .cell(core::theorem1_bound(b), 4)
+          .cell(std::uint64_t{ratio.count()});
+    }
+  }
+  t.print("Random instances (10 seeds each): per-node static share vs. bound");
+}
+
+}  // namespace
+}  // namespace overmatch
+
+int main() {
+  overmatch::bench::print_header(
+      "E2", "Lemma 1 / eq. 8",
+      "Static share of satisfaction vs. the proven lower bound 1/2 (1 + 1/b).");
+  overmatch::worst_case_table();
+  overmatch::random_instance_table();
+  return 0;
+}

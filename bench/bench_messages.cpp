@@ -1,0 +1,132 @@
+// E6 — Lemma 5 companions: termination cost. Message complexity of LID as a
+// function of network size, density and quota (the figure a distributed-
+// algorithms venue expects).
+//
+// Upper bound printed alongside: every ordered neighbour pair accounts for at
+// most one PROP and one REJ, i.e. ≤ 4m messages total; observed counts run
+// well below it.
+#include "bench/bench_common.hpp"
+#include "matching/lid.hpp"
+
+namespace overmatch {
+namespace {
+
+void series_vs_n() {
+  util::Table t({"n", "m (mean)", "PROP", "REJ", "total", "msgs/edge", "bound 4m"});
+  for (const std::size_t n : {32u, 64u, 128u, 256u, 512u}) {
+    util::StreamingStats m_edges;
+    util::StreamingStats prop;
+    util::StreamingStats rej;
+    util::StreamingStats total;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      auto inst = bench::Instance::make("er", n, 8.0, 3, seed * 7 + n);
+      const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
+                                       sim::Schedule::kRandomOrder, seed);
+      m_edges.add(static_cast<double>(inst->g.num_edges()));
+      prop.add(static_cast<double>(r.stats.kind_count(matching::kMsgProp)));
+      rej.add(static_cast<double>(r.stats.kind_count(matching::kMsgRej)));
+      total.add(static_cast<double>(r.stats.total_sent));
+    }
+    t.row()
+        .cell(std::int64_t{static_cast<std::int64_t>(n)})
+        .cell(m_edges.mean(), 0)
+        .cell(prop.mean(), 1)
+        .cell(rej.mean(), 1)
+        .cell(total.mean(), 1)
+        .cell(total.mean() / m_edges.mean(), 3)
+        .cell(4.0 * m_edges.mean(), 0);
+  }
+  t.print("Message complexity vs. network size (ER, avg degree 8, b = 3):");
+}
+
+void series_vs_degree() {
+  util::Table t({"avg degree", "m (mean)", "total msgs", "msgs/edge", "msgs/node"});
+  for (const double d : {4.0, 8.0, 16.0, 32.0}) {
+    util::StreamingStats m_edges;
+    util::StreamingStats total;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      auto inst = bench::Instance::make("er", 128, d, 3, seed * 11 + 1);
+      const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
+                                       sim::Schedule::kRandomOrder, seed);
+      m_edges.add(static_cast<double>(inst->g.num_edges()));
+      total.add(static_cast<double>(r.stats.total_sent));
+    }
+    t.row()
+        .cell(d, 0)
+        .cell(m_edges.mean(), 0)
+        .cell(total.mean(), 1)
+        .cell(total.mean() / m_edges.mean(), 3)
+        .cell(total.mean() / 128.0, 1);
+  }
+  t.print("Message complexity vs. density (ER, n = 128, b = 3):");
+}
+
+void series_vs_quota() {
+  util::Table t({"b", "total msgs", "msgs/edge", "locked edges", "locked/Σb⁄2"});
+  for (const std::uint32_t b : {1u, 2u, 4u, 8u, 16u}) {
+    util::StreamingStats total;
+    util::StreamingStats per_edge;
+    util::StreamingStats locked;
+    util::StreamingStats capacity_frac;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      auto inst = bench::Instance::make("er", 128, 16.0, b, seed * 13 + b);
+      const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
+                                       sim::Schedule::kRandomOrder, seed);
+      total.add(static_cast<double>(r.stats.total_sent));
+      per_edge.add(static_cast<double>(r.stats.total_sent) /
+                   static_cast<double>(inst->g.num_edges()));
+      locked.add(static_cast<double>(r.matching.size()));
+      std::size_t cap = 0;
+      for (graph::NodeId v = 0; v < inst->g.num_nodes(); ++v) {
+        cap += inst->profile->quota(v);
+      }
+      capacity_frac.add(2.0 * static_cast<double>(r.matching.size()) /
+                        static_cast<double>(cap));
+    }
+    t.row()
+        .cell(std::int64_t{b})
+        .cell(total.mean(), 1)
+        .cell(per_edge.mean(), 3)
+        .cell(locked.mean(), 1)
+        .cell(capacity_frac.mean(), 3);
+  }
+  t.print("Message complexity vs. quota (ER, n = 128, avg degree 16):");
+}
+
+void schedule_spread() {
+  util::Table t({"schedule", "mean msgs", "min", "max", "matching weight"});
+  for (const auto schedule :
+       {sim::Schedule::kFifo, sim::Schedule::kRandomOrder, sim::Schedule::kRandomDelay,
+        sim::Schedule::kAdversarialDelay}) {
+    util::StreamingStats msgs;
+    double weight = 0.0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      auto inst = bench::Instance::make("er", 96, 8.0, 3, 555);  // same instance
+      const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
+                                       schedule, seed);
+      msgs.add(static_cast<double>(r.stats.total_sent));
+      weight = r.matching.total_weight(*inst->weights);  // identical across runs
+    }
+    t.row()
+        .cell(sim::schedule_name(schedule))
+        .cell(msgs.mean(), 1)
+        .cell(msgs.min(), 0)
+        .cell(msgs.max(), 0)
+        .cell(weight, 4);
+  }
+  t.print("Same instance, 8 scheduler seeds each: message spread, identical result");
+}
+
+}  // namespace
+}  // namespace overmatch
+
+int main() {
+  overmatch::bench::print_header(
+      "E6", "Lemma 5 (termination) — protocol cost series",
+      "PROP/REJ message complexity of LID across size, density, quota, schedule.");
+  overmatch::series_vs_n();
+  overmatch::series_vs_degree();
+  overmatch::series_vs_quota();
+  overmatch::schedule_spread();
+  return 0;
+}

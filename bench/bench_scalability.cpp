@@ -1,0 +1,98 @@
+// E7 — Scalability: wall-clock of every engine vs. instance size
+// (google-benchmark). Absolute numbers are machine-specific; the shape to
+// reproduce is near-linear O(m log m) growth for the greedy family and the
+// simulator overhead factor of LID-DES over LIC.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+#include "matching/exact.hpp"
+#include "matching/lic.hpp"
+#include "matching/lid.hpp"
+#include "matching/parallel_local.hpp"
+
+namespace overmatch {
+namespace {
+
+std::unique_ptr<bench::Instance> instance_for(std::size_t n) {
+  return bench::Instance::make("er", n, 8.0, 3, 12345 + n);
+}
+
+void BM_LicGlobal(benchmark::State& state) {
+  const auto inst = instance_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto m = matching::lic_global(*inst->weights, inst->profile->quotas());
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LicGlobal)->Range(128, 4096)->Complexity(benchmark::oNLogN);
+
+void BM_LicLocal(benchmark::State& state) {
+  const auto inst = instance_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto m = matching::lic_local(*inst->weights, inst->profile->quotas(), 1);
+    benchmark::DoNotOptimize(m.size());
+  }
+}
+BENCHMARK(BM_LicLocal)->Range(128, 2048);
+
+void BM_LidDes(benchmark::State& state) {
+  const auto inst = instance_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
+                               sim::Schedule::kRandomOrder, 1);
+    benchmark::DoNotOptimize(r.matching.size());
+  }
+}
+BENCHMARK(BM_LidDes)->Range(128, 2048);
+
+void BM_LidThreaded(benchmark::State& state) {
+  const auto inst = instance_for(1024);
+  for (auto _ : state) {
+    auto r = matching::run_lid_threaded(*inst->weights, inst->profile->quotas(),
+                                        static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(r.matching.size());
+  }
+}
+BENCHMARK(BM_LidThreaded)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ParallelLocal(benchmark::State& state) {
+  const auto inst = instance_for(2048);
+  for (auto _ : state) {
+    auto m = matching::parallel_local_dominant(*inst->weights,
+                                               inst->profile->quotas(),
+                                               static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(m.size());
+  }
+}
+BENCHMARK(BM_ParallelLocal)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ExactBnB(benchmark::State& state) {
+  const auto inst = bench::Instance::make(
+      "er", static_cast<std::size_t>(state.range(0)), 4.0, 2, 777);
+  for (auto _ : state) {
+    auto m = matching::exact_max_weight_bmatching(*inst->weights,
+                                                  inst->profile->quotas());
+    benchmark::DoNotOptimize(m.size());
+  }
+}
+BENCHMARK(BM_ExactBnB)->DenseRange(10, 18, 4);
+
+void BM_WeightConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  static graph::Graph g;
+  g = graph::by_name("er", n, 8.0, rng);
+  const auto profile =
+      prefs::PreferenceProfile::random(g, prefs::uniform_quotas(g, 3), rng);
+  for (auto _ : state) {
+    auto w = prefs::paper_weights(profile);
+    benchmark::DoNotOptimize(w.values().size());
+  }
+}
+BENCHMARK(BM_WeightConstruction)->Range(256, 4096);
+
+}  // namespace
+}  // namespace overmatch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// E8 — Topology sensitivity: satisfaction and certified approximation ratio
+// of the LID overlay across candidate-graph families.
+//
+// "ratio ≥" is the *certified lower bound* w(M)/UB — the true ratio against
+// the (unavailable at this scale) optimum is at least this; the Theorem 2
+// floor of 0.5 holds regardless.
+#include "bench/bench_common.hpp"
+#include "core/certificates.hpp"
+#include "core/solvers.hpp"
+#include "graph/properties.hpp"
+#include "matching/metrics.hpp"
+#include "overlay/builder.hpp"
+
+namespace overmatch {
+namespace {
+
+void topology_table() {
+  util::Table t({"topology", "n", "mean deg", "S mean", "S p10", "S min",
+                 "utilization", "ratio ≥", "components", "msgs/edge"});
+  for (const char* topology : {"er", "ba", "ws", "geo", "grid", "regular"}) {
+    util::StreamingStats s_mean;
+    util::StreamingStats s_p10;
+    util::StreamingStats s_min;
+    util::StreamingStats util_stat;
+    util::StreamingStats ratio;
+    util::StreamingStats comps;
+    util::StreamingStats mpe;
+    util::StreamingStats deg;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      auto inst = bench::Instance::make(topology, 144, 8.0, 3, seed * 41 + 5);
+      deg.add(graph::degree_stats(inst->g).mean);
+      const auto r = core::solve(*inst->profile, core::Algorithm::kLidDes);
+      const auto sats = matching::node_satisfactions(*inst->profile, r.matching);
+      util::StreamingStats ss;
+      for (const double s : sats) ss.add(s);
+      s_mean.add(ss.mean());
+      s_p10.add(util::percentile(sats, 10.0));
+      s_min.add(ss.min());
+      std::size_t cap = 0;
+      std::size_t load = 0;
+      for (graph::NodeId v = 0; v < inst->g.num_nodes(); ++v) {
+        cap += inst->profile->quota(v);
+        load += r.matching.load(v);
+      }
+      util_stat.add(static_cast<double>(load) / static_cast<double>(cap));
+      const auto cert = core::certify(*inst->profile, *inst->weights, r.matching);
+      ratio.add(cert.ratio_lower_bound);
+      const auto sub = overlay::matched_subgraph(r.matching);
+      comps.add(static_cast<double>(graph::connected_components(sub).count));
+      mpe.add(static_cast<double>(r.messages) /
+              static_cast<double>(inst->g.num_edges()));
+    }
+    t.row()
+        .cell(topology)
+        .cell(std::int64_t{144})
+        .cell(deg.mean(), 1)
+        .cell(s_mean.mean(), 4)
+        .cell(s_p10.mean(), 4)
+        .cell(s_min.mean(), 4)
+        .cell(util_stat.mean(), 3)
+        .cell(ratio.mean(), 3)
+        .cell(comps.mean(), 1)
+        .cell(mpe.mean(), 3);
+  }
+  t.print("LID overlay quality across topologies (n = 144, b = 3, 6 seeds):");
+}
+
+void quota_sensitivity() {
+  util::Table t({"b", "S mean", "utilization", "ratio ≥", "msgs/edge"});
+  for (const std::uint32_t b : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    util::StreamingStats s_mean;
+    util::StreamingStats util_stat;
+    util::StreamingStats ratio;
+    util::StreamingStats mpe;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      auto inst = bench::Instance::make("er", 144, 12.0, b, seed * 43 + b);
+      const auto r = core::solve(*inst->profile, core::Algorithm::kLidDes);
+      const auto sats = matching::node_satisfactions(*inst->profile, r.matching);
+      s_mean.add(util::mean_of(sats));
+      std::size_t cap = 0;
+      std::size_t load = 0;
+      for (graph::NodeId v = 0; v < inst->g.num_nodes(); ++v) {
+        cap += inst->profile->quota(v);
+        load += r.matching.load(v);
+      }
+      util_stat.add(static_cast<double>(load) / static_cast<double>(cap));
+      ratio.add(core::certify(*inst->profile, *inst->weights, r.matching)
+                    .ratio_lower_bound);
+      mpe.add(static_cast<double>(r.messages) /
+              static_cast<double>(inst->g.num_edges()));
+    }
+    t.row()
+        .cell(std::int64_t{b})
+        .cell(s_mean.mean(), 4)
+        .cell(util_stat.mean(), 3)
+        .cell(ratio.mean(), 3)
+        .cell(mpe.mean(), 3);
+  }
+  t.print("Quota sensitivity (ER, n = 144, avg degree 12):");
+}
+
+}  // namespace
+}  // namespace overmatch
+
+int main() {
+  overmatch::bench::print_header(
+      "E8", "Topology sensitivity",
+      "Overlay quality of the LID matching across candidate-graph families.");
+  overmatch::topology_table();
+  overmatch::quota_sensitivity();
+  return 0;
+}

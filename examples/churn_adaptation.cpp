@@ -1,0 +1,78 @@
+// Churn adaptation — the paper's future-work extension, runnable.
+//
+// Builds an overlay, then replays a churn trace (Poisson-ish leaves and
+// rejoins). After every event the overlay repairs itself with the same
+// locally-heaviest greedy rule LID uses; the example prints the satisfaction
+// trajectory and the disruption a full recomputation would have caused.
+//
+//   ./churn_adaptation [--n=150] [--quota=3] [--events=30] [--seed=11]
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "overlay/churn.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace overmatch;
+  const util::Flags flags(argc, argv);
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 150));
+  const auto quota = static_cast<std::uint32_t>(flags.get_int("quota", 3));
+  const auto events = static_cast<std::size_t>(flags.get_int("events", 30));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 11));
+
+  util::Rng rng(seed);
+  static graph::Graph g;
+  g = graph::barabasi_albert(n, 4, rng);
+  const auto profile =
+      prefs::PreferenceProfile::random(g, prefs::uniform_quotas(g, quota), rng);
+  const auto weights = prefs::paper_weights(profile);
+
+  overlay::ChurnSimulator churn(profile, weights);
+  std::printf("initial overlay: %zu connections, weight %.3f, satisfaction %.3f\n\n",
+              churn.matching().size(), churn.matching().total_weight(weights),
+              churn.total_satisfaction_alive());
+
+  util::Table t({"#", "event", "node", "torn", "added", "satisfaction",
+                 "weight gap to recompute %", "disruption"});
+  std::vector<graph::NodeId> offline;
+  util::StreamingStats gaps;
+  util::StreamingStats disruptions;
+  for (std::size_t k = 1; k <= events; ++k) {
+    overlay::ChurnEvent ev;
+    if (!offline.empty() && rng.chance(0.5)) {
+      const auto idx = rng.index(offline.size());
+      ev = churn.join(offline[idx]);
+      offline.erase(offline.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      graph::NodeId v;
+      do {
+        v = static_cast<graph::NodeId>(rng.index(n));
+      } while (!churn.alive(v));
+      ev = churn.leave(v);
+      offline.push_back(v);
+    }
+    const double gap = 100.0 * (ev.recompute_weight - ev.incremental_weight) /
+                       ev.recompute_weight;
+    gaps.add(gap);
+    disruptions.add(static_cast<double>(ev.disruption));
+    t.row()
+        .cell(std::uint64_t{k})
+        .cell(ev.join ? "join" : "leave")
+        .cell(std::int64_t{ev.node})
+        .cell(std::uint64_t{ev.edges_removed})
+        .cell(std::uint64_t{ev.edges_added})
+        .cell(ev.satisfaction_total, 3)
+        .cell(gap, 2)
+        .cell(std::uint64_t{ev.disruption});
+  }
+  t.print("Churn trace:");
+
+  std::printf(
+      "\nincremental repair stayed within %.2f%% (mean) of full recomputation\n"
+      "while a recomputation would have rewired %.1f connections per event on "
+      "average.\n",
+      gaps.mean(), disruptions.mean());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Overlay construction with heterogeneous private metrics — the paper's
+// motivating scenario.
+//
+// A population of peers with positions, interests, bandwidth, uptime and
+// transaction history builds an overlay. Every peer privately picks its own
+// suitability metric (latency-sensitive peers rank by proximity, content
+// peers by interests, …) and never discloses it; only the derived ΔS̄ values
+// cross the wire. The example prints the resulting overlay's quality report
+// and its approximation certificate.
+//
+//   ./overlay_construction [--n=200] [--topology=ba] [--degree=10]
+//                          [--quota=4] [--seed=1]
+#include <cstdio>
+
+#include "core/certificates.hpp"
+#include "graph/generators.hpp"
+#include "overlay/quality.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace overmatch;
+  const util::Flags flags(argc, argv);
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 200));
+  const auto topology = flags.get("topology", "ba");
+  const double degree = flags.get_double("degree", 10.0);
+  const auto quota = static_cast<std::uint32_t>(flags.get_int("quota", 4));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  util::Rng rng(seed);
+  auto g = graph::by_name(topology, n, degree, rng);
+  auto pop = overlay::Population::random(n, 16, rng);
+  const auto metrics = overlay::random_metrics(n, rng);
+
+  // Count the metric mix so the heterogeneity is visible.
+  util::Table mix({"metric", "peers"});
+  for (const auto m :
+       {overlay::Metric::kProximity, overlay::Metric::kInterests,
+        overlay::Metric::kBandwidth, overlay::Metric::kUptime,
+        overlay::Metric::kTransactions, overlay::Metric::kHybrid}) {
+    std::int64_t count = 0;
+    for (const auto x : metrics) {
+      if (x == m) ++count;
+    }
+    mix.row().cell(overlay::metric_name(m)).cell(count);
+  }
+  mix.print("Private metric choices across the population:");
+
+  overlay::BuildOptions opt;
+  opt.quota = quota;
+  opt.seed = seed;
+  const auto ov = overlay::build_overlay(std::move(g), pop, metrics, opt);
+
+  const auto report = overlay::analyze(*ov);
+  std::printf("\n--- overlay quality ---\n%s\n", overlay::to_string(report).c_str());
+
+  const auto cert = core::certify(ov->profile(), ov->weights(), ov->matching());
+  std::printf(
+      "\n--- approximation certificate ---\n"
+      "matching weight          : %.4f\n"
+      "weight upper bound       : %.4f\n"
+      "certified ratio          : ≥ %.3f (theorem floor: %.3f)\n"
+      "structural ½-certificate : %s\n"
+      "satisfaction guarantee   : ≥ %.3f × optimum (Theorem 3)\n",
+      cert.weight, cert.upper_bound, cert.ratio_lower_bound, cert.theorem2,
+      cert.half_certificate ? "present" : "MISSING", cert.theorem3);
+  return 0;
+}

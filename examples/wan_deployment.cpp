@@ -1,0 +1,75 @@
+// WAN deployment scenario: the full stack under realistic adversity.
+//
+// 1. Peers discover candidates by gossip (nobody knows the whole network).
+// 2. Preferences come from a hybrid metric over generated peer attributes.
+// 3. LID runs over a *lossy* wide-area network (every message dropped with
+//    probability p) behind the ACK/retransmit adapter.
+// 4. The result is audited: same matching as the centralized reference,
+//    approximation certificate, quality report.
+//
+//   ./wan_deployment [--n=120] [--quota=3] [--rounds=4] [--loss=0.2] [--seed=2]
+#include <cstdio>
+
+#include "core/certificates.hpp"
+#include "matching/lic.hpp"
+#include "matching/lid.hpp"
+#include "matching/metrics.hpp"
+#include "overlay/discovery.hpp"
+#include "overlay/metrics.hpp"
+#include "sim/reliable.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace overmatch;
+  const util::Flags flags(argc, argv);
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 120));
+  const auto quota = static_cast<std::uint32_t>(flags.get_int("quota", 3));
+  const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 4));
+  const double loss = flags.get_double("loss", 0.2);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2));
+
+  // Phase 1: discovery.
+  overlay::DiscoveryOptions d;
+  d.rounds = rounds;
+  d.seed = seed;
+  const auto disc = overlay::discover_candidates(n, d);
+  std::printf("phase 1 — discovery: %zu peers, %zu candidate links learned "
+              "(%zu gossip messages)\n",
+              n, disc.candidates.num_edges(), disc.stats.total_sent);
+
+  // Phase 2: private preferences over the discovered candidates.
+  util::Rng rng(seed);
+  const auto pop = overlay::Population::random(n, 8, rng);
+  const auto metrics = overlay::random_metrics(n, rng);
+  const auto profile = overlay::build_profile(
+      disc.candidates, pop, metrics, prefs::uniform_quotas(disc.candidates, quota));
+  const auto weights = prefs::paper_weights(profile);
+  std::printf("phase 2 — preferences: per-peer private metrics assigned "
+              "(quota %u)\n", quota);
+
+  // Phase 3: distributed matching over the lossy WAN.
+  const auto r = matching::run_lid_lossy(weights, profile.quotas(), loss, seed);
+  std::printf(
+      "phase 3 — LID over %.0f%% loss: %zu connections established\n"
+      "          wire traffic %zu msgs (%zu dropped, %zu retransmitted, "
+      "%zu ACKs), virtual time %.1f\n",
+      100.0 * loss, r.matching.size(), r.stats.total_sent, r.stats.total_dropped,
+      r.retransmissions, r.stats.kind_count(sim::kAckKind),
+      r.stats.completion_time);
+
+  // Phase 4: audit.
+  const auto reference = matching::lic_global(weights, profile.quotas());
+  const auto cert = core::certify(profile, weights, r.matching);
+  const auto sats = matching::node_satisfactions(profile, r.matching);
+  util::StreamingStats ss;
+  for (const double s : sats) ss.add(s);
+  std::printf(
+      "phase 4 — audit: matches centralized reference: %s\n"
+      "          satisfaction mean %.3f (min %.3f), certified weight ratio ≥ %.3f,\n"
+      "          ½-certificate %s, satisfaction ≥ %.3f × optimum (Theorem 3)\n",
+      r.matching.same_edges(reference) ? "YES" : "NO — BUG", ss.mean(), ss.min(),
+      cert.ratio_lower_bound, cert.half_certificate ? "present" : "absent",
+      cert.theorem3);
+  return r.matching.same_edges(reference) ? 0 : 1;
+}

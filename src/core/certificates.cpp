@@ -1,0 +1,33 @@
+#include "core/certificates.hpp"
+
+#include <algorithm>
+
+#include "matching/bounds.hpp"
+#include "matching/verify.hpp"
+
+namespace overmatch::core {
+
+double theorem1_bound(std::uint32_t b_max) {
+  OM_CHECK(b_max >= 1);
+  return 0.5 * (1.0 + 1.0 / static_cast<double>(b_max));
+}
+
+double theorem3_bound(std::uint32_t b_max) {
+  OM_CHECK(b_max >= 1);
+  return 0.25 * (1.0 + 1.0 / static_cast<double>(b_max));
+}
+
+Certificate certify(const prefs::PreferenceProfile& profile,
+                    const prefs::EdgeWeights& w, const matching::Matching& m) {
+  Certificate c;
+  c.weight = m.total_weight(w);
+  const double ub1 = matching::half_top_quota_bound(w, profile.quotas());
+  const double ub2 = matching::top_edges_bound(w, profile.quotas());
+  c.upper_bound = std::min(ub1, ub2);
+  c.ratio_lower_bound = c.upper_bound > 0.0 ? c.weight / c.upper_bound : 1.0;
+  c.half_certificate = matching::has_half_approx_certificate(m, w);
+  c.theorem3 = theorem3_bound(profile.max_quota());
+  return c;
+}
+
+}  // namespace overmatch::core

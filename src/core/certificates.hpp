@@ -1,0 +1,35 @@
+// Approximation certificates: the paper's proven bounds as executable
+// numbers, plus per-instance ratio certificates against upper bounds.
+#pragma once
+
+#include "matching/matching.hpp"
+#include "prefs/preference_profile.hpp"
+#include "prefs/weights.hpp"
+
+namespace overmatch::core {
+
+/// Lemma 1 / Theorem 1 factor: ½ (1 + 1/b_max).
+[[nodiscard]] double theorem1_bound(std::uint32_t b_max);
+
+/// Theorem 2 factor for the weighted matching: ½.
+[[nodiscard]] constexpr double theorem2_bound() noexcept { return 0.5; }
+
+/// Theorem 3 factor for maximizing satisfaction: ¼ (1 + 1/b_max).
+[[nodiscard]] double theorem3_bound(std::uint32_t b_max);
+
+/// Everything needed to audit one solved instance without re-running OPT.
+struct Certificate {
+  double weight = 0.0;             ///< w(M)
+  double upper_bound = 0.0;        ///< min of the weight upper bounds
+  double ratio_lower_bound = 0.0;  ///< w(M)/UB ≤ true ratio w(M)/w(M*)
+  bool half_certificate = false;   ///< structural ½-approximation witness
+  double theorem2 = 0.5;
+  double theorem3 = 0.0;           ///< satisfaction bound for this instance
+};
+
+/// Builds the certificate for a matching under the paper's weights.
+[[nodiscard]] Certificate certify(const prefs::PreferenceProfile& profile,
+                                  const prefs::EdgeWeights& w,
+                                  const matching::Matching& m);
+
+}  // namespace overmatch::core

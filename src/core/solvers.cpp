@@ -1,0 +1,125 @@
+#include "core/solvers.hpp"
+
+#include "matching/baselines.hpp"
+#include "matching/bsuitor.hpp"
+#include "matching/exact.hpp"
+#include "matching/local_search.hpp"
+#include "matching/lic.hpp"
+#include "matching/lid.hpp"
+#include "matching/metrics.hpp"
+#include "matching/parallel_local.hpp"
+
+namespace overmatch::core {
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kLidDes: return "lid";
+    case Algorithm::kLidThreaded: return "lid-threaded";
+    case Algorithm::kLicGlobal: return "lic";
+    case Algorithm::kLicLocal: return "lic-local";
+    case Algorithm::kParallelLocal: return "parallel";
+    case Algorithm::kBSuitor: return "bsuitor";
+    case Algorithm::kLidLocalSearch: return "lid+ls";
+    case Algorithm::kRandomGreedy: return "random-greedy";
+    case Algorithm::kMutualBest: return "mutual-best";
+    case Algorithm::kBestReply: return "best-reply";
+    case Algorithm::kExactWeight: return "exact-weight";
+    case Algorithm::kExactSat: return "exact-sat";
+  }
+  return "?";
+}
+
+Algorithm algorithm_by_name(const std::string& name) {
+  for (const Algorithm a : all_algorithms()) {
+    if (name == algorithm_name(a)) return a;
+  }
+  OM_CHECK_MSG(false, "unknown algorithm name");
+  return Algorithm::kLicGlobal;
+}
+
+const std::vector<Algorithm>& all_algorithms() {
+  static const std::vector<Algorithm> kAll = {
+      Algorithm::kLicGlobal,      Algorithm::kLicLocal,
+      Algorithm::kParallelLocal,  Algorithm::kBSuitor,
+      Algorithm::kLidDes,         Algorithm::kLidThreaded,
+      Algorithm::kLidLocalSearch, Algorithm::kRandomGreedy,
+      Algorithm::kMutualBest,     Algorithm::kBestReply,
+      Algorithm::kExactWeight,    Algorithm::kExactSat,
+  };
+  return kAll;
+}
+
+SolveResult solve(const prefs::PreferenceProfile& profile, Algorithm a,
+                  const SolveOptions& options) {
+  const auto w = prefs::paper_weights(profile);
+  return solve_with_weights(profile, w, a, options);
+}
+
+SolveResult solve_with_weights(const prefs::PreferenceProfile& profile,
+                               const prefs::EdgeWeights& w, Algorithm a,
+                               const SolveOptions& options) {
+  const auto& quotas = profile.quotas();
+  matching::Matching m(profile.graph(), quotas);
+  std::size_t messages = 0;
+  bool converged = true;
+  switch (a) {
+    case Algorithm::kLidDes: {
+      auto r = matching::run_lid(w, quotas, options.schedule, options.seed);
+      m = std::move(r.matching);
+      messages = r.stats.total_sent;
+      break;
+    }
+    case Algorithm::kLidThreaded: {
+      auto r = matching::run_lid_threaded(w, quotas, options.threads);
+      m = std::move(r.matching);
+      messages = r.stats.total_sent;
+      break;
+    }
+    case Algorithm::kLicGlobal:
+      m = matching::lic_global(w, quotas);
+      break;
+    case Algorithm::kLicLocal:
+      m = matching::lic_local(w, quotas, options.seed);
+      break;
+    case Algorithm::kParallelLocal:
+      m = matching::parallel_local_dominant(w, quotas, options.threads);
+      break;
+    case Algorithm::kBSuitor:
+      m = matching::b_suitor(w, quotas);
+      break;
+    case Algorithm::kLidLocalSearch: {
+      auto r = matching::run_lid(w, quotas, options.schedule, options.seed);
+      m = std::move(r.matching);
+      messages = r.stats.total_sent;
+      (void)matching::improve_satisfaction(profile, m);
+      break;
+    }
+    case Algorithm::kRandomGreedy:
+      m = matching::random_order_greedy(w, quotas, options.seed);
+      break;
+    case Algorithm::kMutualBest:
+      m = matching::rank_mutual_best(profile);
+      break;
+    case Algorithm::kBestReply: {
+      auto r = matching::best_reply_dynamics(profile, options.seed,
+                                             options.best_reply_max_steps);
+      m = std::move(r.matching);
+      converged = r.converged;
+      break;
+    }
+    case Algorithm::kExactWeight:
+      m = matching::exact_max_weight_bmatching(w, quotas);
+      break;
+    case Algorithm::kExactSat:
+      m = matching::exact_max_satisfaction(profile);
+      break;
+  }
+  SolveResult out{std::move(m), 0.0, 0.0, 0.0, messages, converged};
+  out.weight = out.matching.total_weight(w);
+  out.satisfaction = matching::total_satisfaction(profile, out.matching);
+  out.satisfaction_modified =
+      matching::total_satisfaction_modified(profile, out.matching);
+  return out;
+}
+
+}  // namespace overmatch::core

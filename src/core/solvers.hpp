@@ -1,0 +1,63 @@
+// High-level solver facade: one entry point over every algorithm in the
+// library, returning the matching together with its quality metrics. This is
+// the API the examples and most benches drive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matching/matching.hpp"
+#include "prefs/preference_profile.hpp"
+#include "prefs/weights.hpp"
+#include "sim/event_sim.hpp"
+
+namespace overmatch::core {
+
+enum class Algorithm : std::uint8_t {
+  kLidDes,         ///< distributed LID under the discrete-event simulator
+  kLidThreaded,    ///< distributed LID on the threaded actor runtime
+  kLicGlobal,      ///< centralized LIC, global-sort engine
+  kLicLocal,       ///< centralized LIC, local-dominance engine
+  kParallelLocal,  ///< shared-memory parallel local dominance
+  kBSuitor,        ///< b-suitor bidding (modern comparator; same output)
+  kLidLocalSearch, ///< LID followed by true-objective local search
+  kRandomGreedy,   ///< random-order maximal greedy (baseline)
+  kMutualBest,     ///< rank-based mutual-best rounds (baseline, Gai et al.)
+  kBestReply,      ///< blocking-pair dynamics (baseline, Mathieu)
+  kExactWeight,    ///< exact max-weight b-matching (small instances)
+  kExactSat,       ///< exact max-satisfaction b-matching (tiny instances)
+};
+
+[[nodiscard]] const char* algorithm_name(Algorithm a);
+[[nodiscard]] Algorithm algorithm_by_name(const std::string& name);
+/// All algorithms, cheap-to-expensive.
+[[nodiscard]] const std::vector<Algorithm>& all_algorithms();
+
+struct SolveOptions {
+  std::uint64_t seed = 1;
+  sim::Schedule schedule = sim::Schedule::kRandomOrder;
+  std::size_t threads = 2;
+  std::size_t best_reply_max_steps = 100000;
+};
+
+struct SolveResult {
+  matching::Matching matching;
+  double weight = 0.0;               ///< Σ eq.-9 weight of selected edges
+  double satisfaction = 0.0;         ///< Σ S_i (eq. 1)
+  double satisfaction_modified = 0.0;///< Σ S̄_i (eq. 6)
+  std::size_t messages = 0;          ///< protocol messages (0 for centralized)
+  bool converged = true;             ///< false only for capped best-reply runs
+};
+
+/// Runs `a` on (profile, eq.-9 weights) and reports every quality metric.
+[[nodiscard]] SolveResult solve(const prefs::PreferenceProfile& profile, Algorithm a,
+                                const SolveOptions& options = {});
+
+/// Same, but with caller-supplied weights (for weight-design ablations;
+/// exact-satisfaction ignores the weights). Satisfaction metrics always come
+/// from `profile`.
+[[nodiscard]] SolveResult solve_with_weights(const prefs::PreferenceProfile& profile,
+                                             const prefs::EdgeWeights& w, Algorithm a,
+                                             const SolveOptions& options = {});
+
+}  // namespace overmatch::core

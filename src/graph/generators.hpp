@@ -1,0 +1,73 @@
+// Random and structured topology generators for overlay experiments.
+//
+// Every generator is deterministic given the Rng state, and every generated
+// graph is simple (no self-loops / multi-edges). Generators that can produce
+// disconnected graphs document it; connectivity can be enforced afterwards
+// with `connect_components`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace overmatch::graph {
+
+/// Erdős–Rényi G(n, p): each of the C(n,2) pairs is an edge with prob. p.
+[[nodiscard]] Graph erdos_renyi(std::size_t n, double p, util::Rng& rng);
+
+/// Erdős–Rényi G(n, m): exactly m distinct edges chosen uniformly.
+/// Requires m <= C(n,2).
+[[nodiscard]] Graph gnm(std::size_t n, std::size_t m, util::Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// `attach + 1` nodes; every subsequent node attaches to `attach` distinct
+/// existing nodes with probability proportional to their degree.
+[[nodiscard]] Graph barabasi_albert(std::size_t n, std::size_t attach, util::Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `k` (even) nearest
+/// neighbours, each edge rewired with probability `beta`.
+[[nodiscard]] Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                                   util::Rng& rng);
+
+/// Random geometric graph on the unit square: nodes get uniform coordinates;
+/// pairs within Euclidean distance `radius` are connected. The coordinates
+/// used are returned through `coords_out` when non-null (x0,y0,x1,y1,...).
+[[nodiscard]] Graph random_geometric(std::size_t n, double radius, util::Rng& rng,
+                                     std::vector<double>* coords_out = nullptr);
+
+/// rows × cols 4-neighbour grid.
+[[nodiscard]] Graph grid(std::size_t rows, std::size_t cols);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete(std::size_t n);
+
+/// Complete bipartite graph K_{a,b} (left nodes 0..a-1, right a..a+b-1).
+[[nodiscard]] Graph complete_bipartite(std::size_t a, std::size_t b);
+
+/// Path P_n.
+[[nodiscard]] Graph path(std::size_t n);
+
+/// Cycle C_n (n >= 3).
+[[nodiscard]] Graph cycle(std::size_t n);
+
+/// Star S_n: node 0 is the hub, nodes 1..n-1 are leaves.
+[[nodiscard]] Graph star(std::size_t n);
+
+/// Random d-regular-ish graph via the configuration model with rejection of
+/// loops/duplicates (retries until simple). Requires n*d even and d < n.
+[[nodiscard]] Graph random_regular(std::size_t n, std::size_t d, util::Rng& rng);
+
+/// Named generator dispatch used by benches: "er", "ba", "ws", "geo", "grid",
+/// "complete", "regular". Parameters are chosen so the expected average degree
+/// is roughly `avg_degree`.
+[[nodiscard]] Graph by_name(const std::string& name, std::size_t n, double avg_degree,
+                            util::Rng& rng);
+
+/// Adds (arbitrary) bridge edges until the graph is connected; returns the
+/// possibly-augmented graph. Used where experiments require connectivity.
+[[nodiscard]] Graph connect_components(const Graph& g);
+
+}  // namespace overmatch::graph

@@ -1,0 +1,60 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace overmatch::graph {
+
+GraphBuilder::GraphBuilder(std::size_t num_nodes) : adjacency_(num_nodes) {
+  OM_CHECK(num_nodes < static_cast<std::size_t>(kInvalidNode));
+}
+
+EdgeId GraphBuilder::add_edge(NodeId u, NodeId v) {
+  OM_CHECK(u < adjacency_.size() && v < adjacency_.size());
+  OM_CHECK_MSG(u != v, "self-loops are not allowed");
+  OM_CHECK_MSG(!has_edge(u, v), "duplicate edge");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{std::min(u, v), std::max(u, v)});
+  adjacency_[u].push_back({v, id});
+  adjacency_[v].push_back({u, id});
+  return id;
+}
+
+bool GraphBuilder::has_edge(NodeId u, NodeId v) const noexcept {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) return false;
+  const auto& shorter =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u] : adjacency_[v];
+  const NodeId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  for (const auto& a : shorter) {
+    if (a.neighbor == target) return true;
+  }
+  return false;
+}
+
+Graph GraphBuilder::build() && {
+  Graph g;
+  g.edges_ = std::move(edges_);
+  g.adjacency_ = std::move(adjacency_);
+  for (auto& adj : g.adjacency_) {
+    std::sort(adj.begin(), adj.end(),
+              [](const Adjacency& a, const Adjacency& b) { return a.neighbor < b.neighbor; });
+  }
+  return g;
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t d = 0;
+  for (const auto& adj : adjacency_) d = std::max(d, adj.size());
+  return d;
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const noexcept {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) return kInvalidEdge;
+  const auto& adj = adjacency_[u];
+  const auto it = std::lower_bound(
+      adj.begin(), adj.end(), v,
+      [](const Adjacency& a, NodeId target) { return a.neighbor < target; });
+  if (it != adj.end() && it->neighbor == v) return it->edge;
+  return kInvalidEdge;
+}
+
+}  // namespace overmatch::graph

@@ -1,0 +1,103 @@
+// Undirected simple graph with stable edge identifiers.
+//
+// This is the topology substrate for all overlay/matching experiments: nodes
+// are peers, edges are *potential* connections (the paper's E). The structure
+// is immutable after construction; algorithms annotate it externally (weights,
+// matchings) keyed by EdgeId.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace overmatch::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// An undirected edge; endpoints are stored with u < v.
+struct Edge {
+  NodeId u;
+  NodeId v;
+
+  /// The endpoint different from `x`. Requires x ∈ {u, v}.
+  [[nodiscard]] NodeId other(NodeId x) const noexcept {
+    OM_CHECK(x == u || x == v);
+    return x == u ? v : u;
+  }
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Adjacency entry: the neighbour and the id of the connecting edge.
+struct Adjacency {
+  NodeId neighbor;
+  EdgeId edge;
+};
+
+class Graph;
+
+/// Incremental builder; rejects self-loops and duplicate edges.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t num_nodes);
+
+  /// Adds edge {u, v}; returns its EdgeId. Duplicates abort (simple graph).
+  EdgeId add_edge(NodeId u, NodeId v);
+
+  /// True if {u, v} was already added (O(deg) scan; builder-time only).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// Finalize: sorts adjacency lists by neighbour id and freezes the graph.
+  [[nodiscard]] Graph build() &&;
+
+ private:
+  friend class Graph;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+/// Immutable undirected simple graph.
+class Graph {
+ public:
+  Graph() = default;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    OM_CHECK(e < edges_.size());
+    return edges_[e];
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  [[nodiscard]] std::span<const Adjacency> neighbors(NodeId v) const {
+    OM_CHECK(v < adjacency_.size());
+    return adjacency_[v];
+  }
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    OM_CHECK(v < adjacency_.size());
+    return adjacency_[v].size();
+  }
+  [[nodiscard]] std::size_t max_degree() const noexcept;
+
+  /// EdgeId of {u, v}, or kInvalidEdge (binary search over sorted adjacency).
+  [[nodiscard]] EdgeId find_edge(NodeId u, NodeId v) const noexcept;
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept {
+    return find_edge(u, v) != kInvalidEdge;
+  }
+
+ private:
+  friend class GraphBuilder;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+}  // namespace overmatch::graph

@@ -1,0 +1,39 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace overmatch::graph {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const auto& e : g.edges()) os << e.u << ' ' << e.v << '\n';
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  OM_CHECK_MSG(static_cast<bool>(is >> n >> m), "edge list: bad header");
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    NodeId u = 0;
+    NodeId v = 0;
+    OM_CHECK_MSG(static_cast<bool>(is >> u >> v), "edge list: truncated");
+    b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  OM_CHECK_MSG(os.good(), "cannot open file for writing");
+  write_edge_list(os, g);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream is(path);
+  OM_CHECK_MSG(is.good(), "cannot open file for reading");
+  return read_edge_list(is);
+}
+
+}  // namespace overmatch::graph

@@ -1,0 +1,21 @@
+// Plain-text edge-list serialization ("n m" header then one "u v" per line).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace overmatch::graph {
+
+/// Writes "n m\n" followed by one "u v" line per edge.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses the format produced by write_edge_list. Aborts on malformed input.
+[[nodiscard]] Graph read_edge_list(std::istream& is);
+
+/// Convenience round-trips through files.
+void save_edge_list(const std::string& path, const Graph& g);
+[[nodiscard]] Graph load_edge_list(const std::string& path);
+
+}  // namespace overmatch::graph

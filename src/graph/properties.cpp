@@ -1,0 +1,114 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/rng.hpp"
+
+namespace overmatch::graph {
+
+Components connected_components(const Graph& g) {
+  Components out;
+  out.label.assign(g.num_nodes(), std::numeric_limits<std::size_t>::max());
+  std::queue<NodeId> q;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (out.label[s] != std::numeric_limits<std::size_t>::max()) continue;
+    out.label[s] = out.count;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (const auto& a : g.neighbors(v)) {
+        if (out.label[a.neighbor] == std::numeric_limits<std::size_t>::max()) {
+          out.label[a.neighbor] = out.count;
+          q.push(a.neighbor);
+        }
+      }
+    }
+    ++out.count;
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  if (g.num_nodes() == 0) return s;
+  s.min = std::numeric_limits<std::size_t>::max();
+  std::size_t sum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::size_t d = g.degree(v);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    sum += d;
+  }
+  s.mean = static_cast<double>(sum) / static_cast<double>(g.num_nodes());
+  return s;
+}
+
+double clustering_coefficient(const Graph& g) {
+  std::size_t triangles3 = 0;  // 3 * number of triangles (each counted per wedge apex)
+  std::size_t wedges = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto adj = g.neighbors(v);
+    const std::size_t d = adj.size();
+    if (d < 2) continue;
+    wedges += d * (d - 1) / 2;
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i + 1; j < d; ++j) {
+        if (g.has_edge(adj[i].neighbor, adj[j].neighbor)) ++triangles3;
+      }
+    }
+  }
+  if (wedges == 0) return 0.0;
+  return static_cast<double>(triangles3) / static_cast<double>(wedges);
+}
+
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source) {
+  std::vector<std::size_t> dist(g.num_nodes(), std::numeric_limits<std::size_t>::max());
+  std::queue<NodeId> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const auto& a : g.neighbors(v)) {
+      if (dist[a.neighbor] == std::numeric_limits<std::size_t>::max()) {
+        dist[a.neighbor] = dist[v] + 1;
+        q.push(a.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+double mean_path_length(const Graph& g, std::size_t samples, std::uint64_t seed) {
+  if (g.num_nodes() < 2) return 0.0;
+  util::Rng rng(seed);
+  std::vector<NodeId> sources;
+  if (samples >= g.num_nodes()) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) sources.push_back(v);
+  } else {
+    for (const auto i : rng.sample_indices(g.num_nodes(), samples)) {
+      sources.push_back(static_cast<NodeId>(i));
+    }
+  }
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (const NodeId s : sources) {
+    const auto dist = bfs_distances(g, s);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == s || dist[v] == std::numeric_limits<std::size_t>::max()) continue;
+      total += static_cast<double>(dist[v]);
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
+}  // namespace overmatch::graph

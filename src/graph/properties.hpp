@@ -1,0 +1,42 @@
+// Structural graph properties used by the overlay-quality analyzer and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace overmatch::graph {
+
+/// Connected-component labelling result.
+struct Components {
+  std::vector<std::size_t> label;  ///< label[v] in [0, count)
+  std::size_t count = 0;
+};
+
+/// BFS-based connected components.
+[[nodiscard]] Components connected_components(const Graph& g);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Degree summary.
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+};
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+/// Global clustering coefficient (3 * triangles / wedges); 0 if no wedges.
+[[nodiscard]] double clustering_coefficient(const Graph& g);
+
+/// Unweighted single-source shortest path lengths (BFS).
+/// Unreachable nodes get SIZE_MAX.
+[[nodiscard]] std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Mean shortest-path length estimated from `samples` random sources
+/// (exact when samples >= n). Ignores unreachable pairs.
+[[nodiscard]] double mean_path_length(const Graph& g, std::size_t samples,
+                                      std::uint64_t seed);
+
+}  // namespace overmatch::graph

@@ -1,0 +1,107 @@
+#include "matching/baselines.hpp"
+
+#include <algorithm>
+
+namespace overmatch::matching {
+
+Matching random_order_greedy(const prefs::EdgeWeights& w, const Quotas& quotas,
+                             std::uint64_t seed) {
+  const auto& g = w.graph();
+  Matching m(g, quotas);
+  std::vector<EdgeId> order(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
+  util::Rng rng(seed);
+  rng.shuffle(order);
+  for (const EdgeId e : order) {
+    if (m.can_add(e)) m.add(e);
+  }
+  return m;
+}
+
+Matching rank_mutual_best(const prefs::PreferenceProfile& p) {
+  const auto& g = p.graph();
+  Matching m(g, p.quotas());
+  for (;;) {
+    // Each node's best still-addable neighbour by raw rank.
+    std::vector<NodeId> best(g.num_nodes(), graph::kInvalidNode);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (m.residual(v) == 0) continue;
+      for (const NodeId cand : p.list(v)) {  // best-first
+        const EdgeId e = g.find_edge(v, cand);
+        if (m.can_add(e)) {
+          best[v] = cand;
+          break;
+        }
+      }
+    }
+    bool locked_any = false;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const NodeId u = best[v];
+      if (u == graph::kInvalidNode || u < v) continue;  // handle each pair once
+      if (best[u] == v) {
+        const EdgeId e = g.find_edge(v, u);
+        if (m.can_add(e)) {
+          m.add(e);
+          locked_any = true;
+        }
+      }
+    }
+    if (!locked_any) return m;
+  }
+}
+
+namespace {
+
+/// j's appeal to i given matching m: acceptable if spare quota or j beats
+/// i's worst partner; in the latter case the worst partner is evicted.
+bool accepts(const prefs::PreferenceProfile& p, const Matching& m, NodeId i, NodeId j) {
+  if (m.residual(i) > 0) return true;
+  for (const NodeId cur : m.connections(i)) {
+    if (p.prefers(i, j, cur)) return true;
+  }
+  return false;
+}
+
+NodeId worst_partner(const prefs::PreferenceProfile& p, const Matching& m, NodeId i) {
+  NodeId worst = graph::kInvalidNode;
+  for (const NodeId cur : m.connections(i)) {
+    if (worst == graph::kInvalidNode || p.prefers(i, worst, cur)) worst = cur;
+  }
+  return worst;
+}
+
+}  // namespace
+
+BestReplyResult best_reply_dynamics(const prefs::PreferenceProfile& p,
+                                    std::uint64_t seed, std::size_t max_steps) {
+  const auto& g = p.graph();
+  util::Rng rng(seed);
+  Matching m(g, p.quotas());
+  std::size_t steps = 0;
+  std::vector<EdgeId> blocking;
+  while (steps < max_steps) {
+    blocking.clear();
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (m.contains(e)) continue;
+      const auto& [u, v] = g.edge(e);
+      if (accepts(p, m, u, v) && accepts(p, m, v, u)) blocking.push_back(e);
+    }
+    if (blocking.empty()) {
+      return BestReplyResult{std::move(m), steps, true};
+    }
+    const EdgeId e = blocking[rng.index(blocking.size())];
+    const auto& [u, v] = g.edge(e);
+    // Evict worst partners where needed, then satisfy the pair.
+    for (const NodeId x : {u, v}) {
+      if (m.residual(x) == 0) {
+        const NodeId wp = worst_partner(p, m, x);
+        m.remove(g.find_edge(x, wp));
+      }
+    }
+    m.add(e);
+    ++steps;
+  }
+  return BestReplyResult{std::move(m), steps, false};
+}
+
+}  // namespace overmatch::matching

@@ -1,0 +1,44 @@
+// Comparator algorithms for the evaluation benches.
+//
+// * random_order_greedy — maximal b-matching in a random edge order; isolates
+//   the value of *locally-heaviest* ordering (ablation E9).
+// * rank_mutual_best — decentralized mutual-best-by-rank locking in rounds,
+//   the natural dynamics for *acyclic* preference systems (Gai et al. [3]);
+//   can stall with unfilled quotas when preferences contain rank cycles.
+// * best_reply_dynamics — repeatedly satisfy a blocking pair, dropping worst
+//   partners when full (stable b-matching dynamics, Mathieu [13]); converges
+//   to a stable matching when it converges, but may cycle forever under
+//   cyclic preferences — the failure mode motivating the paper's
+//   optimization-based reformulation.
+#pragma once
+
+#include <cstdint>
+
+#include "matching/matching.hpp"
+#include "prefs/preference_profile.hpp"
+#include "prefs/weights.hpp"
+#include "util/rng.hpp"
+
+namespace overmatch::matching {
+
+/// Maximal b-matching built by scanning edges in a seeded random order.
+[[nodiscard]] Matching random_order_greedy(const prefs::EdgeWeights& w,
+                                           const Quotas& quotas, std::uint64_t seed);
+
+/// Round-synchronous mutual-best locking on raw preference ranks. Terminates
+/// when a round produces no lock (always, since locks are monotone).
+[[nodiscard]] Matching rank_mutual_best(const prefs::PreferenceProfile& p);
+
+struct BestReplyResult {
+  Matching matching;
+  std::size_t steps = 0;
+  bool converged = false;  ///< true iff no blocking pair remains
+};
+
+/// Random blocking-pair dynamics with per-side worst-partner eviction.
+/// Stops at convergence (stable matching) or after `max_steps`.
+[[nodiscard]] BestReplyResult best_reply_dynamics(const prefs::PreferenceProfile& p,
+                                                  std::uint64_t seed,
+                                                  std::size_t max_steps);
+
+}  // namespace overmatch::matching

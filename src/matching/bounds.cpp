@@ -1,0 +1,36 @@
+#include "matching/bounds.hpp"
+
+#include <algorithm>
+
+namespace overmatch::matching {
+
+double half_top_quota_bound(const prefs::EdgeWeights& w, const Quotas& quotas) {
+  const auto& g = w.graph();
+  OM_CHECK(quotas.size() == g.num_nodes());
+  double total = 0.0;
+  std::vector<double> incident;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    incident.clear();
+    for (const auto& a : g.neighbors(v)) incident.push_back(w.weight(a.edge));
+    const std::size_t k = std::min<std::size_t>(quotas[v], incident.size());
+    std::partial_sort(incident.begin(), incident.begin() + static_cast<std::ptrdiff_t>(k),
+                      incident.end(), std::greater<>());
+    for (std::size_t i = 0; i < k; ++i) total += incident[i];
+  }
+  return total / 2.0;
+}
+
+double top_edges_bound(const prefs::EdgeWeights& w, const Quotas& quotas) {
+  std::size_t budget = 0;
+  for (const auto q : quotas) budget += q;
+  budget /= 2;
+  std::vector<double> ws = w.values();
+  const std::size_t k = std::min(budget, ws.size());
+  std::partial_sort(ws.begin(), ws.begin() + static_cast<std::ptrdiff_t>(k), ws.end(),
+                    std::greater<>());
+  double total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) total += ws[i];
+  return total;
+}
+
+}  // namespace overmatch::matching

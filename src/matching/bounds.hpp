@@ -1,0 +1,23 @@
+// Upper-bound certificates for the optimal b-matching weight, usable at
+// scales where the exact solver is infeasible.
+#pragma once
+
+#include "matching/matching.hpp"
+#include "prefs/weights.hpp"
+
+namespace overmatch::matching {
+
+/// ½ Σ_v (sum of the b_v heaviest weights incident to v).
+///
+/// Valid for every b-matching M: each e ∈ M is counted at both endpoints,
+/// and M ∩ δ(v) has at most b_v edges, each no heavier than v's top-b_v
+/// incident weights. Hence w(M*) ≤ this bound, so
+/// w(M)/bound lower-bounds the true approximation ratio on large graphs.
+[[nodiscard]] double half_top_quota_bound(const prefs::EdgeWeights& w,
+                                          const Quotas& quotas);
+
+/// Sum of the ⌊Σ b_v / 2⌋ heaviest edge weights in the whole graph — a
+/// second, usually looser certificate; the caller takes the min.
+[[nodiscard]] double top_edges_bound(const prefs::EdgeWeights& w, const Quotas& quotas);
+
+}  // namespace overmatch::matching

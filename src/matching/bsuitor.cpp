@@ -1,0 +1,114 @@
+#include "matching/bsuitor.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace overmatch::matching {
+namespace {
+
+/// Suitor sets: per node, the ≤ b_v current suitor edges, with the weakest
+/// tracked for O(b) displacement checks (b is small in all our workloads).
+class SuitorState {
+ public:
+  SuitorState(const prefs::EdgeWeights& w, const Quotas& quotas)
+      : w_(&w), quotas_(&quotas), suitors_(w.graph().num_nodes()) {}
+
+  /// Does `e` beat v's weakest suitor (or does v have a free slot)?
+  [[nodiscard]] bool admits(NodeId v, EdgeId e) const {
+    const auto& s = suitors_[v];
+    if (s.size() < (*quotas_)[v]) return true;
+    return w_->heavier(e, weakest(v));
+  }
+
+  /// Admit edge e at node v; returns the displaced edge or kInvalidEdge.
+  EdgeId admit(NodeId v, EdgeId e) {
+    auto& s = suitors_[v];
+    if (s.size() < (*quotas_)[v]) {
+      s.push_back(e);
+      return graph::kInvalidEdge;
+    }
+    const EdgeId out = weakest(v);
+    *std::find(s.begin(), s.end(), out) = e;
+    return out;
+  }
+
+  [[nodiscard]] bool holds(NodeId v, EdgeId e) const {
+    const auto& s = suitors_[v];
+    return std::find(s.begin(), s.end(), e) != s.end();
+  }
+
+ private:
+  [[nodiscard]] EdgeId weakest(NodeId v) const {
+    const auto& s = suitors_[v];
+    OM_CHECK(!s.empty());
+    EdgeId out = s.front();
+    for (const EdgeId e : s) {
+      if (w_->heavier(out, e)) out = e;
+    }
+    return out;
+  }
+
+  const prefs::EdgeWeights* w_;
+  const Quotas* quotas_;
+  std::vector<std::vector<EdgeId>> suitors_;
+};
+
+}  // namespace
+
+Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
+                  BSuitorInfo* info) {
+  const auto& g = w.graph();
+  OM_CHECK(quotas.size() == g.num_nodes());
+  SuitorState suitors(w, quotas);
+
+  // Per-node candidate cursor over incident edges, heaviest first.
+  std::vector<std::vector<EdgeId>> sorted(g.num_nodes());
+  std::vector<std::size_t> cursor(g.num_nodes(), 0);
+  std::vector<std::uint32_t> bids_held(g.num_nodes(), 0);  // my accepted bids
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto& s = sorted[v];
+    s.reserve(g.degree(v));
+    for (const auto& a : g.neighbors(v)) s.push_back(a.edge);
+    std::sort(s.begin(), s.end(), [&w](EdgeId x, EdgeId y) { return w.heavier(x, y); });
+  }
+
+  BSuitorInfo stats;
+  std::deque<NodeId> work;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) work.push_back(v);
+  while (!work.empty()) {
+    const NodeId u = work.front();
+    work.pop_front();
+    // u keeps bidding until it holds quota-many accepted bids or runs out of
+    // candidates it could still win.
+    while (bids_held[u] < quotas[u] && cursor[u] < sorted[u].size()) {
+      const EdgeId e = sorted[u][cursor[u]];
+      const NodeId v = g.edge(e).other(u);
+      if (!suitors.admits(v, e)) {
+        ++cursor[u];
+        continue;  // v will never admit a lighter bid later — skip for good
+      }
+      ++stats.proposals;
+      const EdgeId displaced = suitors.admit(v, e);
+      ++bids_held[u];
+      ++cursor[u];
+      if (displaced != graph::kInvalidEdge) {
+        ++stats.displacements;
+        const NodeId loser = g.edge(displaced).other(v);
+        OM_CHECK(bids_held[loser] > 0);
+        --bids_held[loser];
+        work.push_back(loser);  // re-bid for a replacement slot
+      }
+    }
+  }
+
+  // Matched edges are mutual suitor relationships.
+  Matching m(g, quotas);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& [u, v] = g.edge(e);
+    if (suitors.holds(u, e) && suitors.holds(v, e)) m.add(e);
+  }
+  if (info != nullptr) *info = stats;
+  return m;
+}
+
+}  // namespace overmatch::matching

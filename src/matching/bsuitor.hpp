@@ -1,0 +1,27 @@
+// b-Suitor algorithm for ½-approximate maximum weight b-matching
+// (Khan, Pothen et al., adapted): every node repeatedly bids for its best
+// remaining neighbours; a bid displaces the target's weakest current suitor
+// if the new edge is heavier, and displaced nodes re-bid.
+//
+// Included as an independent modern comparator for LIC/LID: with unique
+// weights the suitor fixed point is exactly the locally-heaviest greedy
+// matching, so all engines in this library must agree — a strong cross-check
+// executed by tests and bench E5/E9.
+#pragma once
+
+#include "matching/matching.hpp"
+#include "prefs/weights.hpp"
+
+namespace overmatch::matching {
+
+struct BSuitorInfo {
+  std::size_t proposals = 0;    ///< total bids made (≈ message complexity)
+  std::size_t displacements = 0;///< bids that knocked out a weaker suitor
+};
+
+/// Sequential b-suitor. Returns the mutual-suitor matching (identical to
+/// lic_global for strict weight orders).
+[[nodiscard]] Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
+                                BSuitorInfo* info = nullptr);
+
+}  // namespace overmatch::matching

@@ -1,0 +1,189 @@
+#include "matching/cardinality.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace overmatch::matching {
+
+using graph::kInvalidNode;
+using graph::NodeId;
+
+namespace {
+
+/// Edmonds blossom algorithm state for one graph (adjacency copied into flat
+/// vectors once; the augmenting BFS with blossom contraction is the textbook
+/// O(V³) version).
+class Blossom {
+ public:
+  explicit Blossom(const graph::Graph& g)
+      : g_(&g),
+        n_(g.num_nodes()),
+        mate_(n_, kInvalidNode),
+        parent_(n_, kInvalidNode),
+        base_(n_, 0),
+        in_queue_(n_, 0),
+        in_blossom_(n_, 0) {}
+
+  std::vector<NodeId> solve() {
+    for (NodeId v = 0; v < n_; ++v) {
+      if (mate_[v] == kInvalidNode) {
+        if (const NodeId u = find_augmenting_path(v); u != kInvalidNode) {
+          augment(u);
+        }
+      }
+    }
+    return mate_;
+  }
+
+ private:
+  /// Lowest common ancestor of a and b in the alternating forest, walking
+  /// through blossom bases.
+  NodeId lca(NodeId a, NodeId b) {
+    std::vector<std::uint8_t> used(n_, 0);
+    for (NodeId x = a;;) {
+      x = base_[x];
+      used[x] = 1;
+      if (mate_[x] == kInvalidNode) break;
+      x = parent_[mate_[x]];
+    }
+    for (NodeId y = b;;) {
+      y = base_[y];
+      if (used[y]) return y;
+      y = parent_[mate_[y]];
+    }
+  }
+
+  /// Mark the path from v up to the blossom base `b`, setting parents toward
+  /// `child` so the contracted blossom stays traversable.
+  void mark_path(NodeId v, NodeId b, NodeId child) {
+    while (base_[v] != b) {
+      in_blossom_[base_[v]] = 1;
+      in_blossom_[base_[mate_[v]]] = 1;
+      parent_[v] = child;
+      child = mate_[v];
+      v = parent_[mate_[v]];
+    }
+  }
+
+  void contract(NodeId v, NodeId u, std::queue<NodeId>& q) {
+    const NodeId b = lca(v, u);
+    std::fill(in_blossom_.begin(), in_blossom_.end(), 0);
+    mark_path(v, b, u);
+    mark_path(u, b, v);
+    for (NodeId x = 0; x < n_; ++x) {
+      if (in_blossom_[base_[x]]) {
+        base_[x] = b;
+        if (!in_queue_[x]) {
+          in_queue_[x] = 1;
+          q.push(x);
+        }
+      }
+    }
+  }
+
+  /// BFS from an exposed root; returns the endpoint of an augmenting path,
+  /// or kInvalidNode.
+  NodeId find_augmenting_path(NodeId root) {
+    std::fill(parent_.begin(), parent_.end(), kInvalidNode);
+    std::fill(in_queue_.begin(), in_queue_.end(), 0);
+    for (NodeId v = 0; v < n_; ++v) base_[v] = v;
+
+    std::queue<NodeId> q;
+    q.push(root);
+    in_queue_[root] = 1;
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (const auto& a : g_->neighbors(v)) {
+        const NodeId u = a.neighbor;
+        if (base_[v] == base_[u] || mate_[v] == u) continue;
+        if (u == root || (mate_[u] != kInvalidNode &&
+                          parent_[mate_[u]] != kInvalidNode)) {
+          // Odd cycle: contract the blossom.
+          contract(v, u, q);
+        } else if (parent_[u] == kInvalidNode) {
+          parent_[u] = v;
+          if (mate_[u] == kInvalidNode) {
+            return u;  // augmenting path found
+          }
+          if (!in_queue_[mate_[u]]) {
+            in_queue_[mate_[u]] = 1;
+            q.push(mate_[u]);
+          }
+        }
+      }
+    }
+    return kInvalidNode;
+  }
+
+  void augment(NodeId u) {
+    while (u != kInvalidNode) {
+      const NodeId pv = parent_[u];
+      const NodeId ppv = mate_[pv];
+      mate_[u] = pv;
+      mate_[pv] = u;
+      u = ppv;
+    }
+  }
+
+  const graph::Graph* g_;
+  std::size_t n_;
+  std::vector<NodeId> mate_;
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> base_;
+  std::vector<std::uint8_t> in_queue_;
+  std::vector<std::uint8_t> in_blossom_;
+};
+
+}  // namespace
+
+std::vector<NodeId> blossom_max_matching(const graph::Graph& g) {
+  std::vector<NodeId> mate = Blossom(g).solve();
+  // Sanity: the mate relation must be symmetric.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (mate[v] != kInvalidNode) {
+      OM_CHECK(mate[mate[v]] == v);
+      OM_CHECK(g.has_edge(v, mate[v]));
+    }
+  }
+  return mate;
+}
+
+std::size_t matching_size(const std::vector<NodeId>& mate) {
+  std::size_t matched = 0;
+  for (const NodeId m : mate) {
+    if (m != kInvalidNode) ++matched;
+  }
+  return matched / 2;
+}
+
+std::size_t max_cardinality_bmatching(const graph::Graph& g, const Quotas& quotas) {
+  OM_CHECK(quotas.size() == g.num_nodes());
+  // Gadget graph: copies of each node followed by 2 gadget nodes per edge.
+  std::vector<NodeId> first_copy(g.num_nodes());
+  NodeId next = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    first_copy[v] = next;
+    next += quotas[v];
+  }
+  const NodeId gadget_base = next;
+  const std::size_t total =
+      static_cast<std::size_t>(next) + 2 * g.num_edges();
+
+  graph::GraphBuilder builder(total);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& [u, v] = g.edge(e);
+    const NodeId a_e = gadget_base + 2 * e;
+    const NodeId b_e = a_e + 1;
+    builder.add_edge(a_e, b_e);
+    for (std::uint32_t i = 0; i < quotas[u]; ++i) builder.add_edge(first_copy[u] + i, a_e);
+    for (std::uint32_t j = 0; j < quotas[v]; ++j) builder.add_edge(first_copy[v] + j, b_e);
+  }
+  const auto h = std::move(builder).build();
+  const std::size_t mm = matching_size(blossom_max_matching(h));
+  // |M_H| = m + k*  ⇒  k* = |M_H| − m.
+  OM_CHECK(mm >= g.num_edges());
+  return mm - g.num_edges();
+}
+
+}  // namespace overmatch::matching

@@ -1,0 +1,35 @@
+// Exact maximum-cardinality matching machinery.
+//
+// * blossom_max_matching — Edmonds' blossom algorithm (unweighted, general
+//   graphs, O(V³)): the classic substrate.
+// * max_cardinality_bmatching — exact maximum number of connections any
+//   b-matching can establish, via the Tutte–Gabow gadget reduction: each
+//   node v becomes b_v copies; each edge e=(u,v) becomes a 2-node gadget
+//   a_e—b_e with a_e adjacent to u's copies and b_e to v's copies. A maximum
+//   matching of the gadget graph has size m + k*, where k* is the optimum
+//   b-matching cardinality.
+//
+// Gives the library an *optimal utilization* baseline: how many of the
+// Σ b_v / 2 possible connections the greedy/LID matching actually realizes
+// versus the best possible (bench E14).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace overmatch::matching {
+
+/// Edmonds blossom maximum-cardinality matching. Returns mate[v] (partner or
+/// graph::kInvalidNode).
+[[nodiscard]] std::vector<graph::NodeId> blossom_max_matching(const graph::Graph& g);
+
+/// Number of matched pairs in a mate vector.
+[[nodiscard]] std::size_t matching_size(const std::vector<graph::NodeId>& mate);
+
+/// Exact maximum cardinality over all b-matchings of (g, quotas).
+[[nodiscard]] std::size_t max_cardinality_bmatching(const graph::Graph& g,
+                                                    const Quotas& quotas);
+
+}  // namespace overmatch::matching

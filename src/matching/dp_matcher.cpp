@@ -1,0 +1,50 @@
+#include "matching/dp_matcher.hpp"
+
+#include <bit>
+#include <vector>
+
+namespace overmatch::matching {
+
+Matching exact_mwm_dp(const prefs::EdgeWeights& w) {
+  const auto& g = w.graph();
+  const std::size_t n = g.num_nodes();
+  OM_CHECK_MSG(n <= 22, "exact_mwm_dp supports at most 22 nodes");
+  const std::size_t full = std::size_t{1} << n;
+
+  // dp[mask] = best weight when only the nodes in `mask` remain undecided.
+  // choice[mask] = partner matched with the lowest set bit (or n = skip).
+  std::vector<double> dp(full, 0.0);
+  std::vector<std::uint8_t> choice(full, 0);
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    const auto i = static_cast<NodeId>(std::countr_zero(mask));
+    const std::size_t without_i = mask & (mask - 1);
+    dp[mask] = dp[without_i];  // leave i unmatched
+    choice[mask] = static_cast<std::uint8_t>(n);
+    for (const auto& a : g.neighbors(i)) {
+      const NodeId j = a.neighbor;
+      if ((mask >> j & 1U) == 0) continue;
+      const double cand = w.weight(a.edge) + dp[mask & ~(std::size_t{1} << j) & (mask - 1)];
+      if (cand > dp[mask]) {
+        dp[mask] = cand;
+        choice[mask] = static_cast<std::uint8_t>(j);
+      }
+    }
+  }
+
+  Matching m(g, prefs::Quotas(n, 1));
+  std::size_t mask = full - 1;
+  while (mask != 0) {
+    const auto i = static_cast<NodeId>(std::countr_zero(mask));
+    const auto j = static_cast<NodeId>(choice[mask]);
+    if (j == n) {
+      mask &= mask - 1;
+      continue;
+    }
+    m.add(g.find_edge(i, j));
+    mask &= ~(std::size_t{1} << j);
+    mask &= mask - 1;
+  }
+  return m;
+}
+
+}  // namespace overmatch::matching

@@ -1,0 +1,16 @@
+// Exact maximum-weight one-to-one matching by bitmask dynamic programming.
+//
+// Independent cross-check for the branch & bound solver on the b ≡ 1 case:
+// a completely different algorithm (O(2ⁿ·n) subset DP) that must agree with
+// it to machine precision. Limited to n ≤ 22 nodes.
+#pragma once
+
+#include "matching/matching.hpp"
+#include "prefs/weights.hpp"
+
+namespace overmatch::matching {
+
+/// Exact maximum-weight matching with all quotas = 1. Requires n ≤ 22.
+[[nodiscard]] Matching exact_mwm_dp(const prefs::EdgeWeights& w);
+
+}  // namespace overmatch::matching

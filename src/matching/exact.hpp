@@ -1,0 +1,34 @@
+// Exact solvers (small instances) — the OPT baselines for Theorems 2 and 3.
+//
+// * exact_max_weight_bmatching: branch & bound over edges in descending
+//   weight order with two admissible bounds (global top-K prefix bound and a
+//   per-node capacity-truncated half-sum bound). Exact for experiment-scale
+//   graphs (≈ m ≤ 60 with pruning).
+// * exact_max_satisfaction: the *original* maximizing-satisfaction objective
+//   (eq. 1) is not edge-separable (the dynamic term depends on the final
+//   degree), so it gets its own DFS with an optimistic per-edge gain bound.
+//   Intended for tiny instances (m ≤ ~24).
+#pragma once
+
+#include <cstddef>
+
+#include "matching/matching.hpp"
+#include "prefs/preference_profile.hpp"
+#include "prefs/weights.hpp"
+
+namespace overmatch::matching {
+
+struct ExactInfo {
+  std::size_t nodes_explored = 0;
+};
+
+/// Maximum-weight b-matching by branch & bound. Exact.
+[[nodiscard]] Matching exact_max_weight_bmatching(const prefs::EdgeWeights& w,
+                                                  const Quotas& quotas,
+                                                  ExactInfo* info = nullptr);
+
+/// Maximum total satisfaction (eq. 1) b-matching by branch & bound. Exact.
+[[nodiscard]] Matching exact_max_satisfaction(const prefs::PreferenceProfile& p,
+                                              ExactInfo* info = nullptr);
+
+}  // namespace overmatch::matching

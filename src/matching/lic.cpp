@@ -1,0 +1,94 @@
+#include "matching/lic.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace overmatch::matching {
+
+Matching lic_global(const prefs::EdgeWeights& w, const Quotas& quotas) {
+  const auto& g = w.graph();
+  Matching m(g, quotas);
+  std::vector<EdgeId> order(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
+  std::sort(order.begin(), order.end(),
+            [&w](EdgeId a, EdgeId b) { return w.heavier(a, b); });
+  for (const EdgeId e : order) {
+    if (m.can_add(e)) m.add(e);
+  }
+  return m;
+}
+
+namespace {
+
+/// Incident-edge index: for every node, its edges sorted heaviest-first with
+/// a head cursor that skips edges that became unavailable.
+class IncidenceIndex {
+ public:
+  IncidenceIndex(const prefs::EdgeWeights& w, const Matching& m)
+      : w_(&w), m_(&m), sorted_(w.graph().num_nodes()), head_(w.graph().num_nodes(), 0) {
+    const auto& g = w.graph();
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      auto& s = sorted_[v];
+      s.reserve(g.degree(v));
+      for (const auto& a : g.neighbors(v)) s.push_back(a.edge);
+      std::sort(s.begin(), s.end(),
+                [&w](EdgeId x, EdgeId y) { return w.heavier(x, y); });
+    }
+  }
+
+  /// Heaviest edge at v that is still addable, or kInvalidEdge.
+  [[nodiscard]] EdgeId top(graph::NodeId v) {
+    auto& h = head_[v];
+    const auto& s = sorted_[v];
+    while (h < s.size() && !m_->can_add(s[h])) ++h;
+    return h < s.size() ? s[h] : graph::kInvalidEdge;
+  }
+
+ private:
+  const prefs::EdgeWeights* w_;
+  const Matching* m_;
+  std::vector<std::vector<EdgeId>> sorted_;
+  std::vector<std::size_t> head_;
+};
+
+}  // namespace
+
+Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
+                   std::uint64_t scan_seed) {
+  const auto& g = w.graph();
+  Matching m(g, quotas);
+  IncidenceIndex index(w, m);
+
+  // Candidate pool seeded with every edge in a shuffled order; an edge is
+  // selected when it is the top available edge of both endpoints. Selections
+  // can promote other edges to local dominance, so endpoints' new tops are
+  // re-enqueued after every change.
+  std::vector<EdgeId> pool(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) pool[e] = e;
+  util::Rng rng(scan_seed);
+  rng.shuffle(pool);
+  std::deque<EdgeId> candidates(pool.begin(), pool.end());
+
+  while (!candidates.empty()) {
+    const EdgeId e = candidates.front();
+    candidates.pop_front();
+    if (!m.can_add(e)) continue;
+    const auto& [u, v] = g.edge(e);
+    if (index.top(u) != e || index.top(v) != e) continue;  // not locally heaviest now
+    m.add(e);
+    // Availability changed around u and v: their (and their neighbours')
+    // current tops are fresh candidates.
+    for (const graph::NodeId x : {u, v}) {
+      const EdgeId t = index.top(x);
+      if (t != graph::kInvalidEdge) candidates.push_back(t);
+      for (const auto& a : g.neighbors(x)) {
+        const EdgeId tn = index.top(a.neighbor);
+        if (tn != graph::kInvalidEdge) candidates.push_back(tn);
+      }
+    }
+  }
+  OM_CHECK_MSG(m.is_maximal(), "lic_local must produce a maximal b-matching");
+  return m;
+}
+
+}  // namespace overmatch::matching

@@ -1,0 +1,36 @@
+// LIC — Local Information-based Centralized greedy for many-to-many maximum
+// weighted matchings (paper Algorithm 2, Theorem 2: ½-approximation).
+//
+// Pseudocode erratum handled here: Algorithm 2 line 2 initializes
+// counter(v) := d_v; the proofs require the *quota*, so we use
+// counter(v) := min(b_v, d_v) (see DESIGN.md).
+//
+// Two interchangeable engines are provided:
+//  * lic_global  — sort all edges by the strict heavier-than order and sweep
+//                  (the globally heaviest available edge is trivially locally
+//                  heaviest).
+//  * lic_local   — repeatedly select *any* locally heaviest edge, scanning in
+//                  an arbitrary (seeded) order.
+// With unique weights the greedy outcome is order-independent, so both
+// engines — and the distributed LID — produce the *same* matching; tests and
+// bench E5 verify this.
+#pragma once
+
+#include <cstdint>
+
+#include "matching/matching.hpp"
+#include "prefs/weights.hpp"
+#include "util/rng.hpp"
+
+namespace overmatch::matching {
+
+/// Global-sort engine. O(m log m).
+[[nodiscard]] Matching lic_global(const prefs::EdgeWeights& w, const Quotas& quotas);
+
+/// Local-dominance engine: processes candidate edges in a seeded arbitrary
+/// order, selecting an edge whenever it is the heaviest *available* edge at
+/// both endpoints (= locally heaviest, eq. 13's recursive definition).
+[[nodiscard]] Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
+                                 std::uint64_t scan_seed);
+
+}  // namespace overmatch::matching

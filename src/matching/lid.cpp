@@ -1,0 +1,199 @@
+#include "matching/lid.hpp"
+
+#include <algorithm>
+
+#include "sim/reliable.hpp"
+#include "sim/threaded_runtime.hpp"
+
+namespace overmatch::matching {
+
+LidNode::LidNode(NodeId self, std::uint32_t quota, const prefs::EdgeWeights& w)
+    : self_(self), quota_(quota) {
+  const auto& g = w.graph();
+  const auto adj = g.neighbors(self);
+  nbr_.reserve(adj.size());
+  ids_sorted_.reserve(adj.size());
+  std::vector<graph::EdgeId> edge_of(adj.size());
+  for (std::size_t k = 0; k < adj.size(); ++k) {
+    NeighborState st;
+    st.node = adj[k].neighbor;
+    nbr_.push_back(st);
+    ids_sorted_.push_back(adj[k].neighbor);  // adjacency is id-sorted already
+    edge_of[k] = adj[k].edge;
+  }
+  by_weight_.resize(nbr_.size());
+  for (std::size_t k = 0; k < nbr_.size(); ++k) by_weight_[k] = k;
+  std::sort(by_weight_.begin(), by_weight_.end(),
+            [&](std::size_t a, std::size_t b) { return w.heavier(edge_of[a], edge_of[b]); });
+}
+
+std::size_t LidNode::local_index(NodeId neighbor) const {
+  const auto it = std::lower_bound(ids_sorted_.begin(), ids_sorted_.end(), neighbor);
+  OM_CHECK_MSG(it != ids_sorted_.end() && *it == neighbor,
+               "LID: message from a non-neighbour");
+  return static_cast<std::size_t>(it - ids_sorted_.begin());
+}
+
+void LidNode::top_up_proposals(sim::Outbox& out) {
+  // Keep |P| = locked + outstanding topped up to the quota while untried
+  // candidates remain (Algorithm 1 lines 2–3 and 9–11).
+  while (!finished_ && locked_count_ + outstanding_count_ < quota_ &&
+         next_candidate_ < by_weight_.size()) {
+    auto& st = nbr_[by_weight_[next_candidate_++]];
+    if (!st.in_u) continue;  // already answered us with REJ meanwhile
+    st.proposed = true;
+    st.outstanding = true;
+    ++outstanding_count_;
+    out.send(st.node, sim::Message{kMsgProp, 0});
+  }
+}
+
+void LidNode::try_lock_and_finish(sim::Outbox& out) {
+  // Lock every mutual proposal (line 12–14): v ∈ (P\K) ∩ A.
+  for (auto& st : nbr_) {
+    if (st.outstanding && st.approached && !st.locked) {
+      st.locked = true;
+      st.outstanding = false;
+      --outstanding_count_;
+      ++locked_count_;
+      st.in_u = false;
+      st.approached = false;
+      locked_.push_back(st.node);
+      OM_CHECK(locked_count_ <= quota_);
+    }
+  }
+  if (finished_) return;
+  // Line 15–16: quota satisfied and nothing outstanding → reject everyone
+  // still unanswered. (With no candidates left and nothing outstanding, U is
+  // already empty and the node is done.)
+  if (outstanding_count_ == 0 &&
+      (locked_count_ == quota_ || next_candidate_ >= by_weight_.size())) {
+    for (auto& st : nbr_) {
+      if (st.in_u) {
+        st.in_u = false;
+        out.send(st.node, sim::Message{kMsgRej, 0});
+      }
+    }
+    finished_ = true;
+  }
+}
+
+void LidNode::on_start(sim::Outbox& out) {
+  top_up_proposals(out);
+  try_lock_and_finish(out);  // degree-0 / quota-0 corner: finish immediately
+}
+
+void LidNode::on_message(NodeId from, const sim::Message& msg, sim::Outbox& out) {
+  const std::size_t k = local_index(from);
+  auto& st = nbr_[k];
+  if (msg.kind == kMsgProp) {
+    st.approached = true;
+    if (finished_ || !st.in_u) {
+      // We already answered this neighbour (broadcast REJ at finish crossed
+      // their PROP on the wire). The earlier REJ stands; nothing to do.
+      return;
+    }
+    try_lock_and_finish(out);
+    return;
+  }
+  OM_CHECK(msg.kind == kMsgRej);
+  OM_CHECK_MSG(!st.locked, "LID: REJ from a locked partner");
+  st.in_u = false;
+  if (st.outstanding) {
+    st.outstanding = false;
+    --outstanding_count_;
+  }
+  if (!finished_) {
+    top_up_proposals(out);
+    try_lock_and_finish(out);
+  }
+}
+
+namespace {
+
+LidResult extract_result(const prefs::EdgeWeights& w, const Quotas& quotas,
+                         const std::vector<std::unique_ptr<LidNode>>& nodes,
+                         sim::MessageStats stats) {
+  const auto& g = w.graph();
+  Matching m(g, quotas);
+  for (const auto& node : nodes) {
+    OM_CHECK_MSG(node->terminated(), "LID: node did not terminate");
+    for (const NodeId v : node->locked_partners()) {
+      // Add each locked edge once; verify the lock is symmetric.
+      const auto& partner = nodes[v];
+      const auto& pl = partner->locked_partners();
+      OM_CHECK_MSG(std::find(pl.begin(), pl.end(), node->id()) != pl.end(),
+                   "LID: asymmetric lock");
+      if (node->id() < v) {
+        const graph::EdgeId e = g.find_edge(node->id(), v);
+        OM_CHECK(e != graph::kInvalidEdge);
+        m.add(e);
+      }
+    }
+  }
+  return LidResult{std::move(m), stats};
+}
+
+std::vector<std::unique_ptr<LidNode>> make_nodes(const prefs::EdgeWeights& w,
+                                                 const Quotas& quotas) {
+  const auto& g = w.graph();
+  OM_CHECK(quotas.size() == g.num_nodes());
+  std::vector<std::unique_ptr<LidNode>> nodes;
+  nodes.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    nodes.push_back(std::make_unique<LidNode>(v, quotas[v], w));
+  }
+  return nodes;
+}
+
+}  // namespace
+
+LidResult run_lid(const prefs::EdgeWeights& w, const Quotas& quotas,
+                  sim::Schedule schedule, std::uint64_t seed) {
+  auto nodes = make_nodes(w, quotas);
+  std::vector<sim::Agent*> agents;
+  agents.reserve(nodes.size());
+  for (const auto& n : nodes) agents.push_back(n.get());
+  sim::EventSimulator es(std::move(agents), schedule, seed);
+  auto stats = es.run();
+  return extract_result(w, quotas, nodes, std::move(stats));
+}
+
+LossyLidResult run_lid_lossy(const prefs::EdgeWeights& w, const Quotas& quotas,
+                             double loss, std::uint64_t seed) {
+  auto nodes = make_nodes(w, quotas);
+  // Retransmit interval > max round trip (link delays are in [0.5, 1.5]).
+  constexpr double kRetransmitInterval = 4.0;
+  std::vector<std::unique_ptr<sim::ReliableAgent>> wrappers;
+  std::vector<sim::Agent*> agents;
+  wrappers.reserve(nodes.size());
+  agents.reserve(nodes.size());
+  for (NodeId v = 0; v < nodes.size(); ++v) {
+    wrappers.push_back(std::make_unique<sim::ReliableAgent>(v, nodes[v].get(),
+                                                            kRetransmitInterval));
+    agents.push_back(wrappers.back().get());
+  }
+  sim::EventSimulator es(std::move(agents), sim::Schedule::kRandomDelay, seed);
+  es.set_loss_probability(loss);
+  auto stats = es.run();
+  for (const auto& wrapper : wrappers) {
+    OM_CHECK_MSG(wrapper->terminated(), "lossy LID: unacked messages remain");
+  }
+  auto result = extract_result(w, quotas, nodes, std::move(stats));
+  LossyLidResult out{std::move(result.matching), result.stats, 0};
+  for (const auto& wrapper : wrappers) out.retransmissions += wrapper->retransmissions();
+  return out;
+}
+
+LidResult run_lid_threaded(const prefs::EdgeWeights& w, const Quotas& quotas,
+                           std::size_t threads) {
+  auto nodes = make_nodes(w, quotas);
+  std::vector<sim::Agent*> agents;
+  agents.reserve(nodes.size());
+  for (const auto& n : nodes) agents.push_back(n.get());
+  sim::ThreadedRuntime rt(std::move(agents), threads);
+  auto stats = rt.run();
+  return extract_result(w, quotas, nodes, std::move(stats));
+}
+
+}  // namespace overmatch::matching

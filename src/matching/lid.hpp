@@ -1,0 +1,109 @@
+// LID — Local Information-based Distributed algorithm for many-to-many
+// maximum weighted matchings (paper Algorithm 1).
+//
+// Protocol, per node i with quota b_i:
+//  * i keeps at most b_i outstanding PROP messages, sent to its neighbours in
+//    decreasing edge-weight order (weights are the symmetric eq.-9 values, so
+//    both endpoints agree on every comparison).
+//  * An edge locks when both endpoints have proposed to each other
+//    (PROP crossing or PROP answering PROP).
+//  * A REJ is sent when a node has filled its quota (to every neighbour it
+//    hasn't answered); receiving REJ removes the sender and triggers a
+//    proposal to the next-best untried neighbour.
+//  * i terminates when U_i = ∅ (everyone answered) or its quota is filled.
+//
+// The automaton is runtime-agnostic: the same LidNode runs under the
+// discrete-event simulator (any schedule) and the threaded actor runtime, and
+// by Lemmas 3–6 always produces the matching LIC produces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "matching/matching.hpp"
+#include "prefs/weights.hpp"
+#include "sim/agent.hpp"
+#include "sim/event_sim.hpp"
+
+namespace overmatch::matching {
+
+/// Message kinds used by the protocol.
+inline constexpr std::uint32_t kMsgProp = 1;
+inline constexpr std::uint32_t kMsgRej = 2;
+
+/// One peer's LID automaton.
+class LidNode final : public sim::Agent {
+ public:
+  /// `self` is this node's id; `w` provides the (shared, symmetric) edge
+  /// weights used only for ranking this node's own incident edges — i.e.
+  /// exactly the information the paper's initial ΔS̄ exchange provides.
+  LidNode(NodeId self, std::uint32_t quota, const prefs::EdgeWeights& w);
+
+  void on_start(sim::Outbox& out) override;
+  void on_message(NodeId from, const sim::Message& msg, sim::Outbox& out) override;
+  [[nodiscard]] bool terminated() const override { return finished_; }
+
+  /// Locked partners (valid once terminated; stable order of locking).
+  [[nodiscard]] const std::vector<NodeId>& locked_partners() const noexcept {
+    return locked_;
+  }
+  [[nodiscard]] NodeId id() const noexcept { return self_; }
+
+ private:
+  // Per-neighbour protocol state (paper's U/P/A/K sets, flattened).
+  struct NeighborState {
+    NodeId node = 0;
+    bool in_u = true;       ///< still "available": no answer exchanged
+    bool proposed = false;  ///< we sent PROP (set once, never cleared)
+    bool outstanding = false;  ///< proposed and not yet answered (P\K membership)
+    bool approached = false;   ///< they sent us PROP (set A)
+    bool locked = false;       ///< connection established (set K)
+  };
+
+  [[nodiscard]] std::size_t local_index(NodeId neighbor) const;
+  void top_up_proposals(sim::Outbox& out);
+  void try_lock_and_finish(sim::Outbox& out);
+
+  NodeId self_;
+  std::uint32_t quota_;
+  std::vector<NeighborState> nbr_;       // indexed by local index
+  std::vector<NodeId> ids_sorted_;       // neighbour ids, ascending (for lookup)
+  std::vector<std::size_t> by_weight_;   // local indices, heaviest edge first
+  std::size_t next_candidate_ = 0;       // cursor into by_weight_
+  std::uint32_t outstanding_count_ = 0;  // |P \ K|
+  std::uint32_t locked_count_ = 0;       // |K|
+  std::vector<NodeId> locked_;
+  bool finished_ = false;
+};
+
+/// Result of a full distributed run.
+struct LidResult {
+  Matching matching;
+  sim::MessageStats stats;
+};
+
+/// Runs LID under the discrete-event simulator with the given schedule/seed
+/// and extracts the (symmetric) locked matching.
+[[nodiscard]] LidResult run_lid(const prefs::EdgeWeights& w, const Quotas& quotas,
+                                sim::Schedule schedule, std::uint64_t seed);
+
+/// Runs LID on the threaded actor runtime with `threads` workers.
+[[nodiscard]] LidResult run_lid_threaded(const prefs::EdgeWeights& w,
+                                         const Quotas& quotas, std::size_t threads);
+
+struct LossyLidResult {
+  Matching matching;
+  sim::MessageStats stats;        ///< includes ACKs and retransmissions
+  std::size_t retransmissions = 0;
+};
+
+/// Runs LID over a lossy network (each message dropped independently with
+/// probability `loss`), composing every node with the reliable-delivery
+/// adapter (sim/reliable.hpp). Extension beyond the paper's reliable-channel
+/// assumption: the matching is still exactly the LIC matching.
+[[nodiscard]] LossyLidResult run_lid_lossy(const prefs::EdgeWeights& w,
+                                           const Quotas& quotas, double loss,
+                                           std::uint64_t seed);
+
+}  // namespace overmatch::matching

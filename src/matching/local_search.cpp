@@ -1,0 +1,80 @@
+#include "matching/local_search.hpp"
+
+#include "matching/metrics.hpp"
+#include "prefs/satisfaction.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+/// Satisfaction contribution of one node under the current matching.
+double node_sat(const prefs::PreferenceProfile& p, const Matching& m, NodeId v) {
+  return prefs::satisfaction(p, v, m.connections(v));
+}
+
+}  // namespace
+
+LocalSearchInfo improve_satisfaction(const prefs::PreferenceProfile& p, Matching& m) {
+  const auto& g = p.graph();
+  LocalSearchInfo info;
+  info.satisfaction_before = total_satisfaction(p, m);
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    // Adds: any addable edge strictly helps (eq. 4 increments are positive).
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (m.can_add(e)) {
+        m.add(e);
+        ++info.adds;
+        improved = true;
+      }
+    }
+    // Swaps: for every unselected edge f = (u, v), try evicting one selected
+    // edge at a saturated endpoint; keep the swap iff the exact two-to-four
+    // node satisfaction delta is positive.
+    for (EdgeId f = 0; f < g.num_edges(); ++f) {
+      if (m.contains(f)) continue;
+      const auto& [u, v] = g.edge(f);
+      // Collect eviction candidates: one incident selected edge per saturated
+      // endpoint (evicting from an unsaturated endpoint is never needed).
+      for (const NodeId x : {u, v}) {
+        if (m.residual(x) > 0) continue;
+        // Try each selected edge at x as the eviction victim.
+        const std::vector<NodeId> partners(m.connections(x).begin(),
+                                           m.connections(x).end());
+        bool swapped = false;
+        for (const NodeId y : partners) {
+          const EdgeId e = g.find_edge(x, y);
+          if (e == f) continue;
+          // Evicting e frees capacity at x only, so f's other endpoint must
+          // already have a spare slot (y ≠ other because e ≠ f).
+          const NodeId other = g.edge(f).other(x);
+          if (m.residual(other) == 0) continue;
+          const double before = node_sat(p, m, x) + node_sat(p, m, y) +
+                                node_sat(p, m, other);
+          m.remove(e);
+          if (!m.can_add(f)) {  // some other constraint still blocks f
+            m.add(e);
+            continue;
+          }
+          m.add(f);
+          const double after = node_sat(p, m, x) + node_sat(p, m, y) +
+                               node_sat(p, m, other);
+          if (after > before + 1e-12) {
+            ++info.swaps;
+            improved = true;
+            swapped = true;
+            break;
+          }
+          m.remove(f);
+          m.add(e);
+        }
+        if (swapped) break;
+      }
+    }
+  }
+  info.satisfaction_after = total_satisfaction(p, m);
+  return info;
+}
+
+}  // namespace overmatch::matching

@@ -1,0 +1,31 @@
+// Local-search post-processing on the true satisfaction objective (eq. 1).
+//
+// LID optimizes the *modified* objective (edge weights); the dropped dynamic
+// term leaves satisfaction on the table. This pass hill-climbs the original
+// objective with two move types until no move improves:
+//   * add  — select an addable edge (always improves: ΔS > 0);
+//   * swap — replace a selected edge e by an unselected edge f that shares an
+//            endpoint and is blocked only by e's capacity use.
+// A centralized refinement (each move needs the exact satisfaction delta of
+// two nodes), included as the E15 ablation: how much satisfaction does the
+// paper's modified-objective shortcut actually give up, and how much of it
+// can a cheap post-pass recover?
+#pragma once
+
+#include "matching/matching.hpp"
+#include "prefs/preference_profile.hpp"
+
+namespace overmatch::matching {
+
+struct LocalSearchInfo {
+  std::size_t adds = 0;
+  std::size_t swaps = 0;
+  double satisfaction_before = 0.0;
+  double satisfaction_after = 0.0;
+};
+
+/// Improves `m` in place; returns move statistics. Terminates: total
+/// satisfaction strictly increases per move and is bounded by n.
+LocalSearchInfo improve_satisfaction(const prefs::PreferenceProfile& p, Matching& m);
+
+}  // namespace overmatch::matching

@@ -1,0 +1,68 @@
+#include "matching/matching.hpp"
+
+#include <algorithm>
+
+namespace overmatch::matching {
+
+Matching::Matching(const Graph& g, Quotas quotas)
+    : graph_(&g),
+      quotas_(std::move(quotas)),
+      selected_(g.num_edges(), 0),
+      load_(g.num_nodes(), 0),
+      conns_(g.num_nodes()) {
+  OM_CHECK(quotas_.size() == g.num_nodes());
+}
+
+bool Matching::can_add(EdgeId e) const {
+  OM_CHECK(e < selected_.size());
+  if (selected_[e] != 0) return false;
+  const auto& [u, v] = graph_->edge(e);
+  return load_[u] < quotas_[u] && load_[v] < quotas_[v];
+}
+
+void Matching::add(EdgeId e) {
+  OM_CHECK_MSG(can_add(e), "Matching::add violates quota or duplicates an edge");
+  const auto& [u, v] = graph_->edge(e);
+  selected_[e] = 1;
+  ++load_[u];
+  ++load_[v];
+  conns_[u].push_back(v);
+  conns_[v].push_back(u);
+  edges_.push_back(e);
+}
+
+void Matching::remove(EdgeId e) {
+  OM_CHECK(e < selected_.size());
+  OM_CHECK_MSG(selected_[e] != 0, "Matching::remove of unselected edge");
+  const auto& [u, v] = graph_->edge(e);
+  selected_[e] = 0;
+  --load_[u];
+  --load_[v];
+  std::erase(conns_[u], v);
+  std::erase(conns_[v], u);
+  std::erase(edges_, e);
+}
+
+double Matching::total_weight(const prefs::EdgeWeights& w) const {
+  return w.total(edges_);
+}
+
+bool Matching::is_maximal() const {
+  for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+    if (can_add(e)) return false;
+  }
+  return true;
+}
+
+bool Matching::same_edges(const Matching& other) const {
+  if (graph_ != other.graph_ && graph_->num_edges() != other.graph_->num_edges()) {
+    return false;
+  }
+  if (edges_.size() != other.edges_.size()) return false;
+  for (EdgeId e = 0; e < selected_.size(); ++e) {
+    if (selected_[e] != other.selected_[e]) return false;
+  }
+  return true;
+}
+
+}  // namespace overmatch::matching

@@ -1,0 +1,84 @@
+// Many-to-many matching (b-matching) container.
+//
+// A b-matching is an edge subset where every node v is incident to at most
+// quota(v) selected edges (the paper's connection quotas). This container
+// enforces the capacity invariant on insertion and offers the per-node
+// connection lists C_i that satisfaction is computed from.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "prefs/preference_profile.hpp"
+#include "prefs/weights.hpp"
+
+namespace overmatch::matching {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+using prefs::Quotas;
+
+class Matching {
+ public:
+  /// Empty matching on g with the given quotas.
+  Matching(const Graph& g, Quotas quotas);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] std::uint32_t quota(NodeId v) const {
+    OM_CHECK(v < quotas_.size());
+    return quotas_[v];
+  }
+
+  /// Selected edges, in insertion order.
+  [[nodiscard]] const std::vector<EdgeId>& edges() const noexcept { return edges_; }
+  [[nodiscard]] std::size_t size() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] bool contains(EdgeId e) const {
+    OM_CHECK(e < selected_.size());
+    return selected_[e] != 0;
+  }
+
+  /// Number of selected edges incident to v (c_v).
+  [[nodiscard]] std::uint32_t load(NodeId v) const {
+    OM_CHECK(v < load_.size());
+    return load_[v];
+  }
+  /// quota(v) − load(v).
+  [[nodiscard]] std::uint32_t residual(NodeId v) const { return quota(v) - load(v); }
+
+  /// True iff e is not selected and both endpoints have residual capacity.
+  [[nodiscard]] bool can_add(EdgeId e) const;
+
+  /// Select e; aborts if can_add(e) is false.
+  void add(EdgeId e);
+
+  /// Remove a selected edge (used by dynamics baselines and churn).
+  void remove(EdgeId e);
+
+  /// Matched partners of v (unordered; ranks define the ordered list C_v).
+  [[nodiscard]] std::span<const NodeId> connections(NodeId v) const {
+    OM_CHECK(v < conns_.size());
+    return conns_[v];
+  }
+
+  /// Σ weight over selected edges.
+  [[nodiscard]] double total_weight(const prefs::EdgeWeights& w) const;
+
+  /// True iff no further edge can be added (maximal b-matching).
+  [[nodiscard]] bool is_maximal() const;
+
+  /// Edge-set equality (order-insensitive).
+  [[nodiscard]] bool same_edges(const Matching& other) const;
+
+ private:
+  const Graph* graph_;
+  Quotas quotas_;
+  std::vector<EdgeId> edges_;
+  std::vector<std::uint8_t> selected_;
+  std::vector<std::uint32_t> load_;
+  std::vector<std::vector<NodeId>> conns_;
+};
+
+}  // namespace overmatch::matching

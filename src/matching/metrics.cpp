@@ -1,0 +1,57 @@
+#include "matching/metrics.hpp"
+
+namespace overmatch::matching {
+
+std::vector<double> node_satisfactions(const prefs::PreferenceProfile& p,
+                                       const Matching& m) {
+  const auto& g = p.graph();
+  std::vector<double> out(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out[v] = prefs::satisfaction(p, v, m.connections(v));
+  }
+  return out;
+}
+
+double total_satisfaction(const prefs::PreferenceProfile& p, const Matching& m) {
+  double s = 0.0;
+  for (const double x : node_satisfactions(p, m)) s += x;
+  return s;
+}
+
+double total_satisfaction_modified(const prefs::PreferenceProfile& p,
+                                   const Matching& m) {
+  const auto& g = p.graph();
+  double s = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    s += prefs::satisfaction_modified(p, v, m.connections(v));
+  }
+  return s;
+}
+
+namespace {
+
+/// True if node i would accept a new partner j: spare quota, or j beats
+/// i's worst current partner.
+bool would_accept(const prefs::PreferenceProfile& p, const Matching& m, NodeId i,
+                  NodeId j) {
+  if (m.residual(i) > 0) return true;
+  for (const NodeId cur : m.connections(i)) {
+    if (p.prefers(i, j, cur)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t count_blocking_pairs(const prefs::PreferenceProfile& p, const Matching& m) {
+  const auto& g = p.graph();
+  std::size_t count = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (m.contains(e)) continue;
+    const auto& [u, v] = g.edge(e);
+    if (would_accept(p, m, u, v) && would_accept(p, m, v, u)) ++count;
+  }
+  return count;
+}
+
+}  // namespace overmatch::matching

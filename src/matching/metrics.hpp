@@ -1,0 +1,31 @@
+// Satisfaction and stability metrics of a complete matching.
+#pragma once
+
+#include <vector>
+
+#include "matching/matching.hpp"
+#include "prefs/satisfaction.hpp"
+
+namespace overmatch::matching {
+
+/// Per-node satisfaction S_i (eq. 1) under the profile.
+[[nodiscard]] std::vector<double> node_satisfactions(const prefs::PreferenceProfile& p,
+                                                     const Matching& m);
+
+/// Σ_i S_i — the objective of the maximizing-satisfaction b-matching problem.
+[[nodiscard]] double total_satisfaction(const prefs::PreferenceProfile& p,
+                                        const Matching& m);
+
+/// Σ_i S̄_i (eq. 6) — the modified problem's objective. By Lemma 2 a matching
+/// maximizing edge weight also maximizes this.
+[[nodiscard]] double total_satisfaction_modified(const prefs::PreferenceProfile& p,
+                                                 const Matching& m);
+
+/// A blocking pair of a b-matching with preferences: an unmatched edge (i,j)
+/// where both endpoints would switch to each other — i.e. each side either
+/// has spare quota or prefers the other over its worst current partner.
+/// A matching with zero blocking pairs is *stable* (stable fixtures sense).
+[[nodiscard]] std::size_t count_blocking_pairs(const prefs::PreferenceProfile& p,
+                                               const Matching& m);
+
+}  // namespace overmatch::matching

@@ -1,0 +1,75 @@
+#include "matching/parallel_local.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace overmatch::matching {
+
+Matching parallel_local_dominant(const prefs::EdgeWeights& w, const Quotas& quotas,
+                                 std::size_t threads, ParallelRunInfo* info_out) {
+  const auto& g = w.graph();
+  Matching m(g, quotas);
+
+  // Per-node incident edges, heaviest first, with a head cursor.
+  std::vector<std::vector<EdgeId>> sorted(g.num_nodes());
+  std::vector<std::size_t> head(g.num_nodes(), 0);
+  {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(g.num_nodes(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t v = begin; v < end; ++v) {
+        auto& s = sorted[v];
+        s.reserve(g.degree(static_cast<NodeId>(v)));
+        for (const auto& a : g.neighbors(static_cast<NodeId>(v))) s.push_back(a.edge);
+        std::sort(s.begin(), s.end(),
+                  [&w](EdgeId x, EdgeId y) { return w.heavier(x, y); });
+      }
+    });
+
+    std::vector<EdgeId> top(g.num_nodes(), graph::kInvalidEdge);
+    std::mutex pick_mu;
+    std::vector<EdgeId> picked;
+    std::size_t rounds = 0;
+    for (;;) {
+      ++rounds;
+      // Phase 1: pointer computation. Each node is written by exactly one
+      // task; `m` is only read.
+      pool.parallel_for(g.num_nodes(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t v = begin; v < end; ++v) {
+          auto& h = head[v];
+          const auto& s = sorted[v];
+          while (h < s.size() && !m.can_add(s[h])) ++h;
+          top[v] = h < s.size() ? s[h] : graph::kInvalidEdge;
+        }
+      });
+      // Phase 2: mirrored pointers are locally heaviest edges. Reads only;
+      // picks are collected under a lock (short critical sections).
+      picked.clear();
+      pool.parallel_for(g.num_nodes(), [&](std::size_t begin, std::size_t end) {
+        std::vector<EdgeId> local;
+        for (std::size_t v = begin; v < end; ++v) {
+          const EdgeId e = top[v];
+          if (e == graph::kInvalidEdge) continue;
+          const auto& edge = g.edge(e);
+          // Claim from the smaller endpoint so each mirrored edge is picked once.
+          if (edge.u != static_cast<NodeId>(v)) continue;
+          if (top[edge.v] == e) local.push_back(e);
+        }
+        if (!local.empty()) {
+          std::lock_guard lk(pick_mu);
+          picked.insert(picked.end(), local.begin(), local.end());
+        }
+      });
+      if (picked.empty()) break;
+      // Sequential commit: mirrored edges are endpoint-disjoint, so each add
+      // is independently valid.
+      for (const EdgeId e : picked) m.add(e);
+    }
+    if (info_out != nullptr) info_out->rounds = rounds;
+  }
+  OM_CHECK_MSG(m.is_maximal(), "parallel matcher must produce a maximal b-matching");
+  return m;
+}
+
+}  // namespace overmatch::matching

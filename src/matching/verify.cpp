@@ -1,0 +1,59 @@
+#include "matching/verify.hpp"
+
+#include <algorithm>
+
+namespace overmatch::matching {
+
+bool is_valid_bmatching(const Matching& m) {
+  const auto& g = m.graph();
+  std::vector<std::uint32_t> load(g.num_nodes(), 0);
+  std::vector<std::uint8_t> seen(g.num_edges(), 0);
+  for (const EdgeId e : m.edges()) {
+    if (e >= g.num_edges()) return false;
+    if (seen[e] != 0) return false;  // duplicate
+    seen[e] = 1;
+    const auto& [u, v] = g.edge(e);
+    ++load[u];
+    ++load[v];
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (load[v] > m.quota(v)) return false;
+    if (load[v] != m.load(v)) return false;
+    // Connection lists must mirror the selected edges.
+    auto conns = m.connections(v);
+    if (conns.size() != load[v]) return false;
+    for (const NodeId u : conns) {
+      const EdgeId e = g.find_edge(v, u);
+      if (e == graph::kInvalidEdge || !m.contains(e)) return false;
+    }
+  }
+  return true;
+}
+
+bool has_half_approx_certificate(const Matching& m, const prefs::EdgeWeights& w) {
+  const auto& g = m.graph();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (m.contains(e)) continue;
+    const auto& [u, v] = g.edge(e);
+    bool covered = false;
+    for (const NodeId x : {u, v}) {
+      if (m.residual(x) != 0) continue;
+      bool all_heavier = true;
+      for (const NodeId partner : m.connections(x)) {
+        const EdgeId f = g.find_edge(x, partner);
+        if (!w.heavier(f, e)) {
+          all_heavier = false;
+          break;
+        }
+      }
+      if (all_heavier) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace overmatch::matching

@@ -1,0 +1,24 @@
+// Executable correctness certificates for matchings produced by the library.
+#pragma once
+
+#include <string>
+
+#include "matching/matching.hpp"
+#include "prefs/weights.hpp"
+
+namespace overmatch::matching {
+
+/// Structural validity: loads within quotas, selected edges consistent with
+/// connection lists. (The container enforces this on mutation; this re-checks
+/// from scratch so tests don't have to trust the container.)
+[[nodiscard]] bool is_valid_bmatching(const Matching& m);
+
+/// The greedy post-condition behind Theorem 2's ½ guarantee: for every
+/// unselected edge e there is an endpoint x that is saturated and whose
+/// matched edges are all heavier than e (x = whichever endpoint of e
+/// saturated first during the run; see Lemma 4). Any matching passing this
+/// check is at least a ½-approximation.
+[[nodiscard]] bool has_half_approx_certificate(const Matching& m,
+                                               const prefs::EdgeWeights& w);
+
+}  // namespace overmatch::matching

@@ -1,0 +1,36 @@
+#include "overlay/builder.hpp"
+
+namespace overmatch::overlay {
+
+Overlay::Overlay(graph::Graph potential_graph, const Population& pop,
+                 const std::vector<Metric>& metrics, const BuildOptions& options)
+    // Members initialize in declaration order, so each may reference the ones
+    // before it (profile/weights/matching all point into potential_).
+    : potential_(std::move(potential_graph)),
+      profile_(build_profile(potential_, pop, metrics,
+                             prefs::uniform_quotas(potential_, options.quota))),
+      weights_(prefs::paper_weights(profile_)),
+      matching_(potential_, profile_.quotas()) {
+  auto result =
+      matching::run_lid(weights_, profile_.quotas(), options.schedule, options.seed);
+  matching_ = std::move(result.matching);
+  stats_ = result.stats;
+}
+
+std::unique_ptr<Overlay> build_overlay(graph::Graph potential, const Population& pop,
+                                       const std::vector<Metric>& metrics,
+                                       const BuildOptions& options) {
+  return std::make_unique<Overlay>(std::move(potential), pop, metrics, options);
+}
+
+graph::Graph matched_subgraph(const matching::Matching& m) {
+  const auto& g = m.graph();
+  graph::GraphBuilder b(g.num_nodes());
+  for (const graph::EdgeId e : m.edges()) {
+    const auto& edge = g.edge(e);
+    b.add_edge(edge.u, edge.v);
+  }
+  return std::move(b).build();
+}
+
+}  // namespace overmatch::overlay

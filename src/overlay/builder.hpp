@@ -1,0 +1,64 @@
+// End-to-end overlay construction: potential-connection topology + peer
+// population + per-node metrics → preference profile → LID run → built
+// overlay. This is the pipeline a downstream deployment would use.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "matching/lid.hpp"
+#include "overlay/metrics.hpp"
+#include "prefs/weights.hpp"
+#include "sim/event_sim.hpp"
+
+namespace overmatch::overlay {
+
+struct BuildOptions {
+  std::uint32_t quota = 4;  ///< per-node connection quota
+  sim::Schedule schedule = sim::Schedule::kRandomOrder;
+  std::uint64_t seed = 1;
+};
+
+/// Everything the builder produces, kept together so quality analysis and
+/// churn can continue from it. Non-movable: profile/weights/matching hold
+/// pointers into `potential`, so the aggregate lives on the heap.
+class Overlay {
+ public:
+  Overlay(graph::Graph potential_graph, const Population& pop,
+          const std::vector<Metric>& metrics, const BuildOptions& options);
+  Overlay(const Overlay&) = delete;
+  Overlay& operator=(const Overlay&) = delete;
+
+  /// Candidate-connection graph (the paper's G).
+  [[nodiscard]] const graph::Graph& potential() const noexcept { return potential_; }
+  /// Private preferences (exposed for evaluation only).
+  [[nodiscard]] const prefs::PreferenceProfile& profile() const noexcept {
+    return profile_;
+  }
+  /// The eq.-9 weights the protocol actually exchanged.
+  [[nodiscard]] const prefs::EdgeWeights& weights() const noexcept { return weights_; }
+  /// Established connections.
+  [[nodiscard]] const matching::Matching& matching() const noexcept { return matching_; }
+  [[nodiscard]] matching::Matching& mutable_matching() noexcept { return matching_; }
+  /// Protocol cost of the build.
+  [[nodiscard]] const sim::MessageStats& stats() const noexcept { return stats_; }
+
+ private:
+  graph::Graph potential_;
+  prefs::PreferenceProfile profile_;
+  prefs::EdgeWeights weights_;
+  matching::Matching matching_;
+  sim::MessageStats stats_;
+};
+
+/// Builds an overlay by running LID over the discrete-event network.
+[[nodiscard]] std::unique_ptr<Overlay> build_overlay(graph::Graph potential,
+                                                     const Population& pop,
+                                                     const std::vector<Metric>& metrics,
+                                                     const BuildOptions& options);
+
+/// Graph induced by the established connections (for structural analysis).
+[[nodiscard]] graph::Graph matched_subgraph(const matching::Matching& m);
+
+}  // namespace overmatch::overlay

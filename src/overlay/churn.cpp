@@ -1,0 +1,96 @@
+#include "overlay/churn.hpp"
+
+#include <algorithm>
+
+#include "prefs/satisfaction.hpp"
+
+namespace overmatch::overlay {
+
+ChurnSimulator::ChurnSimulator(const prefs::PreferenceProfile& profile,
+                               const prefs::EdgeWeights& weights)
+    : profile_(&profile),
+      w_(&weights),
+      alive_(profile.graph().num_nodes(), 1),
+      m_(profile.graph(), profile.quotas()) {
+  const auto& g = profile.graph();
+  desc_order_.resize(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) desc_order_[e] = e;
+  std::sort(desc_order_.begin(), desc_order_.end(),
+            [this](graph::EdgeId a, graph::EdgeId b) { return w_->heavier(a, b); });
+  repair();  // initial build == LIC on the full graph
+}
+
+std::size_t ChurnSimulator::repair() {
+  const auto& g = profile_->graph();
+  std::size_t added = 0;
+  for (const graph::EdgeId e : desc_order_) {
+    const auto& [u, v] = g.edge(e);
+    if (alive_[u] == 0 || alive_[v] == 0) continue;
+    if (m_.can_add(e)) {
+      m_.add(e);
+      ++added;
+    }
+  }
+  return added;
+}
+
+matching::Matching ChurnSimulator::recompute_from_scratch() const {
+  const auto& g = profile_->graph();
+  matching::Matching fresh(g, profile_->quotas());
+  for (const graph::EdgeId e : desc_order_) {
+    const auto& [u, v] = g.edge(e);
+    if (alive_[u] == 0 || alive_[v] == 0) continue;
+    if (fresh.can_add(e)) fresh.add(e);
+  }
+  return fresh;
+}
+
+ChurnEvent ChurnSimulator::finish_event(bool join, NodeId v, std::size_t removed,
+                                        std::size_t added) {
+  ChurnEvent ev;
+  ev.join = join;
+  ev.node = v;
+  ev.edges_removed = removed;
+  ev.edges_added = added;
+  ev.incremental_weight = m_.total_weight(*w_);
+  const auto fresh = recompute_from_scratch();
+  ev.recompute_weight = fresh.total_weight(*w_);
+  // Symmetric difference between the incremental and from-scratch edge sets.
+  std::size_t diff = 0;
+  for (graph::EdgeId e = 0; e < profile_->graph().num_edges(); ++e) {
+    if (m_.contains(e) != fresh.contains(e)) ++diff;
+  }
+  ev.disruption = diff;
+  ev.satisfaction_total = total_satisfaction_alive();
+  return ev;
+}
+
+ChurnEvent ChurnSimulator::leave(NodeId v) {
+  OM_CHECK_MSG(alive(v), "leave() of an offline node");
+  alive_[v] = 0;
+  // Tear down v's connections.
+  std::vector<NodeId> partners(m_.connections(v).begin(), m_.connections(v).end());
+  for (const NodeId u : partners) {
+    m_.remove(profile_->graph().find_edge(v, u));
+  }
+  const std::size_t added = repair();
+  return finish_event(false, v, partners.size(), added);
+}
+
+ChurnEvent ChurnSimulator::join(NodeId v) {
+  OM_CHECK_MSG(!alive(v), "join() of an online node");
+  alive_[v] = 1;
+  const std::size_t added = repair();
+  return finish_event(true, v, 0, added);
+}
+
+double ChurnSimulator::total_satisfaction_alive() const {
+  double total = 0.0;
+  for (NodeId v = 0; v < alive_.size(); ++v) {
+    if (alive_[v] == 0) continue;
+    total += prefs::satisfaction(*profile_, v, m_.connections(v));
+  }
+  return total;
+}
+
+}  // namespace overmatch::overlay

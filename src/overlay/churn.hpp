@@ -1,0 +1,67 @@
+// Churn handling — the paper's stated future-work extension (joins/leaves).
+//
+// Model: a fixed *universe* of peers and potential edges; nodes go offline
+// and come back. On every event the overlay is repaired *incrementally* with
+// the same greedy rule LID uses (locally heaviest first among still-addable
+// alive edges), keeping existing connections in place. A from-scratch
+// recomputation (what LIC would build on the alive subgraph) is maintained as
+// a comparator so the incremental strategy's weight gap and the connection
+// churn it avoids are both measurable (bench E11).
+#pragma once
+
+#include <vector>
+
+#include "matching/matching.hpp"
+#include "prefs/preference_profile.hpp"
+#include "prefs/weights.hpp"
+
+namespace overmatch::overlay {
+
+using graph::NodeId;
+
+struct ChurnEvent {
+  bool join = false;  ///< false = leave
+  NodeId node = 0;
+  std::size_t edges_removed = 0;  ///< connections torn down by the event
+  std::size_t edges_added = 0;    ///< connections (re)established by repair
+  double incremental_weight = 0.0;
+  double recompute_weight = 0.0;   ///< LIC-from-scratch on the alive subgraph
+  std::size_t disruption = 0;      ///< |incremental △ recompute| edge sets
+  double satisfaction_total = 0.0; ///< Σ S_i over alive nodes (incremental)
+};
+
+class ChurnSimulator {
+ public:
+  /// All profile/weight state references objects owned by the caller, which
+  /// must outlive the simulator. Every node starts alive; the initial
+  /// matching is the greedy (= LIC) matching of the full graph.
+  ChurnSimulator(const prefs::PreferenceProfile& profile,
+                 const prefs::EdgeWeights& weights);
+
+  /// Takes node v offline: tears down its connections, repairs locally.
+  ChurnEvent leave(NodeId v);
+
+  /// Brings node v back online and repairs.
+  ChurnEvent join(NodeId v);
+
+  [[nodiscard]] bool alive(NodeId v) const {
+    OM_CHECK(v < alive_.size());
+    return alive_[v] != 0;
+  }
+  [[nodiscard]] const matching::Matching& matching() const noexcept { return m_; }
+  [[nodiscard]] double total_satisfaction_alive() const;
+
+ private:
+  /// Greedy completion over addable alive edges; returns edges added.
+  std::size_t repair();
+  [[nodiscard]] matching::Matching recompute_from_scratch() const;
+  ChurnEvent finish_event(bool join, NodeId v, std::size_t removed, std::size_t added);
+
+  const prefs::PreferenceProfile* profile_;
+  const prefs::EdgeWeights* w_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<graph::EdgeId> desc_order_;  ///< all edges, heaviest first
+  matching::Matching m_;
+};
+
+}  // namespace overmatch::overlay

@@ -1,0 +1,134 @@
+#include "overlay/discovery.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/event_sim.hpp"
+
+namespace overmatch::overlay {
+namespace {
+
+using graph::NodeId;
+
+// Message kinds. PULL asks a peer for a sample of its view; PUSH carries one
+// discovered peer id per message (data = id); TICK is the local round timer.
+constexpr std::uint32_t kPull = 10;
+constexpr std::uint32_t kPush = 11;
+constexpr std::uint32_t kTick = 12;
+
+class GossipPeer final : public sim::Agent {
+ public:
+  GossipPeer(NodeId self, const DiscoveryOptions& opt, util::Rng rng)
+      : self_(self), opt_(opt), rng_(rng) {}
+
+  void bootstrap(std::vector<NodeId> contacts) { view_ = std::move(contacts); }
+
+  void on_start(sim::Outbox& out) override {
+    if (opt_.rounds > 0 && !view_.empty()) {
+      out.send_timer(next_tick_delay(), sim::Message{kTick, 0});
+    }
+  }
+
+  void on_message(NodeId from, const sim::Message& msg, sim::Outbox& out) override {
+    switch (msg.kind) {
+      case kTick: {
+        if (rounds_done_ >= opt_.rounds || view_.empty()) return;
+        ++rounds_done_;
+        const NodeId target = view_[rng_.index(view_.size())];
+        out.send(target, sim::Message{kPull, 0});
+        send_sample(target, out);  // push half of the exchange
+        if (rounds_done_ < opt_.rounds) {
+          out.send_timer(next_tick_delay(), sim::Message{kTick, 0});
+        }
+        return;
+      }
+      case kPull:
+        learn(from);
+        send_sample(from, out);  // pull half: answer with a sample
+        return;
+      case kPush:
+        learn(from);
+        learn(static_cast<NodeId>(msg.data));
+        return;
+      default:
+        OM_CHECK_MSG(false, "gossip: unknown message kind");
+    }
+  }
+
+  [[nodiscard]] bool terminated() const override { return rounds_done_ >= opt_.rounds; }
+  [[nodiscard]] const std::vector<NodeId>& view() const noexcept { return view_; }
+
+ private:
+  /// Jittered round spacing so peers don't tick in lockstep.
+  [[nodiscard]] double next_tick_delay() { return 3.0 + rng_.uniform(); }
+
+  void learn(NodeId peer) {
+    if (peer == self_) return;
+    if (std::find(view_.begin(), view_.end(), peer) != view_.end()) return;
+    if (view_.size() < opt_.view_size) {
+      view_.push_back(peer);
+    } else {
+      // Bounded view: replace a uniformly random entry (healing churn bias
+      // is out of scope; uniform replacement keeps the view a random sample).
+      view_[rng_.index(view_.size())] = peer;
+    }
+  }
+
+  void send_sample(NodeId to, sim::Outbox& out) {
+    const std::size_t k = std::min(opt_.gossip_sample, view_.size());
+    for (const std::size_t idx : rng_.sample_indices(view_.size(), k)) {
+      if (view_[idx] != to) out.send(to, sim::Message{kPush, view_[idx]});
+    }
+  }
+
+  NodeId self_;
+  DiscoveryOptions opt_;
+  util::Rng rng_;
+  std::vector<NodeId> view_;
+  std::size_t rounds_done_ = 0;
+};
+
+}  // namespace
+
+DiscoveryResult discover_candidates(std::size_t n, const DiscoveryOptions& options) {
+  OM_CHECK(n >= 2);
+  OM_CHECK(options.bootstrap_contacts >= 1);
+  OM_CHECK(options.view_size >= options.bootstrap_contacts);
+  util::Rng rng(options.seed);
+
+  std::vector<std::unique_ptr<GossipPeer>> peers;
+  peers.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    peers.push_back(std::make_unique<GossipPeer>(v, options, rng.split()));
+  }
+  // Bootstrap: a ring plus random extra contacts, so the knowledge graph is
+  // connected from the start (standard bootstrap-server assumption).
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<NodeId> contacts{static_cast<NodeId>((v + 1) % n)};
+    while (contacts.size() < std::min(options.bootstrap_contacts, n - 1)) {
+      const auto c = static_cast<NodeId>(rng.index(n));
+      if (c != v && std::find(contacts.begin(), contacts.end(), c) == contacts.end()) {
+        contacts.push_back(c);
+      }
+    }
+    peers[v]->bootstrap(std::move(contacts));
+  }
+
+  std::vector<sim::Agent*> agents;
+  agents.reserve(n);
+  for (const auto& p : peers) agents.push_back(p.get());
+  sim::EventSimulator sim(std::move(agents), sim::Schedule::kRandomDelay,
+                          options.seed ^ 0x9e3779b97f4a7c15ULL);
+  auto stats = sim.run();
+
+  // Candidate graph: union of final views.
+  graph::GraphBuilder builder(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : peers[v]->view()) {
+      if (!builder.has_edge(v, u)) builder.add_edge(v, u);
+    }
+  }
+  return DiscoveryResult{std::move(builder).build(), stats};
+}
+
+}  // namespace overmatch::overlay

@@ -1,0 +1,94 @@
+#include "overlay/metrics.hpp"
+
+#include <cmath>
+
+namespace overmatch::overlay {
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::kProximity: return "proximity";
+    case Metric::kInterests: return "interests";
+    case Metric::kBandwidth: return "bandwidth";
+    case Metric::kUptime: return "uptime";
+    case Metric::kTransactions: return "transactions";
+    case Metric::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+Metric metric_by_name(const std::string& name) {
+  if (name == "proximity") return Metric::kProximity;
+  if (name == "interests") return Metric::kInterests;
+  if (name == "bandwidth") return Metric::kBandwidth;
+  if (name == "uptime") return Metric::kUptime;
+  if (name == "transactions") return Metric::kTransactions;
+  if (name == "hybrid") return Metric::kHybrid;
+  OM_CHECK_MSG(false, "unknown metric name");
+  return Metric::kProximity;
+}
+
+namespace {
+
+double cosine(const std::vector<double>& a, const std::vector<double>& b) {
+  OM_CHECK(a.size() == b.size());
+  double dot = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) dot += a[k] * b[k];
+  return dot;  // vectors are unit-norm
+}
+
+}  // namespace
+
+double metric_score(const Population& pop, Metric m, NodeId i, NodeId j) {
+  const Peer& pi = pop.peer(i);
+  const Peer& pj = pop.peer(j);
+  switch (m) {
+    case Metric::kProximity: {
+      const double dx = pi.x - pj.x;
+      const double dy = pi.y - pj.y;
+      return -std::sqrt(dx * dx + dy * dy);
+    }
+    case Metric::kInterests:
+      return cosine(pi.interests, pj.interests);
+    case Metric::kBandwidth:
+      return pj.bandwidth;
+    case Metric::kUptime:
+      return pj.uptime;
+    case Metric::kTransactions:
+      return pop.transactions(i, j);
+    case Metric::kHybrid: {
+      const double dx = pi.x - pj.x;
+      const double dy = pi.y - pj.y;
+      const double prox = 1.0 - std::sqrt(dx * dx + dy * dy) / 1.4142135623730951;
+      const double sim = 0.5 * (1.0 + cosine(pi.interests, pj.interests));
+      const double bw = pj.bandwidth / (pj.bandwidth + 10.0);
+      return 0.4 * prox + 0.4 * sim + 0.2 * bw;
+    }
+  }
+  return 0.0;
+}
+
+prefs::PreferenceProfile build_profile(const graph::Graph& g, const Population& pop,
+                                       const std::vector<Metric>& metrics,
+                                       prefs::Quotas quotas) {
+  OM_CHECK(metrics.size() == g.num_nodes());
+  OM_CHECK(pop.size() == g.num_nodes());
+  return prefs::PreferenceProfile::from_scores(
+      g, std::move(quotas), [&pop, &metrics](NodeId i, NodeId j) {
+        return metric_score(pop, metrics[i], i, j);
+      });
+}
+
+std::vector<Metric> random_metrics(std::size_t n, util::Rng& rng) {
+  static constexpr Metric kAll[] = {Metric::kProximity,    Metric::kInterests,
+                                    Metric::kBandwidth,    Metric::kUptime,
+                                    Metric::kTransactions, Metric::kHybrid};
+  std::vector<Metric> out(n);
+  for (auto& m : out) m = kAll[rng.index(std::size(kAll))];
+  return out;
+}
+
+std::vector<Metric> homogeneous_metrics(std::size_t n, Metric m) {
+  return std::vector<Metric>(n, m);
+}
+
+}  // namespace overmatch::overlay

@@ -1,0 +1,49 @@
+// Individual suitability metrics and preference-profile construction.
+//
+// The paper's key scenario: *every peer chooses its own metric and never
+// discloses it*. We model that with a per-node metric assignment; the
+// preference profile (and from it the ΔS̄ values the protocol exchanges) is
+// all the matching layer ever sees.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "overlay/peer.hpp"
+#include "prefs/preference_profile.hpp"
+
+namespace overmatch::overlay {
+
+/// The metric families from the paper's introduction.
+enum class Metric : std::uint8_t {
+  kProximity,     ///< closer peers score higher (negative Euclidean distance)
+  kInterests,     ///< cosine similarity of interest embeddings
+  kBandwidth,     ///< neighbour's available bandwidth
+  kUptime,        ///< neighbour's availability
+  kTransactions,  ///< shared transaction history (recommendation/trust proxy)
+  kHybrid,        ///< fixed blend of proximity, interests and bandwidth
+};
+
+[[nodiscard]] const char* metric_name(Metric m);
+[[nodiscard]] Metric metric_by_name(const std::string& name);
+
+/// Score of neighbour j from i's point of view under metric m (higher =
+/// better). Deterministic; asymmetric in general (e.g. bandwidth looks at
+/// j's resources only).
+[[nodiscard]] double metric_score(const Population& pop, Metric m, NodeId i, NodeId j);
+
+/// Builds a preference profile where node v ranks its neighbourhood with
+/// metrics[v]. metrics.size() must equal the node count.
+[[nodiscard]] prefs::PreferenceProfile build_profile(const graph::Graph& g,
+                                                     const Population& pop,
+                                                     const std::vector<Metric>& metrics,
+                                                     prefs::Quotas quotas);
+
+/// Uniformly random per-node metric assignment (heterogeneous interests —
+/// the fully distributed scenario).
+[[nodiscard]] std::vector<Metric> random_metrics(std::size_t n, util::Rng& rng);
+
+/// All nodes use the same metric (homogeneous baseline).
+[[nodiscard]] std::vector<Metric> homogeneous_metrics(std::size_t n, Metric m);
+
+}  // namespace overmatch::overlay

@@ -1,0 +1,48 @@
+#include "overlay/peer.hpp"
+
+#include <cmath>
+
+namespace overmatch::overlay {
+
+Population Population::random(std::size_t n, std::size_t interest_dims,
+                              util::Rng& rng) {
+  Population pop;
+  pop.peers_.resize(n);
+  for (auto& p : pop.peers_) {
+    p.x = rng.uniform();
+    p.y = rng.uniform();
+    p.interests.resize(interest_dims);
+    double norm2 = 0.0;
+    for (auto& c : p.interests) {
+      c = rng.normal();
+      norm2 += c * c;
+    }
+    const double inv = norm2 > 0 ? 1.0 / std::sqrt(norm2) : 0.0;
+    for (auto& c : p.interests) c *= inv;
+    p.bandwidth = std::exp(rng.normal() * 0.8 + 2.0);  // log-normal, median ≈ 7.4
+    p.uptime = 0.05 + 0.95 * rng.uniform();
+  }
+  pop.tx_.assign(n * n, 0.0);
+  // Sparse symmetric history: ~4 interactions per peer on average.
+  const std::size_t interactions = 2 * n;
+  for (std::size_t k = 0; k < interactions; ++k) {
+    const auto a = static_cast<NodeId>(rng.index(n));
+    const auto b = static_cast<NodeId>(rng.index(n));
+    if (a == b) continue;
+    pop.set_transactions(a, b, rng.uniform());
+  }
+  return pop;
+}
+
+double Population::transactions(NodeId a, NodeId b) const {
+  OM_CHECK(a < peers_.size() && b < peers_.size());
+  return tx_[tx_index(a, b)];
+}
+
+void Population::set_transactions(NodeId a, NodeId b, double value) {
+  OM_CHECK(a < peers_.size() && b < peers_.size());
+  tx_[tx_index(a, b)] = value;
+  tx_[tx_index(b, a)] = value;
+}
+
+}  // namespace overmatch::overlay

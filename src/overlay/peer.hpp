@@ -1,0 +1,55 @@
+// Peer attributes — the raw material individual suitability metrics are
+// computed from (the paper's motivating examples: distance, interests,
+// recommendations/trust, transaction history, available resources).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace overmatch::overlay {
+
+using graph::NodeId;
+
+/// One peer's attributes.
+struct Peer {
+  double x = 0.0;  ///< position on the unit square (network proximity proxy)
+  double y = 0.0;
+  std::vector<double> interests;  ///< unit-norm interest embedding
+  double bandwidth = 0.0;         ///< available upload capacity (Mbit/s scale)
+  double uptime = 0.0;            ///< fraction of time online, (0, 1]
+};
+
+/// A population of peers plus a symmetric pairwise transaction-history score
+/// (how much two peers have successfully exchanged before).
+class Population {
+ public:
+  /// Generates n peers with `interest_dims`-dimensional unit interest vectors,
+  /// log-normal-ish bandwidths and uniform uptimes, plus a sparse symmetric
+  /// transaction history.
+  static Population random(std::size_t n, std::size_t interest_dims, util::Rng& rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return peers_.size(); }
+  [[nodiscard]] const Peer& peer(NodeId v) const {
+    OM_CHECK(v < peers_.size());
+    return peers_[v];
+  }
+
+  /// Symmetric transaction score in [0, 1]; 0 when no history.
+  [[nodiscard]] double transactions(NodeId a, NodeId b) const;
+  void set_transactions(NodeId a, NodeId b, double value);
+
+ private:
+  std::vector<Peer> peers_;
+  // Dense symmetric matrix (row-major, upper triangle mirrored); populations
+  // used in experiments are small enough that density is simpler and faster
+  // than hashing.
+  std::vector<double> tx_;
+  [[nodiscard]] std::size_t tx_index(NodeId a, NodeId b) const noexcept {
+    return static_cast<std::size_t>(a) * peers_.size() + b;
+  }
+};
+
+}  // namespace overmatch::overlay

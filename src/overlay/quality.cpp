@@ -1,0 +1,54 @@
+#include "overlay/quality.hpp"
+
+#include <sstream>
+
+#include "graph/properties.hpp"
+#include "matching/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace overmatch::overlay {
+
+QualityReport analyze(const Overlay& overlay) {
+  QualityReport r;
+  const auto sats = matching::node_satisfactions(overlay.profile(), overlay.matching());
+  util::StreamingStats ss;
+  for (const double s : sats) ss.add(s);
+  r.satisfaction_total = ss.sum();
+  r.satisfaction_mean = ss.mean();
+  r.satisfaction_min = ss.min();
+  r.satisfaction_p10 = util::percentile(sats, 10.0);
+
+  std::size_t total_quota = 0;
+  std::size_t total_load = 0;
+  const auto& m = overlay.matching();
+  for (graph::NodeId v = 0; v < m.graph().num_nodes(); ++v) {
+    total_quota += m.quota(v);
+    total_load += m.load(v);
+  }
+  r.quota_utilization =
+      total_quota > 0 ? static_cast<double>(total_load) / static_cast<double>(total_quota)
+                      : 0.0;
+  r.connections = m.size();
+
+  const auto sub = matched_subgraph(m);
+  r.components = graph::connected_components(sub).count;
+  r.clustering = graph::clustering_coefficient(sub);
+  r.mean_path_length = graph::mean_path_length(sub, 64, /*seed=*/7);
+  r.messages = overlay.stats().total_sent;
+  return r;
+}
+
+std::string to_string(const QualityReport& r) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  os << "satisfaction: total=" << r.satisfaction_total << " mean=" << r.satisfaction_mean
+     << " min=" << r.satisfaction_min << " p10=" << r.satisfaction_p10
+     << "\nconnections: " << r.connections
+     << " (quota utilization " << r.quota_utilization << ")"
+     << "\nstructure: components=" << r.components << " clustering=" << r.clustering
+     << " mean_path=" << r.mean_path_length << "\nmessages: " << r.messages;
+  return os.str();
+}
+
+}  // namespace overmatch::overlay

@@ -1,0 +1,37 @@
+// Overlay quality analysis: how good is the constructed overlay, both for
+// individual peers (satisfaction) and structurally (connectivity, paths).
+#pragma once
+
+#include <string>
+
+#include "overlay/builder.hpp"
+
+namespace overmatch::overlay {
+
+struct QualityReport {
+  // Satisfaction (eq. 1) distribution over peers.
+  double satisfaction_total = 0.0;
+  double satisfaction_mean = 0.0;
+  double satisfaction_min = 0.0;
+  double satisfaction_p10 = 0.0;
+
+  // Resource usage.
+  double quota_utilization = 0.0;  ///< Σ load / Σ quota
+  std::size_t connections = 0;     ///< established edges
+
+  // Structure of the matched subgraph.
+  std::size_t components = 0;
+  double clustering = 0.0;
+  double mean_path_length = 0.0;  ///< within the largest structure (sampled)
+
+  // Protocol cost.
+  std::size_t messages = 0;
+};
+
+/// Computes the full report for a built overlay.
+[[nodiscard]] QualityReport analyze(const Overlay& overlay);
+
+/// One-paragraph human-readable rendering.
+[[nodiscard]] std::string to_string(const QualityReport& r);
+
+}  // namespace overmatch::overlay

@@ -1,0 +1,101 @@
+#include "prefs/cycles.hpp"
+
+#include <functional>
+
+namespace overmatch::prefs {
+namespace {
+
+using graph::Edge;
+using graph::EdgeId;
+using graph::Graph;
+
+// A state is a directed traversal of an edge: (prev → cur). State id:
+// 2·edge + dir, dir 0 = (edge.u → edge.v), dir 1 = (edge.v → edge.u).
+struct State {
+  NodeId prev;
+  NodeId cur;
+};
+
+State decode(const Graph& g, std::size_t s) {
+  const Edge& e = g.edge(static_cast<EdgeId>(s / 2));
+  return (s % 2 == 0) ? State{e.u, e.v} : State{e.v, e.u};
+}
+
+std::size_t encode(const Graph& g, EdgeId e, NodeId prev) {
+  return 2 * static_cast<std::size_t>(e) + (g.edge(e).u == prev ? 0 : 1);
+}
+
+/// DFS for a cycle in the state graph; `better` decides whether `cur` would
+/// rather talk to `next` (via edge en) than to `prev` (via edge ep).
+std::optional<std::vector<NodeId>> find_cycle(
+    const Graph& g,
+    const std::function<bool(NodeId cur, NodeId next, EdgeId en, NodeId prev, EdgeId ep)>&
+        better) {
+  const std::size_t num_states = 2 * g.num_edges();
+  enum : unsigned char { kWhite, kGray, kBlack };
+  std::vector<unsigned char> color(num_states, kWhite);
+  std::vector<std::size_t> pos_in_stack(num_states, 0);
+
+  for (std::size_t root = 0; root < num_states; ++root) {
+    if (color[root] != kWhite) continue;
+    // Iterative DFS frame: state + index into cur's adjacency.
+    struct Frame {
+      std::size_t state;
+      std::size_t next_idx;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({root, 0});
+    color[root] = kGray;
+    pos_in_stack[root] = 0;
+    while (!stack.empty()) {
+      auto& frame = stack.back();
+      const State st = decode(g, frame.state);
+      const auto adj = g.neighbors(st.cur);
+      const EdgeId ep = g.find_edge(st.prev, st.cur);
+      bool descended = false;
+      while (frame.next_idx < adj.size()) {
+        const auto& a = adj[frame.next_idx++];
+        if (a.neighbor == st.prev) continue;
+        if (!better(st.cur, a.neighbor, a.edge, st.prev, ep)) continue;
+        const std::size_t succ = encode(g, a.edge, st.cur);
+        if (color[succ] == kGray) {
+          // Cycle: states stack[pos_in_stack[succ] .. top], then succ closes it.
+          std::vector<NodeId> cycle;
+          for (std::size_t k = pos_in_stack[succ]; k < stack.size(); ++k) {
+            cycle.push_back(decode(g, stack[k].state).cur);
+          }
+          return cycle;
+        }
+        if (color[succ] == kWhite) {
+          color[succ] = kGray;
+          pos_in_stack[succ] = stack.size();
+          stack.push_back({succ, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && frame.next_idx >= adj.size()) {
+        color[frame.state] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> find_rank_cycle(const PreferenceProfile& p) {
+  return find_cycle(p.graph(),
+                    [&p](NodeId cur, NodeId next, EdgeId, NodeId prev, EdgeId) {
+                      return p.prefers(cur, next, prev);
+                    });
+}
+
+std::optional<std::vector<NodeId>> find_weight_cycle(const EdgeWeights& w) {
+  return find_cycle(w.graph(), [&w](NodeId, NodeId, EdgeId en, NodeId, EdgeId ep) {
+    return w.heavier(en, ep);
+  });
+}
+
+}  // namespace overmatch::prefs

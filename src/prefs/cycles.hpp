@@ -1,0 +1,31 @@
+// Preference-cycle detection (the destabilizing structure of Lemma 5 and of
+// Gai et al.'s acyclic-preference condition).
+//
+// A *rank cycle* is a node sequence n_0, …, n_{k−1} (k ≥ 3) where every n_i
+// strictly prefers n_{i+1} over n_{i−1} (indices mod k) according to its raw
+// preference list. With raw ranks such cycles can exist (and make best-reply
+// dynamics oscillate); with the symmetric eq.-9 weights they provably cannot
+// (paper Lemma 5) — both facts are exercised in tests and benches.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "prefs/preference_profile.hpp"
+#include "prefs/weights.hpp"
+
+namespace overmatch::prefs {
+
+/// Searches for a rank cycle under the *raw preference lists*. Exhaustive DFS
+/// over (prev, cur) states — O(Σ deg²) states, fine for experiment-scale
+/// graphs. Returns the cycle's node sequence, or nullopt.
+[[nodiscard]] std::optional<std::vector<NodeId>> find_rank_cycle(
+    const PreferenceProfile& p);
+
+/// Same search but ordering neighbours by the symmetric edge-weight order
+/// instead of raw ranks. By Lemma 5 this must always return nullopt; kept as
+/// an executable witness of the lemma.
+[[nodiscard]] std::optional<std::vector<NodeId>> find_weight_cycle(
+    const EdgeWeights& w);
+
+}  // namespace overmatch::prefs

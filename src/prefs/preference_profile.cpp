@@ -1,0 +1,112 @@
+#include "prefs/preference_profile.hpp"
+
+#include <algorithm>
+
+namespace overmatch::prefs {
+
+Quotas uniform_quotas(const Graph& g, std::uint32_t b) {
+  OM_CHECK(b >= 1);
+  Quotas q(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto d = static_cast<std::uint32_t>(g.degree(v));
+    q[v] = d == 0 ? 1 : std::min(b, d);
+  }
+  return q;
+}
+
+Quotas random_quotas(const Graph& g, std::uint32_t b_max, util::Rng& rng) {
+  OM_CHECK(b_max >= 1);
+  Quotas q(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto b = static_cast<std::uint32_t>(rng.uniform_int(1, b_max));
+    const auto d = static_cast<std::uint32_t>(g.degree(v));
+    q[v] = d == 0 ? 1 : std::min(b, d);
+  }
+  return q;
+}
+
+PreferenceProfile::PreferenceProfile(const Graph& g, Quotas quotas,
+                                     std::vector<std::vector<NodeId>> lists)
+    : graph_(&g), quotas_(std::move(quotas)), lists_(std::move(lists)) {
+  OM_CHECK(quotas_.size() == g.num_nodes());
+  OM_CHECK(lists_.size() == g.num_nodes());
+  ranks_by_adj_.resize(g.num_nodes());
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    const auto adj = g.neighbors(i);
+    OM_CHECK_MSG(lists_[i].size() == adj.size(),
+                 "preference list must cover the whole neighbourhood");
+    // Validate permutation and build the adjacency-aligned rank index.
+    ranks_by_adj_[i].assign(adj.size(), static_cast<Rank>(-1));
+    for (Rank r = 0; r < lists_[i].size(); ++r) {
+      const NodeId j = lists_[i][r];
+      // Locate j in the (sorted) adjacency.
+      const auto it = std::lower_bound(
+          adj.begin(), adj.end(), j,
+          [](const graph::Adjacency& a, NodeId t) { return a.neighbor < t; });
+      OM_CHECK_MSG(it != adj.end() && it->neighbor == j,
+                   "preference list contains a non-neighbour");
+      const auto k = static_cast<std::size_t>(it - adj.begin());
+      OM_CHECK_MSG(ranks_by_adj_[i][k] == static_cast<Rank>(-1),
+                   "preference list contains a duplicate");
+      ranks_by_adj_[i][k] = r;
+    }
+    // Clamp quota to list length (paper: b_i <= |L_i|), keep >= 1.
+    if (!lists_[i].empty()) {
+      quotas_[i] = std::min<std::uint32_t>(quotas_[i],
+                                           static_cast<std::uint32_t>(lists_[i].size()));
+    }
+    OM_CHECK(quotas_[i] >= 1);
+  }
+}
+
+PreferenceProfile PreferenceProfile::from_scores(
+    const Graph& g, Quotas quotas, const std::function<double(NodeId, NodeId)>& score) {
+  std::vector<std::vector<NodeId>> lists(g.num_nodes());
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    auto& li = lists[i];
+    li.reserve(g.degree(i));
+    for (const auto& a : g.neighbors(i)) li.push_back(a.neighbor);
+    std::sort(li.begin(), li.end(), [&](NodeId a, NodeId b) {
+      const double sa = score(i, a);
+      const double sb = score(i, b);
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
+  }
+  return PreferenceProfile(g, std::move(quotas), std::move(lists));
+}
+
+PreferenceProfile PreferenceProfile::random(const Graph& g, Quotas quotas,
+                                            util::Rng& rng) {
+  std::vector<std::vector<NodeId>> lists(g.num_nodes());
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    auto& li = lists[i];
+    li.reserve(g.degree(i));
+    for (const auto& a : g.neighbors(i)) li.push_back(a.neighbor);
+    rng.shuffle(li);
+  }
+  return PreferenceProfile(g, std::move(quotas), std::move(lists));
+}
+
+PreferenceProfile PreferenceProfile::from_lists(const Graph& g, Quotas quotas,
+                                                std::vector<std::vector<NodeId>> lists) {
+  return PreferenceProfile(g, std::move(quotas), std::move(lists));
+}
+
+std::uint32_t PreferenceProfile::max_quota() const noexcept {
+  std::uint32_t b = 1;
+  for (const auto q : quotas_) b = std::max(b, q);
+  return b;
+}
+
+Rank PreferenceProfile::rank(NodeId i, NodeId j) const {
+  OM_CHECK(i < lists_.size());
+  const auto adj = graph_->neighbors(i);
+  const auto it = std::lower_bound(
+      adj.begin(), adj.end(), j,
+      [](const graph::Adjacency& a, NodeId t) { return a.neighbor < t; });
+  OM_CHECK_MSG(it != adj.end() && it->neighbor == j, "rank() of a non-neighbour");
+  return ranks_by_adj_[i][static_cast<std::size_t>(it - adj.begin())];
+}
+
+}  // namespace overmatch::prefs

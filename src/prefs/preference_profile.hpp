@@ -1,0 +1,100 @@
+// Preference lists, ranks and quotas — the paper's problem model (§2).
+//
+// Every node i of an overlay graph G keeps a full preference list L_i over its
+// neighbourhood Γ_i. R_i(j) ∈ {0, …, |L_i|−1} is j's rank in i's list (0 =
+// most desirable) and b_i ≤ |L_i| is i's connection quota. Lists are private
+// in the protocol sense: algorithms only ever exchange the derived ΔS̄ values
+// (see weights.hpp), never the lists themselves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace overmatch::prefs {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Rank value; 0 is the most preferred neighbour.
+using Rank = std::uint32_t;
+
+/// Per-node connection quotas b_i.
+using Quotas = std::vector<std::uint32_t>;
+
+/// Builds a uniform quota vector b_i = min(b, deg(i)) — the paper's
+/// "we can easily take b_i = |L_i|" clamping.
+[[nodiscard]] Quotas uniform_quotas(const Graph& g, std::uint32_t b);
+
+/// Random quotas uniform in [1, b_max], clamped to the degree (min 1 so that
+/// isolated-node handling stays well-defined; a degree-0 node keeps quota 1
+/// but trivially never connects).
+[[nodiscard]] Quotas random_quotas(const Graph& g, std::uint32_t b_max, util::Rng& rng);
+
+/// Immutable preference profile: one full, strictly ordered preference list
+/// per node plus quotas. Construction validates that every list is a
+/// permutation of the node's neighbourhood and quotas are clamped to list
+/// lengths.
+class PreferenceProfile {
+ public:
+  /// Score-based construction: node i ranks neighbour j by descending
+  /// score(i, j); ties are broken by ascending node id so lists are strict.
+  /// This models a peer's private suitability metric (distance, interests,
+  /// trust, bandwidth, …).
+  [[nodiscard]] static PreferenceProfile from_scores(
+      const Graph& g, Quotas quotas,
+      const std::function<double(NodeId, NodeId)>& score);
+
+  /// Uniformly random strict lists (independent per node).
+  [[nodiscard]] static PreferenceProfile random(const Graph& g, Quotas quotas,
+                                                util::Rng& rng);
+
+  /// Explicit lists (tests / tiny examples). lists[i] must be a permutation of
+  /// Γ_i, best first.
+  [[nodiscard]] static PreferenceProfile from_lists(
+      const Graph& g, Quotas quotas, std::vector<std::vector<NodeId>> lists);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+  /// Quota b_i (already clamped to |L_i| where |L_i| > 0).
+  [[nodiscard]] std::uint32_t quota(NodeId i) const {
+    OM_CHECK(i < quotas_.size());
+    return quotas_[i];
+  }
+  [[nodiscard]] const Quotas& quotas() const noexcept { return quotas_; }
+  [[nodiscard]] std::uint32_t max_quota() const noexcept;
+
+  /// |L_i| — the preference list length (= deg(i); full lists).
+  [[nodiscard]] std::size_t list_size(NodeId i) const { return graph_->degree(i); }
+
+  /// The list itself, best neighbour first.
+  [[nodiscard]] std::span<const NodeId> list(NodeId i) const {
+    OM_CHECK(i < lists_.size());
+    return lists_[i];
+  }
+
+  /// R_i(j). Aborts unless j ∈ Γ_i.
+  [[nodiscard]] Rank rank(NodeId i, NodeId j) const;
+
+  /// True if i strictly prefers a over b (both must be neighbours of i).
+  [[nodiscard]] bool prefers(NodeId i, NodeId a, NodeId b) const {
+    return rank(i, a) < rank(i, b);
+  }
+
+ private:
+  PreferenceProfile(const Graph& g, Quotas quotas,
+                    std::vector<std::vector<NodeId>> lists);
+
+  const Graph* graph_ = nullptr;
+  Quotas quotas_;
+  std::vector<std::vector<NodeId>> lists_;
+  // ranks_by_adj_[i][k] = R_i(adjacency(i)[k].neighbor); adjacency is sorted
+  // by neighbour id, so rank lookup is a binary search + array read.
+  std::vector<std::vector<Rank>> ranks_by_adj_;
+};
+
+}  // namespace overmatch::prefs

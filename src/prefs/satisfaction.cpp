@@ -1,0 +1,80 @@
+#include "prefs/satisfaction.hpp"
+
+namespace overmatch::prefs {
+namespace {
+
+/// Shared validation + rank sum for the closed-form satisfaction formulas.
+struct ConnStats {
+  double c;      // number of connections
+  double b;      // quota
+  double L;      // list length
+  double sum_r;  // Σ R_i(j)
+};
+
+ConnStats conn_stats(const PreferenceProfile& p, NodeId i,
+                     std::span<const NodeId> connections) {
+  const auto b = p.quota(i);
+  const auto L = p.list_size(i);
+  OM_CHECK_MSG(connections.size() <= b, "more connections than quota");
+  double sum_r = 0.0;
+  for (std::size_t a = 0; a < connections.size(); ++a) {
+    for (std::size_t bb = a + 1; bb < connections.size(); ++bb) {
+      OM_CHECK_MSG(connections[a] != connections[bb], "duplicate connection");
+    }
+    sum_r += static_cast<double>(p.rank(i, connections[a]));
+  }
+  return ConnStats{static_cast<double>(connections.size()), static_cast<double>(b),
+                   static_cast<double>(L), sum_r};
+}
+
+}  // namespace
+
+double satisfaction(const PreferenceProfile& p, NodeId i,
+                    std::span<const NodeId> connections) {
+  const auto s = conn_stats(p, i, connections);
+  if (s.c == 0.0) return 0.0;
+  // eq. 1; L > 0 is guaranteed because i has at least one connection.
+  return s.c / s.b + s.c * (s.c - 1.0) / (2.0 * s.b * s.L) - s.sum_r / (s.b * s.L);
+}
+
+double satisfaction_modified(const PreferenceProfile& p, NodeId i,
+                             std::span<const NodeId> connections) {
+  const auto s = conn_stats(p, i, connections);
+  if (s.c == 0.0) return 0.0;
+  return s.c / s.b - s.sum_r / (s.b * s.L);  // eq. 6
+}
+
+double delta_s(const PreferenceProfile& p, NodeId i, NodeId j, std::uint32_t c_before) {
+  OM_CHECK(c_before < p.quota(i));
+  return delta_s_static(p, i, j) + delta_s_dynamic(p, i, c_before);
+}
+
+double delta_s_static(const PreferenceProfile& p, NodeId i, NodeId j) {
+  const auto b = static_cast<double>(p.quota(i));
+  const auto L = static_cast<double>(p.list_size(i));
+  const auto r = static_cast<double>(p.rank(i, j));  // aborts if j ∉ Γ_i, so L > 0
+  return (1.0 - r / L) / b;
+}
+
+double delta_s_dynamic(const PreferenceProfile& p, NodeId i, std::uint32_t c_before) {
+  const auto b = static_cast<double>(p.quota(i));
+  const auto L = static_cast<double>(p.list_size(i));
+  OM_CHECK(L > 0.0);
+  return static_cast<double>(c_before) / (b * L);
+}
+
+SatisfactionParts satisfaction_parts(const PreferenceProfile& p, NodeId i,
+                                     std::span<const NodeId> connections) {
+  SatisfactionParts out;
+  for (const NodeId j : connections) out.static_part += delta_s_static(p, i, j);
+  // Σ_{q=0}^{c-1} q / (bL) = c(c−1) / (2bL)
+  const auto c = static_cast<double>(connections.size());
+  if (c > 0) {
+    const auto b = static_cast<double>(p.quota(i));
+    const auto L = static_cast<double>(p.list_size(i));
+    out.dynamic_part = c * (c - 1.0) / (2.0 * b * L);
+  }
+  return out;
+}
+
+}  // namespace overmatch::prefs

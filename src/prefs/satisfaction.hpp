@@ -1,0 +1,55 @@
+// Node satisfaction — the paper's optimization metric (§3, eqs. 1, 4–6).
+//
+// For a node i with quota b_i, list length L_i and ordered connection list
+// C_i (|C_i| = c_i ≤ b_i, sorted by decreasing preference):
+//
+//   S_i = c_i/b_i + c_i(c_i−1)/(2 b_i L_i) − (Σ_{j∈C_i} R_i(j)) / (b_i L_i)   (eq. 1)
+//
+// The per-connection increment when j becomes i's (c_i+1)-th best connection:
+//
+//   ΔS_ij = (1 − R_i(j)/L_i)/b_i  +  c_i/(b_i L_i)                            (eq. 4)
+//            \_____ static _____/    \__ dynamic __/
+//
+// Dropping the execution-varying (dynamic) term yields the modified metric
+// the algorithms optimize (eqs. 5–6):
+//
+//   ΔS̄_ij = (1 − R_i(j)/L_i)/b_i,     S̄_i = c_i/b_i − (Σ R_i(j))/(b_i L_i)
+#pragma once
+
+#include <span>
+
+#include "prefs/preference_profile.hpp"
+
+namespace overmatch::prefs {
+
+/// S_i per eq. 1. `connections` is any set of distinct neighbours of i with
+/// |connections| ≤ b_i (order irrelevant; ranks determine the ordered list).
+[[nodiscard]] double satisfaction(const PreferenceProfile& p, NodeId i,
+                                  std::span<const NodeId> connections);
+
+/// Modified satisfaction S̄_i per eq. 6.
+[[nodiscard]] double satisfaction_modified(const PreferenceProfile& p, NodeId i,
+                                           std::span<const NodeId> connections);
+
+/// ΔS_ij per eq. 4: the increment when j is added as i's (c_before+1)-th
+/// connection. Requires c_before < b_i.
+[[nodiscard]] double delta_s(const PreferenceProfile& p, NodeId i, NodeId j,
+                             std::uint32_t c_before);
+
+/// Static part of ΔS_ij per eq. 5: (1 − R_i(j)/L_i) / b_i. Strictly positive.
+[[nodiscard]] double delta_s_static(const PreferenceProfile& p, NodeId i, NodeId j);
+
+/// Dynamic part of ΔS_ij: c_before / (b_i · L_i).
+[[nodiscard]] double delta_s_dynamic(const PreferenceProfile& p, NodeId i,
+                                     std::uint32_t c_before);
+
+/// Decomposition S_i = S_i^s + S_i^d used in Lemma 1 (eq. 7).
+struct SatisfactionParts {
+  double static_part = 0.0;
+  double dynamic_part = 0.0;
+  [[nodiscard]] double total() const noexcept { return static_part + dynamic_part; }
+};
+[[nodiscard]] SatisfactionParts satisfaction_parts(const PreferenceProfile& p, NodeId i,
+                                                   std::span<const NodeId> connections);
+
+}  // namespace overmatch::prefs

@@ -1,0 +1,21 @@
+#include "prefs/truncation.hpp"
+
+namespace overmatch::prefs {
+
+graph::Graph truncate_candidates(const PreferenceProfile& p, std::size_t k,
+                                 TruncationMode mode) {
+  OM_CHECK(k >= 1);
+  const auto& g = p.graph();
+  graph::GraphBuilder builder(g.num_nodes());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& [u, v] = g.edge(e);
+    const bool u_shortlists = p.rank(u, v) < k;
+    const bool v_shortlists = p.rank(v, u) < k;
+    const bool keep = mode == TruncationMode::kEither ? (u_shortlists || v_shortlists)
+                                                      : (u_shortlists && v_shortlists);
+    if (keep) builder.add_edge(u, v);
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace overmatch::prefs

@@ -1,0 +1,29 @@
+// Candidate preselection: bounded preference lists.
+//
+// The paper keeps full preference lists over the whole neighbourhood. Real
+// peers bound their bookkeeping: they shortlist only their k best-scoring
+// neighbours. This transform drops every candidate edge that no endpoint
+// (`kEither`) — or not both endpoints (`kMutual`) — shortlists, producing a
+// smaller candidate graph on the same node set. Preferences are then rebuilt
+// on the reduced neighbourhoods.
+//
+// Bench E17 sweeps k: how much satisfaction and protocol traffic does
+// shortlist size buy?
+#pragma once
+
+#include "graph/graph.hpp"
+#include "prefs/preference_profile.hpp"
+
+namespace overmatch::prefs {
+
+enum class TruncationMode : std::uint8_t {
+  kEither,  ///< keep edge if u shortlists v OR v shortlists u
+  kMutual,  ///< keep edge only if both shortlist each other
+};
+
+/// Reduced candidate graph under top-k shortlists. Node ids are preserved;
+/// with k ≥ max degree the graph is unchanged.
+[[nodiscard]] graph::Graph truncate_candidates(const PreferenceProfile& p,
+                                               std::size_t k, TruncationMode mode);
+
+}  // namespace overmatch::prefs

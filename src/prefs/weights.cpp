@@ -1,0 +1,88 @@
+#include "prefs/weights.hpp"
+
+#include <algorithm>
+
+#include "prefs/satisfaction.hpp"
+
+namespace overmatch::prefs {
+
+EdgeWeights::EdgeWeights(const Graph& g, std::vector<double> w)
+    : graph_(&g), w_(std::move(w)) {
+  OM_CHECK(w_.size() == g.num_edges());
+}
+
+bool EdgeWeights::heavier(EdgeId a, EdgeId b) const {
+  OM_CHECK(a < w_.size() && b < w_.size());
+  if (w_[a] != w_[b]) return w_[a] > w_[b];
+  const auto& ea = graph_->edge(a);
+  const auto& eb = graph_->edge(b);
+  if (ea.u != eb.u) return ea.u < eb.u;
+  return ea.v < eb.v;
+}
+
+double EdgeWeights::total(const std::vector<EdgeId>& edges) const {
+  double s = 0.0;
+  for (const EdgeId e : edges) s += weight(e);
+  return s;
+}
+
+EdgeWeights paper_weights(const PreferenceProfile& p) {
+  const auto& g = p.graph();
+  std::vector<double> w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& [u, v] = g.edge(e);
+    w[e] = delta_s_static(p, u, v) + delta_s_static(p, v, u);  // eq. 9
+  }
+  return EdgeWeights(g, std::move(w));
+}
+
+EdgeWeights min_weights(const PreferenceProfile& p) {
+  const auto& g = p.graph();
+  std::vector<double> w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& [u, v] = g.edge(e);
+    w[e] = std::min(delta_s_static(p, u, v), delta_s_static(p, v, u));
+  }
+  return EdgeWeights(g, std::move(w));
+}
+
+EdgeWeights product_weights(const PreferenceProfile& p) {
+  const auto& g = p.graph();
+  std::vector<double> w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& [u, v] = g.edge(e);
+    w[e] = delta_s_static(p, u, v) * delta_s_static(p, v, u);
+  }
+  return EdgeWeights(g, std::move(w));
+}
+
+EdgeWeights ranksum_weights(const PreferenceProfile& p) {
+  const auto& g = p.graph();
+  std::vector<double> w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& [u, v] = g.edge(e);
+    const double ru = static_cast<double>(p.rank(u, v)) /
+                      static_cast<double>(p.list_size(u));
+    const double rv = static_cast<double>(p.rank(v, u)) /
+                      static_cast<double>(p.list_size(v));
+    w[e] = 2.0 - (ru + rv);
+  }
+  return EdgeWeights(g, std::move(w));
+}
+
+EdgeWeights random_weights(const Graph& g, util::Rng& rng) {
+  std::vector<double> w(g.num_edges());
+  for (auto& x : w) x = 1.0 - rng.uniform();  // (0, 1]
+  return EdgeWeights(g, std::move(w));
+}
+
+EdgeWeights weights_by_name(const std::string& name, const PreferenceProfile& p) {
+  if (name == "paper") return paper_weights(p);
+  if (name == "min") return min_weights(p);
+  if (name == "product") return product_weights(p);
+  if (name == "ranksum") return ranksum_weights(p);
+  OM_CHECK_MSG(false, "unknown weight design");
+  return paper_weights(p);
+}
+
+}  // namespace overmatch::prefs

@@ -1,0 +1,69 @@
+// Edge weights connecting the modified b-matching problem to many-to-many
+// maximum weighted matching (paper §4, eq. 9), plus ablation weight designs.
+//
+//   w(i,j) = ΔS̄_ij + ΔS̄_ji = (1 − R_i(j)/L_i)/b_i + (1 − R_j(i)/L_j)/b_j
+//
+// The paper requires *unique* weights so locally-heaviest edges are
+// unambiguous; ties are broken by node identities. We realize that as a
+// strict total order on edges: (weight, u, v) compared lexicographically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "prefs/preference_profile.hpp"
+#include "util/rng.hpp"
+
+namespace overmatch::prefs {
+
+using graph::EdgeId;
+
+/// Edge weights plus the strict total "heavier-than" order all greedy
+/// algorithms share.
+class EdgeWeights {
+ public:
+  EdgeWeights(const Graph& g, std::vector<double> w);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] double weight(EdgeId e) const {
+    OM_CHECK(e < w_.size());
+    return w_[e];
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return w_; }
+
+  /// Strict total order: true iff edge a is heavier than edge b. Ties in
+  /// numeric weight are broken by the lexicographically smaller endpoint pair
+  /// (the paper's node-identity tie-break).
+  [[nodiscard]] bool heavier(EdgeId a, EdgeId b) const;
+
+  /// Total weight of an edge subset.
+  [[nodiscard]] double total(const std::vector<EdgeId>& edges) const;
+
+ private:
+  const Graph* graph_;
+  std::vector<double> w_;
+};
+
+/// The paper's weights (eq. 9). Strictly positive.
+[[nodiscard]] EdgeWeights paper_weights(const PreferenceProfile& p);
+
+/// Ablation: min of the two static increments (pessimistic aggregation).
+[[nodiscard]] EdgeWeights min_weights(const PreferenceProfile& p);
+
+/// Ablation: product of the two static increments.
+[[nodiscard]] EdgeWeights product_weights(const PreferenceProfile& p);
+
+/// Ablation: negated rank sum, shifted to be positive:
+/// w = 2 − (R_i(j)/L_i + R_j(i)/L_j) — ignores quotas entirely.
+[[nodiscard]] EdgeWeights ranksum_weights(const PreferenceProfile& p);
+
+/// Uniform random weights in (0, 1] — baseline for weight-structure ablation.
+[[nodiscard]] EdgeWeights random_weights(const Graph& g, util::Rng& rng);
+
+/// Named dispatch used by the ablation bench: "paper", "min", "product",
+/// "ranksum".
+[[nodiscard]] EdgeWeights weights_by_name(const std::string& name,
+                                          const PreferenceProfile& p);
+
+}  // namespace overmatch::prefs

@@ -1,0 +1,99 @@
+// Message-passing agent abstraction shared by the discrete-event simulator
+// and the threaded actor runtime.
+//
+// The paper's LID algorithm assumes an asynchronous overlay: peers exchange
+// messages with unbounded but finite delays and no global clock. We simulate
+// that environment (no physical testbed is required for this reproduction);
+// an Agent is a deterministic automaton reacting to single-message deliveries,
+// so the *same* algorithm object runs unchanged under both runtimes and under
+// adversarial schedules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace overmatch::sim {
+
+using graph::NodeId;
+
+/// A small POD message. `kind` is algorithm-defined (e.g. PROP/REJ); `data`
+/// carries an optional payload word.
+struct Message {
+  std::uint32_t kind = 0;
+  std::uint64_t data = 0;
+};
+
+/// Collects the sends an agent performs during one activation. The runtime
+/// drains it after every callback.
+class Outbox {
+ public:
+  struct Send {
+    NodeId to;
+    Message msg;
+  };
+  struct Timer {
+    double delay;
+    Message msg;
+  };
+
+  void send(NodeId to, Message msg) { sends_.push_back({to, msg}); }
+
+  /// Schedule a self-delivery after `delay` units of virtual time. Timers are
+  /// local bookkeeping: they are never lost and only the discrete-event
+  /// simulator supports them (the threaded runtime aborts — real deployments
+  /// would use OS timers there).
+  void send_timer(double delay, Message msg) { timers_.push_back({delay, msg}); }
+
+  [[nodiscard]] const std::vector<Send>& sends() const noexcept { return sends_; }
+  [[nodiscard]] const std::vector<Timer>& timers() const noexcept { return timers_; }
+  void clear() noexcept {
+    sends_.clear();
+    timers_.clear();
+  }
+
+ private:
+  std::vector<Send> sends_;
+  std::vector<Timer> timers_;
+};
+
+/// Deterministic reactive automaton. Runtimes guarantee: (1) on_start is
+/// invoked exactly once before any delivery, (2) callbacks for one agent are
+/// never concurrent, (3) every sent message is eventually delivered exactly
+/// once.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  /// One-time initialization; may send initial messages.
+  virtual void on_start(Outbox& out) = 0;
+
+  /// Deliver one message from `from`.
+  virtual void on_message(NodeId from, const Message& msg, Outbox& out) = 0;
+
+  /// True once the agent will never send again regardless of future input.
+  [[nodiscard]] virtual bool terminated() const = 0;
+};
+
+/// Message accounting shared by both runtimes.
+struct MessageStats {
+  std::size_t total_sent = 0;
+  std::size_t total_delivered = 0;
+  std::size_t total_dropped = 0;  ///< lost by the (lossy) network
+  /// Indexed by message kind (kinds are small integers by convention).
+  std::vector<std::size_t> sent_by_kind;
+  /// Virtual completion time (DES: last delivery timestamp; threads: 0).
+  double completion_time = 0.0;
+
+  void count_send(std::uint32_t kind) {
+    ++total_sent;
+    if (kind >= sent_by_kind.size()) sent_by_kind.resize(kind + 1, 0);
+    ++sent_by_kind[kind];
+  }
+  [[nodiscard]] std::size_t kind_count(std::uint32_t kind) const {
+    return kind < sent_by_kind.size() ? sent_by_kind[kind] : 0;
+  }
+};
+
+}  // namespace overmatch::sim

@@ -1,0 +1,126 @@
+#include "sim/event_sim.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace overmatch::sim {
+
+Schedule schedule_by_name(const std::string& name) {
+  if (name == "fifo") return Schedule::kFifo;
+  if (name == "random") return Schedule::kRandomOrder;
+  if (name == "delay") return Schedule::kRandomDelay;
+  if (name == "adversarial") return Schedule::kAdversarialDelay;
+  OM_CHECK_MSG(false, "unknown schedule name");
+  return Schedule::kFifo;
+}
+
+const char* schedule_name(Schedule s) {
+  switch (s) {
+    case Schedule::kFifo: return "fifo";
+    case Schedule::kRandomOrder: return "random";
+    case Schedule::kRandomDelay: return "delay";
+    case Schedule::kAdversarialDelay: return "adversarial";
+  }
+  return "?";
+}
+
+EventSimulator::EventSimulator(std::vector<Agent*> agents, Schedule schedule,
+                               std::uint64_t seed)
+    : agents_(std::move(agents)), schedule_(schedule), rng_(seed) {
+  for (const auto* a : agents_) OM_CHECK(a != nullptr);
+}
+
+double EventSimulator::link_delay(NodeId from, NodeId to) {
+  switch (schedule_) {
+    case Schedule::kFifo:
+    case Schedule::kRandomOrder:
+      return 0.0;  // ordering handled elsewhere
+    case Schedule::kRandomDelay:
+      return rng_.uniform(0.5, 1.5);
+    case Schedule::kAdversarialDelay: {
+      // Deterministic per-(from,to) delay spanning two orders of magnitude:
+      // a hash of the link picks a delay in [1, 100]. Messages on a link stay
+      // FIFO (same delay), but cross-link interleavings are extreme.
+      util::SplitMix64 h((static_cast<std::uint64_t>(from) << 32) ^ to ^ 0xabcdef);
+      const double unit = static_cast<double>(h.next() % 1000) / 999.0;  // [0,1]
+      return std::pow(10.0, 2.0 * unit);                                 // [1,100]
+    }
+  }
+  return 0.0;
+}
+
+void EventSimulator::set_loss_probability(double p) {
+  OM_CHECK(p >= 0.0 && p < 1.0);
+  OM_CHECK_MSG(schedule_ == Schedule::kRandomDelay ||
+                   schedule_ == Schedule::kAdversarialDelay,
+               "message loss requires a delay-based schedule (timers)");
+  loss_probability_ = p;
+}
+
+void EventSimulator::enqueue(NodeId from, const Outbox& out) {
+  for (const auto& s : out.sends()) {
+    OM_CHECK(s.to < agents_.size());
+    stats_.count_send(s.msg.kind);
+    if (loss_probability_ > 0.0 && rng_.chance(loss_probability_)) {
+      ++stats_.total_dropped;
+      continue;
+    }
+    Envelope env;
+    env.from = from;
+    env.to = s.to;
+    env.msg = s.msg;
+    env.seq = next_seq_++;
+    env.time = now_ + link_delay(from, s.to);
+    if (schedule_ == Schedule::kRandomOrder) {
+      bag_.push_back(env);
+    } else {
+      pq_.push(env);
+    }
+  }
+  for (const auto& t : out.timers()) {
+    OM_CHECK_MSG(schedule_ != Schedule::kFifo && schedule_ != Schedule::kRandomOrder,
+                 "timers require a delay-based schedule");
+    Envelope env;
+    env.from = from;
+    env.to = from;  // self-delivery
+    env.msg = t.msg;
+    env.seq = next_seq_++;
+    env.time = now_ + t.delay;
+    pq_.push(env);
+  }
+}
+
+MessageStats EventSimulator::run(std::size_t max_deliveries) {
+  Outbox out;
+  for (NodeId v = 0; v < agents_.size(); ++v) {
+    out.clear();
+    agents_[v]->on_start(out);
+    enqueue(v, out);
+  }
+  std::size_t delivered = 0;
+  for (;;) {
+    Envelope env;
+    if (schedule_ == Schedule::kRandomOrder) {
+      if (bag_.empty()) break;
+      const std::size_t k = rng_.index(bag_.size());
+      env = bag_[k];
+      bag_[k] = bag_.back();
+      bag_.pop_back();
+    } else {
+      if (pq_.empty()) break;
+      env = pq_.top();
+      pq_.pop();
+      now_ = env.time;
+    }
+    OM_CHECK_MSG(++delivered <= max_deliveries,
+                 "EventSimulator: delivery budget exceeded (non-termination?)");
+    out.clear();
+    agents_[env.to]->on_message(env.from, env.msg, out);
+    enqueue(env.to, out);
+  }
+  stats_.total_delivered = delivered;
+  stats_.completion_time = now_;
+  return stats_;
+}
+
+}  // namespace overmatch::sim

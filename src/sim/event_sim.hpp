@@ -1,0 +1,88 @@
+// Discrete-event simulator for asynchronous message-passing algorithms.
+//
+// Scheduling policies model different network behaviours:
+//   * kFifo        — global FIFO: messages delivered in send order (a fair,
+//                    synchronous-looking schedule).
+//   * kRandomOrder — at every step a uniformly random pending message is
+//                    delivered (classic asynchronous adversary with fairness).
+//   * kRandomDelay — every message is assigned an i.i.d. random latency and
+//                    delivered in timestamp order (models jittery links).
+//   * kAdversarialDelay — per-link deterministic delays drawn once, spanning
+//                    two orders of magnitude, so some links are consistently
+//                    ~100× slower (models a pathological WAN).
+//
+// The paper's guarantees are schedule-independent; benches/tests run the same
+// algorithm under all policies and verify identical outcomes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "util/rng.hpp"
+
+namespace overmatch::sim {
+
+enum class Schedule : std::uint8_t {
+  kFifo,
+  kRandomOrder,
+  kRandomDelay,
+  kAdversarialDelay,
+};
+
+/// Parses "fifo" | "random" | "delay" | "adversarial".
+[[nodiscard]] Schedule schedule_by_name(const std::string& name);
+[[nodiscard]] const char* schedule_name(Schedule s);
+
+/// Runs a set of agents to quiescence (no pending messages).
+class EventSimulator {
+ public:
+  /// `agents[v]` is node v's automaton; ownership stays with the caller.
+  EventSimulator(std::vector<Agent*> agents, Schedule schedule, std::uint64_t seed);
+
+  /// Drop each (non-timer) message independently with probability `p`.
+  /// Requires a delay-based schedule (timers need virtual time to make
+  /// retransmission meaningful). Algorithms must then run behind a
+  /// reliable-delivery adapter (see reliable.hpp) to still terminate.
+  void set_loss_probability(double p);
+
+  /// Executes on_start for every node, then delivers messages until none are
+  /// pending. Returns accumulated statistics. Aborts if `max_deliveries`
+  /// is exceeded (non-termination guard; default effectively unbounded).
+  MessageStats run(std::size_t max_deliveries = static_cast<std::size_t>(-1));
+
+ private:
+  struct Envelope {
+    double time = 0.0;     // delivery timestamp (delay-based schedules)
+    std::uint64_t seq = 0; // tiebreak / FIFO order
+    NodeId from = 0;
+    NodeId to = 0;
+    Message msg;
+  };
+
+  void enqueue(NodeId from, const Outbox& out);
+  [[nodiscard]] double link_delay(NodeId from, NodeId to);
+
+  std::vector<Agent*> agents_;
+  Schedule schedule_;
+  util::Rng rng_;
+  double loss_probability_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+  MessageStats stats_;
+
+  // Priority queue ordered by (time, seq).
+  struct EnvelopeLater {
+    bool operator()(const Envelope& a, const Envelope& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Envelope, std::vector<Envelope>, EnvelopeLater> pq_;
+  std::vector<Envelope> bag_;  // kRandomOrder storage
+};
+
+}  // namespace overmatch::sim

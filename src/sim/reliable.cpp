@@ -1,0 +1,84 @@
+#include "sim/reliable.hpp"
+
+#include "util/check.hpp"
+
+namespace overmatch::sim {
+namespace {
+
+/// Timer messages are self-deliveries with this kind (local only, never on
+/// the wire, so no clash with kAckKind or inner kinds is possible from peers;
+/// inner agents must not send to themselves).
+constexpr std::uint32_t kTickKind = 62;
+
+std::uint64_t dedup_key(NodeId from, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(from) << 32) | (seq & 0xffffffffULL);
+}
+
+}  // namespace
+
+ReliableAgent::ReliableAgent(NodeId self, Agent* inner, double retransmit_interval)
+    : self_(self), inner_(inner), interval_(retransmit_interval) {
+  OM_CHECK(inner_ != nullptr);
+  OM_CHECK(interval_ > 0.0);
+}
+
+void ReliableAgent::wrap_and_send(Outbox& inner_out, Outbox& out) {
+  for (const auto& s : inner_out.sends()) {
+    OM_CHECK_MSG(s.msg.kind != kAckKind && s.msg.kind != kTickKind,
+                 "inner agent uses a reserved message kind");
+    OM_CHECK_MSG(s.msg.data <= 0xffffffffULL,
+                 "reliable adapter supports 32-bit inner payloads only");
+    OM_CHECK_MSG(s.to != self_, "inner agent must not send to itself");
+    const std::uint64_t seq = next_seq_++ & 0xffffffffULL;
+    Message wire{s.msg.kind, (seq << 32) | s.msg.data};
+    unacked_.push_back({s.to, wire});
+    out.send(s.to, wire);
+  }
+  arm_timer(out);
+}
+
+void ReliableAgent::arm_timer(Outbox& out) {
+  if (!timer_armed_ && !unacked_.empty()) {
+    out.send_timer(interval_, Message{kTickKind, 0});
+    timer_armed_ = true;
+  }
+}
+
+void ReliableAgent::on_start(Outbox& out) {
+  Outbox inner_out;
+  inner_->on_start(inner_out);
+  wrap_and_send(inner_out, out);
+}
+
+void ReliableAgent::on_message(NodeId from, const Message& msg, Outbox& out) {
+  if (from == self_ && msg.kind == kTickKind) {
+    timer_armed_ = false;
+    for (const auto& p : unacked_) {
+      out.send(p.to, p.wire);
+      ++retransmissions_;
+    }
+    arm_timer(out);
+    return;
+  }
+  if (msg.kind == kAckKind) {
+    const std::uint64_t seq = msg.data;
+    std::erase_if(unacked_, [&](const Pending& p) {
+      return p.to == from && (p.wire.data >> 32) == seq;
+    });
+    return;
+  }
+  // DATA: always acknowledge (the sender may be retransmitting because our
+  // previous ACK was lost), deliver to the inner agent once.
+  const std::uint64_t seq = msg.data >> 32;
+  out.send(from, Message{kAckKind, seq});
+  if (!seen_.insert(dedup_key(from, seq)).second) return;  // duplicate
+  Outbox inner_out;
+  inner_->on_message(from, Message{msg.kind, msg.data & 0xffffffffULL}, inner_out);
+  wrap_and_send(inner_out, out);
+}
+
+bool ReliableAgent::terminated() const {
+  return inner_->terminated() && unacked_.empty();
+}
+
+}  // namespace overmatch::sim

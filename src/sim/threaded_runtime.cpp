@@ -1,0 +1,94 @@
+#include "sim/threaded_runtime.hpp"
+
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace overmatch::sim {
+
+ThreadedRuntime::ThreadedRuntime(std::vector<Agent*> agents, std::size_t threads)
+    : agents_(std::move(agents)),
+      threads_(threads),
+      mailboxes_(agents_.size()) {
+  OM_CHECK(threads_ >= 1);
+  for (const auto* a : agents_) OM_CHECK(a != nullptr);
+}
+
+void ThreadedRuntime::deliver_outbox(NodeId from, const Outbox& out) {
+  OM_CHECK_MSG(out.timers().empty(),
+               "ThreadedRuntime does not support virtual timers");
+  if (out.sends().empty()) return;
+  {
+    std::lock_guard lk(stats_mu_);
+    for (const auto& s : out.sends()) stats_.count_send(s.msg.kind);
+  }
+  for (const auto& s : out.sends()) {
+    OM_CHECK(s.to < agents_.size());
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard lk(mailboxes_[s.to].mu);
+      mailboxes_[s.to].q.push_back({from, s.msg});
+    }
+  }
+}
+
+void ThreadedRuntime::worker(std::size_t worker_id) {
+  Outbox out;
+  // Initialization: each worker starts its own nodes (serialized per node).
+  for (NodeId v = static_cast<NodeId>(worker_id); v < agents_.size();
+       v += static_cast<NodeId>(threads_)) {
+    out.clear();
+    agents_[v]->on_start(out);
+    deliver_outbox(v, out);
+  }
+  initialized_.fetch_add(1, std::memory_order_acq_rel);
+  // Delivery loop: drain owned mailboxes until globally quiescent.
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool progressed = false;
+    for (NodeId v = static_cast<NodeId>(worker_id); v < agents_.size();
+         v += static_cast<NodeId>(threads_)) {
+      for (;;) {
+        Envelope env;
+        {
+          std::lock_guard lk(mailboxes_[v].mu);
+          if (mailboxes_[v].q.empty()) break;
+          env = mailboxes_[v].q.front();
+          mailboxes_[v].q.pop_front();
+        }
+        out.clear();
+        agents_[v]->on_message(env.from, env.msg, out);
+        deliver_outbox(v, out);
+        // Decrement only after the causal consequences are enqueued, so
+        // in_flight_ == 0 really means quiescence.
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      // Quiescence only counts once every worker finished its on_start phase;
+      // otherwise a late initializer could still inject messages.
+      if (initialized_.load(std::memory_order_acquire) == threads_ &&
+          in_flight_.load(std::memory_order_acquire) == 0) {
+        stop_.store(true, std::memory_order_release);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+}
+
+MessageStats ThreadedRuntime::run() {
+  stop_.store(false, std::memory_order_release);
+  std::vector<std::thread> pool;
+  pool.reserve(threads_);
+  for (std::size_t t = 0; t < threads_; ++t) {
+    pool.emplace_back([this, t] { worker(t); });
+  }
+  for (auto& th : pool) th.join();
+  // Every send was eventually processed.
+  OM_CHECK(in_flight_.load() == 0);
+  stats_.total_delivered = stats_.total_sent;
+  return stats_;
+}
+
+}  // namespace overmatch::sim

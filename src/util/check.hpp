@@ -1,0 +1,31 @@
+// Lightweight always-on invariant checking.
+//
+// OM_CHECK aborts with a diagnostic when a library invariant is violated; it is
+// kept enabled in release builds because every algorithm in this library is a
+// correctness artifact (an approximation guarantee that silently degrades is
+// worse than a crash).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace overmatch::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "OM_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace overmatch::util
+
+#define OM_CHECK(expr)                                                          \
+  do {                                                                          \
+    if (!(expr)) ::overmatch::util::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define OM_CHECK_MSG(expr, msg)                                                   \
+  do {                                                                            \
+    if (!(expr)) ::overmatch::util::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

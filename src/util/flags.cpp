@@ -1,0 +1,47 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "util/check.hpp"
+
+namespace overmatch::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a(argv[i]);
+    if (!a.starts_with("--")) continue;  // tolerate foreign args (gtest/benchmark)
+    a.remove_prefix(2);
+    const auto eq = a.find('=');
+    if (eq == std::string_view::npos) {
+      kv_[std::string(a)] = "1";
+    } else {
+      kv_[std::string(a.substr(0, eq))] = std::string(a.substr(eq + 1));
+    }
+  }
+}
+
+bool Flags::has(const std::string& key) const { return kv_.contains(key); }
+
+std::string Flags::get(const std::string& key, const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+}  // namespace overmatch::util

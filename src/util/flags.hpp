@@ -1,0 +1,26 @@
+// Minimal --key=value command-line parsing for examples and bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace overmatch::util {
+
+/// Parses `--key=value` and bare `--flag` arguments. Unknown positional
+/// arguments are rejected (benches take no positionals).
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace overmatch::util

@@ -1,0 +1,39 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+namespace overmatch::util {
+
+double Rng::normal() noexcept {
+  // Box-Muller; u1 is kept away from 0 so log() is finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  OM_CHECK(k <= n);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k > n / 2) {
+    // Dense case: shuffle a full index vector and truncate.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    shuffle(all);
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<std::size_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const std::size_t x = index(n);
+    if (seen.insert(x).second) out.push_back(x);
+  }
+  shuffle(out);
+  return out;
+}
+
+}  // namespace overmatch::util

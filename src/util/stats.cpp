@@ -1,0 +1,107 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace overmatch::util {
+
+void StreamingStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> xs, double p) {
+  OM_CHECK(!xs.empty());
+  OM_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double mean_of(const std::vector<double>& xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  OM_CHECK(hi > lo);
+  OM_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto b = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  b = std::clamp<std::ptrdiff_t>(b, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t b) const {
+  OM_CHECK(b < counts_.size());
+  return counts_[b];
+}
+
+double Histogram::bin_lo(std::size_t b) const {
+  OM_CHECK(b < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t b) const { return bin_lo(b + 1 - 1) + (hi_ - lo_) / static_cast<double>(counts_.size()); }
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar = counts_[b] * width / peak;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << "[" << bin_lo(b) << ", " << bin_hi(b) << ") ";
+    for (std::size_t i = 0; i < bar; ++i) os << '#';
+    os << ' ' << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace overmatch::util

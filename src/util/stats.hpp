@@ -1,0 +1,64 @@
+// Streaming and batch descriptive statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace overmatch::util {
+
+/// Welford streaming accumulator: count / mean / variance / min / max in O(1)
+/// memory, numerically stable.
+class StreamingStats {
+ public:
+  void add(double x) noexcept;
+  /// Merge another accumulator into this one (parallel reduction friendly).
+  void merge(const StreamingStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< Sample variance (n-1).
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation between order statistics).
+/// `p` in [0, 100]. The input is copied; the original order is preserved.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// Arithmetic mean of a sample; 0 for an empty sample.
+[[nodiscard]] double mean_of(const std::vector<double>& xs) noexcept;
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside the
+/// range are clamped into the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t b) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t b) const;
+  [[nodiscard]] double bin_hi(std::size_t b) const;
+
+  /// Multi-line ASCII rendering (one row per bucket) for bench output.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace overmatch::util

@@ -1,0 +1,95 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace overmatch::util {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  OM_CHECK(!headers_.empty());
+}
+
+Table& Table::row() {
+  if (!cells_.empty()) {
+    OM_CHECK_MSG(cells_.back().size() == headers_.size(),
+                 "previous row has wrong number of cells");
+  }
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& v) {
+  OM_CHECK_MSG(!cells_.empty() && cells_.back().size() < headers_.size(),
+               "cell() without row() or too many cells");
+  cells_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(const char* v) { return cell(std::string(v)); }
+Table& Table::cell(double v, int precision) { return cell(fmt(v, precision)); }
+Table& Table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(int v) { return cell(std::to_string(v)); }
+Table& Table::cell(bool v) { return cell(std::string(v ? "yes" : "no")); }
+
+std::string Table::markdown() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : cells_) {
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+  }
+  auto pad = [](const std::string& s, std::size_t w) {
+    std::string out = s;
+    out.append(w - s.size(), ' ');
+    return out;
+  };
+  std::ostringstream os;
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << ' ' << pad(headers_[c], widths[c]) << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << std::string(widths[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& r : cells_) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << ' ' << pad(c < r.size() ? r[c] : std::string(), widths[c]) << " |";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << ',';
+    os << headers_[c];
+  }
+  os << '\n';
+  for (const auto& r : cells_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c > 0) os << ',';
+      os << r[c];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(const std::string& caption) const {
+  std::printf("\n%s\n\n%s\n", caption.c_str(), markdown().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace overmatch::util

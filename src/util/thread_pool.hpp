@@ -1,0 +1,51 @@
+// Fixed-size thread pool used by the parallel matching algorithms and the
+// threaded actor runtime helpers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace overmatch::util {
+
+/// Simple fixed-size pool. Tasks are void() callables; completion is observed
+/// with wait_idle(). Designed for fork-join phases in the parallel matchers,
+/// not for general futures.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Partition [0, n) into contiguous chunks, run `fn(begin, end)` on the pool,
+  /// and wait for completion.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace overmatch::util

@@ -1,0 +1,28 @@
+// Wall-clock timing helper for benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace overmatch::util {
+
+/// Monotonic wall-clock stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace overmatch::util

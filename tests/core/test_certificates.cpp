@@ -1,0 +1,78 @@
+#include "core/certificates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/solvers.hpp"
+#include "matching/exact.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::core {
+namespace {
+
+using matching::testing::Instance;
+
+TEST(TheoremBounds, KnownValues) {
+  EXPECT_DOUBLE_EQ(theorem1_bound(1), 1.0);
+  EXPECT_DOUBLE_EQ(theorem1_bound(2), 0.75);
+  EXPECT_DOUBLE_EQ(theorem1_bound(4), 0.625);
+  EXPECT_DOUBLE_EQ(theorem2_bound(), 0.5);
+  EXPECT_DOUBLE_EQ(theorem3_bound(1), 0.5);
+  EXPECT_DOUBLE_EQ(theorem3_bound(2), 0.375);
+  EXPECT_DOUBLE_EQ(theorem3_bound(4), 0.3125);
+}
+
+TEST(TheoremBounds, MonotoneDecreasingInQuota) {
+  for (std::uint32_t b = 1; b < 16; ++b) {
+    EXPECT_GT(theorem1_bound(b), theorem1_bound(b + 1));
+    EXPECT_GT(theorem3_bound(b), theorem3_bound(b + 1));
+  }
+  // Limits: ½ and ¼.
+  EXPECT_GT(theorem1_bound(1000), 0.5);
+  EXPECT_GT(theorem3_bound(1000), 0.25);
+}
+
+TEST(Certify, GreedyGetsHalfCertificateAndSaneRatio) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto inst = Instance::random("er", 24, 5.0, 2, seed * 3 + 1);
+    const auto r = solve(*inst->profile, Algorithm::kLicGlobal);
+    const auto c = certify(*inst->profile, *inst->weights, r.matching);
+    EXPECT_TRUE(c.half_certificate);
+    EXPECT_GT(c.ratio_lower_bound, 0.0);
+    EXPECT_LE(c.ratio_lower_bound, 1.0 + 1e-9);
+    EXPECT_NEAR(c.weight, r.weight, 1e-12);
+    EXPECT_GE(c.upper_bound, c.weight - 1e-9);
+  }
+}
+
+TEST(Certify, UpperBoundDominatesExactOptimum) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto inst = Instance::random("er", 13, 4.0, 2, seed * 7 + 2);
+    const auto opt = matching::exact_max_weight_bmatching(*inst->weights,
+                                                          inst->profile->quotas());
+    const auto c = certify(*inst->profile, *inst->weights, opt);
+    EXPECT_GE(c.upper_bound, opt.total_weight(*inst->weights) - 1e-9);
+  }
+}
+
+TEST(Certify, RandomGreedyMayLackCertificate) {
+  int lacking = 0;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    auto inst = Instance::random("er", 24, 6.0, 2, seed * 13 + 3);
+    SolveOptions opt;
+    opt.seed = seed;
+    const auto r = solve(*inst->profile, Algorithm::kRandomGreedy, opt);
+    const auto c = certify(*inst->profile, *inst->weights, r.matching);
+    if (!c.half_certificate) ++lacking;
+  }
+  EXPECT_GT(lacking, 0);
+}
+
+TEST(Certify, Theorem3FieldMatchesInstanceQuota) {
+  auto inst = Instance::random("er", 12, 4.0, 3, 5);
+  const auto r = solve(*inst->profile, Algorithm::kLicGlobal);
+  const auto c = certify(*inst->profile, *inst->weights, r.matching);
+  EXPECT_DOUBLE_EQ(c.theorem3, theorem3_bound(inst->profile->max_quota()));
+}
+
+}  // namespace
+}  // namespace overmatch::core

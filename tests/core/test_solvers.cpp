@@ -1,0 +1,122 @@
+#include "core/solvers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/metrics.hpp"
+#include "matching/verify.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::core {
+namespace {
+
+using matching::testing::Instance;
+
+TEST(AlgorithmNames, RoundTrip) {
+  for (const Algorithm a : all_algorithms()) {
+    EXPECT_EQ(algorithm_by_name(algorithm_name(a)), a);
+  }
+}
+
+TEST(AlgorithmNamesDeathTest, UnknownAborts) {
+  EXPECT_DEATH((void)algorithm_by_name("nope"), "unknown");
+}
+
+TEST(Solve, AllAlgorithmsProduceValidMatchings) {
+  auto inst = Instance::random("er", 14, 4.0, 2, 3);
+  for (const Algorithm a : all_algorithms()) {
+    const auto r = solve(*inst->profile, a);
+    EXPECT_TRUE(matching::is_valid_bmatching(r.matching)) << algorithm_name(a);
+    EXPECT_GE(r.satisfaction, 0.0) << algorithm_name(a);
+    EXPECT_GE(r.weight, 0.0) << algorithm_name(a);
+  }
+}
+
+TEST(Solve, MetricsMatchManualComputation) {
+  auto inst = Instance::random("ba", 16, 4.0, 2, 5);
+  const auto r = solve(*inst->profile, Algorithm::kLicGlobal);
+  EXPECT_NEAR(r.weight, r.matching.total_weight(*inst->weights), 1e-12);
+  EXPECT_NEAR(r.satisfaction,
+              matching::total_satisfaction(*inst->profile, r.matching), 1e-12);
+  EXPECT_NEAR(r.satisfaction_modified,
+              matching::total_satisfaction_modified(*inst->profile, r.matching),
+              1e-12);
+}
+
+TEST(Solve, GreedyFamilyAllEquivalent) {
+  auto inst = Instance::random("er", 20, 5.0, 3, 7);
+  const auto reference = solve(*inst->profile, Algorithm::kLicGlobal);
+  for (const Algorithm a : {Algorithm::kLicLocal, Algorithm::kParallelLocal,
+                            Algorithm::kBSuitor, Algorithm::kLidDes,
+                            Algorithm::kLidThreaded}) {
+    const auto r = solve(*inst->profile, a);
+    EXPECT_TRUE(reference.matching.same_edges(r.matching)) << algorithm_name(a);
+  }
+}
+
+TEST(Solve, LocalSearchVariantNeverWorseThanLid) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto inst = Instance::random("er", 24, 5.0, 3, seed * 31);
+    SolveOptions opt;
+    opt.seed = seed;
+    const auto plain = solve(*inst->profile, Algorithm::kLidDes, opt);
+    const auto refined = solve(*inst->profile, Algorithm::kLidLocalSearch, opt);
+    EXPECT_GE(refined.satisfaction, plain.satisfaction - 1e-12);
+  }
+}
+
+TEST(Solve, DistributedReportsMessages) {
+  auto inst = Instance::random("er", 16, 4.0, 2, 9);
+  EXPECT_GT(solve(*inst->profile, Algorithm::kLidDes).messages, 0u);
+  EXPECT_GT(solve(*inst->profile, Algorithm::kLidThreaded).messages, 0u);
+  EXPECT_EQ(solve(*inst->profile, Algorithm::kLicGlobal).messages, 0u);
+}
+
+TEST(Solve, ExactWeightDominatesGreedyWeight) {
+  auto inst = Instance::random("geo", 14, 4.0, 2, 11);
+  const auto greedy = solve(*inst->profile, Algorithm::kLicGlobal);
+  const auto exact = solve(*inst->profile, Algorithm::kExactWeight);
+  EXPECT_GE(exact.weight, greedy.weight - 1e-9);
+}
+
+TEST(Solve, ExactSatDominatesEveryoneOnSatisfaction) {
+  auto inst = Instance::random("er", 10, 3.0, 2, 13);
+  const auto best = solve(*inst->profile, Algorithm::kExactSat);
+  for (const Algorithm a : {Algorithm::kLicGlobal, Algorithm::kRandomGreedy,
+                            Algorithm::kMutualBest, Algorithm::kExactWeight}) {
+    const auto r = solve(*inst->profile, a);
+    EXPECT_GE(best.satisfaction, r.satisfaction - 1e-9) << algorithm_name(a);
+  }
+}
+
+TEST(Solve, WithCustomWeights) {
+  auto inst = Instance::random("er", 14, 4.0, 2, 17);
+  util::Rng rng(3);
+  const auto rw = prefs::random_weights(inst->g, rng);
+  const auto r = solve_with_weights(*inst->profile, rw, Algorithm::kLicGlobal);
+  // Weight metric refers to the supplied weights; satisfaction to the profile.
+  EXPECT_NEAR(r.weight, r.matching.total_weight(rw), 1e-12);
+  EXPECT_TRUE(matching::is_valid_bmatching(r.matching));
+}
+
+TEST(Solve, OptionsSeedChangesRandomGreedy) {
+  auto inst = Instance::random("complete", 10, 9.0, 2, 19);
+  SolveOptions o1;
+  o1.seed = 1;
+  SolveOptions o2;
+  o2.seed = 2;
+  const auto r1 = solve(*inst->profile, Algorithm::kRandomGreedy, o1);
+  const auto r2 = solve(*inst->profile, Algorithm::kRandomGreedy, o2);
+  // Different orders usually give different matchings on a dense instance.
+  EXPECT_FALSE(r1.matching.same_edges(r2.matching));
+}
+
+TEST(Solve, BestReplyCapReported) {
+  auto inst = Instance::random("complete", 8, 7.0, 2, 23);
+  SolveOptions opt;
+  opt.best_reply_max_steps = 1;
+  const auto r = solve(*inst->profile, Algorithm::kBestReply, opt);
+  EXPECT_FALSE(r.converged);
+}
+
+}  // namespace
+}  // namespace overmatch::core

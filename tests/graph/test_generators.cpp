@@ -1,0 +1,179 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+
+namespace overmatch::graph {
+namespace {
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  util::Rng rng(1);
+  const std::size_t n = 100;
+  const double p = 0.1;
+  const Graph g = erdos_renyi(n, p, rng);
+  const double expected = p * static_cast<double>(n * (n - 1) / 2);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.25);
+}
+
+TEST(ErdosRenyi, ExtremeProbabilities) {
+  util::Rng rng(2);
+  EXPECT_EQ(erdos_renyi(20, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi(20, 1.0, rng).num_edges(), 190u);
+}
+
+TEST(Gnm, ExactEdgeCount) {
+  util::Rng rng(3);
+  const Graph g = gnm(30, 50, rng);
+  EXPECT_EQ(g.num_nodes(), 30u);
+  EXPECT_EQ(g.num_edges(), 50u);
+}
+
+TEST(Gnm, MaximumEdges) {
+  util::Rng rng(4);
+  const Graph g = gnm(8, 28, rng);
+  EXPECT_EQ(g.num_edges(), 28u);
+}
+
+TEST(BarabasiAlbert, SizeAndMinDegree) {
+  util::Rng rng(5);
+  const Graph g = barabasi_albert(50, 3, rng);
+  EXPECT_EQ(g.num_nodes(), 50u);
+  // Seed clique K4 + 46 nodes × 3 edges.
+  EXPECT_EQ(g.num_edges(), 6u + 46u * 3u);
+  for (NodeId v = 0; v < 50; ++v) EXPECT_GE(g.degree(v), 3u);
+}
+
+TEST(BarabasiAlbert, ProducesHubs) {
+  util::Rng rng(6);
+  const Graph g = barabasi_albert(300, 2, rng);
+  // Preferential attachment should yield a hub well above the mean degree.
+  EXPECT_GE(g.max_degree(), 15u);
+}
+
+TEST(WattsStrogatz, RegularLatticeWhenNoRewiring) {
+  util::Rng rng(7);
+  const Graph g = watts_strogatz(20, 4, 0.0, rng);
+  EXPECT_EQ(g.num_edges(), 40u);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(WattsStrogatz, RewiringPreservesEdgeCount) {
+  util::Rng rng(8);
+  const Graph g = watts_strogatz(40, 6, 0.5, rng);
+  EXPECT_EQ(g.num_edges(), 120u);
+}
+
+TEST(RandomGeometric, RadiusControlsDensity) {
+  util::Rng rng1(9);
+  util::Rng rng2(9);
+  const Graph sparse = random_geometric(60, 0.1, rng1);
+  const Graph dense = random_geometric(60, 0.4, rng2);
+  EXPECT_LT(sparse.num_edges(), dense.num_edges());
+}
+
+TEST(RandomGeometric, ExportsCoordinates) {
+  util::Rng rng(10);
+  std::vector<double> coords;
+  const Graph g = random_geometric(15, 0.3, rng, &coords);
+  ASSERT_EQ(coords.size(), 30u);
+  for (const double c : coords) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+  (void)g;
+}
+
+TEST(Grid, StructureOfThreeByFour) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  // 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8.
+  EXPECT_EQ(g.num_edges(), 17u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior
+}
+
+TEST(Complete, AllPairs) {
+  const Graph g = complete(7);
+  EXPECT_EQ(g.num_edges(), 21u);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 6u);
+}
+
+TEST(CompleteBipartite, Structure) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 4u);
+  for (NodeId v = 3; v < 7; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_FALSE(g.has_edge(0, 1));  // no intra-side edges
+}
+
+TEST(PathCycleStar, Shapes) {
+  EXPECT_EQ(path(5).num_edges(), 4u);
+  EXPECT_EQ(cycle(5).num_edges(), 5u);
+  const Graph s = star(6);
+  EXPECT_EQ(s.num_edges(), 5u);
+  EXPECT_EQ(s.degree(0), 5u);
+}
+
+TEST(RandomRegular, DegreesExact) {
+  util::Rng rng(11);
+  const Graph g = random_regular(20, 4, rng);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(ByName, AllGeneratorsProduceReasonableDegree) {
+  for (const char* name : {"er", "ba", "ws", "geo", "regular"}) {
+    util::Rng rng(12);
+    const Graph g = by_name(name, 64, 6.0, rng);
+    EXPECT_GE(g.num_nodes(), 64u) << name;
+    const auto stats = degree_stats(g);
+    EXPECT_GT(stats.mean, 2.0) << name;
+    EXPECT_LT(stats.mean, 14.0) << name;
+  }
+}
+
+TEST(ByName, GridIgnoresDegreeParameter) {
+  util::Rng rng(13);
+  const Graph g = by_name("grid", 25, 99.0, rng);
+  EXPECT_EQ(g.num_nodes(), 25u);
+  EXPECT_LE(g.max_degree(), 4u);
+}
+
+TEST(ConnectComponents, MakesGraphConnected) {
+  // Two disjoint triangles.
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(3, 5);
+  const Graph g = std::move(b).build();
+  EXPECT_FALSE(is_connected(g));
+  const Graph c = connect_components(g);
+  EXPECT_TRUE(is_connected(c));
+  EXPECT_EQ(c.num_edges(), 7u);  // one bridge added
+}
+
+TEST(ConnectComponents, NoOpWhenConnected) {
+  const Graph g = cycle(6);
+  const Graph c = connect_components(g);
+  EXPECT_EQ(c.num_edges(), g.num_edges());
+}
+
+TEST(Generators, DeterministicGivenSeed) {
+  util::Rng a(99);
+  util::Rng b(99);
+  const Graph g1 = erdos_renyi(40, 0.2, a);
+  const Graph g2 = erdos_renyi(40, 0.2, b);
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  for (EdgeId e = 0; e < g1.num_edges(); ++e) {
+    EXPECT_EQ(g1.edge(e).u, g2.edge(e).u);
+    EXPECT_EQ(g1.edge(e).v, g2.edge(e).v);
+  }
+}
+
+}  // namespace
+}  // namespace overmatch::graph

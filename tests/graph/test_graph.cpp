@@ -1,0 +1,112 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace overmatch::graph {
+namespace {
+
+TEST(GraphBuilder, EmptyGraph) {
+  const Graph g = GraphBuilder(0).build();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilder, NodesWithoutEdges) {
+  const Graph g = GraphBuilder(5).build();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(GraphBuilder, AddEdgeReturnsSequentialIds) {
+  GraphBuilder b(4);
+  EXPECT_EQ(b.add_edge(0, 1), 0u);
+  EXPECT_EQ(b.add_edge(2, 3), 1u);
+  EXPECT_EQ(b.add_edge(1, 2), 2u);
+}
+
+TEST(GraphBuilder, EdgeEndpointsNormalized) {
+  GraphBuilder b(3);
+  b.add_edge(2, 0);  // reversed input
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.edge(0).u, 0u);
+  EXPECT_EQ(g.edge(0).v, 2u);
+}
+
+TEST(GraphBuilder, HasEdgeSeesBothDirections) {
+  GraphBuilder b(3);
+  b.add_edge(0, 2);
+  EXPECT_TRUE(b.has_edge(0, 2));
+  EXPECT_TRUE(b.has_edge(2, 0));
+  EXPECT_FALSE(b.has_edge(0, 1));
+}
+
+TEST(GraphBuilderDeathTest, SelfLoopAborts) {
+  GraphBuilder b(3);
+  EXPECT_DEATH(b.add_edge(1, 1), "self-loop");
+}
+
+TEST(GraphBuilderDeathTest, DuplicateEdgeAborts) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_DEATH(b.add_edge(1, 0), "duplicate");
+}
+
+TEST(Graph, AdjacencySortedByNeighbor) {
+  GraphBuilder b(5);
+  b.add_edge(2, 4);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  const auto adj = g.neighbors(2);
+  ASSERT_EQ(adj.size(), 3u);
+  EXPECT_EQ(adj[0].neighbor, 0u);
+  EXPECT_EQ(adj[1].neighbor, 3u);
+  EXPECT_EQ(adj[2].neighbor, 4u);
+}
+
+TEST(Graph, AdjacencyEdgeIdsMatch) {
+  GraphBuilder b(3);
+  const EdgeId e01 = b.add_edge(0, 1);
+  const EdgeId e12 = b.add_edge(1, 2);
+  const Graph g = std::move(b).build();
+  for (const auto& a : g.neighbors(1)) {
+    if (a.neighbor == 0) EXPECT_EQ(a.edge, e01);
+    if (a.neighbor == 2) EXPECT_EQ(a.edge, e12);
+  }
+}
+
+TEST(Graph, FindEdge) {
+  GraphBuilder b(4);
+  const EdgeId e = b.add_edge(1, 3);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.find_edge(1, 3), e);
+  EXPECT_EQ(g.find_edge(3, 1), e);
+  EXPECT_EQ(g.find_edge(0, 1), kInvalidEdge);
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(1, 3));
+}
+
+TEST(Graph, DegreeAndMaxDegree) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Edge, OtherEndpoint) {
+  const Edge e{2, 7};
+  EXPECT_EQ(e.other(2), 7u);
+  EXPECT_EQ(e.other(7), 2u);
+}
+
+TEST(EdgeDeathTest, OtherWithForeignNodeAborts) {
+  const Edge e{2, 7};
+  EXPECT_DEATH((void)e.other(3), "");
+}
+
+}  // namespace
+}  // namespace overmatch::graph

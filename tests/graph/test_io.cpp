@@ -1,0 +1,64 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace overmatch::graph {
+namespace {
+
+TEST(EdgeListIo, StreamRoundTrip) {
+  util::Rng rng(1);
+  const Graph g = erdos_renyi(25, 0.2, rng);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(h.edge(e).u, g.edge(e).u);
+    EXPECT_EQ(h.edge(e).v, g.edge(e).v);
+  }
+}
+
+TEST(EdgeListIo, EmptyGraph) {
+  std::stringstream ss;
+  write_edge_list(ss, GraphBuilder(0).build());
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.num_nodes(), 0u);
+  EXPECT_EQ(h.num_edges(), 0u);
+}
+
+TEST(EdgeListIo, HeaderFormat) {
+  GraphBuilder b(3);
+  b.add_edge(0, 2);
+  std::stringstream ss;
+  write_edge_list(ss, std::move(b).build());
+  EXPECT_EQ(ss.str(), "3 1\n0 2\n");
+}
+
+TEST(EdgeListIo, FileRoundTrip) {
+  const Graph g = cycle(9);
+  const std::string tmp = ::testing::TempDir() + "/overmatch_io_test.edges";
+  save_edge_list(tmp, g);
+  const Graph h = load_edge_list(tmp);
+  EXPECT_EQ(h.num_edges(), 9u);
+  EXPECT_TRUE(h.has_edge(0, 8));
+  std::remove(tmp.c_str());
+}
+
+TEST(EdgeListIoDeathTest, TruncatedInputAborts) {
+  std::stringstream ss("5 3\n0 1\n");
+  EXPECT_DEATH((void)read_edge_list(ss), "truncated");
+}
+
+TEST(EdgeListIoDeathTest, BadHeaderAborts) {
+  std::stringstream ss("nonsense");
+  EXPECT_DEATH((void)read_edge_list(ss), "header");
+}
+
+}  // namespace
+}  // namespace overmatch::graph

@@ -1,0 +1,98 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/generators.hpp"
+
+namespace overmatch::graph {
+namespace {
+
+TEST(ConnectedComponents, SingleComponent) {
+  const auto comp = connected_components(cycle(5));
+  EXPECT_EQ(comp.count, 1u);
+}
+
+TEST(ConnectedComponents, CountsIsolatedNodes) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const auto comp = connected_components(std::move(b).build());
+  EXPECT_EQ(comp.count, 3u);
+  EXPECT_EQ(comp.label[0], comp.label[1]);
+  EXPECT_NE(comp.label[2], comp.label[3]);
+}
+
+TEST(ConnectedComponents, EmptyGraph) {
+  const auto comp = connected_components(GraphBuilder(0).build());
+  EXPECT_EQ(comp.count, 0u);
+}
+
+TEST(IsConnected, Basics) {
+  EXPECT_TRUE(is_connected(path(6)));
+  EXPECT_TRUE(is_connected(GraphBuilder(0).build()));
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_FALSE(is_connected(std::move(b).build()));
+}
+
+TEST(DegreeStats, Path) {
+  const auto s = degree_stats(path(4));
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 6.0 / 4.0);
+}
+
+TEST(ClusteringCoefficient, TriangleIsOne) {
+  EXPECT_DOUBLE_EQ(clustering_coefficient(complete(3)), 1.0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(complete(6)), 1.0);
+}
+
+TEST(ClusteringCoefficient, TreeIsZero) {
+  EXPECT_DOUBLE_EQ(clustering_coefficient(star(8)), 0.0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(path(8)), 0.0);
+}
+
+TEST(ClusteringCoefficient, NoWedges) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(std::move(b).build()), 0.0);
+}
+
+TEST(BfsDistances, PathDistances) {
+  const auto d = bfs_distances(path(5), 0);
+  for (std::size_t v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(BfsDistances, UnreachableIsMax) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const auto d = bfs_distances(std::move(b).build(), 0);
+  EXPECT_EQ(d[2], std::numeric_limits<std::size_t>::max());
+}
+
+TEST(MeanPathLength, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(mean_path_length(complete(8), 8, 1), 1.0);
+}
+
+TEST(MeanPathLength, PathGraphKnownValue) {
+  // P3: distances 0-1:1, 0-2:2, 1-2:1 → mean over ordered pairs = (1+2+1+1+2+1)/6.
+  EXPECT_NEAR(mean_path_length(path(3), 3, 1), 8.0 / 6.0, 1e-12);
+}
+
+TEST(MeanPathLength, SampledCloseToExact) {
+  util::Rng rng(4);
+  const Graph g = erdos_renyi(80, 0.15, rng);
+  const double exact = mean_path_length(g, 80, 2);
+  const double sampled = mean_path_length(g, 30, 3);
+  EXPECT_NEAR(sampled, exact, exact * 0.2);
+}
+
+TEST(MeanPathLength, TinyGraphs) {
+  EXPECT_DOUBLE_EQ(mean_path_length(GraphBuilder(1).build(), 4, 1), 0.0);
+  EXPECT_DOUBLE_EQ(mean_path_length(GraphBuilder(0).build(), 4, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace overmatch::graph

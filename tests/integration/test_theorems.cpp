@@ -1,0 +1,141 @@
+// Every quantitative claim of the paper as a test: Lemma 1 (eq. 8), Lemma 5,
+// Theorem 1, Theorem 2, Theorem 3. These are the reproduction's ground truth;
+// the benches print the same quantities as tables.
+#include <gtest/gtest.h>
+
+#include "core/certificates.hpp"
+#include "core/solvers.hpp"
+#include "matching/exact.hpp"
+#include "matching/lic.hpp"
+#include "matching/lid.hpp"
+#include "matching/metrics.hpp"
+#include "prefs/cycles.hpp"
+#include "prefs/satisfaction.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch {
+namespace {
+
+using matching::testing::Instance;
+
+/// Lemma 1 / eq. 8 worst case: node with quota b whose connections sit at the
+/// bottom of its length-L list. The static share must be exactly ½(1+1/b).
+TEST(Lemma1, WorstCaseRatioExact) {
+  for (const std::uint32_t b : {1u, 2u, 3u, 4u, 8u}) {
+    const std::size_t L = 2 * b + 3;
+    static graph::Graph g;
+    g = graph::star(L + 1);  // hub 0, leaves 1..L
+    std::vector<std::vector<graph::NodeId>> lists(L + 1);
+    for (graph::NodeId leaf = 1; leaf <= L; ++leaf) {
+      lists[0].push_back(leaf);  // identity order
+      lists[leaf] = {0};
+    }
+    prefs::Quotas q(L + 1, 1);
+    q[0] = b;
+    auto p = prefs::PreferenceProfile::from_lists(g, q, std::move(lists));
+    // Bottom-b connections.
+    std::vector<graph::NodeId> conns;
+    for (std::size_t k = L - b + 1; k <= L; ++k) {
+      conns.push_back(static_cast<graph::NodeId>(k));
+    }
+    const auto parts = prefs::satisfaction_parts(p, 0, conns);
+    const double ratio = parts.static_part / parts.total();
+    EXPECT_NEAR(ratio, core::theorem1_bound(b), 1e-12) << "b=" << b;
+  }
+}
+
+/// Lemma 1 as an inequality on arbitrary instances: the static share of any
+/// node's satisfaction is at least ½(1+1/b_i).
+TEST(Lemma1, StaticShareNeverBelowBound) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto inst = Instance::random_quotas("er", 20, 5.0, 4, seed * 29 + 1);
+    const auto r = core::solve(*inst->profile, core::Algorithm::kLidDes);
+    for (graph::NodeId v = 0; v < inst->g.num_nodes(); ++v) {
+      const auto conns = r.matching.connections(v);
+      if (conns.empty()) continue;
+      const auto parts = prefs::satisfaction_parts(*inst->profile, v, conns);
+      const double bound = core::theorem1_bound(inst->profile->quota(v));
+      EXPECT_GE(parts.static_part / parts.total(), bound - 1e-9);
+    }
+  }
+}
+
+/// Theorem 1: satisfaction of the weight-optimal matching is at least
+/// ½(1+1/b_max) of the satisfaction optimum.
+TEST(Theorem1, WeightOptimumApproximatesSatisfactionOptimum) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto inst = Instance::random_quotas("er", 9, 3.0, 3, seed * 37 + 5);
+    const auto opt_w = matching::exact_max_weight_bmatching(*inst->weights,
+                                                            inst->profile->quotas());
+    const auto opt_s = matching::exact_max_satisfaction(*inst->profile);
+    const double ss = matching::total_satisfaction(*inst->profile, opt_s);
+    if (ss <= 0) continue;
+    const double sw = matching::total_satisfaction(*inst->profile, opt_w);
+    EXPECT_GE(sw / ss, core::theorem1_bound(inst->profile->max_quota()) - 1e-9)
+        << "seed=" << seed;
+  }
+}
+
+/// Theorem 2: LIC (and so LID) reaches at least half the optimal weight.
+TEST(Theorem2, GreedyWithinHalfOfExact) {
+  for (const char* topology : {"er", "ba", "geo"}) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      auto inst = Instance::random_quotas(topology, 14, 4.0, 3, seed * 41 + 3);
+      const auto greedy = matching::lic_global(*inst->weights,
+                                               inst->profile->quotas());
+      const auto opt = matching::exact_max_weight_bmatching(*inst->weights,
+                                                            inst->profile->quotas());
+      const double ow = opt.total_weight(*inst->weights);
+      if (ow <= 0) continue;
+      EXPECT_GE(greedy.total_weight(*inst->weights) / ow, 0.5 - 1e-9)
+          << topology << " seed=" << seed;
+    }
+  }
+}
+
+/// Theorem 3: LID satisfaction ≥ ¼(1+1/b_max) of the satisfaction optimum.
+TEST(Theorem3, LidSatisfactionWithinBound) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto inst = Instance::random_quotas("er", 9, 3.0, 3, seed * 43 + 7);
+    const auto lid = core::solve(*inst->profile, core::Algorithm::kLidDes);
+    const auto opt_s = matching::exact_max_satisfaction(*inst->profile);
+    const double ss = matching::total_satisfaction(*inst->profile, opt_s);
+    if (ss <= 0) continue;
+    EXPECT_GE(lid.satisfaction / ss,
+              core::theorem3_bound(inst->profile->max_quota()) - 1e-9)
+        << "seed=" << seed;
+  }
+}
+
+/// Lemma 5 companions: LID terminates under every schedule (the simulator
+/// would abort on its delivery budget otherwise), and the weight order never
+/// contains a communication cycle.
+TEST(Lemma5, TerminatesUnderAllSchedulesAndNoWeightCycles) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    auto inst = Instance::random("ws", 24, 6.0, 3, seed * 47 + 9);
+    EXPECT_FALSE(prefs::find_weight_cycle(*inst->weights).has_value());
+    for (const auto s : {sim::Schedule::kFifo, sim::Schedule::kRandomOrder,
+                         sim::Schedule::kRandomDelay,
+                         sim::Schedule::kAdversarialDelay}) {
+      const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(), s,
+                                       seed + 1);
+      EXPECT_TRUE(r.matching.is_maximal());
+    }
+  }
+}
+
+/// Lemmas 3/4/6 at integration scale: one large instance, LID == LIC ==
+/// parallel across runtimes.
+TEST(Lemmas346, AllEnginesOneLargeInstance) {
+  auto inst = Instance::random_quotas("ba", 120, 8.0, 4, 1001);
+  const auto lic = matching::lic_global(*inst->weights, inst->profile->quotas());
+  const auto lid = matching::run_lid(*inst->weights, inst->profile->quotas(),
+                                     sim::Schedule::kAdversarialDelay, 5);
+  EXPECT_TRUE(lic.same_edges(lid.matching));
+  const auto lidt = matching::run_lid_threaded(*inst->weights,
+                                               inst->profile->quotas(), 4);
+  EXPECT_TRUE(lic.same_edges(lidt.matching));
+}
+
+}  // namespace
+}  // namespace overmatch

@@ -1,0 +1,51 @@
+// Shared fixtures for the matching test suite: random instances with graph,
+// profile and weights whose lifetimes are tied together.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "prefs/preference_profile.hpp"
+#include "prefs/weights.hpp"
+
+namespace overmatch::matching::testing {
+
+/// Owns a random instance end to end (graph must outlive profile/weights).
+struct Instance {
+  graph::Graph g;
+  std::unique_ptr<prefs::PreferenceProfile> profile;
+  std::unique_ptr<prefs::EdgeWeights> weights;
+
+  static std::unique_ptr<Instance> random(const std::string& topology, std::size_t n,
+                                          double avg_degree, std::uint32_t quota,
+                                          std::uint64_t seed) {
+    auto inst = std::make_unique<Instance>();
+    util::Rng rng(seed);
+    inst->g = graph::by_name(topology, n, avg_degree, rng);
+    inst->profile = std::make_unique<prefs::PreferenceProfile>(
+        prefs::PreferenceProfile::random(inst->g,
+                                         prefs::uniform_quotas(inst->g, quota), rng));
+    inst->weights =
+        std::make_unique<prefs::EdgeWeights>(prefs::paper_weights(*inst->profile));
+    return inst;
+  }
+
+  /// Random quotas in [1, quota_max] instead of uniform.
+  static std::unique_ptr<Instance> random_quotas(const std::string& topology,
+                                                 std::size_t n, double avg_degree,
+                                                 std::uint32_t quota_max,
+                                                 std::uint64_t seed) {
+    auto inst = std::make_unique<Instance>();
+    util::Rng rng(seed);
+    inst->g = graph::by_name(topology, n, avg_degree, rng);
+    inst->profile = std::make_unique<prefs::PreferenceProfile>(
+        prefs::PreferenceProfile::random(
+            inst->g, prefs::random_quotas(inst->g, quota_max, rng), rng));
+    inst->weights =
+        std::make_unique<prefs::EdgeWeights>(prefs::paper_weights(*inst->profile));
+    return inst;
+  }
+};
+
+}  // namespace overmatch::matching::testing

@@ -1,0 +1,123 @@
+#include "matching/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/lic.hpp"
+#include "matching/metrics.hpp"
+#include "matching/verify.hpp"
+#include "prefs/cycles.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(RandomOrderGreedy, ValidAndMaximal) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto inst = testing::Instance::random("er", 30, 5.0, 2, seed + 3);
+    const auto m = random_order_greedy(*inst->weights, inst->profile->quotas(), seed);
+    EXPECT_TRUE(is_valid_bmatching(m));
+    EXPECT_TRUE(m.is_maximal());
+  }
+}
+
+TEST(RandomOrderGreedy, DeterministicPerSeed) {
+  auto inst = testing::Instance::random("er", 20, 4.0, 2, 9);
+  const auto a = random_order_greedy(*inst->weights, inst->profile->quotas(), 5);
+  const auto b = random_order_greedy(*inst->weights, inst->profile->quotas(), 5);
+  EXPECT_TRUE(a.same_edges(b));
+}
+
+TEST(RandomOrderGreedy, UsuallyLighterThanLic) {
+  // Not an invariant per instance, but true in aggregate — the ordering ablation.
+  double greedy_total = 0.0;
+  double random_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto inst = testing::Instance::random("er", 30, 6.0, 2, seed * 7 + 1);
+    greedy_total +=
+        lic_global(*inst->weights, inst->profile->quotas()).total_weight(*inst->weights);
+    random_total += random_order_greedy(*inst->weights, inst->profile->quotas(), seed)
+                        .total_weight(*inst->weights);
+  }
+  EXPECT_GT(greedy_total, random_total);
+}
+
+TEST(RankMutualBest, PerfectOnMutuallyAlignedPreferences) {
+  // Two nodes each other's top choice lock in round one.
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  static Graph g = std::move(b).build();
+  auto p = prefs::PreferenceProfile::from_lists(
+      g, prefs::Quotas{1, 1, 1, 1}, {{1}, {0, 2}, {3, 1}, {2}});
+  const auto m = rank_mutual_best(p);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.contains(g.find_edge(0, 1)));
+  EXPECT_TRUE(m.contains(g.find_edge(2, 3)));
+  EXPECT_EQ(count_blocking_pairs(p, m), 0u);
+}
+
+TEST(RankMutualBest, CanStallOnCyclicTriangle) {
+  // 0→1→2→0 cyclic top choices: no mutual best exists, nothing locks.
+  static Graph g = graph::cycle(3);
+  auto p = prefs::PreferenceProfile::from_lists(g, prefs::Quotas{1, 1, 1},
+                                                {{1, 2}, {2, 0}, {0, 1}});
+  ASSERT_TRUE(prefs::find_rank_cycle(p).has_value());
+  const auto m = rank_mutual_best(p);
+  EXPECT_EQ(m.size(), 0u);  // the stall the paper's reformulation avoids
+}
+
+TEST(RankMutualBest, AlwaysValid) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto inst = testing::Instance::random_quotas("er", 24, 5.0, 3, seed * 13 + 2);
+    const auto m = rank_mutual_best(*inst->profile);
+    EXPECT_TRUE(is_valid_bmatching(m));
+  }
+}
+
+TEST(BestReply, ConvergesOnAlignedInstance) {
+  static Graph g = graph::path(4);
+  auto p = prefs::PreferenceProfile::from_lists(
+      g, prefs::Quotas{1, 1, 1, 1}, {{1}, {0, 2}, {3, 1}, {2}});
+  const auto r = best_reply_dynamics(p, 1, 10000);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(count_blocking_pairs(p, r.matching), 0u);
+}
+
+TEST(BestReply, StableWhenConverged) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto inst = testing::Instance::random("er", 16, 4.0, 2, seed * 23 + 7);
+    const auto r = best_reply_dynamics(*inst->profile, seed, 200000);
+    EXPECT_TRUE(is_valid_bmatching(r.matching));
+    if (r.converged) {
+      EXPECT_EQ(count_blocking_pairs(*inst->profile, r.matching), 0u);
+    }
+  }
+}
+
+TEST(BestReply, StepCapRespected) {
+  auto inst = testing::Instance::random("complete", 10, 9.0, 3, 3);
+  const auto r = best_reply_dynamics(*inst->profile, 1, 5);
+  EXPECT_LE(r.steps, 5u);
+}
+
+TEST(BlockingPairs, FullQuotaNoBetterMeansStable) {
+  // LIC result on weight order is not necessarily rank-stable; but the
+  // counter itself must agree with a hand computation on a tiny case.
+  static Graph g = graph::path(3);
+  auto p = prefs::PreferenceProfile::from_lists(g, prefs::Quotas{1, 1, 1},
+                                                {{1}, {2, 0}, {1}});
+  Matching m(g, prefs::Quotas{1, 1, 1});
+  m.add(g.find_edge(0, 1));
+  // Node 1 prefers 2 over 0; node 2 is free → (1,2) blocks.
+  EXPECT_EQ(count_blocking_pairs(p, m), 1u);
+  Matching better(g, prefs::Quotas{1, 1, 1});
+  better.add(g.find_edge(1, 2));
+  EXPECT_EQ(count_blocking_pairs(p, better), 0u);
+}
+
+}  // namespace
+}  // namespace overmatch::matching

@@ -1,0 +1,92 @@
+#include "matching/bsuitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/lic.hpp"
+#include "matching/verify.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+TEST(BSuitor, SingleEdge) {
+  graph::GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const graph::Graph g = std::move(b).build();
+  const prefs::EdgeWeights w(g, {1.0});
+  const auto m = b_suitor(w, Quotas(2, 1));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(BSuitor, PathPicksLocallyHeaviest) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  const graph::Graph g = std::move(b).build();
+  const prefs::EdgeWeights w(g, std::vector<double>{1.0, 5.0, 2.0});
+  const auto m = b_suitor(w, Quotas(4, 1));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.contains(1));
+}
+
+TEST(BSuitor, DisplacementChainResolves) {
+  // Star where later bids displace earlier ones: hub quota 1, leaves bid in
+  // arbitrary order, heaviest spoke must win.
+  const graph::Graph g = graph::star(5);
+  const prefs::EdgeWeights w(g, std::vector<double>{1.0, 4.0, 2.0, 3.0});
+  BSuitorInfo info;
+  const auto m = b_suitor(w, Quotas(5, 1), &info);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.contains(1));  // weight 4 spoke
+  // Bids that would lose against a full suitor set are skipped without being
+  // sent, so only the winning spoke and the hub's own bid are guaranteed.
+  EXPECT_GE(info.proposals, 2u);
+}
+
+class BSuitorEquivalence
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint32_t>> {};
+
+TEST_P(BSuitorEquivalence, EqualsLicEverywhere) {
+  const auto [topology, quota] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto inst = testing::Instance::random_quotas(topology, 36, 6.0, quota,
+                                                 seed * 53 + quota);
+    const auto lic = lic_global(*inst->weights, inst->profile->quotas());
+    const auto bs = b_suitor(*inst->weights, inst->profile->quotas());
+    EXPECT_TRUE(lic.same_edges(bs))
+        << topology << " b=" << quota << " seed=" << seed;
+    EXPECT_TRUE(is_valid_bmatching(bs));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BSuitorEquivalence,
+    ::testing::Combine(::testing::Values("er", "ba", "ws", "geo", "complete"),
+                       ::testing::Values<std::uint32_t>(1, 2, 4)));
+
+TEST(BSuitor, ProposalsBoundedByEdgeDirections) {
+  auto inst = testing::Instance::random("er", 60, 8.0, 3, 7);
+  BSuitorInfo info;
+  (void)b_suitor(*inst->weights, inst->profile->quotas(), &info);
+  // Each node walks its incident list at most once → ≤ 2m bids.
+  EXPECT_LE(info.proposals, 2 * inst->g.num_edges());
+  EXPECT_LE(info.displacements, info.proposals);
+}
+
+TEST(BSuitor, EmptyGraph) {
+  const graph::Graph g = graph::GraphBuilder(3).build();
+  const prefs::EdgeWeights w(g, {});
+  EXPECT_EQ(b_suitor(w, Quotas(3, 2)).size(), 0u);
+}
+
+TEST(BSuitor, TiedWeightsStillDeterministicAndEqualToLic) {
+  const graph::Graph g = graph::complete(8);
+  const prefs::EdgeWeights w(g, std::vector<double>(g.num_edges(), 1.0));
+  const auto lic = lic_global(w, Quotas(8, 2));
+  const auto bs = b_suitor(w, Quotas(8, 2));
+  EXPECT_TRUE(lic.same_edges(bs));
+}
+
+}  // namespace
+}  // namespace overmatch::matching

@@ -1,0 +1,132 @@
+#include "matching/cardinality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "matching/dp_matcher.hpp"
+#include "matching/exact.hpp"
+#include "matching/lic.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+TEST(Blossom, PathGraphs) {
+  // P_n has a maximum matching of ⌊n/2⌋.
+  for (std::size_t n = 2; n <= 9; ++n) {
+    const auto mate = blossom_max_matching(graph::path(n));
+    EXPECT_EQ(matching_size(mate), n / 2) << "n=" << n;
+  }
+}
+
+TEST(Blossom, OddCycleNeedsBlossom) {
+  // C_5: maximum matching 2 — forces blossom contraction.
+  const auto mate = blossom_max_matching(graph::cycle(5));
+  EXPECT_EQ(matching_size(mate), 2u);
+}
+
+TEST(Blossom, PetersenLikeOddStructures) {
+  // Two triangles joined by a bridge: perfect matching exists (3 edges).
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(3, 5);
+  const auto mate = blossom_max_matching(std::move(b).build());
+  EXPECT_EQ(matching_size(mate), 3u);
+}
+
+TEST(Blossom, CompleteGraphs) {
+  for (std::size_t n = 2; n <= 10; ++n) {
+    const auto mate = blossom_max_matching(graph::complete(n));
+    EXPECT_EQ(matching_size(mate), n / 2) << "n=" << n;
+  }
+}
+
+TEST(Blossom, StarMatchesOne) {
+  EXPECT_EQ(matching_size(blossom_max_matching(graph::star(7))), 1u);
+}
+
+TEST(Blossom, EmptyAndEdgeless) {
+  EXPECT_EQ(matching_size(blossom_max_matching(GraphBuilder(0).build())), 0u);
+  EXPECT_EQ(matching_size(blossom_max_matching(GraphBuilder(5).build())), 0u);
+}
+
+TEST(Blossom, AgreesWithDpOnRandomGraphs) {
+  // Cardinality == max weight under unit weights; the subset DP is the oracle.
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    util::Rng rng(seed * 3 + 1);
+    static Graph g;
+    g = graph::erdos_renyi(14, 0.25, rng);
+    const prefs::EdgeWeights unit(g, std::vector<double>(g.num_edges(), 1.0));
+    const auto dp = exact_mwm_dp(unit);
+    const auto mate = blossom_max_matching(g);
+    EXPECT_EQ(matching_size(mate), dp.size()) << "seed=" << seed;
+  }
+}
+
+TEST(MaxCardinalityBMatching, QuotaOneEqualsBlossom) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    util::Rng rng(seed + 50);
+    static Graph g;
+    g = graph::erdos_renyi(16, 0.3, rng);
+    const auto direct = matching_size(blossom_max_matching(g));
+    EXPECT_EQ(max_cardinality_bmatching(g, Quotas(16, 1)), direct) << seed;
+  }
+}
+
+TEST(MaxCardinalityBMatching, HighQuotaTakesAllEdges) {
+  // Quotas ≥ degree: every edge can be selected.
+  util::Rng rng(3);
+  static Graph g;
+  g = graph::erdos_renyi(12, 0.4, rng);
+  Quotas q(12);
+  for (NodeId v = 0; v < 12; ++v) {
+    q[v] = std::max<std::uint32_t>(1, static_cast<std::uint32_t>(g.degree(v)));
+  }
+  EXPECT_EQ(max_cardinality_bmatching(g, q), g.num_edges());
+}
+
+TEST(MaxCardinalityBMatching, AgreesWithBnBUnderUnitWeights) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto inst = testing::Instance::random_quotas("er", 12, 3.5, 3, seed * 19 + 7);
+    const prefs::EdgeWeights unit(inst->g,
+                                  std::vector<double>(inst->g.num_edges(), 1.0));
+    const auto opt = exact_max_weight_bmatching(unit, inst->profile->quotas());
+    EXPECT_EQ(max_cardinality_bmatching(inst->g, inst->profile->quotas()),
+              opt.size())
+        << "seed=" << seed;
+  }
+}
+
+TEST(MaxCardinalityBMatching, GreedyWithinHalf) {
+  // Any maximal b-matching has at least half the optimal cardinality.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto inst = testing::Instance::random_quotas("ba", 30, 4.0, 3, seed * 23 + 5);
+    const auto greedy = lic_global(*inst->weights, inst->profile->quotas());
+    const auto best = max_cardinality_bmatching(inst->g, inst->profile->quotas());
+    EXPECT_GE(2 * greedy.size(), best) << "seed=" << seed;
+    EXPECT_LE(greedy.size(), best);
+  }
+}
+
+TEST(MaxCardinalityBMatching, StarWithHubQuota) {
+  // Star S_6: hub quota k allows exactly k connections.
+  const Graph g = graph::star(6);
+  for (std::uint32_t k = 1; k <= 5; ++k) {
+    Quotas q(6, 1);
+    q[0] = k;
+    EXPECT_EQ(max_cardinality_bmatching(g, q), k);
+  }
+}
+
+}  // namespace
+}  // namespace overmatch::matching

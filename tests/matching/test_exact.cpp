@@ -1,0 +1,163 @@
+#include "matching/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/dp_matcher.hpp"
+#include "matching/lic.hpp"
+#include "matching/metrics.hpp"
+#include "matching/verify.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+TEST(ExactWeight, TrivialInstances) {
+  // Single edge.
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  const prefs::EdgeWeights w(g, {3.0});
+  const auto m = exact_max_weight_bmatching(w, Quotas(2, 1));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_NEAR(m.total_weight(w), 3.0, 1e-12);
+}
+
+TEST(ExactWeight, GreedyIsSuboptimalOnPath) {
+  // Path with weights 3 - 4 - 3: greedy takes the middle (4); OPT takes the
+  // two sides (6). The classic ½-approximation witness.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  const prefs::EdgeWeights w(g, std::vector<double>{3.0, 4.0, 3.0});
+  const auto greedy = lic_global(w, Quotas(4, 1));
+  const auto opt = exact_max_weight_bmatching(w, Quotas(4, 1));
+  EXPECT_NEAR(greedy.total_weight(w), 4.0, 1e-12);
+  EXPECT_NEAR(opt.total_weight(w), 6.0, 1e-12);
+}
+
+TEST(ExactWeight, AgreesWithBitmaskDpForQuotaOne) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    auto inst = testing::Instance::random("er", 12, 4.0, 1, seed * 5 + 1);
+    const auto bnb = exact_max_weight_bmatching(*inst->weights,
+                                                inst->profile->quotas());
+    const auto dp = exact_mwm_dp(*inst->weights);
+    EXPECT_NEAR(bnb.total_weight(*inst->weights), dp.total_weight(*inst->weights),
+                1e-9)
+        << "seed=" << seed;
+  }
+}
+
+TEST(ExactWeight, NeverBelowGreedy) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto inst = testing::Instance::random_quotas("er", 14, 4.0, 3, seed + 21);
+    const auto greedy = lic_global(*inst->weights, inst->profile->quotas());
+    const auto opt =
+        exact_max_weight_bmatching(*inst->weights, inst->profile->quotas());
+    EXPECT_GE(opt.total_weight(*inst->weights),
+              greedy.total_weight(*inst->weights) - 1e-9);
+    EXPECT_TRUE(is_valid_bmatching(opt));
+  }
+}
+
+TEST(ExactWeight, GreedyWithinHalfOfOptimal) {
+  // Theorem 2, verified against true OPT on small instances.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto inst = testing::Instance::random("geo", 16, 4.0, 2, seed * 9 + 2);
+    const auto greedy = lic_global(*inst->weights, inst->profile->quotas());
+    const auto opt =
+        exact_max_weight_bmatching(*inst->weights, inst->profile->quotas());
+    const double ow = opt.total_weight(*inst->weights);
+    if (ow > 0) {
+      EXPECT_GE(greedy.total_weight(*inst->weights) / ow, 0.5 - 1e-9);
+    }
+  }
+}
+
+TEST(ExactWeight, RespectsQuotas) {
+  auto inst = testing::Instance::random_quotas("complete", 9, 8.0, 3, 4);
+  const auto opt = exact_max_weight_bmatching(*inst->weights, inst->profile->quotas());
+  EXPECT_TRUE(is_valid_bmatching(opt));
+}
+
+TEST(ExactWeight, ReportsExploration) {
+  auto inst = testing::Instance::random("er", 12, 3.0, 2, 8);
+  ExactInfo info;
+  (void)exact_max_weight_bmatching(*inst->weights, inst->profile->quotas(), &info);
+  EXPECT_GT(info.nodes_explored, 0u);
+}
+
+TEST(ExactSatisfaction, SingleEdgePicksIt) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  static Graph g = std::move(b).build();
+  auto p = prefs::PreferenceProfile::from_lists(g, prefs::Quotas{1, 1}, {{1}, {0}});
+  const auto m = exact_max_satisfaction(p);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_NEAR(total_satisfaction(p, m), 2.0, 1e-12);  // both nodes fully satisfied
+}
+
+TEST(ExactSatisfaction, BeatsOrMatchesAllGreedyVariants) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto inst = testing::Instance::random("er", 10, 3.0, 2, seed * 3 + 17);
+    const auto opt_sat = exact_max_satisfaction(*inst->profile);
+    const double best = total_satisfaction(*inst->profile, opt_sat);
+    const auto greedy = lic_global(*inst->weights, inst->profile->quotas());
+    EXPECT_GE(best, total_satisfaction(*inst->profile, greedy) - 1e-9);
+    const auto opt_w =
+        exact_max_weight_bmatching(*inst->weights, inst->profile->quotas());
+    EXPECT_GE(best, total_satisfaction(*inst->profile, opt_w) - 1e-9);
+  }
+}
+
+TEST(ExactSatisfaction, ExhaustiveCrossCheckTiny) {
+  // Brute force over all edge subsets on a tiny instance.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto inst = testing::Instance::random("er", 7, 2.5, 2, seed + 40);
+    const auto& g = inst->g;
+    if (g.num_edges() > 14) continue;
+    double brute_best = 0.0;
+    const std::size_t subsets = std::size_t{1} << g.num_edges();
+    for (std::size_t mask = 0; mask < subsets; ++mask) {
+      Matching m(g, inst->profile->quotas());
+      bool ok = true;
+      for (graph::EdgeId e = 0; e < g.num_edges() && ok; ++e) {
+        if ((mask >> e & 1U) == 0) continue;
+        if (m.can_add(e)) {
+          m.add(e);
+        } else {
+          ok = false;
+        }
+      }
+      if (!ok) continue;
+      brute_best = std::max(brute_best, total_satisfaction(*inst->profile, m));
+    }
+    const auto opt = exact_max_satisfaction(*inst->profile);
+    EXPECT_NEAR(total_satisfaction(*inst->profile, opt), brute_best, 1e-9)
+        << "seed=" << seed;
+  }
+}
+
+TEST(ExactSatisfaction, WeightOptimumWithinLemma1Factor) {
+  // Theorem 1: the weight-optimal matching achieves at least
+  // ½(1+1/b_max) of the satisfaction optimum.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto inst = testing::Instance::random("er", 9, 3.0, 2, seed * 11 + 5);
+    const auto opt_w =
+        exact_max_weight_bmatching(*inst->weights, inst->profile->quotas());
+    const auto opt_s = exact_max_satisfaction(*inst->profile);
+    const double sw = total_satisfaction(*inst->profile, opt_w);
+    const double ss = total_satisfaction(*inst->profile, opt_s);
+    if (ss > 0) {
+      const double bound = 0.5 * (1.0 + 1.0 / inst->profile->max_quota());
+      EXPECT_GE(sw / ss, bound - 1e-9) << "seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace overmatch::matching

@@ -1,0 +1,155 @@
+// Model-based fuzzing: random operation sequences against naive reference
+// implementations, plus a mass equivalence sweep over hundreds of tiny random
+// instances (where edge cases — isolated nodes, bridges, ties — concentrate).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "matching/bsuitor.hpp"
+#include "matching/exact.hpp"
+#include "matching/lic.hpp"
+#include "matching/lid.hpp"
+#include "matching/matching.hpp"
+#include "matching/metrics.hpp"
+#include "matching/parallel_local.hpp"
+#include "matching/verify.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+/// Naive reference model of a b-matching: a set of edges, with loads
+/// recomputed from scratch on every query.
+class ReferenceModel {
+ public:
+  ReferenceModel(const graph::Graph& g, const Quotas& q) : g_(&g), q_(&q) {}
+
+  [[nodiscard]] bool can_add(graph::EdgeId e) const {
+    if (edges_.contains(e)) return false;
+    const auto& [u, v] = g_->edge(e);
+    return load(u) < (*q_)[u] && load(v) < (*q_)[v];
+  }
+  void add(graph::EdgeId e) { edges_.insert(e); }
+  void remove(graph::EdgeId e) { edges_.erase(e); }
+  [[nodiscard]] bool contains(graph::EdgeId e) const { return edges_.contains(e); }
+  [[nodiscard]] std::uint32_t load(graph::NodeId v) const {
+    std::uint32_t c = 0;
+    for (const auto e : edges_) {
+      const auto& edge = g_->edge(e);
+      if (edge.u == v || edge.v == v) ++c;
+    }
+    return c;
+  }
+  [[nodiscard]] std::set<graph::NodeId> partners(graph::NodeId v) const {
+    std::set<graph::NodeId> out;
+    for (const auto e : edges_) {
+      const auto& edge = g_->edge(e);
+      if (edge.u == v) out.insert(edge.v);
+      if (edge.v == v) out.insert(edge.u);
+    }
+    return out;
+  }
+
+ private:
+  const graph::Graph* g_;
+  const Quotas* q_;
+  std::set<graph::EdgeId> edges_;
+};
+
+TEST(FuzzMatchingContainer, RandomOpsAgreeWithReference) {
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    util::Rng rng(trial * 7 + 1);
+    static graph::Graph g;
+    g = graph::erdos_renyi(12, 0.4, rng);
+    if (g.num_edges() == 0) continue;
+    Quotas q = prefs::random_quotas(g, 3, rng);
+    Matching m(g, q);
+    ReferenceModel ref(g, q);
+    for (int op = 0; op < 300; ++op) {
+      const auto e = static_cast<graph::EdgeId>(rng.index(g.num_edges()));
+      ASSERT_EQ(m.can_add(e), ref.can_add(e)) << "trial " << trial << " op " << op;
+      if (m.contains(e) && rng.chance(0.4)) {
+        m.remove(e);
+        ref.remove(e);
+      } else if (m.can_add(e)) {
+        m.add(e);
+        ref.add(e);
+      }
+      // Spot-check a random node's state.
+      const auto v = static_cast<graph::NodeId>(rng.index(g.num_nodes()));
+      ASSERT_EQ(m.load(v), ref.load(v));
+      const auto conns = m.connections(v);
+      ASSERT_EQ(std::set<graph::NodeId>(conns.begin(), conns.end()), ref.partners(v));
+    }
+    EXPECT_TRUE(is_valid_bmatching(m));
+  }
+}
+
+TEST(FuzzEngines, MassEquivalenceOnTinyInstances) {
+  // Tiny graphs concentrate corner cases: empty neighbourhoods, single edges,
+  // complete ties, quota > degree. Every engine must agree on all of them.
+  std::size_t instances = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    util::Rng rng(seed * 13 + 5);
+    const std::size_t n = 2 + rng.index(9);  // 2..10 nodes
+    static graph::Graph g;
+    g = graph::erdos_renyi(n, rng.uniform(0.1, 0.9), rng);
+    Quotas q = prefs::random_quotas(g, 4, rng);
+    // Random weights (not eq. 9) — the equivalence is a property of strict
+    // orders, not of the weight design.
+    const auto w = prefs::random_weights(g, rng);
+    const auto lic = lic_global(w, q);
+    ASSERT_TRUE(lic.same_edges(lic_local(w, q, seed))) << seed;
+    ASSERT_TRUE(lic.same_edges(b_suitor(w, q))) << seed;
+    ASSERT_TRUE(lic.same_edges(parallel_local_dominant(w, q, 2))) << seed;
+    ASSERT_TRUE(lic.same_edges(
+        run_lid(w, q, sim::Schedule::kRandomOrder, seed).matching))
+        << seed;
+    ASSERT_TRUE(is_valid_bmatching(lic));
+    ASSERT_TRUE(lic.is_maximal());
+    ++instances;
+  }
+  EXPECT_EQ(instances, 200u);
+}
+
+TEST(FuzzExact, GreedyNeverBeatsExactOnRandomTinyInstances) {
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    util::Rng rng(seed * 17 + 3);
+    const std::size_t n = 4 + rng.index(7);  // 4..10
+    static graph::Graph g;
+    g = graph::erdos_renyi(n, rng.uniform(0.2, 0.8), rng);
+    Quotas q = prefs::random_quotas(g, 3, rng);
+    const auto w = prefs::random_weights(g, rng);
+    const auto greedy = lic_global(w, q);
+    const auto opt = exact_max_weight_bmatching(w, q);
+    ASSERT_LE(greedy.total_weight(w), opt.total_weight(w) + 1e-9) << seed;
+    ASSERT_GE(greedy.total_weight(w), 0.5 * opt.total_weight(w) - 1e-9) << seed;
+  }
+}
+
+TEST(FuzzBlockingPairs, CounterAgreesWithDefinitionalScan) {
+  // Independent re-implementation of the blocking-pair definition.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto inst = testing::Instance::random_quotas("er", 14, 4.0, 3, seed * 19 + 11);
+    const auto m = lic_global(*inst->weights, inst->profile->quotas());
+    const auto& p = *inst->profile;
+    std::size_t expected = 0;
+    for (graph::EdgeId e = 0; e < inst->g.num_edges(); ++e) {
+      if (m.contains(e)) continue;
+      const auto& [u, v] = inst->g.edge(e);
+      auto wants = [&](graph::NodeId a, graph::NodeId b) {
+        if (m.load(a) < m.quota(a)) return true;
+        for (const auto cur : m.connections(a)) {
+          if (p.rank(a, b) < p.rank(a, cur)) return true;
+        }
+        return false;
+      };
+      if (wants(u, v) && wants(v, u)) ++expected;
+    }
+    EXPECT_EQ(count_blocking_pairs(p, m), expected) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace overmatch::matching

@@ -1,0 +1,139 @@
+#include "matching/lic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/verify.hpp"
+#include "prefs/satisfaction.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+/// Hand instance: path 0-1-2-3 with explicit weights 1-2-... set through
+/// explicit preference lists so the heaviest edge is the middle one.
+struct PathInstance {
+  Graph g;
+  std::unique_ptr<prefs::EdgeWeights> w;
+
+  PathInstance() {
+    GraphBuilder b(4);
+    b.add_edge(0, 1);  // e0
+    b.add_edge(1, 2);  // e1
+    b.add_edge(2, 3);  // e2
+    g = std::move(b).build();
+    w = std::make_unique<prefs::EdgeWeights>(g, std::vector<double>{1.0, 5.0, 2.0});
+  }
+};
+
+TEST(LicGlobal, PicksHeaviestFirstOnPath) {
+  PathInstance pi;
+  // With quota 1 the middle edge wins; the two side edges become blocked.
+  const auto m = lic_global(*pi.w, Quotas(4, 1));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.contains(1));
+}
+
+TEST(LicGlobal, QuotaTwoTakesEverythingOnPath) {
+  PathInstance pi;
+  const auto m = lic_global(*pi.w, Quotas(4, 2));
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(LicGlobal, ProducesMaximalValidMatching) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto inst = testing::Instance::random("er", 30, 5.0, 3, seed);
+    const auto m = lic_global(*inst->weights, inst->profile->quotas());
+    EXPECT_TRUE(is_valid_bmatching(m));
+    EXPECT_TRUE(m.is_maximal());
+  }
+}
+
+TEST(LicGlobal, HasHalfApproxCertificate) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto inst = testing::Instance::random("ba", 24, 4.0, 2, seed + 100);
+    const auto m = lic_global(*inst->weights, inst->profile->quotas());
+    EXPECT_TRUE(has_half_approx_certificate(m, *inst->weights));
+  }
+}
+
+TEST(LicLocal, EqualsGlobalOnHandInstance) {
+  PathInstance pi;
+  const auto mg = lic_global(*pi.w, Quotas(4, 1));
+  for (std::uint64_t scan = 0; scan < 8; ++scan) {
+    const auto ml = lic_local(*pi.w, Quotas(4, 1), scan);
+    EXPECT_TRUE(mg.same_edges(ml));
+  }
+}
+
+// The uniqueness property behind Lemma 6: with strict weights the
+// locally-heaviest greedy matching does not depend on the processing order.
+class LicEquivalence : public ::testing::TestWithParam<
+                           std::tuple<const char*, std::size_t, std::uint32_t>> {};
+
+TEST_P(LicEquivalence, LocalScanOrderIrrelevant) {
+  const auto [topology, n, quota] = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto inst = testing::Instance::random(topology, n, 5.0, quota, seed * 31 + 1);
+    const auto mg = lic_global(*inst->weights, inst->profile->quotas());
+    for (std::uint64_t scan = 0; scan < 4; ++scan) {
+      const auto ml = lic_local(*inst->weights, inst->profile->quotas(), scan * 17 + 3);
+      EXPECT_TRUE(mg.same_edges(ml))
+          << topology << " n=" << n << " b=" << quota << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, LicEquivalence,
+    ::testing::Values(std::make_tuple("er", 20, 1u), std::make_tuple("er", 20, 2u),
+                      std::make_tuple("er", 24, 3u), std::make_tuple("ba", 24, 2u),
+                      std::make_tuple("ws", 24, 2u), std::make_tuple("geo", 24, 2u),
+                      std::make_tuple("grid", 25, 2u),
+                      std::make_tuple("complete", 12, 3u)));
+
+TEST(LicLocal, HeterogeneousQuotas) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto inst = testing::Instance::random_quotas("er", 22, 5.0, 4, seed + 7);
+    const auto mg = lic_global(*inst->weights, inst->profile->quotas());
+    const auto ml = lic_local(*inst->weights, inst->profile->quotas(), seed);
+    EXPECT_TRUE(mg.same_edges(ml));
+    EXPECT_TRUE(has_half_approx_certificate(mg, *inst->weights));
+  }
+}
+
+TEST(LicGlobal, EmptyGraph) {
+  const Graph g = GraphBuilder(3).build();
+  const prefs::EdgeWeights w(g, {});
+  const auto m = lic_global(w, Quotas(3, 1));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(LicGlobal, SingleEdge) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  const prefs::EdgeWeights w(g, {1.0});
+  const auto m = lic_global(w, Quotas(2, 1));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(LicGlobal, TieBreakDeterminism) {
+  // All-equal weights: the id tie-break must make the result deterministic.
+  const Graph g = graph::complete(6);
+  const prefs::EdgeWeights w(g, std::vector<double>(g.num_edges(), 1.0));
+  const auto m1 = lic_global(w, Quotas(6, 1));
+  const auto m2 = lic_global(w, Quotas(6, 1));
+  EXPECT_TRUE(m1.same_edges(m2));
+  EXPECT_EQ(m1.size(), 3u);  // perfect matching of K6
+  // And the local engine agrees even on fully tied weights.
+  for (std::uint64_t scan = 0; scan < 6; ++scan) {
+    EXPECT_TRUE(m1.same_edges(lic_local(w, Quotas(6, 1), scan)));
+  }
+}
+
+}  // namespace
+}  // namespace overmatch::matching

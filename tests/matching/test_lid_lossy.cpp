@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "matching/lic.hpp"
+#include "matching/lid.hpp"
+#include "matching/verify.hpp"
+#include "sim/reliable.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+TEST(LidLossy, ZeroLossMatchesLic) {
+  auto inst = testing::Instance::random("er", 20, 4.0, 2, 1);
+  const auto lic = lic_global(*inst->weights, inst->profile->quotas());
+  const auto r = run_lid_lossy(*inst->weights, inst->profile->quotas(), 0.0, 1);
+  EXPECT_TRUE(lic.same_edges(r.matching));
+  EXPECT_EQ(r.stats.total_dropped, 0u);
+}
+
+class LidLossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LidLossSweep, SameMatchingUnderLoss) {
+  const double loss = GetParam();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto inst = testing::Instance::random_quotas("er", 24, 5.0, 3, seed * 61 + 1);
+    const auto lic = lic_global(*inst->weights, inst->profile->quotas());
+    const auto r =
+        run_lid_lossy(*inst->weights, inst->profile->quotas(), loss, seed);
+    EXPECT_TRUE(lic.same_edges(r.matching)) << "loss=" << loss << " seed=" << seed;
+    EXPECT_TRUE(is_valid_bmatching(r.matching));
+    if (loss > 0.0) {
+      EXPECT_GT(r.stats.total_dropped, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LidLossSweep,
+                         ::testing::Values(0.05, 0.2, 0.4, 0.6),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "loss" +
+                                  std::to_string(static_cast<int>(info.param * 100));
+                         });
+
+TEST(LidLossy, RetransmissionsGrowWithLoss) {
+  auto inst = testing::Instance::random("ba", 30, 4.0, 2, 9);
+  const auto low = run_lid_lossy(*inst->weights, inst->profile->quotas(), 0.05, 2);
+  const auto high = run_lid_lossy(*inst->weights, inst->profile->quotas(), 0.5, 2);
+  EXPECT_LT(low.retransmissions, high.retransmissions);
+}
+
+TEST(LidLossy, AcksAccountedInStats) {
+  auto inst = testing::Instance::random("er", 16, 4.0, 2, 5);
+  const auto r = run_lid_lossy(*inst->weights, inst->profile->quotas(), 0.1, 3);
+  // One ACK attempt per received DATA: ACK traffic must be substantial.
+  EXPECT_GT(r.stats.kind_count(sim::kAckKind), 0u);
+}
+
+}  // namespace
+}  // namespace overmatch::matching

@@ -1,0 +1,96 @@
+#include "matching/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/exact.hpp"
+#include "matching/lic.hpp"
+#include "matching/metrics.hpp"
+#include "matching/verify.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+TEST(LocalSearch, NeverDecreasesSatisfaction) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto inst = testing::Instance::random_quotas("er", 24, 5.0, 3, seed * 11 + 1);
+    auto m = lic_global(*inst->weights, inst->profile->quotas());
+    const double before = total_satisfaction(*inst->profile, m);
+    const auto info = improve_satisfaction(*inst->profile, m);
+    EXPECT_GE(info.satisfaction_after, before - 1e-12);
+    EXPECT_NEAR(info.satisfaction_before, before, 1e-12);
+    EXPECT_NEAR(info.satisfaction_after, total_satisfaction(*inst->profile, m), 1e-12);
+    EXPECT_TRUE(is_valid_bmatching(m));
+  }
+}
+
+TEST(LocalSearch, FillsEmptyMatchingByAdds) {
+  auto inst = testing::Instance::random("er", 20, 4.0, 2, 3);
+  Matching m(inst->g, inst->profile->quotas());
+  const auto info = improve_satisfaction(*inst->profile, m);
+  EXPECT_GT(info.adds, 0u);
+  EXPECT_TRUE(m.is_maximal());
+}
+
+TEST(LocalSearch, KeepsMatchingMaximal) {
+  // Starting from the (maximal) greedy matching, swaps may free capacity and
+  // enable follow-up adds, but the final matching must be maximal again.
+  auto inst = testing::Instance::random("ba", 24, 4.0, 2, 5);
+  auto m = lic_global(*inst->weights, inst->profile->quotas());
+  ASSERT_TRUE(m.is_maximal());
+  (void)improve_satisfaction(*inst->profile, m);
+  EXPECT_TRUE(m.is_maximal());
+}
+
+TEST(LocalSearch, FindsKnownBeneficialSwap) {
+  // Path 0-1-2: node 1 matched to its worse neighbour; swapping to the better
+  // one strictly improves total satisfaction.
+  static graph::Graph g = graph::path(3);
+  auto p = prefs::PreferenceProfile::from_lists(g, prefs::Quotas{1, 1, 1},
+                                                {{1}, {2, 0}, {1}});
+  Matching m(g, prefs::Quotas{1, 1, 1});
+  m.add(g.find_edge(0, 1));  // node 1's second choice
+  const auto info = improve_satisfaction(p, m);
+  // The swap (0,1) → (1,2) helps node 1 (rank 1 → 0) more than it hurts node
+  // 0 vs. node 2 (both end/start unmatched, symmetric L=1).
+  EXPECT_TRUE(m.contains(g.find_edge(1, 2)));
+  EXPECT_GE(info.swaps, 1u);
+}
+
+TEST(LocalSearch, NeverExceedsExactOptimum) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto inst = testing::Instance::random("er", 9, 3.0, 2, seed * 7 + 13);
+    auto m = lic_global(*inst->weights, inst->profile->quotas());
+    (void)improve_satisfaction(*inst->profile, m);
+    const auto opt = exact_max_satisfaction(*inst->profile);
+    EXPECT_LE(total_satisfaction(*inst->profile, m),
+              total_satisfaction(*inst->profile, opt) + 1e-9);
+  }
+}
+
+TEST(LocalSearch, ClosesPartOfTheGapOnAverage) {
+  double gap_before = 0.0;
+  double gap_after = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto inst = testing::Instance::random("er", 10, 3.0, 2, seed * 29 + 3);
+    auto m = lic_global(*inst->weights, inst->profile->quotas());
+    const auto opt = exact_max_satisfaction(*inst->profile);
+    const double best = total_satisfaction(*inst->profile, opt);
+    gap_before += best - total_satisfaction(*inst->profile, m);
+    (void)improve_satisfaction(*inst->profile, m);
+    gap_after += best - total_satisfaction(*inst->profile, m);
+  }
+  EXPECT_LE(gap_after, gap_before + 1e-12);
+}
+
+TEST(LocalSearch, IdempotentAtLocalOptimum) {
+  auto inst = testing::Instance::random("geo", 20, 4.0, 2, 17);
+  auto m = lic_global(*inst->weights, inst->profile->quotas());
+  (void)improve_satisfaction(*inst->profile, m);
+  const auto second = improve_satisfaction(*inst->profile, m);
+  EXPECT_EQ(second.adds, 0u);
+  EXPECT_EQ(second.swaps, 0u);
+}
+
+}  // namespace
+}  // namespace overmatch::matching

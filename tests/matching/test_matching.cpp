@@ -1,0 +1,137 @@
+#include "matching/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+Graph square() {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  return std::move(b).build();
+}
+
+TEST(Matching, StartsEmpty) {
+  const Graph g = square();
+  const Matching m(g, Quotas(4, 1));
+  EXPECT_EQ(m.size(), 0u);
+  for (graph::NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(m.load(v), 0u);
+    EXPECT_EQ(m.residual(v), 1u);
+    EXPECT_TRUE(m.connections(v).empty());
+  }
+}
+
+TEST(Matching, AddUpdatesEverything) {
+  const Graph g = square();
+  Matching m(g, Quotas(4, 2));
+  m.add(0);  // {0,1}
+  EXPECT_TRUE(m.contains(0));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.load(0), 1u);
+  EXPECT_EQ(m.load(1), 1u);
+  EXPECT_EQ(m.residual(0), 1u);
+  ASSERT_EQ(m.connections(0).size(), 1u);
+  EXPECT_EQ(m.connections(0)[0], 1u);
+  EXPECT_EQ(m.connections(1)[0], 0u);
+}
+
+TEST(Matching, CanAddRespectsQuota) {
+  const Graph g = square();
+  Matching m(g, Quotas(4, 1));
+  EXPECT_TRUE(m.can_add(0));
+  m.add(0);             // {0,1}
+  EXPECT_FALSE(m.can_add(0));  // already selected
+  EXPECT_FALSE(m.can_add(1));  // node 1 full
+  EXPECT_FALSE(m.can_add(3));  // node 0 full
+  EXPECT_TRUE(m.can_add(2));   // {2,3} free
+}
+
+TEST(Matching, RemoveRestoresCapacity) {
+  const Graph g = square();
+  Matching m(g, Quotas(4, 1));
+  m.add(0);
+  m.remove(0);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.load(0), 0u);
+  EXPECT_TRUE(m.can_add(0));
+  EXPECT_TRUE(m.connections(1).empty());
+}
+
+TEST(Matching, IsMaximalDetectsAddableEdge) {
+  const Graph g = square();
+  Matching m(g, Quotas(4, 1));
+  m.add(0);
+  EXPECT_FALSE(m.is_maximal());
+  m.add(2);
+  EXPECT_TRUE(m.is_maximal());
+}
+
+TEST(Matching, SameEdgesIgnoresInsertionOrder) {
+  const Graph g = square();
+  Matching a(g, Quotas(4, 1));
+  Matching b(g, Quotas(4, 1));
+  a.add(0);
+  a.add(2);
+  b.add(2);
+  b.add(0);
+  EXPECT_TRUE(a.same_edges(b));
+  Matching c(g, Quotas(4, 1));
+  c.add(1);
+  EXPECT_FALSE(a.same_edges(c));
+}
+
+TEST(Matching, TotalWeight) {
+  auto inst = testing::Instance::random("er", 12, 4.0, 2, 5);
+  Matching m(inst->g, inst->profile->quotas());
+  double expected = 0.0;
+  for (graph::EdgeId e = 0; e < inst->g.num_edges() && m.size() < 3; ++e) {
+    if (m.can_add(e)) {
+      m.add(e);
+      expected += inst->weights->weight(e);
+    }
+  }
+  EXPECT_NEAR(m.total_weight(*inst->weights), expected, 1e-12);
+}
+
+TEST(Matching, QuotaTwoAllowsTwoPartners) {
+  const Graph g = graph::star(4);
+  Matching m(g, Quotas{2, 1, 1, 1});
+  m.add(0);
+  m.add(1);
+  EXPECT_EQ(m.load(0), 2u);
+  EXPECT_FALSE(m.can_add(2));  // hub full
+  ASSERT_EQ(m.connections(0).size(), 2u);
+}
+
+TEST(MatchingDeathTest, AddBeyondQuotaAborts) {
+  const Graph g = graph::star(4);
+  Matching m(g, Quotas{1, 1, 1, 1});
+  m.add(0);
+  EXPECT_DEATH(m.add(1), "quota");
+}
+
+TEST(MatchingDeathTest, DoubleAddAborts) {
+  const Graph g = square();
+  Matching m(g, Quotas(4, 2));
+  m.add(0);
+  EXPECT_DEATH(m.add(0), "quota");
+}
+
+TEST(MatchingDeathTest, RemoveUnselectedAborts) {
+  const Graph g = square();
+  Matching m(g, Quotas(4, 1));
+  EXPECT_DEATH(m.remove(0), "unselected");
+}
+
+}  // namespace
+}  // namespace overmatch::matching

@@ -1,0 +1,90 @@
+#include "matching/parallel_local.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/lic.hpp"
+#include "matching/verify.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+TEST(ParallelLocal, MatchesLicOnHandInstance) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  const graph::Graph g = std::move(b).build();
+  const prefs::EdgeWeights w(g, std::vector<double>{1.0, 5.0, 2.0});
+  const auto seq = lic_global(w, Quotas(4, 1));
+  const auto par = parallel_local_dominant(w, Quotas(4, 1), 2);
+  EXPECT_TRUE(seq.same_edges(par));
+}
+
+class ParallelEquivalence
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint32_t,
+                                                 std::size_t>> {};
+
+TEST_P(ParallelEquivalence, EqualsSequentialGreedy) {
+  const auto [topology, quota, threads] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto inst = testing::Instance::random(topology, 40, 6.0, quota, seed * 19);
+    const auto seq = lic_global(*inst->weights, inst->profile->quotas());
+    const auto par =
+        parallel_local_dominant(*inst->weights, inst->profile->quotas(), threads);
+    EXPECT_TRUE(seq.same_edges(par))
+        << topology << " b=" << quota << " threads=" << threads << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelEquivalence,
+    ::testing::Combine(::testing::Values("er", "ba", "ws"),
+                       ::testing::Values<std::uint32_t>(1, 2, 4),
+                       ::testing::Values<std::size_t>(1, 2, 4)));
+
+TEST(ParallelLocal, HeterogeneousQuotas) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto inst = testing::Instance::random_quotas("geo", 36, 5.0, 4, seed + 2);
+    const auto seq = lic_global(*inst->weights, inst->profile->quotas());
+    const auto par =
+        parallel_local_dominant(*inst->weights, inst->profile->quotas(), 3);
+    EXPECT_TRUE(seq.same_edges(par));
+  }
+}
+
+TEST(ParallelLocal, ReportsRounds) {
+  auto inst = testing::Instance::random("er", 40, 6.0, 2, 5);
+  ParallelRunInfo info;
+  const auto m =
+      parallel_local_dominant(*inst->weights, inst->profile->quotas(), 2, &info);
+  EXPECT_GT(info.rounds, 0u);
+  EXPECT_TRUE(m.is_maximal());
+}
+
+TEST(ParallelLocal, RoundsBoundedByEdges) {
+  // Each non-final round selects at least one edge.
+  auto inst = testing::Instance::random("ba", 50, 4.0, 2, 6);
+  ParallelRunInfo info;
+  const auto m =
+      parallel_local_dominant(*inst->weights, inst->profile->quotas(), 4, &info);
+  EXPECT_LE(info.rounds, m.size() + 1);
+}
+
+TEST(ParallelLocal, EmptyGraph) {
+  const graph::Graph g = graph::GraphBuilder(4).build();
+  const prefs::EdgeWeights w(g, {});
+  const auto m = parallel_local_dominant(w, Quotas(4, 1), 2);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(ParallelLocal, CertificateHolds) {
+  auto inst = testing::Instance::random("er", 40, 8.0, 3, 7);
+  const auto m =
+      parallel_local_dominant(*inst->weights, inst->profile->quotas(), 4);
+  EXPECT_TRUE(has_half_approx_certificate(m, *inst->weights));
+  EXPECT_TRUE(is_valid_bmatching(m));
+}
+
+}  // namespace
+}  // namespace overmatch::matching

@@ -1,0 +1,85 @@
+#include "matching/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/lic.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+TEST(IsValidBMatching, EmptyIsValid) {
+  const Graph g = graph::path(4);
+  const Matching m(g, Quotas(4, 1));
+  EXPECT_TRUE(is_valid_bmatching(m));
+}
+
+TEST(IsValidBMatching, GreedyResultsValid) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto inst = testing::Instance::random_quotas("ba", 30, 4.0, 3, seed);
+    EXPECT_TRUE(is_valid_bmatching(
+        lic_global(*inst->weights, inst->profile->quotas())));
+  }
+}
+
+TEST(HalfCertificate, HoldsForGreedyNotForBadMatching) {
+  // Path 3 - 4 - 3, quota 1: greedy = middle edge → certificate holds.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  const prefs::EdgeWeights w(g, std::vector<double>{3.0, 4.0, 3.0});
+
+  const auto greedy = lic_global(w, Quotas(4, 1));
+  EXPECT_TRUE(has_half_approx_certificate(greedy, w));
+
+  // A deliberately bad matching: select the lightest side edge only. The
+  // middle edge is unselected, node 1 saturated by a *lighter* edge,
+  // node 2 free → no certificate.
+  Matching bad(g, Quotas(4, 1));
+  bad.add(0);  // weight 3, blocks the weight-4 middle edge at node 1
+  EXPECT_FALSE(has_half_approx_certificate(bad, w));
+}
+
+TEST(HalfCertificate, NonMaximalMatchingFails) {
+  // An addable edge has two unsaturated endpoints → certificate must fail.
+  const Graph g = graph::path(2 + 1);  // 3 nodes, 2 edges
+  const prefs::EdgeWeights w(g, std::vector<double>{1.0, 2.0});
+  const Matching empty(g, Quotas(3, 1));
+  EXPECT_FALSE(has_half_approx_certificate(empty, w));
+}
+
+TEST(HalfCertificate, PerfectMatchingTriviallyCertified) {
+  // All edges selected → no unselected edge to certify.
+  const Graph g = graph::path(4);
+  const prefs::EdgeWeights w(g, std::vector<double>{1.0, 2.0, 3.0});
+  Matching m(g, Quotas(4, 2));
+  for (graph::EdgeId e = 0; e < 3; ++e) m.add(e);
+  EXPECT_TRUE(has_half_approx_certificate(m, w));
+}
+
+TEST(HalfCertificate, RandomGreedyOftenLacksIt) {
+  // Random-order greedy is maximal but picks non-locally-heaviest edges; on
+  // enough seeds at least one instance must violate the certificate.
+  int violations = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto inst = testing::Instance::random("er", 24, 6.0, 2, seed * 3 + 1);
+    Matching m(inst->g, inst->profile->quotas());
+    util::Rng rng(seed);
+    std::vector<graph::EdgeId> order(inst->g.num_edges());
+    for (graph::EdgeId e = 0; e < inst->g.num_edges(); ++e) order[e] = e;
+    rng.shuffle(order);
+    for (const auto e : order) {
+      if (m.can_add(e)) m.add(e);
+    }
+    if (!has_half_approx_certificate(m, *inst->weights)) ++violations;
+  }
+  EXPECT_GT(violations, 0);
+}
+
+}  // namespace
+}  // namespace overmatch::matching

@@ -1,0 +1,79 @@
+#include "overlay/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "matching/lic.hpp"
+#include "matching/verify.hpp"
+
+namespace overmatch::overlay {
+namespace {
+
+std::unique_ptr<Overlay> small_overlay(std::uint64_t seed, std::uint32_t quota = 3) {
+  util::Rng rng(seed);
+  auto g = graph::erdos_renyi(30, 0.25, rng);
+  auto pop = Population::random(30, 6, rng);
+  const auto metrics = random_metrics(30, rng);
+  BuildOptions opt;
+  opt.quota = quota;
+  opt.seed = seed;
+  return build_overlay(std::move(g), pop, metrics, opt);
+}
+
+TEST(BuildOverlay, ProducesValidMatching) {
+  const auto ov = small_overlay(1);
+  EXPECT_TRUE(matching::is_valid_bmatching(ov->matching()));
+  EXPECT_TRUE(ov->matching().is_maximal());
+  EXPECT_GT(ov->stats().total_sent, 0u);
+}
+
+TEST(BuildOverlay, MatchesCentralizedLic) {
+  const auto ov = small_overlay(2);
+  const auto lic = matching::lic_global(ov->weights(), ov->profile().quotas());
+  EXPECT_TRUE(lic.same_edges(ov->matching()));
+}
+
+TEST(BuildOverlay, QuotasRespectOption) {
+  const auto ov = small_overlay(3, 2);
+  for (NodeId v = 0; v < ov->potential().num_nodes(); ++v) {
+    EXPECT_LE(ov->matching().load(v), 2u);
+  }
+}
+
+TEST(BuildOverlay, DeterministicPerSeed) {
+  const auto a = small_overlay(4);
+  const auto b = small_overlay(4);
+  EXPECT_TRUE(a->matching().same_edges(b->matching()));
+  EXPECT_EQ(a->stats().total_sent, b->stats().total_sent);
+}
+
+TEST(MatchedSubgraph, MirrorsMatching) {
+  const auto ov = small_overlay(5);
+  const auto sub = matched_subgraph(ov->matching());
+  EXPECT_EQ(sub.num_nodes(), ov->potential().num_nodes());
+  EXPECT_EQ(sub.num_edges(), ov->matching().size());
+  for (const auto e : ov->matching().edges()) {
+    const auto& edge = ov->potential().edge(e);
+    EXPECT_TRUE(sub.has_edge(edge.u, edge.v));
+  }
+}
+
+TEST(MatchedSubgraph, DegreesEqualLoads) {
+  const auto ov = small_overlay(6);
+  const auto sub = matched_subgraph(ov->matching());
+  for (NodeId v = 0; v < sub.num_nodes(); ++v) {
+    EXPECT_EQ(sub.degree(v), ov->matching().load(v));
+  }
+}
+
+TEST(BuildOverlay, WeightsMatchProfile) {
+  const auto ov = small_overlay(7);
+  const auto expected = prefs::paper_weights(ov->profile());
+  for (graph::EdgeId e = 0; e < ov->potential().num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(ov->weights().weight(e), expected.weight(e));
+  }
+}
+
+}  // namespace
+}  // namespace overmatch::overlay

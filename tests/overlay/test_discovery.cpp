@@ -1,0 +1,87 @@
+#include "overlay/discovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+
+namespace overmatch::overlay {
+namespace {
+
+DiscoveryOptions opts(std::size_t rounds, std::uint64_t seed) {
+  DiscoveryOptions o;
+  o.bootstrap_contacts = 3;
+  o.view_size = 10;
+  o.rounds = rounds;
+  o.gossip_sample = 4;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Discovery, ViewsBoundedAndValid) {
+  const auto r = discover_candidates(50, opts(5, 1));
+  EXPECT_EQ(r.candidates.num_nodes(), 50u);
+  // Degree can exceed view_size (in-knowledge counts), but every node's own
+  // view contributed at most view_size edges; total edges ≤ n · view_size.
+  EXPECT_LE(r.candidates.num_edges(), 50u * 10u);
+  for (graph::NodeId v = 0; v < 50; ++v) {
+    EXPECT_FALSE(r.candidates.has_edge(v, v));
+  }
+}
+
+TEST(Discovery, BootstrapAloneGivesRing) {
+  // Zero rounds: candidate graph = bootstrap contacts only, which include the
+  // ring, so it is connected.
+  const auto r = discover_candidates(40, opts(0, 2));
+  EXPECT_TRUE(graph::is_connected(r.candidates));
+  EXPECT_EQ(r.stats.total_sent, 0u);
+}
+
+TEST(Discovery, GossipGrowsKnowledge) {
+  const auto few = discover_candidates(60, opts(1, 3));
+  const auto many = discover_candidates(60, opts(8, 3));
+  EXPECT_GT(many.candidates.num_edges(), few.candidates.num_edges());
+  EXPECT_GT(many.stats.total_sent, few.stats.total_sent);
+}
+
+TEST(Discovery, StaysConnected) {
+  for (const std::size_t rounds : {1u, 4u, 8u}) {
+    const auto r = discover_candidates(48, opts(rounds, 4));
+    EXPECT_TRUE(graph::is_connected(r.candidates)) << rounds;
+  }
+}
+
+TEST(Discovery, DeterministicPerSeed) {
+  const auto a = discover_candidates(30, opts(4, 7));
+  const auto b = discover_candidates(30, opts(4, 7));
+  ASSERT_EQ(a.candidates.num_edges(), b.candidates.num_edges());
+  for (graph::EdgeId e = 0; e < a.candidates.num_edges(); ++e) {
+    EXPECT_EQ(a.candidates.edge(e).u, b.candidates.edge(e).u);
+    EXPECT_EQ(a.candidates.edge(e).v, b.candidates.edge(e).v);
+  }
+}
+
+TEST(Discovery, DifferentSeedsDiffer) {
+  const auto a = discover_candidates(30, opts(4, 8));
+  const auto b = discover_candidates(30, opts(4, 9));
+  bool differ = a.candidates.num_edges() != b.candidates.num_edges();
+  if (!differ) {
+    for (graph::EdgeId e = 0; e < a.candidates.num_edges(); ++e) {
+      if (!(a.candidates.edge(e) == b.candidates.edge(e))) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Discovery, TrafficLinearInRoundsAndSample) {
+  const auto r = discover_candidates(40, opts(6, 10));
+  // Per round per peer: 1 PULL + ≤ sample PUSH, answered by ≤ sample PUSH.
+  const std::size_t bound = 40 * 6 * (1 + 2 * 4);
+  EXPECT_LE(r.stats.total_sent, bound);
+  EXPECT_GT(r.stats.total_sent, 40u * 6u / 2u);
+}
+
+}  // namespace
+}  // namespace overmatch::overlay

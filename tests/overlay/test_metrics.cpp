@@ -1,0 +1,115 @@
+#include "overlay/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+
+namespace overmatch::overlay {
+namespace {
+
+TEST(MetricNames, RoundTrip) {
+  for (const Metric m : {Metric::kProximity, Metric::kInterests, Metric::kBandwidth,
+                         Metric::kUptime, Metric::kTransactions, Metric::kHybrid}) {
+    EXPECT_EQ(metric_by_name(metric_name(m)), m);
+  }
+}
+
+TEST(MetricNamesDeathTest, UnknownAborts) {
+  EXPECT_DEATH((void)metric_by_name("nope"), "unknown");
+}
+
+TEST(MetricScore, ProximityPrefersCloserPeers) {
+  util::Rng rng(1);
+  auto pop = Population::random(3, 4, rng);
+  // Scores are negative distances: closer → larger.
+  const double s01 = metric_score(pop, Metric::kProximity, 0, 1);
+  const auto& p0 = pop.peer(0);
+  const auto& p1 = pop.peer(1);
+  const double d01 = std::hypot(p0.x - p1.x, p0.y - p1.y);
+  EXPECT_NEAR(s01, -d01, 1e-12);
+}
+
+TEST(MetricScore, InterestsIsSymmetricCosine) {
+  util::Rng rng(2);
+  auto pop = Population::random(5, 6, rng);
+  for (NodeId a = 0; a < 5; ++a) {
+    for (NodeId b = 0; b < 5; ++b) {
+      if (a == b) continue;
+      EXPECT_NEAR(metric_score(pop, Metric::kInterests, a, b),
+                  metric_score(pop, Metric::kInterests, b, a), 1e-12);
+      EXPECT_LE(metric_score(pop, Metric::kInterests, a, b), 1.0 + 1e-9);
+      EXPECT_GE(metric_score(pop, Metric::kInterests, a, b), -1.0 - 1e-9);
+    }
+  }
+}
+
+TEST(MetricScore, BandwidthLooksAtTargetOnly) {
+  util::Rng rng(3);
+  auto pop = Population::random(4, 4, rng);
+  EXPECT_DOUBLE_EQ(metric_score(pop, Metric::kBandwidth, 0, 2),
+                   metric_score(pop, Metric::kBandwidth, 1, 2));
+  EXPECT_DOUBLE_EQ(metric_score(pop, Metric::kBandwidth, 0, 2), pop.peer(2).bandwidth);
+}
+
+TEST(MetricScore, HybridBounded) {
+  util::Rng rng(4);
+  auto pop = Population::random(10, 4, rng);
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = 0; b < 10; ++b) {
+      if (a == b) continue;
+      const double s = metric_score(pop, Metric::kHybrid, a, b);
+      EXPECT_GE(s, -0.1);
+      EXPECT_LE(s, 1.1);
+    }
+  }
+}
+
+TEST(BuildProfile, RanksFollowChosenMetric) {
+  util::Rng rng(5);
+  const auto g = graph::complete(6);
+  auto pop = Population::random(6, 4, rng);
+  const auto metrics = homogeneous_metrics(6, Metric::kBandwidth);
+  auto p = build_profile(g, pop, metrics, prefs::uniform_quotas(g, 2));
+  // Every node's top choice is the highest-bandwidth neighbour.
+  for (NodeId v = 0; v < 6; ++v) {
+    const auto list = p.list(v);
+    for (std::size_t k = 0; k + 1 < list.size(); ++k) {
+      EXPECT_GE(pop.peer(list[k]).bandwidth, pop.peer(list[k + 1]).bandwidth);
+    }
+  }
+}
+
+TEST(BuildProfile, HeterogeneousMetricsDiffer) {
+  util::Rng rng(6);
+  const auto g = graph::complete(8);
+  auto pop = Population::random(8, 4, rng);
+  auto p_bw = build_profile(g, pop, homogeneous_metrics(8, Metric::kBandwidth),
+                            prefs::uniform_quotas(g, 2));
+  auto p_prox = build_profile(g, pop, homogeneous_metrics(8, Metric::kProximity),
+                              prefs::uniform_quotas(g, 2));
+  // With random attributes the two orderings almost surely differ somewhere.
+  bool any_diff = false;
+  for (NodeId v = 0; v < 8 && !any_diff; ++v) {
+    const auto lb = p_bw.list(v);
+    const auto lp = p_prox.list(v);
+    for (std::size_t k = 0; k < lb.size(); ++k) {
+      if (lb[k] != lp[k]) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomMetrics, CoversSeveralKinds) {
+  util::Rng rng(7);
+  const auto ms = random_metrics(100, rng);
+  std::set<Metric> kinds(ms.begin(), ms.end());
+  EXPECT_GE(kinds.size(), 3u);
+}
+
+}  // namespace
+}  // namespace overmatch::overlay

@@ -1,0 +1,79 @@
+#include "overlay/peer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace overmatch::overlay {
+namespace {
+
+TEST(Population, SizesAndRanges) {
+  util::Rng rng(1);
+  const auto pop = Population::random(50, 8, rng);
+  EXPECT_EQ(pop.size(), 50u);
+  for (NodeId v = 0; v < 50; ++v) {
+    const auto& p = pop.peer(v);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 1.0);
+    EXPECT_EQ(p.interests.size(), 8u);
+    EXPECT_GT(p.bandwidth, 0.0);
+    EXPECT_GT(p.uptime, 0.0);
+    EXPECT_LE(p.uptime, 1.0);
+  }
+}
+
+TEST(Population, InterestVectorsUnitNorm) {
+  util::Rng rng(2);
+  const auto pop = Population::random(20, 5, rng);
+  for (NodeId v = 0; v < 20; ++v) {
+    double n2 = 0.0;
+    for (const double c : pop.peer(v).interests) n2 += c * c;
+    EXPECT_NEAR(n2, 1.0, 1e-9);
+  }
+}
+
+TEST(Population, TransactionsSymmetric) {
+  util::Rng rng(3);
+  auto pop = Population::random(30, 4, rng);
+  for (NodeId a = 0; a < 30; ++a) {
+    for (NodeId b = 0; b < 30; ++b) {
+      EXPECT_DOUBLE_EQ(pop.transactions(a, b), pop.transactions(b, a));
+    }
+  }
+}
+
+TEST(Population, SetTransactionsRoundTrip) {
+  util::Rng rng(4);
+  auto pop = Population::random(10, 4, rng);
+  pop.set_transactions(2, 7, 0.66);
+  EXPECT_DOUBLE_EQ(pop.transactions(2, 7), 0.66);
+  EXPECT_DOUBLE_EQ(pop.transactions(7, 2), 0.66);
+}
+
+TEST(Population, SomeHistoryExists) {
+  util::Rng rng(5);
+  const auto pop = Population::random(40, 4, rng);
+  std::size_t nonzero = 0;
+  for (NodeId a = 0; a < 40; ++a) {
+    for (NodeId b = a + 1; b < 40; ++b) {
+      if (pop.transactions(a, b) > 0.0) ++nonzero;
+    }
+  }
+  EXPECT_GT(nonzero, 10u);
+}
+
+TEST(Population, DeterministicPerSeed) {
+  util::Rng r1(6);
+  util::Rng r2(6);
+  const auto p1 = Population::random(15, 3, r1);
+  const auto p2 = Population::random(15, 3, r2);
+  for (NodeId v = 0; v < 15; ++v) {
+    EXPECT_DOUBLE_EQ(p1.peer(v).x, p2.peer(v).x);
+    EXPECT_DOUBLE_EQ(p1.peer(v).bandwidth, p2.peer(v).bandwidth);
+  }
+}
+
+}  // namespace
+}  // namespace overmatch::overlay

@@ -1,0 +1,67 @@
+#include "overlay/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace overmatch::overlay {
+namespace {
+
+std::unique_ptr<Overlay> overlay_for(std::uint64_t seed, double density,
+                                     std::uint32_t quota) {
+  util::Rng rng(seed);
+  auto g = graph::erdos_renyi(40, density, rng);
+  auto pop = Population::random(40, 6, rng);
+  const auto metrics = random_metrics(40, rng);
+  BuildOptions opt;
+  opt.quota = quota;
+  opt.seed = seed;
+  return build_overlay(std::move(g), pop, metrics, opt);
+}
+
+TEST(Quality, ReportFieldsConsistent) {
+  const auto ov = overlay_for(1, 0.3, 3);
+  const auto r = analyze(*ov);
+  EXPECT_GE(r.satisfaction_mean, 0.0);
+  EXPECT_LE(r.satisfaction_mean, 1.0 + 1e-9);
+  EXPECT_GE(r.satisfaction_min, 0.0);
+  EXPECT_LE(r.satisfaction_min, r.satisfaction_p10 + 1e-9);
+  EXPECT_LE(r.satisfaction_p10, r.satisfaction_mean + 1e-9);
+  EXPECT_NEAR(r.satisfaction_total, r.satisfaction_mean * 40.0, 1e-6);
+  EXPECT_EQ(r.connections, ov->matching().size());
+  EXPECT_GT(r.quota_utilization, 0.0);
+  EXPECT_LE(r.quota_utilization, 1.0 + 1e-9);
+  EXPECT_GT(r.messages, 0u);
+  EXPECT_GE(r.components, 1u);
+}
+
+TEST(Quality, DenserPotentialRaisesModifiedObjective) {
+  // Mean eq.-1 satisfaction is degree-normalized (L_i grows with density), so
+  // it is NOT monotone in density. The modified objective — what the protocol
+  // optimizes — is: longer lists make top-b picks relatively better, so the
+  // achieved total weight grows with density.
+  const auto sparse = overlay_for(3, 0.1, 3);
+  const auto dense = overlay_for(3, 0.6, 3);
+  EXPECT_GT(dense->matching().total_weight(dense->weights()),
+            sparse->matching().total_weight(sparse->weights()));
+  // Utilization is also at least as good on the dense overlay.
+  EXPECT_GE(analyze(*dense).quota_utilization + 1e-9,
+            analyze(*sparse).quota_utilization);
+}
+
+TEST(Quality, UtilizationNearOneOnDenseGraph) {
+  const auto r = analyze(*overlay_for(4, 0.8, 2));
+  EXPECT_GT(r.quota_utilization, 0.85);
+}
+
+TEST(Quality, ToStringMentionsKeyNumbers) {
+  const auto ov = overlay_for(5, 0.3, 2);
+  const auto r = analyze(*ov);
+  const auto s = to_string(r);
+  EXPECT_NE(s.find("satisfaction"), std::string::npos);
+  EXPECT_NE(s.find("messages"), std::string::npos);
+  EXPECT_NE(s.find("components"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace overmatch::overlay

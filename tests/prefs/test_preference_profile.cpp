@@ -1,0 +1,147 @@
+#include "prefs/preference_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace overmatch::prefs {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+Graph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  return std::move(b).build();
+}
+
+TEST(UniformQuotas, ClampsToDegree) {
+  const Graph g = graph::star(5);  // hub degree 4, leaves degree 1
+  const auto q = uniform_quotas(g, 3);
+  EXPECT_EQ(q[0], 3u);
+  for (graph::NodeId v = 1; v < 5; ++v) EXPECT_EQ(q[v], 1u);
+}
+
+TEST(UniformQuotas, IsolatedNodeGetsOne) {
+  const Graph g = GraphBuilder(2).build();
+  const auto q = uniform_quotas(g, 4);
+  EXPECT_EQ(q[0], 1u);
+}
+
+TEST(RandomQuotas, WithinRange) {
+  util::Rng rng(1);
+  const Graph g = graph::complete(10);
+  const auto q = random_quotas(g, 5, rng);
+  for (const auto b : q) {
+    EXPECT_GE(b, 1u);
+    EXPECT_LE(b, 5u);
+  }
+}
+
+TEST(PreferenceProfile, FromListsRanks) {
+  const Graph g = triangle();
+  auto p = PreferenceProfile::from_lists(g, uniform_quotas(g, 1),
+                                         {{2, 1}, {0, 2}, {1, 0}});
+  EXPECT_EQ(p.rank(0, 2), 0u);
+  EXPECT_EQ(p.rank(0, 1), 1u);
+  EXPECT_EQ(p.rank(1, 0), 0u);
+  EXPECT_EQ(p.rank(2, 1), 0u);
+  EXPECT_TRUE(p.prefers(0, 2, 1));
+  EXPECT_FALSE(p.prefers(0, 1, 2));
+}
+
+TEST(PreferenceProfile, FromScoresOrdersDescending) {
+  const Graph g = triangle();
+  auto p = PreferenceProfile::from_scores(
+      g, uniform_quotas(g, 2),
+      [](graph::NodeId, graph::NodeId j) { return static_cast<double>(j); });
+  // Everyone prefers higher node ids.
+  EXPECT_EQ(p.rank(0, 2), 0u);
+  EXPECT_EQ(p.rank(0, 1), 1u);
+  EXPECT_EQ(p.rank(1, 2), 0u);
+}
+
+TEST(PreferenceProfile, ScoreTiesBrokenByNodeId) {
+  const Graph g = triangle();
+  auto p = PreferenceProfile::from_scores(
+      g, uniform_quotas(g, 1), [](graph::NodeId, graph::NodeId) { return 1.0; });
+  EXPECT_EQ(p.rank(0, 1), 0u);  // lower id wins ties
+  EXPECT_EQ(p.rank(0, 2), 1u);
+  EXPECT_EQ(p.rank(2, 0), 0u);
+}
+
+TEST(PreferenceProfile, RandomIsPermutationOfNeighborhood) {
+  util::Rng rng(7);
+  const Graph g = graph::complete(8);
+  auto p = PreferenceProfile::random(g, uniform_quotas(g, 3), rng);
+  for (graph::NodeId v = 0; v < 8; ++v) {
+    const auto list = p.list(v);
+    ASSERT_EQ(list.size(), 7u);
+    std::vector<bool> seen(8, false);
+    for (const auto u : list) {
+      EXPECT_NE(u, v);
+      EXPECT_FALSE(seen[u]);
+      seen[u] = true;
+    }
+    // Rank lookups are consistent with positions.
+    for (Rank r = 0; r < list.size(); ++r) EXPECT_EQ(p.rank(v, list[r]), r);
+  }
+}
+
+TEST(PreferenceProfile, QuotaClampedToListLength) {
+  const Graph g = graph::path(3);  // middle node degree 2, ends degree 1
+  auto p = PreferenceProfile::from_scores(
+      g, Quotas{5, 5, 5}, [](graph::NodeId, graph::NodeId j) { return -double(j); });
+  EXPECT_EQ(p.quota(0), 1u);
+  EXPECT_EQ(p.quota(1), 2u);
+  EXPECT_EQ(p.quota(2), 1u);
+}
+
+TEST(PreferenceProfile, MaxQuota) {
+  const Graph g = graph::complete(5);
+  auto p = PreferenceProfile::from_scores(
+      g, Quotas{1, 2, 3, 1, 2}, [](graph::NodeId, graph::NodeId j) { return double(j); });
+  EXPECT_EQ(p.max_quota(), 3u);
+}
+
+TEST(PreferenceProfile, ListSizeIsDegree) {
+  const Graph g = graph::star(4);
+  auto p = PreferenceProfile::from_scores(
+      g, uniform_quotas(g, 2), [](graph::NodeId, graph::NodeId j) { return double(j); });
+  EXPECT_EQ(p.list_size(0), 3u);
+  EXPECT_EQ(p.list_size(1), 1u);
+}
+
+TEST(PreferenceProfileDeathTest, RankOfNonNeighborAborts) {
+  const Graph g = graph::path(3);
+  auto p = PreferenceProfile::from_scores(
+      g, uniform_quotas(g, 1), [](graph::NodeId, graph::NodeId j) { return double(j); });
+  EXPECT_DEATH((void)p.rank(0, 2), "non-neighbour");
+}
+
+TEST(PreferenceProfileDeathTest, ListWithNonNeighborAborts) {
+  const Graph g = graph::path(3);
+  EXPECT_DEATH((void)PreferenceProfile::from_lists(g, uniform_quotas(g, 1),
+                                                   {{2}, {0, 2}, {1}}),
+               "non-neighbour");
+}
+
+TEST(PreferenceProfileDeathTest, DuplicateInListAborts) {
+  const Graph g = triangle();
+  EXPECT_DEATH((void)PreferenceProfile::from_lists(g, uniform_quotas(g, 1),
+                                                   {{1, 1}, {0, 2}, {1, 0}}),
+               "duplicate");
+}
+
+TEST(PreferenceProfileDeathTest, IncompleteListAborts) {
+  const Graph g = triangle();
+  EXPECT_DEATH((void)PreferenceProfile::from_lists(g, uniform_quotas(g, 1),
+                                                   {{1}, {0, 2}, {1, 0}}),
+               "whole neighbourhood");
+}
+
+}  // namespace
+}  // namespace overmatch::prefs

@@ -1,0 +1,159 @@
+#include "prefs/satisfaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace overmatch::prefs {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Node 0 in K8 with quota 4 and identity preferences (node j has rank j−1):
+/// the reconstruction of the paper's Figure 1 at smaller scale happens in the
+/// dedicated test below.
+PreferenceProfile identity_k(std::size_t n, std::uint32_t b) {
+  static Graph g;  // keep alive across the returned profile
+  g = graph::complete(n);
+  return PreferenceProfile::from_scores(
+      g, uniform_quotas(g, b),
+      [](NodeId, NodeId j) { return -static_cast<double>(j); });
+}
+
+TEST(Satisfaction, EmptyConnectionsIsZero) {
+  auto p = identity_k(6, 3);
+  EXPECT_DOUBLE_EQ(satisfaction(p, 0, {}), 0.0);
+  EXPECT_DOUBLE_EQ(satisfaction_modified(p, 0, {}), 0.0);
+}
+
+TEST(Satisfaction, TopQuotaConnectionsGiveOne) {
+  auto p = identity_k(6, 3);
+  // Node 0's top-3: nodes 1, 2, 3 (scores −1 > −2 > −3 ... wait: −1 is the
+  // largest, so node 1 has rank 0). Top-3 connections = full satisfaction.
+  const std::vector<NodeId> conns{1, 2, 3};
+  EXPECT_NEAR(satisfaction(p, 0, conns), 1.0, 1e-12);
+}
+
+TEST(Satisfaction, PaperFigure1Reconstruction) {
+  // Figure 1: b=4, L=7, connections at preference ranks {0,1,3,5} → 0.893.
+  static Graph g = graph::star(8);  // hub 0 with 7 leaves
+  auto p = PreferenceProfile::from_lists(
+      g, Quotas{4, 1, 1, 1, 1, 1, 1, 1},
+      {{1, 2, 3, 4, 5, 6, 7}, {0}, {0}, {0}, {0}, {0}, {0}, {0}});
+  // Ranks: node 1→0, 2→1, 4→3, 6→5 (the paper's 2, 5, 32, 28 stand-ins).
+  const std::vector<NodeId> conns{1, 2, 4, 6};
+  const double s = satisfaction(p, 0, conns);
+  EXPECT_NEAR(s, 25.0 / 28.0, 1e-12);
+  EXPECT_NEAR(s, 0.893, 5e-4);
+}
+
+TEST(Satisfaction, MatchesClosedFormAgainstIncrements) {
+  auto p = identity_k(8, 4);
+  const std::vector<NodeId> conns{2, 5, 7, 3};
+  // Incremental accumulation (eq. 4, adding best-first) equals eq. 1.
+  std::vector<NodeId> sorted = conns;
+  std::sort(sorted.begin(), sorted.end(), [&p](NodeId a, NodeId b) {
+    return p.rank(0, a) < p.rank(0, b);
+  });
+  double inc = 0.0;
+  for (std::uint32_t c = 0; c < sorted.size(); ++c) inc += delta_s(p, 0, sorted[c], c);
+  EXPECT_NEAR(inc, satisfaction(p, 0, conns), 1e-12);
+}
+
+TEST(Satisfaction, OrderOfConnectionSpanIrrelevant) {
+  auto p = identity_k(8, 4);
+  EXPECT_DOUBLE_EQ(satisfaction(p, 0, std::vector<NodeId>{2, 5, 7, 3}),
+                   satisfaction(p, 0, std::vector<NodeId>{7, 2, 3, 5}));
+}
+
+TEST(Satisfaction, AlwaysInUnitInterval) {
+  util::Rng rng(3);
+  static Graph g = graph::complete(9);
+  auto p = PreferenceProfile::random(g, uniform_quotas(g, 4), rng);
+  // All 4-subsets of node 0's neighbours.
+  std::vector<NodeId> nbrs{1, 2, 3, 4, 5, 6, 7, 8};
+  for (std::size_t a = 0; a < 8; ++a) {
+    for (std::size_t b = a + 1; b < 8; ++b) {
+      for (std::size_t c = b + 1; c < 8; ++c) {
+        for (std::size_t d = c + 1; d < 8; ++d) {
+          const std::vector<NodeId> conns{nbrs[a], nbrs[b], nbrs[c], nbrs[d]};
+          const double s = satisfaction(p, 0, conns);
+          EXPECT_GE(s, 0.0);
+          EXPECT_LE(s, 1.0 + 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(Satisfaction, WorstCaseBottomOfList) {
+  // b connections drawn from the bottom of the list: S = (b+1)/(2L) · ... —
+  // verify against the closed form used in Lemma 1's proof:
+  // static part = (b+1)/(2L), dynamic part = (b−1)/(2L).
+  const std::uint32_t b = 3;
+  auto p = identity_k(10, b);  // L = 9
+  const std::vector<NodeId> conns{7, 8, 9};  // ranks 6, 7, 8 (bottom three)
+  const auto parts = satisfaction_parts(p, 0, conns);
+  const double L = 9.0;
+  EXPECT_NEAR(parts.static_part, (b + 1.0) / (2.0 * L), 1e-12);
+  EXPECT_NEAR(parts.dynamic_part, (b - 1.0) / (2.0 * L), 1e-12);
+  EXPECT_NEAR(parts.total(), satisfaction(p, 0, conns), 1e-12);
+}
+
+TEST(DeltaS, StaticPlusDynamicEqualsTotal) {
+  auto p = identity_k(7, 3);
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    const double total = delta_s(p, 0, 4, c);
+    const double split = delta_s_static(p, 0, 4) + delta_s_dynamic(p, 0, c);
+    EXPECT_NEAR(total, split, 1e-15);
+  }
+}
+
+TEST(DeltaS, StaticIsPositiveAndMonotoneInRank) {
+  auto p = identity_k(7, 3);
+  // Node 0's list: 1 (rank 0) … 6 (rank 5); static ΔS̄ strictly decreases.
+  double prev = 1e9;
+  for (NodeId j = 1; j < 7; ++j) {
+    const double s = delta_s_static(p, 0, j);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(DeltaS, DynamicGrowsWithConnections) {
+  auto p = identity_k(7, 3);
+  EXPECT_DOUBLE_EQ(delta_s_dynamic(p, 0, 0), 0.0);
+  EXPECT_LT(delta_s_dynamic(p, 0, 1), delta_s_dynamic(p, 0, 2));
+}
+
+TEST(SatisfactionModified, EqualsStaticSum) {
+  auto p = identity_k(9, 4);
+  const std::vector<NodeId> conns{2, 4, 8};
+  double stat = 0.0;
+  for (const NodeId j : conns) stat += delta_s_static(p, 0, j);
+  EXPECT_NEAR(satisfaction_modified(p, 0, conns), stat, 1e-12);
+}
+
+TEST(SatisfactionModified, NeverExceedsOriginal) {
+  // S̄ drops the (non-negative) dynamic part, so S̄ ≤ S for the same set.
+  util::Rng rng(5);
+  static Graph g = graph::complete(8);
+  auto p = PreferenceProfile::random(g, uniform_quotas(g, 3), rng);
+  const std::vector<NodeId> conns{1, 4, 6};
+  EXPECT_LE(satisfaction_modified(p, 0, conns), satisfaction(p, 0, conns) + 1e-12);
+}
+
+TEST(SatisfactionDeathTest, TooManyConnectionsAborts) {
+  auto p = identity_k(6, 2);
+  EXPECT_DEATH((void)satisfaction(p, 0, std::vector<NodeId>{1, 2, 3}), "quota");
+}
+
+TEST(SatisfactionDeathTest, DuplicateConnectionAborts) {
+  auto p = identity_k(6, 3);
+  EXPECT_DEATH((void)satisfaction(p, 0, std::vector<NodeId>{1, 1}), "duplicate");
+}
+
+}  // namespace
+}  // namespace overmatch::prefs

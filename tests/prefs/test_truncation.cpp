@@ -1,0 +1,89 @@
+#include "prefs/truncation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace overmatch::prefs {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+struct Fixture {
+  Graph g;
+  std::unique_ptr<PreferenceProfile> p;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 20) {
+    util::Rng rng(seed);
+    g = graph::erdos_renyi(n, 0.5, rng);
+    p = std::make_unique<PreferenceProfile>(
+        PreferenceProfile::random(g, uniform_quotas(g, 3), rng));
+  }
+};
+
+TEST(Truncation, LargeKKeepsEverything) {
+  Fixture f(1);
+  const auto t = truncate_candidates(*f.p, f.g.max_degree(), TruncationMode::kEither);
+  EXPECT_EQ(t.num_edges(), f.g.num_edges());
+}
+
+TEST(Truncation, MutualSubsetOfEither) {
+  Fixture f(2);
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    const auto either = truncate_candidates(*f.p, k, TruncationMode::kEither);
+    const auto mutual = truncate_candidates(*f.p, k, TruncationMode::kMutual);
+    EXPECT_LE(mutual.num_edges(), either.num_edges());
+    for (graph::EdgeId e = 0; e < mutual.num_edges(); ++e) {
+      const auto& edge = mutual.edge(e);
+      EXPECT_TRUE(either.has_edge(edge.u, edge.v));
+    }
+  }
+}
+
+TEST(Truncation, MonotoneInK) {
+  Fixture f(3);
+  std::size_t prev = 0;
+  for (std::size_t k = 1; k <= f.g.max_degree(); ++k) {
+    const auto t = truncate_candidates(*f.p, k, TruncationMode::kEither);
+    EXPECT_GE(t.num_edges(), prev);
+    prev = t.num_edges();
+  }
+  EXPECT_EQ(prev, f.g.num_edges());
+}
+
+TEST(Truncation, KeptEdgesAreActuallyShortlisted) {
+  Fixture f(4);
+  const std::size_t k = 2;
+  const auto t = truncate_candidates(*f.p, k, TruncationMode::kEither);
+  for (graph::EdgeId e = 0; e < t.num_edges(); ++e) {
+    const auto& edge = t.edge(e);
+    EXPECT_TRUE(f.p->rank(edge.u, edge.v) < k || f.p->rank(edge.v, edge.u) < k);
+  }
+  // And dropped edges are shortlisted by neither.
+  for (graph::EdgeId e = 0; e < f.g.num_edges(); ++e) {
+    const auto& edge = f.g.edge(e);
+    if (t.has_edge(edge.u, edge.v)) continue;
+    EXPECT_GE(f.p->rank(edge.u, edge.v), k);
+    EXPECT_GE(f.p->rank(edge.v, edge.u), k);
+  }
+}
+
+TEST(Truncation, EitherWithKOneKeepsEveryTopChoice) {
+  Fixture f(5);
+  const auto t = truncate_candidates(*f.p, 1, TruncationMode::kEither);
+  for (NodeId v = 0; v < f.g.num_nodes(); ++v) {
+    if (f.g.degree(v) == 0) continue;
+    const NodeId top = f.p->list(v)[0];
+    EXPECT_TRUE(t.has_edge(v, top));
+  }
+}
+
+TEST(Truncation, PreservesNodeCount) {
+  Fixture f(6);
+  const auto t = truncate_candidates(*f.p, 1, TruncationMode::kMutual);
+  EXPECT_EQ(t.num_nodes(), f.g.num_nodes());
+}
+
+}  // namespace
+}  // namespace overmatch::prefs

@@ -1,0 +1,148 @@
+#include "prefs/weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "prefs/satisfaction.hpp"
+
+namespace overmatch::prefs {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+TEST(PaperWeights, MatchesEquationNine) {
+  static Graph g = graph::complete(5);
+  util::Rng rng(1);
+  auto p = PreferenceProfile::random(g, uniform_quotas(g, 2), rng);
+  const auto w = paper_weights(p);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& [u, v] = g.edge(e);
+    const double expected = delta_s_static(p, u, v) + delta_s_static(p, v, u);
+    EXPECT_NEAR(w.weight(e), expected, 1e-15);
+  }
+}
+
+TEST(PaperWeights, StrictlyPositive) {
+  static Graph g = graph::complete(8);
+  util::Rng rng(2);
+  auto p = PreferenceProfile::random(g, uniform_quotas(g, 3), rng);
+  const auto w = paper_weights(p);
+  for (const double x : w.values()) EXPECT_GT(x, 0.0);
+}
+
+TEST(PaperWeights, BoundedByTwo) {
+  // Each static increment is at most 1/b ≤ 1.
+  static Graph g = graph::complete(6);
+  util::Rng rng(3);
+  auto p = PreferenceProfile::random(g, uniform_quotas(g, 1), rng);
+  const auto w = paper_weights(p);
+  for (const double x : w.values()) EXPECT_LE(x, 2.0);
+}
+
+TEST(EdgeWeights, HeavierIsStrictTotalOrder) {
+  static Graph g = graph::complete(6);
+  util::Rng rng(4);
+  auto p = PreferenceProfile::random(g, uniform_quotas(g, 2), rng);
+  const auto w = paper_weights(p);
+  for (EdgeId a = 0; a < g.num_edges(); ++a) {
+    EXPECT_FALSE(w.heavier(a, a));  // irreflexive
+    for (EdgeId b = 0; b < g.num_edges(); ++b) {
+      if (a == b) continue;
+      EXPECT_NE(w.heavier(a, b), w.heavier(b, a));  // total + antisymmetric
+      for (EdgeId c = 0; c < g.num_edges(); ++c) {
+        if (w.heavier(a, b) && w.heavier(b, c)) {
+          EXPECT_TRUE(w.heavier(a, c));  // transitive
+        }
+      }
+    }
+  }
+}
+
+TEST(EdgeWeights, TieBreakByNodeIdentity) {
+  // A 4-cycle with symmetric preferences gives equal weights on all edges;
+  // the order must still be strict, lexicographic on endpoints.
+  static Graph g = graph::cycle(4);
+  auto p = PreferenceProfile::from_scores(
+      g, uniform_quotas(g, 1), [](NodeId, NodeId) { return 1.0; });
+  const auto w = paper_weights(p);
+  // Edge {0,1} beats {0,3} beats {1,2} beats {2,3} — all weights equal is not
+  // guaranteed here, so restrict the check to genuinely tied pairs.
+  for (EdgeId a = 0; a < g.num_edges(); ++a) {
+    for (EdgeId b = 0; b < g.num_edges(); ++b) {
+      if (a == b || w.weight(a) != w.weight(b)) continue;
+      const auto& ea = g.edge(a);
+      const auto& eb = g.edge(b);
+      const bool lex = ea.u < eb.u || (ea.u == eb.u && ea.v < eb.v);
+      EXPECT_EQ(w.heavier(a, b), lex);
+    }
+  }
+}
+
+TEST(EdgeWeights, TotalSums) {
+  static Graph g = graph::path(4);
+  auto p = PreferenceProfile::from_scores(
+      g, uniform_quotas(g, 1), [](NodeId, NodeId j) { return double(j); });
+  const auto w = paper_weights(p);
+  const double t = w.total({0, 2});
+  EXPECT_NEAR(t, w.weight(0) + w.weight(2), 1e-15);
+  EXPECT_DOUBLE_EQ(w.total({}), 0.0);
+}
+
+TEST(EdgeWeights, SymmetricByConstruction) {
+  // The weight of (u,v) must not depend on orientation — it is stored per
+  // undirected edge, and both endpoints compute the same value (Lemma 5's
+  // key assumption). Recompute from both sides.
+  static Graph g = graph::complete(5);
+  util::Rng rng(6);
+  auto p = PreferenceProfile::random(g, uniform_quotas(g, 2), rng);
+  const auto w = paper_weights(p);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& [u, v] = g.edge(e);
+    EXPECT_NEAR(w.weight(e),
+                delta_s_static(p, v, u) + delta_s_static(p, u, v), 1e-15);
+  }
+}
+
+TEST(AblationWeights, AllDesignsPositive) {
+  static Graph g = graph::complete(6);
+  util::Rng rng(7);
+  auto p = PreferenceProfile::random(g, uniform_quotas(g, 2), rng);
+  for (const char* name : {"paper", "min", "product", "ranksum"}) {
+    const auto w = weights_by_name(name, p);
+    for (const double x : w.values()) EXPECT_GT(x, 0.0) << name;
+  }
+}
+
+TEST(AblationWeights, MinBelowPaper) {
+  static Graph g = graph::complete(6);
+  util::Rng rng(8);
+  auto p = PreferenceProfile::random(g, uniform_quotas(g, 2), rng);
+  const auto wp = paper_weights(p);
+  const auto wm = min_weights(p);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LT(wm.weight(e), wp.weight(e));
+  }
+}
+
+TEST(RandomWeights, InUnitIntervalAndDeterministic) {
+  static Graph g = graph::complete(7);
+  util::Rng r1(9);
+  util::Rng r2(9);
+  const auto w1 = random_weights(g, r1);
+  const auto w2 = random_weights(g, r2);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_GT(w1.weight(e), 0.0);
+    EXPECT_LE(w1.weight(e), 1.0);
+    EXPECT_DOUBLE_EQ(w1.weight(e), w2.weight(e));
+  }
+}
+
+TEST(EdgeWeightsDeathTest, WrongSizeAborts) {
+  static Graph g = graph::complete(4);
+  EXPECT_DEATH((void)EdgeWeights(g, std::vector<double>{1.0}), "");
+}
+
+}  // namespace
+}  // namespace overmatch::prefs

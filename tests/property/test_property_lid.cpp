@@ -1,0 +1,86 @@
+// Property sweeps over LID: schedule-independence, message bounds and
+// LIC-equivalence across the full parameter grid.
+#include <gtest/gtest.h>
+
+#include "matching/lic.hpp"
+#include "matching/lid.hpp"
+#include "matching/verify.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch {
+namespace {
+
+using matching::testing::Instance;
+
+struct LidParams {
+  const char* topology;
+  std::size_t n;
+  std::uint32_t quota_max;
+  sim::Schedule schedule;
+};
+
+class LidProperties : public ::testing::TestWithParam<LidParams> {};
+
+TEST_P(LidProperties, EquivalenceAndBounds) {
+  const auto& p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto inst = Instance::random_quotas(p.topology, p.n, 5.0, p.quota_max,
+                                        seed * 211 + 17);
+    const auto lic = matching::lic_global(*inst->weights, inst->profile->quotas());
+    const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
+                                     p.schedule, seed);
+    // Equivalence (Lemmas 3,4,6).
+    EXPECT_TRUE(lic.same_edges(r.matching)) << "seed=" << seed;
+    // Validity and maximality.
+    EXPECT_TRUE(matching::is_valid_bmatching(r.matching));
+    EXPECT_TRUE(r.matching.is_maximal());
+    // Message complexity: ≤ 2 PROP + 2 REJ per edge; everything delivered.
+    EXPECT_LE(r.stats.kind_count(matching::kMsgProp), 2 * inst->g.num_edges());
+    EXPECT_LE(r.stats.kind_count(matching::kMsgRej), 2 * inst->g.num_edges());
+    EXPECT_EQ(r.stats.total_delivered, r.stats.total_sent);
+    // At least one PROP per locked edge endpoint pair.
+    EXPECT_GE(r.stats.kind_count(matching::kMsgProp), 2 * r.matching.size());
+  }
+}
+
+std::string lid_name(const ::testing::TestParamInfo<LidParams>& info) {
+  return std::string(info.param.topology) + "_n" + std::to_string(info.param.n) +
+         "_b" + std::to_string(info.param.quota_max) + "_" +
+         sim::schedule_name(info.param.schedule);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LidProperties,
+    ::testing::Values(
+        LidParams{"er", 20, 1, sim::Schedule::kRandomOrder},
+        LidParams{"er", 30, 3, sim::Schedule::kFifo},
+        LidParams{"er", 30, 3, sim::Schedule::kRandomDelay},
+        LidParams{"er", 30, 3, sim::Schedule::kAdversarialDelay},
+        LidParams{"ba", 40, 2, sim::Schedule::kRandomOrder},
+        LidParams{"ba", 40, 4, sim::Schedule::kAdversarialDelay},
+        LidParams{"ws", 32, 2, sim::Schedule::kRandomDelay},
+        LidParams{"geo", 32, 3, sim::Schedule::kRandomOrder},
+        LidParams{"grid", 36, 2, sim::Schedule::kAdversarialDelay},
+        LidParams{"complete", 14, 4, sim::Schedule::kRandomOrder}),
+    lid_name);
+
+class LidThreadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LidThreadSweep, ThreadCountIrrelevantToOutcome) {
+  const std::size_t threads = GetParam();
+  auto inst = Instance::random("er", 36, 6.0, 3, 999);
+  const auto reference = matching::lic_global(*inst->weights,
+                                              inst->profile->quotas());
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const auto r = matching::run_lid_threaded(*inst->weights,
+                                              inst->profile->quotas(), threads);
+    EXPECT_TRUE(reference.same_edges(r.matching))
+        << "threads=" << threads << " repeat=" << repeat;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, LidThreadSweep,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace overmatch

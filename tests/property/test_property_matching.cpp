@@ -1,0 +1,81 @@
+// Property sweeps over the solver family: structural invariants that must
+// hold for every topology × quota × seed combination.
+#include <gtest/gtest.h>
+
+#include "core/solvers.hpp"
+#include "matching/lic.hpp"
+#include "matching/verify.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch {
+namespace {
+
+using matching::testing::Instance;
+
+struct Params {
+  const char* topology;
+  std::size_t n;
+  double degree;
+  std::uint32_t quota;
+};
+
+class MatchingProperties : public ::testing::TestWithParam<Params> {};
+
+TEST_P(MatchingProperties, GreedyInvariants) {
+  const auto& p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto inst = Instance::random(p.topology, p.n, p.degree, p.quota, seed * 101);
+    const auto m = matching::lic_global(*inst->weights, inst->profile->quotas());
+    // Structure.
+    EXPECT_TRUE(matching::is_valid_bmatching(m));
+    EXPECT_TRUE(m.is_maximal());
+    EXPECT_TRUE(matching::has_half_approx_certificate(m, *inst->weights));
+    // Loads never exceed quota or degree.
+    for (graph::NodeId v = 0; v < inst->g.num_nodes(); ++v) {
+      EXPECT_LE(m.load(v), inst->profile->quota(v));
+      EXPECT_LE(m.load(v), inst->g.degree(v));
+    }
+    // Weight is the sum of its edges and positive when edges exist.
+    if (m.size() > 0) EXPECT_GT(m.total_weight(*inst->weights), 0.0);
+  }
+}
+
+TEST_P(MatchingProperties, GreedyDominatesItsSubsets) {
+  // Removing any single edge from the greedy matching and re-completing
+  // greedily can never yield a heavier matching (local optimality witness).
+  const auto& p = GetParam();
+  auto inst = Instance::random(p.topology, p.n, p.degree, p.quota, 4242);
+  const auto m = matching::lic_global(*inst->weights, inst->profile->quotas());
+  const double w = m.total_weight(*inst->weights);
+  for (std::size_t drop = 0; drop < std::min<std::size_t>(m.size(), 5); ++drop) {
+    matching::Matching reduced(inst->g, inst->profile->quotas());
+    for (std::size_t k = 0; k < m.edges().size(); ++k) {
+      if (k != drop) reduced.add(m.edges()[k]);
+    }
+    // Greedy completion of the reduced matching.
+    std::vector<graph::EdgeId> order(inst->g.num_edges());
+    for (graph::EdgeId e = 0; e < inst->g.num_edges(); ++e) order[e] = e;
+    std::sort(order.begin(), order.end(), [&](graph::EdgeId a, graph::EdgeId b) {
+      return inst->weights->heavier(a, b);
+    });
+    for (const auto e : order) {
+      if (reduced.can_add(e)) reduced.add(e);
+    }
+    EXPECT_LE(reduced.total_weight(*inst->weights), w + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatchingProperties,
+    ::testing::Values(Params{"er", 20, 4.0, 1}, Params{"er", 30, 6.0, 2},
+                      Params{"er", 40, 8.0, 4}, Params{"ba", 30, 4.0, 2},
+                      Params{"ba", 50, 6.0, 3}, Params{"ws", 30, 4.0, 2},
+                      Params{"geo", 30, 5.0, 2}, Params{"grid", 36, 4.0, 2},
+                      Params{"complete", 12, 11.0, 3}, Params{"regular", 24, 6.0, 2}),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return std::string(info.param.topology) + "_n" +
+             std::to_string(info.param.n) + "_b" + std::to_string(info.param.quota);
+    });
+
+}  // namespace
+}  // namespace overmatch

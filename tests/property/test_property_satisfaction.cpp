@@ -1,0 +1,127 @@
+// Property sweeps over the satisfaction metric (eq. 1): range, monotonicity
+// and exchange properties that the optimization arguments rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "prefs/satisfaction.hpp"
+
+namespace overmatch::prefs {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+struct SatParams {
+  std::size_t n;
+  std::uint32_t quota;
+  std::uint64_t seed;
+};
+
+class SatisfactionProperties : public ::testing::TestWithParam<SatParams> {
+ protected:
+  void SetUp() override {
+    util::Rng rng(GetParam().seed);
+    g_ = graph::complete(GetParam().n);
+    profile_ = std::make_unique<PreferenceProfile>(
+        PreferenceProfile::random(g_, uniform_quotas(g_, GetParam().quota), rng));
+    rng_ = std::make_unique<util::Rng>(GetParam().seed ^ 0xbeef);
+  }
+
+  std::vector<NodeId> random_conns(NodeId v, std::size_t count) {
+    std::vector<NodeId> nbrs;
+    for (const auto& a : g_.neighbors(v)) nbrs.push_back(a.neighbor);
+    rng_->shuffle(nbrs);
+    nbrs.resize(std::min(count, nbrs.size()));
+    return nbrs;
+  }
+
+  Graph g_;
+  std::unique_ptr<PreferenceProfile> profile_;
+  std::unique_ptr<util::Rng> rng_;
+};
+
+TEST_P(SatisfactionProperties, RangeAndOrderInvariance) {
+  const auto& p = *profile_;
+  for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+    for (std::uint32_t c = 0; c <= p.quota(v); ++c) {
+      auto conns = random_conns(v, c);
+      const double s = satisfaction(p, v, conns);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0 + 1e-12);
+      // Permuting the span leaves the value unchanged.
+      std::reverse(conns.begin(), conns.end());
+      EXPECT_DOUBLE_EQ(s, satisfaction(p, v, conns));
+      // Modified satisfaction never exceeds the original.
+      EXPECT_LE(satisfaction_modified(p, v, conns), s + 1e-12);
+    }
+  }
+}
+
+TEST_P(SatisfactionProperties, AddingAConnectionStrictlyHelps) {
+  // ΔS_ij > 0 always (eq. 4 with R ≤ L−1): more connections → more satisfied.
+  const auto& p = *profile_;
+  for (NodeId v = 0; v < std::min<std::size_t>(g_.num_nodes(), 6); ++v) {
+    auto conns = random_conns(v, p.quota(v) > 1 ? p.quota(v) - 1 : 0);
+    const double before = satisfaction(p, v, conns);
+    for (const auto& a : g_.neighbors(v)) {
+      if (std::find(conns.begin(), conns.end(), a.neighbor) != conns.end()) continue;
+      auto grown = conns;
+      grown.push_back(a.neighbor);
+      if (grown.size() > p.quota(v)) break;
+      EXPECT_GT(satisfaction(p, v, grown), before);
+    }
+  }
+}
+
+TEST_P(SatisfactionProperties, SwappingForBetterRankHelps) {
+  const auto& p = *profile_;
+  for (NodeId v = 0; v < std::min<std::size_t>(g_.num_nodes(), 6); ++v) {
+    const auto list = p.list(v);
+    if (list.size() < 2 || p.quota(v) < 1) continue;
+    // Connect to the worst neighbour, then swap for the best.
+    const std::vector<NodeId> worst{list.back()};
+    const std::vector<NodeId> best{list.front()};
+    EXPECT_GT(satisfaction(p, v, best), satisfaction(p, v, worst));
+  }
+}
+
+TEST_P(SatisfactionProperties, PartsDecomposeExactly) {
+  const auto& p = *profile_;
+  for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+    const auto conns = random_conns(v, p.quota(v));
+    const auto parts = satisfaction_parts(p, v, conns);
+    EXPECT_NEAR(parts.total(), satisfaction(p, v, conns), 1e-12);
+    EXPECT_NEAR(parts.static_part, satisfaction_modified(p, v, conns), 1e-12);
+    EXPECT_GE(parts.dynamic_part, 0.0);
+  }
+}
+
+TEST_P(SatisfactionProperties, IncrementalAdditionMatchesClosedForm) {
+  const auto& p = *profile_;
+  for (NodeId v = 0; v < std::min<std::size_t>(g_.num_nodes(), 5); ++v) {
+    auto conns = random_conns(v, p.quota(v));
+    // Sort best-first so Q ranks follow insertion order.
+    std::sort(conns.begin(), conns.end(),
+              [&](NodeId a, NodeId b) { return p.rank(v, a) < p.rank(v, b); });
+    double acc = 0.0;
+    for (std::uint32_t c = 0; c < conns.size(); ++c) {
+      acc += delta_s(p, v, conns[c], c);
+    }
+    EXPECT_NEAR(acc, satisfaction(p, v, conns), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SatisfactionProperties,
+    ::testing::Values(SatParams{6, 1, 1}, SatParams{6, 2, 2}, SatParams{8, 3, 3},
+                      SatParams{10, 4, 4}, SatParams{12, 2, 5}, SatParams{12, 6, 6},
+                      SatParams{16, 8, 7}),
+    [](const ::testing::TestParamInfo<SatParams>& info) {
+      return "n" + std::to_string(info.param.n) + "_b" +
+             std::to_string(info.param.quota) + "_s" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace overmatch::prefs

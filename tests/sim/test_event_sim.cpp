@@ -1,0 +1,157 @@
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+namespace overmatch::sim {
+namespace {
+
+/// Passes a token around the ring `laps` times, then stops.
+class RingAgent final : public Agent {
+ public:
+  RingAgent(NodeId self, std::size_t n, std::uint64_t laps)
+      : self_(self), n_(n), laps_(laps) {}
+
+  void on_start(Outbox& out) override {
+    if (self_ == 0) out.send(1 % static_cast<NodeId>(n_), Message{1, laps_ * n_});
+  }
+
+  void on_message(NodeId, const Message& msg, Outbox& out) override {
+    ++received_;
+    if (msg.data > 1) {
+      out.send(static_cast<NodeId>((self_ + 1) % n_), Message{1, msg.data - 1});
+    } else {
+      done_ = true;
+    }
+  }
+
+  [[nodiscard]] bool terminated() const override { return done_; }
+  [[nodiscard]] std::size_t received() const noexcept { return received_; }
+
+ private:
+  NodeId self_;
+  std::size_t n_;
+  std::uint64_t laps_;
+  std::size_t received_ = 0;
+  bool done_ = false;
+};
+
+/// Replies to every received message forever (for the budget-guard test).
+class EchoForeverAgent final : public Agent {
+ public:
+  explicit EchoForeverAgent(NodeId self) : self_(self) {}
+  void on_start(Outbox& out) override {
+    if (self_ == 0) out.send(1, Message{1, 0});
+  }
+  void on_message(NodeId from, const Message& msg, Outbox& out) override {
+    out.send(from, msg);
+  }
+  [[nodiscard]] bool terminated() const override { return false; }
+
+ private:
+  NodeId self_;
+};
+
+std::vector<Agent*> raw(const std::vector<std::unique_ptr<RingAgent>>& v) {
+  std::vector<Agent*> out;
+  for (const auto& a : v) out.push_back(a.get());
+  return out;
+}
+
+std::vector<std::unique_ptr<RingAgent>> ring(std::size_t n, std::uint64_t laps) {
+  std::vector<std::unique_ptr<RingAgent>> agents;
+  for (NodeId v = 0; v < n; ++v) agents.push_back(std::make_unique<RingAgent>(v, n, laps));
+  return agents;
+}
+
+TEST(EventSimulator, TokenRingDeliversExactCount) {
+  const std::size_t n = 5;
+  const std::uint64_t laps = 3;
+  auto agents = ring(n, laps);
+  EventSimulator sim(raw(agents), Schedule::kFifo, 1);
+  const auto stats = sim.run();
+  EXPECT_EQ(stats.total_sent, n * laps);
+  EXPECT_EQ(stats.total_delivered, n * laps);
+  std::size_t received = 0;
+  for (const auto& a : agents) received += a->received();
+  EXPECT_EQ(received, n * laps);
+}
+
+TEST(EventSimulator, AllSchedulesDeliverEverything) {
+  for (const Schedule s : {Schedule::kFifo, Schedule::kRandomOrder,
+                           Schedule::kRandomDelay, Schedule::kAdversarialDelay}) {
+    auto agents = ring(7, 2);
+    EventSimulator sim(raw(agents), s, 99);
+    const auto stats = sim.run();
+    EXPECT_EQ(stats.total_delivered, stats.total_sent) << schedule_name(s);
+    EXPECT_EQ(stats.total_sent, 14u);
+  }
+}
+
+TEST(EventSimulator, KindAccounting) {
+  auto agents = ring(4, 1);
+  EventSimulator sim(raw(agents), Schedule::kFifo, 1);
+  const auto stats = sim.run();
+  EXPECT_EQ(stats.kind_count(1), 4u);
+  EXPECT_EQ(stats.kind_count(2), 0u);
+  EXPECT_EQ(stats.kind_count(99), 0u);
+}
+
+TEST(EventSimulator, DeterministicForFixedSeed) {
+  for (const Schedule s : {Schedule::kRandomOrder, Schedule::kRandomDelay}) {
+    auto a1 = ring(6, 4);
+    auto a2 = ring(6, 4);
+    EventSimulator s1(raw(a1), s, 1234);
+    EventSimulator s2(raw(a2), s, 1234);
+    const auto st1 = s1.run();
+    const auto st2 = s2.run();
+    EXPECT_EQ(st1.total_sent, st2.total_sent);
+    EXPECT_DOUBLE_EQ(st1.completion_time, st2.completion_time);
+    for (std::size_t v = 0; v < a1.size(); ++v) {
+      EXPECT_EQ(a1[v]->received(), a2[v]->received());
+    }
+  }
+}
+
+TEST(EventSimulator, CompletionTimeAdvancesWithDelays) {
+  auto agents = ring(5, 2);
+  EventSimulator sim(raw(agents), Schedule::kRandomDelay, 7);
+  const auto stats = sim.run();
+  EXPECT_GT(stats.completion_time, 0.0);
+}
+
+TEST(EventSimulator, FifoKeepsZeroVirtualTime) {
+  auto agents = ring(5, 2);
+  EventSimulator sim(raw(agents), Schedule::kFifo, 7);
+  const auto stats = sim.run();
+  EXPECT_DOUBLE_EQ(stats.completion_time, 0.0);
+}
+
+TEST(EventSimulator, NoAgentsNoMessages) {
+  EventSimulator sim({}, Schedule::kFifo, 1);
+  const auto stats = sim.run();
+  EXPECT_EQ(stats.total_sent, 0u);
+}
+
+TEST(EventSimulatorDeathTest, BudgetGuardFires) {
+  EchoForeverAgent a0(0);
+  EchoForeverAgent a1(1);
+  EventSimulator sim({&a0, &a1}, Schedule::kFifo, 1);
+  EXPECT_DEATH((void)sim.run(1000), "budget");
+}
+
+TEST(ScheduleNames, RoundTrip) {
+  for (const Schedule s : {Schedule::kFifo, Schedule::kRandomOrder,
+                           Schedule::kRandomDelay, Schedule::kAdversarialDelay}) {
+    EXPECT_EQ(schedule_by_name(schedule_name(s)), s);
+  }
+}
+
+TEST(ScheduleNamesDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH((void)schedule_by_name("bogus"), "unknown");
+}
+
+}  // namespace
+}  // namespace overmatch::sim

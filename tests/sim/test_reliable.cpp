@@ -1,0 +1,123 @@
+#include "sim/reliable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/event_sim.hpp"
+
+namespace overmatch::sim {
+namespace {
+
+/// Inner agent: node 0 streams `count` numbered messages to node 1, which
+/// records what it received; exposes exactly-once expectations.
+class StreamSender final : public Agent {
+ public:
+  explicit StreamSender(std::uint64_t count) : count_(count) {}
+  void on_start(Outbox& out) override {
+    for (std::uint64_t k = 0; k < count_; ++k) out.send(1, Message{5, k});
+  }
+  void on_message(NodeId, const Message&, Outbox&) override {}
+  [[nodiscard]] bool terminated() const override { return true; }
+
+ private:
+  std::uint64_t count_;
+};
+
+class StreamReceiver final : public Agent {
+ public:
+  void on_start(Outbox&) override {}
+  void on_message(NodeId, const Message& msg, Outbox&) override {
+    received_.push_back(msg.data);
+  }
+  [[nodiscard]] bool terminated() const override { return true; }
+  [[nodiscard]] const std::vector<std::uint64_t>& received() const {
+    return received_;
+  }
+
+ private:
+  std::vector<std::uint64_t> received_;
+};
+
+struct Harness {
+  StreamSender sender;
+  StreamReceiver receiver;
+  ReliableAgent r0;
+  ReliableAgent r1;
+
+  explicit Harness(std::uint64_t count)
+      : sender(count), r0(0, &sender, 4.0), r1(1, &receiver, 4.0) {}
+};
+
+TEST(ReliableAgent, ExactlyOnceWithoutLoss) {
+  Harness h(20);
+  EventSimulator sim({&h.r0, &h.r1}, Schedule::kRandomDelay, 1);
+  const auto stats = sim.run();
+  EXPECT_EQ(h.receiver.received().size(), 20u);
+  EXPECT_EQ(stats.total_dropped, 0u);
+  EXPECT_TRUE(h.r0.terminated());
+  EXPECT_EQ(h.r0.retransmissions(), 0u);
+}
+
+TEST(ReliableAgent, ExactlyOnceUnderHeavyLoss) {
+  for (const double loss : {0.1, 0.3, 0.6}) {
+    Harness h(30);
+    EventSimulator sim({&h.r0, &h.r1}, Schedule::kRandomDelay, 7);
+    sim.set_loss_probability(loss);
+    const auto stats = sim.run();
+    // Every payload arrives exactly once despite drops.
+    std::vector<std::uint64_t> got = h.receiver.received();
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got.size(), 30u) << "loss=" << loss;
+    for (std::uint64_t k = 0; k < 30; ++k) EXPECT_EQ(got[k], k);
+    EXPECT_GT(stats.total_dropped, 0u);
+    EXPECT_TRUE(h.r0.terminated());
+    EXPECT_GT(h.r0.retransmissions(), 0u);
+  }
+}
+
+TEST(ReliableAgent, NoTrafficNoTimers) {
+  StreamSender quiet(0);
+  StreamReceiver sink;
+  ReliableAgent r0(0, &quiet, 4.0);
+  ReliableAgent r1(1, &sink, 4.0);
+  EventSimulator sim({&r0, &r1}, Schedule::kRandomDelay, 1);
+  const auto stats = sim.run();
+  EXPECT_EQ(stats.total_sent, 0u);
+}
+
+TEST(ReliableAgentDeathTest, ReservedKindRejected) {
+  class BadAgent final : public Agent {
+   public:
+    void on_start(Outbox& out) override { out.send(1, Message{kAckKind, 0}); }
+    void on_message(NodeId, const Message&, Outbox&) override {}
+    [[nodiscard]] bool terminated() const override { return true; }
+  };
+  BadAgent bad;
+  StreamReceiver sink;
+  ReliableAgent r0(0, &bad, 4.0);
+  ReliableAgent r1(1, &sink, 4.0);
+  EventSimulator sim({&r0, &r1}, Schedule::kRandomDelay, 1);
+  EXPECT_DEATH((void)sim.run(), "reserved");
+}
+
+TEST(EventSimulatorDeathTest, LossRequiresDelaySchedule) {
+  StreamSender s(1);
+  StreamReceiver r;
+  EventSimulator sim({&s, &r}, Schedule::kFifo, 1);
+  EXPECT_DEATH(sim.set_loss_probability(0.5), "delay-based");
+}
+
+TEST(EventSimulator, LossDropsRoughlyTheRightFraction) {
+  StreamSender s(2000);
+  StreamReceiver r;
+  EventSimulator sim({&s, &r}, Schedule::kRandomDelay, 3);
+  sim.set_loss_probability(0.25);
+  const auto stats = sim.run();
+  // Sender is not wrapped: drops are permanent. Expect ≈ 25% of 2000.
+  EXPECT_NEAR(static_cast<double>(stats.total_dropped), 500.0, 90.0);
+  EXPECT_EQ(r.received().size(), 2000 - stats.total_dropped);
+}
+
+}  // namespace
+}  // namespace overmatch::sim

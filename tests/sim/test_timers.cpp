@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_sim.hpp"
+
+namespace overmatch::sim {
+namespace {
+
+/// Fires a chain of timers and records the virtual times implied by order.
+class TimerAgent final : public Agent {
+ public:
+  explicit TimerAgent(int ticks) : remaining_(ticks) {}
+  void on_start(Outbox& out) override {
+    if (remaining_ > 0) out.send_timer(1.5, Message{1, 0});
+  }
+  void on_message(NodeId, const Message&, Outbox& out) override {
+    ++fired_;
+    if (--remaining_ > 0) out.send_timer(1.5, Message{1, 0});
+  }
+  [[nodiscard]] bool terminated() const override { return remaining_ == 0; }
+  [[nodiscard]] int fired() const noexcept { return fired_; }
+
+ private:
+  int remaining_;
+  int fired_ = 0;
+};
+
+TEST(Timers, ChainFiresExactly) {
+  TimerAgent a(5);
+  EventSimulator sim({&a}, Schedule::kRandomDelay, 1);
+  const auto stats = sim.run();
+  EXPECT_EQ(a.fired(), 5);
+  EXPECT_TRUE(a.terminated());
+  // 5 ticks of 1.5 each: completion time is exactly 7.5.
+  EXPECT_DOUBLE_EQ(stats.completion_time, 7.5);
+  // Timers are local bookkeeping, not network traffic: they appear as
+  // deliveries (the agent was activated) but never as sent messages.
+  EXPECT_EQ(stats.total_sent, 0u);
+  EXPECT_EQ(stats.total_delivered, 5u);
+}
+
+TEST(Timers, InterleaveWithMessagesByVirtualTime) {
+  // Node 0 arms a timer at t=1.5; node 1's message to node 0 has link delay
+  // in [0.5, 1.5] — the message must arrive before or at the tick, never
+  // after two ticks.
+  class Probe final : public Agent {
+   public:
+    void on_start(Outbox& out) override { out.send_timer(1.5, Message{1, 0}); }
+    void on_message(NodeId from, const Message& msg, Outbox&) override {
+      order_.push_back(msg.kind * 100 + from);
+    }
+    [[nodiscard]] bool terminated() const override { return true; }
+    std::vector<std::uint32_t> order_;
+  };
+  class Pinger final : public Agent {
+   public:
+    void on_start(Outbox& out) override { out.send(0, Message{2, 0}); }
+    void on_message(NodeId, const Message&, Outbox&) override {}
+    [[nodiscard]] bool terminated() const override { return true; }
+  };
+  Probe probe;
+  Pinger pinger;
+  EventSimulator sim({&probe, &pinger}, Schedule::kRandomDelay, 5);
+  (void)sim.run();
+  ASSERT_EQ(probe.order_.size(), 2u);
+  // Ping (delay ≤ 1.5) arrives no later than the 1.5 timer; with equal times
+  // the earlier-enqueued wins, which is the timer (armed at start). Both
+  // orders are legal — assert only that both events happened, with the ping
+  // from node 1 and the tick self-addressed.
+  EXPECT_TRUE((probe.order_[0] == 201 && probe.order_[1] == 100) ||
+              (probe.order_[0] == 100 && probe.order_[1] == 201));
+}
+
+TEST(TimersDeathTest, FifoScheduleRejectsTimers) {
+  TimerAgent a(1);
+  EventSimulator sim({&a}, Schedule::kFifo, 1);
+  EXPECT_DEATH((void)sim.run(), "delay-based");
+}
+
+}  // namespace
+}  // namespace overmatch::sim

@@ -1,0 +1,67 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace overmatch::util {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, ParsesKeyValue) {
+  const auto f = make({"--n=100", "--name=er"});
+  EXPECT_EQ(f.get_int("n", 0), 100);
+  EXPECT_EQ(f.get("name", ""), "er");
+}
+
+TEST(Flags, BareFlagIsTruthy) {
+  const auto f = make({"--verbose"});
+  EXPECT_TRUE(f.has("verbose"));
+  EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(Flags, DefaultsWhenMissing) {
+  const auto f = make({});
+  EXPECT_FALSE(f.has("x"));
+  EXPECT_EQ(f.get_int("x", -7), -7);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(f.get("x", "d"), "d");
+  EXPECT_TRUE(f.get_bool("x", true));
+}
+
+TEST(Flags, ParsesDoubles) {
+  const auto f = make({"--p=0.25"});
+  EXPECT_DOUBLE_EQ(f.get_double("p", 0.0), 0.25);
+}
+
+TEST(Flags, BoolSpellings) {
+  EXPECT_TRUE(make({"--a=true"}).get_bool("a", false));
+  EXPECT_TRUE(make({"--a=yes"}).get_bool("a", false));
+  EXPECT_TRUE(make({"--a=1"}).get_bool("a", false));
+  EXPECT_FALSE(make({"--a=0"}).get_bool("a", true));
+  EXPECT_FALSE(make({"--a=false"}).get_bool("a", true));
+}
+
+TEST(Flags, IgnoresPositionals) {
+  const auto f = make({"positional", "--k=3"});
+  EXPECT_EQ(f.get_int("k", 0), 3);
+}
+
+TEST(Flags, EmptyValue) {
+  const auto f = make({"--s="});
+  EXPECT_TRUE(f.has("s"));
+  EXPECT_EQ(f.get("s", "d"), "");
+}
+
+TEST(Flags, LastOccurrenceWins) {
+  const auto f = make({"--k=1", "--k=2"});
+  EXPECT_EQ(f.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace overmatch::util

@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace overmatch::util {
+namespace {
+
+TEST(Table, MarkdownShape) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{42});
+  t.row().cell("beta").cell(3.14159, 2);
+  const auto md = t.markdown();
+  EXPECT_NE(md.find("| name"), std::string::npos);
+  EXPECT_NE(md.find("alpha"), std::string::npos);
+  EXPECT_NE(md.find("42"), std::string::npos);
+  EXPECT_NE(md.find("3.14"), std::string::npos);
+  // Header + separator + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(md.begin(), md.end(), '\n'), 4);
+}
+
+TEST(Table, CsvShape) {
+  Table t({"a", "b"});
+  t.row().cell(std::int64_t{1}).cell(std::int64_t{2});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, BoolCells) {
+  Table t({"flag"});
+  t.row().cell(true);
+  t.row().cell(false);
+  const auto md = t.markdown();
+  EXPECT_NE(md.find("yes"), std::string::npos);
+  EXPECT_NE(md.find("no"), std::string::npos);
+}
+
+TEST(Table, RowsCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.row().cell("1");
+  t.row().cell("2");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsPadToWidestCell) {
+  Table t({"h"});
+  t.row().cell("wide-cell-content");
+  const auto md = t.markdown();
+  // The header row must be padded to the same width as the data row.
+  const auto first_line_len = md.find('\n');
+  const auto second_start = first_line_len + 1;
+  const auto second_line_len = md.find('\n', second_start) - second_start;
+  EXPECT_EQ(first_line_len, second_line_len);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(TableDeathTest, TooManyCellsAborts) {
+  Table t({"only"});
+  t.row().cell("ok");
+  EXPECT_DEATH(t.cell("overflow"), "cell");
+}
+
+TEST(TableDeathTest, CellWithoutRowAborts) {
+  Table t({"only"});
+  EXPECT_DEATH(t.cell("orphan"), "cell");
+}
+
+}  // namespace
+}  // namespace overmatch::util

@@ -1,0 +1,150 @@
+// overmatch_cli — command-line driver for the library.
+//
+// Generate (or load) a candidate graph, build preferences, run any algorithm
+// in the registry, and print the matching plus its quality metrics and
+// approximation certificate; optionally dump machine-readable CSV.
+//
+// Usage examples:
+//   overmatch_cli --n=500 --topology=ba --degree=10 --quota=4 --algo=lid
+//   overmatch_cli --graph=peers.edges --quota=3 --algo=lic --csv
+//   overmatch_cli --n=200 --algo=lid --schedule=adversarial --seed=9
+//   overmatch_cli --n=40 --algo=exact-weight        # small instances only
+//   overmatch_cli --list-algos
+#include <cstdio>
+#include <string>
+
+#include "core/certificates.hpp"
+#include "core/solvers.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+#include "matching/metrics.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+void print_usage() {
+  std::puts(
+      "overmatch_cli — matching with preference lists (IPDPS'10 reproduction)\n"
+      "\n"
+      "instance:\n"
+      "  --graph=FILE       load edge list (\"n m\" header, one \"u v\" per line)\n"
+      "  --n=N              peers for generated graphs        [200]\n"
+      "  --topology=NAME    er|ba|ws|geo|grid|complete|regular [er]\n"
+      "  --degree=D         target average degree              [8]\n"
+      "  --quota=B          connection quota per peer          [3]\n"
+      "  --prefs=KIND       random | degree | id               [random]\n"
+      "  --seed=S           RNG seed                           [1]\n"
+      "solver:\n"
+      "  --algo=NAME        see --list-algos                   [lid]\n"
+      "  --schedule=NAME    fifo|random|delay|adversarial      [random]\n"
+      "  --threads=T        threaded runtimes                  [2]\n"
+      "output:\n"
+      "  --csv              per-node CSV on stdout\n"
+      "  --quiet            summary line only\n"
+      "  --list-algos       list algorithm names and exit\n"
+      "  --help             this text");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace overmatch;
+  const util::Flags flags(argc, argv);
+  if (flags.has("help")) {
+    print_usage();
+    return 0;
+  }
+  if (flags.has("list-algos")) {
+    for (const auto a : core::all_algorithms()) {
+      std::printf("%s\n", core::algorithm_name(a));
+    }
+    return 0;
+  }
+
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  util::Rng rng(seed);
+
+  // Instance.
+  graph::Graph g;
+  if (flags.has("graph")) {
+    g = graph::load_edge_list(flags.get("graph", ""));
+  } else {
+    g = graph::by_name(flags.get("topology", "er"),
+                       static_cast<std::size_t>(flags.get_int("n", 200)),
+                       flags.get_double("degree", 8.0), rng);
+  }
+  const auto quota = static_cast<std::uint32_t>(flags.get_int("quota", 3));
+  const auto quotas = prefs::uniform_quotas(g, quota);
+
+  const std::string prefs_kind = flags.get("prefs", "random");
+  auto profile = [&]() {
+    if (prefs_kind == "degree") {
+      // Peers prefer high-degree neighbours (hub-seeking overlays).
+      return prefs::PreferenceProfile::from_scores(
+          g, quotas, [&g](graph::NodeId, graph::NodeId j) {
+            return static_cast<double>(g.degree(j));
+          });
+    }
+    if (prefs_kind == "id") {
+      return prefs::PreferenceProfile::from_scores(
+          g, quotas,
+          [](graph::NodeId, graph::NodeId j) { return -static_cast<double>(j); });
+    }
+    OM_CHECK_MSG(prefs_kind == "random", "unknown --prefs kind");
+    return prefs::PreferenceProfile::random(g, quotas, rng);
+  }();
+
+  // Solve.
+  core::SolveOptions opt;
+  opt.seed = seed;
+  opt.schedule = sim::schedule_by_name(flags.get("schedule", "random"));
+  opt.threads = static_cast<std::size_t>(flags.get_int("threads", 2));
+  const auto algo = core::algorithm_by_name(flags.get("algo", "lid"));
+  util::WallTimer timer;
+  const auto result = core::solve(profile, algo, opt);
+  const double elapsed_ms = timer.millis();
+
+  // Report.
+  const auto weights = prefs::paper_weights(profile);
+  const auto cert = core::certify(profile, weights, result.matching);
+  const auto sats = matching::node_satisfactions(profile, result.matching);
+  util::StreamingStats ss;
+  for (const double s : sats) ss.add(s);
+
+  if (flags.has("csv")) {
+    std::printf("node,quota,load,satisfaction\n");
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      std::printf("%u,%u,%u,%.6f\n", v, profile.quota(v), result.matching.load(v),
+                  sats[v]);
+    }
+    return 0;
+  }
+
+  std::printf(
+      "instance : %zu nodes, %zu candidate edges, quota %u, prefs %s, seed %llu\n",
+      g.num_nodes(), g.num_edges(), quota, prefs_kind.c_str(),
+      static_cast<unsigned long long>(seed));
+  std::printf("algorithm: %s (%.2f ms)\n", core::algorithm_name(algo), elapsed_ms);
+  std::printf("matching : %zu edges, weight %.4f\n", result.matching.size(),
+              result.weight);
+  std::printf("satisfct : total %.4f | mean %.4f | min %.4f\n", result.satisfaction,
+              ss.mean(), ss.min());
+  if (result.messages > 0) {
+    std::printf("messages : %zu (%.2f per candidate edge)\n", result.messages,
+                static_cast<double>(result.messages) /
+                    static_cast<double>(g.num_edges()));
+  }
+  if (!result.converged) std::printf("warning  : dynamics hit the step cap\n");
+  if (!flags.has("quiet")) {
+    std::printf(
+        "certify  : ratio ≥ %.3f of optimal weight (UB %.4f), ½-certificate %s,\n"
+        "           satisfaction ≥ %.3f × optimum (Theorem 3, b_max = %u)\n",
+        cert.ratio_lower_bound, cert.upper_bound,
+        cert.half_certificate ? "present" : "absent", cert.theorem3,
+        profile.max_quota());
+  }
+  return 0;
+}
