@@ -46,15 +46,38 @@ void BM_LidDes(benchmark::State& state) {
 }
 BENCHMARK(BM_LidDes)->Range(128, 2048);
 
+// Threads sweep at a fixed instance: reports deliveries/sec so the speedup of
+// the sharded runtime over worker counts is directly measurable.
 void BM_LidThreaded(benchmark::State& state) {
-  const auto inst = instance_for(1024);
+  const auto inst = instance_for(4096);
+  std::size_t delivered = 0;
   for (auto _ : state) {
     auto r = matching::run_lid_threaded(*inst->weights, inst->profile->quotas(),
                                         static_cast<std::size_t>(state.range(0)));
+    delivered += r.stats.total_delivered;
     benchmark::DoNotOptimize(r.matching.size());
   }
+  state.counters["deliveries/s"] = benchmark::Counter(
+      static_cast<double>(delivered), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_LidThreaded)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_LidThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->UseRealTime();
+
+// Lossy LID on the threaded path (reliable adapter + real-time retransmit
+// timers): wire traffic includes ACKs and retransmissions.
+void BM_LidLossyThreaded(benchmark::State& state) {
+  const auto inst = instance_for(1024);
+  std::size_t delivered = 0;
+  for (auto _ : state) {
+    auto r = matching::run_lid_lossy_threaded(
+        *inst->weights, inst->profile->quotas(), /*loss=*/0.2, /*seed=*/3,
+        static_cast<std::size_t>(state.range(0)));
+    delivered += r.stats.total_delivered;
+    benchmark::DoNotOptimize(r.matching.size());
+  }
+  state.counters["deliveries/s"] = benchmark::Counter(
+      static_cast<double>(delivered), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LidLossyThreaded)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_ParallelLocal(benchmark::State& state) {
   const auto inst = instance_for(2048);

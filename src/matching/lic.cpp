@@ -54,7 +54,7 @@ class IncidenceIndex {
 }  // namespace
 
 Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
-                   std::uint64_t scan_seed) {
+                   std::uint64_t scan_seed, LicLocalStats* stats) {
   const auto& g = w.graph();
   Matching m(g, quotas);
   IncidenceIndex index(w, m);
@@ -62,16 +62,30 @@ Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
   // Candidate pool seeded with every edge in a shuffled order; an edge is
   // selected when it is the top available edge of both endpoints. Selections
   // can promote other edges to local dominance, so endpoints' new tops are
-  // re-enqueued after every change.
+  // re-enqueued after every change. The queued[] flag keeps each edge in the
+  // queue at most once: every neighbour scan promotes the same top edge, and
+  // without the flag the queue balloons to O(edges × rounds) duplicates.
   std::vector<EdgeId> pool(g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e) pool[e] = e;
   util::Rng rng(scan_seed);
   rng.shuffle(pool);
   std::deque<EdgeId> candidates(pool.begin(), pool.end());
+  std::vector<char> queued(g.num_edges(), 1);
+
+  LicLocalStats local_stats;
+  local_stats.peak_queue = candidates.size();
+  const auto enqueue = [&](EdgeId e) {
+    if (e == graph::kInvalidEdge || queued[e] != 0) return;
+    queued[e] = 1;
+    candidates.push_back(e);
+    local_stats.peak_queue = std::max(local_stats.peak_queue, candidates.size());
+  };
 
   while (!candidates.empty()) {
     const EdgeId e = candidates.front();
     candidates.pop_front();
+    queued[e] = 0;
+    ++local_stats.pops;
     if (!m.can_add(e)) continue;
     const auto& [u, v] = g.edge(e);
     if (index.top(u) != e || index.top(v) != e) continue;  // not locally heaviest now
@@ -79,15 +93,12 @@ Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
     // Availability changed around u and v: their (and their neighbours')
     // current tops are fresh candidates.
     for (const graph::NodeId x : {u, v}) {
-      const EdgeId t = index.top(x);
-      if (t != graph::kInvalidEdge) candidates.push_back(t);
-      for (const auto& a : g.neighbors(x)) {
-        const EdgeId tn = index.top(a.neighbor);
-        if (tn != graph::kInvalidEdge) candidates.push_back(tn);
-      }
+      enqueue(index.top(x));
+      for (const auto& a : g.neighbors(x)) enqueue(index.top(a.neighbor));
     }
   }
   OM_CHECK_MSG(m.is_maximal(), "lic_local must produce a maximal b-matching");
+  if (stats != nullptr) *stats = local_stats;
   return m;
 }
 

@@ -27,10 +27,20 @@ namespace overmatch::matching {
 /// Global-sort engine. O(m log m).
 [[nodiscard]] Matching lic_global(const prefs::EdgeWeights& w, const Quotas& quotas);
 
+/// Work counters for lic_local (queue-discipline observability; the in-queue
+/// dedup guarantees peak_queue <= m regardless of how often selections
+/// re-promote the same top edge).
+struct LicLocalStats {
+  std::size_t pops = 0;        ///< candidates dequeued over the whole run
+  std::size_t peak_queue = 0;  ///< high-water mark of the candidate queue
+};
+
 /// Local-dominance engine: processes candidate edges in a seeded arbitrary
 /// order, selecting an edge whenever it is the heaviest *available* edge at
 /// both endpoints (= locally heaviest, eq. 13's recursive definition).
+/// Each edge appears in the candidate queue at most once at a time.
 [[nodiscard]] Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
-                                 std::uint64_t scan_seed);
+                                 std::uint64_t scan_seed,
+                                 LicLocalStats* stats = nullptr);
 
 }  // namespace overmatch::matching

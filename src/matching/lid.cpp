@@ -185,6 +185,37 @@ LossyLidResult run_lid_lossy(const prefs::EdgeWeights& w, const Quotas& quotas,
   return out;
 }
 
+LossyLidResult run_lid_lossy_threaded(const prefs::EdgeWeights& w,
+                                      const Quotas& quotas, double loss,
+                                      std::uint64_t seed, std::size_t threads) {
+  auto nodes = make_nodes(w, quotas);
+  // Retransmit interval in virtual-time units; the runtime maps one unit to
+  // Options::time_unit of real time, so 4.0 units dwarf an in-process hop.
+  constexpr double kRetransmitInterval = 4.0;
+  std::vector<std::unique_ptr<sim::ReliableAgent>> wrappers;
+  std::vector<sim::Agent*> agents;
+  wrappers.reserve(nodes.size());
+  agents.reserve(nodes.size());
+  for (NodeId v = 0; v < nodes.size(); ++v) {
+    wrappers.push_back(std::make_unique<sim::ReliableAgent>(v, nodes[v].get(),
+                                                            kRetransmitInterval));
+    agents.push_back(wrappers.back().get());
+  }
+  sim::ThreadedRuntime::Options options;
+  options.loss_probability = loss;
+  options.seed = seed;
+  sim::ThreadedRuntime rt(std::move(agents), threads, options);
+  auto stats = rt.run();
+  for (const auto& wrapper : wrappers) {
+    OM_CHECK_MSG(wrapper->terminated(),
+                 "lossy threaded LID: unacked messages remain");
+  }
+  auto result = extract_result(w, quotas, nodes, std::move(stats));
+  LossyLidResult out{std::move(result.matching), result.stats, 0};
+  for (const auto& wrapper : wrappers) out.retransmissions += wrapper->retransmissions();
+  return out;
+}
+
 LidResult run_lid_threaded(const prefs::EdgeWeights& w, const Quotas& quotas,
                            std::size_t threads) {
   auto nodes = make_nodes(w, quotas);

@@ -106,4 +106,14 @@ struct LossyLidResult {
                                            const Quotas& quotas, double loss,
                                            std::uint64_t seed);
 
+/// Lossy LID on the threaded actor runtime: every node is wrapped in the
+/// reliable-delivery adapter and the runtime drops each wire message
+/// independently with probability `loss`, retransmitting on real-time timers.
+/// Terminates with zero unacked messages and produces exactly the LIC
+/// matching, demonstrating the loss extension under true hardware concurrency.
+[[nodiscard]] LossyLidResult run_lid_lossy_threaded(const prefs::EdgeWeights& w,
+                                                    const Quotas& quotas,
+                                                    double loss, std::uint64_t seed,
+                                                    std::size_t threads);
+
 }  // namespace overmatch::matching

@@ -55,8 +55,20 @@ bool Matching::is_maximal() const {
 }
 
 bool Matching::same_edges(const Matching& other) const {
-  if (graph_ != other.graph_ && graph_->num_edges() != other.graph_->num_edges()) {
-    return false;
+  // Edge ids are only meaningful relative to a graph: comparing bitmaps
+  // across distinct Graph objects requires them to be structurally identical
+  // (same nodes, same edge list in the same id order). Equal edge *counts*
+  // are not enough — edge e may join different endpoints in each graph.
+  if (graph_ != other.graph_) {
+    if (graph_->num_nodes() != other.graph_->num_nodes() ||
+        graph_->num_edges() != other.graph_->num_edges()) {
+      return false;
+    }
+    for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+      const auto& [au, av] = graph_->edge(e);
+      const auto& [bu, bv] = other.graph_->edge(e);
+      if (au != bu || av != bv) return false;
+    }
   }
   if (edges_.size() != other.edges_.size()) return false;
   for (EdgeId e = 0; e < selected_.size(); ++e) {

@@ -41,9 +41,10 @@ class Outbox {
   void send(NodeId to, Message msg) { sends_.push_back({to, msg}); }
 
   /// Schedule a self-delivery after `delay` units of virtual time. Timers are
-  /// local bookkeeping: they are never lost and only the discrete-event
-  /// simulator supports them (the threaded runtime aborts — real deployments
-  /// would use OS timers there).
+  /// local bookkeeping and are never lost. The discrete-event simulator fires
+  /// them in virtual time (delay-based schedules only); the threaded runtime
+  /// fires them on a real monotonic clock, mapping one virtual-time unit to
+  /// `ThreadedRuntime::Options::time_unit`.
   void send_timer(double delay, Message msg) { timers_.push_back({delay, msg}); }
 
   [[nodiscard]] const std::vector<Send>& sends() const noexcept { return sends_; }
@@ -79,11 +80,15 @@ class Agent {
 /// Message accounting shared by both runtimes.
 struct MessageStats {
   std::size_t total_sent = 0;
+  /// Actual handler invocations: message deliveries plus timer firings. Both
+  /// runtimes count real `on_message` calls — this is measured, not inferred
+  /// from `total_sent`.
   std::size_t total_delivered = 0;
   std::size_t total_dropped = 0;  ///< lost by the (lossy) network
   /// Indexed by message kind (kinds are small integers by convention).
   std::vector<std::size_t> sent_by_kind;
-  /// Virtual completion time (DES: last delivery timestamp; threads: 0).
+  /// Completion time: DES reports the last virtual delivery timestamp;
+  /// the threaded runtime reports elapsed wall-clock seconds.
   double completion_time = 0.0;
 
   void count_send(std::uint32_t kind) {

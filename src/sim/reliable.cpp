@@ -5,11 +5,6 @@
 namespace overmatch::sim {
 namespace {
 
-/// Timer messages are self-deliveries with this kind (local only, never on
-/// the wire, so no clash with kAckKind or inner kinds is possible from peers;
-/// inner agents must not send to themselves).
-constexpr std::uint32_t kTickKind = 62;
-
 std::uint64_t dedup_key(NodeId from, std::uint64_t seq) {
   return (static_cast<std::uint64_t>(from) << 32) | (seq & 0xffffffffULL);
 }
@@ -31,7 +26,12 @@ void ReliableAgent::wrap_and_send(Outbox& inner_out, Outbox& out) {
     OM_CHECK_MSG(s.to != self_, "inner agent must not send to itself");
     const std::uint64_t seq = next_seq_++ & 0xffffffffULL;
     Message wire{s.msg.kind, (seq << 32) | s.msg.data};
-    unacked_.push_back({s.to, wire});
+    // If this entry arms the (previously idle) timer, the next tick is a full
+    // interval away — retransmittable then. If the timer is already armed the
+    // next tick may fire at any moment, so the entry only becomes eligible at
+    // the tick after it (guaranteeing at least one full interval of age).
+    const std::uint64_t eligible = ticks_seen_ + (timer_armed_ ? 2 : 1);
+    unacked_.push_back({s.to, wire, eligible});
     out.send(s.to, wire);
   }
   arm_timer(out);
@@ -53,9 +53,12 @@ void ReliableAgent::on_start(Outbox& out) {
 void ReliableAgent::on_message(NodeId from, const Message& msg, Outbox& out) {
   if (from == self_ && msg.kind == kTickKind) {
     timer_armed_ = false;
-    for (const auto& p : unacked_) {
+    ++ticks_seen_;
+    for (auto& p : unacked_) {
+      if (p.eligible_tick > ticks_seen_) continue;  // younger than interval_
       out.send(p.to, p.wire);
       ++retransmissions_;
+      p.eligible_tick = ticks_seen_ + 1;  // pace retransmits an interval apart
     }
     arm_timer(out);
     return;

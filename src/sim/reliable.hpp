@@ -28,6 +28,10 @@ namespace overmatch::sim {
 /// Message kind reserved for acknowledgements (inner agents must not use it).
 inline constexpr std::uint32_t kAckKind = 63;
 
+/// Message kind reserved for the adapter's retransmission timer tick (a
+/// self-delivery; never on the wire from peers). Inner agents must not use it.
+inline constexpr std::uint32_t kTickKind = 62;
+
 class ReliableAgent final : public Agent {
  public:
   /// Wraps `inner` (caller-owned). `self` is this node's id;
@@ -46,6 +50,10 @@ class ReliableAgent final : public Agent {
   struct Pending {
     NodeId to;
     Message wire;  // already-encoded DATA message
+    /// First tick (see ticks_seen_) at which this entry is old enough to be
+    /// retransmitted: a (re)send must survive one full `interval_` before the
+    /// timer touches it, so an entry sent moments before a tick is skipped.
+    std::uint64_t eligible_tick;
   };
 
   void wrap_and_send(Outbox& inner_out, Outbox& out);
@@ -55,6 +63,7 @@ class ReliableAgent final : public Agent {
   Agent* inner_;
   double interval_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t ticks_seen_ = 0;  ///< timer firings so far (a coarse clock)
   std::vector<Pending> unacked_;
   std::unordered_set<std::uint64_t> seen_;  // (from << 32) | seq of delivered DATA
   bool timer_armed_ = false;

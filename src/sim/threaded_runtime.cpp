@@ -1,94 +1,178 @@
 #include "sim/threaded_runtime.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "util/check.hpp"
 
 namespace overmatch::sim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Exponential idle backoff: a few polite yields, then sleeps doubling from
+/// 1us up to this cap. The cap bounds both the wake-up latency for messages
+/// that arrive while asleep and the shutdown latency after stop_ is set.
+constexpr auto kMaxSleep = std::chrono::microseconds(128);
+constexpr unsigned kYieldsBeforeSleep = 8;
+
+void backoff(unsigned idle_rounds, Clock::duration until_next_timer) {
+  if (idle_rounds < kYieldsBeforeSleep) {
+    std::this_thread::yield();
+    return;
+  }
+  const unsigned shift =
+      std::min(idle_rounds - kYieldsBeforeSleep, 7u);  // 1us << 7 == 128us
+  Clock::duration sleep = std::chrono::microseconds(1u << shift);
+  sleep = std::min({sleep, Clock::duration(kMaxSleep), until_next_timer});
+  if (sleep <= Clock::duration::zero()) return;  // a timer is already due
+  std::this_thread::sleep_for(sleep);
+}
+
+}  // namespace
 
 ThreadedRuntime::ThreadedRuntime(std::vector<Agent*> agents, std::size_t threads)
+    : ThreadedRuntime(std::move(agents), threads, Options()) {}
+
+ThreadedRuntime::ThreadedRuntime(std::vector<Agent*> agents, std::size_t threads,
+                                 Options options)
     : agents_(std::move(agents)),
       threads_(threads),
-      mailboxes_(agents_.size()) {
+      options_(options),
+      shards_(threads),
+      worker_stats_(threads) {
   OM_CHECK(threads_ >= 1);
+  OM_CHECK(options_.loss_probability >= 0.0 && options_.loss_probability < 1.0);
+  OM_CHECK(options_.time_unit.count() > 0);
   for (const auto* a : agents_) OM_CHECK(a != nullptr);
 }
 
-void ThreadedRuntime::deliver_outbox(NodeId from, const Outbox& out) {
-  OM_CHECK_MSG(out.timers().empty(),
-               "ThreadedRuntime does not support virtual timers");
-  if (out.sends().empty()) return;
-  {
-    std::lock_guard lk(stats_mu_);
-    for (const auto& s : out.sends()) stats_.count_send(s.msg.kind);
-  }
+void ThreadedRuntime::deliver_outbox(NodeId from, const Outbox& out,
+                                     WorkerContext& ctx) {
   for (const auto& s : out.sends()) {
     OM_CHECK(s.to < agents_.size());
-    in_flight_.fetch_add(1, std::memory_order_acq_rel);
-    {
-      std::lock_guard lk(mailboxes_[s.to].mu);
-      mailboxes_[s.to].q.push_back({from, s.msg});
+    ctx.stats.count_send(s.msg.kind);
+    if (options_.loss_probability > 0.0 &&
+        ctx.loss_rng.chance(options_.loss_probability)) {
+      ++ctx.stats.total_dropped;
+      continue;
     }
+    // Increment before the envelope becomes visible so in_flight_ == 0 can
+    // never be observed while a message is queued.
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    auto& shard = shards_[s.to % threads_];
+    {
+      std::lock_guard lk(shard.mu);
+      shard.q.push_back({from, s.to, s.msg});
+    }
+  }
+  // Timers are self-deliveries and this worker owns `from`, so the heap is
+  // worker-local — no lock. Timers are never lost (loss applies to DATA only).
+  for (const auto& t : out.timers()) {
+    OM_CHECK_MSG(t.delay >= 0.0, "ThreadedRuntime: negative timer delay");
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    const auto delay = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::micro>(
+            t.delay * static_cast<double>(options_.time_unit.count())));
+    ctx.timers.push({Clock::now() + delay, ctx.timer_seq++, from, t.msg});
   }
 }
 
 void ThreadedRuntime::worker(std::size_t worker_id) {
+  WorkerContext ctx;
+  ctx.loss_rng.reseed(options_.seed ^
+                      (0x9e3779b97f4a7c15ULL * (worker_id + 1)));
   Outbox out;
   // Initialization: each worker starts its own nodes (serialized per node).
   for (NodeId v = static_cast<NodeId>(worker_id); v < agents_.size();
        v += static_cast<NodeId>(threads_)) {
     out.clear();
     agents_[v]->on_start(out);
-    deliver_outbox(v, out);
+    deliver_outbox(v, out, ctx);
   }
   initialized_.fetch_add(1, std::memory_order_acq_rel);
-  // Delivery loop: drain owned mailboxes until globally quiescent.
+
+  std::deque<Envelope> batch;
+  unsigned idle_rounds = 0;
   while (!stop_.load(std::memory_order_acquire)) {
     bool progressed = false;
-    for (NodeId v = static_cast<NodeId>(worker_id); v < agents_.size();
-         v += static_cast<NodeId>(threads_)) {
-      for (;;) {
-        Envelope env;
-        {
-          std::lock_guard lk(mailboxes_[v].mu);
-          if (mailboxes_[v].q.empty()) break;
-          env = mailboxes_[v].q.front();
-          mailboxes_[v].q.pop_front();
-        }
-        out.clear();
-        agents_[v]->on_message(env.from, env.msg, out);
-        deliver_outbox(v, out);
-        // Decrement only after the causal consequences are enqueued, so
-        // in_flight_ == 0 really means quiescence.
-        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-        progressed = true;
-      }
+    // Fire due timers (owner-local heap; deliveries count like messages).
+    while (!ctx.timers.empty() && ctx.timers.top().deadline <= Clock::now()) {
+      const TimerEntry t = ctx.timers.top();
+      ctx.timers.pop();
+      out.clear();
+      agents_[t.node]->on_message(t.node, t.msg, out);
+      ++ctx.stats.total_delivered;
+      deliver_outbox(t.node, out, ctx);
+      // Decrement only after the causal consequences are enqueued, so
+      // in_flight_ == 0 really means quiescence.
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      progressed = true;
     }
-    if (!progressed) {
-      // Quiescence only counts once every worker finished its on_start phase;
-      // otherwise a late initializer could still inject messages.
-      if (initialized_.load(std::memory_order_acquire) == threads_ &&
-          in_flight_.load(std::memory_order_acquire) == 0) {
-        stop_.store(true, std::memory_order_release);
-        return;
-      }
-      std::this_thread::yield();
+    // Batched dequeue: swap the whole shard out under one lock acquisition,
+    // then process the batch without holding anything.
+    batch.clear();
+    {
+      std::lock_guard lk(shards_[worker_id].mu);
+      shards_[worker_id].q.swap(batch);
     }
+    for (const Envelope& env : batch) {
+      out.clear();
+      agents_[env.to]->on_message(env.from, env.msg, out);
+      ++ctx.stats.total_delivered;
+      deliver_outbox(env.to, out, ctx);
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    progressed |= !batch.empty();
+    if (progressed) {
+      idle_rounds = 0;
+      continue;
+    }
+    // Quiescence only counts once every worker finished its on_start phase;
+    // otherwise a late initializer could still inject messages. Armed timers
+    // hold in_flight_ > 0, so quiescence also implies no timer will ever fire.
+    if (initialized_.load(std::memory_order_acquire) == threads_ &&
+        in_flight_.load(std::memory_order_acquire) == 0) {
+      stop_.store(true, std::memory_order_release);
+      break;
+    }
+    const auto until_next_timer = ctx.timers.empty()
+                                      ? Clock::duration(kMaxSleep)
+                                      : ctx.timers.top().deadline - Clock::now();
+    backoff(idle_rounds++, until_next_timer);
   }
+  worker_stats_[worker_id] = std::move(ctx.stats);
 }
 
 MessageStats ThreadedRuntime::run() {
-  stop_.store(false, std::memory_order_release);
+  OM_CHECK_MSG(!ran_, "ThreadedRuntime::run() is single-shot; build a new "
+                      "runtime (and fresh agents) to run again");
+  ran_ = true;
+  const auto wall_start = Clock::now();
   std::vector<std::thread> pool;
   pool.reserve(threads_);
   for (std::size_t t = 0; t < threads_; ++t) {
     pool.emplace_back([this, t] { worker(t); });
   }
   for (auto& th : pool) th.join();
-  // Every send was eventually processed.
+  // Every undropped send and every armed timer was eventually processed.
   OM_CHECK(in_flight_.load() == 0);
-  stats_.total_delivered = stats_.total_sent;
-  return stats_;
+  // Merge the per-worker counters (workers have joined: no concurrency here).
+  MessageStats stats;
+  for (const MessageStats& ws : worker_stats_) {
+    stats.total_sent += ws.total_sent;
+    stats.total_delivered += ws.total_delivered;
+    stats.total_dropped += ws.total_dropped;
+    if (ws.sent_by_kind.size() > stats.sent_by_kind.size()) {
+      stats.sent_by_kind.resize(ws.sent_by_kind.size(), 0);
+    }
+    for (std::size_t k = 0; k < ws.sent_by_kind.size(); ++k) {
+      stats.sent_by_kind[k] += ws.sent_by_kind[k];
+    }
+  }
+  stats.completion_time =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+  return stats;
 }
 
 }  // namespace overmatch::sim

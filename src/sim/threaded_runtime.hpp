@@ -1,57 +1,119 @@
 // Threaded actor runtime: runs the same Agent automata on real OS threads.
 //
-// Each node owns a locked MPSC mailbox; nodes are partitioned across worker
-// threads (node v belongs to thread v mod T), so callbacks of one agent are
-// never concurrent while different agents genuinely race. Quiescence is
-// detected with an in-flight message counter: a message increments it at send
-// time and decrements only after its handler (and the enqueues it caused)
-// completed, so counter == 0 implies global quiescence.
+// Architecture (see DESIGN.md §6 for the full discussion):
+//  * Nodes are partitioned across T workers (node v belongs to worker v mod T),
+//    so callbacks of one agent are never concurrent while different agents
+//    genuinely race.
+//  * Mailboxes are sharded per *worker*, not per node: a worker drains its
+//    shard by swapping the whole queue out under the lock (one lock
+//    acquisition per batch instead of one per envelope) and then processes the
+//    batch lock-free.
+//  * Message statistics are accumulated in per-worker counters and merged once
+//    after the workers join — there is no global stats lock on the hot path.
+//    `total_delivered` counts actual handler invocations (messages and timer
+//    firings), never an assumption.
+//  * Timers are supported: `Outbox::send_timer(delay, msg)` arms an entry in
+//    the owning worker's local min-heap, with `delay` virtual-time units
+//    mapped to real time via `Options::time_unit` on a monotonic clock. Timer
+//    callbacks run on the node's owner worker like any other delivery, so the
+//    per-agent serialization guarantee is preserved. Timers are never lost.
+//  * Optional i.i.d. message loss (`Options::loss_probability`) drops DATA
+//    messages at send time — timers are exempt — which lets ReliableAgent
+//    wrapped automata (and therefore lossy LID) run on real threads.
+//  * Quiescence is detected with an in-flight counter covering both messages
+//    and armed timers: increment at send/arm time, decrement only after the
+//    handler (and the enqueues it caused) completed, so counter == 0 implies
+//    global quiescence. Idle workers back off exponentially (yield, then
+//    capped sleeps) instead of spinning.
 //
 // This runtime exists to demonstrate, on actual hardware concurrency, the
 // schedule-independence that the paper proves: LID must produce the same
-// matching here as under any discrete-event schedule.
+// matching here as under any discrete-event schedule — even over lossy links.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <queue>
 #include <vector>
 
 #include "sim/agent.hpp"
+#include "util/rng.hpp"
 
 namespace overmatch::sim {
 
 class ThreadedRuntime {
  public:
+  struct Options {
+    /// Drop each non-timer message independently with this probability.
+    /// Requires agents that tolerate loss (e.g. behind ReliableAgent).
+    double loss_probability = 0.0;
+    /// Seeds the per-worker loss RNG streams (only used when lossy).
+    std::uint64_t seed = 0;
+    /// Real duration of one virtual-time unit; `send_timer(d, ...)` fires
+    /// `d * time_unit` after arming, measured on the monotonic clock.
+    std::chrono::microseconds time_unit{100};
+  };
+
   /// `agents[v]` is node v's automaton (caller-owned). `threads` >= 1.
   ThreadedRuntime(std::vector<Agent*> agents, std::size_t threads);
+  ThreadedRuntime(std::vector<Agent*> agents, std::size_t threads,
+                  Options options);
 
-  /// Runs all agents to quiescence and returns message statistics.
+  /// Runs all agents to quiescence and returns merged message statistics
+  /// (`completion_time` is wall-clock seconds). Single-shot: agents carry
+  /// protocol state across calls, so reuse would rerun on_start on finished
+  /// automata — a second call aborts.
   MessageStats run();
 
  private:
   struct Envelope {
     NodeId from;
+    NodeId to;
     Message msg;
   };
-  struct Mailbox {
+  /// One mailbox per worker; padded so neighbouring shards' locks do not
+  /// false-share a cache line.
+  struct alignas(64) Shard {
     std::mutex mu;
     std::deque<Envelope> q;
   };
+  struct TimerEntry {
+    std::chrono::steady_clock::time_point deadline;
+    std::uint64_t seq = 0;  // arm order: deterministic pop order on ties
+    NodeId node = 0;
+    Message msg;
+  };
+  struct TimerLater {
+    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+  /// Worker-private state: lives on the worker's stack during run(), so the
+  /// hot path touches no shared cache lines except the in-flight counter and
+  /// destination shards.
+  struct WorkerContext {
+    MessageStats stats;
+    util::Rng loss_rng{0};
+    std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerLater> timers;
+    std::uint64_t timer_seq = 0;
+  };
 
-  void deliver_outbox(NodeId from, const Outbox& out);
+  void deliver_outbox(NodeId from, const Outbox& out, WorkerContext& ctx);
   void worker(std::size_t worker_id);
 
   std::vector<Agent*> agents_;
   std::size_t threads_;
-  std::vector<Mailbox> mailboxes_;
+  Options options_;
+  std::vector<Shard> shards_;               // one per worker
+  std::vector<MessageStats> worker_stats_;  // filled at worker exit, merged in run()
   std::atomic<std::int64_t> in_flight_{0};
   std::atomic<std::size_t> initialized_{0};
   std::atomic<bool> stop_{false};
-  // Per-kind send counters (fixed small kind space; grown under lock).
-  std::mutex stats_mu_;
-  MessageStats stats_;
+  bool ran_ = false;
 };
 
 }  // namespace overmatch::sim

@@ -105,6 +105,25 @@ TEST(LicLocal, HeterogeneousQuotas) {
   }
 }
 
+TEST(LicLocal, CandidateQueueNeverExceedsEdgeCount) {
+  // Regression: every neighbour scan used to re-enqueue the same top edge, so
+  // the candidate queue ballooned past m with duplicates (O(edges × rounds)).
+  // With the in-queue flag each edge appears at most once at a time, so the
+  // queue's high-water mark is exactly bounded by the edge count — and the
+  // output is still the unique locally-heaviest matching.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto inst = testing::Instance::random("complete", 16, 15.0, 3, seed + 11);
+    const auto mg = lic_global(*inst->weights, inst->profile->quotas());
+    LicLocalStats st;
+    const auto ml = lic_local(*inst->weights, inst->profile->quotas(), seed, &st);
+    EXPECT_TRUE(mg.same_edges(ml)) << "seed=" << seed;
+    EXPECT_LE(st.peak_queue, inst->g.num_edges()) << "seed=" << seed;
+    // Pops are bounded by initial candidates plus accepted re-enqueues, which
+    // the flag caps at one outstanding copy per edge per promotion wave.
+    EXPECT_GE(st.pops, inst->g.num_edges()) << "seed=" << seed;
+  }
+}
+
 TEST(LicGlobal, EmptyGraph) {
   const Graph g = GraphBuilder(3).build();
   const prefs::EdgeWeights w(g, {});

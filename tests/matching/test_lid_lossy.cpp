@@ -48,6 +48,43 @@ TEST(LidLossy, RetransmissionsGrowWithLoss) {
   EXPECT_LT(low.retransmissions, high.retransmissions);
 }
 
+TEST(LidLossyThreaded, MatchesLicUnderLossAcrossWorkerCounts) {
+  // The acceptance bar for the threaded path: terminates with zero unacked
+  // messages at loss <= 0.3 (enforced by an internal OM_CHECK) and produces
+  // the exact symmetric-lock LIC matching on real threads.
+  for (const double loss : {0.0, 0.1, 0.3}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      auto inst = testing::Instance::random_quotas("er", 24, 5.0, 3, 91);
+      const auto lic = lic_global(*inst->weights, inst->profile->quotas());
+      const auto r = run_lid_lossy_threaded(*inst->weights,
+                                            inst->profile->quotas(), loss,
+                                            /*seed=*/5, threads);
+      EXPECT_TRUE(lic.same_edges(r.matching))
+          << "loss=" << loss << " threads=" << threads;
+      EXPECT_TRUE(is_valid_bmatching(r.matching));
+      if (loss > 0.0) {
+        EXPECT_GT(r.stats.total_dropped, 0u) << "loss=" << loss;
+      } else {
+        EXPECT_EQ(r.stats.total_dropped, 0u);
+      }
+      // Honest delivery accounting: every surviving wire message was handled
+      // (timer firings can only add to the delivered count).
+      EXPECT_GE(r.stats.total_delivered,
+                r.stats.total_sent - r.stats.total_dropped);
+    }
+  }
+}
+
+TEST(LidLossyThreaded, RetransmissionsRecoverDroppedMessages) {
+  auto inst = testing::Instance::random("ba", 30, 4.0, 2, 9);
+  const auto lic = lic_global(*inst->weights, inst->profile->quotas());
+  const auto r =
+      run_lid_lossy_threaded(*inst->weights, inst->profile->quotas(), 0.3, 3, 4);
+  EXPECT_TRUE(lic.same_edges(r.matching));
+  EXPECT_GT(r.retransmissions, 0u);
+  EXPECT_GT(r.stats.kind_count(sim::kAckKind), 0u);
+}
+
 TEST(LidLossy, AcksAccountedInStats) {
   auto inst = testing::Instance::random("er", 16, 4.0, 2, 5);
   const auto r = run_lid_lossy(*inst->weights, inst->profile->quotas(), 0.1, 3);

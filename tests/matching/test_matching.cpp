@@ -90,6 +90,40 @@ TEST(Matching, SameEdgesIgnoresInsertionOrder) {
   EXPECT_FALSE(a.same_edges(c));
 }
 
+TEST(Matching, SameEdgesRejectsDifferentGraphWithEqualEdgeCount) {
+  // Regression: the guard used to pass whenever the two graphs merely had the
+  // same number of edges, so matchings over unrelated graphs with identical
+  // selection bitmaps compared equal.
+  const Graph g1 = square();  // 0-1, 1-2, 2-3, 3-0
+  GraphBuilder b(4);          // same node/edge counts, different edges
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g2 = std::move(b).build();
+  Matching m1(g1, Quotas(4, 2));
+  Matching m2(g2, Quotas(4, 2));
+  m1.add(0);  // {0,1} in g1
+  m2.add(0);  // {0,2} in g2 — same bitmap, different edge
+  EXPECT_FALSE(m1.same_edges(m2));
+  EXPECT_FALSE(m2.same_edges(m1));
+}
+
+TEST(Matching, SameEdgesAcceptsStructurallyIdenticalGraphCopies) {
+  // Two independently built but identical graphs (e.g. the same generator
+  // seed run twice) must still be comparable edge-by-edge.
+  const Graph g1 = square();
+  const Graph g2 = square();
+  Matching m1(g1, Quotas(4, 1));
+  Matching m2(g2, Quotas(4, 1));
+  m1.add(0);
+  m2.add(0);
+  EXPECT_TRUE(m1.same_edges(m2));
+  m2.remove(0);
+  m2.add(2);
+  EXPECT_FALSE(m1.same_edges(m2));
+}
+
 TEST(Matching, TotalWeight) {
   auto inst = testing::Instance::random("er", 12, 4.0, 2, 5);
   Matching m(inst->g, inst->profile->quotas());

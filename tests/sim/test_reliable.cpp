@@ -86,6 +86,35 @@ TEST(ReliableAgent, NoTrafficNoTimers) {
   EXPECT_EQ(stats.total_sent, 0u);
 }
 
+TEST(ReliableAgent, FreshSendNotImmediatelyRetransmitted) {
+  // Regression: every tick used to retransmit *all* unacked entries, even
+  // ones sent moments before the timer fired. Drive the adapter by hand:
+  // message A arms the timer at send time (eligible at the first tick);
+  // message B is sent while the timer is already armed, so the imminent tick
+  // must skip it and only the tick after may retransmit it.
+  class PokeSender final : public Agent {
+   public:
+    void on_start(Outbox& out) override { out.send(1, Message{5, 0}); }  // A
+    void on_message(NodeId, const Message& msg, Outbox& out) override {
+      if (msg.kind == 6) out.send(1, Message{5, 1});  // B, on poke
+    }
+    [[nodiscard]] bool terminated() const override { return true; }
+  };
+  PokeSender inner;
+  ReliableAgent r0(0, &inner, 4.0);
+  Outbox out;
+  r0.on_start(out);  // sends A, arms the timer
+  out.clear();
+  r0.on_message(2, Message{6, 0}, out);  // poke from peer 2: B is sent fresh
+  EXPECT_EQ(r0.retransmissions(), 0u);
+  out.clear();
+  r0.on_message(0, Message{kTickKind, 0}, out);  // tick 1: A only — B is fresh
+  EXPECT_EQ(r0.retransmissions(), 1u);
+  out.clear();
+  r0.on_message(0, Message{kTickKind, 0}, out);  // tick 2: A again, and now B
+  EXPECT_EQ(r0.retransmissions(), 3u);
+}
+
 TEST(ReliableAgentDeathTest, ReservedKindRejected) {
   class BadAgent final : public Agent {
    public:
