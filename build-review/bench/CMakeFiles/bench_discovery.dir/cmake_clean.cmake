@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discovery.dir/bench_discovery.cpp.o"
+  "CMakeFiles/bench_discovery.dir/bench_discovery.cpp.o.d"
+  "bench_discovery"
+  "bench_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_satisfaction.dir/bench_fig1_satisfaction.cpp.o"
+  "CMakeFiles/bench_fig1_satisfaction.dir/bench_fig1_satisfaction.cpp.o.d"
+  "bench_fig1_satisfaction"
+  "bench_fig1_satisfaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_satisfaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma1_static_ratio.dir/bench_lemma1_static_ratio.cpp.o"
+  "CMakeFiles/bench_lemma1_static_ratio.dir/bench_lemma1_static_ratio.cpp.o.d"
+  "bench_lemma1_static_ratio"
+  "bench_lemma1_static_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma1_static_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

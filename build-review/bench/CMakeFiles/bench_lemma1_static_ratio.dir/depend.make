@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_lemma1_static_ratio.
+# This may be replaced when dependencies are built.

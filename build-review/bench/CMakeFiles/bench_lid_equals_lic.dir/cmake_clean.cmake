@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lid_equals_lic.dir/bench_lid_equals_lic.cpp.o"
+  "CMakeFiles/bench_lid_equals_lic.dir/bench_lid_equals_lic.cpp.o.d"
+  "bench_lid_equals_lic"
+  "bench_lid_equals_lic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lid_equals_lic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

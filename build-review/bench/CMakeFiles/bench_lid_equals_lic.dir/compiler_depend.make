@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_lid_equals_lic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lossy_network.dir/bench_lossy_network.cpp.o"
+  "CMakeFiles/bench_lossy_network.dir/bench_lossy_network.cpp.o.d"
+  "bench_lossy_network"
+  "bench_lossy_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lossy_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

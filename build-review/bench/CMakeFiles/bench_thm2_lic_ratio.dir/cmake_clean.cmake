@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_lic_ratio.dir/bench_thm2_lic_ratio.cpp.o"
+  "CMakeFiles/bench_thm2_lic_ratio.dir/bench_thm2_lic_ratio.cpp.o.d"
+  "bench_thm2_lic_ratio"
+  "bench_thm2_lic_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_lic_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm3_lid_satisfaction.dir/bench_thm3_lid_satisfaction.cpp.o"
+  "CMakeFiles/bench_thm3_lid_satisfaction.dir/bench_thm3_lid_satisfaction.cpp.o.d"
+  "bench_thm3_lid_satisfaction"
+  "bench_thm3_lid_satisfaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm3_lid_satisfaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_truncation.dir/bench_truncation.cpp.o"
+  "CMakeFiles/bench_truncation.dir/bench_truncation.cpp.o.d"
+  "bench_truncation"
+  "bench_truncation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_truncation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

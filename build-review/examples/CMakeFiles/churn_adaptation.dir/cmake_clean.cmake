@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_adaptation.dir/churn_adaptation.cpp.o"
+  "CMakeFiles/churn_adaptation.dir/churn_adaptation.cpp.o.d"
+  "churn_adaptation"
+  "churn_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interest_groups.dir/interest_groups.cpp.o"
+  "CMakeFiles/interest_groups.dir/interest_groups.cpp.o.d"
+  "interest_groups"
+  "interest_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interest_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

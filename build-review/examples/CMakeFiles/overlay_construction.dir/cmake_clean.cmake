@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_construction.dir/overlay_construction.cpp.o"
+  "CMakeFiles/overlay_construction.dir/overlay_construction.cpp.o.d"
+  "overlay_construction"
+  "overlay_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_deployment.dir/wan_deployment.cpp.o"
+  "CMakeFiles/wan_deployment.dir/wan_deployment.cpp.o.d"
+  "wan_deployment"
+  "wan_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overmatch_core.dir/certificates.cpp.o"
+  "CMakeFiles/overmatch_core.dir/certificates.cpp.o.d"
+  "CMakeFiles/overmatch_core.dir/solvers.cpp.o"
+  "CMakeFiles/overmatch_core.dir/solvers.cpp.o.d"
+  "libovermatch_core.a"
+  "libovermatch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overmatch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overmatch_graph.dir/generators.cpp.o"
+  "CMakeFiles/overmatch_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/overmatch_graph.dir/graph.cpp.o"
+  "CMakeFiles/overmatch_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/overmatch_graph.dir/io.cpp.o"
+  "CMakeFiles/overmatch_graph.dir/io.cpp.o.d"
+  "CMakeFiles/overmatch_graph.dir/properties.cpp.o"
+  "CMakeFiles/overmatch_graph.dir/properties.cpp.o.d"
+  "libovermatch_graph.a"
+  "libovermatch_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overmatch_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

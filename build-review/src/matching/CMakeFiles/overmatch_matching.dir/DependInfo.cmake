@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/baselines.cpp" "src/matching/CMakeFiles/overmatch_matching.dir/baselines.cpp.o" "gcc" "src/matching/CMakeFiles/overmatch_matching.dir/baselines.cpp.o.d"
+  "/root/repo/src/matching/bounds.cpp" "src/matching/CMakeFiles/overmatch_matching.dir/bounds.cpp.o" "gcc" "src/matching/CMakeFiles/overmatch_matching.dir/bounds.cpp.o.d"
+  "/root/repo/src/matching/bsuitor.cpp" "src/matching/CMakeFiles/overmatch_matching.dir/bsuitor.cpp.o" "gcc" "src/matching/CMakeFiles/overmatch_matching.dir/bsuitor.cpp.o.d"
+  "/root/repo/src/matching/cardinality.cpp" "src/matching/CMakeFiles/overmatch_matching.dir/cardinality.cpp.o" "gcc" "src/matching/CMakeFiles/overmatch_matching.dir/cardinality.cpp.o.d"
+  "/root/repo/src/matching/dp_matcher.cpp" "src/matching/CMakeFiles/overmatch_matching.dir/dp_matcher.cpp.o" "gcc" "src/matching/CMakeFiles/overmatch_matching.dir/dp_matcher.cpp.o.d"
+  "/root/repo/src/matching/exact.cpp" "src/matching/CMakeFiles/overmatch_matching.dir/exact.cpp.o" "gcc" "src/matching/CMakeFiles/overmatch_matching.dir/exact.cpp.o.d"
+  "/root/repo/src/matching/lic.cpp" "src/matching/CMakeFiles/overmatch_matching.dir/lic.cpp.o" "gcc" "src/matching/CMakeFiles/overmatch_matching.dir/lic.cpp.o.d"
+  "/root/repo/src/matching/lid.cpp" "src/matching/CMakeFiles/overmatch_matching.dir/lid.cpp.o" "gcc" "src/matching/CMakeFiles/overmatch_matching.dir/lid.cpp.o.d"
+  "/root/repo/src/matching/local_search.cpp" "src/matching/CMakeFiles/overmatch_matching.dir/local_search.cpp.o" "gcc" "src/matching/CMakeFiles/overmatch_matching.dir/local_search.cpp.o.d"
+  "/root/repo/src/matching/matching.cpp" "src/matching/CMakeFiles/overmatch_matching.dir/matching.cpp.o" "gcc" "src/matching/CMakeFiles/overmatch_matching.dir/matching.cpp.o.d"
+  "/root/repo/src/matching/metrics.cpp" "src/matching/CMakeFiles/overmatch_matching.dir/metrics.cpp.o" "gcc" "src/matching/CMakeFiles/overmatch_matching.dir/metrics.cpp.o.d"
+  "/root/repo/src/matching/parallel_local.cpp" "src/matching/CMakeFiles/overmatch_matching.dir/parallel_local.cpp.o" "gcc" "src/matching/CMakeFiles/overmatch_matching.dir/parallel_local.cpp.o.d"
+  "/root/repo/src/matching/verify.cpp" "src/matching/CMakeFiles/overmatch_matching.dir/verify.cpp.o" "gcc" "src/matching/CMakeFiles/overmatch_matching.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/overmatch_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/prefs/CMakeFiles/overmatch_prefs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/overmatch_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/overmatch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

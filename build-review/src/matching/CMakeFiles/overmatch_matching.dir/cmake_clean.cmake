@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overmatch_matching.dir/baselines.cpp.o"
+  "CMakeFiles/overmatch_matching.dir/baselines.cpp.o.d"
+  "CMakeFiles/overmatch_matching.dir/bounds.cpp.o"
+  "CMakeFiles/overmatch_matching.dir/bounds.cpp.o.d"
+  "CMakeFiles/overmatch_matching.dir/bsuitor.cpp.o"
+  "CMakeFiles/overmatch_matching.dir/bsuitor.cpp.o.d"
+  "CMakeFiles/overmatch_matching.dir/cardinality.cpp.o"
+  "CMakeFiles/overmatch_matching.dir/cardinality.cpp.o.d"
+  "CMakeFiles/overmatch_matching.dir/dp_matcher.cpp.o"
+  "CMakeFiles/overmatch_matching.dir/dp_matcher.cpp.o.d"
+  "CMakeFiles/overmatch_matching.dir/exact.cpp.o"
+  "CMakeFiles/overmatch_matching.dir/exact.cpp.o.d"
+  "CMakeFiles/overmatch_matching.dir/lic.cpp.o"
+  "CMakeFiles/overmatch_matching.dir/lic.cpp.o.d"
+  "CMakeFiles/overmatch_matching.dir/lid.cpp.o"
+  "CMakeFiles/overmatch_matching.dir/lid.cpp.o.d"
+  "CMakeFiles/overmatch_matching.dir/local_search.cpp.o"
+  "CMakeFiles/overmatch_matching.dir/local_search.cpp.o.d"
+  "CMakeFiles/overmatch_matching.dir/matching.cpp.o"
+  "CMakeFiles/overmatch_matching.dir/matching.cpp.o.d"
+  "CMakeFiles/overmatch_matching.dir/metrics.cpp.o"
+  "CMakeFiles/overmatch_matching.dir/metrics.cpp.o.d"
+  "CMakeFiles/overmatch_matching.dir/parallel_local.cpp.o"
+  "CMakeFiles/overmatch_matching.dir/parallel_local.cpp.o.d"
+  "CMakeFiles/overmatch_matching.dir/verify.cpp.o"
+  "CMakeFiles/overmatch_matching.dir/verify.cpp.o.d"
+  "libovermatch_matching.a"
+  "libovermatch_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overmatch_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

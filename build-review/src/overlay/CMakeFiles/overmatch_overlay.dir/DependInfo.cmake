@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/builder.cpp" "src/overlay/CMakeFiles/overmatch_overlay.dir/builder.cpp.o" "gcc" "src/overlay/CMakeFiles/overmatch_overlay.dir/builder.cpp.o.d"
+  "/root/repo/src/overlay/churn.cpp" "src/overlay/CMakeFiles/overmatch_overlay.dir/churn.cpp.o" "gcc" "src/overlay/CMakeFiles/overmatch_overlay.dir/churn.cpp.o.d"
+  "/root/repo/src/overlay/discovery.cpp" "src/overlay/CMakeFiles/overmatch_overlay.dir/discovery.cpp.o" "gcc" "src/overlay/CMakeFiles/overmatch_overlay.dir/discovery.cpp.o.d"
+  "/root/repo/src/overlay/metrics.cpp" "src/overlay/CMakeFiles/overmatch_overlay.dir/metrics.cpp.o" "gcc" "src/overlay/CMakeFiles/overmatch_overlay.dir/metrics.cpp.o.d"
+  "/root/repo/src/overlay/peer.cpp" "src/overlay/CMakeFiles/overmatch_overlay.dir/peer.cpp.o" "gcc" "src/overlay/CMakeFiles/overmatch_overlay.dir/peer.cpp.o.d"
+  "/root/repo/src/overlay/quality.cpp" "src/overlay/CMakeFiles/overmatch_overlay.dir/quality.cpp.o" "gcc" "src/overlay/CMakeFiles/overmatch_overlay.dir/quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/matching/CMakeFiles/overmatch_matching.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/prefs/CMakeFiles/overmatch_prefs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/overmatch_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/overmatch_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/overmatch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

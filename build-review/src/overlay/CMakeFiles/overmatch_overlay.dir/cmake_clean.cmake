@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overmatch_overlay.dir/builder.cpp.o"
+  "CMakeFiles/overmatch_overlay.dir/builder.cpp.o.d"
+  "CMakeFiles/overmatch_overlay.dir/churn.cpp.o"
+  "CMakeFiles/overmatch_overlay.dir/churn.cpp.o.d"
+  "CMakeFiles/overmatch_overlay.dir/discovery.cpp.o"
+  "CMakeFiles/overmatch_overlay.dir/discovery.cpp.o.d"
+  "CMakeFiles/overmatch_overlay.dir/metrics.cpp.o"
+  "CMakeFiles/overmatch_overlay.dir/metrics.cpp.o.d"
+  "CMakeFiles/overmatch_overlay.dir/peer.cpp.o"
+  "CMakeFiles/overmatch_overlay.dir/peer.cpp.o.d"
+  "CMakeFiles/overmatch_overlay.dir/quality.cpp.o"
+  "CMakeFiles/overmatch_overlay.dir/quality.cpp.o.d"
+  "libovermatch_overlay.a"
+  "libovermatch_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overmatch_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

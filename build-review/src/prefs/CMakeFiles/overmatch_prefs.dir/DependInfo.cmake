@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefs/cycles.cpp" "src/prefs/CMakeFiles/overmatch_prefs.dir/cycles.cpp.o" "gcc" "src/prefs/CMakeFiles/overmatch_prefs.dir/cycles.cpp.o.d"
+  "/root/repo/src/prefs/preference_profile.cpp" "src/prefs/CMakeFiles/overmatch_prefs.dir/preference_profile.cpp.o" "gcc" "src/prefs/CMakeFiles/overmatch_prefs.dir/preference_profile.cpp.o.d"
+  "/root/repo/src/prefs/satisfaction.cpp" "src/prefs/CMakeFiles/overmatch_prefs.dir/satisfaction.cpp.o" "gcc" "src/prefs/CMakeFiles/overmatch_prefs.dir/satisfaction.cpp.o.d"
+  "/root/repo/src/prefs/truncation.cpp" "src/prefs/CMakeFiles/overmatch_prefs.dir/truncation.cpp.o" "gcc" "src/prefs/CMakeFiles/overmatch_prefs.dir/truncation.cpp.o.d"
+  "/root/repo/src/prefs/weights.cpp" "src/prefs/CMakeFiles/overmatch_prefs.dir/weights.cpp.o" "gcc" "src/prefs/CMakeFiles/overmatch_prefs.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/overmatch_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/overmatch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

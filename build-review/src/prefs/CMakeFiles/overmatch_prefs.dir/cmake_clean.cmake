@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overmatch_prefs.dir/cycles.cpp.o"
+  "CMakeFiles/overmatch_prefs.dir/cycles.cpp.o.d"
+  "CMakeFiles/overmatch_prefs.dir/preference_profile.cpp.o"
+  "CMakeFiles/overmatch_prefs.dir/preference_profile.cpp.o.d"
+  "CMakeFiles/overmatch_prefs.dir/satisfaction.cpp.o"
+  "CMakeFiles/overmatch_prefs.dir/satisfaction.cpp.o.d"
+  "CMakeFiles/overmatch_prefs.dir/truncation.cpp.o"
+  "CMakeFiles/overmatch_prefs.dir/truncation.cpp.o.d"
+  "CMakeFiles/overmatch_prefs.dir/weights.cpp.o"
+  "CMakeFiles/overmatch_prefs.dir/weights.cpp.o.d"
+  "libovermatch_prefs.a"
+  "libovermatch_prefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overmatch_prefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

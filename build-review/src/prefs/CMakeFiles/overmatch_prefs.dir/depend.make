@@ -1,0 +1,2 @@
+# Empty dependencies file for overmatch_prefs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/overmatch_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/overmatch_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/reliable.cpp" "src/sim/CMakeFiles/overmatch_sim.dir/reliable.cpp.o" "gcc" "src/sim/CMakeFiles/overmatch_sim.dir/reliable.cpp.o.d"
+  "/root/repo/src/sim/threaded_runtime.cpp" "src/sim/CMakeFiles/overmatch_sim.dir/threaded_runtime.cpp.o" "gcc" "src/sim/CMakeFiles/overmatch_sim.dir/threaded_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/overmatch_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/overmatch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

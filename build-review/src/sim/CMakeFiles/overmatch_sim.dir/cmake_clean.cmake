@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overmatch_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/overmatch_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/overmatch_sim.dir/reliable.cpp.o"
+  "CMakeFiles/overmatch_sim.dir/reliable.cpp.o.d"
+  "CMakeFiles/overmatch_sim.dir/threaded_runtime.cpp.o"
+  "CMakeFiles/overmatch_sim.dir/threaded_runtime.cpp.o.d"
+  "libovermatch_sim.a"
+  "libovermatch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overmatch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

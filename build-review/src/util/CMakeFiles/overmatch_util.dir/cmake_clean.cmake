@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overmatch_util.dir/flags.cpp.o"
+  "CMakeFiles/overmatch_util.dir/flags.cpp.o.d"
+  "CMakeFiles/overmatch_util.dir/rng.cpp.o"
+  "CMakeFiles/overmatch_util.dir/rng.cpp.o.d"
+  "CMakeFiles/overmatch_util.dir/stats.cpp.o"
+  "CMakeFiles/overmatch_util.dir/stats.cpp.o.d"
+  "CMakeFiles/overmatch_util.dir/table.cpp.o"
+  "CMakeFiles/overmatch_util.dir/table.cpp.o.d"
+  "CMakeFiles/overmatch_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/overmatch_util.dir/thread_pool.cpp.o.d"
+  "libovermatch_util.a"
+  "libovermatch_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overmatch_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/test_generators.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_generators.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_generators.cpp.o.d"
+  "/root/repo/tests/graph/test_graph.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_graph.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_graph.cpp.o.d"
+  "/root/repo/tests/graph/test_io.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_io.cpp.o.d"
+  "/root/repo/tests/graph/test_properties.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/overmatch_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/overlay/CMakeFiles/overmatch_overlay.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/matching/CMakeFiles/overmatch_matching.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/overmatch_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/prefs/CMakeFiles/overmatch_prefs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/overmatch_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/overmatch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

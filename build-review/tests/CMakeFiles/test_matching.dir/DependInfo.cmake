@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/matching/test_baselines.cpp" "tests/CMakeFiles/test_matching.dir/matching/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/test_baselines.cpp.o.d"
+  "/root/repo/tests/matching/test_bounds.cpp" "tests/CMakeFiles/test_matching.dir/matching/test_bounds.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/test_bounds.cpp.o.d"
+  "/root/repo/tests/matching/test_bsuitor.cpp" "tests/CMakeFiles/test_matching.dir/matching/test_bsuitor.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/test_bsuitor.cpp.o.d"
+  "/root/repo/tests/matching/test_cardinality.cpp" "tests/CMakeFiles/test_matching.dir/matching/test_cardinality.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/test_cardinality.cpp.o.d"
+  "/root/repo/tests/matching/test_exact.cpp" "tests/CMakeFiles/test_matching.dir/matching/test_exact.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/test_exact.cpp.o.d"
+  "/root/repo/tests/matching/test_fuzz_model.cpp" "tests/CMakeFiles/test_matching.dir/matching/test_fuzz_model.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/test_fuzz_model.cpp.o.d"
+  "/root/repo/tests/matching/test_lic.cpp" "tests/CMakeFiles/test_matching.dir/matching/test_lic.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/test_lic.cpp.o.d"
+  "/root/repo/tests/matching/test_lid.cpp" "tests/CMakeFiles/test_matching.dir/matching/test_lid.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/test_lid.cpp.o.d"
+  "/root/repo/tests/matching/test_lid_lossy.cpp" "tests/CMakeFiles/test_matching.dir/matching/test_lid_lossy.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/test_lid_lossy.cpp.o.d"
+  "/root/repo/tests/matching/test_local_search.cpp" "tests/CMakeFiles/test_matching.dir/matching/test_local_search.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/test_local_search.cpp.o.d"
+  "/root/repo/tests/matching/test_matching.cpp" "tests/CMakeFiles/test_matching.dir/matching/test_matching.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/test_matching.cpp.o.d"
+  "/root/repo/tests/matching/test_parallel.cpp" "tests/CMakeFiles/test_matching.dir/matching/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/test_parallel.cpp.o.d"
+  "/root/repo/tests/matching/test_verify.cpp" "tests/CMakeFiles/test_matching.dir/matching/test_verify.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/test_verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/overmatch_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/overlay/CMakeFiles/overmatch_overlay.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/matching/CMakeFiles/overmatch_matching.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/overmatch_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/prefs/CMakeFiles/overmatch_prefs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/overmatch_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/overmatch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

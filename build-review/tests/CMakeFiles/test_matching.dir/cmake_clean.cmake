@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matching.dir/matching/test_baselines.cpp.o"
+  "CMakeFiles/test_matching.dir/matching/test_baselines.cpp.o.d"
+  "CMakeFiles/test_matching.dir/matching/test_bounds.cpp.o"
+  "CMakeFiles/test_matching.dir/matching/test_bounds.cpp.o.d"
+  "CMakeFiles/test_matching.dir/matching/test_bsuitor.cpp.o"
+  "CMakeFiles/test_matching.dir/matching/test_bsuitor.cpp.o.d"
+  "CMakeFiles/test_matching.dir/matching/test_cardinality.cpp.o"
+  "CMakeFiles/test_matching.dir/matching/test_cardinality.cpp.o.d"
+  "CMakeFiles/test_matching.dir/matching/test_exact.cpp.o"
+  "CMakeFiles/test_matching.dir/matching/test_exact.cpp.o.d"
+  "CMakeFiles/test_matching.dir/matching/test_fuzz_model.cpp.o"
+  "CMakeFiles/test_matching.dir/matching/test_fuzz_model.cpp.o.d"
+  "CMakeFiles/test_matching.dir/matching/test_lic.cpp.o"
+  "CMakeFiles/test_matching.dir/matching/test_lic.cpp.o.d"
+  "CMakeFiles/test_matching.dir/matching/test_lid.cpp.o"
+  "CMakeFiles/test_matching.dir/matching/test_lid.cpp.o.d"
+  "CMakeFiles/test_matching.dir/matching/test_lid_lossy.cpp.o"
+  "CMakeFiles/test_matching.dir/matching/test_lid_lossy.cpp.o.d"
+  "CMakeFiles/test_matching.dir/matching/test_local_search.cpp.o"
+  "CMakeFiles/test_matching.dir/matching/test_local_search.cpp.o.d"
+  "CMakeFiles/test_matching.dir/matching/test_matching.cpp.o"
+  "CMakeFiles/test_matching.dir/matching/test_matching.cpp.o.d"
+  "CMakeFiles/test_matching.dir/matching/test_parallel.cpp.o"
+  "CMakeFiles/test_matching.dir/matching/test_parallel.cpp.o.d"
+  "CMakeFiles/test_matching.dir/matching/test_verify.cpp.o"
+  "CMakeFiles/test_matching.dir/matching/test_verify.cpp.o.d"
+  "test_matching"
+  "test_matching.pdb"
+  "test_matching[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay.dir/overlay/test_builder.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/test_builder.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/test_churn.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/test_churn.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/test_discovery.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/test_discovery.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/test_metrics.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/test_metrics.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/test_peer.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/test_peer.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/test_quality.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/test_quality.cpp.o.d"
+  "test_overlay"
+  "test_overlay.pdb"
+  "test_overlay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefs.dir/prefs/test_cycles.cpp.o"
+  "CMakeFiles/test_prefs.dir/prefs/test_cycles.cpp.o.d"
+  "CMakeFiles/test_prefs.dir/prefs/test_preference_profile.cpp.o"
+  "CMakeFiles/test_prefs.dir/prefs/test_preference_profile.cpp.o.d"
+  "CMakeFiles/test_prefs.dir/prefs/test_satisfaction.cpp.o"
+  "CMakeFiles/test_prefs.dir/prefs/test_satisfaction.cpp.o.d"
+  "CMakeFiles/test_prefs.dir/prefs/test_truncation.cpp.o"
+  "CMakeFiles/test_prefs.dir/prefs/test_truncation.cpp.o.d"
+  "CMakeFiles/test_prefs.dir/prefs/test_weights.cpp.o"
+  "CMakeFiles/test_prefs.dir/prefs/test_weights.cpp.o.d"
+  "test_prefs"
+  "test_prefs.pdb"
+  "test_prefs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_event_sim.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_event_sim.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_reliable.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_reliable.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_threaded_runtime.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_threaded_runtime.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_timers.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_timers.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

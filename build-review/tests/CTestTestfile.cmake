@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_util[1]_include.cmake")
+include("/root/repo/build-review/tests/test_graph[1]_include.cmake")
+include("/root/repo/build-review/tests/test_prefs[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_matching[1]_include.cmake")
+include("/root/repo/build-review/tests/test_overlay[1]_include.cmake")
+include("/root/repo/build-review/tests/test_core[1]_include.cmake")
+include("/root/repo/build-review/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-review/tests/test_property[1]_include.cmake")

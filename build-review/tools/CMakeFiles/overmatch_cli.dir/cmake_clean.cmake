@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overmatch_cli.dir/overmatch_cli.cpp.o"
+  "CMakeFiles/overmatch_cli.dir/overmatch_cli.cpp.o.d"
+  "overmatch_cli"
+  "overmatch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overmatch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
