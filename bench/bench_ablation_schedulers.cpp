@@ -16,7 +16,7 @@ void scheduler_table() {
     std::size_t equal = 0;
     std::vector<double> msgs;
     util::StreamingStats vtime;
-    const std::size_t runs = 12;
+    const std::size_t runs = bench::seeds(12);
     for (std::uint64_t seed = 1; seed <= runs; ++seed) {
       auto inst = bench::Instance::make("ba", 100, 6.0, 3, 2024);  // fixed instance
       const auto lic = matching::lic_global(*inst->weights, inst->profile->quotas());
@@ -65,7 +65,9 @@ void threaded_repeatability() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E12", "Scheduler-adversity ablation",
       "Outcome invariance and cost spread of LID under hostile schedules.");

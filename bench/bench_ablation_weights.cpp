@@ -19,7 +19,7 @@ void ablation_table() {
   util::Table t({"weight design", "total satisfaction", "S mean/node",
                  "modified S̄", "blocking pairs", "edges"});
   const char* designs[] = {"paper", "min", "product", "ranksum"};
-  const std::size_t seeds = 10;
+  const std::size_t seeds = bench::seeds(10);
   const std::size_t n = 96;
   for (const char* design : designs) {
     util::StreamingStats sat;
@@ -53,7 +53,7 @@ void random_weights_floor() {
   // much satisfaction the preference-aware designs actually buy.
   util::StreamingStats sat_random;
   util::StreamingStats sat_paper;
-  const std::size_t seeds = 10;
+  const std::size_t seeds = bench::seeds(10);
   for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
     auto inst = bench::Instance::make_mixed_quotas("er", 96, 8.0, 4, seed * 73 + 1);
     util::Rng rng(seed);
@@ -73,7 +73,9 @@ void random_weights_floor() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E10", "Design-choice ablation",
       "The eq.-9 edge-weight design vs. min / product / rank-sum / random.");

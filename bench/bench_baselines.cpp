@@ -20,7 +20,7 @@ void comparison_table() {
       core::Algorithm::kMutualBest, core::Algorithm::kBestReply};
   util::Table t({"algorithm", "weight", "% of LID", "satisfaction", "S mean/node",
                  "blocking pairs", "messages", "converged"});
-  const std::size_t seeds = 8;
+  const std::size_t seeds = bench::seeds(8);
   const std::size_t n = 96;
   // Aggregates per algorithm.
   struct Agg {
@@ -64,7 +64,7 @@ void cyclic_stress_table() {
   // dynamics may then fail to converge while LID always terminates.
   util::Table t({"instance", "rank cycle?", "LID msgs", "LID S", "best-reply edges",
                  "best-reply converged", "mutual-best locked/cap"});
-  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+  for (std::uint64_t seed = 1; seed <= bench::seeds(6); ++seed) {
     auto inst = bench::Instance::make("complete", 14, 13.0, 2, seed * 67 + 9);
     const bool cyclic = prefs::find_rank_cycle(*inst->profile).has_value();
     const auto lid = core::solve(*inst->profile, core::Algorithm::kLidDes);
@@ -94,7 +94,9 @@ void cyclic_stress_table() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E9", "Baseline comparison",
       "LID vs. random-order greedy, mutual-best dynamics, best-reply dynamics.");

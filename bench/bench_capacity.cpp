@@ -23,7 +23,7 @@ void efficiency_table() {
       util::StreamingStats best_sz;
       util::StreamingStats eff;
       util::StreamingStats cap;
-      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      for (std::uint64_t seed = 1; seed <= bench::seeds(6); ++seed) {
         auto inst = bench::Instance::make(topology, 64, 5.0, b, seed * 83 + b);
         const auto greedy = matching::lic_global(*inst->weights,
                                                  inst->profile->quotas());
@@ -84,7 +84,9 @@ void quality_quantity_tradeoff() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E14", "Capacity-efficiency extension",
       "Greedy/LID connection count vs. the exact maximum-cardinality b-matching "

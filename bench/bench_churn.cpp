@@ -20,7 +20,8 @@ void churn_trajectory() {
   util::Table t({"event", "node", "removed", "added", "incr weight", "scratch weight",
                  "gap %", "disruption", "alive satisfaction"});
   std::vector<graph::NodeId> offline;
-  for (int step = 1; step <= 24; ++step) {
+  const int steps = static_cast<int>(bench::scaled(24, 6));
+  for (int step = 1; step <= steps; ++step) {
     overlay::ChurnEvent ev;
     if (!offline.empty() && rng.chance(0.45)) {
       const auto idx = rng.index(offline.size());
@@ -86,7 +87,9 @@ void burst_recovery() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E11", "Dynamicity extension (paper §7 future work)",
       "Incremental repair under churn vs. from-scratch recomputation.");

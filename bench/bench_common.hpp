@@ -5,13 +5,17 @@
 // the seeds are printed, so each row is independently reproducible.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "prefs/preference_profile.hpp"
 #include "prefs/weights.hpp"
+#include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -19,6 +23,131 @@
 #include "util/timer.hpp"
 
 namespace overmatch::bench {
+
+/// Process-wide smoke flag, set by Env's constructor. Series helpers below
+/// read it so bench table functions don't need an Env threaded through.
+inline bool g_smoke = false;
+
+/// Seed-count knob: the full count normally, the reduced one under --smoke.
+inline std::size_t seeds(std::size_t full, std::size_t reduced = 2) {
+  return g_smoke ? std::min(full, reduced) : full;
+}
+/// Size knob: full normally, `reduced` under --smoke.
+inline std::size_t scaled(std::size_t full, std::size_t reduced) {
+  return g_smoke ? reduced : full;
+}
+/// Keep a series point? Smoke mode drops points above the cap.
+inline bool keep(std::size_t n, std::size_t smoke_cap = 128) {
+  return !g_smoke || n <= smoke_cap;
+}
+
+/// Shared bench runtime knobs. Every bench main constructs one from argv:
+/// `--smoke` shrinks all series to a seconds-scale sanity run — that mode is
+/// what the `bench-smoke` ctest label executes, so every bench binary keeps
+/// compiling and running under tier-1 `ctest` instead of bit-rotting.
+class Env {
+ public:
+  Env(int argc, const char* const* argv)
+      : flags_(argc, argv), smoke_(flags_.get_bool("smoke", false)) {
+    g_smoke = smoke_;
+  }
+
+  [[nodiscard]] bool smoke() const noexcept { return smoke_; }
+  [[nodiscard]] const util::Flags& flags() const noexcept { return flags_; }
+
+  /// Series knobs: the full value normally, the reduced one under --smoke.
+  [[nodiscard]] std::size_t seeds(std::size_t full, std::size_t reduced = 2) const {
+    return smoke_ ? std::min(full, reduced) : full;
+  }
+  [[nodiscard]] std::size_t size(std::size_t full, std::size_t reduced = 64) const {
+    return smoke_ ? std::min(full, reduced) : full;
+  }
+  /// Keep a series point? Smoke mode drops points above the cap.
+  [[nodiscard]] bool keep(std::size_t n, std::size_t smoke_cap = 128) const {
+    return !smoke_ || n <= smoke_cap;
+  }
+
+ private:
+  util::Flags flags_;
+  bool smoke_;
+};
+
+/// Machine-readable bench output: one BENCH_<name>.json per bench binary,
+/// schema "overmatch-bench-v1" (documented in EXPERIMENTS.md). Each record
+/// carries the series name, free-form string params, sample count, median and
+/// p90 wall-clock milliseconds, and the thread count. Records with no timing
+/// samples (pure counters) store the value under params and -1 for the
+/// percentiles.
+class JsonReport {
+ public:
+  using Params = std::vector<std::pair<std::string, std::string>>;
+
+  explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  /// Record a timed series point. `samples_ms` holds per-repetition
+  /// wall-clock milliseconds.
+  void add(std::string name, Params params, std::vector<double> samples_ms,
+           std::size_t threads = 1) {
+    Record r;
+    r.name = std::move(name);
+    r.params = std::move(params);
+    r.samples = samples_ms.size();
+    r.median_ms = samples_ms.empty() ? -1.0 : util::percentile(samples_ms, 50.0);
+    r.p90_ms = samples_ms.empty() ? -1.0 : util::percentile(samples_ms, 90.0);
+    r.threads = threads;
+    records_.push_back(std::move(r));
+  }
+
+  /// Write BENCH_<bench>.json into the current directory.
+  void write() const {
+    const std::string path = "BENCH_" + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    OM_CHECK_MSG(f != nullptr, "cannot open bench json for writing");
+    std::fprintf(f, "{\n  \"schema\": \"overmatch-bench-v1\",\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n  \"records\": [", bench_.c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const auto& r = records_[i];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"params\": {",
+                   i == 0 ? "" : ",", r.name.c_str());
+      for (std::size_t p = 0; p < r.params.size(); ++p) {
+        std::fprintf(f, "%s\"%s\": \"%s\"", p == 0 ? "" : ", ",
+                     r.params[p].first.c_str(), r.params[p].second.c_str());
+      }
+      std::fprintf(f,
+                   "}, \"samples\": %zu, \"median_ms\": %.4f, \"p90_ms\": %.4f, "
+                   "\"threads\": %zu}",
+                   r.samples, r.median_ms, r.p90_ms, r.threads);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    Params params;
+    std::size_t samples = 0;
+    double median_ms = -1.0;
+    double p90_ms = -1.0;
+    std::size_t threads = 1;
+  };
+  std::string bench_;
+  std::vector<Record> records_;
+};
+
+/// Run `fn` `reps` times, returning per-repetition wall-clock milliseconds.
+template <typename F>
+[[nodiscard]] std::vector<double> timed_samples(std::size_t reps, F&& fn) {
+  std::vector<double> xs;
+  xs.reserve(reps);
+  for (std::size_t i = 0; i < reps; ++i) {
+    util::WallTimer t;
+    fn();
+    xs.push_back(t.millis());
+  }
+  return xs;
+}
 
 /// A fully-owned random instance (graph + preferences + eq.-9 weights).
 struct Instance {

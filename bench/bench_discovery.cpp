@@ -72,7 +72,9 @@ void rounds_sweep() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E16", "Partial-knowledge extension",
       "Gossip peer sampling feeding the matching layer, vs. full knowledge.");

@@ -96,7 +96,9 @@ void partial_fill_sweep() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E1", "Figure 1",
       "Satisfaction computation example: reconstruction and penalty sweeps.");

@@ -47,7 +47,7 @@ void random_instance_table() {
   for (const char* topology : {"er", "ba", "geo"}) {
     for (const std::uint32_t b : {1u, 2u, 4u, 8u}) {
       util::StreamingStats ratio;
-      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      for (std::uint64_t seed = 1; seed <= bench::seeds(10); ++seed) {
         auto inst = bench::Instance::make(topology, 48, 10.0, b, seed * 7 + b);
         const auto r = core::solve(*inst->profile, core::Algorithm::kLicGlobal);
         for (graph::NodeId v = 0; v < inst->g.num_nodes(); ++v) {
@@ -73,7 +73,9 @@ void random_instance_table() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E2", "Lemma 1 / eq. 8",
       "Static share of satisfaction vs. the proven lower bound 1/2 (1 + 1/b).");

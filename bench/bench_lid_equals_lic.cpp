@@ -25,7 +25,7 @@ void equivalence_table() {
         std::size_t equal = 0;
         util::StreamingStats weight;
         util::StreamingStats msgs;
-        const std::size_t runs = 8;
+        const std::size_t runs = bench::seeds(8);
         for (std::uint64_t seed = 1; seed <= runs; ++seed) {
           auto inst = bench::Instance::make_mixed_quotas(topology, 60, 6.0, b,
                                                          seed * 31 + b);
@@ -54,7 +54,7 @@ void equivalence_table() {
 
 void engine_family_table() {
   util::Table t({"engine", "runs", "equal to LIC", "notes"});
-  const std::size_t runs = 10;
+  const std::size_t runs = bench::seeds(10);
   std::size_t eq_local = 0;
   std::size_t eq_parallel = 0;
   std::size_t eq_threaded = 0;
@@ -87,7 +87,9 @@ void engine_family_table() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E5", "Lemmas 3, 4, 6",
       "Distributed, centralized, parallel and threaded engines pick the same "

@@ -18,7 +18,7 @@ void tiny_with_exact() {
   util::StreamingStats after_ratio;
   util::StreamingStats closed;
   util::StreamingStats swaps;
-  const std::size_t seeds = 15;
+  const std::size_t seeds = bench::seeds(15);
   for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
     auto inst = bench::Instance::make_mixed_quotas("er", 10, 3.0, 3, seed * 101 + 7);
     auto m = matching::lic_global(*inst->weights, inst->profile->quotas());
@@ -50,7 +50,7 @@ void larger_without_exact() {
     util::StreamingStats s1;
     util::StreamingStats swaps;
     util::StreamingStats adds;
-    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    for (std::uint64_t seed = 1; seed <= bench::seeds(6); ++seed) {
       auto inst = bench::Instance::make_mixed_quotas(topology, 96, 8.0, 4,
                                                      seed * 103 + 9);
       auto m = matching::lic_global(*inst->weights, inst->profile->quotas());
@@ -76,7 +76,9 @@ void larger_without_exact() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E15", "Post-processing ablation",
       "True-objective local search on top of the LID matching.");

@@ -17,7 +17,7 @@ void loss_sweep() {
   double baseline_msgs = 0.0;
   {
     util::StreamingStats base;
-    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    for (std::uint64_t seed = 1; seed <= bench::seeds(6); ++seed) {
       auto inst = bench::Instance::make("er", 80, 8.0, 3, seed * 5 + 1);
       base.add(static_cast<double>(
           matching::run_lid(*inst->weights, inst->profile->quotas(),
@@ -33,7 +33,7 @@ void loss_sweep() {
     util::StreamingStats retx;
     util::StreamingStats acks;
     util::StreamingStats vtime;
-    const std::size_t runs = 6;
+    const std::size_t runs = bench::seeds(6);
     for (std::uint64_t seed = 1; seed <= runs; ++seed) {
       auto inst = bench::Instance::make("er", 80, 8.0, 3, seed * 5 + 1);
       const auto lic = matching::lic_global(*inst->weights, inst->profile->quotas());
@@ -65,7 +65,9 @@ void loss_sweep() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E13", "Unreliable-channel extension",
       "Outcome invariance and retransmission cost of LID under message loss.");

@@ -11,22 +11,32 @@
 namespace overmatch {
 namespace {
 
-void series_vs_n() {
+void series_vs_n(bench::JsonReport& json) {
   util::Table t({"n", "m (mean)", "PROP", "REJ", "total", "msgs/edge", "bound 4m"});
   for (const std::size_t n : {32u, 64u, 128u, 256u, 512u}) {
+    if (!bench::keep(n, 64)) continue;
     util::StreamingStats m_edges;
     util::StreamingStats prop;
     util::StreamingStats rej;
     util::StreamingStats total;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::vector<double> run_ms;
+    for (std::uint64_t seed = 1; seed <= bench::seeds(5); ++seed) {
       auto inst = bench::Instance::make("er", n, 8.0, 3, seed * 7 + n);
+      util::WallTimer timer;
       const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
                                        sim::Schedule::kRandomOrder, seed);
+      run_ms.push_back(timer.millis());
       m_edges.add(static_cast<double>(inst->g.num_edges()));
       prop.add(static_cast<double>(r.stats.kind_count(matching::kMsgProp)));
       rej.add(static_cast<double>(r.stats.kind_count(matching::kMsgRej)));
       total.add(static_cast<double>(r.stats.total_sent));
     }
+    json.add("lid_des",
+             {{"n", std::to_string(n)},
+              {"m_mean", util::fmt(m_edges.mean(), 0)},
+              {"msgs_total_mean", util::fmt(total.mean(), 1)},
+              {"msgs_per_edge", util::fmt(total.mean() / m_edges.mean(), 3)}},
+             run_ms, 1);
     t.row()
         .cell(std::int64_t{static_cast<std::int64_t>(n)})
         .cell(m_edges.mean(), 0)
@@ -44,7 +54,7 @@ void series_vs_degree() {
   for (const double d : {4.0, 8.0, 16.0, 32.0}) {
     util::StreamingStats m_edges;
     util::StreamingStats total;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (std::uint64_t seed = 1; seed <= bench::seeds(5); ++seed) {
       auto inst = bench::Instance::make("er", 128, d, 3, seed * 11 + 1);
       const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
                                        sim::Schedule::kRandomOrder, seed);
@@ -68,7 +78,7 @@ void series_vs_quota() {
     util::StreamingStats per_edge;
     util::StreamingStats locked;
     util::StreamingStats capacity_frac;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (std::uint64_t seed = 1; seed <= bench::seeds(5); ++seed) {
       auto inst = bench::Instance::make("er", 128, 16.0, b, seed * 13 + b);
       const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
                                        sim::Schedule::kRandomOrder, seed);
@@ -100,7 +110,7 @@ void schedule_spread() {
         sim::Schedule::kAdversarialDelay}) {
     util::StreamingStats msgs;
     double weight = 0.0;
-    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (std::uint64_t seed = 1; seed <= bench::seeds(8); ++seed) {
       auto inst = bench::Instance::make("er", 96, 8.0, 3, 555);  // same instance
       const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
                                        schedule, seed);
@@ -120,13 +130,17 @@ void schedule_spread() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E6", "Lemma 5 (termination) — protocol cost series",
       "PROP/REJ message complexity of LID across size, density, quota, schedule.");
-  overmatch::series_vs_n();
+  overmatch::bench::JsonReport json("messages");
+  overmatch::series_vs_n(json);
   overmatch::series_vs_degree();
   overmatch::series_vs_quota();
   overmatch::schedule_spread();
+  json.write();
   return 0;
 }

@@ -1,121 +1,174 @@
-// E7 — Scalability: wall-clock of every engine vs. instance size
-// (google-benchmark). Absolute numbers are machine-specific; the shape to
-// reproduce is near-linear O(m log m) growth for the greedy family and the
-// simulator overhead factor of LID-DES over LIC.
-#include <benchmark/benchmark.h>
-
+// E7 — Scalability: wall-clock of every matching engine at overlay scale.
+//
+// The headline series runs every greedy engine on one ~10^6-edge ER instance
+// (the scale the fast-matching-core work targets) and a threads sweep for
+// both parallel engines; a size ladder shows the near-linear O(m log m)
+// growth shape. All engines are asserted to produce the *identical* matching
+// on the big instance — the unique-total-order equivalence, checked at scale.
+//
+// Emits BENCH_scalability.json (schema overmatch-bench-v1, see
+// EXPERIMENTS.md). Flags:
+//   --n=N         headline instance size (default 250000 ≈ 10^6 edges)
+//   --reps=R      repetitions per timing (default 5)
+//   --threads=T   max threads in the sweeps (default 8)
+//   --smoke       tiny sizes for the bench-smoke ctest label
 #include "bench/bench_common.hpp"
-#include "matching/exact.hpp"
+#include "matching/bsuitor.hpp"
 #include "matching/lic.hpp"
 #include "matching/lid.hpp"
+#include "matching/parallel_bsuitor.hpp"
 #include "matching/parallel_local.hpp"
 
 namespace overmatch {
 namespace {
 
-std::unique_ptr<bench::Instance> instance_for(std::size_t n) {
-  return bench::Instance::make("er", n, 8.0, 3, 12345 + n);
-}
+struct Row {
+  std::string name;
+  std::size_t threads;
+  std::vector<double> ms;
+};
 
-void BM_LicGlobal(benchmark::State& state) {
-  const auto inst = instance_for(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    auto m = matching::lic_global(*inst->weights, inst->profile->quotas());
-    benchmark::DoNotOptimize(m.size());
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_LicGlobal)->Range(128, 4096)->Complexity(benchmark::oNLogN);
+void run(bench::Env& env) {
+  bench::JsonReport json("scalability");
+  const std::size_t n =
+      static_cast<std::size_t>(env.flags().get_int("n", env.smoke() ? 2000 : 250000));
+  const std::size_t reps =
+      static_cast<std::size_t>(env.flags().get_int("reps", env.smoke() ? 2 : 5));
+  const std::size_t max_threads =
+      static_cast<std::size_t>(env.flags().get_int("threads", 8));
 
-void BM_LicLocal(benchmark::State& state) {
-  const auto inst = instance_for(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    auto m = matching::lic_local(*inst->weights, inst->profile->quotas(), 1);
-    benchmark::DoNotOptimize(m.size());
-  }
-}
-BENCHMARK(BM_LicLocal)->Range(128, 2048);
+  std::printf("building headline instance (er, n=%zu, avg degree 8, b=3)...\n", n);
+  const auto inst = bench::Instance::make("er", n, 8.0, 3, 12345);
+  const auto& q = inst->profile->quotas();
+  const std::size_t m_edges = inst->g.num_edges();
+  std::printf("n=%zu m=%zu\n\n", inst->g.num_nodes(), m_edges);
+  const bench::JsonReport::Params base = {
+      {"topology", "er"},
+      {"n", std::to_string(inst->g.num_nodes())},
+      {"m", std::to_string(m_edges)},
+      {"quota", "3"}};
 
-void BM_LidDes(benchmark::State& state) {
-  const auto inst = instance_for(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                               sim::Schedule::kRandomOrder, 1);
-    benchmark::DoNotOptimize(r.matching.size());
-  }
-}
-BENCHMARK(BM_LidDes)->Range(128, 2048);
+  std::vector<Row> rows;
+  const auto reference = matching::lic_global(*inst->weights, q);
+  const auto time_engine = [&](const std::string& name, std::size_t threads,
+                               auto&& engine) {
+    // Verify outside the timed region: the equality sweep is harness cost,
+    // not engine cost.
+    std::vector<double> samples;
+    samples.reserve(reps);
+    for (std::size_t i = 0; i < reps; ++i) {
+      util::WallTimer timer;
+      const auto m = engine();
+      samples.push_back(timer.millis());
+      OM_CHECK_MSG(m.same_edges(reference),
+                   "all engines must produce the identical matching");
+    }
+    json.add(name, base, samples, threads);
+    rows.push_back({name, threads, samples});
+  };
 
-// Threads sweep at a fixed instance: reports deliveries/sec so the speedup of
-// the sharded runtime over worker counts is directly measurable.
-void BM_LidThreaded(benchmark::State& state) {
-  const auto inst = instance_for(4096);
-  std::size_t delivered = 0;
-  for (auto _ : state) {
-    auto r = matching::run_lid_threaded(*inst->weights, inst->profile->quotas(),
-                                        static_cast<std::size_t>(state.range(0)));
-    delivered += r.stats.total_delivered;
-    benchmark::DoNotOptimize(r.matching.size());
+  time_engine("lic_global", 1,
+              [&] { return matching::lic_global(*inst->weights, q); });
+  time_engine("lic_local", 1,
+              [&] { return matching::lic_local(*inst->weights, q, 1); });
+  time_engine("b_suitor", 1, [&] { return matching::b_suitor(*inst->weights, q); });
+  for (std::size_t t = 1; t <= max_threads; t *= 2) {
+    time_engine("parallel_b_suitor", t,
+                [&] { return matching::parallel_b_suitor(*inst->weights, q, t); });
   }
-  state.counters["deliveries/s"] = benchmark::Counter(
-      static_cast<double>(delivered), benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_LidThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->UseRealTime();
+  for (std::size_t t = 1; t <= max_threads; t *= 2) {
+    time_engine("parallel_local_dominant", t, [&] {
+      return matching::parallel_local_dominant(*inst->weights, q, t);
+    });
+  }
 
-// Lossy LID on the threaded path (reliable adapter + real-time retransmit
-// timers): wire traffic includes ACKs and retransmissions.
-void BM_LidLossyThreaded(benchmark::State& state) {
-  const auto inst = instance_for(1024);
-  std::size_t delivered = 0;
-  for (auto _ : state) {
-    auto r = matching::run_lid_lossy_threaded(
-        *inst->weights, inst->profile->quotas(), /*loss=*/0.2, /*seed=*/3,
-        static_cast<std::size_t>(state.range(0)));
-    delivered += r.stats.total_delivered;
-    benchmark::DoNotOptimize(r.matching.size());
+  // Weight construction (includes the one-off key sort + incidence CSR that
+  // the per-run numbers above no longer pay).
+  {
+    auto samples = bench::timed_samples(reps, [&] {
+      const auto w = prefs::paper_weights(*inst->profile);
+      if (w.values().empty() && m_edges != 0) std::abort();
+    });
+    json.add("weights_build", base, samples, 1);
+    rows.push_back({"weights_build", 1, samples});
   }
-  state.counters["deliveries/s"] = benchmark::Counter(
-      static_cast<double>(delivered), benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_LidLossyThreaded)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
 
-void BM_ParallelLocal(benchmark::State& state) {
-  const auto inst = instance_for(2048);
-  for (auto _ : state) {
-    auto m = matching::parallel_local_dominant(*inst->weights,
-                                               inst->profile->quotas(),
-                                               static_cast<std::size_t>(state.range(0)));
-    benchmark::DoNotOptimize(m.size());
+  util::Table t({"engine", "threads", "median ms", "p90 ms", "edges/s (median)"});
+  for (const auto& r : rows) {
+    const double med = util::percentile(r.ms, 50.0);
+    t.row()
+        .cell(r.name)
+        .cell(static_cast<std::int64_t>(r.threads))
+        .cell(med, 1)
+        .cell(util::percentile(r.ms, 90.0), 1)
+        .cell(med > 0 ? static_cast<double>(m_edges) / (med / 1e3) : 0.0, 0);
   }
-}
-BENCHMARK(BM_ParallelLocal)->Arg(1)->Arg(2)->Arg(4);
+  t.print("Engine wall-clock at the headline instance:");
 
-void BM_ExactBnB(benchmark::State& state) {
-  const auto inst = bench::Instance::make(
-      "er", static_cast<std::size_t>(state.range(0)), 4.0, 2, 777);
-  for (auto _ : state) {
-    auto m = matching::exact_max_weight_bmatching(*inst->weights,
-                                                  inst->profile->quotas());
-    benchmark::DoNotOptimize(m.size());
+  // Size ladder (shape check: near-linear in m for the greedy family).
+  {
+    util::Table ladder({"n", "m", "lic_global ms", "lic_local ms", "b_suitor ms"});
+    for (const std::size_t ln : {4096u, 16384u, 65536u}) {
+      if (!env.keep(ln, 4096)) continue;
+      if (ln >= n) continue;
+      const auto li = bench::Instance::make("er", ln, 8.0, 3, 12345 + ln);
+      const auto& lq = li->profile->quotas();
+      const auto t_global = bench::timed_samples(
+          reps, [&] { (void)matching::lic_global(*li->weights, lq).size(); });
+      const auto t_local = bench::timed_samples(
+          reps, [&] { (void)matching::lic_local(*li->weights, lq, 1).size(); });
+      const auto t_suitor = bench::timed_samples(
+          reps, [&] { (void)matching::b_suitor(*li->weights, lq).size(); });
+      const bench::JsonReport::Params params = {
+          {"topology", "er"},
+          {"n", std::to_string(li->g.num_nodes())},
+          {"m", std::to_string(li->g.num_edges())},
+          {"quota", "3"}};
+      json.add("ladder_lic_global", params, t_global, 1);
+      json.add("ladder_lic_local", params, t_local, 1);
+      json.add("ladder_b_suitor", params, t_suitor, 1);
+      ladder.row()
+          .cell(static_cast<std::int64_t>(ln))
+          .cell(static_cast<std::int64_t>(li->g.num_edges()))
+          .cell(util::percentile(t_global, 50.0), 1)
+          .cell(util::percentile(t_local, 50.0), 1)
+          .cell(util::percentile(t_suitor, 50.0), 1);
+    }
+    ladder.print("Size ladder (medians):");
   }
-}
-BENCHMARK(BM_ExactBnB)->DenseRange(10, 18, 4);
 
-void BM_WeightConstruction(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(5);
-  static graph::Graph g;
-  g = graph::by_name("er", n, 8.0, rng);
-  const auto profile =
-      prefs::PreferenceProfile::random(g, prefs::uniform_quotas(g, 3), rng);
-  for (auto _ : state) {
-    auto w = prefs::paper_weights(profile);
-    benchmark::DoNotOptimize(w.values().size());
+  // LID over the discrete-event simulator — kept small: the simulator
+  // overhead factor over LIC is the artifact, not raw scale.
+  {
+    const std::size_t lid_n = env.smoke() ? 256 : 2048;
+    const auto li = bench::Instance::make("er", lid_n, 8.0, 3, 777);
+    auto samples = bench::timed_samples(env.smoke() ? 1 : 3, [&] {
+      (void)matching::run_lid(*li->weights, li->profile->quotas(),
+                              sim::Schedule::kRandomOrder, 1)
+          .matching.size();
+    });
+    json.add("lid_des",
+             {{"topology", "er"},
+              {"n", std::to_string(li->g.num_nodes())},
+              {"m", std::to_string(li->g.num_edges())},
+              {"quota", "3"}},
+             samples, 1);
+    std::printf("lid_des (n=%zu): median %.1f ms\n\n", lid_n,
+                util::percentile(samples, 50.0));
   }
+
+  json.write();
 }
-BENCHMARK(BM_WeightConstruction)->Range(256, 4096);
 
 }  // namespace
 }  // namespace overmatch
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  overmatch::bench::Env env(argc, argv);
+  overmatch::bench::print_header(
+      "E7", "Scalability — fast matching core wall-clock",
+      "All engines at ~10^6 edges, threads sweeps, size ladder; emits "
+      "BENCH_scalability.json.");
+  overmatch::run(env);
+  return 0;
+}

@@ -20,7 +20,7 @@ void ratio_table() {
       const std::size_t n = topology == std::string("complete") ? 10 : 16;
       util::StreamingStats ratios;
       util::StreamingStats explored;
-      for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+      for (std::uint64_t seed = 1; seed <= bench::seeds(15); ++seed) {
         auto inst = bench::Instance::make_mixed_quotas(topology, n, 4.0, b,
                                                        seed * 13 + b);
         const auto greedy = matching::lic_global(*inst->weights,
@@ -72,7 +72,9 @@ void adversarial_path_table() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E3", "Theorem 2",
       "LIC is a 1/2-approximation of the many-to-many maximum weighted matching.");

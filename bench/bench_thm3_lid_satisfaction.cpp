@@ -23,7 +23,7 @@ void ratio_table() {
       util::StreamingStats lid_ratio;
       util::StreamingStats w_ratio;
       std::uint32_t bmax_seen = 1;
-      for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      for (std::uint64_t seed = 1; seed <= bench::seeds(12); ++seed) {
         auto inst = bench::Instance::make_mixed_quotas("er", n, 3.0, b,
                                                        seed * 17 + b * 3);
         bmax_seen = std::max(bmax_seen, inst->profile->max_quota());
@@ -74,7 +74,9 @@ void chain_example() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E4", "Theorem 3",
       "LID is a 1/4(1+1/b_max)-approximation of maximizing-satisfaction "

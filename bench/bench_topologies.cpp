@@ -26,7 +26,7 @@ void topology_table() {
     util::StreamingStats comps;
     util::StreamingStats mpe;
     util::StreamingStats deg;
-    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    for (std::uint64_t seed = 1; seed <= bench::seeds(6); ++seed) {
       auto inst = bench::Instance::make(topology, 144, 8.0, 3, seed * 41 + 5);
       deg.add(graph::degree_stats(inst->g).mean);
       const auto r = core::solve(*inst->profile, core::Algorithm::kLidDes);
@@ -72,7 +72,7 @@ void quota_sensitivity() {
     util::StreamingStats util_stat;
     util::StreamingStats ratio;
     util::StreamingStats mpe;
-    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    for (std::uint64_t seed = 1; seed <= bench::seeds(6); ++seed) {
       auto inst = bench::Instance::make("er", 144, 12.0, b, seed * 43 + b);
       const auto r = core::solve(*inst->profile, core::Algorithm::kLidDes);
       const auto sats = matching::node_satisfactions(*inst->profile, r.matching);
@@ -102,7 +102,9 @@ void quota_sensitivity() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E8", "Topology sensitivity",
       "Overlay quality of the LID matching across candidate-graph families.");

@@ -19,7 +19,7 @@ void k_sweep() {
   double full_sat = 0.0;
   {
     util::StreamingStats s;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (std::uint64_t seed = 1; seed <= bench::seeds(5); ++seed) {
       auto inst = bench::Instance::make("er", n, 16.0, quota, seed * 11 + 1);
       s.add(core::solve(*inst->profile, core::Algorithm::kLidDes).satisfaction);
     }
@@ -32,7 +32,7 @@ void k_sweep() {
       util::StreamingStats msgs;
       util::StreamingStats sat;
       util::StreamingStats util_stat;
-      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      for (std::uint64_t seed = 1; seed <= bench::seeds(5); ++seed) {
         auto inst = bench::Instance::make("er", n, 16.0, quota, seed * 11 + 1);
         static graph::Graph reduced;
         reduced = prefs::truncate_candidates(*inst->profile, k, mode);
@@ -78,7 +78,9 @@ void k_sweep() {
 }  // namespace
 }  // namespace overmatch
 
-int main() {
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);  // --smoke support
+  (void)env;
   overmatch::bench::print_header(
       "E17", "Bounded-preference-list ablation",
       "Top-k candidate preselection: quality/traffic vs. shortlist size.");

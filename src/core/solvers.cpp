@@ -7,6 +7,7 @@
 #include "matching/lic.hpp"
 #include "matching/lid.hpp"
 #include "matching/metrics.hpp"
+#include "matching/parallel_bsuitor.hpp"
 #include "matching/parallel_local.hpp"
 
 namespace overmatch::core {
@@ -19,6 +20,7 @@ const char* algorithm_name(Algorithm a) {
     case Algorithm::kLicLocal: return "lic-local";
     case Algorithm::kParallelLocal: return "parallel";
     case Algorithm::kBSuitor: return "bsuitor";
+    case Algorithm::kParallelBSuitor: return "parallel-bsuitor";
     case Algorithm::kLidLocalSearch: return "lid+ls";
     case Algorithm::kRandomGreedy: return "random-greedy";
     case Algorithm::kMutualBest: return "mutual-best";
@@ -41,6 +43,7 @@ const std::vector<Algorithm>& all_algorithms() {
   static const std::vector<Algorithm> kAll = {
       Algorithm::kLicGlobal,      Algorithm::kLicLocal,
       Algorithm::kParallelLocal,  Algorithm::kBSuitor,
+      Algorithm::kParallelBSuitor,
       Algorithm::kLidDes,         Algorithm::kLidThreaded,
       Algorithm::kLidLocalSearch, Algorithm::kRandomGreedy,
       Algorithm::kMutualBest,     Algorithm::kBestReply,
@@ -86,6 +89,9 @@ SolveResult solve_with_weights(const prefs::PreferenceProfile& profile,
       break;
     case Algorithm::kBSuitor:
       m = matching::b_suitor(w, quotas);
+      break;
+    case Algorithm::kParallelBSuitor:
+      m = matching::parallel_b_suitor(w, quotas, options.threads);
       break;
     case Algorithm::kLidLocalSearch: {
       auto r = matching::run_lid(w, quotas, options.schedule, options.seed);

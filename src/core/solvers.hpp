@@ -20,6 +20,7 @@ enum class Algorithm : std::uint8_t {
   kLicLocal,       ///< centralized LIC, local-dominance engine
   kParallelLocal,  ///< shared-memory parallel local dominance
   kBSuitor,        ///< b-suitor bidding (modern comparator; same output)
+  kParallelBSuitor,///< lock-free parallel b-suitor (spinlocked suitor heaps)
   kLidLocalSearch, ///< LID followed by true-objective local search
   kRandomGreedy,   ///< random-order maximal greedy (baseline)
   kMutualBest,     ///< rank-based mutual-best rounds (baseline, Gai et al.)

@@ -33,23 +33,31 @@ bool GraphBuilder::has_edge(NodeId u, NodeId v) const noexcept {
 Graph GraphBuilder::build() && {
   Graph g;
   g.edges_ = std::move(edges_);
-  g.adjacency_ = std::move(adjacency_);
-  for (auto& adj : g.adjacency_) {
+  g.offsets_.resize(adjacency_.size() + 1, 0);
+  for (std::size_t v = 0; v < adjacency_.size(); ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + adjacency_[v].size();
+  }
+  g.adj_.resize(g.offsets_.back());
+  for (std::size_t v = 0; v < adjacency_.size(); ++v) {
+    auto& adj = adjacency_[v];
     std::sort(adj.begin(), adj.end(),
               [](const Adjacency& a, const Adjacency& b) { return a.neighbor < b.neighbor; });
+    std::copy(adj.begin(), adj.end(), g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]));
   }
   return g;
 }
 
 std::size_t Graph::max_degree() const noexcept {
   std::size_t d = 0;
-  for (const auto& adj : adjacency_) d = std::max(d, adj.size());
+  for (std::size_t v = 0; v + 1 < offsets_.size(); ++v) {
+    d = std::max(d, offsets_[v + 1] - offsets_[v]);
+  }
   return d;
 }
 
 EdgeId Graph::find_edge(NodeId u, NodeId v) const noexcept {
-  if (u >= adjacency_.size() || v >= adjacency_.size()) return kInvalidEdge;
-  const auto& adj = adjacency_[u];
+  if (u >= num_nodes() || v >= num_nodes()) return kInvalidEdge;
+  const auto adj = neighbors(u);
   const auto it = std::lower_bound(
       adj.begin(), adj.end(), v,
       [](const Adjacency& a, NodeId target) { return a.neighbor < target; });

@@ -4,6 +4,13 @@
 // are peers, edges are *potential* connections (the paper's E). The structure
 // is immutable after construction; algorithms annotate it externally (weights,
 // matchings) keyed by EdgeId.
+//
+// Storage is CSR (compressed sparse row): one contiguous adjacency array plus
+// an offsets array, frozen at build() time. Compared to per-node
+// std::vector<Adjacency> this removes one pointer hop per neighbourhood
+// access and keeps all 2m adjacency entries cache-adjacent — the matching
+// kernels stream these arrays in their innermost loops. Each node's slice is
+// sorted by neighbour id, so find_edge stays a binary search.
 #pragma once
 
 #include <cstdint>
@@ -64,12 +71,14 @@ class GraphBuilder {
   std::vector<std::vector<Adjacency>> adjacency_;
 };
 
-/// Immutable undirected simple graph.
+/// Immutable undirected simple graph in CSR layout.
 class Graph {
  public:
   Graph() = default;
 
-  [[nodiscard]] std::size_t num_nodes() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
   [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
 
   [[nodiscard]] const Edge& edge(EdgeId e) const {
@@ -79,14 +88,21 @@ class Graph {
   [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
 
   [[nodiscard]] std::span<const Adjacency> neighbors(NodeId v) const {
-    OM_CHECK(v < adjacency_.size());
-    return adjacency_[v];
+    OM_CHECK(v + 1 < offsets_.size());
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
   }
   [[nodiscard]] std::size_t degree(NodeId v) const {
-    OM_CHECK(v < adjacency_.size());
-    return adjacency_[v].size();
+    OM_CHECK(v + 1 < offsets_.size());
+    return offsets_[v + 1] - offsets_[v];
   }
   [[nodiscard]] std::size_t max_degree() const noexcept;
+
+  /// CSR offsets (size num_nodes()+1): node v's adjacency occupies
+  /// [offsets()[v], offsets()[v+1]) of the flat adjacency array. Exposed so
+  /// weight indices can mirror the exact same layout.
+  [[nodiscard]] const std::vector<std::size_t>& offsets() const noexcept {
+    return offsets_;
+  }
 
   /// EdgeId of {u, v}, or kInvalidEdge (binary search over sorted adjacency).
   [[nodiscard]] EdgeId find_edge(NodeId u, NodeId v) const noexcept;
@@ -97,7 +113,8 @@ class Graph {
  private:
   friend class GraphBuilder;
   std::vector<Edge> edges_;
-  std::vector<std::vector<Adjacency>> adjacency_;
+  std::vector<std::size_t> offsets_;  ///< size n+1; offsets_[n] == 2m
+  std::vector<Adjacency> adj_;        ///< flat, per-node slices sorted by neighbour
 };
 
 }  // namespace overmatch::graph

@@ -7,17 +7,21 @@ namespace overmatch::matching {
 namespace {
 
 /// Suitor sets: per node, the ≤ b_v current suitor edges, with the weakest
-/// tracked for O(b) displacement checks (b is small in all our workloads).
+/// *cached* so the admits/admit pair on the same node costs one O(b) scan
+/// instead of two (b is small in all our workloads, but the pair runs on
+/// every proposal). The cache is invalidated on any mutation and rebuilt
+/// lazily on the next weakest() query.
 class SuitorState {
  public:
   SuitorState(const prefs::EdgeWeights& w, const Quotas& quotas)
-      : w_(&w), quotas_(&quotas), suitors_(w.graph().num_nodes()) {}
+      : w_(&w), quotas_(&quotas), suitors_(w.graph().num_nodes()),
+        weakest_idx_(w.graph().num_nodes(), kNoCache) {}
 
   /// Does `e` beat v's weakest suitor (or does v have a free slot)?
   [[nodiscard]] bool admits(NodeId v, EdgeId e) const {
     const auto& s = suitors_[v];
     if (s.size() < (*quotas_)[v]) return true;
-    return w_->heavier(e, weakest(v));
+    return w_->heavier(e, s[weakest_index(v)]);
   }
 
   /// Admit edge e at node v; returns the displaced edge or kInvalidEdge.
@@ -25,10 +29,13 @@ class SuitorState {
     auto& s = suitors_[v];
     if (s.size() < (*quotas_)[v]) {
       s.push_back(e);
+      weakest_idx_[v] = kNoCache;
       return graph::kInvalidEdge;
     }
-    const EdgeId out = weakest(v);
-    *std::find(s.begin(), s.end(), out) = e;
+    const std::size_t idx = weakest_index(v);
+    const EdgeId out = s[idx];
+    s[idx] = e;
+    weakest_idx_[v] = kNoCache;
     return out;
   }
 
@@ -38,19 +45,26 @@ class SuitorState {
   }
 
  private:
-  [[nodiscard]] EdgeId weakest(NodeId v) const {
+  static constexpr std::size_t kNoCache = static_cast<std::size_t>(-1);
+
+  /// Index of v's weakest suitor; cached until the suitor set mutates.
+  [[nodiscard]] std::size_t weakest_index(NodeId v) const {
     const auto& s = suitors_[v];
     OM_CHECK(!s.empty());
-    EdgeId out = s.front();
-    for (const EdgeId e : s) {
-      if (w_->heavier(out, e)) out = e;
+    std::size_t idx = weakest_idx_[v];
+    if (idx != kNoCache) return idx;
+    idx = 0;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      if (w_->heavier(s[idx], s[i])) idx = i;
     }
-    return out;
+    weakest_idx_[v] = idx;
+    return idx;
   }
 
   const prefs::EdgeWeights* w_;
   const Quotas* quotas_;
   std::vector<std::vector<EdgeId>> suitors_;
+  mutable std::vector<std::size_t> weakest_idx_;  ///< kNoCache when stale
 };
 
 }  // namespace
@@ -61,16 +75,10 @@ Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
   OM_CHECK(quotas.size() == g.num_nodes());
   SuitorState suitors(w, quotas);
 
-  // Per-node candidate cursor over incident edges, heaviest first.
-  std::vector<std::vector<EdgeId>> sorted(g.num_nodes());
+  // Per-node candidate cursor over the EdgeWeights incidence index (already
+  // heaviest-first; no per-run copies or sorts).
   std::vector<std::size_t> cursor(g.num_nodes(), 0);
   std::vector<std::uint32_t> bids_held(g.num_nodes(), 0);  // my accepted bids
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    auto& s = sorted[v];
-    s.reserve(g.degree(v));
-    for (const auto& a : g.neighbors(v)) s.push_back(a.edge);
-    std::sort(s.begin(), s.end(), [&w](EdgeId x, EdgeId y) { return w.heavier(x, y); });
-  }
 
   BSuitorInfo stats;
   std::deque<NodeId> work;
@@ -80,8 +88,9 @@ Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
     work.pop_front();
     // u keeps bidding until it holds quota-many accepted bids or runs out of
     // candidates it could still win.
-    while (bids_held[u] < quotas[u] && cursor[u] < sorted[u].size()) {
-      const EdgeId e = sorted[u][cursor[u]];
+    const auto candidates = w.incident(u);
+    while (bids_held[u] < quotas[u] && cursor[u] < candidates.size()) {
+      const EdgeId e = candidates[cursor[u]];
       const NodeId v = g.edge(e).other(u);
       if (!suitors.admits(v, e)) {
         ++cursor[u];

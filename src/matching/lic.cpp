@@ -1,18 +1,15 @@
 #include "matching/lic.hpp"
 
 #include <algorithm>
-#include <deque>
 
 namespace overmatch::matching {
 
 Matching lic_global(const prefs::EdgeWeights& w, const Quotas& quotas) {
   const auto& g = w.graph();
   Matching m(g, quotas);
-  std::vector<EdgeId> order(g.num_edges());
-  for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
-  std::sort(order.begin(), order.end(),
-            [&w](EdgeId a, EdgeId b) { return w.heavier(a, b); });
-  for (const EdgeId e : order) {
+  // The heaviest-first order is precomputed at EdgeWeights construction; the
+  // old per-run O(m log m) sort is gone.
+  for (const EdgeId e : w.by_weight()) {
     if (m.can_add(e)) m.add(e);
   }
   return m;
@@ -20,26 +17,18 @@ Matching lic_global(const prefs::EdgeWeights& w, const Quotas& quotas) {
 
 namespace {
 
-/// Incident-edge index: for every node, its edges sorted heaviest-first with
-/// a head cursor that skips edges that became unavailable.
+/// Incident-edge cursors over the EdgeWeights CSR incidence index: for every
+/// node, a head cursor into its pre-sorted (heaviest-first) incident edges
+/// that skips edges that became unavailable.
 class IncidenceIndex {
  public:
   IncidenceIndex(const prefs::EdgeWeights& w, const Matching& m)
-      : w_(&w), m_(&m), sorted_(w.graph().num_nodes()), head_(w.graph().num_nodes(), 0) {
-    const auto& g = w.graph();
-    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-      auto& s = sorted_[v];
-      s.reserve(g.degree(v));
-      for (const auto& a : g.neighbors(v)) s.push_back(a.edge);
-      std::sort(s.begin(), s.end(),
-                [&w](EdgeId x, EdgeId y) { return w.heavier(x, y); });
-    }
-  }
+      : w_(&w), m_(&m), head_(w.graph().num_nodes(), 0) {}
 
   /// Heaviest edge at v that is still addable, or kInvalidEdge.
   [[nodiscard]] EdgeId top(graph::NodeId v) {
     auto& h = head_[v];
-    const auto& s = sorted_[v];
+    const auto s = w_->incident(v);
     while (h < s.size() && !m_->can_add(s[h])) ++h;
     return h < s.size() ? s[h] : graph::kInvalidEdge;
   }
@@ -47,7 +36,6 @@ class IncidenceIndex {
  private:
   const prefs::EdgeWeights* w_;
   const Matching* m_;
-  std::vector<std::vector<EdgeId>> sorted_;
   std::vector<std::size_t> head_;
 };
 
@@ -59,42 +47,56 @@ Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
   Matching m(g, quotas);
   IncidenceIndex index(w, m);
 
-  // Candidate pool seeded with every edge in a shuffled order; an edge is
-  // selected when it is the top available edge of both endpoints. Selections
-  // can promote other edges to local dominance, so endpoints' new tops are
-  // re-enqueued after every change. The queued[] flag keeps each edge in the
-  // queue at most once: every neighbour scan promotes the same top edge, and
-  // without the flag the queue balloons to O(edges × rounds) duplicates.
-  std::vector<EdgeId> pool(g.num_edges());
-  for (EdgeId e = 0; e < g.num_edges(); ++e) pool[e] = e;
-  util::Rng rng(scan_seed);
-  rng.shuffle(pool);
-  std::deque<EdgeId> candidates(pool.begin(), pool.end());
-  std::vector<char> queued(g.num_edges(), 1);
+  // Candidate queue seeded with every node's top available edge, visiting
+  // nodes in a seeded arbitrary order. A locally-dominant edge is by
+  // definition the top of both endpoints, so seeding with tops (rather than
+  // the full edge set) loses no candidate and cuts the initial queue from m
+  // to ≤ n entries. An edge is selected when it is the top available edge of
+  // both endpoints. Selections can promote other edges to local dominance,
+  // so endpoints' new tops are re-enqueued after every change. The queued[]
+  // flag keeps each edge in the queue at most once: every neighbour scan
+  // promotes the same top edge, and without the flag the queue balloons to
+  // O(edges × rounds) duplicates. The queue is a flat vector with a head
+  // cursor — total enqueues are bounded, and pop is one index increment.
+  std::vector<EdgeId> candidates;
+  candidates.reserve(g.num_nodes());
+  std::size_t head = 0;
+  std::vector<char> queued(g.num_edges(), 0);
 
   LicLocalStats local_stats;
-  local_stats.peak_queue = candidates.size();
   const auto enqueue = [&](EdgeId e) {
     if (e == graph::kInvalidEdge || queued[e] != 0) return;
     queued[e] = 1;
     candidates.push_back(e);
-    local_stats.peak_queue = std::max(local_stats.peak_queue, candidates.size());
+    local_stats.peak_queue =
+        std::max(local_stats.peak_queue, candidates.size() - head);
   };
 
-  while (!candidates.empty()) {
-    const EdgeId e = candidates.front();
-    candidates.pop_front();
+  std::vector<graph::NodeId> order(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) order[v] = v;
+  util::Rng rng(scan_seed);
+  rng.shuffle(order);
+  for (const graph::NodeId v : order) enqueue(index.top(v));
+
+  while (head < candidates.size()) {
+    const EdgeId e = candidates[head++];
     queued[e] = 0;
     ++local_stats.pops;
     if (!m.can_add(e)) continue;
     const auto& [u, v] = g.edge(e);
     if (index.top(u) != e || index.top(v) != e) continue;  // not locally heaviest now
     m.add(e);
-    // Availability changed around u and v: their (and their neighbours')
-    // current tops are fresh candidates.
+    // Availability changed around u and v: their own tops advance past e, and
+    // a *neighbour's* top can only have changed if its head edge became
+    // unavailable — which requires the far endpoint to have just saturated
+    // (selecting e blocks no edge other than e itself). Each node saturates
+    // at most once, so the neighbour rescans total O(m) over the whole run
+    // instead of O(m·b). Same rule as the parallel frontier re-activation.
     for (const graph::NodeId x : {u, v}) {
       enqueue(index.top(x));
-      for (const auto& a : g.neighbors(x)) enqueue(index.top(a.neighbor));
+      if (m.load(x) == m.quota(x)) {
+        for (const auto& a : g.neighbors(x)) enqueue(index.top(a.neighbor));
+      }
     }
   }
   OM_CHECK_MSG(m.is_maximal(), "lic_local must produce a maximal b-matching");

@@ -35,9 +35,11 @@ struct LicLocalStats {
   std::size_t peak_queue = 0;  ///< high-water mark of the candidate queue
 };
 
-/// Local-dominance engine: processes candidate edges in a seeded arbitrary
-/// order, selecting an edge whenever it is the heaviest *available* edge at
-/// both endpoints (= locally heaviest, eq. 13's recursive definition).
+/// Local-dominance engine: seeds a candidate queue with every node's top
+/// available edge (visiting nodes in a seeded arbitrary order) and selects
+/// an edge whenever it is the heaviest *available* edge at both endpoints
+/// (= locally heaviest, eq. 13's recursive definition). Selections re-enqueue
+/// the fresh tops around both endpoints, so no dominant edge is ever missed.
 /// Each edge appears in the candidate queue at most once at a time.
 [[nodiscard]] Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
                                  std::uint64_t scan_seed,

@@ -1,0 +1,215 @@
+#include "matching/parallel_bsuitor.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace overmatch::matching {
+namespace {
+
+using prefs::EdgeWeights;
+
+/// Minimal test-and-set spinlock. Contention is rare (two threads touching
+/// the same node), so spinning with a yield beats a futex round-trip.
+class SpinLock {
+ public:
+  void lock() noexcept {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  void unlock() noexcept { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// Concurrent suitor heaps for all nodes in one slab. Node v's heap lives in
+/// heap_[off_[v] .. off_[v] + count_[v]) with the *weakest* suitor (largest
+/// key) at the root; all per-node operations must run under that node's
+/// suitor lock.
+class SuitorHeaps {
+ public:
+  SuitorHeaps(const EdgeWeights& w, const Quotas& quotas)
+      : w_(&w), off_(w.graph().num_nodes() + 1, 0) {
+    const auto& g = w.graph();
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      // A node can hold at most min(quota, degree) suitors.
+      off_[v + 1] = off_[v] + std::min<std::size_t>(quotas[v], g.degree(v));
+    }
+    heap_.assign(off_.back(), graph::kInvalidEdge);
+    count_.assign(g.num_nodes(), 0);
+  }
+
+  /// Would v admit e right now? One integer compare once the heap is full.
+  [[nodiscard]] bool admits(NodeId v, EdgeId e, std::uint32_t quota) const {
+    if (count_[v] < quota && count_[v] < capacity(v)) return true;
+    if (capacity(v) == 0) return false;
+    return w_->key(e) < w_->key(heap_[off_[v]]);  // beats the weakest (root)
+  }
+
+  /// Admit e at v; returns the displaced edge or kInvalidEdge. Caller must
+  /// have checked admits() under the same lock acquisition.
+  EdgeId admit(NodeId v, EdgeId e) {
+    EdgeId* h = heap_.data() + off_[v];
+    std::size_t& cnt = count_[v];
+    if (cnt < capacity(v)) {
+      h[cnt] = e;
+      sift_up(h, cnt);
+      ++cnt;
+      return graph::kInvalidEdge;
+    }
+    const EdgeId out = h[0];
+    h[0] = e;
+    sift_down(h, cnt, 0);
+    return out;
+  }
+
+  [[nodiscard]] bool holds(NodeId v, EdgeId e) const {
+    const EdgeId* h = heap_.data() + off_[v];
+    for (std::size_t i = 0; i < count_[v]; ++i) {
+      if (h[i] == e) return true;
+    }
+    return false;
+  }
+
+ private:
+  [[nodiscard]] std::size_t capacity(NodeId v) const { return off_[v + 1] - off_[v]; }
+  // Max-heap on key (weakest edge = largest key at the root).
+  [[nodiscard]] bool above(EdgeId a, EdgeId b) const {
+    return w_->key(a) > w_->key(b);
+  }
+  void sift_up(EdgeId* h, std::size_t i) const {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!above(h[i], h[parent])) break;
+      std::swap(h[i], h[parent]);
+      i = parent;
+    }
+  }
+  void sift_down(EdgeId* h, std::size_t n, std::size_t i) const {
+    for (;;) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && above(h[l], h[best])) best = l;
+      if (r < n && above(h[r], h[best])) best = r;
+      if (best == i) return;
+      std::swap(h[i], h[best]);
+      i = best;
+    }
+  }
+
+  const EdgeWeights* w_;
+  std::vector<std::size_t> off_;
+  std::vector<EdgeId> heap_;
+  std::vector<std::size_t> count_;
+};
+
+}  // namespace
+
+Matching parallel_b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
+                           std::size_t threads, ParallelBSuitorInfo* info) {
+  const auto& g = w.graph();
+  const std::size_t n = g.num_nodes();
+  OM_CHECK(quotas.size() == n);
+  OM_CHECK(threads >= 1);
+
+  SuitorHeaps suitors(w, quotas);
+  std::vector<SpinLock> suitor_lock(n);
+  std::vector<SpinLock> bid_lock(n);
+  // cursor[u] is only touched while holding bid_lock[u]; bids_held is
+  // mutated lock-free by displacing threads.
+  std::vector<std::size_t> cursor(n, 0);
+  std::vector<std::atomic<std::uint32_t>> bids_held(n);
+  for (auto& b : bids_held) b.store(0, std::memory_order_relaxed);
+
+  // Work-stealing over node ranges: threads repeatedly claim the next chunk
+  // of nodes from a shared counter, so load imbalance (hub nodes, displaced
+  // cascades) self-corrects without a scheduler.
+  constexpr std::size_t kChunk = 128;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> total_proposals{0};
+  std::atomic<std::size_t> total_displacements{0};
+  std::atomic<std::size_t> total_claims{0};
+
+  const auto worker = [&] {
+    std::size_t proposals = 0;
+    std::size_t displacements = 0;
+    std::size_t claims = 0;
+    std::vector<NodeId> pending;  // displaced losers, processed locally
+
+    const auto process = [&](NodeId u) {
+      bid_lock[u].lock();
+      const auto candidates = w.incident(u);
+      const std::uint32_t qu = quotas[u];
+      while (bids_held[u].load(std::memory_order_relaxed) < qu &&
+             cursor[u] < candidates.size()) {
+        const EdgeId e = candidates[cursor[u]];
+        const NodeId v = g.edge(e).other(u);
+        // Check + admit under one suitor-lock acquisition (no TOCTOU).
+        EdgeId displaced = graph::kInvalidEdge;
+        bool accepted = false;
+        suitor_lock[v].lock();
+        if (suitors.admits(v, e, quotas[v])) {
+          displaced = suitors.admit(v, e);
+          accepted = true;
+        }
+        suitor_lock[v].unlock();
+        ++cursor[u];
+        if (!accepted) continue;  // v's suitors only get heavier: skip for good
+        ++proposals;
+        bids_held[u].fetch_add(1, std::memory_order_relaxed);
+        if (displaced != graph::kInvalidEdge) {
+          ++displacements;
+          const NodeId loser = g.edge(displaced).other(v);
+          bids_held[loser].fetch_sub(1, std::memory_order_relaxed);
+          pending.push_back(loser);  // re-bid for a replacement slot
+        }
+      }
+      bid_lock[u].unlock();
+    };
+
+    for (;;) {
+      if (!pending.empty()) {
+        const NodeId u = pending.back();
+        pending.pop_back();
+        process(u);
+        continue;
+      }
+      const std::size_t begin = next.fetch_add(kChunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      ++claims;
+      const std::size_t end = std::min(begin + kChunk, n);
+      for (std::size_t v = begin; v < end; ++v) process(static_cast<NodeId>(v));
+    }
+    total_proposals.fetch_add(proposals, std::memory_order_relaxed);
+    total_displacements.fetch_add(displacements, std::memory_order_relaxed);
+    total_claims.fetch_add(claims, std::memory_order_relaxed);
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  // Matched edges are mutual suitor relationships (read-only post-pass; all
+  // workers have joined, so no locks are needed).
+  Matching m(g, quotas);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& [u, v] = g.edge(e);
+    if (suitors.holds(u, e) && suitors.holds(v, e)) m.add(e);
+  }
+  if (info != nullptr) {
+    info->proposals = total_proposals.load();
+    info->displacements = total_displacements.load();
+    info->range_claims = total_claims.load();
+  }
+  return m;
+}
+
+}  // namespace overmatch::matching

@@ -1,0 +1,46 @@
+// Shared-memory parallel b-Suitor (Khan–Pothen style) for ½-approximate
+// maximum weight b-matching.
+//
+// Threads claim contiguous node ranges from a shared atomic counter
+// (work-stealing over ranges: a fast thread simply claims more ranges) and
+// run the bidding loop for each claimed node. Per-node state is protected by
+// two arrays of spinlocks:
+//  * a *suitor* lock guarding node v's suitor heap — held only for the O(log b)
+//    admit check + insertion, never while acquiring another lock;
+//  * a *bid* lock serializing the bidding loop of a single node (a node can be
+//    displaced concurrently from two different partners and must not be
+//    re-processed by two threads at once).
+// Lock acquisition order is bid(u) → suitor(v) with suitor locks never
+// nested, so the wait-for graph is acyclic and deadlock-free. Displaced
+// losers go to the displacing thread's local stack — work is conserved
+// without any global queue or mutex.
+//
+// Each node's suitor set is a small binary heap keyed by the precomputed
+// 64-bit weight keys with the *weakest* suitor at the root, so the
+// admit-or-reject decision is one integer compare and displacement is
+// O(log b). Because the weight order is a strict total order, the b-Suitor
+// fixed point is unique: the parallel run produces the *identical* matching
+// to the sequential `b_suitor` (and to LIC/LID) regardless of thread
+// interleaving — tests and the TSan stress suite verify this.
+#pragma once
+
+#include <cstddef>
+
+#include "matching/matching.hpp"
+#include "prefs/weights.hpp"
+
+namespace overmatch::matching {
+
+struct ParallelBSuitorInfo {
+  std::size_t proposals = 0;     ///< accepted bids across all threads
+  std::size_t displacements = 0; ///< bids that knocked out a weaker suitor
+  std::size_t range_claims = 0;  ///< node ranges claimed from the shared counter
+};
+
+/// Runs the parallel b-suitor on `threads` workers. Produces the same
+/// matching as sequential b_suitor for any thread count and interleaving.
+[[nodiscard]] Matching parallel_b_suitor(const prefs::EdgeWeights& w,
+                                         const Quotas& quotas, std::size_t threads,
+                                         ParallelBSuitorInfo* info = nullptr);
+
+}  // namespace overmatch::matching

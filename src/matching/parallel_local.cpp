@@ -1,7 +1,6 @@
 #include "matching/parallel_local.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "util/thread_pool.hpp"
 
@@ -10,64 +9,105 @@ namespace overmatch::matching {
 Matching parallel_local_dominant(const prefs::EdgeWeights& w, const Quotas& quotas,
                                  std::size_t threads, ParallelRunInfo* info_out) {
   const auto& g = w.graph();
+  const std::size_t n = g.num_nodes();
   Matching m(g, quotas);
 
-  // Per-node incident edges, heaviest first, with a head cursor.
-  std::vector<std::vector<EdgeId>> sorted(g.num_nodes());
-  std::vector<std::size_t> head(g.num_nodes(), 0);
-  {
-    util::ThreadPool pool(threads);
-    pool.parallel_for(g.num_nodes(), [&](std::size_t begin, std::size_t end) {
-      for (std::size_t v = begin; v < end; ++v) {
-        auto& s = sorted[v];
-        s.reserve(g.degree(static_cast<NodeId>(v)));
-        for (const auto& a : g.neighbors(static_cast<NodeId>(v))) s.push_back(a.edge);
-        std::sort(s.begin(), s.end(),
-                  [&w](EdgeId x, EdgeId y) { return w.heavier(x, y); });
+  // Head cursors into the EdgeWeights incidence index (pre-sorted heaviest
+  // first at weight-construction time — no per-run copies or sorts).
+  std::vector<std::size_t> head(n, 0);
+  std::vector<EdgeId> top(n, graph::kInvalidEdge);
+
+  // Active-node frontier. A node leaves the frontier when its top pointer is
+  // confirmed unmirrored; it re-enters only when an adjacent selection can
+  // have invalidated its top: it gained a matched edge itself, or a
+  // neighbour saturated (erasing edges from under the pointer). Exhausted
+  // nodes (top == kInvalidEdge) never re-enter — availability only shrinks.
+  std::vector<NodeId> frontier(n);
+  for (std::size_t v = 0; v < n; ++v) frontier[v] = static_cast<NodeId>(v);
+  std::vector<char> in_frontier(n, 1);
+  std::vector<NodeId> next_frontier;
+  std::vector<char> in_next(n, 0);
+
+  util::ThreadPool pool(threads);
+  // Per-chunk pick buffers: parallel_for_chunks hands every task a distinct
+  // chunk slot, so phase 2 collects mirrored edges without any lock.
+  std::vector<std::vector<EdgeId>> picks(pool.num_chunks(n));
+
+  std::size_t rounds = 0;
+  while (!frontier.empty()) {
+    ++rounds;
+    // Phase 1: recompute top pointers for frontier nodes only. Each node is
+    // written by exactly one task; `m` is only read.
+    pool.parallel_for(frontier.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const NodeId v = frontier[i];
+        auto& h = head[v];
+        const auto s = w.incident(v);
+        while (h < s.size() && !m.can_add(s[h])) ++h;
+        top[v] = h < s.size() ? s[h] : graph::kInvalidEdge;
       }
     });
+    // Phase 2: mirrored pointers are locally heaviest edges. Reads only;
+    // each task appends to its own chunk buffer (no pick mutex). An edge
+    // can newly mirror only if at least one endpoint is in the frontier, so
+    // scanning frontier nodes is exhaustive; when both endpoints are in the
+    // frontier the smaller one claims, otherwise the frontier one does —
+    // each mirrored edge is emitted exactly once.
+    const std::size_t nchunks = pool.num_chunks(frontier.size());
+    for (std::size_t c = 0; c < nchunks; ++c) picks[c].clear();
+    pool.parallel_for_chunks(
+        frontier.size(), [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          auto& local = picks[chunk];
+          for (std::size_t i = begin; i < end; ++i) {
+            const NodeId v = frontier[i];
+            const EdgeId e = top[v];
+            if (e == graph::kInvalidEdge) continue;
+            const auto& edge = g.edge(e);
+            const NodeId other = edge.other(v);
+            if (top[other] != e) continue;
+            if (v != edge.u && in_frontier[edge.u] != 0) continue;
+            local.push_back(e);
+          }
+        });
 
-    std::vector<EdgeId> top(g.num_nodes(), graph::kInvalidEdge);
-    std::mutex pick_mu;
-    std::vector<EdgeId> picked;
-    std::size_t rounds = 0;
-    for (;;) {
-      ++rounds;
-      // Phase 1: pointer computation. Each node is written by exactly one
-      // task; `m` is only read.
-      pool.parallel_for(g.num_nodes(), [&](std::size_t begin, std::size_t end) {
-        for (std::size_t v = begin; v < end; ++v) {
-          auto& h = head[v];
-          const auto& s = sorted[v];
-          while (h < s.size() && !m.can_add(s[h])) ++h;
-          top[v] = h < s.size() ? s[h] : graph::kInvalidEdge;
+    // Commit + frontier construction (sequential; mirrored edges are
+    // endpoint-disjoint because each node has a unique top pointer).
+    next_frontier.clear();
+    const auto activate = [&](NodeId x) {
+      if (in_next[x] != 0) return;
+      // Skip permanently exhausted nodes.
+      if (head[x] >= w.incident(x).size() && top[x] == graph::kInvalidEdge) return;
+      in_next[x] = 1;
+      next_frontier.push_back(x);
+    };
+    std::size_t committed = 0;
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      for (const EdgeId e : picks[c]) {
+        m.add(e);
+        ++committed;
+        const auto& edge = g.edge(e);
+        for (const NodeId p : {edge.u, edge.v}) {
+          activate(p);
+          // A saturated endpoint erases its remaining edges from every
+          // neighbour's candidate list: wake the neighbours whose top now
+          // dangles. Each node saturates at most once, so this extra wake
+          // work is O(m) over the whole run.
+          if (m.residual(p) == 0) {
+            for (const auto& a : g.neighbors(p)) activate(a.neighbor);
+          }
         }
-      });
-      // Phase 2: mirrored pointers are locally heaviest edges. Reads only;
-      // picks are collected under a lock (short critical sections).
-      picked.clear();
-      pool.parallel_for(g.num_nodes(), [&](std::size_t begin, std::size_t end) {
-        std::vector<EdgeId> local;
-        for (std::size_t v = begin; v < end; ++v) {
-          const EdgeId e = top[v];
-          if (e == graph::kInvalidEdge) continue;
-          const auto& edge = g.edge(e);
-          // Claim from the smaller endpoint so each mirrored edge is picked once.
-          if (edge.u != static_cast<NodeId>(v)) continue;
-          if (top[edge.v] == e) local.push_back(e);
-        }
-        if (!local.empty()) {
-          std::lock_guard lk(pick_mu);
-          picked.insert(picked.end(), local.begin(), local.end());
-        }
-      });
-      if (picked.empty()) break;
-      // Sequential commit: mirrored edges are endpoint-disjoint, so each add
-      // is independently valid.
-      for (const EdgeId e : picked) m.add(e);
+      }
     }
-    if (info_out != nullptr) info_out->rounds = rounds;
+    if (committed == 0) break;
+    frontier.swap(next_frontier);
+    // Clear the old frontier's flags first: a node can be in both rounds.
+    for (const NodeId v : next_frontier) in_frontier[v] = 0;
+    for (const NodeId v : frontier) {
+      in_next[v] = 0;
+      in_frontier[v] = 1;
+    }
   }
+  if (info_out != nullptr) info_out->rounds = rounds;
   OM_CHECK_MSG(m.is_maximal(), "parallel matcher must produce a maximal b-matching");
   return m;
 }

@@ -1,12 +1,21 @@
 // Shared-memory parallel b-matching via mirror-pointer local dominance
 // (Manne–Bisseling style), the hpc-parallel counterpart of LIC/LID.
 //
-// Synchronized rounds: (1) every unsaturated node computes, in parallel, a
+// Synchronized rounds: (1) every *active* node computes, in parallel, a
 // pointer to its heaviest still-addable incident edge; (2) every edge whose
 // two endpoints both point at it (a "mirrored" = locally heaviest edge) is
 // selected. Selections per round are endpoint-disjoint by construction, so
 // the phase is race-free. Rounds repeat until no pointer is mirrored, which
 // happens exactly when the matching is maximal.
+//
+// Performance architecture (DESIGN.md §7): instead of rescanning all n nodes
+// per round, an active-node frontier tracks exactly the nodes whose top
+// pointer may have been invalidated by the previous round's selections
+// (selection endpoints, plus all neighbours of endpoints that saturated).
+// Mirrored picks are collected into per-chunk buffers handed out by
+// ThreadPool::parallel_for_chunks and merged sequentially — no pick mutex.
+// Candidate edges come pre-sorted from the EdgeWeights incidence index, so
+// no per-run adjacency copies or sorts are made.
 //
 // With unique weights this computes the same matching as LIC and LID
 // (verified by tests and bench E5) — an executable witness that the paper's

@@ -9,15 +9,36 @@ namespace overmatch::prefs {
 EdgeWeights::EdgeWeights(const Graph& g, std::vector<double> w)
     : graph_(&g), w_(std::move(w)) {
   OM_CHECK(w_.size() == g.num_edges());
-}
+  const std::size_t m = w_.size();
 
-bool EdgeWeights::heavier(EdgeId a, EdgeId b) const {
-  OM_CHECK(a < w_.size() && b < w_.size());
-  if (w_[a] != w_[b]) return w_[a] > w_[b];
-  const auto& ea = graph_->edge(a);
-  const auto& eb = graph_->edge(b);
-  if (ea.u != eb.u) return ea.u < eb.u;
-  return ea.v < eb.v;
+  // Dense weight keys: sort all edges once by the strict heavier order
+  // (weight desc, then smaller endpoint pair) and record each edge's rank.
+  // One O(m log m) sort at construction buys O(1) integer comparators for
+  // every greedy run against these weights.
+  order_.resize(m);
+  for (EdgeId e = 0; e < m; ++e) order_[e] = e;
+  std::sort(order_.begin(), order_.end(), [this](EdgeId a, EdgeId b) {
+    if (w_[a] != w_[b]) return w_[a] > w_[b];
+    const auto& ea = graph_->edge(a);
+    const auto& eb = graph_->edge(b);
+    if (ea.u != eb.u) return ea.u < eb.u;
+    return ea.v < eb.v;
+  });
+  key_.resize(m);
+  for (std::size_t r = 0; r < m; ++r) key_[order_[r]] = static_cast<Key>(r);
+
+  // Incidence CSR sorted heaviest-first: appending each edge to both
+  // endpoints in global heaviest-first order fills every node's slice
+  // already sorted — O(n + m), no per-node sorts.
+  inc_offsets_ = g.offsets();
+  inc_.resize(inc_offsets_.empty() ? 0 : inc_offsets_.back());
+  std::vector<std::size_t> fill(inc_offsets_.begin(),
+                                inc_offsets_.end() - (inc_offsets_.empty() ? 0 : 1));
+  for (const EdgeId e : order_) {
+    const auto& [u, v] = g.edge(e);
+    inc_[fill[u]++] = e;
+    inc_[fill[v]++] = e;
+  }
 }
 
 double EdgeWeights::total(const std::vector<EdgeId>& edges) const {

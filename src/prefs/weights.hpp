@@ -8,6 +8,8 @@
 // strict total order on edges: (weight, u, v) compared lexicographically.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,11 +20,31 @@
 namespace overmatch::prefs {
 
 using graph::EdgeId;
+using graph::NodeId;
 
 /// Edge weights plus the strict total "heavier-than" order all greedy
 /// algorithms share.
+///
+/// Performance architecture (DESIGN.md §7): construction precomputes
+///  * one 64-bit totally-ordered *weight key* per edge — the edge's dense
+///    rank under (weight desc, u, v) — so every comparator in the greedy
+///    kernels is a single integer compare instead of a double compare plus
+///    endpoint tie-breaking. Key order ≡ heavier order exactly (smaller key
+///    = heavier edge); a property test asserts the equivalence. 64 bits
+///    cannot hold the raw weight bits *and* two 32-bit endpoint ids, so the
+///    key is the rank of the (weight-bits, u, v) triple rather than a packed
+///    encoding — the order is identical.
+///  * the global heaviest-first edge order (by_weight), which lic_global
+///    sweeps directly instead of re-sorting all edges per run, and
+///  * a CSR incidence index mirroring the graph's layout with every node's
+///    incident edges pre-sorted heaviest-first (incident), so LIC-local,
+///    b-Suitor and the parallel matchers stop building and sorting per-run
+///    adjacency copies.
 class EdgeWeights {
  public:
+  /// 64-bit totally ordered weight key; smaller key = heavier edge.
+  using Key = std::uint64_t;
+
   EdgeWeights(const Graph& g, std::vector<double> w);
 
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
@@ -32,10 +54,29 @@ class EdgeWeights {
   }
   [[nodiscard]] const std::vector<double>& values() const noexcept { return w_; }
 
+  /// The edge's precomputed weight key. key(a) < key(b) ⇔ heavier(a, b).
+  [[nodiscard]] Key key(EdgeId e) const {
+    OM_CHECK(e < key_.size());
+    return key_[e];
+  }
+  [[nodiscard]] const std::vector<Key>& keys() const noexcept { return key_; }
+
   /// Strict total order: true iff edge a is heavier than edge b. Ties in
   /// numeric weight are broken by the lexicographically smaller endpoint pair
-  /// (the paper's node-identity tie-break).
-  [[nodiscard]] bool heavier(EdgeId a, EdgeId b) const;
+  /// (the paper's node-identity tie-break). Thin wrapper over the keys.
+  [[nodiscard]] bool heavier(EdgeId a, EdgeId b) const {
+    OM_CHECK(a < key_.size() && b < key_.size());
+    return key_[a] < key_[b];
+  }
+
+  /// All edges, heaviest first (the inverse permutation of the keys).
+  [[nodiscard]] std::span<const EdgeId> by_weight() const noexcept { return order_; }
+
+  /// Node v's incident edges, heaviest first (CSR slice; no allocation).
+  [[nodiscard]] std::span<const EdgeId> incident(NodeId v) const {
+    OM_CHECK(v + 1 < inc_offsets_.size());
+    return {inc_.data() + inc_offsets_[v], inc_.data() + inc_offsets_[v + 1]};
+  }
 
   /// Total weight of an edge subset.
   [[nodiscard]] double total(const std::vector<EdgeId>& edges) const;
@@ -43,6 +84,10 @@ class EdgeWeights {
  private:
   const Graph* graph_;
   std::vector<double> w_;
+  std::vector<Key> key_;             ///< dense rank under the heavier order
+  std::vector<EdgeId> order_;        ///< edge ids, heaviest first
+  std::vector<std::size_t> inc_offsets_;  ///< CSR offsets (== graph offsets)
+  std::vector<EdgeId> inc_;          ///< per-node incident edges, heaviest first
 };
 
 /// The paper's weights (eq. 9). Strictly positive.

@@ -39,12 +39,23 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_for_chunks(
+      n, [&fn](std::size_t, std::size_t begin, std::size_t end) { fn(begin, end); });
+}
+
+std::size_t ThreadPool::num_chunks(std::size_t n) const noexcept {
+  return std::min(n, workers_.size() * 4);
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t chunks = std::min(n, workers_.size() * 4);
+  const std::size_t chunks = num_chunks(n);
   const std::size_t step = (n + chunks - 1) / chunks;
-  for (std::size_t begin = 0; begin < n; begin += step) {
+  std::size_t chunk = 0;
+  for (std::size_t begin = 0; begin < n; begin += step, ++chunk) {
     const std::size_t end = std::min(begin + step, n);
-    submit([&fn, begin, end] { fn(begin, end); });
+    submit([&fn, chunk, begin, end] { fn(chunk, begin, end); });
   }
   wait_idle();
 }

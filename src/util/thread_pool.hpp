@@ -34,6 +34,19 @@ class ThreadPool {
   /// and wait for completion.
   void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Number of chunks parallel_for/parallel_for_chunks splits [0, n) into.
+  /// Deterministic for a given (n, pool size) so callers can preallocate one
+  /// result slot per chunk and merge without synchronization.
+  [[nodiscard]] std::size_t num_chunks(std::size_t n) const noexcept;
+
+  /// Like parallel_for but also passes the chunk index: fn(chunk, begin, end)
+  /// with chunk ∈ [0, num_chunks(n)). Each chunk index is used exactly once,
+  /// so writes to per-chunk slots are race-free by construction — the
+  /// lock-free alternative to collecting results under a mutex.
+  void parallel_for_chunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
  private:

@@ -8,6 +8,7 @@
 
 #include "matching/bsuitor.hpp"
 #include "matching/exact.hpp"
+#include "matching/parallel_bsuitor.hpp"
 #include "matching/lic.hpp"
 #include "matching/lid.hpp"
 #include "matching/matching.hpp"
@@ -102,6 +103,7 @@ TEST(FuzzEngines, MassEquivalenceOnTinyInstances) {
     const auto lic = lic_global(w, q);
     ASSERT_TRUE(lic.same_edges(lic_local(w, q, seed))) << seed;
     ASSERT_TRUE(lic.same_edges(b_suitor(w, q))) << seed;
+    ASSERT_TRUE(lic.same_edges(parallel_b_suitor(w, q, 2))) << seed;
     ASSERT_TRUE(lic.same_edges(parallel_local_dominant(w, q, 2))) << seed;
     ASSERT_TRUE(lic.same_edges(
         run_lid(w, q, sim::Schedule::kRandomOrder, seed).matching))

@@ -110,7 +110,10 @@ TEST(LicLocal, CandidateQueueNeverExceedsEdgeCount) {
   // the candidate queue ballooned past m with duplicates (O(edges × rounds)).
   // With the in-queue flag each edge appears at most once at a time, so the
   // queue's high-water mark is exactly bounded by the edge count — and the
-  // output is still the unique locally-heaviest matching.
+  // output is still the unique locally-heaviest matching. Since the queue is
+  // now seeded with node tops (≤ n entries) instead of all m edges, pops must
+  // also stay well below m on dense graphs while still covering every
+  // selected edge (each selection is one pop).
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
     auto inst = testing::Instance::random("complete", 16, 15.0, 3, seed + 11);
     const auto mg = lic_global(*inst->weights, inst->profile->quotas());
@@ -118,9 +121,8 @@ TEST(LicLocal, CandidateQueueNeverExceedsEdgeCount) {
     const auto ml = lic_local(*inst->weights, inst->profile->quotas(), seed, &st);
     EXPECT_TRUE(mg.same_edges(ml)) << "seed=" << seed;
     EXPECT_LE(st.peak_queue, inst->g.num_edges()) << "seed=" << seed;
-    // Pops are bounded by initial candidates plus accepted re-enqueues, which
-    // the flag caps at one outstanding copy per edge per promotion wave.
-    EXPECT_GE(st.pops, inst->g.num_edges()) << "seed=" << seed;
+    EXPECT_GE(st.pops, ml.size()) << "seed=" << seed;
+    EXPECT_LT(st.pops, inst->g.num_edges()) << "seed=" << seed;
   }
 }
 

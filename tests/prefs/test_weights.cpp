@@ -139,6 +139,81 @@ TEST(RandomWeights, InUnitIntervalAndDeterministic) {
   }
 }
 
+/// Independent re-implementation of the documented order: weight descending,
+/// ties by lexicographically smaller endpoint pair. The production comparator
+/// is a precomputed-key compare; this is the definitional ground truth.
+bool reference_heavier(const Graph& g, const std::vector<double>& w, EdgeId a,
+                       EdgeId b) {
+  if (w[a] != w[b]) return w[a] > w[b];
+  const auto& ea = g.edge(a);
+  const auto& eb = g.edge(b);
+  if (ea.u != eb.u) return ea.u < eb.u;
+  return ea.v < eb.v;
+}
+
+TEST(WeightKeys, KeyOrderEqualsHeavierOrderOnRandomProfilesWithTies) {
+  // Fuzz over random graphs with weights drawn from a tiny discrete set so
+  // exact ties are dense — the regime where key construction could diverge
+  // from the definitional tie-break.
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    util::Rng rng(trial * 23 + 1);
+    static Graph g;
+    g = graph::erdos_renyi(3 + rng.index(12), rng.uniform(0.2, 0.9), rng);
+    std::vector<double> vals(g.num_edges());
+    const int levels = 1 + static_cast<int>(rng.index(4));  // 1..4 distinct weights
+    for (auto& x : vals) x = 0.25 * (1.0 + static_cast<double>(rng.index(levels)));
+    const EdgeWeights w(g, vals);
+    for (EdgeId a = 0; a < g.num_edges(); ++a) {
+      for (EdgeId b = 0; b < g.num_edges(); ++b) {
+        const bool ref = reference_heavier(g, vals, a, b);
+        ASSERT_EQ(w.heavier(a, b), ref) << "trial " << trial << " a=" << a << " b=" << b;
+        ASSERT_EQ(w.key(a) < w.key(b), ref) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(WeightKeys, KeysAreDenseAndUnique) {
+  util::Rng rng(5);
+  static Graph g = graph::complete(7);
+  auto p = PreferenceProfile::random(g, uniform_quotas(g, 2), rng);
+  const auto w = paper_weights(p);
+  std::vector<bool> seen(g.num_edges(), false);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    ASSERT_LT(w.key(e), g.num_edges());
+    ASSERT_FALSE(seen[w.key(e)]) << "duplicate key";
+    seen[w.key(e)] = true;
+  }
+}
+
+TEST(WeightKeys, ByWeightIsHeaviestFirst) {
+  util::Rng rng(6);
+  static Graph g;
+  g = graph::erdos_renyi(30, 0.3, rng);
+  const auto w = random_weights(g, rng);
+  const auto order = w.by_weight();
+  ASSERT_EQ(order.size(), g.num_edges());
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_TRUE(w.heavier(order[i - 1], order[i]));
+  }
+}
+
+TEST(WeightKeys, IncidentListsAreCompleteAndHeaviestFirst) {
+  util::Rng rng(7);
+  static Graph g;
+  g = graph::erdos_renyi(40, 0.2, rng);
+  const auto w = random_weights(g, rng);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto inc = w.incident(v);
+    ASSERT_EQ(inc.size(), g.degree(v));
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      const auto& e = g.edge(inc[i]);
+      EXPECT_TRUE(e.u == v || e.v == v);
+      if (i > 0) EXPECT_TRUE(w.heavier(inc[i - 1], inc[i]));
+    }
+  }
+}
+
 TEST(EdgeWeightsDeathTest, WrongSizeAborts) {
   static Graph g = graph::complete(4);
   EXPECT_DEATH((void)EdgeWeights(g, std::vector<double>{1.0}), "");
