@@ -1,0 +1,172 @@
+// bench_pipeline — E18: the parallel construction pipeline, phase by phase.
+//
+// Times every stage of instance construction — graph finalize, preference
+// profile build, weight-array fill, weight key sort, CSR incidence fill —
+// plus the frontier matcher, over a thread ladder. The t=1 rows run the
+// sequential reference path (no pool); t>1 rows run the parallel path on a
+// caller-owned ThreadPool. Before any timing, the parallel product at every
+// thread count is checked byte-identical to the sequential reference, so the
+// numbers below always describe builds that produce the same artifact.
+//
+// Emits BENCH_pipeline.json (schema overmatch-bench-v1); compare runs with
+// tools/bench_diff.py.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "matching/lic.hpp"
+#include "matching/parallel_local.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace overmatch;
+
+/// Deterministic, thread-safe score: a splitmix-style hash of (i, j) so
+/// from_scores exercises the parallel rank sorts on irregular lists without
+/// touching any shared Rng state.
+double hash_score(graph::NodeId i, graph::NodeId j) {
+  std::uint64_t x = (static_cast<std::uint64_t>(i) << 32) | j;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Rebuilds the graph from its edge list (the timed part is build()).
+graph::Graph rebuild(const graph::Graph& g, util::ThreadPool* pool) {
+  graph::GraphBuilder b(g.num_nodes());
+  for (const auto& e : g.edges()) b.add_edge(e.u, e.v);
+  return std::move(b).build(pool);
+}
+
+bool same_weights(const prefs::EdgeWeights& a, const prefs::EdgeWeights& b) {
+  if (a.values() != b.values() || a.keys() != b.keys()) return false;
+  if (!std::equal(a.by_weight().begin(), a.by_weight().end(),
+                  b.by_weight().begin(), b.by_weight().end())) {
+    return false;
+  }
+  for (graph::NodeId v = 0; v < a.graph().num_nodes(); ++v) {
+    const auto ia = a.incident(v);
+    const auto ib = b.incident(v);
+    if (!std::equal(ia.begin(), ia.end(), ib.begin(), ib.end())) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace overmatch;
+  bench::Env env(argc, argv);
+  bench::print_header("E18", "construction pipeline scaling",
+                      "Per-phase build times (graph finalize, profile, weight "
+                      "fill, key sort, CSR fill) and the frontier matcher "
+                      "over a thread ladder; t=1 is the sequential path.");
+
+  const std::size_t n = env.flags().get_int("n", static_cast<int>(env.smoke() ? 2000 : 250000));
+  const double degree = env.flags().get_double("degree", 8.0);
+  const auto quota =
+      static_cast<std::uint32_t>(env.flags().get_int("quota", 3));
+  const auto seed = static_cast<std::uint64_t>(env.flags().get_int("seed", 12345));
+  const std::size_t reps = env.smoke() ? 2 : 5;
+  const std::vector<std::size_t> ladder =
+      env.smoke() ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
+
+  util::Rng rng(seed);
+  const auto g = graph::by_name("er", n, degree, rng);
+  const auto quotas = prefs::uniform_quotas(g, quota);
+  const auto profile = prefs::PreferenceProfile::random(g, quotas, rng);
+  std::printf("instance: er n=%zu m=%zu quota=%u seed=%llu, reps=%zu\n\n", n,
+              g.num_edges(), quota, static_cast<unsigned long long>(seed), reps);
+
+  // Sequential reference artifacts for the untimed equality gate.
+  const auto ref_weights = prefs::paper_weights(profile);
+  const auto ref_matching = matching::lic_global(ref_weights, quotas);
+
+  bench::JsonReport report("pipeline");
+  util::Table table({"threads", "graph ms", "profile ms", "wfill ms", "sort ms",
+                     "csr ms", "weights ms", "solve ms"});
+
+  for (const std::size_t t : ladder) {
+    // t=1 is the pool-free sequential reference path — exactly what library
+    // callers get by default — so speedups are measured against the real
+    // baseline, not a one-worker pool.
+    std::unique_ptr<util::ThreadPool> owned =
+        t > 1 ? std::make_unique<util::ThreadPool>(t) : nullptr;
+    util::ThreadPool* pool = owned.get();
+
+    // Untimed determinism gate: the parallel build must reproduce the
+    // sequential artifacts exactly before its timings count for anything.
+    {
+      const auto pg = rebuild(g, pool);
+      OM_CHECK_MSG(pg.edges() == g.edges(), "graph rebuild must preserve edges");
+      const auto pw = prefs::paper_weights(profile, pool);
+      OM_CHECK_MSG(same_weights(pw, ref_weights),
+                   "parallel weights must equal the sequential reference");
+      util::ThreadPool solve_pool(t);
+      const auto pm = matching::parallel_local_dominant(pw, quotas, solve_pool);
+      OM_CHECK_MSG(pm.same_edges(ref_matching),
+                   "frontier matcher must match lic-global");
+    }
+
+    const auto graph_ms =
+        bench::timed_samples(reps, [&] { (void)rebuild(g, pool); });
+    const auto profile_ms = bench::timed_samples(reps, [&] {
+      (void)prefs::PreferenceProfile::from_scores(g, quotas, hash_score, pool);
+    });
+    const auto wfill_ms = bench::timed_samples(reps, [&] {
+      (void)prefs::paper_weight_values(profile, pool);
+    });
+
+    // One weights build per rep, split into stages via WeightsBuildStats.
+    std::vector<double> weights_ms, sort_ms, key_ms, csr_ms;
+    for (std::size_t r = 0; r < reps; ++r) {
+      prefs::WeightsBuildStats stats;
+      util::WallTimer timer;
+      const auto w = prefs::paper_weights(profile, pool, &stats);
+      weights_ms.push_back(timer.millis());
+      sort_ms.push_back(stats.sort_ms);
+      key_ms.push_back(stats.key_ms);
+      csr_ms.push_back(stats.csr_ms);
+    }
+
+    // The matcher always runs on a pool (t workers) so the ladder isolates
+    // its scaling from construction.
+    util::ThreadPool solve_pool(t);
+    const auto solve_ms = bench::timed_samples(reps, [&] {
+      (void)matching::parallel_local_dominant(ref_weights, quotas, solve_pool);
+    });
+
+    const bench::JsonReport::Params params = {
+        {"topology", "er"},
+        {"n", std::to_string(n)},
+        {"m", std::to_string(g.num_edges())},
+        {"quota", std::to_string(quota)},
+        {"seed", std::to_string(seed)}};
+    report.add("graph_finalize", params, graph_ms, t);
+    report.add("profile_build", params, profile_ms, t);
+    report.add("weight_fill", params, wfill_ms, t);
+    report.add("key_sort", params, sort_ms, t);
+    report.add("key_fill", params, key_ms, t);
+    report.add("csr_fill", params, csr_ms, t);
+    report.add("weights_build", params, weights_ms, t);
+    report.add("solve", params, solve_ms, t);
+
+    table.row()
+        .cell(static_cast<std::uint64_t>(t))
+        .cell(util::percentile(graph_ms, 50.0), 2)
+        .cell(util::percentile(profile_ms, 50.0), 2)
+        .cell(util::percentile(wfill_ms, 50.0), 2)
+        .cell(util::percentile(sort_ms, 50.0), 2)
+        .cell(util::percentile(csr_ms, 50.0), 2)
+        .cell(util::percentile(weights_ms, 50.0), 2)
+        .cell(util::percentile(solve_ms, 50.0), 2);
+  }
+  table.print("median per-phase milliseconds by thread count");
+  report.write();
+  return 0;
+}

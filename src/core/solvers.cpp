@@ -54,7 +54,7 @@ const std::vector<Algorithm>& all_algorithms() {
 
 SolveResult solve(const prefs::PreferenceProfile& profile, Algorithm a,
                   const SolveOptions& options) {
-  const auto w = prefs::paper_weights(profile);
+  const auto w = prefs::paper_weights(profile, options.pool);
   return solve_with_weights(profile, w, a, options);
 }
 
@@ -85,7 +85,9 @@ SolveResult solve_with_weights(const prefs::PreferenceProfile& profile,
       m = matching::lic_local(w, quotas, options.seed);
       break;
     case Algorithm::kParallelLocal:
-      m = matching::parallel_local_dominant(w, quotas, options.threads);
+      m = options.pool != nullptr
+              ? matching::parallel_local_dominant(w, quotas, *options.pool)
+              : matching::parallel_local_dominant(w, quotas, options.threads);
       break;
     case Algorithm::kBSuitor:
       m = matching::b_suitor(w, quotas);

@@ -11,6 +11,10 @@
 #include "prefs/weights.hpp"
 #include "sim/event_sim.hpp"
 
+namespace overmatch::util {
+class ThreadPool;
+}
+
 namespace overmatch::core {
 
 enum class Algorithm : std::uint8_t {
@@ -39,6 +43,11 @@ struct SolveOptions {
   sim::Schedule schedule = sim::Schedule::kRandomOrder;
   std::size_t threads = 2;
   std::size_t best_reply_max_steps = 100000;
+  /// Optional pool for the construction pipeline (weight build in solve())
+  /// and the shared-memory parallel engines. nullptr — the default —
+  /// preserves the single-threaded construction path exactly; the solver
+  /// does not take ownership.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct SolveResult {

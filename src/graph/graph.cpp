@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.hpp"
+
 namespace overmatch::graph {
 
 GraphBuilder::GraphBuilder(std::size_t num_nodes) : adjacency_(num_nodes) {
@@ -30,7 +32,7 @@ bool GraphBuilder::has_edge(NodeId u, NodeId v) const noexcept {
   return false;
 }
 
-Graph GraphBuilder::build() && {
+Graph GraphBuilder::build(util::ThreadPool* pool) && {
   Graph g;
   g.edges_ = std::move(edges_);
   g.offsets_.resize(adjacency_.size() + 1, 0);
@@ -38,11 +40,21 @@ Graph GraphBuilder::build() && {
     g.offsets_[v + 1] = g.offsets_[v] + adjacency_[v].size();
   }
   g.adj_.resize(g.offsets_.back());
-  for (std::size_t v = 0; v < adjacency_.size(); ++v) {
-    auto& adj = adjacency_[v];
-    std::sort(adj.begin(), adj.end(),
-              [](const Adjacency& a, const Adjacency& b) { return a.neighbor < b.neighbor; });
-    std::copy(adj.begin(), adj.end(), g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]));
+  const auto finalize_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      auto& adj = adjacency_[v];
+      std::sort(adj.begin(), adj.end(), [](const Adjacency& a, const Adjacency& b) {
+        return a.neighbor < b.neighbor;
+      });
+      std::copy(adj.begin(), adj.end(),
+                g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]));
+    }
+  };
+  if (pool != nullptr) {
+    // Per-node sorts touch disjoint slices; order across nodes is irrelevant.
+    pool->parallel_for(adjacency_.size(), finalize_range, /*min_chunk=*/256);
+  } else {
+    finalize_range(0, adjacency_.size());
   }
   return g;
 }

@@ -19,6 +19,10 @@
 
 #include "util/check.hpp"
 
+namespace overmatch::util {
+class ThreadPool;
+}
+
 namespace overmatch::graph {
 
 using NodeId = std::uint32_t;
@@ -63,7 +67,10 @@ class GraphBuilder {
   [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
 
   /// Finalize: sorts adjacency lists by neighbour id and freezes the graph.
-  [[nodiscard]] Graph build() &&;
+  /// With a pool the per-node sorts run in parallel; neighbour ids are
+  /// unique per node (simple graph), so the sorted CSR is identical for
+  /// every pool size including none.
+  [[nodiscard]] Graph build(util::ThreadPool* pool = nullptr) &&;
 
  private:
   friend class Graph;

@@ -8,6 +8,12 @@ namespace overmatch::matching {
 
 Matching parallel_local_dominant(const prefs::EdgeWeights& w, const Quotas& quotas,
                                  std::size_t threads, ParallelRunInfo* info_out) {
+  util::ThreadPool pool(threads);
+  return parallel_local_dominant(w, quotas, pool, info_out);
+}
+
+Matching parallel_local_dominant(const prefs::EdgeWeights& w, const Quotas& quotas,
+                                 util::ThreadPool& pool, ParallelRunInfo* info_out) {
   const auto& g = w.graph();
   const std::size_t n = g.num_nodes();
   Matching m(g, quotas);
@@ -28,10 +34,12 @@ Matching parallel_local_dominant(const prefs::EdgeWeights& w, const Quotas& quot
   std::vector<NodeId> next_frontier;
   std::vector<char> in_next(n, 0);
 
-  util::ThreadPool pool(threads);
   // Per-chunk pick buffers: parallel_for_chunks hands every task a distinct
-  // chunk slot, so phase 2 collects mirrored edges without any lock.
-  std::vector<std::vector<EdgeId>> picks(pool.num_chunks(n));
+  // chunk slot, so phase 2 collects mirrored edges without any lock. The
+  // fork-join fast path dispatches both phases with zero allocations, and
+  // small frontiers (the long tail of late rounds) collapse to one chunk
+  // that runs inline on this thread — no wakeup, no handoff.
+  std::vector<std::vector<EdgeId>> picks(std::max<std::size_t>(pool.num_chunks(n), 1));
 
   std::size_t rounds = 0;
   while (!frontier.empty()) {

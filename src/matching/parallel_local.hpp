@@ -27,17 +27,28 @@
 #include "matching/matching.hpp"
 #include "prefs/weights.hpp"
 
+namespace overmatch::util {
+class ThreadPool;
+}
+
 namespace overmatch::matching {
 
 struct ParallelRunInfo {
   std::size_t rounds = 0;
 };
 
-/// Runs the parallel matcher on `threads` workers. `info_out`, when non-null,
-/// receives round statistics.
+/// Runs the parallel matcher on `threads` workers (spawns a pool for the
+/// call). `info_out`, when non-null, receives round statistics.
 [[nodiscard]] Matching parallel_local_dominant(const prefs::EdgeWeights& w,
                                                const Quotas& quotas,
                                                std::size_t threads,
+                                               ParallelRunInfo* info_out = nullptr);
+
+/// Same, on a caller-owned pool — lets repeated solves (benches, the
+/// pipeline) reuse one set of workers instead of spawning threads per run.
+[[nodiscard]] Matching parallel_local_dominant(const prefs::EdgeWeights& w,
+                                               const Quotas& quotas,
+                                               util::ThreadPool& pool,
                                                ParallelRunInfo* info_out = nullptr);
 
 }  // namespace overmatch::matching

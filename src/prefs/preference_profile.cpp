@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.hpp"
+
 namespace overmatch::prefs {
 
 Quotas uniform_quotas(const Graph& g, std::uint32_t b) {
@@ -26,71 +28,90 @@ Quotas random_quotas(const Graph& g, std::uint32_t b_max, util::Rng& rng) {
 }
 
 PreferenceProfile::PreferenceProfile(const Graph& g, Quotas quotas,
-                                     std::vector<std::vector<NodeId>> lists)
+                                     std::vector<std::vector<NodeId>> lists,
+                                     util::ThreadPool* pool)
     : graph_(&g), quotas_(std::move(quotas)), lists_(std::move(lists)) {
   OM_CHECK(quotas_.size() == g.num_nodes());
   OM_CHECK(lists_.size() == g.num_nodes());
   ranks_by_adj_.resize(g.num_nodes());
-  for (NodeId i = 0; i < g.num_nodes(); ++i) {
-    const auto adj = g.neighbors(i);
-    OM_CHECK_MSG(lists_[i].size() == adj.size(),
-                 "preference list must cover the whole neighbourhood");
-    // Validate permutation and build the adjacency-aligned rank index.
-    ranks_by_adj_[i].assign(adj.size(), static_cast<Rank>(-1));
-    for (Rank r = 0; r < lists_[i].size(); ++r) {
-      const NodeId j = lists_[i][r];
-      // Locate j in the (sorted) adjacency.
-      const auto it = std::lower_bound(
-          adj.begin(), adj.end(), j,
-          [](const graph::Adjacency& a, NodeId t) { return a.neighbor < t; });
-      OM_CHECK_MSG(it != adj.end() && it->neighbor == j,
-                   "preference list contains a non-neighbour");
-      const auto k = static_cast<std::size_t>(it - adj.begin());
-      OM_CHECK_MSG(ranks_by_adj_[i][k] == static_cast<Rank>(-1),
-                   "preference list contains a duplicate");
-      ranks_by_adj_[i][k] = r;
+  // Per-node validation + rank-index build; nodes are independent, so the
+  // range runs in parallel when a pool is supplied (identical result).
+  const auto index_range = [&](std::size_t begin, std::size_t end) {
+    for (NodeId i = static_cast<NodeId>(begin); i < end; ++i) {
+      const auto adj = g.neighbors(i);
+      OM_CHECK_MSG(lists_[i].size() == adj.size(),
+                   "preference list must cover the whole neighbourhood");
+      // Validate permutation and build the adjacency-aligned rank index.
+      ranks_by_adj_[i].assign(adj.size(), static_cast<Rank>(-1));
+      for (Rank r = 0; r < lists_[i].size(); ++r) {
+        const NodeId j = lists_[i][r];
+        // Locate j in the (sorted) adjacency.
+        const auto it = std::lower_bound(
+            adj.begin(), adj.end(), j,
+            [](const graph::Adjacency& a, NodeId t) { return a.neighbor < t; });
+        OM_CHECK_MSG(it != adj.end() && it->neighbor == j,
+                     "preference list contains a non-neighbour");
+        const auto k = static_cast<std::size_t>(it - adj.begin());
+        OM_CHECK_MSG(ranks_by_adj_[i][k] == static_cast<Rank>(-1),
+                     "preference list contains a duplicate");
+        ranks_by_adj_[i][k] = r;
+      }
+      // Clamp quota to list length (paper: b_i <= |L_i|), keep >= 1.
+      if (!lists_[i].empty()) {
+        quotas_[i] = std::min<std::uint32_t>(
+            quotas_[i], static_cast<std::uint32_t>(lists_[i].size()));
+      }
+      OM_CHECK(quotas_[i] >= 1);
     }
-    // Clamp quota to list length (paper: b_i <= |L_i|), keep >= 1.
-    if (!lists_[i].empty()) {
-      quotas_[i] = std::min<std::uint32_t>(quotas_[i],
-                                           static_cast<std::uint32_t>(lists_[i].size()));
-    }
-    OM_CHECK(quotas_[i] >= 1);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(g.num_nodes(), index_range, /*min_chunk=*/256);
+  } else {
+    index_range(0, g.num_nodes());
   }
 }
 
 PreferenceProfile PreferenceProfile::from_scores(
-    const Graph& g, Quotas quotas, const std::function<double(NodeId, NodeId)>& score) {
+    const Graph& g, Quotas quotas, const std::function<double(NodeId, NodeId)>& score,
+    util::ThreadPool* pool) {
   std::vector<std::vector<NodeId>> lists(g.num_nodes());
-  for (NodeId i = 0; i < g.num_nodes(); ++i) {
-    auto& li = lists[i];
-    li.reserve(g.degree(i));
-    for (const auto& a : g.neighbors(i)) li.push_back(a.neighbor);
-    std::sort(li.begin(), li.end(), [&](NodeId a, NodeId b) {
-      const double sa = score(i, a);
-      const double sb = score(i, b);
-      if (sa != sb) return sa > sb;
-      return a < b;
-    });
+  const auto rank_range = [&](std::size_t begin, std::size_t end) {
+    for (NodeId i = static_cast<NodeId>(begin); i < end; ++i) {
+      auto& li = lists[i];
+      li.reserve(g.degree(i));
+      for (const auto& a : g.neighbors(i)) li.push_back(a.neighbor);
+      std::sort(li.begin(), li.end(), [&](NodeId a, NodeId b) {
+        const double sa = score(i, a);
+        const double sb = score(i, b);
+        if (sa != sb) return sa > sb;
+        return a < b;
+      });
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(g.num_nodes(), rank_range, /*min_chunk=*/256);
+  } else {
+    rank_range(0, g.num_nodes());
   }
-  return PreferenceProfile(g, std::move(quotas), std::move(lists));
+  return PreferenceProfile(g, std::move(quotas), std::move(lists), pool);
 }
 
 PreferenceProfile PreferenceProfile::random(const Graph& g, Quotas quotas,
-                                            util::Rng& rng) {
+                                            util::Rng& rng, util::ThreadPool* pool) {
   std::vector<std::vector<NodeId>> lists(g.num_nodes());
   for (NodeId i = 0; i < g.num_nodes(); ++i) {
     auto& li = lists[i];
     li.reserve(g.degree(i));
     for (const auto& a : g.neighbors(i)) li.push_back(a.neighbor);
-    rng.shuffle(li);
+    rng.shuffle(li);  // sequential by design: one Rng stream
   }
-  return PreferenceProfile(g, std::move(quotas), std::move(lists));
+  return PreferenceProfile(g, std::move(quotas), std::move(lists), pool);
 }
 
 PreferenceProfile PreferenceProfile::from_lists(const Graph& g, Quotas quotas,
-                                                std::vector<std::vector<NodeId>> lists) {
-  return PreferenceProfile(g, std::move(quotas), std::move(lists));
+                                                std::vector<std::vector<NodeId>> lists,
+                                                util::ThreadPool* pool) {
+  return PreferenceProfile(g, std::move(quotas), std::move(lists), pool);
 }
 
 std::uint32_t PreferenceProfile::max_quota() const noexcept {

@@ -15,6 +15,10 @@
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
+namespace overmatch::util {
+class ThreadPool;
+}
+
 namespace overmatch::prefs {
 
 using graph::Graph;
@@ -44,19 +48,28 @@ class PreferenceProfile {
   /// Score-based construction: node i ranks neighbour j by descending
   /// score(i, j); ties are broken by ascending node id so lists are strict.
   /// This models a peer's private suitability metric (distance, interests,
-  /// trust, bandwidth, …).
+  /// trust, bandwidth, …). With a pool the per-node rank sorts and the rank
+  /// index build run in parallel — `score` is then called concurrently and
+  /// must be thread-safe (pure functions are). The profile is identical for
+  /// every pool size including none.
   [[nodiscard]] static PreferenceProfile from_scores(
       const Graph& g, Quotas quotas,
-      const std::function<double(NodeId, NodeId)>& score);
+      const std::function<double(NodeId, NodeId)>& score,
+      util::ThreadPool* pool = nullptr);
 
-  /// Uniformly random strict lists (independent per node).
+  /// Uniformly random strict lists (independent per node). The shuffles
+  /// consume one sequential Rng stream and always run single-threaded; a
+  /// pool only parallelizes the rank-index construction, so the lists are
+  /// identical for every pool size.
   [[nodiscard]] static PreferenceProfile random(const Graph& g, Quotas quotas,
-                                                util::Rng& rng);
+                                                util::Rng& rng,
+                                                util::ThreadPool* pool = nullptr);
 
   /// Explicit lists (tests / tiny examples). lists[i] must be a permutation of
   /// Γ_i, best first.
   [[nodiscard]] static PreferenceProfile from_lists(
-      const Graph& g, Quotas quotas, std::vector<std::vector<NodeId>> lists);
+      const Graph& g, Quotas quotas, std::vector<std::vector<NodeId>> lists,
+      util::ThreadPool* pool = nullptr);
 
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
 
@@ -80,6 +93,14 @@ class PreferenceProfile {
   /// R_i(j). Aborts unless j ∈ Γ_i.
   [[nodiscard]] Rank rank(NodeId i, NodeId j) const;
 
+  /// Ranks aligned with the graph adjacency: ranks_by_adjacency(i)[k] is
+  /// R_i(neighbors(i)[k].neighbor). Lets construction sweeps read every rank
+  /// in O(1) instead of re-running rank()'s binary search per edge.
+  [[nodiscard]] std::span<const Rank> ranks_by_adjacency(NodeId i) const {
+    OM_CHECK(i < ranks_by_adj_.size());
+    return ranks_by_adj_[i];
+  }
+
   /// True if i strictly prefers a over b (both must be neighbours of i).
   [[nodiscard]] bool prefers(NodeId i, NodeId a, NodeId b) const {
     return rank(i, a) < rank(i, b);
@@ -87,7 +108,8 @@ class PreferenceProfile {
 
  private:
   PreferenceProfile(const Graph& g, Quotas quotas,
-                    std::vector<std::vector<NodeId>> lists);
+                    std::vector<std::vector<NodeId>> lists,
+                    util::ThreadPool* pool = nullptr);
 
   const Graph* graph_ = nullptr;
   Quotas quotas_;

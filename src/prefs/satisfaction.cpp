@@ -50,10 +50,8 @@ double delta_s(const PreferenceProfile& p, NodeId i, NodeId j, std::uint32_t c_b
 }
 
 double delta_s_static(const PreferenceProfile& p, NodeId i, NodeId j) {
-  const auto b = static_cast<double>(p.quota(i));
-  const auto L = static_cast<double>(p.list_size(i));
-  const auto r = static_cast<double>(p.rank(i, j));  // aborts if j ∉ Γ_i, so L > 0
-  return (1.0 - r / L) / b;
+  // p.rank aborts if j ∉ Γ_i, so L > 0.
+  return delta_s_static_at(p.rank(i, j), p.list_size(i), p.quota(i));
 }
 
 double delta_s_dynamic(const PreferenceProfile& p, NodeId i, std::uint32_t c_before) {

@@ -39,6 +39,16 @@ namespace overmatch::prefs {
 /// Static part of ΔS_ij per eq. 5: (1 − R_i(j)/L_i) / b_i. Strictly positive.
 [[nodiscard]] double delta_s_static(const PreferenceProfile& p, NodeId i, NodeId j);
 
+/// Same value from an already-known rank: (1 − r/L)/b. Shared by
+/// delta_s_static and the O(1)-rank construction sweeps in weights.cpp so
+/// both paths evaluate the identical floating-point expression (the
+/// parallel-build determinism contract depends on it).
+[[nodiscard]] constexpr double delta_s_static_at(Rank r, std::size_t list_len,
+                                                 std::uint32_t quota) noexcept {
+  return (1.0 - static_cast<double>(r) / static_cast<double>(list_len)) /
+         static_cast<double>(quota);
+}
+
 /// Dynamic part of ΔS_ij: c_before / (b_i · L_i).
 [[nodiscard]] double delta_s_dynamic(const PreferenceProfile& p, NodeId i,
                                      std::uint32_t c_before);

@@ -1,44 +1,195 @@
 #include "prefs/weights.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
 
 #include "prefs/satisfaction.hpp"
+#include "util/parallel_sort.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace overmatch::prefs {
+namespace {
 
-EdgeWeights::EdgeWeights(const Graph& g, std::vector<double> w)
+/// Monotone map from a weight to a u64 that sorts ascending exactly when the
+/// weight sorts *descending* (the heavier order's primary key). −0.0 is
+/// collapsed to +0.0 first so exact-zero ties still fall through to the
+/// endpoint tie-break, like the sequential `!=`/`>` comparator. NaN has no
+/// place in a total order; construction rejects it.
+std::uint64_t descending_weight_bits(double w) {
+  OM_CHECK_MSG(!std::isnan(w), "edge weights must not be NaN");
+  if (w == 0.0) w = 0.0;  // collapse -0.0 onto +0.0
+  auto b = std::bit_cast<std::uint64_t>(w);
+  // Standard order-preserving transform to ascending-unsigned…
+  b = (b >> 63) != 0 ? ~b : (b | 0x8000'0000'0000'0000ULL);
+  // …then flip for descending.
+  return ~b;
+}
+
+/// Sort record for the parallel key sort: 16 bytes of key material plus the
+/// edge id. (wkey, uv) ascending ≡ (weight desc, u asc, v asc) — the
+/// definitional heavier order — and is strict and total because (u, v) is
+/// unique per edge in a simple graph.
+struct KeyRec {
+  std::uint64_t wkey;
+  std::uint64_t uv;
+  EdgeId e;
+};
+
+/// Shared skeleton for the ablation weight designs: each endpoint
+/// contributes one per-side value (read off the adjacency-aligned rank
+/// index in O(1)), and a combine step turns the two sides into the edge
+/// weight. Every fp expression matches the sequential per-edge loops
+/// exactly, so values are bit-identical; the sweep just removes the two
+/// rank() binary searches per edge and parallelizes over nodes.
+template <typename SideFn, typename CombineFn>
+std::vector<double> combine_sides(const PreferenceProfile& p, util::ThreadPool* pool,
+                                  const SideFn& side, const CombineFn& combine) {
+  const auto& g = p.graph();
+  const std::size_t m = g.num_edges();
+  std::vector<double> from_u(m), from_v(m);
+  const auto sweep = [&](std::size_t begin, std::size_t end) {
+    for (NodeId i = static_cast<NodeId>(begin); i < end; ++i) {
+      const auto adj = g.neighbors(i);
+      const auto ranks = p.ranks_by_adjacency(i);
+      const std::size_t list_len = p.list_size(i);
+      const std::uint32_t quota = p.quota(i);
+      for (std::size_t k = 0; k < adj.size(); ++k) {
+        const EdgeId e = adj[k].edge;
+        const double val = side(ranks[k], list_len, quota);
+        // Each edge has exactly one u-side and one v-side writer.
+        (g.edge(e).u == i ? from_u : from_v)[e] = val;
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(g.num_nodes(), sweep, /*min_chunk=*/256);
+  } else {
+    sweep(0, g.num_nodes());
+  }
+  std::vector<double> w(m);
+  const auto fill = [&](std::size_t begin, std::size_t end) {
+    for (EdgeId e = static_cast<EdgeId>(begin); e < end; ++e) {
+      w[e] = combine(from_u[e], from_v[e]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(m, fill, /*min_chunk=*/2048);
+  } else {
+    fill(0, m);
+  }
+  return w;
+}
+
+double side_delta_s(prefs::Rank r, std::size_t list_len, std::uint32_t quota) {
+  return delta_s_static_at(r, list_len, quota);
+}
+double side_rank_share(prefs::Rank r, std::size_t list_len, std::uint32_t) {
+  return static_cast<double>(r) / static_cast<double>(list_len);
+}
+
+}  // namespace
+
+EdgeWeights::EdgeWeights(const Graph& g, std::vector<double> w,
+                         util::ThreadPool* pool, WeightsBuildStats* stats)
     : graph_(&g), w_(std::move(w)) {
   OM_CHECK(w_.size() == g.num_edges());
   const std::size_t m = w_.size();
+  util::WallTimer timer;
 
-  // Dense weight keys: sort all edges once by the strict heavier order
-  // (weight desc, then smaller endpoint pair) and record each edge's rank.
-  // One O(m log m) sort at construction buys O(1) integer comparators for
-  // every greedy run against these weights.
   order_.resize(m);
-  for (EdgeId e = 0; e < m; ++e) order_[e] = e;
-  std::sort(order_.begin(), order_.end(), [this](EdgeId a, EdgeId b) {
-    if (w_[a] != w_[b]) return w_[a] > w_[b];
-    const auto& ea = graph_->edge(a);
-    const auto& eb = graph_->edge(b);
-    if (ea.u != eb.u) return ea.u < eb.u;
-    return ea.v < eb.v;
-  });
-  key_.resize(m);
-  for (std::size_t r = 0; r < m; ++r) key_[order_[r]] = static_cast<Key>(r);
+  if (pool == nullptr) {
+    // Sequential reference path (unchanged): sort edge ids with the
+    // definitional comparator, then invert into dense keys.
+    for (EdgeId e = 0; e < m; ++e) order_[e] = e;
+    std::sort(order_.begin(), order_.end(), [this](EdgeId a, EdgeId b) {
+      if (w_[a] != w_[b]) return w_[a] > w_[b];
+      const auto& ea = graph_->edge(a);
+      const auto& eb = graph_->edge(b);
+      if (ea.u != eb.u) return ea.u < eb.u;
+      return ea.v < eb.v;
+    });
+    if (stats != nullptr) stats->sort_ms = timer.millis();
+    timer.reset();
+    key_.resize(m);
+    for (std::size_t r = 0; r < m; ++r) key_[order_[r]] = static_cast<Key>(r);
+    if (stats != nullptr) stats->key_ms = timer.millis();
+    timer.reset();
 
-  // Incidence CSR sorted heaviest-first: appending each edge to both
-  // endpoints in global heaviest-first order fills every node's slice
-  // already sorted — O(n + m), no per-node sorts.
+    // Incidence CSR sorted heaviest-first: appending each edge to both
+    // endpoints in global heaviest-first order fills every node's slice
+    // already sorted — O(n + m), no per-node sorts.
+    inc_offsets_ = g.offsets();
+    inc_.resize(inc_offsets_.empty() ? 0 : inc_offsets_.back());
+    std::vector<std::size_t> fill(inc_offsets_.begin(),
+                                  inc_offsets_.end() - (inc_offsets_.empty() ? 0 : 1));
+    for (const EdgeId e : order_) {
+      const auto& [u, v] = g.edge(e);
+      inc_[fill[u]++] = e;
+      inc_[fill[v]++] = e;
+    }
+    if (stats != nullptr) stats->csr_ms = timer.millis();
+    return;
+  }
+
+  // Parallel path. Stage 1 — key sort over packed POD records: a branchless
+  // two-u64 compare instead of a double compare plus two Edge loads per
+  // comparison, sorted by the pool-backed merge sort. The (wkey, uv) order
+  // is strict and total, so the permutation — and therefore key_, order_
+  // and inc_ — is bit-identical to the sequential reference.
+  {
+    std::vector<KeyRec> recs(m);
+    pool->parallel_for(m, [&](std::size_t begin, std::size_t end) {
+      for (EdgeId e = static_cast<EdgeId>(begin); e < end; ++e) {
+        const auto& [u, v] = g.edge(e);
+        recs[e] = KeyRec{descending_weight_bits(w_[e]),
+                         (static_cast<std::uint64_t>(u) << 32) | v, e};
+      }
+    });
+    util::parallel_sort(
+        recs,
+        [](const KeyRec& a, const KeyRec& b) {
+          return a.wkey != b.wkey ? a.wkey < b.wkey : a.uv < b.uv;
+        },
+        pool);
+    pool->parallel_for(m, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t r = begin; r < end; ++r) order_[r] = recs[r].e;
+    });
+  }
+  if (stats != nullptr) stats->sort_ms = timer.millis();
+  timer.reset();
+
+  // Stage 2 — dense-rank key fill: order_ is a permutation, so the
+  // scattered writes are disjoint.
+  key_.resize(m);
+  pool->parallel_for(m, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) key_[order_[r]] = static_cast<Key>(r);
+  });
+  if (stats != nullptr) stats->key_ms = timer.millis();
+  timer.reset();
+
+  // Stage 3 — incidence CSR: two-pass per node. Pass one copies the node's
+  // incident edge ids out of the graph CSR (the counting is free: the
+  // offsets already are the counts); pass two sorts each slice by key.
+  // Ascending key == the global heaviest-first sweep order the sequential
+  // path appends in, and keys are unique, so the slices come out identical.
   inc_offsets_ = g.offsets();
   inc_.resize(inc_offsets_.empty() ? 0 : inc_offsets_.back());
-  std::vector<std::size_t> fill(inc_offsets_.begin(),
-                                inc_offsets_.end() - (inc_offsets_.empty() ? 0 : 1));
-  for (const EdgeId e : order_) {
-    const auto& [u, v] = g.edge(e);
-    inc_[fill[u]++] = e;
-    inc_[fill[v]++] = e;
-  }
+  pool->parallel_for(
+      g.num_nodes(),
+      [&](std::size_t begin, std::size_t end) {
+        for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+          const auto adj = g.neighbors(v);
+          EdgeId* slice = inc_.data() + inc_offsets_[v];
+          for (std::size_t k = 0; k < adj.size(); ++k) slice[k] = adj[k].edge;
+          std::sort(slice, slice + adj.size(),
+                    [this](EdgeId a, EdgeId b) { return key_[a] < key_[b]; });
+        }
+      },
+      /*min_chunk=*/256);
+  if (stats != nullptr) stats->csr_ms = timer.millis();
 }
 
 double EdgeWeights::total(const std::vector<EdgeId>& edges) const {
@@ -47,63 +198,93 @@ double EdgeWeights::total(const std::vector<EdgeId>& edges) const {
   return s;
 }
 
-EdgeWeights paper_weights(const PreferenceProfile& p) {
-  const auto& g = p.graph();
-  std::vector<double> w(g.num_edges());
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const auto& [u, v] = g.edge(e);
-    w[e] = delta_s_static(p, u, v) + delta_s_static(p, v, u);  // eq. 9
+std::vector<double> paper_weight_values(const PreferenceProfile& p,
+                                        util::ThreadPool* pool) {
+  if (pool == nullptr) {
+    const auto& g = p.graph();
+    std::vector<double> w(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& [u, v] = g.edge(e);
+      w[e] = delta_s_static(p, u, v) + delta_s_static(p, v, u);  // eq. 9
+    }
+    return w;
   }
-  return EdgeWeights(g, std::move(w));
+  return combine_sides(p, pool, side_delta_s,
+                       [](double a, double b) { return a + b; });
 }
 
-EdgeWeights min_weights(const PreferenceProfile& p) {
+EdgeWeights paper_weights(const PreferenceProfile& p, util::ThreadPool* pool,
+                          WeightsBuildStats* stats) {
+  return EdgeWeights(p.graph(), paper_weight_values(p, pool), pool, stats);
+}
+
+EdgeWeights min_weights(const PreferenceProfile& p, util::ThreadPool* pool) {
   const auto& g = p.graph();
-  std::vector<double> w(g.num_edges());
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const auto& [u, v] = g.edge(e);
-    w[e] = std::min(delta_s_static(p, u, v), delta_s_static(p, v, u));
+  if (pool == nullptr) {
+    std::vector<double> w(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& [u, v] = g.edge(e);
+      w[e] = std::min(delta_s_static(p, u, v), delta_s_static(p, v, u));
+    }
+    return EdgeWeights(g, std::move(w));
   }
-  return EdgeWeights(g, std::move(w));
+  return EdgeWeights(g,
+                     combine_sides(p, pool, side_delta_s,
+                                   [](double a, double b) { return std::min(a, b); }),
+                     pool);
 }
 
-EdgeWeights product_weights(const PreferenceProfile& p) {
+EdgeWeights product_weights(const PreferenceProfile& p, util::ThreadPool* pool) {
   const auto& g = p.graph();
-  std::vector<double> w(g.num_edges());
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const auto& [u, v] = g.edge(e);
-    w[e] = delta_s_static(p, u, v) * delta_s_static(p, v, u);
+  if (pool == nullptr) {
+    std::vector<double> w(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& [u, v] = g.edge(e);
+      w[e] = delta_s_static(p, u, v) * delta_s_static(p, v, u);
+    }
+    return EdgeWeights(g, std::move(w));
   }
-  return EdgeWeights(g, std::move(w));
+  return EdgeWeights(g,
+                     combine_sides(p, pool, side_delta_s,
+                                   [](double a, double b) { return a * b; }),
+                     pool);
 }
 
-EdgeWeights ranksum_weights(const PreferenceProfile& p) {
+EdgeWeights ranksum_weights(const PreferenceProfile& p, util::ThreadPool* pool) {
   const auto& g = p.graph();
-  std::vector<double> w(g.num_edges());
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const auto& [u, v] = g.edge(e);
-    const double ru = static_cast<double>(p.rank(u, v)) /
-                      static_cast<double>(p.list_size(u));
-    const double rv = static_cast<double>(p.rank(v, u)) /
-                      static_cast<double>(p.list_size(v));
-    w[e] = 2.0 - (ru + rv);
+  if (pool == nullptr) {
+    std::vector<double> w(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& [u, v] = g.edge(e);
+      const double ru = static_cast<double>(p.rank(u, v)) /
+                        static_cast<double>(p.list_size(u));
+      const double rv = static_cast<double>(p.rank(v, u)) /
+                        static_cast<double>(p.list_size(v));
+      w[e] = 2.0 - (ru + rv);
+    }
+    return EdgeWeights(g, std::move(w));
   }
-  return EdgeWeights(g, std::move(w));
+  return EdgeWeights(
+      g,
+      combine_sides(p, pool, side_rank_share,
+                    [](double a, double b) { return 2.0 - (a + b); }),
+      pool);
 }
 
-EdgeWeights random_weights(const Graph& g, util::Rng& rng) {
+EdgeWeights random_weights(const Graph& g, util::Rng& rng, util::ThreadPool* pool) {
   std::vector<double> w(g.num_edges());
-  for (auto& x : w) x = 1.0 - rng.uniform();  // (0, 1]
-  return EdgeWeights(g, std::move(w));
+  for (auto& x : w) x = 1.0 - rng.uniform();  // (0, 1]; sequential Rng stream
+  return EdgeWeights(g, std::move(w), pool);
 }
 
-EdgeWeights weights_by_name(const std::string& name, const PreferenceProfile& p) {
-  if (name == "paper") return paper_weights(p);
-  if (name == "min") return min_weights(p);
-  if (name == "product") return product_weights(p);
-  if (name == "ranksum") return ranksum_weights(p);
+EdgeWeights weights_by_name(const std::string& name, const PreferenceProfile& p,
+                            util::ThreadPool* pool) {
+  if (name == "paper") return paper_weights(p, pool);
+  if (name == "min") return min_weights(p, pool);
+  if (name == "product") return product_weights(p, pool);
+  if (name == "ranksum") return ranksum_weights(p, pool);
   OM_CHECK_MSG(false, "unknown weight design");
-  return paper_weights(p);
+  return paper_weights(p, pool);
 }
 
 }  // namespace overmatch::prefs

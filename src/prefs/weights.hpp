@@ -17,10 +17,22 @@
 #include "prefs/preference_profile.hpp"
 #include "util/rng.hpp"
 
+namespace overmatch::util {
+class ThreadPool;
+}
+
 namespace overmatch::prefs {
 
 using graph::EdgeId;
 using graph::NodeId;
+
+/// Per-stage wall-clock of one EdgeWeights construction (bench_pipeline
+/// reads these; zero cost when not requested).
+struct WeightsBuildStats {
+  double sort_ms = 0.0;  ///< global heaviest-first order (the key sort)
+  double key_ms = 0.0;   ///< dense-rank key fill from the sorted order
+  double csr_ms = 0.0;   ///< heaviest-first CSR incidence fill
+};
 
 /// Edge weights plus the strict total "heavier-than" order all greedy
 /// algorithms share.
@@ -45,7 +57,17 @@ class EdgeWeights {
   /// 64-bit totally ordered weight key; smaller key = heavier edge.
   using Key = std::uint64_t;
 
-  EdgeWeights(const Graph& g, std::vector<double> w);
+  /// Builds keys, the global order and the incidence CSR from raw weights.
+  /// With a pool the three stages run the parallel path (pool-backed key
+  /// sort over packed weight-bit records, parallel rank fill, per-node CSR
+  /// sorts); without one they run the original sequential path. Both paths
+  /// produce bit-identical `key_`, `order_` and `inc_` — the (weight, u, v)
+  /// order is strict and total, so the sorted permutation is unique (−0.0 is
+  /// collapsed to +0.0 before key packing to keep exact-zero ties on the
+  /// endpoint tie-break, matching the sequential comparator; NaN weights are
+  /// rejected). `stats`, when non-null, receives per-stage timings.
+  EdgeWeights(const Graph& g, std::vector<double> w,
+              util::ThreadPool* pool = nullptr, WeightsBuildStats* stats = nullptr);
 
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
   [[nodiscard]] double weight(EdgeId e) const {
@@ -90,25 +112,42 @@ class EdgeWeights {
   std::vector<EdgeId> inc_;          ///< per-node incident edges, heaviest first
 };
 
-/// The paper's weights (eq. 9). Strictly positive.
-[[nodiscard]] EdgeWeights paper_weights(const PreferenceProfile& p);
+/// The paper's weights (eq. 9). Strictly positive. A pool parallelizes the
+/// per-edge weight fill and the EdgeWeights index construction; the values
+/// and indices are bit-identical to the sequential build (same fp
+/// expressions, evaluated per edge with no reduction-order dependence).
+[[nodiscard]] EdgeWeights paper_weights(const PreferenceProfile& p,
+                                        util::ThreadPool* pool = nullptr,
+                                        WeightsBuildStats* stats = nullptr);
+
+/// The raw eq.-9 weight vector only (no index construction) — the
+/// `weight_fill` phase of the pipeline bench.
+[[nodiscard]] std::vector<double> paper_weight_values(const PreferenceProfile& p,
+                                                      util::ThreadPool* pool = nullptr);
 
 /// Ablation: min of the two static increments (pessimistic aggregation).
-[[nodiscard]] EdgeWeights min_weights(const PreferenceProfile& p);
+[[nodiscard]] EdgeWeights min_weights(const PreferenceProfile& p,
+                                      util::ThreadPool* pool = nullptr);
 
 /// Ablation: product of the two static increments.
-[[nodiscard]] EdgeWeights product_weights(const PreferenceProfile& p);
+[[nodiscard]] EdgeWeights product_weights(const PreferenceProfile& p,
+                                          util::ThreadPool* pool = nullptr);
 
 /// Ablation: negated rank sum, shifted to be positive:
 /// w = 2 − (R_i(j)/L_i + R_j(i)/L_j) — ignores quotas entirely.
-[[nodiscard]] EdgeWeights ranksum_weights(const PreferenceProfile& p);
+[[nodiscard]] EdgeWeights ranksum_weights(const PreferenceProfile& p,
+                                          util::ThreadPool* pool = nullptr);
 
 /// Uniform random weights in (0, 1] — baseline for weight-structure ablation.
-[[nodiscard]] EdgeWeights random_weights(const Graph& g, util::Rng& rng);
+/// The draws consume one sequential Rng stream; a pool only parallelizes the
+/// index construction.
+[[nodiscard]] EdgeWeights random_weights(const Graph& g, util::Rng& rng,
+                                         util::ThreadPool* pool = nullptr);
 
 /// Named dispatch used by the ablation bench: "paper", "min", "product",
 /// "ranksum".
 [[nodiscard]] EdgeWeights weights_by_name(const std::string& name,
-                                          const PreferenceProfile& p);
+                                          const PreferenceProfile& p,
+                                          util::ThreadPool* pool = nullptr);
 
 }  // namespace overmatch::prefs

@@ -1,0 +1,94 @@
+// Reusable pool-backed sort for the parallel construction pipeline.
+//
+// Block merge sort over a ThreadPool: the input is cut into a power-of-two
+// number of blocks, each block is std::sort-ed as one fork-join item, then
+// log2(blocks) parallel merge passes (std::merge into a ping-pong buffer)
+// combine them. Below kParallelSortCutoff elements — or without a pool —
+// the call is exactly std::sort, so small inputs pay nothing.
+//
+// Determinism contract: when `comp` induces a *strict total order* (no two
+// distinct elements compare equivalent — true for every weight-key order in
+// this repo, where numeric ties are broken by endpoint ids), the sorted
+// permutation is unique, so the result is bit-identical to std::sort for
+// every pool size including none. With equivalent elements the result is
+// still a valid sort but the tie order may differ from std::sort's; callers
+// needing bit-stable output across thread counts must pass a total order.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace overmatch::util {
+
+/// Below this size the parallel path cannot win; plain std::sort runs.
+inline constexpr std::size_t kParallelSortCutoff = 1u << 14;
+
+template <typename T, typename Comp = std::less<T>>
+void parallel_sort(std::vector<T>& v, Comp comp = {}, ThreadPool* pool = nullptr) {
+  const std::size_t n = v.size();
+  if (pool == nullptr || pool->size() <= 1 || n < kParallelSortCutoff) {
+    std::sort(v.begin(), v.end(), comp);
+    return;
+  }
+  // Power-of-two block count: enough blocks to feed the machine (2× the
+  // useful parallelism for load balance, capped at 64), but never blocks
+  // smaller than half the cutoff. Scaling with parallelism() rather than
+  // size() keeps an oversubscribed pool from paying extra merge passes that
+  // no core exists to run.
+  std::size_t blocks = 1;
+  while (blocks < pool->parallelism() * 2 && blocks < 64 &&
+         n / (blocks * 2) >= kParallelSortCutoff / 2) {
+    blocks *= 2;
+  }
+  if (blocks == 1) {
+    std::sort(v.begin(), v.end(), comp);
+    return;
+  }
+  std::vector<std::size_t> bound(blocks + 1);
+  for (std::size_t i = 0; i <= blocks; ++i) bound[i] = n * i / blocks;
+
+  // Each block sort is one fork-join item (min_chunk 1: the work per item is
+  // a whole block, not one element).
+  pool->parallel_for(
+      blocks,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          std::sort(v.begin() + static_cast<std::ptrdiff_t>(bound[i]),
+                    v.begin() + static_cast<std::ptrdiff_t>(bound[i + 1]), comp);
+        }
+      },
+      /*min_chunk=*/1);
+
+  // Merge passes, ping-ponging between v and a scratch buffer. std::merge is
+  // stable (left run wins ties), so the pass structure itself is
+  // deterministic; see the header comment for the total-order caveat.
+  std::vector<T> scratch(n);
+  T* src = v.data();
+  T* dst = scratch.data();
+  for (std::size_t width = 1; width < blocks; width *= 2) {
+    const std::size_t pairs = blocks / (width * 2);
+    pool->parallel_for(
+        pairs,
+        [&](std::size_t pb, std::size_t pe) {
+          for (std::size_t p = pb; p < pe; ++p) {
+            const std::size_t lo = bound[p * 2 * width];
+            const std::size_t mid = bound[p * 2 * width + width];
+            const std::size_t hi = bound[p * 2 * width + 2 * width];
+            std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo, comp);
+          }
+        },
+        /*min_chunk=*/1);
+    std::swap(src, dst);
+  }
+  if (src != v.data()) {
+    pool->parallel_for(n, [&](std::size_t b, std::size_t e) {
+      std::copy(src + b, src + e, v.data() + b);
+    });
+  }
+}
+
+}  // namespace overmatch::util

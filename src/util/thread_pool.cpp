@@ -1,13 +1,40 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/check.hpp"
 
 namespace overmatch::util {
 
+namespace {
+/// Set while a thread runs inside worker_loop, so run_chunks can detect a
+/// nested parallel_for issued from a task or chunk body and execute it
+/// inline instead of deadlocking on its own pool.
+thread_local const ThreadPool* t_worker_of = nullptr;
+}  // namespace
+
+/// One fork-join job. Lives on the issuing thread's stack; workers only ever
+/// reach it through fj_ under the pool mutex, and the issuer clears fj_
+/// (again under the mutex) after done == chunks and active == 0, so no
+/// worker can hold a dangling pointer.
+struct ThreadPool::ForkJoin {
+  void* ctx;
+  ChunkFn invoke;
+  std::size_t n;
+  std::size_t step;
+  std::size_t chunks;
+  std::atomic<std::size_t> next{0};  ///< chunk cursor (grabbed lock-free)
+  std::size_t done = 0;              ///< executed chunks     (guarded by mu_)
+  std::size_t active = 0;            ///< participating workers (guarded by mu_)
+};
+
 ThreadPool::ThreadPool(std::size_t threads) {
   OM_CHECK(threads >= 1);
+  // hardware_concurrency() may return 0 when unknown; treat that as "trust
+  // the caller" rather than collapsing to 1.
+  const std::size_t hw = std::thread::hardware_concurrency();
+  parallelism_ = hw == 0 ? threads : std::min(threads, hw);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -37,48 +64,96 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t, std::size_t)>& fn) {
-  parallel_for_chunks(
-      n, [&fn](std::size_t, std::size_t begin, std::size_t end) { fn(begin, end); });
+std::size_t ThreadPool::num_chunks(std::size_t n,
+                                   std::size_t min_chunk) const noexcept {
+  if (n == 0) return 0;
+  const std::size_t by_grain = n / std::max<std::size_t>(min_chunk, 1);
+  return std::clamp<std::size_t>(by_grain, 1, parallelism_ * 4);
 }
 
-std::size_t ThreadPool::num_chunks(std::size_t n) const noexcept {
-  return std::min(n, workers_.size() * 4);
-}
-
-void ThreadPool::parallel_for_chunks(
-    std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
-  if (n == 0) return;
-  const std::size_t chunks = num_chunks(n);
-  const std::size_t step = (n + chunks - 1) / chunks;
-  std::size_t chunk = 0;
-  for (std::size_t begin = 0; begin < n; begin += step, ++chunk) {
-    const std::size_t end = std::min(begin + step, n);
-    submit([&fn, chunk, begin, end] { fn(chunk, begin, end); });
+std::size_t ThreadPool::work_on(ForkJoin& fj) {
+  std::size_t executed = 0;
+  for (;;) {
+    const std::size_t c = fj.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= fj.chunks) return executed;
+    const std::size_t begin = c * fj.step;
+    fj.invoke(fj.ctx, c, begin, std::min(begin + fj.step, fj.n));
+    ++executed;
   }
-  wait_idle();
+}
+
+void ThreadPool::run_chunks(std::size_t n, std::size_t min_chunk, void* ctx,
+                            ChunkFn invoke) {
+  if (n == 0) return;
+  const std::size_t chunks = num_chunks(n, min_chunk);
+  const std::size_t step = (n + chunks - 1) / chunks;
+  // Inline when dispatch cannot help or is not safe: a single chunk, a call
+  // from one of this pool's own workers (nested parallel loop), or a
+  // fork-join already in flight from another thread.
+  bool inline_run = chunks <= 1 || t_worker_of == this;
+  ForkJoin fj{ctx, invoke, n, step, chunks, {}, 0, 0};
+  if (!inline_run) {
+    std::lock_guard lk(mu_);
+    if (fj_ != nullptr) {
+      inline_run = true;
+    } else {
+      fj_ = &fj;
+    }
+  }
+  if (inline_run) {
+    for (std::size_t c = 0, begin = 0; begin < n; begin += step, ++c) {
+      invoke(ctx, c, begin, std::min(begin + step, n));
+    }
+    return;
+  }
+  // Wake only as many workers as there are chunks left after the caller
+  // takes one — on an oversubscribed pool (more workers than cores) a
+  // broadcast would stampede every thread through the mutex for nothing.
+  const std::size_t wake = std::min(chunks - 1, workers_.size());
+  if (wake >= workers_.size()) {
+    cv_task_.notify_all();
+  } else {
+    for (std::size_t i = 0; i < wake; ++i) cv_task_.notify_one();
+  }
+  const std::size_t mine = work_on(fj);
+  std::unique_lock lk(mu_);
+  fj.done += mine;
+  cv_idle_.wait(lk, [&fj] { return fj.done == fj.chunks && fj.active == 0; });
+  fj_ = nullptr;
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_of = this;
+  std::unique_lock lk(mu_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lk(mu_);
-      cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop();
+    cv_task_.wait(lk, [this] {
+      return stop_ || !queue_.empty() ||
+             (fj_ != nullptr &&
+              fj_->next.load(std::memory_order_relaxed) < fj_->chunks);
+    });
+    if (fj_ != nullptr &&
+        fj_->next.load(std::memory_order_relaxed) < fj_->chunks) {
+      ForkJoin* fj = fj_;
+      ++fj->active;
+      lk.unlock();
+      const std::size_t mine = work_on(*fj);
+      lk.lock();
+      fj->done += mine;
+      --fj->active;
+      if (fj->done == fj->chunks && fj->active == 0) cv_idle_.notify_all();
+      continue;
     }
-    task();
-    {
-      std::lock_guard lk(mu_);
+    if (!queue_.empty()) {
+      auto task = std::move(queue_.front());
+      queue_.pop();
+      lk.unlock();
+      task();
+      lk.lock();
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
+      continue;
     }
+    if (stop_) return;
   }
 }
 

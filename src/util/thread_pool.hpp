@@ -1,22 +1,41 @@
-// Fixed-size thread pool used by the parallel matching algorithms and the
-// threaded actor runtime helpers.
+// Fixed-size thread pool used by the parallel matching algorithms, the
+// parallel construction pipeline, and the threaded actor runtime helpers.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace overmatch::util {
 
-/// Simple fixed-size pool. Tasks are void() callables; completion is observed
-/// with wait_idle(). Designed for fork-join phases in the parallel matchers,
-/// not for general futures.
+/// Simple fixed-size pool with two execution paths:
+///
+///  * a queue of `std::function<void()>` tasks (submit / wait_idle) for
+///    irregular work such as the actor-runtime helpers, and
+///  * a **no-allocation fork-join fast path** (parallel_for /
+///    parallel_for_chunks) for the data-parallel phases of the construction
+///    pipeline and the matchers. One type-erased pointer to the caller's
+///    callable is shared by every worker; chunks are handed out through an
+///    atomic cursor, so dispatching a parallel loop performs zero heap
+///    allocations and one condition-variable broadcast regardless of the
+///    chunk count (the old implementation wrapped the callable into a fresh
+///    std::function per chunk — an allocation and a queue round-trip each).
+///
+/// The calling thread participates in fork-join work, so a pool of size 1
+/// still makes progress even if its worker is busy, and small loops degrade
+/// to a plain inline loop (no dispatch at all) once they fit in one chunk.
 class ThreadPool {
  public:
+  /// Elements per chunk below which parallel dispatch is not worth the
+  /// coordination; parallel_for callers can override per call site.
+  static constexpr std::size_t kDefaultMinChunk = 1024;
+
   /// Spawns `threads` workers (>= 1).
   explicit ThreadPool(std::size_t threads);
   ~ThreadPool();
@@ -24,40 +43,78 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue one task.
+  /// Enqueue one task (queue path; allocates the std::function as usual).
   void submit(std::function<void()> task);
 
   /// Block until every submitted task has finished executing.
   void wait_idle();
 
-  /// Partition [0, n) into contiguous chunks, run `fn(begin, end)` on the pool,
-  /// and wait for completion.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+  /// Partition [0, n) into contiguous chunks of at least `min_chunk`
+  /// elements, run `fn(begin, end)` across the pool (caller included), and
+  /// wait for completion. No heap allocation. When the range fits in one
+  /// chunk — or when called from inside one of this pool's workers — the
+  /// loop runs inline on the calling thread.
+  template <typename F>
+  void parallel_for(std::size_t n, F&& fn,
+                    std::size_t min_chunk = kDefaultMinChunk) {
+    run_chunks(n, min_chunk,
+               const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+               [](void* ctx, std::size_t, std::size_t begin, std::size_t end) {
+                 (*static_cast<std::remove_reference_t<F>*>(ctx))(begin, end);
+               });
+  }
 
   /// Number of chunks parallel_for/parallel_for_chunks splits [0, n) into.
-  /// Deterministic for a given (n, pool size) so callers can preallocate one
-  /// result slot per chunk and merge without synchronization.
-  [[nodiscard]] std::size_t num_chunks(std::size_t n) const noexcept;
+  /// Deterministic for a given (n, pool size, min_chunk) so callers can
+  /// preallocate one result slot per chunk and merge without
+  /// synchronization. Monotone non-decreasing in n.
+  [[nodiscard]] std::size_t num_chunks(
+      std::size_t n, std::size_t min_chunk = kDefaultMinChunk) const noexcept;
 
   /// Like parallel_for but also passes the chunk index: fn(chunk, begin, end)
-  /// with chunk ∈ [0, num_chunks(n)). Each chunk index is used exactly once,
-  /// so writes to per-chunk slots are race-free by construction — the
-  /// lock-free alternative to collecting results under a mutex.
-  void parallel_for_chunks(
-      std::size_t n,
-      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+  /// with chunk ∈ [0, num_chunks(n, min_chunk)). Each chunk index is used
+  /// exactly once, so writes to per-chunk slots are race-free by
+  /// construction — the lock-free alternative to collecting results under a
+  /// mutex.
+  template <typename F>
+  void parallel_for_chunks(std::size_t n, F&& fn,
+                           std::size_t min_chunk = kDefaultMinChunk) {
+    run_chunks(n, min_chunk,
+               const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+               [](void* ctx, std::size_t chunk, std::size_t begin, std::size_t end) {
+                 (*static_cast<std::remove_reference_t<F>*>(ctx))(chunk, begin, end);
+               });
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Useful parallelism: worker count capped at the machine's hardware
+  /// concurrency. Splitting work wider than the machine adds merge passes
+  /// and wakeups without adding throughput, so chunk counts and sort block
+  /// counts scale with this instead of size(). On a machine with at least
+  /// size() cores the two are equal.
+  [[nodiscard]] std::size_t parallelism() const noexcept { return parallelism_; }
+
  private:
+  struct ForkJoin;
+
+  /// Type-erased chunk invoker: invoke(ctx, chunk, begin, end).
+  using ChunkFn = void (*)(void*, std::size_t, std::size_t, std::size_t);
+
+  void run_chunks(std::size_t n, std::size_t min_chunk, void* ctx, ChunkFn invoke);
+  /// Grab and execute chunks of `fj` until the cursor is exhausted; returns
+  /// the number of chunks this thread executed.
+  static std::size_t work_on(ForkJoin& fj);
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  std::size_t parallelism_ = 1;
   std::queue<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
+  std::size_t in_flight_ = 0;   ///< queue-path tasks pending/executing
+  ForkJoin* fj_ = nullptr;      ///< active fork-join job (guarded by mu_)
   bool stop_ = false;
 };
 

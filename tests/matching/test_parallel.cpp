@@ -5,6 +5,7 @@
 #include "matching/lic.hpp"
 #include "matching/verify.hpp"
 #include "tests/matching/common.hpp"
+#include "util/thread_pool.hpp"
 
 namespace overmatch::matching {
 namespace {
@@ -76,6 +77,36 @@ TEST(ParallelLocal, EmptyGraph) {
   const prefs::EdgeWeights w(g, {});
   const auto m = parallel_local_dominant(w, Quotas(4, 1), 2);
   EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(ParallelLocal, ExternalPoolMatchesOwnedPool) {
+  // The pool overload must compute the same matching as the spawn-per-call
+  // version, and reusing one pool across runs must not leak state between
+  // them.
+  auto inst = testing::Instance::random("er", 60, 7.0, 3, 12);
+  util::ThreadPool pool(4);
+  const auto seq = lic_global(*inst->weights, inst->profile->quotas());
+  for (int run = 0; run < 3; ++run) {
+    const auto par =
+        parallel_local_dominant(*inst->weights, inst->profile->quotas(), pool);
+    EXPECT_TRUE(seq.same_edges(par)) << "run " << run;
+  }
+}
+
+TEST(ParallelLocal, StressLargeInstanceAcrossPoolSizes) {
+  // Big enough that every code path is exercised with real multi-chunk
+  // dispatch (frontier > chunk cutoff in early rounds, inline single-chunk
+  // rounds in the tail). Under -DOVERMATCH_SANITIZE=thread this is the data
+  //-race stress for the whole pipeline: parallel weight build + matcher.
+  auto inst = testing::Instance::random("er", 3000, 10.0, 3, 99);
+  const auto seq = lic_global(*inst->weights, inst->profile->quotas());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    util::ThreadPool pool(threads);
+    const auto pw = prefs::paper_weights(*inst->profile, &pool);
+    EXPECT_EQ(pw.keys(), inst->weights->keys());
+    const auto par = parallel_local_dominant(pw, inst->profile->quotas(), pool);
+    EXPECT_TRUE(seq.same_edges(par)) << "threads=" << threads;
+  }
 }
 
 TEST(ParallelLocal, CertificateHolds) {

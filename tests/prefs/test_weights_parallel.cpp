@@ -1,0 +1,184 @@
+// Determinism contract of the parallel construction pipeline: every artifact
+// built with a ThreadPool — EdgeWeights (all four weight designs, raw weight
+// vectors with dense exact ties), PreferenceProfile rank indices, and the
+// graph CSR — must be byte-identical to the sequential reference at every
+// pool size. These are the property tests behind DESIGN.md §8.
+#include "prefs/weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "prefs/preference_profile.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace overmatch::prefs {
+namespace {
+
+constexpr std::size_t kPoolSizes[] = {1, 2, 4, 8};
+
+struct Instance {
+  graph::Graph g;
+  Quotas quotas;
+  std::unique_ptr<PreferenceProfile> profile;
+
+  static Instance make(const std::string& topology, std::size_t n, double degree,
+                       std::uint32_t quota, std::uint64_t seed) {
+    Instance inst;
+    util::Rng rng(seed);
+    inst.g = graph::by_name(topology, n, degree, rng);
+    inst.quotas = uniform_quotas(inst.g, quota);
+    inst.profile = std::make_unique<PreferenceProfile>(
+        PreferenceProfile::random(inst.g, inst.quotas, rng));
+    return inst;
+  }
+};
+
+void expect_identical(const EdgeWeights& ref, const EdgeWeights& par,
+                      std::size_t pool_size) {
+  // values/keys/order are exact element-wise comparisons — bit-identity, not
+  // tolerance. The incidence index must agree slice by slice.
+  EXPECT_EQ(ref.values(), par.values()) << "pool=" << pool_size;
+  EXPECT_EQ(ref.keys(), par.keys()) << "pool=" << pool_size;
+  ASSERT_EQ(ref.by_weight().size(), par.by_weight().size());
+  for (std::size_t i = 0; i < ref.by_weight().size(); ++i) {
+    ASSERT_EQ(ref.by_weight()[i], par.by_weight()[i])
+        << "order diverges at position " << i << " pool=" << pool_size;
+  }
+  for (graph::NodeId v = 0; v < ref.graph().num_nodes(); ++v) {
+    const auto a = ref.incident(v);
+    const auto b = par.incident(v);
+    ASSERT_EQ(a.size(), b.size()) << "node " << v << " pool=" << pool_size;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "node " << v << " slot " << i
+                            << " pool=" << pool_size;
+    }
+  }
+}
+
+using Factory = EdgeWeights (*)(const PreferenceProfile&, util::ThreadPool*);
+
+class ParallelWeightsEquality
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint32_t>> {};
+
+TEST_P(ParallelWeightsEquality, AllDesignsMatchSequentialAtEveryPoolSize) {
+  const auto [topology, quota] = GetParam();
+  const std::pair<const char*, Factory> designs[] = {
+      {"paper", [](const PreferenceProfile& p, util::ThreadPool* pool) {
+         return paper_weights(p, pool);
+       }},
+      {"min", [](const PreferenceProfile& p, util::ThreadPool* pool) {
+         return min_weights(p, pool);
+       }},
+      {"product", [](const PreferenceProfile& p, util::ThreadPool* pool) {
+         return product_weights(p, pool);
+       }},
+      {"ranksum", [](const PreferenceProfile& p, util::ThreadPool* pool) {
+         return ranksum_weights(p, pool);
+       }},
+  };
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto inst = Instance::make(topology, 120, 7.0, quota, seed * 31);
+    for (const auto& [name, make] : designs) {
+      const auto ref = make(*inst.profile, nullptr);
+      for (const std::size_t ps : kPoolSizes) {
+        util::ThreadPool pool(ps);
+        const auto par = make(*inst.profile, &pool);
+        SCOPED_TRACE(::testing::Message() << name << " " << topology << " b="
+                                          << quota << " seed=" << seed);
+        expect_identical(ref, par, ps);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParallelWeightsEquality,
+                         ::testing::Combine(::testing::Values("er", "ba", "ws"),
+                                            ::testing::Values<std::uint32_t>(1, 3)));
+
+TEST(ParallelWeightsEquality, DenseExactTiesSortDeterministically) {
+  // Raw weights with only 7 distinct values: almost every comparison is a
+  // primary-key tie, so the (u, v) tiebreak carries the whole order. Any
+  // instability in the parallel sort or a wrong descending-bits transform
+  // shows up here immediately.
+  const auto inst = Instance::make("er", 400, 9.0, 2, 77);
+  std::vector<double> w(inst.g.num_edges());
+  for (std::size_t e = 0; e < w.size(); ++e) {
+    w[e] = static_cast<double>(e % 7) / 7.0;
+  }
+  const EdgeWeights ref(inst.g, w);
+  for (const std::size_t ps : kPoolSizes) {
+    util::ThreadPool pool(ps);
+    const EdgeWeights par(inst.g, w, &pool);
+    expect_identical(ref, par, ps);
+  }
+}
+
+TEST(ParallelWeightsEquality, ZeroAndNegativeZeroCollapse) {
+  // The old comparator ordered by `>`, under which -0.0 and +0.0 tie and the
+  // (u, v) tiebreak decides. The bit-key transform must reproduce that: a
+  // graph whose weights mix the two zero signs still sorts identically.
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  const auto g = std::move(b).build();
+  const std::vector<double> w = {0.0, -0.0, -0.0, 0.0};
+  const EdgeWeights ref(g, w);
+  for (const std::size_t ps : kPoolSizes) {
+    util::ThreadPool pool(ps);
+    const EdgeWeights par(g, w, &pool);
+    expect_identical(ref, par, ps);
+  }
+}
+
+TEST(ParallelProfileEquality, FromScoresMatchesSequential) {
+  util::Rng rng(5);
+  const auto g = graph::by_name("ws", 200, 8.0, rng);
+  const auto quotas = uniform_quotas(g, 3);
+  const auto score = [](graph::NodeId i, graph::NodeId j) {
+    return static_cast<double>((i * 2654435761u) ^ (j * 40503u));
+  };
+  const auto ref = PreferenceProfile::from_scores(g, quotas, score);
+  for (const std::size_t ps : kPoolSizes) {
+    util::ThreadPool pool(ps);
+    const auto par = PreferenceProfile::from_scores(g, quotas, score, &pool);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto a = ref.list(v);
+      const auto b = par.list(v);
+      ASSERT_EQ(std::vector<graph::NodeId>(a.begin(), a.end()),
+                std::vector<graph::NodeId>(b.begin(), b.end()))
+          << "node " << v << " pool=" << ps;
+      for (const auto& adj : g.neighbors(v)) {
+        ASSERT_EQ(ref.rank(v, adj.neighbor), par.rank(v, adj.neighbor));
+      }
+    }
+  }
+}
+
+TEST(ParallelGraphEquality, BuildMatchesSequentialCsr) {
+  util::Rng rng(11);
+  const auto ref = graph::by_name("ba", 300, 10.0, rng);
+  for (const std::size_t ps : kPoolSizes) {
+    graph::GraphBuilder b(ref.num_nodes());
+    for (const auto& e : ref.edges()) b.add_edge(e.u, e.v);
+    util::ThreadPool pool(ps);
+    const auto par = std::move(b).build(&pool);
+    ASSERT_EQ(ref.edges(), par.edges());
+    for (graph::NodeId v = 0; v < ref.num_nodes(); ++v) {
+      const auto a = ref.neighbors(v);
+      const auto c = par.neighbors(v);
+      ASSERT_EQ(a.size(), c.size()) << "node " << v << " pool=" << ps;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].neighbor, c[i].neighbor);
+        ASSERT_EQ(a[i].edge, c[i].edge);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace overmatch::prefs

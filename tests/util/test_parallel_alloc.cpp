@@ -1,0 +1,84 @@
+// Allocation-count regression test for the ThreadPool fork-join fast path.
+//
+// The old ThreadPool::parallel_for wrapped the caller's std::function into a
+// fresh heap-allocated task per chunk per call — on the matcher's hot path
+// that is thousands of allocations per run. The fork-join fast path shares
+// one type-erased pointer to the caller's callable, so a steady-state
+// parallel_for performs zero heap allocations. This test pins that down by
+// overriding global operator new and counting while a flag is armed.
+//
+// This file must be its own test binary: the operator new replacement is
+// process-wide.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "util/thread_pool.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_allocs{0};
+
+void note_alloc() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  note_alloc();
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace overmatch::util {
+namespace {
+
+TEST(ThreadPoolAlloc, ParallelForSteadyStateAllocatesNothing) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  const auto body = [&](std::size_t b, std::size_t e) {
+    sum.fetch_add(static_cast<long>(e - b));
+  };
+  // Warm-up: thread stacks, lazy library init.
+  for (int r = 0; r < 4; ++r) pool.parallel_for(100000, body, 256);
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  for (int r = 0; r < 100; ++r) pool.parallel_for(100000, body, 256);
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "fork-join dispatch must not allocate per call or per chunk";
+  EXPECT_EQ(sum.load(), 104L * 100000L);
+}
+
+TEST(ThreadPoolAlloc, InlineSmallLoopAllocatesNothing) {
+  ThreadPool pool(2);
+  long sum = 0;
+  const auto body = [&](std::size_t b, std::size_t e) {
+    sum += static_cast<long>(e - b);
+  };
+  pool.parallel_for(64, body);  // below min_chunk: inline path
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  for (int r = 0; r < 1000; ++r) pool.parallel_for(64, body);
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocs.load(), 0u);
+  EXPECT_EQ(sum, 1001L * 64L);
+}
+
+}  // namespace
+}  // namespace overmatch::util

@@ -1,0 +1,88 @@
+#include "util/parallel_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace overmatch::util {
+namespace {
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed,
+                                       std::uint64_t modulus = 0) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = modulus == 0 ? rng() : rng() % modulus;
+  return v;
+}
+
+TEST(ParallelSort, MatchesStdSortWithoutPool) {
+  auto v = random_keys(1000, 7);
+  auto ref = v;
+  std::sort(ref.begin(), ref.end());
+  parallel_sort(v);
+  EXPECT_EQ(v, ref);
+}
+
+TEST(ParallelSort, MatchesStdSortAcrossPoolSizesAndSizes) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    for (const std::size_t n :
+         {0u, 1u, 100u, (1u << 14) - 1, (1u << 14), 100000u, 500001u}) {
+      auto v = random_keys(n, 31 * n + threads);
+      auto ref = v;
+      std::sort(ref.begin(), ref.end());
+      parallel_sort(v, std::less<std::uint64_t>{}, &pool);
+      ASSERT_EQ(v, ref) << "n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelSort, CustomComparatorDescending) {
+  ThreadPool pool(4);
+  auto v = random_keys(200000, 11);
+  auto ref = v;
+  const auto desc = [](std::uint64_t a, std::uint64_t b) { return a > b; };
+  std::sort(ref.begin(), ref.end(), desc);
+  parallel_sort(v, desc, &pool);
+  EXPECT_EQ(v, ref);
+}
+
+// The determinism contract: with a strict *total* order the sorted
+// permutation is unique, so heavy duplication in the primary key must not
+// change the result as long as a tie-break completes the order. This is the
+// exact shape of the EdgeWeights (weight, u, v) key.
+TEST(ParallelSort, TotalOrderWithDensePrimaryTiesIsDeterministic) {
+  const std::size_t n = 300000;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> v(n);
+  const auto primary = random_keys(n, 99, /*modulus=*/7);  // dense ties
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = {primary[i], static_cast<std::uint32_t>(i)};
+  }
+  auto ref = v;
+  std::sort(ref.begin(), ref.end());
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    auto w = v;
+    parallel_sort(w, std::less<std::pair<std::uint64_t, std::uint32_t>>{}, &pool);
+    ASSERT_EQ(w, ref) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSort, AlreadySortedAndReversed) {
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> asc(120000);
+  for (std::size_t i = 0; i < asc.size(); ++i) asc[i] = i;
+  auto v = asc;
+  parallel_sort(v, std::less<std::uint64_t>{}, &pool);
+  EXPECT_EQ(v, asc);
+  std::vector<std::uint64_t> rev(asc.rbegin(), asc.rend());
+  parallel_sort(rev, std::less<std::uint64_t>{}, &pool);
+  EXPECT_EQ(rev, asc);
+}
+
+}  // namespace
+}  // namespace overmatch::util

@@ -78,5 +78,110 @@ TEST(ThreadPool, TasksSubmittedFromTasks) {
   EXPECT_EQ(count.load(), 2);
 }
 
+TEST(ThreadPool, ForkJoinCoversLargeRangeOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(50000);
+  pool.parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkIndicesEachUsedOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 64;
+  std::vector<std::atomic<int>> chunk_hits(pool.num_chunks(n, 1));
+  pool.parallel_for_chunks(
+      n,
+      [&](std::size_t chunk, std::size_t, std::size_t) {
+        chunk_hits[chunk].fetch_add(1);
+      },
+      /*min_chunk=*/1);
+  for (const auto& h : chunk_hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NumChunksIsMonotoneAndBounded) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_chunks(0), 0u);
+  std::size_t prev = 0;
+  for (std::size_t n = 1; n < (1u << 18); n *= 3) {
+    const std::size_t c = pool.num_chunks(n);
+    EXPECT_GE(c, 1u);
+    EXPECT_LE(c, pool.size() * 4);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  // Small ranges collapse to a single (inline) chunk.
+  EXPECT_EQ(pool.num_chunks(ThreadPool::kDefaultMinChunk - 1), 1u);
+}
+
+TEST(ThreadPool, NestedParallelForFromTaskRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  pool.submit([&] {
+    // Issued from a worker: must fall back to an inline loop, not deadlock.
+    pool.parallel_for(
+        5000,
+        [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) sum.fetch_add(1);
+        },
+        /*min_chunk=*/1);
+  });
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 5000);
+}
+
+TEST(ThreadPool, NestedParallelForFromChunkBodyRunsInline) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallel_for(
+      8,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          pool.parallel_for(
+              100,
+              [&](std::size_t ib, std::size_t ie) {
+                sum.fetch_add(static_cast<long>(ie - ib));
+              },
+              /*min_chunk=*/1);
+        }
+      },
+      /*min_chunk=*/1);
+  EXPECT_EQ(sum.load(), 800);
+}
+
+TEST(ThreadPool, ConcurrentParallelForFromTwoExternalThreads) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  const auto loop = [&] {
+    for (int r = 0; r < 20; ++r) {
+      pool.parallel_for(
+          4096,
+          [&](std::size_t b, std::size_t e) {
+            sum.fetch_add(static_cast<long>(e - b));
+          },
+          /*min_chunk=*/64);
+    }
+  };
+  std::thread other(loop);
+  loop();
+  other.join();
+  EXPECT_EQ(sum.load(), 2L * 20L * 4096L);
+}
+
+TEST(ThreadPool, ForkJoinInterleavesWithSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> tasks{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { tasks.fetch_add(1); });
+  std::atomic<long> sum{0};
+  pool.parallel_for(
+      10000,
+      [&](std::size_t b, std::size_t e) { sum.fetch_add(static_cast<long>(e - b)); },
+      /*min_chunk=*/128);
+  pool.wait_idle();
+  EXPECT_EQ(tasks.load(), 50);
+  EXPECT_EQ(sum.load(), 10000);
+}
+
 }  // namespace
 }  // namespace overmatch::util

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare two overmatch-bench-v1 JSON files and flag regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json [--threshold=0.15] [--all]
+
+Records are keyed by (name, params, threads). For every key present in both
+files the median wall-clock time is compared; keys whose current median
+exceeds the baseline by more than the threshold (default 15%) are reported
+as regressions. Exit status is the number of regressions (0 = clean), so the
+script slots directly into CI or ctest.
+
+Records without timing samples (median_ms < 0) and keys present in only one
+file are listed for information but never counted as regressions — a bench
+gaining or losing a series is a review matter, not a perf failure.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "overmatch-bench-v1":
+        sys.exit(f"{path}: not an overmatch-bench-v1 file")
+    out = {}
+    for rec in doc.get("records", []):
+        key = (
+            rec["name"],
+            tuple(sorted(rec.get("params", {}).items())),
+            rec.get("threads", 1),
+        )
+        if key in out:
+            sys.exit(f"{path}: duplicate record key {key}")
+        out[key] = rec
+    return out
+
+
+def fmt_key(key):
+    name, params, threads = key
+    ps = ", ".join(f"{k}={v}" for k, v in params)
+    return f"{name} [{ps}] t={threads}"
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    opts = [a for a in argv[1:] if a.startswith("--")]
+    if len(args) != 2:
+        sys.exit(__doc__.strip())
+    threshold = 0.15
+    show_all = "--all" in opts
+    for o in opts:
+        if o.startswith("--threshold="):
+            threshold = float(o.split("=", 1)[1])
+
+    base = load(args[0])
+    cur = load(args[1])
+
+    regressions, improvements, compared = [], [], 0
+    for key in sorted(set(base) & set(cur)):
+        b, c = base[key]["median_ms"], cur[key]["median_ms"]
+        if b < 0 or c < 0:
+            continue  # counter-only record: no timing to compare
+        compared += 1
+        ratio = (c / b - 1.0) if b > 0 else (0.0 if c == 0 else float("inf"))
+        line = f"  {fmt_key(key)}: {b:.3f} ms -> {c:.3f} ms ({ratio:+.1%})"
+        if ratio > threshold:
+            regressions.append(line)
+        elif ratio < -threshold:
+            improvements.append(line)
+        elif show_all:
+            improvements.append(line)
+
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+
+    print(f"compared {compared} records (threshold {threshold:.0%})")
+    if regressions:
+        print(f"\nREGRESSIONS ({len(regressions)}):")
+        print("\n".join(regressions))
+    if improvements:
+        title = "other" if show_all else "improvements"
+        print(f"\n{title} ({len(improvements)}):")
+        print("\n".join(improvements))
+    for label, keys in (("only in baseline", only_base), ("only in current", only_cur)):
+        if keys:
+            print(f"\n{label} ({len(keys)}):")
+            print("\n".join(f"  {fmt_key(k)}" for k in keys))
+    if not regressions:
+        print("\nno regressions")
+    return len(regressions)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

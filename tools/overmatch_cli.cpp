@@ -21,7 +21,10 @@
 #include "matching/metrics.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+
+#include <memory>
 
 namespace {
 
@@ -40,7 +43,9 @@ void print_usage() {
       "solver:\n"
       "  --algo=NAME        see --list-algos                   [lid]\n"
       "  --schedule=NAME    fifo|random|delay|adversarial      [random]\n"
-      "  --threads=T        threaded runtimes                  [2]\n"
+      "  --threads=T        threaded runtimes; when given explicitly, also\n"
+      "                     parallelizes graph/preference/weight construction\n"
+      "                     (default: single-threaded build)   [2]\n"
       "output:\n"
       "  --csv              per-node CSV on stdout\n"
       "  --quiet            summary line only\n"
@@ -102,13 +107,20 @@ int main(int argc, char** argv) {
   opt.seed = seed;
   opt.schedule = sim::schedule_by_name(flags.get("schedule", "random"));
   opt.threads = static_cast<std::size_t>(flags.get_int("threads", 2));
+  // Construction parallelism is opt-in: only an explicit --threads arms the
+  // pool, so the default run keeps the original single-threaded build.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (flags.has("threads") && opt.threads >= 1) {
+    pool = std::make_unique<util::ThreadPool>(opt.threads);
+    opt.pool = pool.get();
+  }
   const auto algo = core::algorithm_by_name(flags.get("algo", "lid"));
   util::WallTimer timer;
   const auto result = core::solve(profile, algo, opt);
   const double elapsed_ms = timer.millis();
 
   // Report.
-  const auto weights = prefs::paper_weights(profile);
+  const auto weights = prefs::paper_weights(profile, opt.pool);
   const auto cert = core::certify(profile, weights, result.matching);
   const auto sats = matching::node_satisfactions(profile, result.matching);
   util::StreamingStats ss;
