@@ -21,7 +21,7 @@ void scheduler_table() {
       auto inst = bench::Instance::make("ba", 100, 6.0, 3, 2024);  // fixed instance
       const auto lic = matching::lic_global(*inst->weights, inst->profile->quotas());
       const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                       schedule, seed);
+                                       {.schedule = schedule, .seed = seed});
       if (lic.same_edges(r.matching)) ++equal;
       msgs.push_back(static_cast<double>(r.stats.total_sent));
       vtime.add(r.stats.completion_time);
@@ -48,8 +48,9 @@ void threaded_repeatability() {
     util::StreamingStats msgs;
     const std::size_t runs = 6;
     for (std::size_t rep = 0; rep < runs; ++rep) {
-      const auto r =
-          matching::run_lid_threaded(*inst->weights, inst->profile->quotas(), threads);
+      const auto r = matching::run_lid(
+          *inst->weights, inst->profile->quotas(),
+          {.runtime = matching::LidRuntime::kThreaded, .threads = threads});
       if (lic.same_edges(r.matching)) ++equal;
       msgs.add(static_cast<double>(r.stats.total_sent));
     }

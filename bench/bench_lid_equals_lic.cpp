@@ -31,8 +31,9 @@ void equivalence_table() {
                                                          seed * 31 + b);
           const auto lic = matching::lic_global(*inst->weights,
                                                 inst->profile->quotas());
-          const auto lid = matching::run_lid(*inst->weights,
-                                             inst->profile->quotas(), schedule, seed);
+          const auto lid =
+              matching::run_lid(*inst->weights, inst->profile->quotas(),
+                                {.schedule = schedule, .seed = seed});
           if (lic.same_edges(lid.matching)) ++equal;
           weight.add(lid.matching.total_weight(*inst->weights));
           msgs.add(static_cast<double>(lid.stats.total_sent));
@@ -70,7 +71,9 @@ void engine_family_table() {
       ++eq_parallel;
     }
     if (lic.same_edges(
-            matching::run_lid_threaded(*inst->weights, inst->profile->quotas(), 4)
+            matching::run_lid(*inst->weights, inst->profile->quotas(),
+                              {.runtime = matching::LidRuntime::kThreaded,
+                               .threads = 4})
                 .matching)) {
       ++eq_threaded;
     }

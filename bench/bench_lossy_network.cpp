@@ -21,7 +21,7 @@ void loss_sweep() {
       auto inst = bench::Instance::make("er", 80, 8.0, 3, seed * 5 + 1);
       base.add(static_cast<double>(
           matching::run_lid(*inst->weights, inst->profile->quotas(),
-                            sim::Schedule::kRandomDelay, seed)
+                            {.schedule = sim::Schedule::kRandomDelay, .seed = seed})
               .stats.total_sent));
     }
     baseline_msgs = base.mean();
@@ -38,7 +38,8 @@ void loss_sweep() {
       auto inst = bench::Instance::make("er", 80, 8.0, 3, seed * 5 + 1);
       const auto lic = matching::lic_global(*inst->weights, inst->profile->quotas());
       const auto r =
-          matching::run_lid_lossy(*inst->weights, inst->profile->quotas(), loss, seed);
+          matching::run_lid(*inst->weights, inst->profile->quotas(),
+                            {.loss_rate = loss, .reliable = true, .seed = seed});
       if (lic.same_edges(r.matching)) ++equal;
       msgs.add(static_cast<double>(r.stats.total_sent));
       dropped.add(static_cast<double>(r.stats.total_dropped));

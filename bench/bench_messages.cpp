@@ -24,7 +24,7 @@ void series_vs_n(bench::JsonReport& json) {
       auto inst = bench::Instance::make("er", n, 8.0, 3, seed * 7 + n);
       util::WallTimer timer;
       const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                       sim::Schedule::kRandomOrder, seed);
+                                       {.seed = seed});
       run_ms.push_back(timer.millis());
       m_edges.add(static_cast<double>(inst->g.num_edges()));
       prop.add(static_cast<double>(r.stats.kind_count(matching::kMsgProp)));
@@ -57,7 +57,7 @@ void series_vs_degree() {
     for (std::uint64_t seed = 1; seed <= bench::seeds(5); ++seed) {
       auto inst = bench::Instance::make("er", 128, d, 3, seed * 11 + 1);
       const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                       sim::Schedule::kRandomOrder, seed);
+                                       {.seed = seed});
       m_edges.add(static_cast<double>(inst->g.num_edges()));
       total.add(static_cast<double>(r.stats.total_sent));
     }
@@ -81,7 +81,7 @@ void series_vs_quota() {
     for (std::uint64_t seed = 1; seed <= bench::seeds(5); ++seed) {
       auto inst = bench::Instance::make("er", 128, 16.0, b, seed * 13 + b);
       const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                       sim::Schedule::kRandomOrder, seed);
+                                       {.seed = seed});
       total.add(static_cast<double>(r.stats.total_sent));
       per_edge.add(static_cast<double>(r.stats.total_sent) /
                    static_cast<double>(inst->g.num_edges()));
@@ -113,7 +113,7 @@ void schedule_spread() {
     for (std::uint64_t seed = 1; seed <= bench::seeds(8); ++seed) {
       auto inst = bench::Instance::make("er", 96, 8.0, 3, 555);  // same instance
       const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                       schedule, seed);
+                                       {.schedule = schedule, .seed = seed});
       msgs.add(static_cast<double>(r.stats.total_sent));
       weight = r.matching.total_weight(*inst->weights);  // identical across runs
     }

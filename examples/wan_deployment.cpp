@@ -49,7 +49,8 @@ int main(int argc, char** argv) {
               "(quota %u)\n", quota);
 
   // Phase 3: distributed matching over the lossy WAN.
-  const auto r = matching::run_lid_lossy(weights, profile.quotas(), loss, seed);
+  const auto r = matching::run_lid(weights, profile.quotas(),
+                                   {.loss_rate = loss, .reliable = true, .seed = seed});
   std::printf(
       "phase 3 — LID over %.0f%% loss: %zu connections established\n"
       "          wire traffic %zu msgs (%zu dropped, %zu retransmitted, "

@@ -1,5 +1,6 @@
 #include "core/solvers.hpp"
 
+#include "obs/registry.hpp"
 #include "matching/baselines.hpp"
 #include "matching/bsuitor.hpp"
 #include "matching/exact.hpp"
@@ -52,82 +53,128 @@ const std::vector<Algorithm>& all_algorithms() {
   return kAll;
 }
 
+namespace {
+
+matching::LidOptions lid_options(const SolveOptions& options,
+                                 matching::LidRuntime runtime,
+                                 obs::Registry& reg) {
+  matching::LidOptions lopt;
+  lopt.runtime = runtime;
+  lopt.schedule = options.schedule;
+  lopt.loss_rate = options.loss_rate;
+  lopt.seed = options.seed;
+  lopt.threads = options.threads;
+  lopt.registry = &reg;
+  return lopt;
+}
+
+SolveResult solve_impl(const prefs::PreferenceProfile& profile,
+                       const prefs::EdgeWeights& w, Algorithm a,
+                       const SolveOptions& options, obs::Registry& reg) {
+  reg.set_label("algo", algorithm_name(a));
+  const auto& quotas = profile.quotas();
+  matching::Matching m(profile.graph(), quotas);
+  std::size_t messages = 0;
+  std::size_t retransmissions = 0;
+  bool converged = true;
+  {
+    obs::ScopedTimer match_timer(reg.timer("phase.match"));
+    switch (a) {
+      case Algorithm::kLidDes: {
+        auto r = matching::run_lid(
+            w, quotas, lid_options(options, matching::LidRuntime::kEventSim, reg));
+        m = std::move(r.matching);
+        messages = r.stats.total_sent;
+        retransmissions = r.retransmissions;
+        break;
+      }
+      case Algorithm::kLidThreaded: {
+        auto r = matching::run_lid(
+            w, quotas, lid_options(options, matching::LidRuntime::kThreaded, reg));
+        m = std::move(r.matching);
+        messages = r.stats.total_sent;
+        retransmissions = r.retransmissions;
+        break;
+      }
+      case Algorithm::kLicGlobal:
+        m = matching::lic_global(w, quotas);
+        break;
+      case Algorithm::kLicLocal:
+        m = matching::lic_local(w, quotas, options.seed, &reg);
+        break;
+      case Algorithm::kParallelLocal:
+        m = options.pool != nullptr
+                ? matching::parallel_local_dominant(w, quotas, *options.pool, &reg)
+                : matching::parallel_local_dominant(w, quotas, options.threads, &reg);
+        break;
+      case Algorithm::kBSuitor:
+        m = matching::b_suitor(w, quotas, &reg);
+        break;
+      case Algorithm::kParallelBSuitor:
+        m = matching::parallel_b_suitor(w, quotas, options.threads, &reg);
+        break;
+      case Algorithm::kLidLocalSearch: {
+        auto r = matching::run_lid(
+            w, quotas, lid_options(options, matching::LidRuntime::kEventSim, reg));
+        m = std::move(r.matching);
+        messages = r.stats.total_sent;
+        retransmissions = r.retransmissions;
+        (void)matching::improve_satisfaction(profile, m);
+        break;
+      }
+      case Algorithm::kRandomGreedy:
+        m = matching::random_order_greedy(w, quotas, options.seed);
+        break;
+      case Algorithm::kMutualBest:
+        m = matching::rank_mutual_best(profile);
+        break;
+      case Algorithm::kBestReply: {
+        auto r = matching::best_reply_dynamics(profile, options.seed,
+                                               options.best_reply_max_steps);
+        m = std::move(r.matching);
+        converged = r.converged;
+        break;
+      }
+      case Algorithm::kExactWeight:
+        m = matching::exact_max_weight_bmatching(w, quotas);
+        break;
+      case Algorithm::kExactSat:
+        m = matching::exact_max_satisfaction(profile);
+        break;
+    }
+  }
+  SolveResult out{std::move(m), 0.0, 0.0, 0.0, messages, retransmissions,
+                  converged, {}};
+  {
+    obs::ScopedTimer metrics_timer(reg.timer("phase.metrics"));
+    out.weight = out.matching.total_weight(w);
+    out.satisfaction = matching::total_satisfaction(profile, out.matching);
+    out.satisfaction_modified =
+        matching::total_satisfaction_modified(profile, out.matching);
+  }
+  out.metrics = reg.snapshot();
+  return out;
+}
+
+}  // namespace
+
 SolveResult solve(const prefs::PreferenceProfile& profile, Algorithm a,
                   const SolveOptions& options) {
-  const auto w = prefs::paper_weights(profile, options.pool);
-  return solve_with_weights(profile, w, a, options);
+  obs::Registry owned;
+  obs::Registry& reg = options.registry != nullptr ? *options.registry : owned;
+  const auto w = [&] {
+    obs::ScopedTimer build_timer(reg.timer("phase.weights_build"));
+    return prefs::paper_weights(profile, options.pool);
+  }();
+  return solve_impl(profile, w, a, options, reg);
 }
 
 SolveResult solve_with_weights(const prefs::PreferenceProfile& profile,
                                const prefs::EdgeWeights& w, Algorithm a,
                                const SolveOptions& options) {
-  const auto& quotas = profile.quotas();
-  matching::Matching m(profile.graph(), quotas);
-  std::size_t messages = 0;
-  bool converged = true;
-  switch (a) {
-    case Algorithm::kLidDes: {
-      auto r = matching::run_lid(w, quotas, options.schedule, options.seed);
-      m = std::move(r.matching);
-      messages = r.stats.total_sent;
-      break;
-    }
-    case Algorithm::kLidThreaded: {
-      auto r = matching::run_lid_threaded(w, quotas, options.threads);
-      m = std::move(r.matching);
-      messages = r.stats.total_sent;
-      break;
-    }
-    case Algorithm::kLicGlobal:
-      m = matching::lic_global(w, quotas);
-      break;
-    case Algorithm::kLicLocal:
-      m = matching::lic_local(w, quotas, options.seed);
-      break;
-    case Algorithm::kParallelLocal:
-      m = options.pool != nullptr
-              ? matching::parallel_local_dominant(w, quotas, *options.pool)
-              : matching::parallel_local_dominant(w, quotas, options.threads);
-      break;
-    case Algorithm::kBSuitor:
-      m = matching::b_suitor(w, quotas);
-      break;
-    case Algorithm::kParallelBSuitor:
-      m = matching::parallel_b_suitor(w, quotas, options.threads);
-      break;
-    case Algorithm::kLidLocalSearch: {
-      auto r = matching::run_lid(w, quotas, options.schedule, options.seed);
-      m = std::move(r.matching);
-      messages = r.stats.total_sent;
-      (void)matching::improve_satisfaction(profile, m);
-      break;
-    }
-    case Algorithm::kRandomGreedy:
-      m = matching::random_order_greedy(w, quotas, options.seed);
-      break;
-    case Algorithm::kMutualBest:
-      m = matching::rank_mutual_best(profile);
-      break;
-    case Algorithm::kBestReply: {
-      auto r = matching::best_reply_dynamics(profile, options.seed,
-                                             options.best_reply_max_steps);
-      m = std::move(r.matching);
-      converged = r.converged;
-      break;
-    }
-    case Algorithm::kExactWeight:
-      m = matching::exact_max_weight_bmatching(w, quotas);
-      break;
-    case Algorithm::kExactSat:
-      m = matching::exact_max_satisfaction(profile);
-      break;
-  }
-  SolveResult out{std::move(m), 0.0, 0.0, 0.0, messages, converged};
-  out.weight = out.matching.total_weight(w);
-  out.satisfaction = matching::total_satisfaction(profile, out.matching);
-  out.satisfaction_modified =
-      matching::total_satisfaction_modified(profile, out.matching);
-  return out;
+  obs::Registry owned;
+  obs::Registry& reg = options.registry != nullptr ? *options.registry : owned;
+  return solve_impl(profile, w, a, options, reg);
 }
 
 }  // namespace overmatch::core

@@ -7,12 +7,17 @@
 #include <vector>
 
 #include "matching/matching.hpp"
+#include "obs/snapshot.hpp"
 #include "prefs/preference_profile.hpp"
 #include "prefs/weights.hpp"
 #include "sim/event_sim.hpp"
 
 namespace overmatch::util {
 class ThreadPool;
+}
+
+namespace overmatch::obs {
+class Registry;
 }
 
 namespace overmatch::core {
@@ -43,11 +48,20 @@ struct SolveOptions {
   sim::Schedule schedule = sim::Schedule::kRandomOrder;
   std::size_t threads = 2;
   std::size_t best_reply_max_steps = 100000;
+  /// i.i.d. wire-message drop probability for the distributed LID runtimes
+  /// (loss > 0 composes every node with the reliable-delivery adapter).
+  /// Ignored by the centralized/shared-memory algorithms.
+  double loss_rate = 0.0;
   /// Optional pool for the construction pipeline (weight build in solve())
   /// and the shared-memory parallel engines. nullptr — the default —
   /// preserves the single-threaded construction path exactly; the solver
   /// does not take ownership.
   util::ThreadPool* pool = nullptr;
+  /// Optional caller-owned metrics registry. When null the solver owns a
+  /// private registry for the duration of the call; either way
+  /// SolveResult::metrics carries the final snapshot (phase timers, runtime
+  /// message series, matcher counters).
+  obs::Registry* registry = nullptr;
 };
 
 struct SolveResult {
@@ -56,7 +70,9 @@ struct SolveResult {
   double satisfaction = 0.0;         ///< Σ S_i (eq. 1)
   double satisfaction_modified = 0.0;///< Σ S̄_i (eq. 6)
   std::size_t messages = 0;          ///< protocol messages (0 for centralized)
+  std::size_t retransmissions = 0;   ///< reliable-adapter resends (lossy LID)
   bool converged = true;             ///< false only for capped best-reply runs
+  obs::Snapshot metrics;             ///< always populated (see SolveOptions)
 };
 
 /// Runs `a` on (profile, eq.-9 weights) and reports every quality metric.

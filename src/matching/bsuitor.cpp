@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/registry.hpp"
+
 namespace overmatch::matching {
 namespace {
 
@@ -67,10 +69,8 @@ class SuitorState {
   mutable std::vector<std::size_t> weakest_idx_;  ///< kNoCache when stale
 };
 
-}  // namespace
-
-Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
-                  BSuitorInfo* info) {
+Matching b_suitor_impl(const prefs::EdgeWeights& w, const Quotas& quotas,
+                       BSuitorInfo& out_stats) {
   const auto& g = w.graph();
   OM_CHECK(quotas.size() == g.num_nodes());
   SuitorState suitors(w, quotas);
@@ -116,6 +116,27 @@ Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
     const auto& [u, v] = g.edge(e);
     if (suitors.holds(u, e) && suitors.holds(v, e)) m.add(e);
   }
+  out_stats = stats;
+  return m;
+}
+
+}  // namespace
+
+Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
+                  obs::Registry* registry) {
+  BSuitorInfo stats;
+  Matching m = b_suitor_impl(w, quotas, stats);
+  if (registry != nullptr) {
+    registry->counter("bsuitor.proposals").inc(stats.proposals);
+    registry->counter("bsuitor.displacements").inc(stats.displacements);
+  }
+  return m;
+}
+
+Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
+                  BSuitorInfo* info) {
+  BSuitorInfo stats;
+  Matching m = b_suitor_impl(w, quotas, stats);
   if (info != nullptr) *info = stats;
   return m;
 }

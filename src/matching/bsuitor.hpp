@@ -12,16 +12,30 @@
 #include "matching/matching.hpp"
 #include "prefs/weights.hpp"
 
+namespace overmatch::obs {
+class Registry;
+}
+
 namespace overmatch::matching {
+
+/// Sequential b-suitor. Returns the mutual-suitor matching (identical to
+/// lic_global for strict weight orders). `registry` (optional, caller-owned)
+/// receives `bsuitor.proposals` (total bids ≈ message complexity) and
+/// `bsuitor.displacements` (bids that knocked out a weaker suitor).
+[[nodiscard]] Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
+                                obs::Registry* registry = nullptr);
+
+// ---------------------------------------------------------------------------
+// Deprecated mutable-stats out-param (one PR cycle of grace, see CHANGES.md).
 
 struct BSuitorInfo {
   std::size_t proposals = 0;    ///< total bids made (≈ message complexity)
   std::size_t displacements = 0;///< bids that knocked out a weaker suitor
 };
 
-/// Sequential b-suitor. Returns the mutual-suitor matching (identical to
-/// lic_global for strict weight orders).
+[[deprecated("pass an obs::Registry* and read bsuitor.proposals / "
+             "bsuitor.displacements")]]
 [[nodiscard]] Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
-                                BSuitorInfo* info = nullptr);
+                                BSuitorInfo* info);
 
 }  // namespace overmatch::matching

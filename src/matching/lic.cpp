@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+
 namespace overmatch::matching {
 
 Matching lic_global(const prefs::EdgeWeights& w, const Quotas& quotas) {
@@ -39,10 +41,8 @@ class IncidenceIndex {
   std::vector<std::size_t> head_;
 };
 
-}  // namespace
-
-Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
-                   std::uint64_t scan_seed, LicLocalStats* stats) {
+Matching lic_local_impl(const prefs::EdgeWeights& w, const Quotas& quotas,
+                        std::uint64_t scan_seed, LicLocalStats& out_stats) {
   const auto& g = w.graph();
   Matching m(g, quotas);
   IncidenceIndex index(w, m);
@@ -100,7 +100,28 @@ Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
     }
   }
   OM_CHECK_MSG(m.is_maximal(), "lic_local must produce a maximal b-matching");
-  if (stats != nullptr) *stats = local_stats;
+  out_stats = local_stats;
+  return m;
+}
+
+}  // namespace
+
+Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
+                   std::uint64_t scan_seed, obs::Registry* registry) {
+  LicLocalStats stats;
+  Matching m = lic_local_impl(w, quotas, scan_seed, stats);
+  if (registry != nullptr) {
+    registry->counter("lic.pops").inc(stats.pops);
+    registry->gauge("lic.peak_queue").set_max(static_cast<double>(stats.peak_queue));
+  }
+  return m;
+}
+
+Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
+                   std::uint64_t scan_seed, LicLocalStats* stats) {
+  LicLocalStats local;
+  Matching m = lic_local_impl(w, quotas, scan_seed, local);
+  if (stats != nullptr) *stats = local;
   return m;
 }
 

@@ -22,18 +22,14 @@
 #include "prefs/weights.hpp"
 #include "util/rng.hpp"
 
+namespace overmatch::obs {
+class Registry;
+}
+
 namespace overmatch::matching {
 
 /// Global-sort engine. O(m log m).
 [[nodiscard]] Matching lic_global(const prefs::EdgeWeights& w, const Quotas& quotas);
-
-/// Work counters for lic_local (queue-discipline observability; the in-queue
-/// dedup guarantees peak_queue <= m regardless of how often selections
-/// re-promote the same top edge).
-struct LicLocalStats {
-  std::size_t pops = 0;        ///< candidates dequeued over the whole run
-  std::size_t peak_queue = 0;  ///< high-water mark of the candidate queue
-};
 
 /// Local-dominance engine: seeds a candidate queue with every node's top
 /// available edge (visiting nodes in a seeded arbitrary order) and selects
@@ -41,8 +37,24 @@ struct LicLocalStats {
 /// (= locally heaviest, eq. 13's recursive definition). Selections re-enqueue
 /// the fresh tops around both endpoints, so no dominant edge is ever missed.
 /// Each edge appears in the candidate queue at most once at a time.
+///
+/// `registry` (optional, caller-owned) receives the queue-discipline series:
+/// `lic.pops` (candidates dequeued) and the `lic.peak_queue` high-water gauge
+/// (the in-queue dedup guarantees peak_queue <= m).
 [[nodiscard]] Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
                                  std::uint64_t scan_seed,
-                                 LicLocalStats* stats = nullptr);
+                                 obs::Registry* registry = nullptr);
+
+// ---------------------------------------------------------------------------
+// Deprecated mutable-stats out-param (one PR cycle of grace, see CHANGES.md).
+
+struct LicLocalStats {
+  std::size_t pops = 0;        ///< candidates dequeued over the whole run
+  std::size_t peak_queue = 0;  ///< high-water mark of the candidate queue
+};
+
+[[deprecated("pass an obs::Registry* and read lic.pops / lic.peak_queue")]]
+[[nodiscard]] Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
+                                 std::uint64_t scan_seed, LicLocalStats* stats);
 
 }  // namespace overmatch::matching

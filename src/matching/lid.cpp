@@ -2,10 +2,19 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "sim/reliable.hpp"
 #include "sim/threaded_runtime.hpp"
 
 namespace overmatch::matching {
+
+const char* lid_runtime_name(LidRuntime r) {
+  switch (r) {
+    case LidRuntime::kEventSim: return "event-sim";
+    case LidRuntime::kThreaded: return "threaded";
+  }
+  return "?";
+}
 
 LidNode::LidNode(NodeId self, std::uint32_t quota, const prefs::EdgeWeights& w)
     : self_(self), quota_(quota) {
@@ -131,7 +140,7 @@ LidResult extract_result(const prefs::EdgeWeights& w, const Quotas& quotas,
       }
     }
   }
-  return LidResult{std::move(m), stats};
+  return LidResult{std::move(m), std::move(stats), 0, {}};
 }
 
 std::vector<std::unique_ptr<LidNode>> make_nodes(const prefs::EdgeWeights& w,
@@ -149,82 +158,121 @@ std::vector<std::unique_ptr<LidNode>> make_nodes(const prefs::EdgeWeights& w,
 }  // namespace
 
 LidResult run_lid(const prefs::EdgeWeights& w, const Quotas& quotas,
-                  sim::Schedule schedule, std::uint64_t seed) {
+                  const LidOptions& options) {
+  OM_CHECK_MSG(options.loss_rate >= 0.0 && options.loss_rate < 1.0,
+               "LID loss_rate must be in [0, 1)");
   auto nodes = make_nodes(w, quotas);
+  const bool lossy = options.loss_rate > 0.0 || options.reliable;
+
+  // Lossy runs compose every node with the reliable-delivery adapter. The
+  // retransmit interval (virtual-time units) exceeds the max DES round trip
+  // (link delays are in [0.5, 1.5]); the threaded runtime maps one unit to
+  // Options::time_unit of real time, so 4.0 units dwarf an in-process hop.
+  constexpr double kRetransmitInterval = 4.0;
+  std::vector<std::unique_ptr<sim::ReliableAgent>> wrappers;
   std::vector<sim::Agent*> agents;
   agents.reserve(nodes.size());
-  for (const auto& n : nodes) agents.push_back(n.get());
-  sim::EventSimulator es(std::move(agents), schedule, seed);
-  auto stats = es.run();
-  return extract_result(w, quotas, nodes, std::move(stats));
+  if (lossy) {
+    wrappers.reserve(nodes.size());
+    for (NodeId v = 0; v < nodes.size(); ++v) {
+      wrappers.push_back(std::make_unique<sim::ReliableAgent>(
+          v, nodes[v].get(), kRetransmitInterval, options.registry));
+      agents.push_back(wrappers.back().get());
+    }
+  } else {
+    for (const auto& n : nodes) agents.push_back(n.get());
+  }
+
+  sim::MessageStats stats;
+  switch (options.runtime) {
+    case LidRuntime::kEventSim: {
+      // Retransmission timers need virtual time, so lossy runs promote a
+      // non-delay schedule to kRandomDelay (the historical lossy behaviour).
+      sim::Schedule schedule = options.schedule;
+      if (lossy && schedule != sim::Schedule::kRandomDelay &&
+          schedule != sim::Schedule::kAdversarialDelay) {
+        schedule = sim::Schedule::kRandomDelay;
+      }
+      sim::EventSimulator es(std::move(agents), schedule, options.seed);
+      es.set_registry(options.registry);
+      if (options.loss_rate > 0.0) es.set_loss_probability(options.loss_rate);
+      stats = es.run();
+      break;
+    }
+    case LidRuntime::kThreaded: {
+      sim::ThreadedRuntime::Options rt_options;
+      rt_options.loss_probability = options.loss_rate;
+      rt_options.seed = options.seed;
+      rt_options.registry = options.registry;
+      sim::ThreadedRuntime rt(std::move(agents), options.threads, rt_options);
+      stats = rt.run();
+      break;
+    }
+  }
+  for (const auto& wrapper : wrappers) {
+    OM_CHECK_MSG(wrapper->terminated(), "lossy LID: unacked messages remain");
+  }
+
+  auto result = extract_result(w, quotas, nodes, std::move(stats));
+  LidResult out{std::move(result.matching), std::move(result.stats), 0, {}};
+  for (const auto& wrapper : wrappers) {
+    out.retransmissions += wrapper->retransmissions();
+  }
+  if (options.registry != nullptr) {
+    obs::Registry& reg = *options.registry;
+    reg.counter("lid.prop_sent").inc(out.stats.kind_count(kMsgProp));
+    reg.counter("lid.rej_sent").inc(out.stats.kind_count(kMsgRej));
+    reg.counter("lid.locked_edges").inc(out.matching.size());
+    if (lossy) reg.counter("lid.retransmissions").inc(out.retransmissions);
+    out.metrics = reg.snapshot();
+  }
+  return out;
+}
+
+// Deprecated forwarders. Each reproduces its historical behaviour (and, for
+// the DES paths, its exact RNG stream) through the unified entry point.
+
+LidResult run_lid(const prefs::EdgeWeights& w, const Quotas& quotas,
+                  sim::Schedule schedule, std::uint64_t seed) {
+  LidOptions options;
+  options.runtime = LidRuntime::kEventSim;
+  options.schedule = schedule;
+  options.seed = seed;
+  return run_lid(w, quotas, options);
+}
+
+LidResult run_lid_threaded(const prefs::EdgeWeights& w, const Quotas& quotas,
+                           std::size_t threads) {
+  LidOptions options;
+  options.runtime = LidRuntime::kThreaded;
+  options.threads = threads;
+  return run_lid(w, quotas, options);
 }
 
 LossyLidResult run_lid_lossy(const prefs::EdgeWeights& w, const Quotas& quotas,
                              double loss, std::uint64_t seed) {
-  auto nodes = make_nodes(w, quotas);
-  // Retransmit interval > max round trip (link delays are in [0.5, 1.5]).
-  constexpr double kRetransmitInterval = 4.0;
-  std::vector<std::unique_ptr<sim::ReliableAgent>> wrappers;
-  std::vector<sim::Agent*> agents;
-  wrappers.reserve(nodes.size());
-  agents.reserve(nodes.size());
-  for (NodeId v = 0; v < nodes.size(); ++v) {
-    wrappers.push_back(std::make_unique<sim::ReliableAgent>(v, nodes[v].get(),
-                                                            kRetransmitInterval));
-    agents.push_back(wrappers.back().get());
-  }
-  sim::EventSimulator es(std::move(agents), sim::Schedule::kRandomDelay, seed);
-  es.set_loss_probability(loss);
-  auto stats = es.run();
-  for (const auto& wrapper : wrappers) {
-    OM_CHECK_MSG(wrapper->terminated(), "lossy LID: unacked messages remain");
-  }
-  auto result = extract_result(w, quotas, nodes, std::move(stats));
-  LossyLidResult out{std::move(result.matching), result.stats, 0};
-  for (const auto& wrapper : wrappers) out.retransmissions += wrapper->retransmissions();
-  return out;
+  LidOptions options;
+  options.runtime = LidRuntime::kEventSim;
+  options.loss_rate = loss;
+  options.reliable = true;  // historical: the adapter ran even at loss == 0
+  options.seed = seed;
+  auto r = run_lid(w, quotas, options);
+  return LossyLidResult{std::move(r.matching), std::move(r.stats),
+                        r.retransmissions};
 }
 
 LossyLidResult run_lid_lossy_threaded(const prefs::EdgeWeights& w,
                                       const Quotas& quotas, double loss,
                                       std::uint64_t seed, std::size_t threads) {
-  auto nodes = make_nodes(w, quotas);
-  // Retransmit interval in virtual-time units; the runtime maps one unit to
-  // Options::time_unit of real time, so 4.0 units dwarf an in-process hop.
-  constexpr double kRetransmitInterval = 4.0;
-  std::vector<std::unique_ptr<sim::ReliableAgent>> wrappers;
-  std::vector<sim::Agent*> agents;
-  wrappers.reserve(nodes.size());
-  agents.reserve(nodes.size());
-  for (NodeId v = 0; v < nodes.size(); ++v) {
-    wrappers.push_back(std::make_unique<sim::ReliableAgent>(v, nodes[v].get(),
-                                                            kRetransmitInterval));
-    agents.push_back(wrappers.back().get());
-  }
-  sim::ThreadedRuntime::Options options;
-  options.loss_probability = loss;
+  LidOptions options;
+  options.runtime = LidRuntime::kThreaded;
+  options.loss_rate = loss;
+  options.reliable = true;  // historical: the adapter ran even at loss == 0
   options.seed = seed;
-  sim::ThreadedRuntime rt(std::move(agents), threads, options);
-  auto stats = rt.run();
-  for (const auto& wrapper : wrappers) {
-    OM_CHECK_MSG(wrapper->terminated(),
-                 "lossy threaded LID: unacked messages remain");
-  }
-  auto result = extract_result(w, quotas, nodes, std::move(stats));
-  LossyLidResult out{std::move(result.matching), result.stats, 0};
-  for (const auto& wrapper : wrappers) out.retransmissions += wrapper->retransmissions();
-  return out;
-}
-
-LidResult run_lid_threaded(const prefs::EdgeWeights& w, const Quotas& quotas,
-                           std::size_t threads) {
-  auto nodes = make_nodes(w, quotas);
-  std::vector<sim::Agent*> agents;
-  agents.reserve(nodes.size());
-  for (const auto& n : nodes) agents.push_back(n.get());
-  sim::ThreadedRuntime rt(std::move(agents), threads);
-  auto stats = rt.run();
-  return extract_result(w, quotas, nodes, std::move(stats));
+  options.threads = threads;
+  auto r = run_lid(w, quotas, options);
+  return LossyLidResult{std::move(r.matching), std::move(r.stats),
+                        r.retransmissions};
 }
 
 }  // namespace overmatch::matching

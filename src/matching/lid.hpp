@@ -22,9 +22,14 @@
 #include <vector>
 
 #include "matching/matching.hpp"
+#include "obs/snapshot.hpp"
 #include "prefs/weights.hpp"
 #include "sim/agent.hpp"
 #include "sim/event_sim.hpp"
+
+namespace overmatch::obs {
+class Registry;
+}
 
 namespace overmatch::matching {
 
@@ -77,18 +82,63 @@ class LidNode final : public sim::Agent {
   bool finished_ = false;
 };
 
-/// Result of a full distributed run.
-struct LidResult {
-  Matching matching;
-  sim::MessageStats stats;
+/// Which runtime executes the LID automata.
+enum class LidRuntime : std::uint8_t {
+  kEventSim,  ///< discrete-event simulator (deterministic per seed/schedule)
+  kThreaded,  ///< threaded actor runtime (real OS threads)
 };
 
-/// Runs LID under the discrete-event simulator with the given schedule/seed
-/// and extracts the (symmetric) locked matching.
+[[nodiscard]] const char* lid_runtime_name(LidRuntime r);
+
+/// One-entry-point configuration for every LID backend. The defaults
+/// reproduce the paper's reliable asynchronous network under the DES.
+struct LidOptions {
+  LidRuntime runtime = LidRuntime::kEventSim;
+  /// DES message schedule. Lossy DES runs need virtual time for the
+  /// retransmission timers, so a non-delay schedule is promoted to
+  /// kRandomDelay when loss_rate > 0 (matching the historical lossy path).
+  /// Ignored by the threaded runtime (the hardware is the schedule).
+  sim::Schedule schedule = sim::Schedule::kRandomOrder;
+  /// >0 drops each wire message i.i.d. with this probability and composes
+  /// every node with the reliable-delivery adapter (sim/reliable.hpp).
+  double loss_rate = 0.0;
+  /// Engage the ACK/retransmit adapter even at loss_rate == 0 — isolates the
+  /// adapter's overhead (ACK traffic, timers) from actual loss (bench E13).
+  bool reliable = false;
+  /// Seeds the DES schedule/loss RNG and the threaded runtime's loss streams.
+  std::uint64_t seed = 1;
+  /// Worker count for LidRuntime::kThreaded; ignored by the DES.
+  std::size_t threads = 2;
+  /// Optional metrics registry (caller-owned, may be null): receives the
+  /// runtime's `sim.*` series, the adapter's `reliable.*` series, and the
+  /// `lid.*` matcher counters; LidResult::metrics snapshots it.
+  obs::Registry* registry = nullptr;
+};
+
+/// Result of a full distributed run, for every backend.
+struct LidResult {
+  Matching matching;
+  sim::MessageStats stats;           ///< includes ACKs/retransmits when lossy
+  std::size_t retransmissions = 0;   ///< reliable-adapter resends (lossy only)
+  obs::Snapshot metrics;             ///< populated when a registry was attached
+};
+
+/// Runs LID on the backend selected by `options` and extracts the
+/// (symmetric) locked matching. By Lemmas 3–6 the matching is identical for
+/// every runtime, schedule, seed, thread count, and loss rate.
+[[nodiscard]] LidResult run_lid(const prefs::EdgeWeights& w, const Quotas& quotas,
+                                const LidOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Deprecated entry points (one PR cycle of grace, see CHANGES.md): thin
+// forwarders onto run_lid(w, quotas, LidOptions). New code must use the
+// unified entry point.
+
+[[deprecated("use run_lid(w, quotas, LidOptions) with LidRuntime::kEventSim")]]
 [[nodiscard]] LidResult run_lid(const prefs::EdgeWeights& w, const Quotas& quotas,
                                 sim::Schedule schedule, std::uint64_t seed);
 
-/// Runs LID on the threaded actor runtime with `threads` workers.
+[[deprecated("use run_lid(w, quotas, LidOptions) with LidRuntime::kThreaded")]]
 [[nodiscard]] LidResult run_lid_threaded(const prefs::EdgeWeights& w,
                                          const Quotas& quotas, std::size_t threads);
 
@@ -98,19 +148,13 @@ struct LossyLidResult {
   std::size_t retransmissions = 0;
 };
 
-/// Runs LID over a lossy network (each message dropped independently with
-/// probability `loss`), composing every node with the reliable-delivery
-/// adapter (sim/reliable.hpp). Extension beyond the paper's reliable-channel
-/// assumption: the matching is still exactly the LIC matching.
+[[deprecated("use run_lid(w, quotas, LidOptions) with loss_rate > 0")]]
 [[nodiscard]] LossyLidResult run_lid_lossy(const prefs::EdgeWeights& w,
                                            const Quotas& quotas, double loss,
                                            std::uint64_t seed);
 
-/// Lossy LID on the threaded actor runtime: every node is wrapped in the
-/// reliable-delivery adapter and the runtime drops each wire message
-/// independently with probability `loss`, retransmitting on real-time timers.
-/// Terminates with zero unacked messages and produces exactly the LIC
-/// matching, demonstrating the loss extension under true hardware concurrency.
+[[deprecated("use run_lid(w, quotas, LidOptions) with LidRuntime::kThreaded "
+             "and loss_rate > 0")]]
 [[nodiscard]] LossyLidResult run_lid_lossy_threaded(const prefs::EdgeWeights& w,
                                                     const Quotas& quotas,
                                                     double loss, std::uint64_t seed,

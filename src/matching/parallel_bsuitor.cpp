@@ -4,6 +4,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace overmatch::matching {
 namespace {
 
@@ -106,10 +108,8 @@ class SuitorHeaps {
   std::vector<std::size_t> count_;
 };
 
-}  // namespace
-
-Matching parallel_b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
-                           std::size_t threads, ParallelBSuitorInfo* info) {
+Matching parallel_b_suitor_impl(const prefs::EdgeWeights& w, const Quotas& quotas,
+                                std::size_t threads, ParallelBSuitorInfo& out_stats) {
   const auto& g = w.graph();
   const std::size_t n = g.num_nodes();
   OM_CHECK(quotas.size() == n);
@@ -204,11 +204,31 @@ Matching parallel_b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
     const auto& [u, v] = g.edge(e);
     if (suitors.holds(u, e) && suitors.holds(v, e)) m.add(e);
   }
-  if (info != nullptr) {
-    info->proposals = total_proposals.load();
-    info->displacements = total_displacements.load();
-    info->range_claims = total_claims.load();
+  out_stats.proposals = total_proposals.load();
+  out_stats.displacements = total_displacements.load();
+  out_stats.range_claims = total_claims.load();
+  return m;
+}
+
+}  // namespace
+
+Matching parallel_b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
+                           std::size_t threads, obs::Registry* registry) {
+  ParallelBSuitorInfo stats;
+  Matching m = parallel_b_suitor_impl(w, quotas, threads, stats);
+  if (registry != nullptr) {
+    registry->counter("pbsuitor.proposals").inc(stats.proposals);
+    registry->counter("pbsuitor.displacements").inc(stats.displacements);
+    registry->counter("pbsuitor.range_claims").inc(stats.range_claims);
   }
+  return m;
+}
+
+Matching parallel_b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
+                           std::size_t threads, ParallelBSuitorInfo* info) {
+  ParallelBSuitorInfo stats;
+  Matching m = parallel_b_suitor_impl(w, quotas, threads, stats);
+  if (info != nullptr) *info = stats;
   return m;
 }
 

@@ -29,7 +29,23 @@
 #include "matching/matching.hpp"
 #include "prefs/weights.hpp"
 
+namespace overmatch::obs {
+class Registry;
+}
+
 namespace overmatch::matching {
+
+/// Runs the parallel b-suitor on `threads` workers. Produces the same
+/// matching as sequential b_suitor for any thread count and interleaving.
+/// `registry` (optional, caller-owned) receives `pbsuitor.proposals`,
+/// `pbsuitor.displacements`, and `pbsuitor.range_claims` (node ranges
+/// claimed from the shared work-stealing counter).
+[[nodiscard]] Matching parallel_b_suitor(const prefs::EdgeWeights& w,
+                                         const Quotas& quotas, std::size_t threads,
+                                         obs::Registry* registry = nullptr);
+
+// ---------------------------------------------------------------------------
+// Deprecated mutable-stats out-param (one PR cycle of grace, see CHANGES.md).
 
 struct ParallelBSuitorInfo {
   std::size_t proposals = 0;     ///< accepted bids across all threads
@@ -37,10 +53,9 @@ struct ParallelBSuitorInfo {
   std::size_t range_claims = 0;  ///< node ranges claimed from the shared counter
 };
 
-/// Runs the parallel b-suitor on `threads` workers. Produces the same
-/// matching as sequential b_suitor for any thread count and interleaving.
+[[deprecated("pass an obs::Registry* and read the pbsuitor.* counters")]]
 [[nodiscard]] Matching parallel_b_suitor(const prefs::EdgeWeights& w,
                                          const Quotas& quotas, std::size_t threads,
-                                         ParallelBSuitorInfo* info = nullptr);
+                                         ParallelBSuitorInfo* info);
 
 }  // namespace overmatch::matching

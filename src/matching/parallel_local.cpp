@@ -2,18 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace overmatch::matching {
+namespace {
 
-Matching parallel_local_dominant(const prefs::EdgeWeights& w, const Quotas& quotas,
-                                 std::size_t threads, ParallelRunInfo* info_out) {
-  util::ThreadPool pool(threads);
-  return parallel_local_dominant(w, quotas, pool, info_out);
-}
-
-Matching parallel_local_dominant(const prefs::EdgeWeights& w, const Quotas& quotas,
-                                 util::ThreadPool& pool, ParallelRunInfo* info_out) {
+Matching parallel_local_impl(const prefs::EdgeWeights& w, const Quotas& quotas,
+                             util::ThreadPool& pool, ParallelRunInfo& info) {
   const auto& g = w.graph();
   const std::size_t n = g.num_nodes();
   Matching m(g, quotas);
@@ -115,8 +111,41 @@ Matching parallel_local_dominant(const prefs::EdgeWeights& w, const Quotas& quot
       in_frontier[v] = 1;
     }
   }
-  if (info_out != nullptr) info_out->rounds = rounds;
+  info.rounds = rounds;
   OM_CHECK_MSG(m.is_maximal(), "parallel matcher must produce a maximal b-matching");
+  return m;
+}
+
+}  // namespace
+
+Matching parallel_local_dominant(const prefs::EdgeWeights& w, const Quotas& quotas,
+                                 std::size_t threads, obs::Registry* registry) {
+  util::ThreadPool pool(threads);
+  return parallel_local_dominant(w, quotas, pool, registry);
+}
+
+Matching parallel_local_dominant(const prefs::EdgeWeights& w, const Quotas& quotas,
+                                 util::ThreadPool& pool, obs::Registry* registry) {
+  ParallelRunInfo info;
+  Matching m = parallel_local_impl(w, quotas, pool, info);
+  if (registry != nullptr) registry->counter("parallel.rounds").inc(info.rounds);
+  return m;
+}
+
+Matching parallel_local_dominant(const prefs::EdgeWeights& w, const Quotas& quotas,
+                                 std::size_t threads, ParallelRunInfo* info_out) {
+  util::ThreadPool pool(threads);
+  ParallelRunInfo info;
+  Matching m = parallel_local_impl(w, quotas, pool, info);
+  if (info_out != nullptr) *info_out = info;
+  return m;
+}
+
+Matching parallel_local_dominant(const prefs::EdgeWeights& w, const Quotas& quotas,
+                                 util::ThreadPool& pool, ParallelRunInfo* info_out) {
+  ParallelRunInfo info;
+  Matching m = parallel_local_impl(w, quotas, pool, info);
+  if (info_out != nullptr) *info_out = info;
   return m;
 }
 

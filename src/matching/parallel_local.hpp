@@ -31,24 +31,44 @@ namespace overmatch::util {
 class ThreadPool;
 }
 
+namespace overmatch::obs {
+class Registry;
+}
+
 namespace overmatch::matching {
 
-struct ParallelRunInfo {
-  std::size_t rounds = 0;
-};
-
 /// Runs the parallel matcher on `threads` workers (spawns a pool for the
-/// call). `info_out`, when non-null, receives round statistics.
+/// call). `registry` (optional, caller-owned) receives the
+/// `parallel.rounds` counter (synchronized rounds until fixpoint).
 [[nodiscard]] Matching parallel_local_dominant(const prefs::EdgeWeights& w,
                                                const Quotas& quotas,
                                                std::size_t threads,
-                                               ParallelRunInfo* info_out = nullptr);
+                                               obs::Registry* registry = nullptr);
 
 /// Same, on a caller-owned pool — lets repeated solves (benches, the
 /// pipeline) reuse one set of workers instead of spawning threads per run.
 [[nodiscard]] Matching parallel_local_dominant(const prefs::EdgeWeights& w,
                                                const Quotas& quotas,
                                                util::ThreadPool& pool,
-                                               ParallelRunInfo* info_out = nullptr);
+                                               obs::Registry* registry = nullptr);
+
+// ---------------------------------------------------------------------------
+// Deprecated mutable-stats out-param (one PR cycle of grace, see CHANGES.md).
+
+struct ParallelRunInfo {
+  std::size_t rounds = 0;
+};
+
+[[deprecated("pass an obs::Registry* and read parallel.rounds")]]
+[[nodiscard]] Matching parallel_local_dominant(const prefs::EdgeWeights& w,
+                                               const Quotas& quotas,
+                                               std::size_t threads,
+                                               ParallelRunInfo* info_out);
+
+[[deprecated("pass an obs::Registry* and read parallel.rounds")]]
+[[nodiscard]] Matching parallel_local_dominant(const prefs::EdgeWeights& w,
+                                               const Quotas& quotas,
+                                               util::ThreadPool& pool,
+                                               ParallelRunInfo* info_out);
 
 }  // namespace overmatch::matching

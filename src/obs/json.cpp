@@ -1,0 +1,156 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace overmatch::obs {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_fmt(std::string& out, const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& s, std::string_view source,
+                    std::size_t max_trace_events) {
+  std::string out;
+  out.reserve(1024 + 64 * (s.counters.size() + s.gauges.size() + s.timers.size()));
+  out += "{\n  \"schema\": \"overmatch-metrics-v1\",\n  \"source\": \"";
+  append_escaped(out, source);
+  out += "\",\n  \"labels\": {";
+  for (std::size_t i = 0; i < s.labels.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    append_escaped(out, s.labels[i].first);
+    out += "\": \"";
+    append_escaped(out, s.labels[i].second);
+    out += "\"";
+  }
+  out += s.labels.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"counters\": {";
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    append_escaped(out, s.counters[i].first);
+    out += "\": ";
+    append_u64(out, s.counters[i].second);
+  }
+  out += s.counters.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < s.gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    append_escaped(out, s.gauges[i].first);
+    out += "\": ";
+    append_fmt(out, "%.6f", s.gauges[i].second);
+  }
+  out += s.gauges.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"timers\": [";
+  for (std::size_t i = 0; i < s.timers.size(); ++i) {
+    const auto& t = s.timers[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"";
+    append_escaped(out, t.name);
+    out += "\", \"count\": ";
+    append_u64(out, t.count);
+    out += ", \"total_ms\": ";
+    append_fmt(out, "%.4f", t.total_ms);
+    out += ", \"min_ms\": ";
+    append_fmt(out, "%.4f", t.min_ms);
+    out += ", \"max_ms\": ";
+    append_fmt(out, "%.4f", t.max_ms);
+    out += "}";
+  }
+  out += s.timers.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"histograms\": [";
+  for (std::size_t i = 0; i < s.histograms.size(); ++i) {
+    const auto& h = s.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"";
+    append_escaped(out, h.name);
+    out += "\", \"bounds\": [";
+    for (std::size_t j = 0; j < h.bounds.size(); ++j) {
+      if (j != 0) out += ", ";
+      append_fmt(out, "%g", h.bounds[j]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t j = 0; j < h.counts.size(); ++j) {
+      if (j != 0) out += ", ";
+      append_u64(out, h.counts[j]);
+    }
+    out += "]}";
+  }
+  out += s.histograms.empty() ? "],\n" : "\n  ],\n";
+
+  const std::size_t embedded =
+      s.trace.size() < max_trace_events ? s.trace.size() : max_trace_events;
+  out += "  \"trace\": {\n    \"emitted\": ";
+  append_u64(out, s.trace_emitted);
+  out += ",\n    \"retained\": ";
+  append_u64(out, s.trace.size());
+  out += ",\n    \"events\": [";
+  for (std::size_t i = 0; i < embedded; ++i) {
+    const auto& e = s.trace[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "      {\"ring\": ";
+    append_u64(out, e.ring);
+    out += ", \"seq\": ";
+    append_u64(out, e.seq);
+    out += ", \"kind\": \"";
+    out += trace_kind_name(e.kind);
+    out += "\", \"a\": ";
+    append_u64(out, e.a);
+    out += ", \"b\": ";
+    append_u64(out, e.b);
+    out += "}";
+  }
+  out += embedded == 0 ? "]\n" : "\n    ]\n";
+  out += "  }\n}\n";
+  return out;
+}
+
+void write_json_file(const Snapshot& s, std::string_view source,
+                     const std::string& path, std::size_t max_trace_events) {
+  const std::string doc = to_json(s, source, max_trace_events);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  OM_CHECK_MSG(f != nullptr, "cannot open metrics json for writing");
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const int rc = std::fclose(f);
+  OM_CHECK_MSG(written == doc.size() && rc == 0, "metrics json write failed");
+}
+
+}  // namespace overmatch::obs

@@ -1,0 +1,28 @@
+// overmatch-metrics-v1 JSON export for obs::Snapshot.
+//
+// The document is deterministic and git-diffable: all series are sorted by
+// name, keys are emitted one per line, and numeric formats are fixed
+// (counters as integers, gauges at 6 decimals, timer milliseconds at 4).
+// Validate and diff documents with tools/metrics_diff.py.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "obs/snapshot.hpp"
+
+namespace overmatch::obs {
+
+/// Serializes `s` as an overmatch-metrics-v1 document. `source` names the
+/// producing surface (e.g. "overmatch_cli"). At most `max_trace_events`
+/// trace events are embedded (oldest first; the emitted/retained totals are
+/// always exact regardless of the cap).
+[[nodiscard]] std::string to_json(const Snapshot& s, std::string_view source,
+                                  std::size_t max_trace_events = 64);
+
+/// to_json + write to `path` (overwrites). Aborts via OM_CHECK on I/O error.
+void write_json_file(const Snapshot& s, std::string_view source,
+                     const std::string& path, std::size_t max_trace_events = 64);
+
+}  // namespace overmatch::obs

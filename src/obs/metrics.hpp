@@ -1,0 +1,188 @@
+// obs:: metric primitives — the handle types recording sites hold.
+//
+// A handle (Counter, Gauge, Timer, Histogram) is a trivially-copyable pointer
+// to an atomic cell owned by a Registry. A default-constructed handle is
+// *disengaged*: every operation on it is a no-op, so call sites obtained
+// through the null-tolerant helpers in registry.hpp need no branching of
+// their own. All mutations are relaxed atomics — metrics never order other
+// memory operations.
+//
+// Hot-path discipline (enforced by convention, benchmarked by E19): inner
+// loops accumulate into plain locals and flush into a handle once per run or
+// per phase. The per-operation cost of the disabled path is therefore a
+// handful of null checks per *run*, not per edge or per message.
+//
+// Compile-out mode: building with -DOVERMATCH_OBS_DISABLED turns every
+// recording operation into an empty inline body (handles still exist so call
+// sites compile unchanged); registries then produce empty snapshots.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace overmatch::obs {
+
+#if defined(OVERMATCH_OBS_DISABLED)
+inline constexpr bool kObsEnabled = false;
+#else
+inline constexpr bool kObsEnabled = true;
+#endif
+
+namespace detail {
+
+struct CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct GaugeCell {
+  std::atomic<double> value{0.0};
+};
+
+struct TimerCell {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> min_ns{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max_ns{0};
+};
+
+struct HistogramCell {
+  explicit HistogramCell(std::vector<double> upper_bounds)
+      : bounds(std::move(upper_bounds)), counts(bounds.size() + 1) {}
+  const std::vector<double> bounds;  ///< ascending upper bounds; last bucket open
+  std::vector<std::atomic<std::uint64_t>> counts;
+};
+
+}  // namespace detail
+
+/// Monotonic event count.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t delta = 1) const noexcept {
+    if (kObsEnabled && cell_ != nullptr) {
+      cell_->value.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed) : 0;
+  }
+  [[nodiscard]] bool engaged() const noexcept { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::CounterCell* cell) : cell_(cell) {}
+  detail::CounterCell* cell_ = nullptr;
+};
+
+/// Last-write-wins instantaneous value (peaks, sizes, ratios).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) const noexcept {
+    if (kObsEnabled && cell_ != nullptr) {
+      cell_->value.store(v, std::memory_order_relaxed);
+    }
+  }
+  void add(double delta) const noexcept {
+    if (!kObsEnabled || cell_ == nullptr) return;
+    double cur = cell_->value.load(std::memory_order_relaxed);
+    while (!cell_->value.compare_exchange_weak(cur, cur + delta,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+  /// Raise to `v` if `v` exceeds the stored value (high-water marks).
+  void set_max(double v) const noexcept {
+    if (!kObsEnabled || cell_ == nullptr) return;
+    double cur = cell_->value.load(std::memory_order_relaxed);
+    while (cur < v && !cell_->value.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed) : 0.0;
+  }
+  [[nodiscard]] bool engaged() const noexcept { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::GaugeCell* cell) : cell_(cell) {}
+  detail::GaugeCell* cell_ = nullptr;
+};
+
+/// Accumulated duration spans: count, total, min, max.
+class Timer {
+ public:
+  Timer() = default;
+  void record(std::chrono::nanoseconds d) const noexcept {
+    if (!kObsEnabled || cell_ == nullptr) return;
+    const auto ns = static_cast<std::uint64_t>(d.count() < 0 ? 0 : d.count());
+    cell_->count.fetch_add(1, std::memory_order_relaxed);
+    cell_->total_ns.fetch_add(ns, std::memory_order_relaxed);
+    auto lo = cell_->min_ns.load(std::memory_order_relaxed);
+    while (ns < lo && !cell_->min_ns.compare_exchange_weak(
+                          lo, ns, std::memory_order_relaxed)) {
+    }
+    auto hi = cell_->max_ns.load(std::memory_order_relaxed);
+    while (ns > hi && !cell_->max_ns.compare_exchange_weak(
+                          hi, ns, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return cell_ != nullptr ? cell_->count.load(std::memory_order_relaxed) : 0;
+  }
+  [[nodiscard]] bool engaged() const noexcept { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Timer(detail::TimerCell* cell) : cell_(cell) {}
+  detail::TimerCell* cell_ = nullptr;
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; the
+/// final bucket is open-ended. Bucket count is fixed at registration.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) const noexcept {
+    if (!kObsEnabled || cell_ == nullptr) return;
+    std::size_t i = 0;
+    while (i < cell_->bounds.size() && v > cell_->bounds[i]) ++i;
+    cell_->counts[i].fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool engaged() const noexcept { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::HistogramCell* cell) : cell_(cell) {}
+  detail::HistogramCell* cell_ = nullptr;
+};
+
+/// RAII phase span: records the elapsed monotonic time into a Timer on
+/// destruction (or on an early stop()). A disengaged Timer makes the whole
+/// span a no-op apart from two clock reads.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer timer) noexcept
+      : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { stop(); }
+
+  /// Record now instead of at scope exit; idempotent.
+  void stop() noexcept {
+    if (stopped_) return;
+    stopped_ = true;
+    timer_.record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start_));
+  }
+
+ private:
+  Timer timer_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+}  // namespace overmatch::obs

@@ -1,0 +1,153 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.hpp"
+
+namespace overmatch::obs {
+namespace {
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Registry::Registry() : id_(next_registry_id()) {}
+Registry::~Registry() = default;
+
+Counter Registry::counter(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<detail::CounterCell>())
+             .first;
+  }
+  return Counter(it->second.get());
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<detail::GaugeCell>())
+             .first;
+  }
+  return Gauge(it->second.get());
+}
+
+Timer Registry::timer(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), std::make_unique<detail::TimerCell>())
+             .first;
+  }
+  return Timer(it->second.get());
+}
+
+Histogram Registry::histogram(std::string_view name,
+                              std::vector<double> upper_bounds) {
+  OM_CHECK_MSG(!upper_bounds.empty(), "histogram needs at least one bound");
+  OM_CHECK_MSG(std::is_sorted(upper_bounds.begin(), upper_bounds.end()) &&
+                   std::adjacent_find(upper_bounds.begin(), upper_bounds.end()) ==
+                       upper_bounds.end(),
+               "histogram bounds must be strictly ascending");
+  std::lock_guard lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<detail::HistogramCell>(std::move(upper_bounds)))
+             .first;
+  }
+  return Histogram(it->second.get());
+}
+
+void Registry::set_label(std::string_view key, std::string_view value) {
+  std::lock_guard lk(mu_);
+  labels_[std::string(key)] = std::string(value);
+}
+
+TraceRing* Registry::thread_ring() noexcept {
+  // Per-thread cache of (registry id → ring). Registry ids are process-unique
+  // and never reused, so a stale entry for a destroyed registry can never be
+  // matched by a live one. The cache is bounded: threads interact with a
+  // handful of live registries at a time, so evicting the oldest entry is
+  // harmless (the ring is re-resolved — and found again — under the lock).
+  struct CacheEntry {
+    std::uint64_t id;
+    TraceRing* ring;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const auto& e : cache) {
+    if (e.id == id_) return e.ring;
+  }
+  TraceRing* ring = nullptr;
+  {
+    std::lock_guard lk(mu_);
+    rings_.push_back(std::make_unique<TraceRing>(kTraceCapacityPerThread));
+    ring = rings_.back().get();
+  }
+  constexpr std::size_t kMaxCacheEntries = 16;
+  if (cache.size() >= kMaxCacheEntries) cache.erase(cache.begin());
+  cache.push_back({id_, ring});
+  return ring;
+}
+
+void Registry::trace(TraceKind kind, std::uint32_t a, std::uint32_t b) noexcept {
+  if (!kObsEnabled) return;
+  thread_ring()->emit(kind, a, b);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot s;
+  std::lock_guard lk(mu_);
+  s.labels.reserve(labels_.size());
+  for (const auto& [k, v] : labels_) s.labels.emplace_back(k, v);
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, cell] : counters_) {
+    s.counters.emplace_back(name, cell->value.load(std::memory_order_relaxed));
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, cell] : gauges_) {
+    s.gauges.emplace_back(name, cell->value.load(std::memory_order_relaxed));
+  }
+  s.timers.reserve(timers_.size());
+  for (const auto& [name, cell] : timers_) {
+    Snapshot::TimerStat t;
+    t.name = name;
+    t.count = cell->count.load(std::memory_order_relaxed);
+    constexpr double kNsToMs = 1e-6;
+    t.total_ms =
+        static_cast<double>(cell->total_ns.load(std::memory_order_relaxed)) * kNsToMs;
+    const auto min_ns = cell->min_ns.load(std::memory_order_relaxed);
+    t.min_ms = t.count == 0 ? 0.0 : static_cast<double>(min_ns) * kNsToMs;
+    t.max_ms =
+        static_cast<double>(cell->max_ns.load(std::memory_order_relaxed)) * kNsToMs;
+    s.timers.push_back(std::move(t));
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, cell] : histograms_) {
+    Snapshot::HistogramStat h;
+    h.name = name;
+    h.bounds = cell->bounds;
+    h.counts.reserve(cell->counts.size());
+    for (const auto& c : cell->counts) {
+      h.counts.push_back(c.load(std::memory_order_relaxed));
+    }
+    s.histograms.push_back(std::move(h));
+  }
+  // Rings are numbered in registration order; events within a ring are
+  // seq-ordered, so the concatenation is already (ring, seq)-sorted.
+  for (std::uint32_t r = 0; r < rings_.size(); ++r) {
+    s.trace_emitted += rings_[r]->emitted();
+    rings_[r]->collect(r, s.trace);
+  }
+  return s;
+}
+
+}  // namespace overmatch::obs

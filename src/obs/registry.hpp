@@ -1,0 +1,97 @@
+// obs::Registry — the unified observability layer's root object: a
+// thread-safe collection of named counters, gauges, timers and fixed-bucket
+// histograms, plus per-thread protocol trace rings.
+//
+// Usage model (DESIGN.md §9):
+//  * A registry is cheap to construct and normally lives for one solve/run.
+//    core::solve() owns one per call unless the caller supplies its own via
+//    SolveOptions::registry (to aggregate across runs).
+//  * Recording sites hold a `Registry*` that may be null — the free helpers
+//    below return disengaged handles for null registries, so "metrics off"
+//    is a null pointer, not a code path. Name lookup (get-or-create) takes a
+//    mutex; call sites therefore resolve handles once per run, never per
+//    event, and hot loops accumulate locally and flush at the end.
+//  * trace() appends to a per-thread lock-free ring (see trace.hpp); the
+//    calling thread's ring is resolved through a thread-local cache, so the
+//    steady-state cost is one vector scan + two atomic stores.
+//  * snapshot() returns a plain-value copy (snapshot.hpp); json.hpp turns a
+//    snapshot into an overmatch-metrics-v1 document.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
+
+namespace overmatch::obs {
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create. Handles are valid for the registry's lifetime; repeated
+  /// calls with the same name return handles to the same cell.
+  [[nodiscard]] Counter counter(std::string_view name);
+  [[nodiscard]] Gauge gauge(std::string_view name);
+  [[nodiscard]] Timer timer(std::string_view name);
+  /// `upper_bounds` must be strictly ascending; a final open bucket is
+  /// implicit. Re-registering an existing histogram ignores the bounds and
+  /// returns the existing cell (first registration wins).
+  [[nodiscard]] Histogram histogram(std::string_view name,
+                                    std::vector<double> upper_bounds);
+
+  /// Free-form string metadata attached to snapshots (algorithm, instance
+  /// shape, ...). Last write wins.
+  void set_label(std::string_view key, std::string_view value);
+
+  /// Append a protocol event to the calling thread's trace ring.
+  void trace(TraceKind kind, std::uint32_t a = 0, std::uint32_t b = 0) noexcept;
+
+  /// Point-in-time copy of everything. Safe concurrently with recording;
+  /// exact when taken at quiescence (the normal case).
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Events retained per producing thread before overwrite.
+  static constexpr std::size_t kTraceCapacityPerThread = 4096;
+
+ private:
+  [[nodiscard]] TraceRing* thread_ring() noexcept;
+
+  mutable std::mutex mu_;
+  const std::uint64_t id_;  ///< process-unique, keys the thread-local ring cache
+  // Node-based maps: cell addresses are stable across insertions.
+  std::map<std::string, std::unique_ptr<detail::CounterCell>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<detail::GaugeCell>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<detail::TimerCell>, std::less<>> timers_;
+  std::map<std::string, std::unique_ptr<detail::HistogramCell>, std::less<>>
+      histograms_;
+  std::map<std::string, std::string, std::less<>> labels_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+};
+
+/// Null-tolerant helpers: a null registry yields disengaged (no-op) handles.
+[[nodiscard]] inline Counter counter(Registry* r, std::string_view name) {
+  return r != nullptr ? r->counter(name) : Counter{};
+}
+[[nodiscard]] inline Gauge gauge(Registry* r, std::string_view name) {
+  return r != nullptr ? r->gauge(name) : Gauge{};
+}
+[[nodiscard]] inline Timer timer(Registry* r, std::string_view name) {
+  return r != nullptr ? r->timer(name) : Timer{};
+}
+inline void trace(Registry* r, TraceKind kind, std::uint32_t a = 0,
+                  std::uint32_t b = 0) noexcept {
+  if (r != nullptr) r->trace(kind, a, b);
+}
+
+}  // namespace overmatch::obs

@@ -1,0 +1,78 @@
+// obs:: Snapshot — a plain-value copy of everything a Registry holds, taken
+// at a point in time. Snapshots are what results carry (SolveResult::metrics,
+// LidResult::metrics) and what the JSON exporter serializes; they have no
+// atomics and no back-reference to the registry, so they are freely copyable
+// and outlive the run that produced them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace overmatch::obs {
+
+struct Snapshot {
+  struct TimerStat {
+    std::string name;
+    std::uint64_t count = 0;
+    double total_ms = 0.0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+  };
+  struct HistogramStat {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 buckets
+  };
+
+  /// All series are sorted by name (labels by key), making the snapshot —
+  /// and its JSON form — deterministic and git-diffable.
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<TimerStat> timers;
+  std::vector<HistogramStat> histograms;
+
+  /// Retained trace window, ordered by (ring, seq), plus the total number of
+  /// events ever emitted so ring truncation is visible.
+  std::vector<TraceEvent> trace;
+  std::uint64_t trace_emitted = 0;
+
+  /// Counter value by name; 0 when absent (counters are monotonic from 0).
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const {
+    for (const auto& [k, v] : counters) {
+      if (k == name) return v;
+    }
+    return 0;
+  }
+  [[nodiscard]] bool has_counter(std::string_view name) const {
+    for (const auto& [k, v] : counters) {
+      if (k == name) return true;
+    }
+    return false;
+  }
+  /// Gauge value by name; 0.0 when absent.
+  [[nodiscard]] double gauge(std::string_view name) const {
+    for (const auto& [k, v] : gauges) {
+      if (k == name) return v;
+    }
+    return 0.0;
+  }
+  /// Timer stat by name; nullptr when absent.
+  [[nodiscard]] const TimerStat* timer(std::string_view name) const {
+    for (const auto& t : timers) {
+      if (t.name == name) return &t;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return labels.empty() && counters.empty() && gauges.empty() &&
+           timers.empty() && histograms.empty() && trace.empty();
+  }
+};
+
+}  // namespace overmatch::obs

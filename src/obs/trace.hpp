@@ -1,0 +1,132 @@
+// obs:: protocol trace — a per-thread, lock-free ring buffer of protocol
+// events (the event taxonomy of DESIGN.md §9).
+//
+// Each ring has a single producer (the owning thread) and is read only by
+// Registry::snapshot(). emit() is two relaxed stores and one release store;
+// there is no lock, no allocation, and no contention between threads (each
+// thread writes its own ring). The ring overwrites its oldest entries once
+// full — traces are a diagnosis window, not an unbounded log — and the total
+// emitted count is kept so truncation is always visible.
+//
+// A concurrent snapshot is race-free (all slot fields are atomics) and
+// *consistent per slot* via a per-slot sequence check: a slot is accepted
+// only when the sequence stored with the payload matches the expected value,
+// so a half-overwritten slot is skipped rather than misreported. Snapshots
+// taken at quiescence (after a runtime joined its workers — the normal case)
+// are exact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace overmatch::obs {
+
+/// Protocol event taxonomy. Values are stable (they appear in the JSON
+/// export); extend at the end only.
+enum class TraceKind : std::uint16_t {
+  kMessage = 0,       ///< generic wire message (unclassified kind)
+  kProposal = 1,      ///< PROP sent (LID bidding / b-suitor bid)
+  kRejection = 2,     ///< REJ sent
+  kAck = 3,           ///< reliable-delivery acknowledgement sent
+  kLock = 4,          ///< edge locked (mutual proposal)
+  kDisplacement = 5,  ///< a bid knocked out a weaker suitor
+  kRetransmit = 6,    ///< reliable-delivery retransmission
+  kDrop = 7,          ///< message lost by the (lossy) network
+  kRepairRound = 8,   ///< churn repair pass (b = edges added)
+  kChurnLeave = 9,    ///< node left the overlay
+  kChurnJoin = 10,    ///< node (re)joined the overlay
+  kTimer = 11,        ///< timer armed (self-delivery scheduled)
+};
+
+[[nodiscard]] constexpr const char* trace_kind_name(TraceKind k) noexcept {
+  switch (k) {
+    case TraceKind::kMessage: return "msg";
+    case TraceKind::kProposal: return "prop";
+    case TraceKind::kRejection: return "rej";
+    case TraceKind::kAck: return "ack";
+    case TraceKind::kLock: return "lock";
+    case TraceKind::kDisplacement: return "displace";
+    case TraceKind::kRetransmit: return "retransmit";
+    case TraceKind::kDrop: return "drop";
+    case TraceKind::kRepairRound: return "repair";
+    case TraceKind::kChurnLeave: return "leave";
+    case TraceKind::kChurnJoin: return "join";
+    case TraceKind::kTimer: return "timer";
+  }
+  return "?";
+}
+
+/// One collected event. `ring` identifies the producing thread's ring (rings
+/// are numbered in registration order); `seq` orders events within a ring.
+/// Cross-ring ordering is undefined — real concurrency has no total order.
+struct TraceEvent {
+  std::uint32_t ring = 0;
+  std::uint64_t seq = 0;
+  TraceKind kind = TraceKind::kMessage;
+  std::uint32_t a = 0;  ///< usually the acting node
+  std::uint32_t b = 0;  ///< usually the peer / payload (kind-specific)
+};
+
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 16).
+  explicit TraceRing(std::size_t capacity) {
+    std::size_t cap = 16;
+    while (cap < capacity) cap <<= 1;
+    slots_ = std::vector<Slot>(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Single-producer append (the owning thread only).
+  void emit(TraceKind kind, std::uint32_t a, std::uint32_t b) noexcept {
+    const std::uint64_t i = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[i & mask_];
+    s.ab.store((static_cast<std::uint64_t>(a) << 32) | b,
+               std::memory_order_relaxed);
+    // seq+1 so an untouched slot (meta == 0) never matches sequence 0.
+    s.meta.store(((i + 1) << 16) | static_cast<std::uint16_t>(kind),
+                 std::memory_order_release);
+    head_.store(i + 1, std::memory_order_release);
+  }
+
+  /// Total events ever emitted (including overwritten ones).
+  [[nodiscard]] std::uint64_t emitted() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Appends the retained window (oldest first) to `out`, tagging events
+  /// with `ring_index`. Safe concurrently with emit(); racing slots are
+  /// skipped (see file comment).
+  void collect(std::uint32_t ring_index, std::vector<TraceEvent>& out) const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t cap = mask_ + 1;
+    const std::uint64_t start = head > cap ? head - cap : 0;
+    for (std::uint64_t i = start; i < head; ++i) {
+      const Slot& s = slots_[i & mask_];
+      const std::uint64_t meta = s.meta.load(std::memory_order_acquire);
+      if ((meta >> 16) != i + 1) continue;  // overwritten or mid-write
+      const std::uint64_t ab = s.ab.load(std::memory_order_relaxed);
+      TraceEvent ev;
+      ev.ring = ring_index;
+      ev.seq = i;
+      ev.kind = static_cast<TraceKind>(meta & 0xffff);
+      ev.a = static_cast<std::uint32_t>(ab >> 32);
+      ev.b = static_cast<std::uint32_t>(ab & 0xffffffffu);
+      out.push_back(ev);
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> meta{0};  ///< (seq+1) << 16 | kind
+    std::atomic<std::uint64_t> ab{0};    ///< a << 32 | b
+  };
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace overmatch::obs

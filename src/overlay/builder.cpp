@@ -11,8 +11,10 @@ Overlay::Overlay(graph::Graph potential_graph, const Population& pop,
                              prefs::uniform_quotas(potential_, options.quota))),
       weights_(prefs::paper_weights(profile_)),
       matching_(potential_, profile_.quotas()) {
-  auto result =
-      matching::run_lid(weights_, profile_.quotas(), options.schedule, options.seed);
+  matching::LidOptions lid_options;
+  lid_options.schedule = options.schedule;
+  lid_options.seed = options.seed;
+  auto result = matching::run_lid(weights_, profile_.quotas(), lid_options);
   matching_ = std::move(result.matching);
   stats_ = result.stats;
 }

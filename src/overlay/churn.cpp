@@ -2,14 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "prefs/satisfaction.hpp"
 
 namespace overmatch::overlay {
+namespace {
+
+/// Fixed buckets for the per-event repair size: churn repairs are usually
+/// small and local, so the low buckets carry the signal.
+const std::vector<double> kRepairBuckets = {0, 1, 2, 4, 8, 16, 32, 64};
+
+}  // namespace
 
 ChurnSimulator::ChurnSimulator(const prefs::PreferenceProfile& profile,
-                               const prefs::EdgeWeights& weights)
+                               const prefs::EdgeWeights& weights,
+                               obs::Registry* registry)
     : profile_(&profile),
       w_(&weights),
+      registry_(registry),
       alive_(profile.graph().num_nodes(), 1),
       m_(profile.graph(), profile.quotas()) {
   const auto& g = profile.graph();
@@ -62,6 +72,19 @@ ChurnEvent ChurnSimulator::finish_event(bool join, NodeId v, std::size_t removed
   }
   ev.disruption = diff;
   ev.satisfaction_total = total_satisfaction_alive();
+  if (registry_ != nullptr) {
+    obs::Registry& reg = *registry_;
+    reg.counter(join ? "churn.joins" : "churn.leaves").inc();
+    reg.counter("churn.edges_removed").inc(removed);
+    reg.counter("churn.edges_added").inc(added);
+    reg.counter("churn.disruption").inc(diff);
+    reg.histogram("churn.repair_added", kRepairBuckets)
+        .observe(static_cast<double>(added));
+    reg.trace(join ? obs::TraceKind::kChurnJoin : obs::TraceKind::kChurnLeave, v,
+              static_cast<std::uint32_t>(added));
+    reg.trace(obs::TraceKind::kRepairRound, v,
+              static_cast<std::uint32_t>(diff));
+  }
   return ev;
 }
 

@@ -15,6 +15,10 @@
 #include "prefs/preference_profile.hpp"
 #include "prefs/weights.hpp"
 
+namespace overmatch::obs {
+class Registry;
+}
+
 namespace overmatch::overlay {
 
 using graph::NodeId;
@@ -35,8 +39,14 @@ class ChurnSimulator {
   /// All profile/weight state references objects owned by the caller, which
   /// must outlive the simulator. Every node starts alive; the initial
   /// matching is the greedy (= LIC) matching of the full graph.
+  /// `registry` (optional, caller-owned) receives the repair/disruption
+  /// series: `churn.leaves`/`churn.joins`/`churn.edges_removed`/
+  /// `churn.edges_added`/`churn.disruption` counters, the
+  /// `churn.repair_added` histogram, and per-event kChurnLeave/kChurnJoin
+  /// trace entries. The initial full-graph build is not counted.
   ChurnSimulator(const prefs::PreferenceProfile& profile,
-                 const prefs::EdgeWeights& weights);
+                 const prefs::EdgeWeights& weights,
+                 obs::Registry* registry = nullptr);
 
   /// Takes node v offline: tears down its connections, repairs locally.
   ChurnEvent leave(NodeId v);
@@ -59,6 +69,7 @@ class ChurnSimulator {
 
   const prefs::PreferenceProfile* profile_;
   const prefs::EdgeWeights* w_;
+  obs::Registry* registry_ = nullptr;
   std::vector<std::uint8_t> alive_;
   std::vector<graph::EdgeId> desc_order_;  ///< all edges, heaviest first
   matching::Matching m_;

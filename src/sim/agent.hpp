@@ -13,10 +13,26 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/trace.hpp"
 
 namespace overmatch::sim {
 
 using graph::NodeId;
+
+/// Maps a wire message kind onto the obs:: protocol-event taxonomy. Kinds
+/// 1/2 are the library-wide PROP/REJ convention (matching/lid.hpp declares
+/// them; the reliable adapter preserves inner kinds on the wire) and 63 is
+/// the adapter's ACK (sim/reliable.hpp). Anything else traces as a generic
+/// message.
+[[nodiscard]] constexpr obs::TraceKind trace_kind_for_wire(
+    std::uint32_t kind) noexcept {
+  switch (kind) {
+    case 1: return obs::TraceKind::kProposal;
+    case 2: return obs::TraceKind::kRejection;
+    case 63: return obs::TraceKind::kAck;
+    default: return obs::TraceKind::kMessage;
+  }
+}
 
 /// A small POD message. `kind` is algorithm-defined (e.g. PROP/REJ); `data`
 /// carries an optional payload word.

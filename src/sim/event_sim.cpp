@@ -3,6 +3,8 @@
 #include <cmath>
 #include <string>
 
+#include "obs/registry.hpp"
+
 namespace overmatch::sim {
 
 Schedule schedule_by_name(const std::string& name) {
@@ -61,8 +63,10 @@ void EventSimulator::enqueue(NodeId from, const Outbox& out) {
   for (const auto& s : out.sends()) {
     OM_CHECK(s.to < agents_.size());
     stats_.count_send(s.msg.kind);
+    obs::trace(registry_, trace_kind_for_wire(s.msg.kind), from, s.to);
     if (loss_probability_ > 0.0 && rng_.chance(loss_probability_)) {
       ++stats_.total_dropped;
+      obs::trace(registry_, obs::TraceKind::kDrop, from, s.to);
       continue;
     }
     Envelope env;
@@ -80,6 +84,7 @@ void EventSimulator::enqueue(NodeId from, const Outbox& out) {
   for (const auto& t : out.timers()) {
     OM_CHECK_MSG(schedule_ != Schedule::kFifo && schedule_ != Schedule::kRandomOrder,
                  "timers require a delay-based schedule");
+    obs::trace(registry_, obs::TraceKind::kTimer, from, from);
     Envelope env;
     env.from = from;
     env.to = from;  // self-delivery
@@ -120,6 +125,12 @@ MessageStats EventSimulator::run(std::size_t max_deliveries) {
   }
   stats_.total_delivered = delivered;
   stats_.completion_time = now_;
+  if (registry_ != nullptr) {
+    registry_->counter("sim.sent").inc(stats_.total_sent);
+    registry_->counter("sim.delivered").inc(stats_.total_delivered);
+    registry_->counter("sim.dropped").inc(stats_.total_dropped);
+    registry_->gauge("sim.virtual_time").set(now_);
+  }
   return stats_;
 }
 

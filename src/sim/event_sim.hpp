@@ -24,6 +24,10 @@
 #include "sim/agent.hpp"
 #include "util/rng.hpp"
 
+namespace overmatch::obs {
+class Registry;
+}
+
 namespace overmatch::sim {
 
 enum class Schedule : std::uint8_t {
@@ -49,6 +53,11 @@ class EventSimulator {
   /// reliable-delivery adapter (see reliable.hpp) to still terminate.
   void set_loss_probability(double p);
 
+  /// Attach a metrics registry (caller-owned, may be null): every send is
+  /// traced (PROP/REJ/ACK/drop/timer) and `sim.*` counters are recorded at
+  /// the end of run(). Null — the default — records nothing.
+  void set_registry(obs::Registry* registry) noexcept { registry_ = registry; }
+
   /// Executes on_start for every node, then delivers messages until none are
   /// pending. Returns accumulated statistics. Aborts if `max_deliveries`
   /// is exceeded (non-termination guard; default effectively unbounded).
@@ -69,6 +78,7 @@ class EventSimulator {
   std::vector<Agent*> agents_;
   Schedule schedule_;
   util::Rng rng_;
+  obs::Registry* registry_ = nullptr;
   double loss_probability_ = 0.0;
   std::uint64_t next_seq_ = 0;
   double now_ = 0.0;

@@ -11,8 +11,14 @@ std::uint64_t dedup_key(NodeId from, std::uint64_t seq) {
 
 }  // namespace
 
-ReliableAgent::ReliableAgent(NodeId self, Agent* inner, double retransmit_interval)
-    : self_(self), inner_(inner), interval_(retransmit_interval) {
+ReliableAgent::ReliableAgent(NodeId self, Agent* inner, double retransmit_interval,
+                             obs::Registry* registry)
+    : self_(self),
+      inner_(inner),
+      interval_(retransmit_interval),
+      registry_(registry),
+      retransmit_counter_(obs::counter(registry, "reliable.retransmissions")),
+      duplicate_counter_(obs::counter(registry, "reliable.duplicates")) {
   OM_CHECK(inner_ != nullptr);
   OM_CHECK(interval_ > 0.0);
 }
@@ -58,6 +64,8 @@ void ReliableAgent::on_message(NodeId from, const Message& msg, Outbox& out) {
       if (p.eligible_tick > ticks_seen_) continue;  // younger than interval_
       out.send(p.to, p.wire);
       ++retransmissions_;
+      retransmit_counter_.inc();
+      obs::trace(registry_, obs::TraceKind::kRetransmit, self_, p.to);
       p.eligible_tick = ticks_seen_ + 1;  // pace retransmits an interval apart
     }
     arm_timer(out);
@@ -74,7 +82,10 @@ void ReliableAgent::on_message(NodeId from, const Message& msg, Outbox& out) {
   // previous ACK was lost), deliver to the inner agent once.
   const std::uint64_t seq = msg.data >> 32;
   out.send(from, Message{kAckKind, seq});
-  if (!seen_.insert(dedup_key(from, seq)).second) return;  // duplicate
+  if (!seen_.insert(dedup_key(from, seq)).second) {  // duplicate: suppressed
+    duplicate_counter_.inc();
+    return;
+  }
   Outbox inner_out;
   inner_->on_message(from, Message{msg.kind, msg.data & 0xffffffffULL}, inner_out);
   wrap_and_send(inner_out, out);

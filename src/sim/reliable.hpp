@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "sim/agent.hpp"
 
 namespace overmatch::sim {
@@ -36,8 +37,10 @@ class ReliableAgent final : public Agent {
  public:
   /// Wraps `inner` (caller-owned). `self` is this node's id;
   /// `retransmit_interval` is in virtual-time units and should exceed the
-  /// typical round-trip (2× max link delay works well).
-  ReliableAgent(NodeId self, Agent* inner, double retransmit_interval);
+  /// typical round-trip (2× max link delay works well). `registry` (optional,
+  /// caller-owned) receives `reliable.*` counters and retransmit traces.
+  ReliableAgent(NodeId self, Agent* inner, double retransmit_interval,
+                obs::Registry* registry = nullptr);
 
   void on_start(Outbox& out) override;
   void on_message(NodeId from, const Message& msg, Outbox& out) override;
@@ -62,6 +65,9 @@ class ReliableAgent final : public Agent {
   NodeId self_;
   Agent* inner_;
   double interval_;
+  obs::Registry* registry_ = nullptr;
+  obs::Counter retransmit_counter_;  ///< shared "reliable.retransmissions" cell
+  obs::Counter duplicate_counter_;   ///< shared "reliable.duplicates" cell
   std::uint64_t next_seq_ = 0;
   std::uint64_t ticks_seen_ = 0;  ///< timer firings so far (a coarse clock)
   std::vector<Pending> unacked_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace overmatch::sim {
@@ -52,9 +53,11 @@ void ThreadedRuntime::deliver_outbox(NodeId from, const Outbox& out,
   for (const auto& s : out.sends()) {
     OM_CHECK(s.to < agents_.size());
     ctx.stats.count_send(s.msg.kind);
+    obs::trace(options_.registry, trace_kind_for_wire(s.msg.kind), from, s.to);
     if (options_.loss_probability > 0.0 &&
         ctx.loss_rng.chance(options_.loss_probability)) {
       ++ctx.stats.total_dropped;
+      obs::trace(options_.registry, obs::TraceKind::kDrop, from, s.to);
       continue;
     }
     // Increment before the envelope becomes visible so in_flight_ == 0 can
@@ -103,6 +106,7 @@ void ThreadedRuntime::worker(std::size_t worker_id) {
       out.clear();
       agents_[t.node]->on_message(t.node, t.msg, out);
       ++ctx.stats.total_delivered;
+      ++ctx.timer_fires;
       deliver_outbox(t.node, out, ctx);
       // Decrement only after the causal consequences are enqueued, so
       // in_flight_ == 0 really means quiescence.
@@ -139,7 +143,19 @@ void ThreadedRuntime::worker(std::size_t worker_id) {
     const auto until_next_timer = ctx.timers.empty()
                                       ? Clock::duration(kMaxSleep)
                                       : ctx.timers.top().deadline - Clock::now();
+    if (idle_rounds < kYieldsBeforeSleep) {
+      ++ctx.backoff_yields;
+    } else {
+      ++ctx.backoff_sleeps;
+    }
     backoff(idle_rounds++, until_next_timer);
+  }
+  if (options_.registry != nullptr) {
+    // Counters are atomic cells — concurrent flushes from exiting workers
+    // are fine; the once-per-worker granularity keeps this off the hot path.
+    options_.registry->counter("sim.timer_fires").inc(ctx.timer_fires);
+    options_.registry->counter("sim.backoff_yields").inc(ctx.backoff_yields);
+    options_.registry->counter("sim.backoff_sleeps").inc(ctx.backoff_sleeps);
   }
   worker_stats_[worker_id] = std::move(ctx.stats);
 }
@@ -172,6 +188,12 @@ MessageStats ThreadedRuntime::run() {
   }
   stats.completion_time =
       std::chrono::duration<double>(Clock::now() - wall_start).count();
+  if (options_.registry != nullptr) {
+    options_.registry->counter("sim.sent").inc(stats.total_sent);
+    options_.registry->counter("sim.delivered").inc(stats.total_delivered);
+    options_.registry->counter("sim.dropped").inc(stats.total_dropped);
+    options_.registry->gauge("sim.wall_seconds").set(stats.completion_time);
+  }
   return stats;
 }
 

@@ -42,6 +42,10 @@
 #include "sim/agent.hpp"
 #include "util/rng.hpp"
 
+namespace overmatch::obs {
+class Registry;
+}
+
 namespace overmatch::sim {
 
 class ThreadedRuntime {
@@ -55,6 +59,10 @@ class ThreadedRuntime {
     /// Real duration of one virtual-time unit; `send_timer(d, ...)` fires
     /// `d * time_unit` after arming, measured on the monotonic clock.
     std::chrono::microseconds time_unit{100};
+    /// Optional metrics registry (caller-owned, may be null). Workers trace
+    /// every send into their own per-thread rings and record `sim.*`
+    /// counters (sent/delivered/dropped, timer fires, idle backoff) at exit.
+    obs::Registry* registry = nullptr;
   };
 
   /// `agents[v]` is node v's automaton (caller-owned). `threads` >= 1.
@@ -100,6 +108,10 @@ class ThreadedRuntime {
     util::Rng loss_rng{0};
     std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerLater> timers;
     std::uint64_t timer_seq = 0;
+    // Observability tallies, flushed into the registry once at worker exit.
+    std::uint64_t timer_fires = 0;
+    std::uint64_t backoff_yields = 0;
+    std::uint64_t backoff_sleeps = 0;
   };
 
   void deliver_outbox(NodeId from, const Outbox& out, WorkerContext& ctx);

@@ -117,8 +117,8 @@ TEST(Lemma5, TerminatesUnderAllSchedulesAndNoWeightCycles) {
     for (const auto s : {sim::Schedule::kFifo, sim::Schedule::kRandomOrder,
                          sim::Schedule::kRandomDelay,
                          sim::Schedule::kAdversarialDelay}) {
-      const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(), s,
-                                       seed + 1);
+      const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
+                                       {.schedule = s, .seed = seed + 1});
       EXPECT_TRUE(r.matching.is_maximal());
     }
   }
@@ -129,11 +129,13 @@ TEST(Lemma5, TerminatesUnderAllSchedulesAndNoWeightCycles) {
 TEST(Lemmas346, AllEnginesOneLargeInstance) {
   auto inst = Instance::random_quotas("ba", 120, 8.0, 4, 1001);
   const auto lic = matching::lic_global(*inst->weights, inst->profile->quotas());
-  const auto lid = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                     sim::Schedule::kAdversarialDelay, 5);
+  const auto lid = matching::run_lid(
+      *inst->weights, inst->profile->quotas(),
+      {.schedule = sim::Schedule::kAdversarialDelay, .seed = 5});
   EXPECT_TRUE(lic.same_edges(lid.matching));
-  const auto lidt = matching::run_lid_threaded(*inst->weights,
-                                               inst->profile->quotas(), 4);
+  const auto lidt = matching::run_lid(
+      *inst->weights, inst->profile->quotas(),
+      {.runtime = matching::LidRuntime::kThreaded, .threads = 4});
   EXPECT_TRUE(lic.same_edges(lidt.matching));
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "matching/lic.hpp"
+#include "obs/registry.hpp"
 #include "matching/verify.hpp"
 #include "tests/matching/common.hpp"
 
@@ -35,13 +36,13 @@ TEST(BSuitor, DisplacementChainResolves) {
   // arbitrary order, heaviest spoke must win.
   const graph::Graph g = graph::star(5);
   const prefs::EdgeWeights w(g, std::vector<double>{1.0, 4.0, 2.0, 3.0});
-  BSuitorInfo info;
-  const auto m = b_suitor(w, Quotas(5, 1), &info);
+  obs::Registry registry;
+  const auto m = b_suitor(w, Quotas(5, 1), &registry);
   EXPECT_EQ(m.size(), 1u);
   EXPECT_TRUE(m.contains(1));  // weight 4 spoke
   // Bids that would lose against a full suitor set are skipped without being
   // sent, so only the winning spoke and the hub's own bid are guaranteed.
-  EXPECT_GE(info.proposals, 2u);
+  EXPECT_GE(registry.snapshot().counter("bsuitor.proposals"), 2u);
 }
 
 class BSuitorEquivalence
@@ -67,11 +68,12 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(BSuitor, ProposalsBoundedByEdgeDirections) {
   auto inst = testing::Instance::random("er", 60, 8.0, 3, 7);
-  BSuitorInfo info;
-  (void)b_suitor(*inst->weights, inst->profile->quotas(), &info);
+  obs::Registry registry;
+  (void)b_suitor(*inst->weights, inst->profile->quotas(), &registry);
+  const auto snap = registry.snapshot();
   // Each node walks its incident list at most once → ≤ 2m bids.
-  EXPECT_LE(info.proposals, 2 * inst->g.num_edges());
-  EXPECT_LE(info.displacements, info.proposals);
+  EXPECT_LE(snap.counter("bsuitor.proposals"), 2 * inst->g.num_edges());
+  EXPECT_LE(snap.counter("bsuitor.displacements"), snap.counter("bsuitor.proposals"));
 }
 
 TEST(BSuitor, EmptyGraph) {

@@ -1,4 +1,5 @@
 #include "matching/lic.hpp"
+#include "obs/registry.hpp"
 
 #include <gtest/gtest.h>
 
@@ -117,12 +118,15 @@ TEST(LicLocal, CandidateQueueNeverExceedsEdgeCount) {
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
     auto inst = testing::Instance::random("complete", 16, 15.0, 3, seed + 11);
     const auto mg = lic_global(*inst->weights, inst->profile->quotas());
-    LicLocalStats st;
-    const auto ml = lic_local(*inst->weights, inst->profile->quotas(), seed, &st);
+    obs::Registry registry;
+    const auto ml =
+        lic_local(*inst->weights, inst->profile->quotas(), seed, &registry);
+    const auto snap = registry.snapshot();
     EXPECT_TRUE(mg.same_edges(ml)) << "seed=" << seed;
-    EXPECT_LE(st.peak_queue, inst->g.num_edges()) << "seed=" << seed;
-    EXPECT_GE(st.pops, ml.size()) << "seed=" << seed;
-    EXPECT_LT(st.pops, inst->g.num_edges()) << "seed=" << seed;
+    EXPECT_LE(snap.gauge("lic.peak_queue"), static_cast<double>(inst->g.num_edges()))
+        << "seed=" << seed;
+    EXPECT_GE(snap.counter("lic.pops"), ml.size()) << "seed=" << seed;
+    EXPECT_LT(snap.counter("lic.pops"), inst->g.num_edges()) << "seed=" << seed;
   }
 }
 

@@ -17,7 +17,7 @@ TEST(Lid, SingleEdgeLocks) {
   b.add_edge(0, 1);
   const Graph g = std::move(b).build();
   const prefs::EdgeWeights w(g, {1.0});
-  const auto r = run_lid(w, Quotas(2, 1), sim::Schedule::kFifo, 1);
+  const auto r = run_lid(w, Quotas(2, 1), {.schedule = sim::Schedule::kFifo});
   EXPECT_EQ(r.matching.size(), 1u);
   // Exactly two PROPs, no REJ needed.
   EXPECT_EQ(r.stats.kind_count(kMsgProp), 2u);
@@ -31,7 +31,7 @@ TEST(Lid, PathQuotaOneNeedsRejections) {
   b.add_edge(2, 3);
   const Graph g = std::move(b).build();
   const prefs::EdgeWeights w(g, std::vector<double>{1.0, 5.0, 2.0});
-  const auto r = run_lid(w, Quotas(4, 1), sim::Schedule::kFifo, 1);
+  const auto r = run_lid(w, Quotas(4, 1), {.schedule = sim::Schedule::kFifo});
   // Middle edge locks; ends get rejected and stay unmatched (their only other
   // candidates are exhausted).
   EXPECT_EQ(r.matching.size(), 1u);
@@ -42,7 +42,7 @@ TEST(Lid, PathQuotaOneNeedsRejections) {
 TEST(Lid, IsolatedNodesTerminate) {
   const Graph g = GraphBuilder(3).build();
   const prefs::EdgeWeights w(g, {});
-  const auto r = run_lid(w, Quotas(3, 1), sim::Schedule::kFifo, 1);
+  const auto r = run_lid(w, Quotas(3, 1), {.schedule = sim::Schedule::kFifo});
   EXPECT_EQ(r.matching.size(), 0u);
   EXPECT_EQ(r.stats.total_sent, 0u);
 }
@@ -53,7 +53,7 @@ TEST(Lid, StarQuotaLimitsHub) {
   const prefs::EdgeWeights w(g, std::vector<double>(5, 1.0));
   Quotas q(6, 1);
   q[0] = 2;
-  const auto r = run_lid(w, q, sim::Schedule::kRandomOrder, 42);
+  const auto r = run_lid(w, q, {.seed = 42});
   EXPECT_EQ(r.matching.size(), 2u);
   EXPECT_EQ(r.matching.load(0), 2u);
 }
@@ -69,7 +69,8 @@ TEST_P(LidEqualsLic, SameMatching) {
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     auto inst = testing::Instance::random(topology, n, 5.0, quota, seed * 13);
     const auto lic = lic_global(*inst->weights, inst->profile->quotas());
-    const auto lid = run_lid(*inst->weights, inst->profile->quotas(), schedule, seed);
+    const auto lid = run_lid(*inst->weights, inst->profile->quotas(),
+                             {.schedule = schedule, .seed = seed});
     EXPECT_TRUE(lic.same_edges(lid.matching))
         << topology << " n=" << n << " b=" << quota
         << " sched=" << sim::schedule_name(schedule) << " seed=" << seed;
@@ -91,10 +92,10 @@ TEST(Lid, ScheduleIndependentOutcome) {
   // One instance, many adversarial seeds: matching never changes.
   auto inst = testing::Instance::random("er", 30, 6.0, 2, 777);
   const auto reference =
-      run_lid(*inst->weights, inst->profile->quotas(), sim::Schedule::kFifo, 0);
+      run_lid(*inst->weights, inst->profile->quotas(),
+              {.schedule = sim::Schedule::kFifo, .seed = 0});
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
-    const auto r = run_lid(*inst->weights, inst->profile->quotas(),
-                           sim::Schedule::kRandomOrder, seed);
+    const auto r = run_lid(*inst->weights, inst->profile->quotas(), {.seed = seed});
     EXPECT_TRUE(reference.matching.same_edges(r.matching)) << seed;
   }
 }
@@ -102,10 +103,12 @@ TEST(Lid, ScheduleIndependentOutcome) {
 TEST(Lid, ThreadedMatchesDes) {
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     auto inst = testing::Instance::random("er", 24, 5.0, 2, seed * 7);
-    const auto des =
-        run_lid(*inst->weights, inst->profile->quotas(), sim::Schedule::kFifo, 1);
+    const auto des = run_lid(*inst->weights, inst->profile->quotas(),
+                            {.schedule = sim::Schedule::kFifo});
     for (const std::size_t threads : {1u, 2u, 4u}) {
-      const auto thr = run_lid_threaded(*inst->weights, inst->profile->quotas(), threads);
+      const auto thr =
+          run_lid(*inst->weights, inst->profile->quotas(),
+                  {.runtime = LidRuntime::kThreaded, .threads = threads});
       EXPECT_TRUE(des.matching.same_edges(thr.matching))
           << "seed=" << seed << " threads=" << threads;
     }
@@ -117,8 +120,7 @@ TEST(Lid, MessageCountLinearInEdges) {
   // total ≤ 4m (the paper's local-communication claim, made concrete).
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
     auto inst = testing::Instance::random("er", 40, 6.0, 3, seed + 5);
-    const auto r = run_lid(*inst->weights, inst->profile->quotas(),
-                           sim::Schedule::kRandomOrder, seed);
+    const auto r = run_lid(*inst->weights, inst->profile->quotas(), {.seed = seed});
     EXPECT_LE(r.stats.total_sent, 4 * inst->g.num_edges());
     EXPECT_EQ(r.stats.total_delivered, r.stats.total_sent);
   }
@@ -127,8 +129,9 @@ TEST(Lid, MessageCountLinearInEdges) {
 TEST(Lid, PropsBoundedByEdgeDirections) {
   // A node proposes to a given neighbour at most once → at most 2m PROPs.
   auto inst = testing::Instance::random("ba", 30, 4.0, 2, 3);
-  const auto r = run_lid(*inst->weights, inst->profile->quotas(),
-                         sim::Schedule::kAdversarialDelay, 9);
+  const auto r =
+      run_lid(*inst->weights, inst->profile->quotas(),
+              {.schedule = sim::Schedule::kAdversarialDelay, .seed = 9});
   EXPECT_LE(r.stats.kind_count(kMsgProp), 2 * inst->g.num_edges());
   EXPECT_LE(r.stats.kind_count(kMsgRej), 2 * inst->g.num_edges());
 }
@@ -137,8 +140,8 @@ TEST(Lid, HeterogeneousQuotasStillEquivalent) {
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
     auto inst = testing::Instance::random_quotas("er", 26, 5.0, 4, seed * 3 + 11);
     const auto lic = lic_global(*inst->weights, inst->profile->quotas());
-    const auto lid = run_lid(*inst->weights, inst->profile->quotas(),
-                             sim::Schedule::kRandomOrder, seed);
+    const auto lid =
+        run_lid(*inst->weights, inst->profile->quotas(), {.seed = seed});
     EXPECT_TRUE(lic.same_edges(lid.matching));
   }
 }
@@ -147,7 +150,8 @@ TEST(Lid, CompleteGraphHighQuota) {
   auto inst = testing::Instance::random("complete", 10, 9.0, 5, 2);
   const auto lic = lic_global(*inst->weights, inst->profile->quotas());
   const auto lid =
-      run_lid(*inst->weights, inst->profile->quotas(), sim::Schedule::kRandomDelay, 4);
+      run_lid(*inst->weights, inst->profile->quotas(),
+              {.schedule = sim::Schedule::kRandomDelay, .seed = 4});
   EXPECT_TRUE(lic.same_edges(lid.matching));
   // Dense graph, high quota: the greedy matching must be maximal and close to
   // the 25-edge capacity bound (Σb/2), though maximality alone does not force

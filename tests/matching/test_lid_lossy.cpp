@@ -12,7 +12,8 @@ namespace {
 TEST(LidLossy, ZeroLossMatchesLic) {
   auto inst = testing::Instance::random("er", 20, 4.0, 2, 1);
   const auto lic = lic_global(*inst->weights, inst->profile->quotas());
-  const auto r = run_lid_lossy(*inst->weights, inst->profile->quotas(), 0.0, 1);
+  const auto r = run_lid(*inst->weights, inst->profile->quotas(),
+                         {.loss_rate = 0.0, .reliable = true});
   EXPECT_TRUE(lic.same_edges(r.matching));
   EXPECT_EQ(r.stats.total_dropped, 0u);
 }
@@ -24,8 +25,8 @@ TEST_P(LidLossSweep, SameMatchingUnderLoss) {
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     auto inst = testing::Instance::random_quotas("er", 24, 5.0, 3, seed * 61 + 1);
     const auto lic = lic_global(*inst->weights, inst->profile->quotas());
-    const auto r =
-        run_lid_lossy(*inst->weights, inst->profile->quotas(), loss, seed);
+    const auto r = run_lid(*inst->weights, inst->profile->quotas(),
+                           {.loss_rate = loss, .reliable = true, .seed = seed});
     EXPECT_TRUE(lic.same_edges(r.matching)) << "loss=" << loss << " seed=" << seed;
     EXPECT_TRUE(is_valid_bmatching(r.matching));
     if (loss > 0.0) {
@@ -43,8 +44,10 @@ INSTANTIATE_TEST_SUITE_P(Sweep, LidLossSweep,
 
 TEST(LidLossy, RetransmissionsGrowWithLoss) {
   auto inst = testing::Instance::random("ba", 30, 4.0, 2, 9);
-  const auto low = run_lid_lossy(*inst->weights, inst->profile->quotas(), 0.05, 2);
-  const auto high = run_lid_lossy(*inst->weights, inst->profile->quotas(), 0.5, 2);
+  const auto low = run_lid(*inst->weights, inst->profile->quotas(),
+                           {.loss_rate = 0.05, .seed = 2});
+  const auto high = run_lid(*inst->weights, inst->profile->quotas(),
+                            {.loss_rate = 0.5, .seed = 2});
   EXPECT_LT(low.retransmissions, high.retransmissions);
 }
 
@@ -56,9 +59,12 @@ TEST(LidLossyThreaded, MatchesLicUnderLossAcrossWorkerCounts) {
     for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
       auto inst = testing::Instance::random_quotas("er", 24, 5.0, 3, 91);
       const auto lic = lic_global(*inst->weights, inst->profile->quotas());
-      const auto r = run_lid_lossy_threaded(*inst->weights,
-                                            inst->profile->quotas(), loss,
-                                            /*seed=*/5, threads);
+      const auto r = run_lid(*inst->weights, inst->profile->quotas(),
+                             {.runtime = LidRuntime::kThreaded,
+                              .loss_rate = loss,
+                              .reliable = true,
+                              .seed = 5,
+                              .threads = threads});
       EXPECT_TRUE(lic.same_edges(r.matching))
           << "loss=" << loss << " threads=" << threads;
       EXPECT_TRUE(is_valid_bmatching(r.matching));
@@ -78,8 +84,11 @@ TEST(LidLossyThreaded, MatchesLicUnderLossAcrossWorkerCounts) {
 TEST(LidLossyThreaded, RetransmissionsRecoverDroppedMessages) {
   auto inst = testing::Instance::random("ba", 30, 4.0, 2, 9);
   const auto lic = lic_global(*inst->weights, inst->profile->quotas());
-  const auto r =
-      run_lid_lossy_threaded(*inst->weights, inst->profile->quotas(), 0.3, 3, 4);
+  const auto r = run_lid(*inst->weights, inst->profile->quotas(),
+                         {.runtime = LidRuntime::kThreaded,
+                          .loss_rate = 0.3,
+                          .seed = 3,
+                          .threads = 4});
   EXPECT_TRUE(lic.same_edges(r.matching));
   EXPECT_GT(r.retransmissions, 0u);
   EXPECT_GT(r.stats.kind_count(sim::kAckKind), 0u);
@@ -87,7 +96,8 @@ TEST(LidLossyThreaded, RetransmissionsRecoverDroppedMessages) {
 
 TEST(LidLossy, AcksAccountedInStats) {
   auto inst = testing::Instance::random("er", 16, 4.0, 2, 5);
-  const auto r = run_lid_lossy(*inst->weights, inst->profile->quotas(), 0.1, 3);
+  const auto r = run_lid(*inst->weights, inst->profile->quotas(),
+                         {.loss_rate = 0.1, .seed = 3});
   // One ACK attempt per received DATA: ACK traffic must be substantial.
   EXPECT_GT(r.stats.kind_count(sim::kAckKind), 0u);
 }

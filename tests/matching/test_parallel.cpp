@@ -1,4 +1,5 @@
 #include "matching/parallel_local.hpp"
+#include "obs/registry.hpp"
 
 #include <gtest/gtest.h>
 
@@ -56,20 +57,20 @@ TEST(ParallelLocal, HeterogeneousQuotas) {
 
 TEST(ParallelLocal, ReportsRounds) {
   auto inst = testing::Instance::random("er", 40, 6.0, 2, 5);
-  ParallelRunInfo info;
-  const auto m =
-      parallel_local_dominant(*inst->weights, inst->profile->quotas(), 2, &info);
-  EXPECT_GT(info.rounds, 0u);
+  obs::Registry registry;
+  const auto m = parallel_local_dominant(*inst->weights, inst->profile->quotas(),
+                                         2, &registry);
+  EXPECT_GT(registry.snapshot().counter("parallel.rounds"), 0u);
   EXPECT_TRUE(m.is_maximal());
 }
 
 TEST(ParallelLocal, RoundsBoundedByEdges) {
   // Each non-final round selects at least one edge.
   auto inst = testing::Instance::random("ba", 50, 4.0, 2, 6);
-  ParallelRunInfo info;
-  const auto m =
-      parallel_local_dominant(*inst->weights, inst->profile->quotas(), 4, &info);
-  EXPECT_LE(info.rounds, m.size() + 1);
+  obs::Registry registry;
+  const auto m = parallel_local_dominant(*inst->weights, inst->profile->quotas(),
+                                         4, &registry);
+  EXPECT_LE(registry.snapshot().counter("parallel.rounds"), m.size() + 1);
 }
 
 TEST(ParallelLocal, EmptyGraph) {

@@ -1,4 +1,5 @@
 #include "matching/parallel_bsuitor.hpp"
+#include "obs/registry.hpp"
 
 #include <gtest/gtest.h>
 
@@ -66,14 +67,15 @@ TEST(ParallelBSuitor, EmptyGraph) {
 
 TEST(ParallelBSuitor, ReportsWorkCounters) {
   auto inst = testing::Instance::random("er", 60, 8.0, 3, 11);
-  ParallelBSuitorInfo info;
+  obs::Registry registry;
   const auto m =
-      parallel_b_suitor(*inst->weights, inst->profile->quotas(), 2, &info);
+      parallel_b_suitor(*inst->weights, inst->profile->quotas(), 2, &registry);
+  const auto snap = registry.snapshot();
   EXPECT_GT(m.size(), 0u);
-  EXPECT_GT(info.proposals, 0u);
-  EXPECT_GE(info.range_claims, 1u);
+  EXPECT_GT(snap.counter("pbsuitor.proposals"), 0u);
+  EXPECT_GE(snap.counter("pbsuitor.range_claims"), 1u);
   // Every matched edge required at least one accepted bid.
-  EXPECT_GE(info.proposals, m.size());
+  EXPECT_GE(snap.counter("pbsuitor.proposals"), m.size());
 }
 
 // Stress test at ≥ 8 threads on a dense-ish instance with displacement
@@ -85,9 +87,8 @@ TEST(ParallelBSuitorStress, EightThreadsDeterministicUnderContention) {
     auto inst = testing::Instance::random_quotas("er", 600, 16.0, 4, seed * 97);
     const auto seq = b_suitor(*inst->weights, inst->profile->quotas());
     for (const std::size_t threads : {8u, 12u}) {
-      ParallelBSuitorInfo info;
-      const auto par = parallel_b_suitor(*inst->weights,
-                                         inst->profile->quotas(), threads, &info);
+      const auto par =
+          parallel_b_suitor(*inst->weights, inst->profile->quotas(), threads);
       ASSERT_TRUE(seq.same_edges(par)) << "threads=" << threads << " seed=" << seed;
       ASSERT_TRUE(is_valid_bmatching(par));
     }

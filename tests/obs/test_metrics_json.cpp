@@ -1,0 +1,144 @@
+// overmatch-metrics-v1 exporter: a byte-exact golden document (the format is
+// deterministic by design — sorted series, fixed numeric formats), plus the
+// envelope rules tools/metrics_diff.py enforces (escaping, trace cap,
+// emitted ≥ retained ≥ embedded).
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace overmatch::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& doc, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = doc.find(needle); pos != std::string::npos;
+       pos = doc.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(MetricsJson, GoldenDocument) {
+  // Timers are excluded: they carry wall-clock readings and would make the
+  // document non-reproducible. Everything else is byte-stable.
+  Registry r;
+  r.set_label("algo", "lid");
+  r.set_label("topology", "er");
+  r.counter("b.count").inc(2);
+  r.counter("a.count").inc(41);
+  r.counter("a.count").inc();
+  r.gauge("ratio").set(0.5);
+  const Histogram h = r.histogram("h", {1.0, 4.0});
+  h.observe(0.5);
+  h.observe(2.0);
+  h.observe(9.0);
+  const std::string doc = to_json(r.snapshot(), "test");
+  const std::string golden =
+      "{\n"
+      "  \"schema\": \"overmatch-metrics-v1\",\n"
+      "  \"source\": \"test\",\n"
+      "  \"labels\": {\n"
+      "    \"algo\": \"lid\",\n"
+      "    \"topology\": \"er\"\n"
+      "  },\n"
+      "  \"counters\": {\n"
+      "    \"a.count\": 42,\n"
+      "    \"b.count\": 2\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"ratio\": 0.500000\n"
+      "  },\n"
+      "  \"timers\": [],\n"
+      "  \"histograms\": [\n"
+      "    {\"name\": \"h\", \"bounds\": [1, 4], \"counts\": [1, 1, 1]}\n"
+      "  ],\n"
+      "  \"trace\": {\n"
+      "    \"emitted\": 0,\n"
+      "    \"retained\": 0,\n"
+      "    \"events\": []\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(doc, golden);
+}
+
+TEST(MetricsJson, EmptySnapshotIsStillAValidEnvelope) {
+  Registry r;
+  const std::string doc = to_json(r.snapshot(), "empty");
+  EXPECT_EQ(doc,
+            "{\n"
+            "  \"schema\": \"overmatch-metrics-v1\",\n"
+            "  \"source\": \"empty\",\n"
+            "  \"labels\": {},\n"
+            "  \"counters\": {},\n"
+            "  \"gauges\": {},\n"
+            "  \"timers\": [],\n"
+            "  \"histograms\": [],\n"
+            "  \"trace\": {\n"
+            "    \"emitted\": 0,\n"
+            "    \"retained\": 0,\n"
+            "    \"events\": []\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(MetricsJson, EscapesControlAndQuoteCharacters) {
+  Registry r;
+  r.set_label("note", "a \"quoted\"\nline\tand\x01tail");
+  const std::string doc = to_json(r.snapshot(), "esc\\src");
+  EXPECT_NE(doc.find("\"esc\\\\src\""), std::string::npos);
+  EXPECT_NE(doc.find("a \\\"quoted\\\"\\nline\\tand\\u0001tail"),
+            std::string::npos);
+}
+
+TEST(MetricsJson, TimersCarryCountAndMillisecondStats) {
+  Registry r;
+  r.timer("t").record(std::chrono::milliseconds(2));
+  r.timer("t").record(std::chrono::milliseconds(4));
+  const auto snap = r.snapshot();
+  const auto* t = snap.timer("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->count, 2u);
+  EXPECT_NEAR(t->total_ms, 6.0, 1.0);
+  EXPECT_LE(t->min_ms, t->max_ms);
+  const std::string doc = to_json(snap, "test");
+  EXPECT_NE(doc.find("{\"name\": \"t\", \"count\": 2, \"total_ms\": "),
+            std::string::npos);
+}
+
+TEST(MetricsJson, TraceCapEmbedsOldestAndKeepsTotalsExact) {
+  Registry r;
+  for (std::uint32_t i = 0; i < 5; ++i) r.trace(TraceKind::kLock, i, i + 100);
+  const std::string doc = to_json(r.snapshot(), "test", /*max_trace_events=*/2);
+  EXPECT_NE(doc.find("\"emitted\": 5"), std::string::npos);
+  EXPECT_NE(doc.find("\"retained\": 5"), std::string::npos);
+  EXPECT_EQ(count_occurrences(doc, "\"kind\": \"lock\""), 2u);
+  // Oldest-first embedding: payloads 100 and 101 survive the cap.
+  EXPECT_NE(doc.find("\"b\": 100"), std::string::npos);
+  EXPECT_NE(doc.find("\"b\": 101"), std::string::npos);
+  EXPECT_EQ(doc.find("\"b\": 104"), std::string::npos);
+}
+
+TEST(MetricsJson, WriteJsonFileRoundTrips) {
+  Registry r;
+  r.counter("k").inc(7);
+  const std::string path = ::testing::TempDir() + "overmatch_metrics_rt.json";
+  write_json_file(r.snapshot(), "test", path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string read_back;
+  char buf[4096];
+  for (std::size_t got; (got = std::fread(buf, 1, sizeof buf, f)) > 0;) {
+    read_back.append(buf, got);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(read_back, to_json(r.snapshot(), "test"));
+}
+
+}  // namespace
+}  // namespace overmatch::obs

@@ -1,0 +1,173 @@
+// obs::Registry correctness and thread-safety. The hammer tests run the
+// full handle surface (counters, gauges, timers, histograms, trace rings)
+// from many threads at once and require exact totals at quiescence; under
+// -DOVERMATCH_SANITIZE=thread they are the data-race proof for the whole
+// observability layer.
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace overmatch::obs {
+namespace {
+
+TEST(Registry, DisengagedHandlesAreNoOps) {
+  Registry* none = nullptr;
+  counter(none, "c").inc();
+  gauge(none, "g").set(3.0);
+  timer(none, "t").record(std::chrono::milliseconds(1));
+  trace(none, TraceKind::kMessage, 1, 2);
+  EXPECT_FALSE(Counter{}.engaged());
+  EXPECT_EQ(Counter{}.value(), 0u);
+  EXPECT_FALSE(Gauge{}.engaged());
+  EXPECT_EQ(Gauge{}.value(), 0.0);
+  EXPECT_FALSE(Timer{}.engaged());
+  EXPECT_FALSE(Histogram{}.engaged());
+  // ScopedTimer over a disengaged timer is two clock reads and nothing else.
+  { ScopedTimer span{Timer{}}; }
+}
+
+TEST(Registry, HandlesAliasTheSameCell) {
+  Registry r;
+  const Counter a = r.counter("x");
+  const Counter b = r.counter("x");
+  a.inc(3);
+  b.inc(4);
+  EXPECT_EQ(r.counter("x").value(), 7u);
+  EXPECT_EQ(r.snapshot().counter("x"), 7u);
+}
+
+TEST(Registry, GaugeSetAddMax) {
+  Registry r;
+  const Gauge g = r.gauge("g");
+  g.set(2.0);
+  g.add(0.5);
+  g.set_max(1.0);  // below current → no change
+  EXPECT_EQ(g.value(), 2.5);
+  g.set_max(9.0);
+  EXPECT_EQ(r.snapshot().gauge("g"), 9.0);
+}
+
+TEST(Registry, HistogramBucketPlacement) {
+  Registry r;
+  const Histogram h = r.histogram("h", {1.0, 2.0, 4.0});
+  h.observe(0.5);   // bucket 0 (≤ 1)
+  h.observe(1.0);   // bucket 0 (boundary is inclusive)
+  h.observe(1.5);   // bucket 1
+  h.observe(4.0);   // bucket 2
+  h.observe(100.0); // open bucket
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& hs = snap.histograms[0];
+  EXPECT_EQ(hs.bounds, (std::vector<double>{1.0, 2.0, 4.0}));
+  EXPECT_EQ(hs.counts, (std::vector<std::uint64_t>{2, 1, 1, 1}));
+  // Re-registering ignores new bounds; first registration wins.
+  const Histogram again = r.histogram("h", {7.0});
+  again.observe(0.1);
+  EXPECT_EQ(r.snapshot().histograms[0].counts[0], 3u);
+}
+
+TEST(Registry, SnapshotIsSortedByName) {
+  Registry r;
+  r.counter("zz").inc();
+  r.counter("aa").inc();
+  r.set_label("z", "1");
+  r.set_label("a", "2");
+  r.set_label("z", "3");  // last write wins
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "aa");
+  EXPECT_EQ(snap.counters[1].first, "zz");
+  ASSERT_EQ(snap.labels.size(), 2u);
+  EXPECT_EQ(snap.labels[0].first, "a");
+  EXPECT_EQ(snap.labels[1].first, "z");
+  EXPECT_EQ(snap.labels[1].second, "3");
+  EXPECT_FALSE(snap.has_counter("absent"));
+  EXPECT_EQ(snap.counter("absent"), 0u);
+}
+
+TEST(RegistryHammer, ConcurrentRecordingIsExactAtQuiescence) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kReps = 20000;
+  Registry r;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&r, t] {
+      // Resolve handles once (the prescribed call-site discipline), then
+      // hammer: shared counter, per-thread counter, gauge high-water,
+      // histogram, timer, and the per-thread trace ring.
+      const Counter shared = r.counter("shared");
+      const Counter mine = r.counter("thread." + std::to_string(t));
+      const Gauge peak = r.gauge("peak");
+      const Histogram h = r.histogram("h", {0.25, 0.5, 0.75});
+      const Timer timer = r.timer("span");
+      for (std::size_t i = 0; i < kReps; ++i) {
+        shared.inc();
+        mine.inc(2);
+        peak.set_max(static_cast<double>(t * kReps + i));
+        h.observe(static_cast<double>(i) / kReps);
+        if (i % 1000 == 0) {
+          timer.record(std::chrono::microseconds(1));
+        }
+        r.trace(TraceKind::kProposal, static_cast<std::uint32_t>(t),
+                static_cast<std::uint32_t>(i));
+      }
+    });
+  }
+  // Concurrent snapshots must be race-free (values may be mid-flight).
+  std::thread reader([&r] {
+    for (int i = 0; i < 50; ++i) {
+      const auto live = r.snapshot();
+      EXPECT_LE(live.counter("shared"), kThreads * kReps);
+    }
+  });
+  for (auto& w : workers) w.join();
+  reader.join();
+
+  const auto snap = r.snapshot();
+  EXPECT_EQ(snap.counter("shared"), kThreads * kReps);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.counter("thread." + std::to_string(t)), 2 * kReps);
+  }
+  EXPECT_EQ(snap.gauge("peak"), static_cast<double>(kThreads * kReps - 1));
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  std::uint64_t histo_total = 0;
+  for (const auto c : snap.histograms[0].counts) histo_total += c;
+  EXPECT_EQ(histo_total, kThreads * kReps);
+  const auto* span = snap.timer("span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count, kThreads * (kReps / 1000));
+  EXPECT_LE(span->min_ms, span->max_ms);
+  // Every emit is counted even after ring overwrite; the retained window is
+  // bounded by capacity × producing threads.
+  EXPECT_EQ(snap.trace_emitted, kThreads * kReps);
+  EXPECT_LE(snap.trace.size(), kThreads * Registry::kTraceCapacityPerThread);
+  EXPECT_FALSE(snap.trace.empty());
+}
+
+TEST(RegistryHammer, TraceRingOverwritesOldestAndKeepsOrder) {
+  Registry r;
+  const std::size_t total = 3 * Registry::kTraceCapacityPerThread;
+  for (std::size_t i = 0; i < total; ++i) {
+    r.trace(TraceKind::kMessage, 0, static_cast<std::uint32_t>(i));
+  }
+  const auto snap = r.snapshot();
+  EXPECT_EQ(snap.trace_emitted, total);
+  EXPECT_LE(snap.trace.size(), Registry::kTraceCapacityPerThread);
+  ASSERT_GE(snap.trace.size(), 2u);
+  // Single ring → strictly increasing sequence, oldest first, and the window
+  // is the *latest* events (the payload carries the emit index).
+  for (std::size_t i = 1; i < snap.trace.size(); ++i) {
+    EXPECT_EQ(snap.trace[i].ring, snap.trace[0].ring);
+    EXPECT_LT(snap.trace[i - 1].seq, snap.trace[i].seq);
+    EXPECT_LT(snap.trace[i - 1].b, snap.trace[i].b);
+  }
+  EXPECT_EQ(snap.trace.back().b, static_cast<std::uint32_t>(total - 1));
+}
+
+}  // namespace
+}  // namespace overmatch::obs

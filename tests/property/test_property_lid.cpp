@@ -28,7 +28,7 @@ TEST_P(LidProperties, EquivalenceAndBounds) {
                                         seed * 211 + 17);
     const auto lic = matching::lic_global(*inst->weights, inst->profile->quotas());
     const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                     p.schedule, seed);
+                                     {.schedule = p.schedule, .seed = seed});
     // Equivalence (Lemmas 3,4,6).
     EXPECT_TRUE(lic.same_edges(r.matching)) << "seed=" << seed;
     // Validity and maximality.
@@ -72,8 +72,9 @@ TEST_P(LidThreadSweep, ThreadCountIrrelevantToOutcome) {
   const auto reference = matching::lic_global(*inst->weights,
                                               inst->profile->quotas());
   for (int repeat = 0; repeat < 3; ++repeat) {
-    const auto r = matching::run_lid_threaded(*inst->weights,
-                                              inst->profile->quotas(), threads);
+    const auto r = matching::run_lid(
+        *inst->weights, inst->profile->quotas(),
+        {.runtime = matching::LidRuntime::kThreaded, .threads = threads});
     EXPECT_TRUE(reference.same_edges(r.matching))
         << "threads=" << threads << " repeat=" << repeat;
   }

@@ -278,12 +278,14 @@ TEST(ThreadedRuntimeDeathTest, RunIsSingleShot) {
 /// (LID uses no timers and the runtime is lossless here).
 TEST(ThreadedRuntimeStress, LidTenThousandNodesMatchesEventSim) {
   const auto inst = matching::testing::Instance::random("er", 10000, 6.0, 3, 42);
-  const auto reference = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                           Schedule::kFifo, 1);
+  const auto reference =
+      matching::run_lid(*inst->weights, inst->profile->quotas(),
+                        {.schedule = Schedule::kFifo});
   EXPECT_EQ(reference.stats.total_delivered, reference.stats.total_sent);
   for (const std::size_t threads : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
-    const auto r = matching::run_lid_threaded(*inst->weights,
-                                              inst->profile->quotas(), threads);
+    const auto r = matching::run_lid(
+        *inst->weights, inst->profile->quotas(),
+        {.runtime = matching::LidRuntime::kThreaded, .threads = threads});
     // Only the matching is schedule-invariant; message counts depend on the
     // interleaving, so assert honest accounting rather than an exact total.
     EXPECT_TRUE(reference.matching.same_edges(r.matching)) << "threads=" << threads;
@@ -297,8 +299,9 @@ TEST(ThreadedRuntimeStress, MoreWorkersThanNodes) {
   // back off, and agree on quiescence.
   const auto inst = matching::testing::Instance::random("complete", 8, 7.0, 2, 7);
   const auto lic = matching::lic_global(*inst->weights, inst->profile->quotas());
-  const auto r = matching::run_lid_threaded(*inst->weights,
-                                            inst->profile->quotas(), 32);
+  const auto r = matching::run_lid(
+      *inst->weights, inst->profile->quotas(),
+      {.runtime = matching::LidRuntime::kThreaded, .threads = 32});
   EXPECT_TRUE(lic.same_edges(r.matching));
   EXPECT_EQ(r.stats.total_delivered, r.stats.total_sent);
 }

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Validate and diff overmatch-metrics-v1 JSON documents.
+
+Usage:
+    metrics_diff.py FILE.json                      # validate one document
+    metrics_diff.py BASE.json CURRENT.json [opts]  # validate both and diff
+
+Options:
+    --fail-if-changed   non-zero exit if any counter value differs
+    --all               also list unchanged counters
+
+Validation checks the full overmatch-metrics-v1 envelope: schema tag, typed
+sections (counters: non-negative ints; gauges: numbers; timers: name/count/
+total_ms/min_ms/max_ms with count >= 0 and min <= max when count > 0;
+histograms: strictly ascending bounds with len(counts) == len(bounds) + 1;
+trace: emitted >= retained >= len(events), events carry ring/seq/kind/a/b).
+
+Diffing reports counter deltas (added, removed, changed) between two
+documents. Exit status is the number of validation errors, plus — under
+--fail-if-changed — the number of changed/added/removed counters, so the
+script slots directly into CI or ctest like bench_diff.py.
+"""
+
+import json
+import numbers
+import sys
+
+SCHEMA = "overmatch-metrics-v1"
+
+
+def _is_int(x):
+    return isinstance(x, int) and not isinstance(x, bool)
+
+
+def _is_num(x):
+    return isinstance(x, numbers.Real) and not isinstance(x, bool)
+
+
+def validate(path):
+    """Returns (doc, [error strings])."""
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return None, [f"{path}: {e}"]
+
+    if doc.get("schema") != SCHEMA:
+        err(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if not isinstance(doc.get("source"), str):
+        err("missing or non-string 'source'")
+
+    labels = doc.get("labels", {})
+    if not isinstance(labels, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+    ):
+        err("'labels' must map strings to strings")
+
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        err("missing 'counters' object")
+    else:
+        for name, value in counters.items():
+            if not _is_int(value) or value < 0:
+                err(f"counter {name!r}: {value!r} is not a non-negative integer")
+
+    gauges = doc.get("gauges")
+    if not isinstance(gauges, dict):
+        err("missing 'gauges' object")
+    else:
+        for name, value in gauges.items():
+            if not _is_num(value):
+                err(f"gauge {name!r}: {value!r} is not a number")
+
+    timers = doc.get("timers")
+    if not isinstance(timers, list):
+        err("missing 'timers' array")
+    else:
+        for t in timers:
+            name = t.get("name") if isinstance(t, dict) else None
+            if not isinstance(t, dict) or not isinstance(name, str):
+                err(f"timer entry {t!r} lacks a string 'name'")
+                continue
+            if not _is_int(t.get("count")) or t["count"] < 0:
+                err(f"timer {name!r}: bad 'count'")
+            for field in ("total_ms", "min_ms", "max_ms"):
+                if not _is_num(t.get(field)):
+                    err(f"timer {name!r}: bad {field!r}")
+            if (
+                _is_int(t.get("count"))
+                and t["count"] > 0
+                and _is_num(t.get("min_ms"))
+                and _is_num(t.get("max_ms"))
+                and t["min_ms"] > t["max_ms"]
+            ):
+                err(f"timer {name!r}: min_ms > max_ms")
+
+    histograms = doc.get("histograms")
+    if not isinstance(histograms, list):
+        err("missing 'histograms' array")
+    else:
+        for h in histograms:
+            name = h.get("name") if isinstance(h, dict) else None
+            if not isinstance(h, dict) or not isinstance(name, str):
+                err(f"histogram entry {h!r} lacks a string 'name'")
+                continue
+            bounds = h.get("bounds")
+            counts = h.get("counts")
+            if not isinstance(bounds, list) or not all(_is_num(b) for b in bounds):
+                err(f"histogram {name!r}: bad 'bounds'")
+                continue
+            if any(a >= b for a, b in zip(bounds, bounds[1:])):
+                err(f"histogram {name!r}: bounds not strictly ascending")
+            if not isinstance(counts, list) or not all(
+                _is_int(c) and c >= 0 for c in counts
+            ):
+                err(f"histogram {name!r}: bad 'counts'")
+            elif len(counts) != len(bounds) + 1:
+                err(
+                    f"histogram {name!r}: {len(counts)} counts for "
+                    f"{len(bounds)} bounds (want bounds + 1)"
+                )
+
+    trace = doc.get("trace")
+    if not isinstance(trace, dict):
+        err("missing 'trace' object")
+    else:
+        emitted, retained = trace.get("emitted"), trace.get("retained")
+        events = trace.get("events")
+        if not _is_int(emitted) or emitted < 0:
+            err("trace: bad 'emitted'")
+        if not _is_int(retained) or retained < 0:
+            err("trace: bad 'retained'")
+        if not isinstance(events, list):
+            err("trace: missing 'events' array")
+        else:
+            if _is_int(emitted) and _is_int(retained):
+                if retained > emitted:
+                    err("trace: retained > emitted")
+                if len(events) > retained:
+                    err("trace: more events embedded than retained")
+            for ev in events:
+                if not isinstance(ev, dict) or not isinstance(ev.get("kind"), str):
+                    err(f"trace event {ev!r} lacks a string 'kind'")
+                    continue
+                for field in ("ring", "seq", "a", "b"):
+                    if not _is_int(ev.get(field)) or ev[field] < 0:
+                        err(f"trace event (seq {ev.get('seq')!r}): bad {field!r}")
+    return doc, errors
+
+
+def diff_counters(base, cur, show_all):
+    """Returns the number of differing counters; prints the delta report."""
+    bc = base.get("counters", {}) if isinstance(base.get("counters"), dict) else {}
+    cc = cur.get("counters", {}) if isinstance(cur.get("counters"), dict) else {}
+    changed, unchanged, added, removed = [], [], [], []
+    for name in sorted(set(bc) | set(cc)):
+        if name not in cc:
+            removed.append(f"  - {name} (was {bc[name]})")
+        elif name not in bc:
+            added.append(f"  + {name} = {cc[name]}")
+        elif bc[name] != cc[name]:
+            delta = cc[name] - bc[name]
+            changed.append(f"  {name}: {bc[name]} -> {cc[name]} ({delta:+d})")
+        else:
+            unchanged.append(f"  {name}: {cc[name]}")
+
+    print(f"compared {len(set(bc) | set(cc))} counters")
+    for title, lines in (
+        ("changed", changed),
+        ("added", added),
+        ("removed", removed),
+    ):
+        if lines:
+            print(f"\n{title} ({len(lines)}):")
+            print("\n".join(lines))
+    if show_all and unchanged:
+        print(f"\nunchanged ({len(unchanged)}):")
+        print("\n".join(unchanged))
+    if not (changed or added or removed):
+        print("\nno counter changes")
+    return len(changed) + len(added) + len(removed)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    opts = [a for a in argv[1:] if a.startswith("--")]
+    if len(args) not in (1, 2):
+        sys.exit(__doc__.strip())
+    unknown = [o for o in opts if o not in ("--fail-if-changed", "--all")]
+    if unknown:
+        sys.exit(f"unknown option(s): {', '.join(unknown)}")
+
+    docs, error_count = [], 0
+    for path in args:
+        doc, errors = validate(path)
+        docs.append(doc)
+        if errors:
+            print(f"INVALID {path}:")
+            print("\n".join(f"  {e}" for e in errors))
+            error_count += len(errors)
+        else:
+            print(f"valid   {path}")
+    if error_count or len(args) == 1:
+        return error_count
+
+    differing = diff_counters(docs[0], docs[1], "--all" in opts)
+    return differing if "--fail-if-changed" in opts else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

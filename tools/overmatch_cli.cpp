@@ -19,6 +19,8 @@
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "matching/metrics.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -43,11 +45,15 @@ void print_usage() {
       "solver:\n"
       "  --algo=NAME        see --list-algos                   [lid]\n"
       "  --schedule=NAME    fifo|random|delay|adversarial      [random]\n"
+      "  --loss=P           wire-message drop probability for the LID\n"
+      "                     runtimes (reliable-delivery adapter) [0]\n"
       "  --threads=T        threaded runtimes; when given explicitly, also\n"
       "                     parallelizes graph/preference/weight construction\n"
       "                     (default: single-threaded build)   [2]\n"
       "output:\n"
       "  --csv              per-node CSV on stdout\n"
+      "  --metrics-out=FILE write an overmatch-metrics-v1 JSON document\n"
+      "                     (validate/diff with tools/metrics_diff.py)\n"
       "  --quiet            summary line only\n"
       "  --list-algos       list algorithm names and exit\n"
       "  --help             this text");
@@ -107,6 +113,9 @@ int main(int argc, char** argv) {
   opt.seed = seed;
   opt.schedule = sim::schedule_by_name(flags.get("schedule", "random"));
   opt.threads = static_cast<std::size_t>(flags.get_int("threads", 2));
+  opt.loss_rate = flags.get_double("loss", 0.0);
+  obs::Registry registry;
+  opt.registry = &registry;
   // Construction parallelism is opt-in: only an explicit --threads arms the
   // pool, so the default run keeps the original single-threaded build.
   std::unique_ptr<util::ThreadPool> pool;
@@ -115,9 +124,18 @@ int main(int argc, char** argv) {
     opt.pool = pool.get();
   }
   const auto algo = core::algorithm_by_name(flags.get("algo", "lid"));
+  registry.set_label("topology", flags.has("graph") ? "file" : flags.get("topology", "er"));
+  registry.set_label("nodes", std::to_string(g.num_nodes()));
+  registry.set_label("edges", std::to_string(g.num_edges()));
+  registry.set_label("seed", std::to_string(seed));
   util::WallTimer timer;
   const auto result = core::solve(profile, algo, opt);
   const double elapsed_ms = timer.millis();
+
+  if (flags.has("metrics-out")) {
+    obs::write_json_file(registry.snapshot(), "overmatch_cli",
+                         flags.get("metrics-out", "metrics.json"));
+  }
 
   // Report.
   const auto weights = prefs::paper_weights(profile, opt.pool);
@@ -148,6 +166,10 @@ int main(int argc, char** argv) {
     std::printf("messages : %zu (%.2f per candidate edge)\n", result.messages,
                 static_cast<double>(result.messages) /
                     static_cast<double>(g.num_edges()));
+  }
+  if (result.retransmissions > 0) {
+    std::printf("retransm : %zu (loss %.2f)\n", result.retransmissions,
+                opt.loss_rate);
   }
   if (!result.converged) std::printf("warning  : dynamics hit the step cap\n");
   if (!flags.has("quiet")) {
