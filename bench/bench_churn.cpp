@@ -1,15 +1,114 @@
-// E11 — Extension (paper future work): joins/leaves. Incremental greedy
-// repair vs. from-scratch recomputation: satisfaction trajectory, connection
-// disruption, and the weight premium recomputation would buy.
+// E20 — Incremental dynamic rematching under churn (DESIGN.md §10).
+//
+// Headline: per-event repair latency of the stateful DynamicBSuitor engine
+// (--churn-mode=incremental) vs. from-scratch recomputation, across
+// topologies and a size ladder up to n = 10^5. Both engines maintain the
+// *same* matching (the greedy fixed point of the alive subgraph), so the
+// comparison is pure latency, not quality. Also keeps E11's quality-flavored
+// views: a per-event trajectory with the oracle comparator on, and burst
+// leave/rejoin recovery.
+//
+// Emits BENCH_churn.json (overmatch-bench-v1) with one `event_repair` record
+// per (topology, n, mode); tools/bench_diff.py compares medians against the
+// checked-in baseline and fails on >15% regressions.
 #include "bench/bench_common.hpp"
 #include "overlay/churn.hpp"
 
 namespace overmatch {
 namespace {
 
+/// Replays `events` random leave/join events (leaves while few are offline,
+/// ~50/50 once some are) and returns per-event repair wall-clock in ms.
+std::vector<double> run_events(overlay::ChurnSimulator& churn, std::size_t n,
+                               std::size_t events, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<graph::NodeId> offline;
+  std::vector<double> ms;
+  ms.reserve(events);
+  for (std::size_t k = 0; k < events; ++k) {
+    overlay::ChurnEvent ev;
+    if (!offline.empty() && rng.chance(0.5)) {
+      const auto idx = rng.index(offline.size());
+      ev = churn.join(offline[idx]);
+      offline.erase(offline.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      graph::NodeId v;
+      do {
+        v = static_cast<graph::NodeId>(rng.index(n));
+      } while (!churn.alive(v));
+      ev = churn.leave(v);
+      offline.push_back(v);
+    }
+    ms.push_back(static_cast<double>(ev.repair_ns) / 1e6);
+  }
+  return ms;
+}
+
+void per_event_latency(bench::JsonReport& report) {
+  const std::vector<std::size_t> ladder =
+      bench::g_smoke ? std::vector<std::size_t>{400}
+                     : std::vector<std::size_t>{1000, 10000, 100000};
+  const std::size_t incr_events = bench::scaled(256, 32);
+
+  util::Table t({"topology", "n", "incr median us", "incr p90 us", "incr events/s",
+                 "scratch median us", "scratch events/s", "speedup (median)"});
+  for (const char* topology : {"er", "ba", "ws"}) {
+    for (const std::size_t n : ladder) {
+      auto inst = bench::Instance::make(topology, n, 8.0, 3, 20000 + n);
+      // Same instance, two engines: latency is the only thing that differs.
+      overlay::ChurnOptions incr_opt;
+      incr_opt.mode = overlay::ChurnMode::kIncremental;
+      overlay::ChurnSimulator incr(*inst->profile, *inst->weights, incr_opt);
+      auto incr_ms = run_events(incr, n, incr_events, 7);
+
+      // From-scratch pays O(m) per event — fewer events suffice for a stable
+      // median and keep the large-n rows affordable.
+      const std::size_t scratch_events =
+          std::max<std::size_t>(8, incr_events / (n >= 100000 ? 16 : 4));
+      overlay::ChurnOptions scr_opt;
+      scr_opt.mode = overlay::ChurnMode::kScratch;
+      overlay::ChurnSimulator scratch(*inst->profile, *inst->weights, scr_opt);
+      auto scratch_ms = run_events(scratch, n, scratch_events, 7);
+
+      const double im = util::percentile(incr_ms, 50.0);
+      const double ip90 = util::percentile(incr_ms, 90.0);
+      const double sm = util::percentile(scratch_ms, 50.0);
+      t.row()
+          .cell(topology)
+          .cell(std::uint64_t{n})
+          .cell(im * 1e3, 2)
+          .cell(ip90 * 1e3, 2)
+          .cell(im > 0 ? 1e3 / im : 0.0, 0)
+          .cell(sm * 1e3, 2)
+          .cell(sm > 0 ? 1e3 / sm : 0.0, 0)
+          .cell(im > 0 ? sm / im : 0.0, 1);
+
+      report.add("event_repair",
+                 {{"topology", topology},
+                  {"n", std::to_string(n)},
+                  {"mode", "incremental"}},
+                 std::move(incr_ms));
+      report.add("event_repair",
+                 {{"topology", topology},
+                  {"n", std::to_string(n)},
+                  {"mode", "scratch"}},
+                 std::move(scratch_ms));
+    }
+  }
+  t.print(
+      "Per-event repair latency, incremental vs from-scratch (quota 3, avg "
+      "degree 8;\nidentical matchings — acceptance target: speedup ≥ 10× at "
+      "n = 100000):");
+}
+
 void churn_trajectory() {
+  // Oracle on: every row shows the from-scratch weight next to the
+  // incremental one. The gap is 0 by Theorem 2's unique fixed point — the
+  // engine *is* at the from-scratch matching after every event.
   auto inst = bench::Instance::make("er", 120, 8.0, 3, 31337);
-  overlay::ChurnSimulator churn(*inst->profile, *inst->weights);
+  overlay::ChurnOptions opt;
+  opt.oracle = true;
+  overlay::ChurnSimulator churn(*inst->profile, *inst->weights, opt);
   util::Rng rng(1);
 
   const double w0 = churn.matching().total_weight(*inst->weights);
@@ -18,7 +117,7 @@ void churn_trajectory() {
               churn.matching().size());
 
   util::Table t({"event", "node", "removed", "added", "incr weight", "scratch weight",
-                 "gap %", "disruption", "alive satisfaction"});
+                 "gap %", "disruption", "alive satisfaction", "repair us"});
   std::vector<graph::NodeId> offline;
   const int steps = static_cast<int>(bench::scaled(24, 6));
   for (int step = 1; step <= steps; ++step) {
@@ -46,9 +145,12 @@ void churn_trajectory() {
         .cell(ev.recompute_weight, 4)
         .cell(gap, 2)
         .cell(std::uint64_t{ev.disruption})
-        .cell(ev.satisfaction_total, 3);
+        .cell(ev.satisfaction_total, 3)
+        .cell(static_cast<double>(ev.repair_ns) / 1e3, 1);
   }
-  t.print("Churn trajectory (ER n=120, b=3; 24 random leave/join events):");
+  t.print(
+      "Churn trajectory with per-event oracle (ER n=120, b=3; incremental "
+      "repair):");
 }
 
 void burst_recovery() {
@@ -91,9 +193,13 @@ int main(int argc, char** argv) {
   const overmatch::bench::Env env(argc, argv);  // --smoke support
   (void)env;
   overmatch::bench::print_header(
-      "E11", "Dynamicity extension (paper §7 future work)",
-      "Incremental repair under churn vs. from-scratch recomputation.");
+      "E20", "Incremental dynamic rematching (paper §7 future work)",
+      "Localized b-suitor repair per churn event vs. from-scratch "
+      "recomputation.");
+  overmatch::bench::JsonReport report("churn");
+  overmatch::per_event_latency(report);
   overmatch::churn_trajectory();
   overmatch::burst_recovery();
+  report.write();
   return 0;
 }

@@ -3,6 +3,7 @@
 #include "obs/registry.hpp"
 #include "matching/baselines.hpp"
 #include "matching/bsuitor.hpp"
+#include "matching/dynamic_bsuitor.hpp"
 #include "matching/exact.hpp"
 #include "matching/local_search.hpp"
 #include "matching/lic.hpp"
@@ -22,6 +23,7 @@ const char* algorithm_name(Algorithm a) {
     case Algorithm::kParallelLocal: return "parallel";
     case Algorithm::kBSuitor: return "bsuitor";
     case Algorithm::kParallelBSuitor: return "parallel-bsuitor";
+    case Algorithm::kDynamicBSuitor: return "dynamic-bsuitor";
     case Algorithm::kLidLocalSearch: return "lid+ls";
     case Algorithm::kRandomGreedy: return "random-greedy";
     case Algorithm::kMutualBest: return "mutual-best";
@@ -44,7 +46,7 @@ const std::vector<Algorithm>& all_algorithms() {
   static const std::vector<Algorithm> kAll = {
       Algorithm::kLicGlobal,      Algorithm::kLicLocal,
       Algorithm::kParallelLocal,  Algorithm::kBSuitor,
-      Algorithm::kParallelBSuitor,
+      Algorithm::kParallelBSuitor, Algorithm::kDynamicBSuitor,
       Algorithm::kLidDes,         Algorithm::kLidThreaded,
       Algorithm::kLidLocalSearch, Algorithm::kRandomGreedy,
       Algorithm::kMutualBest,     Algorithm::kBestReply,
@@ -112,6 +114,9 @@ SolveResult solve_impl(const prefs::PreferenceProfile& profile,
         break;
       case Algorithm::kParallelBSuitor:
         m = matching::parallel_b_suitor(w, quotas, options.threads, &reg);
+        break;
+      case Algorithm::kDynamicBSuitor:
+        m = matching::DynamicBSuitor(w, quotas, &reg).matching();
         break;
       case Algorithm::kLidLocalSearch: {
         auto r = matching::run_lid(

@@ -30,6 +30,8 @@ enum class Algorithm : std::uint8_t {
   kParallelLocal,  ///< shared-memory parallel local dominance
   kBSuitor,        ///< b-suitor bidding (modern comparator; same output)
   kParallelBSuitor,///< lock-free parallel b-suitor (spinlocked suitor heaps)
+  kDynamicBSuitor, ///< stateful dynamic b-suitor engine (static build here;
+                   ///< same output — the engine's value is under churn)
   kLidLocalSearch, ///< LID followed by true-objective local search
   kRandomGreedy,   ///< random-order maximal greedy (baseline)
   kMutualBest,     ///< rank-based mutual-best rounds (baseline, Gai et al.)

@@ -8,6 +8,11 @@
 namespace overmatch::matching {
 namespace {
 
+struct BSuitorInfo {
+  std::size_t proposals = 0;     ///< total bids made (≈ message complexity)
+  std::size_t displacements = 0; ///< bids that knocked out a weaker suitor
+};
+
 /// Suitor sets: per node, the ≤ b_v current suitor edges, with the weakest
 /// *cached* so the admits/admit pair on the same node costs one O(b) scan
 /// instead of two (b is small in all our workloads, but the pair runs on
@@ -23,6 +28,7 @@ class SuitorState {
   [[nodiscard]] bool admits(NodeId v, EdgeId e) const {
     const auto& s = suitors_[v];
     if (s.size() < (*quotas_)[v]) return true;
+    if (s.empty()) return false;  // quota-0 node: admits nothing
     return w_->heavier(e, s[weakest_index(v)]);
   }
 
@@ -130,14 +136,6 @@ Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
     registry->counter("bsuitor.proposals").inc(stats.proposals);
     registry->counter("bsuitor.displacements").inc(stats.displacements);
   }
-  return m;
-}
-
-Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
-                  BSuitorInfo* info) {
-  BSuitorInfo stats;
-  Matching m = b_suitor_impl(w, quotas, stats);
-  if (info != nullptr) *info = stats;
   return m;
 }
 

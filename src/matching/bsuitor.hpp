@@ -25,17 +25,4 @@ namespace overmatch::matching {
 [[nodiscard]] Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
                                 obs::Registry* registry = nullptr);
 
-// ---------------------------------------------------------------------------
-// Deprecated mutable-stats out-param (one PR cycle of grace, see CHANGES.md).
-
-struct BSuitorInfo {
-  std::size_t proposals = 0;    ///< total bids made (≈ message complexity)
-  std::size_t displacements = 0;///< bids that knocked out a weaker suitor
-};
-
-[[deprecated("pass an obs::Registry* and read bsuitor.proposals / "
-             "bsuitor.displacements")]]
-[[nodiscard]] Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
-                                BSuitorInfo* info);
-
 }  // namespace overmatch::matching

@@ -1,0 +1,347 @@
+#include "matching/dynamic_bsuitor.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/registry.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+/// Fixed buckets for the per-event repair latency, 1 µs to 1 s.
+const std::vector<double> kRepairNsBuckets = {1e3, 1e4, 1e5, 1e6,
+                                              1e7, 1e8, 1e9};
+
+/// Swap-erase `e` from a small bid set (present by invariant).
+void erase_bid(std::vector<graph::EdgeId>& set, graph::EdgeId e) {
+  const auto it = std::find(set.begin(), set.end(), e);
+  OM_CHECK(it != set.end());
+  *it = set.back();
+  set.pop_back();
+}
+
+}  // namespace
+
+DynamicBSuitor::DynamicBSuitor(const prefs::EdgeWeights& w, const Quotas& quotas,
+                               obs::Registry* registry)
+    : w_(&w),
+      quotas_(&quotas),
+      alive_(w.graph().num_nodes(), 1),
+      edge_off_(w.graph().num_edges(), 0),
+      bid_state_(w.graph().num_edges(), 0),
+      suitors_(w.graph().num_nodes()),
+      placed_(w.graph().num_nodes()),
+      weakest_suitor_(w.graph().num_nodes(), kNoCache),
+      weakest_placed_(w.graph().num_nodes(), kNoCache),
+      m_(w.graph(), quotas),
+      pending_seek_(w.graph().num_nodes(), 0),
+      pending_attract_(w.graph().num_nodes(), 0),
+      touch_epoch_(w.graph().num_nodes(), 0),
+      changed_epoch_(w.graph().num_nodes(), 0),
+      events_ctr_(obs::counter(registry, "dyn.events")),
+      cascade_ctr_(obs::counter(registry, "dyn.cascade_len")),
+      touched_ctr_(obs::counter(registry, "dyn.touched_nodes")),
+      bids_ctr_(obs::counter(registry, "dyn.bids")),
+      displacements_ctr_(obs::counter(registry, "dyn.displacements")) {
+  OM_CHECK(quotas.size() == w.graph().num_nodes());
+  if (registry != nullptr) {
+    repair_ns_hist_ = registry->histogram("dyn.repair_ns", kRepairNsBuckets);
+  }
+  // Initial build: every node seeks from an empty state — the static
+  // b-Suitor bidding process, so the result is the batch matching.
+  begin_event();
+  for (NodeId v = 0; v < w.graph().num_nodes(); ++v) queue_seek(v);
+  drain();
+  finish_event(/*count=*/false);
+}
+
+std::size_t DynamicBSuitor::weakest_index(const std::vector<EdgeId>& set,
+                                          std::vector<std::size_t>& cache,
+                                          NodeId v) const {
+  OM_CHECK(!set.empty());
+  std::size_t idx = cache[v];
+  if (idx != kNoCache) return idx;
+  idx = 0;
+  for (std::size_t i = 1; i < set.size(); ++i) {
+    if (w_->heavier(set[idx], set[i])) idx = i;
+  }
+  cache[v] = idx;
+  return idx;
+}
+
+bool DynamicBSuitor::admits(NodeId holder, EdgeId e) const {
+  const auto& s = suitors_[holder];
+  if (s.size() < (*quotas_)[holder]) return true;
+  if (s.empty()) return false;  // quota-0 node: admits nothing
+  return w_->heavier(e, s[weakest_index(s, weakest_suitor_, holder)]);
+}
+
+bool DynamicBSuitor::wants(NodeId bidder, EdgeId e) const {
+  const auto& p = placed_[bidder];
+  if (p.size() < (*quotas_)[bidder]) return true;
+  if (p.empty()) return false;  // quota-0 node: never bids
+  return w_->heavier(e, p[weakest_index(p, weakest_placed_, bidder)]);
+}
+
+void DynamicBSuitor::touch(NodeId v) {
+  if (touch_epoch_[v] != epoch_) {
+    touch_epoch_[v] = epoch_;
+    ++last_.touched_nodes;
+  }
+}
+
+void DynamicBSuitor::note_changed(NodeId v) {
+  if (changed_epoch_[v] != epoch_) {
+    changed_epoch_[v] = epoch_;
+    changed_nodes_.push_back(v);
+  }
+}
+
+void DynamicBSuitor::matched_add(EdgeId e) {
+  m_.add(e);
+  weight_ += w_->weight(e);
+  ++last_.matched_added;
+  note_changed(w_->graph().edge(e).u);
+  note_changed(w_->graph().edge(e).v);
+}
+
+void DynamicBSuitor::matched_remove(EdgeId e) {
+  m_.remove(e);
+  weight_ -= w_->weight(e);
+  ++last_.matched_removed;
+  note_changed(w_->graph().edge(e).u);
+  note_changed(w_->graph().edge(e).v);
+}
+
+void DynamicBSuitor::detach_bid(NodeId bidder, NodeId holder, EdgeId e) {
+  if (bid_state_[e] == (kBidFromU | kBidFromV)) matched_remove(e);
+  bid_state_[e] &= static_cast<std::uint8_t>(~bid_bit(e, bidder));
+  erase_bid(suitors_[holder], e);
+  weakest_suitor_[holder] = kNoCache;
+  erase_bid(placed_[bidder], e);
+  weakest_placed_[bidder] = kNoCache;
+  touch(bidder);
+  touch(holder);
+}
+
+void DynamicBSuitor::place_bid(NodeId bidder, EdgeId e) {
+  const NodeId holder = w_->graph().edge(e).other(bidder);
+  touch(bidder);
+  touch(holder);
+  auto& s = suitors_[holder];
+  if (s.size() >= (*quotas_)[holder]) {
+    // Saturated: displace the weakest held bid (admits() guaranteed it is
+    // lighter than e). The loser re-seeks a replacement slot.
+    const std::size_t idx = weakest_index(s, weakest_suitor_, holder);
+    const EdgeId displaced = s[idx];
+    const NodeId loser = w_->graph().edge(displaced).other(holder);
+    if (bid_state_[displaced] == (kBidFromU | kBidFromV)) {
+      matched_remove(displaced);
+    }
+    bid_state_[displaced] &=
+        static_cast<std::uint8_t>(~bid_bit(displaced, loser));
+    erase_bid(placed_[loser], displaced);
+    weakest_placed_[loser] = kNoCache;
+    touch(loser);
+    s[idx] = e;
+    ++last_.cascade_len;
+    displacements_ctr_.inc();
+    queue_seek(loser);
+  } else {
+    s.push_back(e);
+  }
+  weakest_suitor_[holder] = kNoCache;
+  placed_[bidder].push_back(e);
+  weakest_placed_[bidder] = kNoCache;
+  bid_state_[e] |= bid_bit(e, bidder);
+  ++last_.cascade_len;
+  bids_ctr_.inc();
+  if (bid_state_[e] == (kBidFromU | kBidFromV)) matched_add(e);
+}
+
+void DynamicBSuitor::withdraw(NodeId bidder, EdgeId e) {
+  const NodeId holder = w_->graph().edge(e).other(bidder);
+  detach_bid(bidder, holder, e);
+  ++last_.cascade_len;
+  queue_attract(holder);
+}
+
+void DynamicBSuitor::seek(NodeId u) {
+  if (alive_[u] == 0) return;
+  touch(u);
+  // Scan is heaviest-first, so once u stops wanting e (saturated and e no
+  // heavier than its weakest placed bid) no later candidate can be wanted
+  // either: u's weakest placed bid only gets heavier during the scan. Note
+  // the break must be on wants(), not on saturation — after churn u can be
+  // saturated with a *lighter* surviving bid while heavier candidates are
+  // still admissible (the upgrade case, impossible in the monotone static
+  // run).
+  for (const EdgeId e : w_->incident(u)) {
+    if (!wants(u, e)) break;
+    const NodeId v = w_->graph().edge(e).other(u);
+    if (alive_[v] == 0 || edge_off_[e] != 0 || holds_bid_from(u, e)) continue;
+    if (!admits(v, e)) continue;
+    auto& p = placed_[u];
+    if (p.size() >= (*quotas_)[u]) {
+      withdraw(u, p[weakest_index(p, weakest_placed_, u)]);
+    }
+    place_bid(u, e);
+  }
+}
+
+void DynamicBSuitor::attract(NodeId v) {
+  if (alive_[v] == 0) return;
+  touch(v);
+  // Mirror image of seek(): break on admits() (monotone in the heaviest-
+  // first scan — v's weakest held bid only gets heavier), not on a full
+  // suitor set, so heavier candidates can still displace a lighter surviving
+  // bid.
+  for (const EdgeId e : w_->incident(v)) {
+    if (!admits(v, e)) break;
+    const NodeId x = w_->graph().edge(e).other(v);
+    if (alive_[x] == 0 || edge_off_[e] != 0 || holds_bid_from(x, e)) continue;
+    if (!wants(x, e)) continue;
+    // x bids here; a bid-saturated x upgrades by withdrawing its weakest
+    // placed bid first (strictly lighter than e by wants()), freeing a slot
+    // at that bid's holder — the cascade continues from there.
+    auto& p = placed_[x];
+    if (p.size() >= (*quotas_)[x]) {
+      withdraw(x, p[weakest_index(p, weakest_placed_, x)]);
+    }
+    place_bid(x, e);
+  }
+}
+
+void DynamicBSuitor::queue_seek(NodeId u) {
+  if (alive_[u] == 0 || pending_seek_[u] != 0) return;
+  pending_seek_[u] = 1;
+  queue_.push_back({u, /*is_seek=*/true});
+}
+
+void DynamicBSuitor::queue_attract(NodeId v) {
+  if (alive_[v] == 0 || pending_attract_[v] != 0) return;
+  pending_attract_[v] = 1;
+  queue_.push_back({v, /*is_seek=*/false});
+}
+
+void DynamicBSuitor::drain() {
+  while (queue_head_ < queue_.size()) {
+    const Token t = queue_[queue_head_++];
+    if (t.is_seek) {
+      pending_seek_[t.node] = 0;
+      seek(t.node);
+    } else {
+      pending_attract_[t.node] = 0;
+      attract(t.node);
+    }
+  }
+  queue_.clear();
+  queue_head_ = 0;
+}
+
+void DynamicBSuitor::begin_event() {
+  ++epoch_;
+  changed_nodes_.clear();
+  last_ = RepairStats{};
+}
+
+void DynamicBSuitor::finish_event(bool count) {
+  if (!count) return;
+  events_ctr_.inc();
+  cascade_ctr_.inc(last_.cascade_len);
+  touched_ctr_.inc(last_.touched_nodes);
+  repair_ns_hist_.observe(static_cast<double>(last_.repair_ns));
+}
+
+void DynamicBSuitor::on_node_leave(NodeId v) {
+  OM_CHECK_MSG(alive(v), "on_node_leave() of an offline node");
+  begin_event();
+  const auto t0 = std::chrono::steady_clock::now();
+  alive_[v] = 0;
+  touch(v);
+  // Bids v held: each bidder lost a placed bid and re-seeks.
+  std::vector<EdgeId> held(suitors_[v]);
+  for (const EdgeId e : held) {
+    const NodeId x = w_->graph().edge(e).other(v);
+    detach_bid(x, v, e);
+    ++last_.cascade_len;
+    queue_seek(x);
+  }
+  // Bids v placed: each holder freed a slot and attracts replacements.
+  std::vector<EdgeId> out(placed_[v]);
+  for (const EdgeId e : out) {
+    const NodeId y = w_->graph().edge(e).other(v);
+    detach_bid(v, y, e);
+    ++last_.cascade_len;
+    queue_attract(y);
+  }
+  drain();
+  last_.repair_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  finish_event(/*count=*/true);
+}
+
+void DynamicBSuitor::on_node_join(NodeId v) {
+  OM_CHECK_MSG(!alive(v), "on_node_join() of an online node");
+  begin_event();
+  const auto t0 = std::chrono::steady_clock::now();
+  alive_[v] = 1;
+  touch(v);
+  OM_CHECK(suitors_[v].empty() && placed_[v].empty());
+  queue_seek(v);     // v starts bidding
+  queue_attract(v);  // v's free slots solicit bids (including upgrades)
+  drain();
+  last_.repair_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  finish_event(/*count=*/true);
+}
+
+void DynamicBSuitor::on_edge_change(NodeId i, NodeId j, bool present) {
+  const EdgeId e = w_->graph().find_edge(i, j);
+  OM_CHECK_MSG(e != graph::kInvalidEdge, "on_edge_change() of a non-edge");
+  OM_CHECK_MSG((edge_off_[e] != 0) == present, "edge state unchanged");
+  begin_event();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!present) {
+    edge_off_[e] = 1;
+    touch(i);
+    touch(j);
+    for (const NodeId bidder : {i, j}) {
+      if (!holds_bid_from(bidder, e)) continue;
+      const NodeId holder = w_->graph().edge(e).other(bidder);
+      detach_bid(bidder, holder, e);
+      ++last_.cascade_len;
+      queue_seek(bidder);
+      queue_attract(holder);
+    }
+  } else {
+    edge_off_[e] = 0;
+    touch(i);
+    touch(j);
+    // The only new opportunity is e itself: either endpoint may now want to
+    // bid across it (deficient, or upgrading over its weakest placed bid).
+    for (const NodeId bidder : {i, j}) {
+      const NodeId holder = w_->graph().edge(e).other(bidder);
+      if (alive_[bidder] == 0 || alive_[holder] == 0) break;
+      if (holds_bid_from(bidder, e)) continue;
+      if (!wants(bidder, e) || !admits(holder, e)) continue;
+      auto& p = placed_[bidder];
+      if (p.size() >= (*quotas_)[bidder]) {
+        withdraw(bidder, p[weakest_index(p, weakest_placed_, bidder)]);
+      }
+      place_bid(bidder, e);
+    }
+  }
+  drain();
+  last_.repair_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  finish_event(/*count=*/true);
+}
+
+}  // namespace overmatch::matching

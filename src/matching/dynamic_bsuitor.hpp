@@ -1,0 +1,180 @@
+// DynamicBSuitor — fully-dynamic ½-approximate maximum weight b-matching
+// under churn (node joins/leaves, edge enable/disable), via localized
+// suitor-state repair instead of from-scratch recomputation.
+//
+// The engine keeps the b-Suitor bidding state (per-node held-bid sets, i.e.
+// the suitor relation) alive *between* events. An event invalidates only a
+// local piece of that state — a leaver's held and placed bids, a joiner's
+// empty neighbourhood — and repair re-runs proposal cascades from exactly
+// that frontier:
+//  * a node that lost a *placed* bid re-seeks replacement bids (heaviest
+//    admitting candidate first, the static bidding rule);
+//  * a node that lost a *held* bid gained a free slot and attracts the
+//    heaviest willing neighbour (including saturated neighbours that upgrade
+//    by withdrawing their weakest placed bid — withdrawal frees a slot
+//    elsewhere and the cascade continues).
+// Displaced bidders re-seek, exactly as in the static algorithm. Each step
+// replaces held bids with strictly heavier ones (in the precomputed 64-bit
+// key order), so cascades terminate; at quiescence no alive enabled edge is
+// simultaneously wanted by one endpoint and admissible at the other — the
+// suitor fixed point. Because the weight order is a strict total order that
+// fixed point is unique and its mutual-bid set *is* the locally-heaviest
+// greedy matching (= LIC = batch b-Suitor) of the alive subgraph, so the
+// maintained matching is bit-identical to a from-scratch recomputation and
+// inherits Theorem 2's ½-approximation bound after every event. Cost per
+// event is O(affected degree · cascade length), not O(m). (Fully-dynamic
+// suitor repair follows Brandt-Tumescheit, Gerharz & Meyerhenke 2024; see
+// PAPERS.md and DESIGN.md §10.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matching/matching.hpp"
+#include "obs/metrics.hpp"
+#include "prefs/weights.hpp"
+
+namespace overmatch::obs {
+class Registry;
+}
+
+namespace overmatch::matching {
+
+class DynamicBSuitor {
+ public:
+  /// Per-event repair telemetry (the last event's numbers; also accumulated
+  /// into the registry's `dyn.*` series).
+  struct RepairStats {
+    std::size_t touched_nodes = 0;   ///< distinct nodes whose state was read/written
+    std::size_t cascade_len = 0;     ///< bids placed + withdrawn + displaced
+    std::size_t matched_removed = 0; ///< matched edges torn by the event
+    std::size_t matched_added = 0;   ///< matched edges (re)established by repair
+    std::uint64_t repair_ns = 0;     ///< wall-clock of the repair cascade
+  };
+
+  /// Builds the initial matching with every node alive and every edge
+  /// enabled (identical to batch b_suitor / LIC on the full graph; the
+  /// initial build is not counted in the `dyn.*` event series). `w` and
+  /// `quotas` are caller-owned and must outlive the engine; `registry`
+  /// (optional, caller-owned) receives `dyn.events`, `dyn.cascade_len`,
+  /// `dyn.touched_nodes`, `dyn.bids`, `dyn.displacements` counters and the
+  /// `dyn.repair_ns` per-event latency histogram.
+  DynamicBSuitor(const prefs::EdgeWeights& w, const Quotas& quotas,
+                 obs::Registry* registry = nullptr);
+
+  /// Takes node v offline: voids its held and placed bids, repairs from the
+  /// freed slots and orphaned bidders. Aborts if v is already offline.
+  void on_node_leave(NodeId v);
+
+  /// Brings node v online: v starts bidding and its free slots attract
+  /// neighbours. Aborts if v is already online.
+  void on_node_join(NodeId v);
+
+  /// Enables (`present`) or disables the candidate edge {i, j}; a disabled
+  /// edge is treated exactly like an edge whose endpoint is offline. Aborts
+  /// if {i, j} is not a candidate edge or the state would not change.
+  void on_edge_change(NodeId i, NodeId j, bool present);
+
+  [[nodiscard]] bool alive(NodeId v) const {
+    OM_CHECK(v < alive_.size());
+    return alive_[v] != 0;
+  }
+  [[nodiscard]] bool edge_present(EdgeId e) const {
+    OM_CHECK(e < edge_off_.size());
+    return edge_off_[e] == 0;
+  }
+
+  /// The maintained matching (mutual bids). Valid between events.
+  [[nodiscard]] const Matching& matching() const noexcept { return m_; }
+  /// Σ weight of matching(), maintained incrementally (O(1) per query).
+  [[nodiscard]] double matched_weight() const noexcept { return weight_; }
+  /// Nodes whose matched connection set changed during the last event
+  /// (deduplicated). Lets callers update per-node derived state (e.g.
+  /// satisfaction) without an O(n) sweep.
+  [[nodiscard]] const std::vector<NodeId>& last_changed_nodes() const noexcept {
+    return changed_nodes_;
+  }
+  [[nodiscard]] const RepairStats& last_repair() const noexcept { return last_; }
+
+ private:
+  static constexpr std::size_t kNoCache = static_cast<std::size_t>(-1);
+  static constexpr std::uint8_t kBidFromU = 1;  ///< placed by edge.u, held at edge.v
+  static constexpr std::uint8_t kBidFromV = 2;  ///< placed by edge.v, held at edge.u
+
+  [[nodiscard]] std::uint8_t bid_bit(EdgeId e, NodeId bidder) const {
+    return w_->graph().edge(e).u == bidder ? kBidFromU : kBidFromV;
+  }
+  [[nodiscard]] bool holds_bid_from(NodeId bidder, EdgeId e) const {
+    return (bid_state_[e] & bid_bit(e, bidder)) != 0;
+  }
+
+  /// Does holder admit e (free slot, or e beats its weakest held bid)?
+  [[nodiscard]] bool admits(NodeId holder, EdgeId e) const;
+  /// Would bidder gain by placing e (deficient, or e beats its weakest
+  /// placed bid)?
+  [[nodiscard]] bool wants(NodeId bidder, EdgeId e) const;
+  [[nodiscard]] std::size_t weakest_index(const std::vector<EdgeId>& set,
+                                          std::vector<std::size_t>& cache,
+                                          NodeId v) const;
+
+  /// Place bidder's bid e; displaces the holder's weakest held bid if
+  /// saturated (the loser re-seeks). Updates the matching when e is mutual.
+  void place_bid(NodeId bidder, EdgeId e);
+  /// Remove bidder's placed bid e from its holder; frees a slot there
+  /// (holder queued to attract).
+  void withdraw(NodeId bidder, EdgeId e);
+  void detach_bid(NodeId bidder, NodeId holder, EdgeId e);
+
+  void seek(NodeId u);     ///< u bids until satisfied or out of candidates
+  void attract(NodeId v);  ///< v fills free slots with willing neighbours
+  void queue_seek(NodeId u);
+  void queue_attract(NodeId v);
+  void drain();
+
+  void begin_event();
+  void finish_event(bool count);
+  void touch(NodeId v);
+  void matched_add(EdgeId e);
+  void matched_remove(EdgeId e);
+  void note_changed(NodeId v);
+
+  const prefs::EdgeWeights* w_;
+  const Quotas* quotas_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<std::uint8_t> edge_off_;
+  std::vector<std::uint8_t> bid_state_;          ///< per edge, kBidFrom* bits
+  std::vector<std::vector<EdgeId>> suitors_;     ///< bids I hold
+  std::vector<std::vector<EdgeId>> placed_;      ///< my bids that are held
+  mutable std::vector<std::size_t> weakest_suitor_;  ///< kNoCache when stale
+  mutable std::vector<std::size_t> weakest_placed_;  ///< kNoCache when stale
+
+  Matching m_;
+  double weight_ = 0.0;
+
+  // Work queue (seek/attract tokens) with pending flags for dedup.
+  struct Token {
+    NodeId node;
+    bool is_seek;
+  };
+  std::vector<Token> queue_;
+  std::size_t queue_head_ = 0;
+  std::vector<std::uint8_t> pending_seek_;
+  std::vector<std::uint8_t> pending_attract_;
+
+  // Per-event accounting.
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> touch_epoch_;
+  std::vector<std::uint64_t> changed_epoch_;
+  std::vector<NodeId> changed_nodes_;
+  RepairStats last_;
+
+  // Registry handles resolved once (hot-path discipline, DESIGN.md §9).
+  obs::Counter events_ctr_;
+  obs::Counter cascade_ctr_;
+  obs::Counter touched_ctr_;
+  obs::Counter bids_ctr_;
+  obs::Counter displacements_ctr_;
+  obs::Histogram repair_ns_hist_;
+};
+
+}  // namespace overmatch::matching

@@ -19,6 +19,11 @@ Matching lic_global(const prefs::EdgeWeights& w, const Quotas& quotas) {
 
 namespace {
 
+struct LicLocalStats {
+  std::size_t pops = 0;        ///< candidates dequeued over the whole run
+  std::size_t peak_queue = 0;  ///< high-water mark of the candidate queue
+};
+
 /// Incident-edge cursors over the EdgeWeights CSR incidence index: for every
 /// node, a head cursor into its pre-sorted (heaviest-first) incident edges
 /// that skips edges that became unavailable.
@@ -114,14 +119,6 @@ Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
     registry->counter("lic.pops").inc(stats.pops);
     registry->gauge("lic.peak_queue").set_max(static_cast<double>(stats.peak_queue));
   }
-  return m;
-}
-
-Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
-                   std::uint64_t scan_seed, LicLocalStats* stats) {
-  LicLocalStats local;
-  Matching m = lic_local_impl(w, quotas, scan_seed, local);
-  if (stats != nullptr) *stats = local;
   return m;
 }
 

@@ -45,16 +45,4 @@ namespace overmatch::matching {
                                  std::uint64_t scan_seed,
                                  obs::Registry* registry = nullptr);
 
-// ---------------------------------------------------------------------------
-// Deprecated mutable-stats out-param (one PR cycle of grace, see CHANGES.md).
-
-struct LicLocalStats {
-  std::size_t pops = 0;        ///< candidates dequeued over the whole run
-  std::size_t peak_queue = 0;  ///< high-water mark of the candidate queue
-};
-
-[[deprecated("pass an obs::Registry* and read lic.pops / lic.peak_queue")]]
-[[nodiscard]] Matching lic_local(const prefs::EdgeWeights& w, const Quotas& quotas,
-                                 std::uint64_t scan_seed, LicLocalStats* stats);
-
 }  // namespace overmatch::matching

@@ -229,50 +229,4 @@ LidResult run_lid(const prefs::EdgeWeights& w, const Quotas& quotas,
   return out;
 }
 
-// Deprecated forwarders. Each reproduces its historical behaviour (and, for
-// the DES paths, its exact RNG stream) through the unified entry point.
-
-LidResult run_lid(const prefs::EdgeWeights& w, const Quotas& quotas,
-                  sim::Schedule schedule, std::uint64_t seed) {
-  LidOptions options;
-  options.runtime = LidRuntime::kEventSim;
-  options.schedule = schedule;
-  options.seed = seed;
-  return run_lid(w, quotas, options);
-}
-
-LidResult run_lid_threaded(const prefs::EdgeWeights& w, const Quotas& quotas,
-                           std::size_t threads) {
-  LidOptions options;
-  options.runtime = LidRuntime::kThreaded;
-  options.threads = threads;
-  return run_lid(w, quotas, options);
-}
-
-LossyLidResult run_lid_lossy(const prefs::EdgeWeights& w, const Quotas& quotas,
-                             double loss, std::uint64_t seed) {
-  LidOptions options;
-  options.runtime = LidRuntime::kEventSim;
-  options.loss_rate = loss;
-  options.reliable = true;  // historical: the adapter ran even at loss == 0
-  options.seed = seed;
-  auto r = run_lid(w, quotas, options);
-  return LossyLidResult{std::move(r.matching), std::move(r.stats),
-                        r.retransmissions};
-}
-
-LossyLidResult run_lid_lossy_threaded(const prefs::EdgeWeights& w,
-                                      const Quotas& quotas, double loss,
-                                      std::uint64_t seed, std::size_t threads) {
-  LidOptions options;
-  options.runtime = LidRuntime::kThreaded;
-  options.loss_rate = loss;
-  options.reliable = true;  // historical: the adapter ran even at loss == 0
-  options.seed = seed;
-  options.threads = threads;
-  auto r = run_lid(w, quotas, options);
-  return LossyLidResult{std::move(r.matching), std::move(r.stats),
-                        r.retransmissions};
-}
-
 }  // namespace overmatch::matching

@@ -129,35 +129,4 @@ struct LidResult {
 [[nodiscard]] LidResult run_lid(const prefs::EdgeWeights& w, const Quotas& quotas,
                                 const LidOptions& options = {});
 
-// ---------------------------------------------------------------------------
-// Deprecated entry points (one PR cycle of grace, see CHANGES.md): thin
-// forwarders onto run_lid(w, quotas, LidOptions). New code must use the
-// unified entry point.
-
-[[deprecated("use run_lid(w, quotas, LidOptions) with LidRuntime::kEventSim")]]
-[[nodiscard]] LidResult run_lid(const prefs::EdgeWeights& w, const Quotas& quotas,
-                                sim::Schedule schedule, std::uint64_t seed);
-
-[[deprecated("use run_lid(w, quotas, LidOptions) with LidRuntime::kThreaded")]]
-[[nodiscard]] LidResult run_lid_threaded(const prefs::EdgeWeights& w,
-                                         const Quotas& quotas, std::size_t threads);
-
-struct LossyLidResult {
-  Matching matching;
-  sim::MessageStats stats;        ///< includes ACKs and retransmissions
-  std::size_t retransmissions = 0;
-};
-
-[[deprecated("use run_lid(w, quotas, LidOptions) with loss_rate > 0")]]
-[[nodiscard]] LossyLidResult run_lid_lossy(const prefs::EdgeWeights& w,
-                                           const Quotas& quotas, double loss,
-                                           std::uint64_t seed);
-
-[[deprecated("use run_lid(w, quotas, LidOptions) with LidRuntime::kThreaded "
-             "and loss_rate > 0")]]
-[[nodiscard]] LossyLidResult run_lid_lossy_threaded(const prefs::EdgeWeights& w,
-                                                    const Quotas& quotas,
-                                                    double loss, std::uint64_t seed,
-                                                    std::size_t threads);
-
 }  // namespace overmatch::matching

@@ -11,6 +11,12 @@ namespace {
 
 using prefs::EdgeWeights;
 
+struct ParallelBSuitorInfo {
+  std::size_t proposals = 0;      ///< accepted bids across all threads
+  std::size_t displacements = 0;  ///< bids that knocked out a weaker suitor
+  std::size_t range_claims = 0;   ///< node ranges claimed from the shared counter
+};
+
 /// Minimal test-and-set spinlock. Contention is rare (two threads touching
 /// the same node), so spinning with a yield beats a futex round-trip.
 class SpinLock {
@@ -221,14 +227,6 @@ Matching parallel_b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
     registry->counter("pbsuitor.displacements").inc(stats.displacements);
     registry->counter("pbsuitor.range_claims").inc(stats.range_claims);
   }
-  return m;
-}
-
-Matching parallel_b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
-                           std::size_t threads, ParallelBSuitorInfo* info) {
-  ParallelBSuitorInfo stats;
-  Matching m = parallel_b_suitor_impl(w, quotas, threads, stats);
-  if (info != nullptr) *info = stats;
   return m;
 }
 

@@ -44,18 +44,4 @@ namespace overmatch::matching {
                                          const Quotas& quotas, std::size_t threads,
                                          obs::Registry* registry = nullptr);
 
-// ---------------------------------------------------------------------------
-// Deprecated mutable-stats out-param (one PR cycle of grace, see CHANGES.md).
-
-struct ParallelBSuitorInfo {
-  std::size_t proposals = 0;     ///< accepted bids across all threads
-  std::size_t displacements = 0; ///< bids that knocked out a weaker suitor
-  std::size_t range_claims = 0;  ///< node ranges claimed from the shared counter
-};
-
-[[deprecated("pass an obs::Registry* and read the pbsuitor.* counters")]]
-[[nodiscard]] Matching parallel_b_suitor(const prefs::EdgeWeights& w,
-                                         const Quotas& quotas, std::size_t threads,
-                                         ParallelBSuitorInfo* info);
-
 }  // namespace overmatch::matching

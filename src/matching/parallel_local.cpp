@@ -8,6 +8,10 @@
 namespace overmatch::matching {
 namespace {
 
+struct ParallelRunInfo {
+  std::size_t rounds = 0;
+};
+
 Matching parallel_local_impl(const prefs::EdgeWeights& w, const Quotas& quotas,
                              util::ThreadPool& pool, ParallelRunInfo& info) {
   const auto& g = w.graph();
@@ -129,23 +133,6 @@ Matching parallel_local_dominant(const prefs::EdgeWeights& w, const Quotas& quot
   ParallelRunInfo info;
   Matching m = parallel_local_impl(w, quotas, pool, info);
   if (registry != nullptr) registry->counter("parallel.rounds").inc(info.rounds);
-  return m;
-}
-
-Matching parallel_local_dominant(const prefs::EdgeWeights& w, const Quotas& quotas,
-                                 std::size_t threads, ParallelRunInfo* info_out) {
-  util::ThreadPool pool(threads);
-  ParallelRunInfo info;
-  Matching m = parallel_local_impl(w, quotas, pool, info);
-  if (info_out != nullptr) *info_out = info;
-  return m;
-}
-
-Matching parallel_local_dominant(const prefs::EdgeWeights& w, const Quotas& quotas,
-                                 util::ThreadPool& pool, ParallelRunInfo* info_out) {
-  ParallelRunInfo info;
-  Matching m = parallel_local_impl(w, quotas, pool, info);
-  if (info_out != nullptr) *info_out = info;
   return m;
 }
 

@@ -52,23 +52,4 @@ namespace overmatch::matching {
                                                util::ThreadPool& pool,
                                                obs::Registry* registry = nullptr);
 
-// ---------------------------------------------------------------------------
-// Deprecated mutable-stats out-param (one PR cycle of grace, see CHANGES.md).
-
-struct ParallelRunInfo {
-  std::size_t rounds = 0;
-};
-
-[[deprecated("pass an obs::Registry* and read parallel.rounds")]]
-[[nodiscard]] Matching parallel_local_dominant(const prefs::EdgeWeights& w,
-                                               const Quotas& quotas,
-                                               std::size_t threads,
-                                               ParallelRunInfo* info_out);
-
-[[deprecated("pass an obs::Registry* and read parallel.rounds")]]
-[[nodiscard]] Matching parallel_local_dominant(const prefs::EdgeWeights& w,
-                                               const Quotas& quotas,
-                                               util::ThreadPool& pool,
-                                               ParallelRunInfo* info_out);
-
 }  // namespace overmatch::matching

@@ -1,6 +1,6 @@
 #include "overlay/churn.hpp"
 
-#include <algorithm>
+#include <chrono>
 
 #include "obs/registry.hpp"
 #include "prefs/satisfaction.hpp"
@@ -12,28 +12,58 @@ namespace {
 /// small and local, so the low buckets carry the signal.
 const std::vector<double> kRepairBuckets = {0, 1, 2, 4, 8, 16, 32, 64};
 
+[[nodiscard]] std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
 }  // namespace
+
+const char* churn_mode_name(ChurnMode m) {
+  switch (m) {
+    case ChurnMode::kIncremental: return "incremental";
+    case ChurnMode::kGreedyKeep: return "greedy-keep";
+    case ChurnMode::kScratch: return "scratch";
+  }
+  return "?";
+}
+
+ChurnMode churn_mode_by_name(const std::string& name) {
+  for (const ChurnMode m : {ChurnMode::kIncremental, ChurnMode::kGreedyKeep,
+                            ChurnMode::kScratch}) {
+    if (name == churn_mode_name(m)) return m;
+  }
+  OM_CHECK_MSG(false, "unknown churn mode name");
+  return ChurnMode::kIncremental;
+}
 
 ChurnSimulator::ChurnSimulator(const prefs::PreferenceProfile& profile,
                                const prefs::EdgeWeights& weights,
-                               obs::Registry* registry)
+                               ChurnOptions options)
     : profile_(&profile),
       w_(&weights),
-      registry_(registry),
+      opts_(options),
       alive_(profile.graph().num_nodes(), 1),
       m_(profile.graph(), profile.quotas()) {
-  const auto& g = profile.graph();
-  desc_order_.resize(g.num_edges());
-  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) desc_order_[e] = e;
-  std::sort(desc_order_.begin(), desc_order_.end(),
-            [this](graph::EdgeId a, graph::EdgeId b) { return w_->heavier(a, b); });
-  repair();  // initial build == LIC on the full graph
+  if (opts_.mode == ChurnMode::kIncremental) {
+    dyn_ = std::make_unique<matching::DynamicBSuitor>(weights, profile.quotas(),
+                                                      opts_.registry);
+    sat_.resize(profile.graph().num_nodes(), 0.0);
+    for (NodeId v = 0; v < profile.graph().num_nodes(); ++v) {
+      sat_[v] = prefs::satisfaction(profile, v, dyn_->matching().connections(v));
+      sat_total_ += sat_[v];
+    }
+  } else {
+    repair();  // initial build == LIC on the full graph
+  }
 }
 
 std::size_t ChurnSimulator::repair() {
   const auto& g = profile_->graph();
   std::size_t added = 0;
-  for (const graph::EdgeId e : desc_order_) {
+  for (const graph::EdgeId e : w_->by_weight()) {
     const auto& [u, v] = g.edge(e);
     if (alive_[u] == 0 || alive_[v] == 0) continue;
     if (m_.can_add(e)) {
@@ -47,7 +77,7 @@ std::size_t ChurnSimulator::repair() {
 matching::Matching ChurnSimulator::recompute_from_scratch() const {
   const auto& g = profile_->graph();
   matching::Matching fresh(g, profile_->quotas());
-  for (const graph::EdgeId e : desc_order_) {
+  for (const graph::EdgeId e : w_->by_weight()) {
     const auto& [u, v] = g.edge(e);
     if (alive_[u] == 0 || alive_[v] == 0) continue;
     if (fresh.can_add(e)) fresh.add(e);
@@ -55,59 +85,137 @@ matching::Matching ChurnSimulator::recompute_from_scratch() const {
   return fresh;
 }
 
+void ChurnSimulator::refresh_satisfaction(NodeId v) {
+  const double fresh =
+      alive_[v] != 0
+          ? prefs::satisfaction(*profile_, v, matching().connections(v))
+          : 0.0;
+  sat_total_ += fresh - sat_[v];
+  sat_[v] = fresh;
+}
+
 ChurnEvent ChurnSimulator::finish_event(bool join, NodeId v, std::size_t removed,
-                                        std::size_t added) {
+                                        std::size_t added,
+                                        std::uint64_t repair_ns) {
   ChurnEvent ev;
   ev.join = join;
   ev.node = v;
   ev.edges_removed = removed;
   ev.edges_added = added;
-  ev.incremental_weight = m_.total_weight(*w_);
-  const auto fresh = recompute_from_scratch();
-  ev.recompute_weight = fresh.total_weight(*w_);
-  // Symmetric difference between the incremental and from-scratch edge sets.
-  std::size_t diff = 0;
-  for (graph::EdgeId e = 0; e < profile_->graph().num_edges(); ++e) {
-    if (m_.contains(e) != fresh.contains(e)) ++diff;
+  ev.repair_ns = repair_ns;
+  const auto& engine = matching();
+  ev.incremental_weight =
+      dyn_ != nullptr ? dyn_->matched_weight() : engine.total_weight(*w_);
+  const bool run_oracle = opts_.oracle || opts_.mode == ChurnMode::kScratch;
+  if (run_oracle) {
+    if (opts_.mode == ChurnMode::kScratch) {
+      // The engine *is* the from-scratch solve: zero gap by construction.
+      ev.recompute_weight = ev.incremental_weight;
+      ev.disruption = 0;
+    } else {
+      const auto fresh = recompute_from_scratch();
+      ev.recompute_weight = fresh.total_weight(*w_);
+      std::size_t diff = 0;
+      for (graph::EdgeId e = 0; e < profile_->graph().num_edges(); ++e) {
+        if (engine.contains(e) != fresh.contains(e)) ++diff;
+      }
+      ev.disruption = diff;
+    }
   }
-  ev.disruption = diff;
   ev.satisfaction_total = total_satisfaction_alive();
-  if (registry_ != nullptr) {
-    obs::Registry& reg = *registry_;
+  if (opts_.registry != nullptr) {
+    obs::Registry& reg = *opts_.registry;
     reg.counter(join ? "churn.joins" : "churn.leaves").inc();
     reg.counter("churn.edges_removed").inc(removed);
     reg.counter("churn.edges_added").inc(added);
-    reg.counter("churn.disruption").inc(diff);
+    if (run_oracle) reg.counter("churn.disruption").inc(ev.disruption);
     reg.histogram("churn.repair_added", kRepairBuckets)
         .observe(static_cast<double>(added));
     reg.trace(join ? obs::TraceKind::kChurnJoin : obs::TraceKind::kChurnLeave, v,
               static_cast<std::uint32_t>(added));
     reg.trace(obs::TraceKind::kRepairRound, v,
-              static_cast<std::uint32_t>(diff));
+              static_cast<std::uint32_t>(ev.disruption));
   }
   return ev;
 }
 
 ChurnEvent ChurnSimulator::leave(NodeId v) {
   OM_CHECK_MSG(alive(v), "leave() of an offline node");
+  const auto t0 = std::chrono::steady_clock::now();
   alive_[v] = 0;
-  // Tear down v's connections.
-  std::vector<NodeId> partners(m_.connections(v).begin(), m_.connections(v).end());
-  for (const NodeId u : partners) {
-    m_.remove(profile_->graph().find_edge(v, u));
+  std::size_t removed = 0;
+  std::size_t added = 0;
+  switch (opts_.mode) {
+    case ChurnMode::kIncremental: {
+      dyn_->on_node_leave(v);
+      const auto& st = dyn_->last_repair();
+      removed = st.matched_removed;
+      added = st.matched_added;
+      for (const NodeId u : dyn_->last_changed_nodes()) refresh_satisfaction(u);
+      refresh_satisfaction(v);  // even an unmatched leaver drops to 0
+      break;
+    }
+    case ChurnMode::kGreedyKeep: {
+      std::vector<NodeId> partners(m_.connections(v).begin(),
+                                   m_.connections(v).end());
+      for (const NodeId u : partners) {
+        m_.remove(profile_->graph().find_edge(v, u));
+      }
+      removed = partners.size();
+      added = repair();
+      break;
+    }
+    case ChurnMode::kScratch: {
+      auto fresh = recompute_from_scratch();
+      for (const graph::EdgeId e : m_.edges()) {
+        if (!fresh.contains(e)) ++removed;
+      }
+      for (const graph::EdgeId e : fresh.edges()) {
+        if (!m_.contains(e)) ++added;
+      }
+      m_ = std::move(fresh);
+      break;
+    }
   }
-  const std::size_t added = repair();
-  return finish_event(false, v, partners.size(), added);
+  return finish_event(false, v, removed, added, elapsed_ns(t0));
 }
 
 ChurnEvent ChurnSimulator::join(NodeId v) {
   OM_CHECK_MSG(!alive(v), "join() of an online node");
+  const auto t0 = std::chrono::steady_clock::now();
   alive_[v] = 1;
-  const std::size_t added = repair();
-  return finish_event(true, v, 0, added);
+  std::size_t removed = 0;
+  std::size_t added = 0;
+  switch (opts_.mode) {
+    case ChurnMode::kIncremental: {
+      dyn_->on_node_join(v);
+      const auto& st = dyn_->last_repair();
+      removed = st.matched_removed;
+      added = st.matched_added;
+      for (const NodeId u : dyn_->last_changed_nodes()) refresh_satisfaction(u);
+      refresh_satisfaction(v);
+      break;
+    }
+    case ChurnMode::kGreedyKeep:
+      added = repair();
+      break;
+    case ChurnMode::kScratch: {
+      auto fresh = recompute_from_scratch();
+      for (const graph::EdgeId e : m_.edges()) {
+        if (!fresh.contains(e)) ++removed;
+      }
+      for (const graph::EdgeId e : fresh.edges()) {
+        if (!m_.contains(e)) ++added;
+      }
+      m_ = std::move(fresh);
+      break;
+    }
+  }
+  return finish_event(true, v, removed, added, elapsed_ns(t0));
 }
 
 double ChurnSimulator::total_satisfaction_alive() const {
+  if (dyn_ != nullptr) return sat_total_;
   double total = 0.0;
   for (NodeId v = 0; v < alive_.size(); ++v) {
     if (alive_[v] == 0) continue;

@@ -1,16 +1,29 @@
 // Churn handling — the paper's stated future-work extension (joins/leaves).
 //
 // Model: a fixed *universe* of peers and potential edges; nodes go offline
-// and come back. On every event the overlay is repaired *incrementally* with
-// the same greedy rule LID uses (locally heaviest first among still-addable
-// alive edges), keeping existing connections in place. A from-scratch
-// recomputation (what LIC would build on the alive subgraph) is maintained as
-// a comparator so the incremental strategy's weight gap and the connection
-// churn it avoids are both measurable (bench E11).
+// and come back. Three repair engines answer each event
+// (`ChurnOptions::mode`):
+//  * kIncremental (default) — the stateful matching::DynamicBSuitor: bidding
+//    cascades re-run only from the event's frontier, O(affected degree ·
+//    cascade length) per event, and the maintained matching equals the
+//    from-scratch greedy (= LIC = b-Suitor) matching of the alive subgraph
+//    after every event (DESIGN.md §10).
+//  * kGreedyKeep — the legacy stability-first rule: existing connections are
+//    kept in place and the matching is greedily completed over still-addable
+//    alive edges (one O(m) heaviest-first sweep per event).
+//  * kScratch — full from-scratch recomputation per event (the oracle run as
+//    the operative engine; the baseline bench E20 measures against).
+// An optional per-event oracle comparator (`ChurnOptions::oracle`) runs the
+// from-scratch solve alongside any mode and fills ChurnEvent's
+// recompute_weight/disruption fields; it is off by default so incremental
+// runs don't silently pay an O(m) solve per event.
 #pragma once
 
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "matching/dynamic_bsuitor.hpp"
 #include "matching/matching.hpp"
 #include "prefs/preference_profile.hpp"
 #include "prefs/weights.hpp"
@@ -23,30 +36,54 @@ namespace overmatch::overlay {
 
 using graph::NodeId;
 
+/// Which engine repairs the overlay after each churn event.
+enum class ChurnMode : std::uint8_t {
+  kIncremental,  ///< DynamicBSuitor localized repair (scratch-quality output)
+  kGreedyKeep,   ///< keep existing connections, greedily complete (O(m) sweep)
+  kScratch,      ///< from-scratch greedy recomputation per event (baseline)
+};
+
+[[nodiscard]] const char* churn_mode_name(ChurnMode m);
+[[nodiscard]] ChurnMode churn_mode_by_name(const std::string& name);
+
+struct ChurnOptions {
+  ChurnMode mode = ChurnMode::kIncremental;
+  /// Run the from-scratch comparator after every event and fill
+  /// ChurnEvent::{recompute_weight, disruption}. Costs a full O(m) greedy
+  /// solve per event — leave off for latency benchmarks. Implied by
+  /// ChurnMode::kScratch (where the recomputation *is* the engine).
+  bool oracle = false;
+  /// Optional caller-owned metrics registry: receives the `churn.*` series
+  /// (leaves/joins/edges_removed/edges_added, the `churn.repair_added`
+  /// histogram, `churn.disruption` when the oracle runs, per-event
+  /// kChurnLeave/kChurnJoin trace entries) and, in incremental mode, the
+  /// engine's `dyn.*` series.
+  obs::Registry* registry = nullptr;
+};
+
 struct ChurnEvent {
   bool join = false;  ///< false = leave
   NodeId node = 0;
   std::size_t edges_removed = 0;  ///< connections torn down by the event
   std::size_t edges_added = 0;    ///< connections (re)established by repair
   double incremental_weight = 0.0;
-  double recompute_weight = 0.0;   ///< LIC-from-scratch on the alive subgraph
-  std::size_t disruption = 0;      ///< |incremental △ recompute| edge sets
-  double satisfaction_total = 0.0; ///< Σ S_i over alive nodes (incremental)
+  /// From-scratch greedy weight on the alive subgraph; valid only when the
+  /// oracle runs (ChurnOptions::oracle or ChurnMode::kScratch), else 0.
+  double recompute_weight = 0.0;
+  /// |engine △ from-scratch| edge sets; valid only when the oracle runs.
+  std::size_t disruption = 0;
+  double satisfaction_total = 0.0;  ///< Σ S_i over alive nodes
+  std::uint64_t repair_ns = 0;      ///< wall-clock of this event's repair
 };
 
 class ChurnSimulator {
  public:
   /// All profile/weight state references objects owned by the caller, which
   /// must outlive the simulator. Every node starts alive; the initial
-  /// matching is the greedy (= LIC) matching of the full graph.
-  /// `registry` (optional, caller-owned) receives the repair/disruption
-  /// series: `churn.leaves`/`churn.joins`/`churn.edges_removed`/
-  /// `churn.edges_added`/`churn.disruption` counters, the
-  /// `churn.repair_added` histogram, and per-event kChurnLeave/kChurnJoin
-  /// trace entries. The initial full-graph build is not counted.
+  /// matching is the greedy (= LIC = b-Suitor) matching of the full graph.
+  /// The initial build is not counted in the metric series.
   ChurnSimulator(const prefs::PreferenceProfile& profile,
-                 const prefs::EdgeWeights& weights,
-                 obs::Registry* registry = nullptr);
+                 const prefs::EdgeWeights& weights, ChurnOptions options = {});
 
   /// Takes node v offline: tears down its connections, repairs locally.
   ChurnEvent leave(NodeId v);
@@ -58,21 +95,30 @@ class ChurnSimulator {
     OM_CHECK(v < alive_.size());
     return alive_[v] != 0;
   }
-  [[nodiscard]] const matching::Matching& matching() const noexcept { return m_; }
+  [[nodiscard]] const matching::Matching& matching() const noexcept {
+    return dyn_ != nullptr ? dyn_->matching() : m_;
+  }
+  [[nodiscard]] ChurnMode mode() const noexcept { return opts_.mode; }
   [[nodiscard]] double total_satisfaction_alive() const;
 
  private:
   /// Greedy completion over addable alive edges; returns edges added.
   std::size_t repair();
   [[nodiscard]] matching::Matching recompute_from_scratch() const;
-  ChurnEvent finish_event(bool join, NodeId v, std::size_t removed, std::size_t added);
+  ChurnEvent finish_event(bool join, NodeId v, std::size_t removed,
+                          std::size_t added, std::uint64_t repair_ns);
+  void refresh_satisfaction(NodeId v);
 
   const prefs::PreferenceProfile* profile_;
   const prefs::EdgeWeights* w_;
-  obs::Registry* registry_ = nullptr;
+  ChurnOptions opts_;
   std::vector<std::uint8_t> alive_;
-  std::vector<graph::EdgeId> desc_order_;  ///< all edges, heaviest first
-  matching::Matching m_;
+  matching::Matching m_;  ///< kGreedyKeep / kScratch engine state
+  std::unique_ptr<matching::DynamicBSuitor> dyn_;  ///< kIncremental engine
+  /// Incrementally maintained Σ S_i over alive nodes (kIncremental only;
+  /// updated from DynamicBSuitor::last_changed_nodes per event).
+  std::vector<double> sat_;
+  double sat_total_ = 0.0;
 };
 
 }  // namespace overmatch::overlay

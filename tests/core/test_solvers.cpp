@@ -45,9 +45,10 @@ TEST(Solve, MetricsMatchManualComputation) {
 TEST(Solve, GreedyFamilyAllEquivalent) {
   auto inst = Instance::random("er", 20, 5.0, 3, 7);
   const auto reference = solve(*inst->profile, Algorithm::kLicGlobal);
-  for (const Algorithm a : {Algorithm::kLicLocal, Algorithm::kParallelLocal,
-                            Algorithm::kBSuitor, Algorithm::kLidDes,
-                            Algorithm::kLidThreaded}) {
+  for (const Algorithm a :
+       {Algorithm::kLicLocal, Algorithm::kParallelLocal, Algorithm::kBSuitor,
+        Algorithm::kParallelBSuitor, Algorithm::kDynamicBSuitor,
+        Algorithm::kLidDes, Algorithm::kLidThreaded}) {
     const auto r = solve(*inst->profile, a);
     EXPECT_TRUE(reference.matching.same_edges(r.matching)) << algorithm_name(a);
   }

@@ -1,19 +1,14 @@
-// The unified run_lid(w, quotas, LidOptions) entry point must reproduce each
-// legacy wrapper bit-for-bit at fixed seeds: identical edge sets, identical
-// wire statistics (DES runs are deterministic per seed/schedule), identical
-// retransmission counts. The wrappers are forwarders, so these tests pin the
-// option mapping — schedule promotion, the `reliable` flag, the RNG streams —
-// against drift while the deprecated surface is still in its grace cycle.
+// Behavioural pins for the unified run_lid(w, quotas, LidOptions) entry
+// point (the legacy wrapper overloads are gone): DES determinism per
+// seed/schedule, the `reliable` flag's contract at zero loss (ACK traffic +
+// schedule promotion), lossy-run recovery, threaded/DES agreement, and the
+// documented defaults.
 #include "matching/lid.hpp"
 
 #include <gtest/gtest.h>
 
 #include "sim/reliable.hpp"
 #include "tests/matching/common.hpp"
-
-// The whole point of this file is calling the deprecated wrappers.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace overmatch::matching {
 namespace {
@@ -29,92 +24,97 @@ void expect_same_wire_stats(const sim::MessageStats& a,
   EXPECT_EQ(a.kind_count(sim::kAckKind), b.kind_count(sim::kAckKind));
 }
 
-TEST(LidUnified, ReproducesScheduleSeedWrapperExactly) {
+TEST(LidUnified, DesRunsAreDeterministicPerSeedAndSchedule) {
   const sim::Schedule schedules[] = {
       sim::Schedule::kFifo, sim::Schedule::kRandomOrder,
       sim::Schedule::kRandomDelay, sim::Schedule::kAdversarialDelay};
   for (const auto schedule : schedules) {
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
       auto inst = testing::Instance::random_quotas("ws", 30, 5.0, 3, seed * 7 + 1);
-      const auto legacy =
-          run_lid(*inst->weights, inst->profile->quotas(), schedule, seed);
-      const auto unified = run_lid(*inst->weights, inst->profile->quotas(),
-                                   {.schedule = schedule, .seed = seed});
-      EXPECT_TRUE(legacy.matching.same_edges(unified.matching))
+      const auto a = run_lid(*inst->weights, inst->profile->quotas(),
+                             {.schedule = schedule, .seed = seed});
+      const auto b = run_lid(*inst->weights, inst->profile->quotas(),
+                             {.schedule = schedule, .seed = seed});
+      EXPECT_TRUE(a.matching.same_edges(b.matching))
           << sim::schedule_name(schedule) << " seed=" << seed;
-      expect_same_wire_stats(legacy.stats, unified.stats);
-      EXPECT_EQ(unified.retransmissions, 0u);
+      expect_same_wire_stats(a.stats, b.stats);
+      EXPECT_EQ(a.retransmissions, 0u);
     }
   }
 }
 
-TEST(LidUnified, ReproducesThreadedWrapperMatching) {
+TEST(LidUnified, ScheduleChangesWireTrafficNotTheMatching) {
+  auto inst = testing::Instance::random_quotas("ws", 30, 5.0, 3, 17);
+  const auto fifo = run_lid(*inst->weights, inst->profile->quotas(),
+                            {.schedule = sim::Schedule::kFifo, .seed = 2});
+  const auto adv =
+      run_lid(*inst->weights, inst->profile->quotas(),
+              {.schedule = sim::Schedule::kAdversarialDelay, .seed = 2});
+  EXPECT_TRUE(fifo.matching.same_edges(adv.matching));
+}
+
+TEST(LidUnified, ThreadedRuntimeMatchesTheDes) {
   // The threaded runtime's interleaving (and thus its message counts) is
   // nondeterministic; the matching is the invariant (Lemmas 3–6).
   auto inst = testing::Instance::random("er", 60, 6.0, 3, 11);
-  const auto legacy =
-      run_lid_threaded(*inst->weights, inst->profile->quotas(), 4);
-  const auto unified =
+  const auto des = run_lid(*inst->weights, inst->profile->quotas(), {.seed = 1});
+  const auto threaded =
       run_lid(*inst->weights, inst->profile->quotas(),
               {.runtime = LidRuntime::kThreaded, .threads = 4});
-  EXPECT_TRUE(legacy.matching.same_edges(unified.matching));
-  EXPECT_EQ(unified.stats.total_delivered, unified.stats.total_sent);
+  EXPECT_TRUE(des.matching.same_edges(threaded.matching));
+  EXPECT_EQ(threaded.stats.total_delivered, threaded.stats.total_sent);
 }
 
-TEST(LidUnified, ReproducesLossyWrapperExactly) {
+TEST(LidUnified, LossyRunsRecoverTheLosslessMatching) {
   for (const double loss : {0.1, 0.3}) {
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
       auto inst = testing::Instance::random("er", 30, 5.0, 2, seed * 13 + 2);
-      const auto legacy =
-          run_lid_lossy(*inst->weights, inst->profile->quotas(), loss, seed);
-      const auto unified =
+      const auto lossless =
+          run_lid(*inst->weights, inst->profile->quotas(), {.seed = seed});
+      const auto lossy =
           run_lid(*inst->weights, inst->profile->quotas(),
                   {.loss_rate = loss, .reliable = true, .seed = seed});
-      EXPECT_TRUE(legacy.matching.same_edges(unified.matching))
+      EXPECT_TRUE(lossless.matching.same_edges(lossy.matching))
           << "loss=" << loss << " seed=" << seed;
-      expect_same_wire_stats(legacy.stats, unified.stats);
-      EXPECT_EQ(legacy.retransmissions, unified.retransmissions);
+      EXPECT_GT(lossy.stats.total_dropped, 0u);
+      EXPECT_GT(lossy.retransmissions, 0u);
     }
   }
 }
 
-TEST(LidUnified, LossyWrapperAtZeroLossStillEngagesTheAdapter) {
-  // Historical contract: run_lid_lossy(w, q, 0.0, seed) measured the pure
-  // ACK overhead of the reliability layer. The unified mapping is
-  // {.loss_rate = 0.0, .reliable = true} — and it must still promote the
-  // schedule and carry ACK traffic, unlike a plain lossless run.
+TEST(LidUnified, ReliableFlagAtZeroLossStillEngagesTheAdapter) {
+  // {.loss_rate = 0.0, .reliable = true} measures the pure ACK overhead of
+  // the reliability layer: it must promote the schedule to virtual time and
+  // carry ACK traffic, unlike a plain lossless run — while retransmitting
+  // nothing (no message is ever dropped).
   auto inst = testing::Instance::random("er", 24, 4.0, 2, 5);
-  const auto legacy =
-      run_lid_lossy(*inst->weights, inst->profile->quotas(), 0.0, 9);
-  const auto unified = run_lid(*inst->weights, inst->profile->quotas(),
-                               {.loss_rate = 0.0, .reliable = true, .seed = 9});
-  EXPECT_TRUE(legacy.matching.same_edges(unified.matching));
-  expect_same_wire_stats(legacy.stats, unified.stats);
-  EXPECT_GT(unified.stats.kind_count(sim::kAckKind), 0u);
-  EXPECT_EQ(unified.retransmissions, legacy.retransmissions);
+  const auto reliable = run_lid(*inst->weights, inst->profile->quotas(),
+                                {.loss_rate = 0.0, .reliable = true, .seed = 9});
+  EXPECT_GT(reliable.stats.kind_count(sim::kAckKind), 0u);
+  EXPECT_EQ(reliable.retransmissions, 0u);
+  EXPECT_EQ(reliable.stats.total_dropped, 0u);
 
   const auto plain = run_lid(*inst->weights, inst->profile->quotas(),
                              {.schedule = sim::Schedule::kRandomDelay, .seed = 9});
   EXPECT_EQ(plain.stats.kind_count(sim::kAckKind), 0u);
-  EXPECT_TRUE(plain.matching.same_edges(unified.matching));
+  EXPECT_TRUE(plain.matching.same_edges(reliable.matching));
 }
 
-TEST(LidUnified, ReproducesLossyThreadedWrapperMatching) {
+TEST(LidUnified, LossyThreadedRunRecovers) {
   auto inst = testing::Instance::random("er", 40, 5.0, 2, 21);
-  const auto legacy = run_lid_lossy_threaded(*inst->weights,
-                                             inst->profile->quotas(), 0.2, 3, 4);
-  const auto unified = run_lid(*inst->weights, inst->profile->quotas(),
-                               {.runtime = LidRuntime::kThreaded,
-                                .loss_rate = 0.2,
-                                .reliable = true,
-                                .seed = 3,
-                                .threads = 4});
-  EXPECT_TRUE(legacy.matching.same_edges(unified.matching));
+  const auto des = run_lid(*inst->weights, inst->profile->quotas(), {.seed = 1});
+  const auto lossy = run_lid(*inst->weights, inst->profile->quotas(),
+                             {.runtime = LidRuntime::kThreaded,
+                              .loss_rate = 0.2,
+                              .reliable = true,
+                              .seed = 3,
+                              .threads = 4});
+  EXPECT_TRUE(des.matching.same_edges(lossy.matching));
   // Wire accounting under loss is interleaving-dependent (retransmissions
   // are delivered without re-counting as sends); only require that loss and
   // recovery actually happened.
-  EXPECT_GT(unified.stats.total_dropped, 0u);
-  EXPECT_GT(unified.retransmissions, 0u);
+  EXPECT_GT(lossy.stats.total_dropped, 0u);
+  EXPECT_GT(lossy.retransmissions, 0u);
 }
 
 TEST(LidUnified, DefaultOptionsAreTheReliableDes) {
@@ -133,5 +133,3 @@ TEST(LidUnified, DefaultOptionsAreTheReliableDes) {
 
 }  // namespace
 }  // namespace overmatch::matching
-
-#pragma GCC diagnostic pop

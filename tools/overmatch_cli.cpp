@@ -21,6 +21,7 @@
 #include "matching/metrics.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
+#include "overlay/churn.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -50,6 +51,12 @@ void print_usage() {
       "  --threads=T        threaded runtimes; when given explicitly, also\n"
       "                     parallelizes graph/preference/weight construction\n"
       "                     (default: single-threaded build)   [2]\n"
+      "churn:\n"
+      "  --churn-events=E   after solving, replay E random leave/join events\n"
+      "                     and report events/s + per-event latency [0 = off]\n"
+      "  --churn-mode=NAME  incremental|greedy-keep|scratch  [incremental]\n"
+      "  --churn-oracle     run the from-scratch comparator per event and\n"
+      "                     report the weight gap (costs O(m) per event)\n"
       "output:\n"
       "  --csv              per-node CSV on stdout\n"
       "  --metrics-out=FILE write an overmatch-metrics-v1 JSON document\n"
@@ -132,11 +139,6 @@ int main(int argc, char** argv) {
   const auto result = core::solve(profile, algo, opt);
   const double elapsed_ms = timer.millis();
 
-  if (flags.has("metrics-out")) {
-    obs::write_json_file(registry.snapshot(), "overmatch_cli",
-                         flags.get("metrics-out", "metrics.json"));
-  }
-
   // Report.
   const auto weights = prefs::paper_weights(profile, opt.pool);
   const auto cert = core::certify(profile, weights, result.matching);
@@ -145,6 +147,10 @@ int main(int argc, char** argv) {
   for (const double s : sats) ss.add(s);
 
   if (flags.has("csv")) {
+    if (flags.has("metrics-out")) {
+      obs::write_json_file(registry.snapshot(), "overmatch_cli",
+                           flags.get("metrics-out", "metrics.json"));
+    }
     std::printf("node,quota,load,satisfaction\n");
     for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
       std::printf("%u,%u,%u,%.6f\n", v, profile.quota(v), result.matching.load(v),
@@ -172,6 +178,63 @@ int main(int argc, char** argv) {
                 opt.loss_rate);
   }
   if (!result.converged) std::printf("warning  : dynamics hit the step cap\n");
+
+  // Optional churn session: replay random leave/join events against the
+  // selected repair engine and report throughput + per-event latency.
+  const auto churn_events =
+      static_cast<std::size_t>(flags.get_int("churn-events", 0));
+  if (churn_events > 0) {
+    overlay::ChurnOptions copt;
+    copt.mode = overlay::churn_mode_by_name(flags.get("churn-mode", "incremental"));
+    copt.oracle = flags.has("churn-oracle");
+    copt.registry = &registry;
+    overlay::ChurnSimulator churn(profile, weights, copt);
+    util::Rng churn_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    std::vector<graph::NodeId> offline;
+    util::StreamingStats latency_us;
+    util::StreamingStats gaps;
+    double final_weight = 0.0;
+    util::WallTimer churn_timer;
+    for (std::size_t k = 0; k < churn_events; ++k) {
+      overlay::ChurnEvent ev;
+      if (!offline.empty() && churn_rng.chance(0.5)) {
+        const auto idx = churn_rng.index(offline.size());
+        ev = churn.join(offline[idx]);
+        offline.erase(offline.begin() + static_cast<std::ptrdiff_t>(idx));
+      } else {
+        graph::NodeId v;
+        do {
+          v = static_cast<graph::NodeId>(churn_rng.index(g.num_nodes()));
+        } while (!churn.alive(v));
+        ev = churn.leave(v);
+        offline.push_back(v);
+      }
+      latency_us.add(static_cast<double>(ev.repair_ns) / 1e3);
+      if (copt.oracle && ev.recompute_weight > 0.0) {
+        gaps.add(100.0 * (ev.recompute_weight - ev.incremental_weight) /
+                 ev.recompute_weight);
+      }
+      final_weight = ev.incremental_weight;
+    }
+    const double churn_ms = churn_timer.millis();
+    std::printf(
+        "churn    : %zu events (%s repair) in %.2f ms — %.0f events/s,\n"
+        "           per-event latency mean %.1f us / max %.1f us, final weight "
+        "%.4f\n",
+        churn_events, overlay::churn_mode_name(churn.mode()), churn_ms,
+        1000.0 * static_cast<double>(churn_events) / churn_ms, latency_us.mean(),
+        latency_us.max(), final_weight);
+    if (copt.oracle) {
+      std::printf("           weight gap to from-scratch: mean %.3f%% max %.3f%%\n",
+                  gaps.mean(), gaps.max());
+    }
+  }
+
+  if (flags.has("metrics-out")) {
+    // After the churn session, so the churn.*/dyn.* series are included.
+    obs::write_json_file(registry.snapshot(), "overmatch_cli",
+                         flags.get("metrics-out", "metrics.json"));
+  }
   if (!flags.has("quiet")) {
     std::printf(
         "certify  : ratio ≥ %.3f of optimal weight (UB %.4f), ½-certificate %s,\n"
