@@ -84,6 +84,14 @@ class JsonReport {
 
   explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
 
+  /// Record a host/run property (e.g. hardware_concurrency) into a top-level
+  /// "env" object. Kept out of per-record params so record keys stay
+  /// comparable across machines — bench_diff.py prints env differences
+  /// instead of treating every record as new.
+  void set_env(std::string key, std::string value) {
+    env_.emplace_back(std::move(key), std::move(value));
+  }
+
   /// Record a timed series point. `samples_ms` holds per-repetition
   /// wall-clock milliseconds.
   void add(std::string name, Params params, std::vector<double> samples_ms,
@@ -104,7 +112,16 @@ class JsonReport {
     std::FILE* f = std::fopen(path.c_str(), "w");
     OM_CHECK_MSG(f != nullptr, "cannot open bench json for writing");
     std::fprintf(f, "{\n  \"schema\": \"overmatch-bench-v1\",\n");
-    std::fprintf(f, "  \"bench\": \"%s\",\n  \"records\": [", bench_.c_str());
+    std::fprintf(f, "  \"bench\": \"%s\",\n", bench_.c_str());
+    if (!env_.empty()) {
+      std::fprintf(f, "  \"env\": {");
+      for (std::size_t i = 0; i < env_.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": \"%s\"", i == 0 ? "" : ", ",
+                     env_[i].first.c_str(), env_[i].second.c_str());
+      }
+      std::fprintf(f, "},\n");
+    }
+    std::fprintf(f, "  \"records\": [");
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const auto& r = records_[i];
       std::fprintf(f, "%s\n    {\"name\": \"%s\", \"params\": {",
@@ -133,6 +150,7 @@ class JsonReport {
     std::size_t threads = 1;
   };
   std::string bench_;
+  Params env_;
   std::vector<Record> records_;
 };
 

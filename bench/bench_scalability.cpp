@@ -7,17 +7,24 @@
 // on the big instance — the unique-total-order equivalence, checked at scale.
 //
 // Emits BENCH_scalability.json (schema overmatch-bench-v1, see
-// EXPERIMENTS.md). Flags:
+// EXPERIMENTS.md) with a top-level "env" block recording threads_max and the
+// host's hardware_concurrency, so cross-machine diffs stay interpretable.
+// Flags:
 //   --n=N         headline instance size (default 250000 ≈ 10^6 edges)
+//   --big-n=N     big-rung instance size (default 2500000 ≈ 10^7 edges;
+//                 0 disables; always skipped under --smoke)
 //   --reps=R      repetitions per timing (default 5)
 //   --threads=T   max threads in the sweeps (default 8)
 //   --smoke       tiny sizes for the bench-smoke ctest label
+#include <thread>
+
 #include "bench/bench_common.hpp"
 #include "matching/bsuitor.hpp"
 #include "matching/lic.hpp"
 #include "matching/lid.hpp"
 #include "matching/parallel_bsuitor.hpp"
 #include "matching/parallel_local.hpp"
+#include "util/thread_pool.hpp"
 
 namespace overmatch {
 namespace {
@@ -36,6 +43,9 @@ void run(bench::Env& env) {
       static_cast<std::size_t>(env.flags().get_int("reps", env.smoke() ? 2 : 5));
   const std::size_t max_threads =
       static_cast<std::size_t>(env.flags().get_int("threads", 8));
+  json.set_env("threads_max", std::to_string(max_threads));
+  json.set_env("hardware_concurrency",
+               std::to_string(std::thread::hardware_concurrency()));
 
   std::printf("building headline instance (er, n=%zu, avg degree 8, b=3)...\n", n);
   const auto inst = bench::Instance::make("er", n, 8.0, 3, 12345);
@@ -75,6 +85,15 @@ void run(bench::Env& env) {
   for (std::size_t t = 1; t <= max_threads; t *= 2) {
     time_engine("parallel_b_suitor", t,
                 [&] { return matching::parallel_b_suitor(*inst->weights, q, t); });
+  }
+  // Pool-backed ladder: the same engine through a pre-warmed util::ThreadPool
+  // (the SolveOptions::pool path), separating thread-startup cost from the
+  // engine's own scaling.
+  for (std::size_t t = 2; t <= max_threads; t *= 2) {
+    util::ThreadPool pool(t - 1);  // pool + calling thread = t workers
+    time_engine("parallel_b_suitor_pool", t, [&] {
+      return matching::parallel_b_suitor(*inst->weights, q, pool);
+    });
   }
   for (std::size_t t = 1; t <= max_threads; t *= 2) {
     time_engine("parallel_local_dominant", t, [&] {
@@ -135,6 +154,51 @@ void run(bench::Env& env) {
           .cell(util::percentile(t_suitor, 50.0), 1);
     }
     ladder.print("Size ladder (medians):");
+  }
+
+  // Big rung: thread ladder at m ≈ 10^7 (an order past the headline), where
+  // the working set is far out of LLC and the block scheduler's locality is
+  // the artifact. Reduced reps — each run is seconds — and bit-identity
+  // checked against sequential b_suitor.
+  const std::size_t big_n = env.smoke()
+                                ? 0
+                                : static_cast<std::size_t>(
+                                      env.flags().get_int("big-n", 2500000));
+  if (big_n != 0) {
+    std::printf("building big rung instance (er, n=%zu, avg degree 8, b=3)...\n",
+                big_n);
+    const auto big = bench::Instance::make("er", big_n, 8.0, 3, 424242);
+    const auto& bq = big->profile->quotas();
+    std::printf("n=%zu m=%zu\n", big->g.num_nodes(), big->g.num_edges());
+    const bench::JsonReport::Params big_params = {
+        {"topology", "er"},
+        {"n", std::to_string(big->g.num_nodes())},
+        {"m", std::to_string(big->g.num_edges())},
+        {"quota", "3"}};
+    const std::size_t big_reps = std::min<std::size_t>(reps, 2);
+    const auto big_ref = matching::b_suitor(*big->weights, bq);
+    util::Table bt({"engine", "threads", "median ms", "edges/s (median)"});
+    for (std::size_t t = 1; t <= max_threads; t *= 2) {
+      std::vector<double> samples;
+      samples.reserve(big_reps);
+      for (std::size_t i = 0; i < big_reps; ++i) {
+        util::WallTimer timer;
+        const auto m = matching::parallel_b_suitor(*big->weights, bq, t);
+        samples.push_back(timer.millis());
+        OM_CHECK_MSG(m.same_edges(big_ref),
+                     "parallel engine must match sequential at 10^7 edges");
+      }
+      json.add("big_parallel_b_suitor", big_params, samples, t);
+      const double med = util::percentile(samples, 50.0);
+      bt.row()
+          .cell("parallel_b_suitor")
+          .cell(static_cast<std::int64_t>(t))
+          .cell(med, 1)
+          .cell(med > 0 ? static_cast<double>(big->g.num_edges()) / (med / 1e3)
+                        : 0.0,
+                0);
+    }
+    bt.print("Big rung (m ~ 10^7) thread ladder:");
   }
 
   // LID over the discrete-event simulator — kept small: the simulator

@@ -113,7 +113,9 @@ SolveResult solve_impl(const prefs::PreferenceProfile& profile,
         m = matching::b_suitor(w, quotas, &reg);
         break;
       case Algorithm::kParallelBSuitor:
-        m = matching::parallel_b_suitor(w, quotas, options.threads, &reg);
+        m = options.pool != nullptr
+                ? matching::parallel_b_suitor(w, quotas, *options.pool, &reg)
+                : matching::parallel_b_suitor(w, quotas, options.threads, &reg);
         break;
       case Algorithm::kDynamicBSuitor:
         m = matching::DynamicBSuitor(w, quotas, &reg).matching();

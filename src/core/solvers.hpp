@@ -29,7 +29,7 @@ enum class Algorithm : std::uint8_t {
   kLicLocal,       ///< centralized LIC, local-dominance engine
   kParallelLocal,  ///< shared-memory parallel local dominance
   kBSuitor,        ///< b-suitor bidding (modern comparator; same output)
-  kParallelBSuitor,///< lock-free parallel b-suitor (spinlocked suitor heaps)
+  kParallelBSuitor,///< lock-free parallel b-suitor (CAS on packed suitor slots)
   kDynamicBSuitor, ///< stateful dynamic b-suitor engine (static build here;
                    ///< same output — the engine's value is under churn)
   kLidLocalSearch, ///< LID followed by true-objective local search

@@ -21,9 +21,28 @@ std::uint64_t pair_key(NodeId u, NodeId v) noexcept {
 Graph erdos_renyi(std::size_t n, double p, util::Rng& rng) {
   OM_CHECK(p >= 0.0 && p <= 1.0);
   GraphBuilder b(n);
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v = u + 1; v < n; ++v) {
-      if (rng.chance(p)) b.add_edge(u, v);
+  if (p >= 1.0) {
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+    }
+    return std::move(b).build();
+  }
+  if (p > 0.0 && n >= 2) {
+    // Batagelj–Brandes skip sampling (Phys. Rev. E 71, 2005): walk the
+    // linearised upper triangle in geometric jumps of mean 1/p instead of
+    // testing all n(n-1)/2 pairs — O(n + m), which is what makes the
+    // m ~ 10^7 bench rungs buildable in seconds rather than hours.
+    const double denom = std::log1p(-p);  // log(1-p) < 0
+    std::size_t v = 1;
+    std::int64_t w = -1;
+    while (v < n) {
+      const double r = rng.uniform();  // [0, 1): log1p(-r) is finite
+      w += 1 + static_cast<std::int64_t>(std::log1p(-r) / denom);
+      while (v < n && w >= static_cast<std::int64_t>(v)) {
+        w -= static_cast<std::int64_t>(v);
+        ++v;
+      }
+      if (v < n) b.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
     }
   }
   return std::move(b).build();

@@ -1,8 +1,8 @@
 #include "matching/bsuitor.hpp"
 
-#include <algorithm>
 #include <deque>
 
+#include "matching/suitor_slab.hpp"
 #include "obs/registry.hpp"
 
 namespace overmatch::matching {
@@ -13,73 +13,14 @@ struct BSuitorInfo {
   std::size_t displacements = 0; ///< bids that knocked out a weaker suitor
 };
 
-/// Suitor sets: per node, the ≤ b_v current suitor edges, with the weakest
-/// *cached* so the admits/admit pair on the same node costs one O(b) scan
-/// instead of two (b is small in all our workloads, but the pair runs on
-/// every proposal). The cache is invalidated on any mutation and rebuilt
-/// lazily on the next weakest() query.
-class SuitorState {
- public:
-  SuitorState(const prefs::EdgeWeights& w, const Quotas& quotas)
-      : w_(&w), quotas_(&quotas), suitors_(w.graph().num_nodes()),
-        weakest_idx_(w.graph().num_nodes(), kNoCache) {}
-
-  /// Does `e` beat v's weakest suitor (or does v have a free slot)?
-  [[nodiscard]] bool admits(NodeId v, EdgeId e) const {
-    const auto& s = suitors_[v];
-    if (s.size() < (*quotas_)[v]) return true;
-    if (s.empty()) return false;  // quota-0 node: admits nothing
-    return w_->heavier(e, s[weakest_index(v)]);
-  }
-
-  /// Admit edge e at node v; returns the displaced edge or kInvalidEdge.
-  EdgeId admit(NodeId v, EdgeId e) {
-    auto& s = suitors_[v];
-    if (s.size() < (*quotas_)[v]) {
-      s.push_back(e);
-      weakest_idx_[v] = kNoCache;
-      return graph::kInvalidEdge;
-    }
-    const std::size_t idx = weakest_index(v);
-    const EdgeId out = s[idx];
-    s[idx] = e;
-    weakest_idx_[v] = kNoCache;
-    return out;
-  }
-
-  [[nodiscard]] bool holds(NodeId v, EdgeId e) const {
-    const auto& s = suitors_[v];
-    return std::find(s.begin(), s.end(), e) != s.end();
-  }
-
- private:
-  static constexpr std::size_t kNoCache = static_cast<std::size_t>(-1);
-
-  /// Index of v's weakest suitor; cached until the suitor set mutates.
-  [[nodiscard]] std::size_t weakest_index(NodeId v) const {
-    const auto& s = suitors_[v];
-    OM_CHECK(!s.empty());
-    std::size_t idx = weakest_idx_[v];
-    if (idx != kNoCache) return idx;
-    idx = 0;
-    for (std::size_t i = 1; i < s.size(); ++i) {
-      if (w_->heavier(s[idx], s[i])) idx = i;
-    }
-    weakest_idx_[v] = idx;
-    return idx;
-  }
-
-  const prefs::EdgeWeights* w_;
-  const Quotas* quotas_;
-  std::vector<std::vector<EdgeId>> suitors_;
-  mutable std::vector<std::size_t> weakest_idx_;  ///< kNoCache when stale
-};
-
 Matching b_suitor_impl(const prefs::EdgeWeights& w, const Quotas& quotas,
                        BSuitorInfo& out_stats) {
   const auto& g = w.graph();
   OM_CHECK(quotas.size() == g.num_nodes());
-  SuitorState suitors(w, quotas);
+  // Suitor sets live in a SuitorSlab: one packed (key, edge) word per slot,
+  // so the admits/admit pair is a single O(b) scan of one cache-dense run
+  // with one unsigned compare per slot (no weight lookups, no weakest cache).
+  SuitorSlab suitors(w, quotas);
 
   // Per-node candidate cursor over the EdgeWeights incidence index (already
   // heaviest-first; no per-run copies or sorts).
@@ -98,16 +39,16 @@ Matching b_suitor_impl(const prefs::EdgeWeights& w, const Quotas& quotas,
     while (bids_held[u] < quotas[u] && cursor[u] < candidates.size()) {
       const EdgeId e = candidates[cursor[u]];
       const NodeId v = g.edge(e).other(u);
-      if (!suitors.admits(v, e)) {
-        ++cursor[u];
+      const auto res = suitors.admit_if(v, suitors.word_of(e));
+      ++cursor[u];
+      if (!res.accepted) {
         continue;  // v will never admit a lighter bid later — skip for good
       }
       ++stats.proposals;
-      const EdgeId displaced = suitors.admit(v, e);
       ++bids_held[u];
-      ++cursor[u];
-      if (displaced != graph::kInvalidEdge) {
+      if (res.displaced != SuitorSlab::kEmpty) {
         ++stats.displacements;
+        const EdgeId displaced = SuitorSlab::edge_of(res.displaced);
         const NodeId loser = g.edge(displaced).other(v);
         OM_CHECK(bids_held[loser] > 0);
         --bids_held[loser];

@@ -1,6 +1,5 @@
 #include "matching/dynamic_bsuitor.hpp"
 
-#include <algorithm>
 #include <chrono>
 
 #include "obs/registry.hpp"
@@ -12,14 +11,6 @@ namespace {
 const std::vector<double> kRepairNsBuckets = {1e3, 1e4, 1e5, 1e6,
                                               1e7, 1e8, 1e9};
 
-/// Swap-erase `e` from a small bid set (present by invariant).
-void erase_bid(std::vector<graph::EdgeId>& set, graph::EdgeId e) {
-  const auto it = std::find(set.begin(), set.end(), e);
-  OM_CHECK(it != set.end());
-  *it = set.back();
-  set.pop_back();
-}
-
 }  // namespace
 
 DynamicBSuitor::DynamicBSuitor(const prefs::EdgeWeights& w, const Quotas& quotas,
@@ -29,10 +20,8 @@ DynamicBSuitor::DynamicBSuitor(const prefs::EdgeWeights& w, const Quotas& quotas
       alive_(w.graph().num_nodes(), 1),
       edge_off_(w.graph().num_edges(), 0),
       bid_state_(w.graph().num_edges(), 0),
-      suitors_(w.graph().num_nodes()),
-      placed_(w.graph().num_nodes()),
-      weakest_suitor_(w.graph().num_nodes(), kNoCache),
-      weakest_placed_(w.graph().num_nodes(), kNoCache),
+      suitors_(w, quotas),
+      placed_(w, quotas),
       m_(w.graph(), quotas),
       pending_seek_(w.graph().num_nodes(), 0),
       pending_attract_(w.graph().num_nodes(), 0),
@@ -55,32 +44,16 @@ DynamicBSuitor::DynamicBSuitor(const prefs::EdgeWeights& w, const Quotas& quotas
   finish_event(/*count=*/false);
 }
 
-std::size_t DynamicBSuitor::weakest_index(const std::vector<EdgeId>& set,
-                                          std::vector<std::size_t>& cache,
-                                          NodeId v) const {
-  OM_CHECK(!set.empty());
-  std::size_t idx = cache[v];
-  if (idx != kNoCache) return idx;
-  idx = 0;
-  for (std::size_t i = 1; i < set.size(); ++i) {
-    if (w_->heavier(set[idx], set[i])) idx = i;
-  }
-  cache[v] = idx;
-  return idx;
-}
-
 bool DynamicBSuitor::admits(NodeId holder, EdgeId e) const {
-  const auto& s = suitors_[holder];
-  if (s.size() < (*quotas_)[holder]) return true;
-  if (s.empty()) return false;  // quota-0 node: admits nothing
-  return w_->heavier(e, s[weakest_index(s, weakest_suitor_, holder)]);
+  return suitors_.admits(holder, suitors_.word_of(e));
 }
 
 bool DynamicBSuitor::wants(NodeId bidder, EdgeId e) const {
-  const auto& p = placed_[bidder];
-  if (p.size() < (*quotas_)[bidder]) return true;
-  if (p.empty()) return false;  // quota-0 node: never bids
-  return w_->heavier(e, p[weakest_index(p, weakest_placed_, bidder)]);
+  // A slab at capacity deg(v) < b_v reads as "full" where the old size-based
+  // check read "deficient", but then *every* incident edge is already placed
+  // and no new bid is possible anyway — the divergence is unreachable on the
+  // place path and harmless on the seek/attract break path.
+  return placed_.admits(bidder, placed_.word_of(e));
 }
 
 void DynamicBSuitor::touch(NodeId v) {
@@ -116,10 +89,8 @@ void DynamicBSuitor::matched_remove(EdgeId e) {
 void DynamicBSuitor::detach_bid(NodeId bidder, NodeId holder, EdgeId e) {
   if (bid_state_[e] == (kBidFromU | kBidFromV)) matched_remove(e);
   bid_state_[e] &= static_cast<std::uint8_t>(~bid_bit(e, bidder));
-  erase_bid(suitors_[holder], e);
-  weakest_suitor_[holder] = kNoCache;
-  erase_bid(placed_[bidder], e);
-  weakest_placed_[bidder] = kNoCache;
+  suitors_.erase(holder, e);
+  placed_.erase(bidder, e);
   touch(bidder);
   touch(holder);
 }
@@ -128,31 +99,28 @@ void DynamicBSuitor::place_bid(NodeId bidder, EdgeId e) {
   const NodeId holder = w_->graph().edge(e).other(bidder);
   touch(bidder);
   touch(holder);
-  auto& s = suitors_[holder];
-  if (s.size() >= (*quotas_)[holder]) {
-    // Saturated: displace the weakest held bid (admits() guaranteed it is
-    // lighter than e). The loser re-seeks a replacement slot.
-    const std::size_t idx = weakest_index(s, weakest_suitor_, holder);
-    const EdgeId displaced = s[idx];
+  // One scan admits e and, when the holder is saturated, displaces its
+  // weakest held bid (admits() guaranteed e beats it). The loser re-seeks a
+  // replacement slot.
+  const auto res = suitors_.admit_if(holder, suitors_.word_of(e));
+  OM_CHECK_MSG(res.accepted, "place_bid() without admits()");
+  if (res.displaced != SuitorSlab::kEmpty) {
+    const EdgeId displaced = SuitorSlab::edge_of(res.displaced);
     const NodeId loser = w_->graph().edge(displaced).other(holder);
     if (bid_state_[displaced] == (kBidFromU | kBidFromV)) {
       matched_remove(displaced);
     }
     bid_state_[displaced] &=
         static_cast<std::uint8_t>(~bid_bit(displaced, loser));
-    erase_bid(placed_[loser], displaced);
-    weakest_placed_[loser] = kNoCache;
+    placed_.erase(loser, displaced);
     touch(loser);
-    s[idx] = e;
     ++last_.cascade_len;
     displacements_ctr_.inc();
     queue_seek(loser);
-  } else {
-    s.push_back(e);
   }
-  weakest_suitor_[holder] = kNoCache;
-  placed_[bidder].push_back(e);
-  weakest_placed_[bidder] = kNoCache;
+  const auto put = placed_.admit_if(bidder, placed_.word_of(e));
+  OM_CHECK_MSG(put.accepted && put.displaced == SuitorSlab::kEmpty,
+               "place_bid() with a saturated bidder");
   bid_state_[e] |= bid_bit(e, bidder);
   ++last_.cascade_len;
   bids_ctr_.inc();
@@ -181,9 +149,8 @@ void DynamicBSuitor::seek(NodeId u) {
     const NodeId v = w_->graph().edge(e).other(u);
     if (alive_[v] == 0 || edge_off_[e] != 0 || holds_bid_from(u, e)) continue;
     if (!admits(v, e)) continue;
-    auto& p = placed_[u];
-    if (p.size() >= (*quotas_)[u]) {
-      withdraw(u, p[weakest_index(p, weakest_placed_, u)]);
+    if (placed_.full(u)) {
+      withdraw(u, SuitorSlab::edge_of(placed_.weakest(u)));
     }
     place_bid(u, e);
   }
@@ -204,9 +171,8 @@ void DynamicBSuitor::attract(NodeId v) {
     // x bids here; a bid-saturated x upgrades by withdrawing its weakest
     // placed bid first (strictly lighter than e by wants()), freeing a slot
     // at that bid's holder — the cascade continues from there.
-    auto& p = placed_[x];
-    if (p.size() >= (*quotas_)[x]) {
-      withdraw(x, p[weakest_index(p, weakest_placed_, x)]);
+    if (placed_.full(x)) {
+      withdraw(x, SuitorSlab::edge_of(placed_.weakest(x)));
     }
     place_bid(x, e);
   }
@@ -260,7 +226,8 @@ void DynamicBSuitor::on_node_leave(NodeId v) {
   alive_[v] = 0;
   touch(v);
   // Bids v held: each bidder lost a placed bid and re-seeks.
-  std::vector<EdgeId> held(suitors_[v]);
+  std::vector<EdgeId> held;
+  suitors_.for_each(v, [&held](EdgeId e) { held.push_back(e); });
   for (const EdgeId e : held) {
     const NodeId x = w_->graph().edge(e).other(v);
     detach_bid(x, v, e);
@@ -268,7 +235,8 @@ void DynamicBSuitor::on_node_leave(NodeId v) {
     queue_seek(x);
   }
   // Bids v placed: each holder freed a slot and attracts replacements.
-  std::vector<EdgeId> out(placed_[v]);
+  std::vector<EdgeId> out;
+  placed_.for_each(v, [&out](EdgeId e) { out.push_back(e); });
   for (const EdgeId e : out) {
     const NodeId y = w_->graph().edge(e).other(v);
     detach_bid(v, y, e);
@@ -289,7 +257,7 @@ void DynamicBSuitor::on_node_join(NodeId v) {
   const auto t0 = std::chrono::steady_clock::now();
   alive_[v] = 1;
   touch(v);
-  OM_CHECK(suitors_[v].empty() && placed_[v].empty());
+  OM_CHECK(suitors_.count(v) == 0 && placed_.count(v) == 0);
   queue_seek(v);     // v starts bidding
   queue_attract(v);  // v's free slots solicit bids (including upgrades)
   drain();
@@ -329,9 +297,8 @@ void DynamicBSuitor::on_edge_change(NodeId i, NodeId j, bool present) {
       if (alive_[bidder] == 0 || alive_[holder] == 0) break;
       if (holds_bid_from(bidder, e)) continue;
       if (!wants(bidder, e) || !admits(holder, e)) continue;
-      auto& p = placed_[bidder];
-      if (p.size() >= (*quotas_)[bidder]) {
-        withdraw(bidder, p[weakest_index(p, weakest_placed_, bidder)]);
+      if (placed_.full(bidder)) {
+        withdraw(bidder, SuitorSlab::edge_of(placed_.weakest(bidder)));
       }
       place_bid(bidder, e);
     }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "matching/matching.hpp"
+#include "matching/suitor_slab.hpp"
 #include "obs/metrics.hpp"
 #include "prefs/weights.hpp"
 
@@ -97,7 +98,6 @@ class DynamicBSuitor {
   [[nodiscard]] const RepairStats& last_repair() const noexcept { return last_; }
 
  private:
-  static constexpr std::size_t kNoCache = static_cast<std::size_t>(-1);
   static constexpr std::uint8_t kBidFromU = 1;  ///< placed by edge.u, held at edge.v
   static constexpr std::uint8_t kBidFromV = 2;  ///< placed by edge.v, held at edge.u
 
@@ -113,9 +113,6 @@ class DynamicBSuitor {
   /// Would bidder gain by placing e (deficient, or e beats its weakest
   /// placed bid)?
   [[nodiscard]] bool wants(NodeId bidder, EdgeId e) const;
-  [[nodiscard]] std::size_t weakest_index(const std::vector<EdgeId>& set,
-                                          std::vector<std::size_t>& cache,
-                                          NodeId v) const;
 
   /// Place bidder's bid e; displaces the holder's weakest held bid if
   /// saturated (the loser re-seeks). Updates the matching when e is mutual.
@@ -142,11 +139,13 @@ class DynamicBSuitor {
   const Quotas* quotas_;
   std::vector<std::uint8_t> alive_;
   std::vector<std::uint8_t> edge_off_;
-  std::vector<std::uint8_t> bid_state_;          ///< per edge, kBidFrom* bits
-  std::vector<std::vector<EdgeId>> suitors_;     ///< bids I hold
-  std::vector<std::vector<EdgeId>> placed_;      ///< my bids that are held
-  mutable std::vector<std::size_t> weakest_suitor_;  ///< kNoCache when stale
-  mutable std::vector<std::size_t> weakest_placed_;  ///< kNoCache when stale
+  std::vector<std::uint8_t> bid_state_;  ///< per edge, kBidFrom* bits
+  // Both bid relations live in SuitorSlabs (the storage shared with the
+  // batch and parallel engines): admits/wants are one packed-word scan, and
+  // admit_if folds the displace-weakest step into the admission itself, so
+  // the weakest-index caches the vector-of-vectors design needed are gone.
+  SuitorSlab suitors_;  ///< bids I hold
+  SuitorSlab placed_;   ///< my bids that are held
 
   Matching m_;
   double weight_ = 0.0;

@@ -1,233 +1,379 @@
 #include "matching/parallel_bsuitor.hpp"
 
 #include <atomic>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
+#include "matching/suitor_slab.hpp"
 #include "obs/registry.hpp"
+#include "util/thread_pool.hpp"
 
 namespace overmatch::matching {
 namespace {
 
 using prefs::EdgeWeights;
 
-struct ParallelBSuitorInfo {
-  std::size_t proposals = 0;      ///< accepted bids across all threads
-  std::size_t displacements = 0;  ///< bids that knocked out a weaker suitor
-  std::size_t range_claims = 0;   ///< node ranges claimed from the shared counter
+/// Nodes per scheduler block. A multiple of 64 so the per-node byte/word
+/// arrays (state, displaced-counters, stack links) of two different blocks
+/// never share a cache line — block-local processing touches block-local
+/// lines only, which is the false-sharing fix for the per-node metadata
+/// (padding every 1-byte state to a line would cost 64× the memory).
+constexpr std::uint32_t kBlockNodes = 4096;
+/// Initial-range nodes claimed per cursor bump.
+constexpr std::uint32_t kInitChunk = 64;
+/// Treiber-stack nil. Also the value of an empty (tag, nil) head's low word.
+constexpr std::uint32_t kNilNode = 0xFFFF'FFFFu;
+
+/// Per-node scheduling state. All transitions are CAS RMWs (acq_rel on
+/// success), so the per-node history forms one release-sequence chain: any
+/// thread that wins a transition observes everything published before every
+/// earlier transition — that chain is what hands the non-atomic cursor and
+/// accept count from owner to owner, and what makes a displacer's counter
+/// increment visible to whichever lap processes it.
+enum NodeState : std::uint8_t {
+  kIdle = 0,     ///< not queued, not running
+  kQueued = 1,   ///< on its home block's requeue stack
+  kRunning = 2,  ///< owned by a worker's bidding lap
+  kRerun = 3,    ///< running, and displaced again since the lap began
 };
 
-/// Minimal test-and-set spinlock. Contention is rare (two threads touching
-/// the same node), so spinning with a yield beats a futex round-trip.
-class SpinLock {
- public:
-  void lock() noexcept {
-    while (flag_.test_and_set(std::memory_order_acquire)) {
-      std::this_thread::yield();
-    }
-  }
-  void unlock() noexcept { flag_.clear(std::memory_order_release); }
-
- private:
-  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+struct Tally {
+  std::size_t proposals = 0;      ///< accept events (incl. later-displaced)
+  std::size_t displacements = 0;  ///< admitted bids knocked out
+  std::size_t range_claims = 0;   ///< initial-range chunks claimed
+  std::size_t steals = 0;         ///< drains of a non-owned block
 };
 
-/// Concurrent suitor heaps for all nodes in one slab. Node v's heap lives in
-/// heap_[off_[v] .. off_[v] + count_[v]) with the *weakest* suitor (largest
-/// key) at the root; all per-node operations must run under that node's
-/// suitor lock.
-class SuitorHeaps {
+/// One scheduler block: an initial node range claimed in chunks through an
+/// atomic cursor, plus a tagged Treiber stack of requeued (displaced) nodes.
+/// Cache-line aligned and padded so two blocks' hot atomics never share a
+/// line (the spinlock-era `vector<SpinLock>` packed ~64 locks per line).
+struct alignas(64) Block {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::atomic<std::uint32_t> init_next{0};
+  std::atomic<std::uint64_t> requeue{(std::uint64_t{0} << 32) | kNilNode};
+};
+
+class Engine {
  public:
-  SuitorHeaps(const EdgeWeights& w, const Quotas& quotas)
-      : w_(&w), off_(w.graph().num_nodes() + 1, 0) {
-    const auto& g = w.graph();
-    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-      // A node can hold at most min(quota, degree) suitors.
-      off_[v + 1] = off_[v] + std::min<std::size_t>(quotas[v], g.degree(v));
-    }
-    heap_.assign(off_.back(), graph::kInvalidEdge);
-    count_.assign(g.num_nodes(), 0);
-  }
-
-  /// Would v admit e right now? One integer compare once the heap is full.
-  [[nodiscard]] bool admits(NodeId v, EdgeId e, std::uint32_t quota) const {
-    if (count_[v] < quota && count_[v] < capacity(v)) return true;
-    if (capacity(v) == 0) return false;
-    return w_->key(e) < w_->key(heap_[off_[v]]);  // beats the weakest (root)
-  }
-
-  /// Admit e at v; returns the displaced edge or kInvalidEdge. Caller must
-  /// have checked admits() under the same lock acquisition.
-  EdgeId admit(NodeId v, EdgeId e) {
-    EdgeId* h = heap_.data() + off_[v];
-    std::size_t& cnt = count_[v];
-    if (cnt < capacity(v)) {
-      h[cnt] = e;
-      sift_up(h, cnt);
-      ++cnt;
-      return graph::kInvalidEdge;
-    }
-    const EdgeId out = h[0];
-    h[0] = e;
-    sift_down(h, cnt, 0);
-    return out;
-  }
-
-  [[nodiscard]] bool holds(NodeId v, EdgeId e) const {
-    const EdgeId* h = heap_.data() + off_[v];
-    for (std::size_t i = 0; i < count_[v]; ++i) {
-      if (h[i] == e) return true;
-    }
-    return false;
-  }
-
- private:
-  [[nodiscard]] std::size_t capacity(NodeId v) const { return off_[v + 1] - off_[v]; }
-  // Max-heap on key (weakest edge = largest key at the root).
-  [[nodiscard]] bool above(EdgeId a, EdgeId b) const {
-    return w_->key(a) > w_->key(b);
-  }
-  void sift_up(EdgeId* h, std::size_t i) const {
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 2;
-      if (!above(h[i], h[parent])) break;
-      std::swap(h[i], h[parent]);
-      i = parent;
+  Engine(const EdgeWeights& w, const Quotas& quotas)
+      : w_(&w),
+        g_(&w.graph()),
+        quotas_(&quotas),
+        slab_(w, quotas),
+        cursor_(g_->num_nodes(), 0),
+        accepts_(g_->num_nodes(), 0),
+        displaced_(g_->num_nodes()),
+        state_(g_->num_nodes()),
+        qnext_(g_->num_nodes()),
+        pending_(g_->num_nodes()) {
+    OM_CHECK(quotas.size() == g_->num_nodes());
+    for (auto& d : displaced_) d.store(0, std::memory_order_relaxed);
+    for (auto& s : state_) s.store(kIdle, std::memory_order_relaxed);
+    for (auto& q : qnext_) q.store(kNilNode, std::memory_order_relaxed);
+    const std::uint32_t n = static_cast<std::uint32_t>(g_->num_nodes());
+    blocks_ = std::vector<Block>((n + kBlockNodes - 1) / kBlockNodes);
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      blocks_[b].begin = static_cast<std::uint32_t>(b) * kBlockNodes;
+      blocks_[b].end = std::min(blocks_[b].begin + kBlockNodes, n);
+      blocks_[b].init_next.store(blocks_[b].begin, std::memory_order_relaxed);
     }
   }
-  void sift_down(EdgeId* h, std::size_t n, std::size_t i) const {
+
+  /// Worker body: drain owned blocks (requeue stacks first, then initial
+  /// ranges), steal from any block when dry, exit when no tokens remain.
+  void run(std::size_t tid, std::size_t nworkers, Tally& t) {
+    const std::size_t nblocks = blocks_.size();
     for (;;) {
-      std::size_t best = i;
-      const std::size_t l = 2 * i + 1;
-      const std::size_t r = 2 * i + 2;
-      if (l < n && above(h[l], h[best])) best = l;
-      if (r < n && above(h[r], h[best])) best = r;
-      if (best == i) return;
-      std::swap(h[i], h[best]);
-      i = best;
+      bool did = false;
+      for (std::size_t b = tid; b < nblocks; b += nworkers) {
+        did |= drain_block(blocks_[b], t);
+      }
+      if (!did) {
+        for (std::size_t i = 0; i < nblocks; ++i) {
+          const std::size_t b = (tid + i) % nblocks;
+          if (drain_block(blocks_[b], t)) {
+            // Crediting any hit during the sweep as a steal over-counts a
+            // worker's own blocks slightly; the sweep only runs when those
+            // were dry a moment ago, so the signal stays honest.
+            ++t.steals;
+            did = true;
+            break;
+          }
+        }
+      }
+      if (!did) {
+        if (pending_.load(std::memory_order_acquire) == 0) return;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  void merge(const Tally& t) {
+    proposals_.fetch_add(t.proposals, std::memory_order_relaxed);
+    displacements_.fetch_add(t.displacements, std::memory_order_relaxed);
+    range_claims_.fetch_add(t.range_claims, std::memory_order_relaxed);
+    steals_.fetch_add(t.steals, std::memory_order_relaxed);
+  }
+
+  /// Matched edges are mutual suitor relationships (read-only post-pass; all
+  /// workers have finished, so plain reads suffice).
+  [[nodiscard]] Matching extract() const {
+    Matching m(*g_, *quotas_);
+    for (EdgeId e = 0; e < g_->num_edges(); ++e) {
+      const auto& [u, v] = g_->edge(e);
+      if (slab_.holds(u, e) && slab_.holds(v, e)) m.add(e);
+    }
+    return m;
+  }
+
+  [[nodiscard]] Tally totals() const {
+    return {proposals_.load(), displacements_.load(), range_claims_.load(),
+            steals_.load()};
+  }
+
+ private:
+  [[nodiscard]] Block& home_block(NodeId u) { return blocks_[u / kBlockNodes]; }
+
+  void push(Block& b, NodeId u) {
+    std::uint64_t head = b.requeue.load(std::memory_order_relaxed);
+    for (;;) {
+      qnext_[u].store(static_cast<std::uint32_t>(head),
+                      std::memory_order_relaxed);
+      const std::uint64_t next = (((head >> 32) + 1) << 32) | u;
+      if (b.requeue.compare_exchange_weak(head, next, std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] NodeId pop(Block& b) {
+    std::uint64_t head = b.requeue.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t u = static_cast<std::uint32_t>(head);
+      if (u == kNilNode) return kNilNode;
+      // qnext_[u] may be stale if `head` is; the tag (high 32 bits, bumped by
+      // every push and pop) makes the CAS fail in that case — classic
+      // ABA-proof Treiber pop.
+      const std::uint32_t next = qnext_[u].load(std::memory_order_relaxed);
+      const std::uint64_t nh = (((head >> 32) + 1) << 32) | next;
+      if (b.requeue.compare_exchange_weak(head, nh, std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        return u;
+      }
+    }
+  }
+
+  /// Requeue a displaced loser. Never blocks: an idle loser goes onto its
+  /// home block's stack, a running one gets its lap flagged for a rerun.
+  /// Every branch resolves through a CAS — including the same-value confirm
+  /// for the queued/rerun no-ops — so the decision is always taken against
+  /// the *current* state and the displaced-counter increment that precedes
+  /// this call is published into the node's state chain.
+  void enqueue(NodeId u) {
+    std::uint8_t s = state_[u].load(std::memory_order_relaxed);
+    for (;;) {
+      switch (s) {
+        case kIdle:
+          if (state_[u].compare_exchange_weak(s, kQueued,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+            pending_.fetch_add(1, std::memory_order_relaxed);
+            push(home_block(u), u);
+            return;
+          }
+          break;
+        case kRunning:
+          if (state_[u].compare_exchange_weak(s, kRerun,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+            return;
+          }
+          break;
+        default:  // kQueued or kRerun: already covered — confirm freshness
+          if (state_[u].compare_exchange_weak(s, s, std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+            return;
+          }
+          break;
+      }
+    }
+  }
+
+  /// Bidding laps for an owned node (state == kRunning). u bids heaviest-
+  /// first until it holds quota-many accepted bids or runs out of candidates
+  /// it could still win; the lap repeats while displacements flag a rerun.
+  void process(NodeId u, Tally& t) {
+    const auto candidates = w_->incident(u);
+    const std::uint32_t qu = (*quotas_)[u];
+    for (;;) {
+      std::uint32_t cur = cursor_[u];
+      while (cur < candidates.size()) {
+        // Relaxed is enough mid-lap: a stale (small) displaced count can only
+        // stop the lap early, and any pending displacement has also flagged
+        // kRerun — the commit CAS below catches it and laps again.
+        const std::uint32_t held =
+            accepts_[u] - displaced_[u].load(std::memory_order_relaxed);
+        if (held >= qu) break;
+        const EdgeId e = candidates[cur];
+        const NodeId v = g_->edge(e).other(u);
+        const auto res = slab_.try_admit(v, slab_.word_of(e));
+        ++cur;
+        if (!res.accepted) continue;  // v's suitors only get heavier: skip for good
+        ++accepts_[u];
+        ++t.proposals;
+        if (res.displaced != SuitorSlab::kEmpty) {
+          ++t.displacements;
+          const EdgeId d = SuitorSlab::edge_of(res.displaced);
+          const NodeId loser = g_->edge(d).other(v);
+          displaced_[loser].fetch_add(1, std::memory_order_relaxed);
+          enqueue(loser);  // re-bid for a replacement slot
+        }
+      }
+      cursor_[u] = cur;
+      std::uint8_t expect = kRunning;
+      if (state_[u].compare_exchange_strong(expect, kIdle,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+        return;
+      }
+      // Displaced mid-lap (kRerun): consume the flag and lap again. The
+      // cursor never rewinds — a displaced bid's edge was already passed, so
+      // re-bidding continues at the next candidate, exactly the sequential
+      // re-bid rule.
+      OM_CHECK(expect == kRerun);
+      const bool consumed = state_[u].compare_exchange_strong(
+          expect, kRunning, std::memory_order_acq_rel,
+          std::memory_order_acquire);
+      OM_CHECK_MSG(consumed, "only the owning worker consumes kRerun");
+    }
+  }
+
+  void run_popped(NodeId u, Tally& t) {
+    std::uint8_t expect = kQueued;
+    const bool claimed = state_[u].compare_exchange_strong(
+        expect, kRunning, std::memory_order_acq_rel, std::memory_order_acquire);
+    OM_CHECK_MSG(claimed, "a popped node is exclusively the popper's");
+    process(u, t);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  void run_initial(NodeId u, Tally& t) {
+    std::uint8_t expect = kIdle;
+    if (state_[u].compare_exchange_strong(expect, kRunning,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      process(u, t);
+    }
+    // Claimed and processed, or already queued/running under a displacement
+    // token that covers the remaining work — either way this initial token
+    // is spent.
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  /// Drain one block: requeued losers first (hot, small), then a chunk of
+  /// the initial range, alternating until both are dry. Returns whether any
+  /// node was processed.
+  bool drain_block(Block& b, Tally& t) {
+    bool did = false;
+    for (;;) {
+      bool round = false;
+      for (NodeId u; (u = pop(b)) != kNilNode;) {
+        run_popped(u, t);
+        round = true;
+      }
+      std::uint32_t i = b.init_next.load(std::memory_order_relaxed);
+      if (i < b.end) {
+        const std::uint32_t next = std::min(i + kInitChunk, b.end);
+        if (b.init_next.compare_exchange_strong(i, next,
+                                                std::memory_order_relaxed)) {
+          ++t.range_claims;
+          for (std::uint32_t u = i; u < next; ++u) run_initial(u, t);
+          round = true;
+        }
+      }
+      if (!round) return did;
+      did = true;
     }
   }
 
   const EdgeWeights* w_;
-  std::vector<std::size_t> off_;
-  std::vector<EdgeId> heap_;
-  std::vector<std::size_t> count_;
+  const graph::Graph* g_;
+  const Quotas* quotas_;
+  SuitorSlab slab_;
+
+  // Owner-only per-node state, handed between workers by the state chain.
+  std::vector<std::uint32_t> cursor_;   ///< next candidate in incident(u)
+  std::vector<std::uint32_t> accepts_;  ///< bids of u ever admitted
+  // Written by displacing threads; held(u) = accepts_[u] − displaced_[u].
+  std::vector<std::atomic<std::uint32_t>> displaced_;
+  std::vector<std::atomic<std::uint8_t>> state_;
+  std::vector<std::atomic<std::uint32_t>> qnext_;  ///< Treiber stack links
+  std::vector<Block> blocks_;
+  std::atomic<std::size_t> pending_;  ///< queued/running/unclaimed-initial tokens
+
+  std::atomic<std::size_t> proposals_{0};
+  std::atomic<std::size_t> displacements_{0};
+  std::atomic<std::size_t> range_claims_{0};
+  std::atomic<std::size_t> steals_{0};
 };
 
-Matching parallel_b_suitor_impl(const prefs::EdgeWeights& w, const Quotas& quotas,
-                                std::size_t threads, ParallelBSuitorInfo& out_stats) {
-  const auto& g = w.graph();
-  const std::size_t n = g.num_nodes();
-  OM_CHECK(quotas.size() == n);
-  OM_CHECK(threads >= 1);
+void emit(obs::Registry* registry, const Tally& t) {
+  if (registry == nullptr) return;
+  registry->counter("pbsuitor.proposals").inc(t.proposals);
+  registry->counter("pbsuitor.displacements").inc(t.displacements);
+  // Net bids still placed at quiescence. Unlike the two event counters —
+  // whose split is interleaving-dependent — this difference is determined by
+  // the unique fixed point (see DESIGN.md §7).
+  registry->counter("pbsuitor.bids_placed").inc(t.proposals - t.displacements);
+  registry->counter("pbsuitor.range_claims").inc(t.range_claims);
+  registry->counter("pbsuitor.steals").inc(t.steals);
+}
 
-  SuitorHeaps suitors(w, quotas);
-  std::vector<SpinLock> suitor_lock(n);
-  std::vector<SpinLock> bid_lock(n);
-  // cursor[u] is only touched while holding bid_lock[u]; bids_held is
-  // mutated lock-free by displacing threads.
-  std::vector<std::size_t> cursor(n, 0);
-  std::vector<std::atomic<std::uint32_t>> bids_held(n);
-  for (auto& b : bids_held) b.store(0, std::memory_order_relaxed);
-
-  // Work-stealing over node ranges: threads repeatedly claim the next chunk
-  // of nodes from a shared counter, so load imbalance (hub nodes, displaced
-  // cascades) self-corrects without a scheduler.
-  constexpr std::size_t kChunk = 128;
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> total_proposals{0};
-  std::atomic<std::size_t> total_displacements{0};
-  std::atomic<std::size_t> total_claims{0};
-
-  const auto worker = [&] {
-    std::size_t proposals = 0;
-    std::size_t displacements = 0;
-    std::size_t claims = 0;
-    std::vector<NodeId> pending;  // displaced losers, processed locally
-
-    const auto process = [&](NodeId u) {
-      bid_lock[u].lock();
-      const auto candidates = w.incident(u);
-      const std::uint32_t qu = quotas[u];
-      while (bids_held[u].load(std::memory_order_relaxed) < qu &&
-             cursor[u] < candidates.size()) {
-        const EdgeId e = candidates[cursor[u]];
-        const NodeId v = g.edge(e).other(u);
-        // Check + admit under one suitor-lock acquisition (no TOCTOU).
-        EdgeId displaced = graph::kInvalidEdge;
-        bool accepted = false;
-        suitor_lock[v].lock();
-        if (suitors.admits(v, e, quotas[v])) {
-          displaced = suitors.admit(v, e);
-          accepted = true;
-        }
-        suitor_lock[v].unlock();
-        ++cursor[u];
-        if (!accepted) continue;  // v's suitors only get heavier: skip for good
-        ++proposals;
-        bids_held[u].fetch_add(1, std::memory_order_relaxed);
-        if (displaced != graph::kInvalidEdge) {
-          ++displacements;
-          const NodeId loser = g.edge(displaced).other(v);
-          bids_held[loser].fetch_sub(1, std::memory_order_relaxed);
-          pending.push_back(loser);  // re-bid for a replacement slot
-        }
-      }
-      bid_lock[u].unlock();
-    };
-
-    for (;;) {
-      if (!pending.empty()) {
-        const NodeId u = pending.back();
-        pending.pop_back();
-        process(u);
-        continue;
-      }
-      const std::size_t begin = next.fetch_add(kChunk, std::memory_order_relaxed);
-      if (begin >= n) break;
-      ++claims;
-      const std::size_t end = std::min(begin + kChunk, n);
-      for (std::size_t v = begin; v < end; ++v) process(static_cast<NodeId>(v));
-    }
-    total_proposals.fetch_add(proposals, std::memory_order_relaxed);
-    total_displacements.fetch_add(displacements, std::memory_order_relaxed);
-    total_claims.fetch_add(claims, std::memory_order_relaxed);
-  };
-
-  if (threads == 1) {
-    worker();
+Matching run_engine(const EdgeWeights& w, const Quotas& quotas,
+                    util::ThreadPool* pool, std::size_t workers,
+                    obs::Registry* registry) {
+  Engine eng(w, quotas);
+  if (workers <= 1 || pool == nullptr) {
+    Tally t;
+    eng.run(0, 1, t);
+    eng.merge(t);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
+    for (std::size_t tid = 1; tid < workers; ++tid) {
+      pool->submit([&eng, tid, workers] {
+        Tally t;
+        eng.run(tid, workers, t);
+        eng.merge(t);
+      });
+    }
+    Tally t;
+    eng.run(0, workers, t);
+    eng.merge(t);
+    pool->wait_idle();
   }
-
-  // Matched edges are mutual suitor relationships (read-only post-pass; all
-  // workers have joined, so no locks are needed).
-  Matching m(g, quotas);
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const auto& [u, v] = g.edge(e);
-    if (suitors.holds(u, e) && suitors.holds(v, e)) m.add(e);
-  }
-  out_stats.proposals = total_proposals.load();
-  out_stats.displacements = total_displacements.load();
-  out_stats.range_claims = total_claims.load();
-  return m;
+  emit(registry, eng.totals());
+  return eng.extract();
 }
 
 }  // namespace
 
 Matching parallel_b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
                            std::size_t threads, obs::Registry* registry) {
-  ParallelBSuitorInfo stats;
-  Matching m = parallel_b_suitor_impl(w, quotas, threads, stats);
-  if (registry != nullptr) {
-    registry->counter("pbsuitor.proposals").inc(stats.proposals);
-    registry->counter("pbsuitor.displacements").inc(stats.displacements);
-    registry->counter("pbsuitor.range_claims").inc(stats.range_claims);
-  }
-  return m;
+  OM_CHECK(threads >= 1);
+  if (threads == 1) return run_engine(w, quotas, nullptr, 1, registry);
+  // Transient pool of threads−1 workers; the caller is worker 0, so the run
+  // uses exactly `threads` threads. Callers that solve repeatedly should use
+  // the pool overload and pay thread startup once.
+  util::ThreadPool pool(threads - 1);
+  return run_engine(w, quotas, &pool, threads, registry);
+}
+
+Matching parallel_b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
+                           util::ThreadPool& pool, obs::Registry* registry) {
+  return run_engine(w, quotas, &pool, pool.size() + 1, registry);
 }
 
 }  // namespace overmatch::matching

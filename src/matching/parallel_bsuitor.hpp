@@ -1,27 +1,29 @@
 // Shared-memory parallel b-Suitor (Khan–Pothen style) for ½-approximate
-// maximum weight b-matching.
+// maximum weight b-matching — lock-free admission over a packed-word
+// `SuitorSlab`, block-partitioned scheduling, pool-backed execution.
 //
-// Threads claim contiguous node ranges from a shared atomic counter
-// (work-stealing over ranges: a fast thread simply claims more ranges) and
-// run the bidding loop for each claimed node. Per-node state is protected by
-// two arrays of spinlocks:
-//  * a *suitor* lock guarding node v's suitor heap — held only for the O(log b)
-//    admit check + insertion, never while acquiring another lock;
-//  * a *bid* lock serializing the bidding loop of a single node (a node can be
-//    displaced concurrently from two different partners and must not be
-//    re-processed by two threads at once).
-// Lock acquisition order is bid(u) → suitor(v) with suitor locks never
-// nested, so the wait-for graph is acyclic and deadlock-free. Displaced
-// losers go to the displacing thread's local stack — work is conserved
-// without any global queue or mutex.
+// Admission is a CAS on the weakest suitor slot: each slot is one 64-bit
+// (weight-key, edge-id) word whose integer order equals the heavier order,
+// and slot words only ever decrease (bids get heavier), so a scan-then-CAS
+// loop needs no per-node lock and a reject is final — exactly the sequential
+// "skip for good" rule. There are no spinlocks anywhere on the bidding path.
 //
-// Each node's suitor set is a small binary heap keyed by the precomputed
-// 64-bit weight keys with the *weakest* suitor at the root, so the
-// admit-or-reject decision is one integer compare and displacement is
-// O(log b). Because the weight order is a strict total order, the b-Suitor
-// fixed point is unique: the parallel run produces the *identical* matching
-// to the sequential `b_suitor` (and to LIC/LID) regardless of thread
-// interleaving — tests and the TSan stress suite verify this.
+// Scheduling partitions the node range into cache-line-aligned blocks
+// (kBlockNodes is a multiple of 64, so the per-node byte/word arrays of two
+// blocks never share a cache line). Each worker owns the blocks congruent to
+// its index and drains them: first the block's *requeue stack* (a tagged
+// Treiber stack of displaced losers — displacements push the loser back to
+// its home block, keeping its cursor/slab lines on their home thread), then
+// the block's initial node range, claimed in small chunks from an atomic
+// cursor. A worker whose own blocks run dry steals from other blocks; an
+// atomic token count detects termination. Per-node bidding is serialized by
+// a 4-state word (idle/queued/running/rerun): a displacer never waits for a
+// running owner — it flags a rerun and moves on.
+//
+// Because the weight order is a strict total order, the b-Suitor fixed point
+// is unique: every thread count and interleaving produces the *identical*
+// matching to sequential `b_suitor` (and LIC/LID) — ctest-enforced, including
+// a ≥2× four-thread speedup gate on multicore hosts. See DESIGN.md §11.
 #pragma once
 
 #include <cstddef>
@@ -33,15 +35,35 @@ namespace overmatch::obs {
 class Registry;
 }
 
+namespace overmatch::util {
+class ThreadPool;
+}
+
 namespace overmatch::matching {
 
-/// Runs the parallel b-suitor on `threads` workers. Produces the same
+/// Runs the parallel b-suitor on `threads` workers total (the calling thread
+/// is one of them; a transient pool supplies the rest). Produces the same
 /// matching as sequential b_suitor for any thread count and interleaving.
-/// `registry` (optional, caller-owned) receives `pbsuitor.proposals`,
-/// `pbsuitor.displacements`, and `pbsuitor.range_claims` (node ranges
-/// claimed from the shared work-stealing counter).
+///
+/// `registry` (optional, caller-owned) receives:
+///  * `pbsuitor.proposals`     — accept events (bids admitted, including
+///                               those later displaced);
+///  * `pbsuitor.displacements` — admitted bids knocked out by heavier ones;
+///  * `pbsuitor.bids_placed`   — net bids still placed at quiescence, i.e.
+///                               proposals − displacements (see DESIGN.md §7);
+///  * `pbsuitor.range_claims`  — initial-range chunks claimed from the
+///                               per-block cursors;
+///  * `pbsuitor.steals`        — work taken from a non-owned block.
 [[nodiscard]] Matching parallel_b_suitor(const prefs::EdgeWeights& w,
                                          const Quotas& quotas, std::size_t threads,
+                                         obs::Registry* registry = nullptr);
+
+/// Pool-backed variant: workers run as `pool` tasks plus the calling thread,
+/// so one pool serves the whole solve (`SolveOptions::pool` / `--threads`)
+/// instead of spawning fresh threads per call. Uses pool.size() + 1 workers.
+[[nodiscard]] Matching parallel_b_suitor(const prefs::EdgeWeights& w,
+                                         const Quotas& quotas,
+                                         util::ThreadPool& pool,
                                          obs::Registry* registry = nullptr);
 
 }  // namespace overmatch::matching

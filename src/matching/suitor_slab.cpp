@@ -1,0 +1,115 @@
+#include "matching/suitor_slab.hpp"
+
+#include <algorithm>
+
+namespace overmatch::matching {
+
+SuitorSlab::SuitorSlab(const prefs::EdgeWeights& w, const Quotas& quotas)
+    : w_(&w), off_(w.graph().num_nodes() + 1, 0) {
+  const auto& g = w.graph();
+  // Packing needs key and edge id in 32 bits each; the key is the edge's
+  // dense rank, so both are < num_edges. Far beyond any in-memory instance.
+  OM_CHECK_MSG(g.num_edges() < 0xFFFF'FFFFull,
+               "SuitorSlab packs (key, edge) into 64 bits: m must be < 2^32-1");
+  OM_CHECK(quotas.size() == g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    off_[v + 1] = off_[v] + std::min<std::size_t>(quotas[v], g.degree(v));
+  }
+  slots_ = std::vector<std::atomic<Word>>(off_.back());
+  for (auto& s : slots_) s.store(kEmpty, std::memory_order_relaxed);
+}
+
+std::size_t SuitorSlab::count(NodeId v) const {
+  const std::atomic<Word>* s = slots_.data() + off_[v];
+  const std::size_t cap = capacity(v);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < cap; ++i) {
+    if (s[i].load(std::memory_order_relaxed) != kEmpty) ++n;
+  }
+  return n;
+}
+
+SuitorSlab::Admit SuitorSlab::admit_if(NodeId v, Word word) {
+  std::atomic<Word>* s = slots_.data() + off_[v];
+  const std::size_t cap = capacity(v);
+  if (cap == 0) return {};
+  std::size_t mi = 0;
+  Word mw = s[0].load(std::memory_order_relaxed);
+  for (std::size_t i = 1; i < cap; ++i) {
+    const Word wi = s[i].load(std::memory_order_relaxed);
+    if (wi > mw) {
+      mw = wi;
+      mi = i;
+    }
+  }
+  if (word >= mw) return {};
+  s[mi].store(word, std::memory_order_relaxed);
+  return {true, mw == kEmpty ? kEmpty : mw};
+}
+
+void SuitorSlab::erase(NodeId v, EdgeId e) {
+  std::atomic<Word>* s = slots_.data() + off_[v];
+  const std::size_t cap = capacity(v);
+  const Word word = word_of(e);
+  for (std::size_t i = 0; i < cap; ++i) {
+    if (s[i].load(std::memory_order_relaxed) == word) {
+      s[i].store(kEmpty, std::memory_order_relaxed);
+      return;
+    }
+  }
+  OM_CHECK_MSG(false, "SuitorSlab::erase of a bid not held");
+}
+
+bool SuitorSlab::holds(NodeId v, EdgeId e) const {
+  const std::atomic<Word>* s = slots_.data() + off_[v];
+  const std::size_t cap = capacity(v);
+  const Word word = word_of(e);
+  for (std::size_t i = 0; i < cap; ++i) {
+    if (s[i].load(std::memory_order_relaxed) == word) return true;
+  }
+  return false;
+}
+
+SuitorSlab::Word SuitorSlab::weakest(NodeId v) const {
+  const std::atomic<Word>* s = slots_.data() + off_[v];
+  const std::size_t cap = capacity(v);
+  Word weakest = kEmpty;
+  for (std::size_t i = 0; i < cap; ++i) {
+    const Word word = s[i].load(std::memory_order_relaxed);
+    if (word == kEmpty) continue;
+    if (weakest == kEmpty || word > weakest) weakest = word;
+  }
+  return weakest;
+}
+
+SuitorSlab::Admit SuitorSlab::try_admit(NodeId v, Word word) {
+  std::atomic<Word>* s = slots_.data() + off_[v];
+  const std::size_t cap = capacity(v);
+  if (cap == 0) return {};
+  for (;;) {
+    // Find the weakest slot. Relaxed loads are safe: slot words only
+    // decrease, so a stale read can only *overstate* the weakest word — the
+    // CAS below re-validates before anything is admitted, and a reject
+    // computed from an overstated bound is still a reject against every
+    // current (heavier) value.
+    std::size_t mi = 0;
+    Word mw = s[0].load(std::memory_order_relaxed);
+    for (std::size_t i = 1; i < cap; ++i) {
+      const Word wi = s[i].load(std::memory_order_relaxed);
+      if (wi > mw) {
+        mw = wi;
+        mi = i;
+      }
+    }
+    if (word >= mw) return {};  // final: v's suitors only get heavier
+    if (s[mi].compare_exchange_weak(mw, word, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      return {true, mw == kEmpty ? kEmpty : mw};
+    }
+    // Lost the race: a heavier bid took the slot. Rescan — each failure
+    // means some admission succeeded, so retries are bounded by the
+    // admissions still possible at v.
+  }
+}
+
+}  // namespace overmatch::matching

@@ -1,0 +1,143 @@
+// SuitorSlab — struct-of-arrays suitor storage shared by every b-Suitor
+// engine (sequential `b_suitor`, lock-free `parallel_b_suitor`, stateful
+// `DynamicBSuitor`).
+//
+// Each node v owns a fixed run of min(b_v, deg(v)) *slots* inside one flat
+// slab. A slot is a single 64-bit word packing (weight-key << 32 | edge-id);
+// because `EdgeWeights::Key` is the edge's dense rank under the strict
+// heavier-than order (smaller = heavier) and both the key and the edge id fit
+// in 32 bits, plain integer order on packed words *is* the weight order:
+// smaller word = heavier suitor, and the all-ones word `kEmpty` (an empty
+// slot) is weaker than every real bid. One unsigned compare therefore answers
+// "free slot or beats the weakest?" with no branches on emptiness.
+//
+// The monotonicity invariant that makes the layout safe to share with the
+// concurrent engine: a slot's word only ever *decreases* (bids get heavier —
+// admission replaces the weakest slot with a strictly smaller word). Under
+// that invariant `try_admit` needs no lock: scan for the maximum word, CAS it
+// down, rescan on failure. A stale scan can only overestimate the weakest
+// word, so a reject is final (exactly the sequential "skip for good" rule)
+// and a failed CAS means another, heavier bid landed first — progress was
+// made globally, and the retry count per call is bounded by the node's
+// capacity times the admissions that can still beat it.
+//
+// The sequential API uses the same slots through relaxed atomic accesses
+// (compiled to plain loads/stores); engines that never share the slab across
+// threads pay no synchronization. See DESIGN.md §11.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "prefs/weights.hpp"
+
+namespace overmatch::matching {
+
+using graph::EdgeId;
+using graph::NodeId;
+using prefs::Quotas;
+
+class SuitorSlab {
+ public:
+  using Word = std::uint64_t;
+  using Key = prefs::EdgeWeights::Key;
+
+  /// Empty-slot sentinel; weaker than any packed bid.
+  static constexpr Word kEmpty = ~Word{0};
+
+  /// Capacity per node is min(quota, degree): a node can never hold more
+  /// suitors than incident edges, so the slab stays O(Σ min(b_v, deg_v)).
+  SuitorSlab(const prefs::EdgeWeights& w, const Quotas& quotas);
+
+  [[nodiscard]] static constexpr Word pack(Key key, EdgeId e) noexcept {
+    return (key << 32) | Word{e};
+  }
+  [[nodiscard]] static constexpr EdgeId edge_of(Word word) noexcept {
+    return static_cast<EdgeId>(word & 0xFFFF'FFFFu);
+  }
+  /// The packed word for edge e under this slab's weight order.
+  [[nodiscard]] Word word_of(EdgeId e) const { return pack(w_->key(e), e); }
+
+  [[nodiscard]] std::size_t capacity(NodeId v) const {
+    return off_[v + 1] - off_[v];
+  }
+  /// Non-empty slots at v (O(capacity) scan; capacities are tiny).
+  [[nodiscard]] std::size_t count(NodeId v) const;
+
+  /// Result of an admission attempt. `displaced` is kEmpty when the bid
+  /// landed in a free slot (or when rejected).
+  struct Admit {
+    bool accepted = false;
+    Word displaced = kEmpty;
+  };
+
+  // ---- sequential API (single-owner access; relaxed = plain memory ops) ---
+
+  /// Would v admit `word` right now? True iff v has a free slot or `word`
+  /// beats v's weakest suitor. Capacity-0 nodes admit nothing.
+  [[nodiscard]] bool admits(NodeId v, Word word) const {
+    const std::size_t cap = capacity(v);
+    return cap != 0 && word < max_word(v, cap);
+  }
+
+  /// Check-and-admit in one scan: on success the weakest slot (or a free
+  /// one) now holds `word` and the displaced bid, if any, is returned.
+  Admit admit_if(NodeId v, Word word);
+
+  /// Remove edge e's bid from v's slots. Pre: holds(v, e).
+  void erase(NodeId v, EdgeId e);
+
+  [[nodiscard]] bool holds(NodeId v, EdgeId e) const;
+
+  /// v's weakest *current* bid (largest non-empty word), or kEmpty when v
+  /// holds none. Distinct from the admission bound, which treats free slots
+  /// as weakest-of-all.
+  [[nodiscard]] Word weakest(NodeId v) const;
+
+  /// All slots taken (a capacity-0 node is vacuously full).
+  [[nodiscard]] bool full(NodeId v) const {
+    const std::size_t cap = capacity(v);
+    return cap == 0 || max_word(v, cap) != kEmpty;
+  }
+
+  /// Visit every held bid at v: f(EdgeId). Order is slot order, not weight
+  /// order.
+  template <typename F>
+  void for_each(NodeId v, F&& f) const {
+    const std::atomic<Word>* s = slots_.data() + off_[v];
+    const std::size_t cap = capacity(v);
+    for (std::size_t i = 0; i < cap; ++i) {
+      const Word word = s[i].load(std::memory_order_relaxed);
+      if (word != kEmpty) f(edge_of(word));
+    }
+  }
+
+  // ---- concurrent API (parallel_b_suitor) --------------------------------
+
+  /// Lock-free admission: CAS `word` over the weakest slot, rescanning while
+  /// other bids land. A reject is final under the monotone-slot invariant
+  /// (slots only get heavier), exactly matching the sequential rule; the
+  /// retry loop is bounded by the admissions that can still occur at v.
+  Admit try_admit(NodeId v, Word word);
+
+ private:
+  /// Max over *all* slot words (empties = kEmpty, i.e. weakest). This is the
+  /// admission bound. Pre: cap > 0.
+  [[nodiscard]] Word max_word(NodeId v, std::size_t cap) const {
+    const std::atomic<Word>* s = slots_.data() + off_[v];
+    Word m = s[0].load(std::memory_order_relaxed);
+    for (std::size_t i = 1; i < cap; ++i) {
+      const Word word = s[i].load(std::memory_order_relaxed);
+      if (word > m) m = word;
+    }
+    return m;
+  }
+
+  const prefs::EdgeWeights* w_;
+  std::vector<std::size_t> off_;          ///< per-node slot offsets (CSR)
+  std::vector<std::atomic<Word>> slots_;  ///< packed (key, edge) words
+};
+
+}  // namespace overmatch::matching

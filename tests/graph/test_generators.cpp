@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "graph/properties.hpp"
 
 namespace overmatch::graph {
@@ -14,6 +17,28 @@ TEST(ErdosRenyi, EdgeCountNearExpectation) {
   const Graph g = erdos_renyi(n, p, rng);
   const double expected = p * static_cast<double>(n * (n - 1) / 2);
   EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.25);
+}
+
+TEST(ErdosRenyi, SparseSkipSamplerMatchesExpectation) {
+  // Exercises the Batagelj–Brandes geometric-skip path at bench-like sparsity
+  // (avg degree 8): edge count concentrates tightly around p·C(n,2), edges are
+  // unique, and endpoints stay in range.
+  util::Rng rng(21);
+  const std::size_t n = 20000;
+  const double p = 8.0 / static_cast<double>(n - 1);
+  const Graph g = erdos_renyi(n, p, rng);
+  const double expected = p * static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.05);
+  std::unordered_set<std::uint64_t> seen;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    ASSERT_LT(ed.u, n);
+    ASSERT_LT(ed.v, n);
+    ASSERT_NE(ed.u, ed.v);
+    const auto a = std::min(ed.u, ed.v);
+    const auto b = std::max(ed.u, ed.v);
+    ASSERT_TRUE(seen.insert((static_cast<std::uint64_t>(a) << 32) | b).second);
+  }
 }
 
 TEST(ErdosRenyi, ExtremeProbabilities) {

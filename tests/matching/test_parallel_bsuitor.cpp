@@ -7,6 +7,7 @@
 #include "matching/lic.hpp"
 #include "matching/verify.hpp"
 #include "tests/matching/common.hpp"
+#include "util/thread_pool.hpp"
 
 namespace overmatch::matching {
 namespace {
@@ -45,6 +46,57 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values<std::uint32_t>(1, 2, 4),
                        ::testing::Values<std::size_t>(1, 2, 4, 8)));
 
+// Bit-identity matrix with *dense-tie* weights: only a handful of distinct
+// weight values, so almost every comparison is decided by the (u, v)
+// tie-break inside the key order — the regime where an engine that compared
+// raw weights (instead of packed keys) would diverge between interleavings.
+// Quotas cover 1, 3 and heterogeneous; threads go to 16 (2× the sweep above)
+// to force claim contention and cross-block steals on small blocks.
+class ParallelBSuitorTieMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, std::uint32_t, std::size_t>> {};
+
+TEST_P(ParallelBSuitorTieMatrix, BitIdenticalUnderDenseTies) {
+  const auto [topology, quota, threads] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const bool hetero = quota == 0;  // sentinel: random quotas in [1, 4]
+    auto inst = hetero
+                    ? testing::Instance::random_quotas(topology, 48, 7.0, 4,
+                                                       seed * 131)
+                    : testing::Instance::random(topology, 48, 7.0, quota,
+                                                seed * 131);
+    std::vector<double> ties(inst->g.num_edges());
+    for (std::size_t e = 0; e < ties.size(); ++e) {
+      ties[e] = static_cast<double>(e % 3);
+    }
+    const prefs::EdgeWeights w(inst->g, ties);
+    const auto& quotas = inst->profile->quotas();
+    const auto seq = b_suitor(w, quotas);
+    const auto par = parallel_b_suitor(w, quotas, threads);
+    EXPECT_TRUE(seq.same_edges(par))
+        << topology << " b=" << quota << " threads=" << threads
+        << " seed=" << seed;
+    EXPECT_TRUE(is_valid_bmatching(par));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelBSuitorTieMatrix,
+    ::testing::Combine(::testing::Values("er", "ba", "ws"),
+                       ::testing::Values<std::uint32_t>(1, 3, 0),
+                       ::testing::Values<std::size_t>(1, 2, 4, 8, 16)));
+
+TEST(ParallelBSuitor, PoolOverloadMatchesTransientThreads) {
+  util::ThreadPool pool(3);  // 4 workers total: pool + calling thread
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto inst = testing::Instance::random_quotas("ba", 80, 6.0, 3, seed * 17);
+    const auto seq = b_suitor(*inst->weights, inst->profile->quotas());
+    const auto par =
+        parallel_b_suitor(*inst->weights, inst->profile->quotas(), pool);
+    EXPECT_TRUE(seq.same_edges(par)) << "seed=" << seed;
+  }
+}
+
 TEST(ParallelBSuitor, HeterogeneousQuotasMatchLicGlobal) {
   // With the unique total order the suitor fixed point is the locally
   // heaviest greedy matching — cross-check against the LIC engine too.
@@ -76,12 +128,37 @@ TEST(ParallelBSuitor, ReportsWorkCounters) {
   EXPECT_GE(snap.counter("pbsuitor.range_claims"), 1u);
   // Every matched edge required at least one accepted bid.
   EXPECT_GE(snap.counter("pbsuitor.proposals"), m.size());
+  // bids_placed is the *net* count: accepts minus displacements, i.e. the
+  // bids still held at quiescence. A matched edge is a mutual bid, so the
+  // net count is at least 2 per matched edge.
+  EXPECT_EQ(snap.counter("pbsuitor.bids_placed"),
+            snap.counter("pbsuitor.proposals") -
+                snap.counter("pbsuitor.displacements"));
+  EXPECT_GE(snap.counter("pbsuitor.bids_placed"), 2 * m.size());
+}
+
+TEST(ParallelBSuitor, NetBidsPlacedIsThreadCountInvariant) {
+  // The raw proposal/displacement split depends on the interleaving, but
+  // their difference is fixed by the unique suitor fixed point — it must not
+  // move with the thread count.
+  auto inst = testing::Instance::random_quotas("ws", 120, 8.0, 3, 5);
+  std::vector<std::size_t> net;
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    obs::Registry registry;
+    const auto m = parallel_b_suitor(*inst->weights, inst->profile->quotas(),
+                                     threads, &registry);
+    EXPECT_GT(m.size(), 0u);
+    net.push_back(registry.snapshot().counter("pbsuitor.bids_placed"));
+  }
+  EXPECT_EQ(net[0], net[1]);
+  EXPECT_EQ(net[0], net[2]);
 }
 
 // Stress test at ≥ 8 threads on a dense-ish instance with displacement
 // cascades. Under -DOVERMATCH_SANITIZE=thread this is the race detector for
-// the spinlocked suitor heaps and the work-stealing loop; in a plain build
-// it still verifies determinism of the fixed point across thread counts.
+// the CAS admission path, the node-state handoff and the Treiber requeue
+// stacks; in a plain build it still verifies determinism of the fixed point
+// across thread counts.
 TEST(ParallelBSuitorStress, EightThreadsDeterministicUnderContention) {
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     auto inst = testing::Instance::random_quotas("er", 600, 16.0, 4, seed * 97);

@@ -1,0 +1,148 @@
+#include "matching/suitor_slab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+/// A star: node 0 is the hub, edge i connects 0 — (i+1).
+graph::Graph star(std::size_t leaves) {
+  graph::GraphBuilder b(leaves + 1);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    b.add_edge(0, static_cast<NodeId>(i + 1));
+  }
+  return std::move(b).build();
+}
+
+TEST(SuitorSlab, PackedOrderIsWeightOrder) {
+  const graph::Graph g = star(3);
+  const prefs::EdgeWeights w(g, std::vector<double>{1.0, 5.0, 2.0});
+  const SuitorSlab slab(w, Quotas(4, 1));
+  // Heavier edge = smaller key = smaller packed word; kEmpty is weakest.
+  EXPECT_LT(slab.word_of(1), slab.word_of(2));
+  EXPECT_LT(slab.word_of(2), slab.word_of(0));
+  EXPECT_LT(slab.word_of(0), SuitorSlab::kEmpty);
+  for (EdgeId e = 0; e < 3; ++e) {
+    EXPECT_EQ(SuitorSlab::edge_of(slab.word_of(e)), e);
+  }
+}
+
+TEST(SuitorSlab, CapacityIsQuotaCappedByDegree) {
+  const graph::Graph g = star(4);
+  const prefs::EdgeWeights w(g, std::vector<double>{4.0, 3.0, 2.0, 1.0});
+  const SuitorSlab slab(w, Quotas(5, 2));
+  EXPECT_EQ(slab.capacity(0), 2u);  // hub: min(2, 4)
+  EXPECT_EQ(slab.capacity(1), 1u);  // leaf: min(2, 1)
+}
+
+TEST(SuitorSlab, AdmitDisplacesWeakestAndRejectsLighter) {
+  const graph::Graph g = star(4);
+  const prefs::EdgeWeights w(g, std::vector<double>{4.0, 3.0, 2.0, 1.0});
+  SuitorSlab slab(w, Quotas(5, 2));
+
+  // Fill the hub with the two lightest bids.
+  EXPECT_TRUE(slab.admit_if(0, slab.word_of(3)).accepted);
+  EXPECT_TRUE(slab.admit_if(0, slab.word_of(2)).accepted);
+  EXPECT_TRUE(slab.full(0));
+  EXPECT_EQ(slab.count(0), 2u);
+  EXPECT_EQ(SuitorSlab::edge_of(slab.weakest(0)), 3u);
+
+  // A heavier bid displaces the weakest; re-offering a held bid is rejected.
+  const auto res = slab.admit_if(0, slab.word_of(0));
+  EXPECT_TRUE(res.accepted);
+  EXPECT_EQ(SuitorSlab::edge_of(res.displaced), 3u);
+  EXPECT_FALSE(slab.holds(0, 3));
+  EXPECT_TRUE(slab.holds(0, 0));
+  EXPECT_TRUE(slab.holds(0, 2));
+  EXPECT_FALSE(slab.admits(0, slab.word_of(3)));
+
+  // Erase reopens a slot.
+  slab.erase(0, 2);
+  EXPECT_FALSE(slab.full(0));
+  EXPECT_TRUE(slab.admits(0, slab.word_of(3)));
+  const auto back = slab.admit_if(0, slab.word_of(3));
+  EXPECT_TRUE(back.accepted);
+  EXPECT_EQ(back.displaced, SuitorSlab::kEmpty);  // free slot, no loser
+}
+
+TEST(SuitorSlab, QuotaZeroNodeAdmitsNothing) {
+  const graph::Graph g = star(2);
+  const prefs::EdgeWeights w(g, std::vector<double>{2.0, 1.0});
+  SuitorSlab slab(w, Quotas(3, 0));
+  EXPECT_EQ(slab.capacity(0), 0u);
+  EXPECT_TRUE(slab.full(0));
+  EXPECT_FALSE(slab.admits(0, slab.word_of(0)));
+  EXPECT_FALSE(slab.admit_if(0, slab.word_of(0)).accepted);
+  EXPECT_FALSE(slab.try_admit(0, slab.word_of(0)).accepted);
+  EXPECT_EQ(slab.weakest(0), SuitorSlab::kEmpty);
+}
+
+TEST(SuitorSlab, ForEachVisitsExactlyHeldBids) {
+  const graph::Graph g = star(5);
+  const prefs::EdgeWeights w(g, std::vector<double>{5.0, 4.0, 3.0, 2.0, 1.0});
+  SuitorSlab slab(w, Quotas(6, 3));
+  for (const EdgeId e : {4, 1, 2}) {
+    ASSERT_TRUE(slab.admit_if(0, slab.word_of(e)).accepted);
+  }
+  std::vector<EdgeId> seen;
+  slab.for_each(0, [&seen](EdgeId e) { seen.push_back(e); });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<EdgeId>{1, 2, 4}));
+}
+
+/// Concurrency hammer (the TSan target for the lock-free admission path):
+/// many threads race try_admit over one hub node. Because slots are monotone
+/// and admission is scan-max-then-CAS, the final slot set must be exactly
+/// the capacity(v) heaviest words ever offered — deterministically, for any
+/// interleaving. Run under -DOVERMATCH_SANITIZE=thread to make this the race
+/// detector for SuitorSlab.
+TEST(SuitorSlabHammer, ConcurrentAdmissionsKeepHeaviestBids) {
+  constexpr std::size_t kLeaves = 4096;
+  constexpr std::uint32_t kQuota = 7;
+  constexpr std::size_t kThreads = 8;
+
+  const graph::Graph g = star(kLeaves);
+  std::vector<double> weights(kLeaves);
+  // Dense ties: only 5 distinct weights, so the (u, v) tie-break inside the
+  // key order does real work.
+  for (std::size_t i = 0; i < kLeaves; ++i) {
+    weights[i] = static_cast<double>(i % 5);
+  }
+  const prefs::EdgeWeights w(g, weights);
+
+  for (int round = 0; round < 3; ++round) {
+    SuitorSlab slab(w, Quotas(kLeaves + 1, kQuota));
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&slab, t] {
+        // Interleaved partition: thread t offers edges t, t+kThreads, ...
+        for (std::size_t e = t; e < kLeaves; e += kThreads) {
+          slab.try_admit(0, slab.word_of(static_cast<EdgeId>(e)));
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    std::vector<SuitorSlab::Word> expect;
+    expect.reserve(kLeaves);
+    for (EdgeId e = 0; e < kLeaves; ++e) expect.push_back(slab.word_of(e));
+    std::sort(expect.begin(), expect.end());
+    expect.resize(kQuota);  // the heaviest (smallest) kQuota words
+
+    std::vector<SuitorSlab::Word> got;
+    slab.for_each(0, [&](EdgeId e) { got.push_back(slab.word_of(e)); });
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expect) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace overmatch::matching

@@ -13,6 +13,11 @@ script slots directly into CI or ctest.
 Records without timing samples (median_ms < 0) and keys present in only one
 file are listed for information but never counted as regressions — a bench
 gaining or losing a series is a review matter, not a perf failure.
+
+A top-level "env" object (host/run properties such as hardware_concurrency
+and threads_max) is compared key by key: differences are printed as a
+warning, since timings from different environments are not directly
+comparable, but they never count as regressions.
 """
 
 import json
@@ -34,7 +39,7 @@ def load(path):
         if key in out:
             sys.exit(f"{path}: duplicate record key {key}")
         out[key] = rec
-    return out
+    return doc.get("env", {}), out
 
 
 def fmt_key(key):
@@ -54,8 +59,18 @@ def main(argv):
         if o.startswith("--threshold="):
             threshold = float(o.split("=", 1)[1])
 
-    base = load(args[0])
-    cur = load(args[1])
+    base_env, base = load(args[0])
+    cur_env, cur = load(args[1])
+
+    env_diffs = []
+    for k in sorted(set(base_env) | set(cur_env)):
+        b, c = base_env.get(k, "<absent>"), cur_env.get(k, "<absent>")
+        if b != c:
+            env_diffs.append(f"  env {k}: {b} -> {c}")
+    if env_diffs:
+        print(f"WARNING: environment differs ({len(env_diffs)} keys) — "
+              "timings may not be comparable:")
+        print("\n".join(env_diffs))
 
     regressions, improvements, compared = [], [], 0
     for key in sorted(set(base) & set(cur)):
