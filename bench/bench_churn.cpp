@@ -1,18 +1,29 @@
-// E20 — Incremental dynamic rematching under churn (DESIGN.md §10).
+// E20/E21 — dynamic rematching under churn (DESIGN.md §10, §12).
 //
-// Headline: per-event repair latency of the stateful DynamicBSuitor engine
-// (--churn-mode=incremental) vs. from-scratch recomputation, across
+// E20 headline: per-event repair latency of the stateful DynamicBSuitor
+// engine (--churn-mode=incremental) vs. from-scratch recomputation, across
 // topologies and a size ladder up to n = 10^5. Both engines maintain the
 // *same* matching (the greedy fixed point of the alive subgraph), so the
 // comparison is pure latency, not quality. Also keeps E11's quality-flavored
 // views: a per-event trajectory with the oracle comparator on, and burst
 // leave/rejoin recovery.
 //
+// E21 headline: sustained events/s of batched repair (apply_batch —
+// coalescing + frontier-parallel cascades) on an n = 10^6 overlay under the
+// ChurnTraffic arrival models (Poisson and flash-crowd), against the
+// per-event incremental baseline on the same traffic. The multi-thread rows
+// appear only on machines with >= 4 hardware threads (same gate as
+// test_parallel_bsuitor_speedup; the reference container is single-core).
+//
 // Emits BENCH_churn.json (overmatch-bench-v1) with one `event_repair` record
-// per (topology, n, mode); tools/bench_diff.py compares medians against the
-// checked-in baseline and fails on >15% regressions.
+// per (topology, n, mode) and one `batch_throughput` record per (arrival,
+// burst, threads) plus the per-event baseline; tools/bench_diff.py compares
+// medians against the checked-in baseline and fails on >15% regressions.
+#include <thread>
+
 #include "bench/bench_common.hpp"
 #include "overlay/churn.hpp"
+#include "util/thread_pool.hpp"
 
 namespace overmatch {
 namespace {
@@ -99,6 +110,127 @@ void per_event_latency(bench::JsonReport& report) {
       "Per-event repair latency, incremental vs from-scratch (quota 3, avg "
       "degree 8;\nidentical matchings — acceptance target: speedup ≥ 10× at "
       "n = 100000):");
+}
+
+/// E21: one batched-churn session — draws bursts from `traffic` until
+/// `total_events` raw events have been applied through sim.apply_batch, and
+/// returns (per-burst repair ms, events applied, events coalesced away).
+struct BatchRun {
+  std::vector<double> burst_ms;
+  std::size_t events = 0;
+  std::size_t coalesced = 0;
+  double wall_ms = 0.0;
+};
+
+BatchRun run_batched(overlay::ChurnSimulator& churn,
+                     overlay::ChurnTraffic& traffic, std::size_t total_events) {
+  BatchRun out;
+  util::WallTimer w;
+  while (out.events < total_events) {
+    const auto burst = traffic.next_burst();
+    const auto rep = churn.apply_batch(burst);
+    out.events += rep.events;
+    out.coalesced += rep.coalesced;
+    out.burst_ms.push_back(static_cast<double>(rep.repair_ns) / 1e6);
+  }
+  out.wall_ms = w.millis();
+  return out;
+}
+
+void batch_throughput(bench::JsonReport& report) {
+  const std::size_t n = bench::scaled(std::size_t{1000000}, std::size_t{2000});
+  const std::size_t total_events = bench::scaled(20000, 1500);
+  auto inst = bench::Instance::make("ba", n, 8.0, 3, 4242);
+
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> thread_cols{1};
+  if (hw >= 4) thread_cols.push_back(4);
+
+  util::Table t({"arrival", "burst", "threads", "events", "coalesced",
+                 "events/s", "burst p50 us", "burst p90 us"});
+
+  // Per-event baseline: identical Poisson(64) traffic, every event applied
+  // through the per-event incremental path. This is the denominator of the
+  // batching speedup claim.
+  {
+    overlay::ChurnSimulator churn(*inst->profile, *inst->weights, {});
+    overlay::ChurnTraffic traffic(n, overlay::ChurnArrival::kPoisson, 64.0, 99);
+    std::size_t events = 0;
+    std::vector<double> burst_ms;
+    util::WallTimer w;
+    while (events < total_events) {
+      util::WallTimer bt;
+      for (const auto& ev : traffic.next_burst()) {
+        if (ev.kind == matching::ChurnEvent::Kind::kJoin) {
+          churn.join(ev.u);
+        } else {
+          churn.leave(ev.u);
+        }
+        ++events;
+      }
+      burst_ms.push_back(bt.millis());
+    }
+    const double wall = w.millis();
+    const double eps = 1000.0 * static_cast<double>(events) / wall;
+    t.row()
+        .cell("per-event")
+        .cell(std::uint64_t{64})
+        .cell(std::uint64_t{1})
+        .cell(std::uint64_t{events})
+        .cell(std::uint64_t{0})
+        .cell(eps, 0)
+        .cell(util::percentile(burst_ms, 50.0) * 1e3, 1)
+        .cell(util::percentile(burst_ms, 90.0) * 1e3, 1);
+    report.add("batch_throughput",
+               {{"arrival", "per-event"},
+                {"burst", "64"},
+                {"n", std::to_string(n)},
+                {"events", std::to_string(events)},
+                {"events_per_s", std::to_string(static_cast<std::size_t>(eps))}},
+               std::move(burst_ms), 1);
+  }
+
+  for (const auto arrival :
+       {overlay::ChurnArrival::kPoisson, overlay::ChurnArrival::kFlashCrowd}) {
+    for (const std::size_t burst : {std::size_t{64}, std::size_t{256}}) {
+      for (const std::size_t threads : thread_cols) {
+        // threads-1 pool workers + the caller, matching parallel_b_suitor.
+        std::unique_ptr<util::ThreadPool> pool =
+            threads > 1 ? std::make_unique<util::ThreadPool>(threads - 1)
+                        : nullptr;
+        overlay::ChurnOptions opt;
+        opt.pool = pool.get();
+        overlay::ChurnSimulator churn(*inst->profile, *inst->weights, opt);
+        overlay::ChurnTraffic traffic(n, arrival, static_cast<double>(burst),
+                                      99);
+        auto run = run_batched(churn, traffic, total_events);
+        const double eps =
+            1000.0 * static_cast<double>(run.events) / run.wall_ms;
+        t.row()
+            .cell(overlay::churn_arrival_name(arrival))
+            .cell(std::uint64_t{burst})
+            .cell(std::uint64_t{threads})
+            .cell(std::uint64_t{run.events})
+            .cell(std::uint64_t{run.coalesced})
+            .cell(eps, 0)
+            .cell(util::percentile(run.burst_ms, 50.0) * 1e3, 1)
+            .cell(util::percentile(run.burst_ms, 90.0) * 1e3, 1);
+        report.add(
+            "batch_throughput",
+            {{"arrival", overlay::churn_arrival_name(arrival)},
+             {"burst", std::to_string(burst)},
+             {"n", std::to_string(n)},
+             {"events", std::to_string(run.events)},
+             {"events_per_s",
+              std::to_string(static_cast<std::size_t>(eps))}},
+            std::move(run.burst_ms), threads);
+      }
+    }
+  }
+  t.print(
+      "Batched churn throughput, apply_batch vs per-event (BA n as recorded, "
+      "b=3;\nsame traffic seed — acceptance target: batched+parallel >= 5x "
+      "per-event\nat burst >= 64 on 4 threads):");
 }
 
 void churn_trajectory() {
@@ -193,11 +325,17 @@ int main(int argc, char** argv) {
   const overmatch::bench::Env env(argc, argv);  // --smoke support
   (void)env;
   overmatch::bench::print_header(
-      "E20", "Incremental dynamic rematching (paper §7 future work)",
+      "E20/E21", "Dynamic rematching under churn (paper §7 future work)",
       "Localized b-suitor repair per churn event vs. from-scratch "
-      "recomputation.");
+      "recomputation,\nplus batched frontier-parallel repair throughput "
+      "(apply_batch).");
   overmatch::bench::JsonReport report("churn");
+  report.set_env("threads_max",
+                 std::to_string(std::thread::hardware_concurrency() >= 4 ? 4 : 1));
+  report.set_env("hardware_concurrency",
+                 std::to_string(std::thread::hardware_concurrency()));
   overmatch::per_event_latency(report);
+  overmatch::batch_throughput(report);
   overmatch::churn_trajectory();
   overmatch::burst_recovery();
   report.write();

@@ -12,6 +12,7 @@
 // tools/bench_diff.py.
 #include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -88,6 +89,9 @@ int main(int argc, char** argv) {
   const auto ref_matching = matching::lic_global(ref_weights, quotas);
 
   bench::JsonReport report("pipeline");
+  report.set_env("threads_max", std::to_string(ladder.back()));
+  report.set_env("hardware_concurrency",
+                 std::to_string(std::thread::hardware_concurrency()));
   util::Table table({"threads", "graph ms", "profile ms", "wfill ms", "sort ms",
                      "csr ms", "weights ms", "solve ms"});
 

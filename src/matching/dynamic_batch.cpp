@@ -1,0 +1,438 @@
+// Frontier-parallel repair for DynamicBSuitor::apply_batch (DESIGN.md §12).
+//
+// After the sequential teardown phase has applied a coalesced burst's net
+// flags and detached every invalidated bid, the remaining work is a set of
+// independent repair cascades rooted at the affected frontier. This engine
+// runs them concurrently on the caller's ThreadPool, reusing the two pieces
+// of lock-free machinery the static parallel engine (parallel_bsuitor.cpp)
+// proved out:
+//
+//  * SuitorSlab::try_admit — single-CAS admission over packed (key, edge)
+//    words; a reject is final while slots only get heavier, and
+//  * the 4-state idle/queued/running/rerun per-node serialization — at most
+//    one worker owns a node's *bidder side* (its placed_ slots, its scan) at
+//    a time, and any thread that perturbs a node mid-lap (displaces or
+//    erases one of its bids) flags a rerun, so the lap repeats until its
+//    view was stable for one full pass. The acq_rel CAS chain through the
+//    state byte hands the owner-only placed_ slots between workers.
+//
+// Dynamic repair adds one wrinkle the static engine does not have:
+// *withdrawals*. An upgrading bidder erases its weakest placed bid, which
+// makes a suitor slot weaker and suspends the monotonicity that made
+// try_admit rejects final. The engine restores soundness by making every
+// erase re-enqueue the weakened holder with its attract flag set: the
+// holder's next lap scans for the heaviest willing neighbours (the exact
+// sequential attract() rule) and re-enqueues any bidder whose earlier
+// reject the erase may have stalely invalidated.
+//
+// Workers never touch bid_state_/m_/weight_ — they only move slab words and
+// log every edge whose slots they perturbed into a per-worker dirty list.
+// A sequential post-pass (batch_reconcile) then recomputes the bid-state
+// byte of each dirty edge from the slabs and replays matched-edge
+// transitions, so the derived state is exact regardless of interleaving.
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "matching/dynamic_bsuitor.hpp"
+#include "util/thread_pool.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+/// Frontier nodes claimed per cursor bump.
+constexpr std::uint32_t kFrontierChunk = 16;
+/// Treiber-stack nil; also the low word of an empty (tag, nil) head.
+constexpr std::uint32_t kNilNode = 0xFFFF'FFFFu;
+
+/// Per-node scheduling state (same protocol as parallel_bsuitor.cpp: all
+/// transitions are acq_rel CAS RMWs, so each node's history is one
+/// release-sequence chain handing the owner-only state between workers).
+enum NodeState : std::uint8_t {
+  kIdle = 0,     ///< not queued, not running
+  kQueued = 1,   ///< on the requeue stack
+  kRunning = 2,  ///< owned by a worker's repair lap
+  kRerun = 3,    ///< running, and perturbed again since the lap began
+};
+
+}  // namespace
+
+/// Persistent (across batches) shared state of the frontier-parallel engine,
+/// lazily built on the first pooled apply_batch (declared in the header,
+/// opaque to every other translation unit).
+struct DynBatchRepair {
+  /// Per-worker accumulation: no shared counters on the hot path, and the
+  /// dirty-edge log that drives the sequential reconcile pass.
+  struct Worker {
+    std::size_t bids = 0;
+    std::size_t displacements = 0;
+    std::size_t withdrawals = 0;
+    std::vector<EdgeId> dirty;    ///< edges whose slab slots this worker moved
+    std::vector<EdgeId> scratch;  ///< placed_ snapshot reused per lap
+  };
+
+  explicit DynBatchRepair(std::size_t n, std::size_t m)
+      : state(n), attract(n), qnext(n), edge_mark(m, 0) {
+    for (auto& s : state) s.store(kIdle, std::memory_order_relaxed);
+    for (auto& a : attract) a.store(0, std::memory_order_relaxed);
+    for (auto& q : qnext) q.store(kNilNode, std::memory_order_relaxed);
+  }
+
+  std::vector<std::atomic<std::uint8_t>> state;
+  std::vector<std::atomic<std::uint8_t>> attract;  ///< pending attract pass?
+  std::vector<std::atomic<std::uint32_t>> qnext;   ///< Treiber stack links
+  std::atomic<std::uint64_t> requeue{(std::uint64_t{0} << 32) | kNilNode};
+  std::vector<NodeId> frontier;
+  std::atomic<std::uint32_t> fnext{0};  ///< next unclaimed frontier index
+  std::atomic<std::size_t> pending{0};  ///< unconsumed work tokens
+  std::vector<Worker> workers;
+  std::vector<std::uint8_t> edge_mark;  ///< reconcile-pass dedup (cleared)
+
+  // ---- tagged Treiber stack (ABA-proof: tag in the high 32 bits) ---------
+
+  void push(NodeId u) {
+    std::uint64_t head = requeue.load(std::memory_order_relaxed);
+    for (;;) {
+      qnext[u].store(static_cast<std::uint32_t>(head),
+                     std::memory_order_relaxed);
+      const std::uint64_t next = (((head >> 32) + 1) << 32) | u;
+      if (requeue.compare_exchange_weak(head, next, std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] NodeId pop() {
+    std::uint64_t head = requeue.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t u = static_cast<std::uint32_t>(head);
+      if (u == kNilNode) return kNilNode;
+      const std::uint32_t next = qnext[u].load(std::memory_order_relaxed);
+      const std::uint64_t nh = (((head >> 32) + 1) << 32) | next;
+      if (requeue.compare_exchange_weak(head, nh, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return u;
+      }
+    }
+  }
+
+  /// Hand u another look. Never blocks: an idle node goes onto the stack, a
+  /// running one gets its lap flagged for a rerun; the queued/rerun no-ops
+  /// confirm freshness through a same-value CAS so the perturbation that
+  /// precedes this call is published into u's state chain.
+  void enqueue(NodeId u) {
+    std::uint8_t s = state[u].load(std::memory_order_relaxed);
+    for (;;) {
+      switch (s) {
+        case kIdle:
+          if (state[u].compare_exchange_weak(s, kQueued,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+            pending.fetch_add(1, std::memory_order_relaxed);
+            push(u);
+            return;
+          }
+          break;
+        case kRunning:
+          if (state[u].compare_exchange_weak(s, kRerun,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+            return;
+          }
+          break;
+        default:  // kQueued or kRerun: already covered
+          if (state[u].compare_exchange_weak(s, s, std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+            return;
+          }
+          break;
+      }
+    }
+  }
+};
+
+namespace {
+
+/// One repair lap over node u (state == kRunning, this worker owns u's
+/// bidder side). Three steps, mirroring the sequential cascade rules:
+///
+///  1. reconcile: drop placed_ entries whose bid a concurrent admission
+///     displaced at the holder (the sequential engine does this inline in
+///     place_bid; here the displacer cannot touch the loser's placed_ slots
+///     and re-enqueues it instead);
+///  2. attract (when flagged): scan heaviest-first for willing neighbours
+///     and re-enqueue them — covers both freed slots from the teardown
+///     phase and the monotonicity gap a concurrent withdrawal opened;
+///  3. seek: bid heaviest-first while wanting more, with CAS admission.
+///     placed_.admit_if both places the bid and names the weakest placed
+///     bid it bumped — the exact bid the sequential upgrade path withdraws
+///     — which try_erase then removes at its holder (or leaves to the
+///     concurrent displacer that beat us to it).
+class BatchEngine {
+ public:
+  BatchEngine(const prefs::EdgeWeights& w, SuitorSlab& suitors,
+              SuitorSlab& placed, const std::vector<std::uint8_t>& alive,
+              const std::vector<std::uint8_t>& edge_off, DynBatchRepair& pr)
+      : w_(&w),
+        g_(&w.graph()),
+        suitors_(&suitors),
+        placed_(&placed),
+        alive_(&alive),
+        edge_off_(&edge_off),
+        pr_(&pr) {}
+
+  /// Worker body: drain the requeue stack, then claim frontier chunks,
+  /// until no token remains anywhere.
+  void run(DynBatchRepair::Worker& wk) {
+    DynBatchRepair& pr = *pr_;
+    const std::uint32_t fsize = static_cast<std::uint32_t>(pr.frontier.size());
+    for (;;) {
+      bool did = false;
+      for (NodeId u; (u = pr.pop()) != kNilNode;) {
+        run_popped(u, wk);
+        did = true;
+      }
+      std::uint32_t i = pr.fnext.load(std::memory_order_relaxed);
+      if (i < fsize) {
+        const std::uint32_t next = std::min(i + kFrontierChunk, fsize);
+        if (pr.fnext.compare_exchange_strong(i, next,
+                                             std::memory_order_relaxed)) {
+          for (std::uint32_t k = i; k < next; ++k) {
+            run_initial(pr.frontier[k], wk);
+          }
+        }
+        did = true;  // progress either way: someone claimed the chunk
+      }
+      if (!did) {
+        if (pr.pending.load(std::memory_order_acquire) == 0) return;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  void run_popped(NodeId u, DynBatchRepair::Worker& wk) {
+    std::uint8_t expect = kQueued;
+    const bool claimed = pr_->state[u].compare_exchange_strong(
+        expect, kRunning, std::memory_order_acq_rel,
+        std::memory_order_acquire);
+    OM_CHECK_MSG(claimed, "a popped node is exclusively the popper's");
+    process(u, wk);
+    pr_->pending.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  void run_initial(NodeId u, DynBatchRepair::Worker& wk) {
+    std::uint8_t expect = kIdle;
+    if (pr_->state[u].compare_exchange_strong(expect, kRunning,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+      process(u, wk);
+    }
+    // Claimed and processed, or already queued/running under a token that
+    // covers the remaining work — either way this frontier token is spent.
+    pr_->pending.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  void process(NodeId u, DynBatchRepair::Worker& wk) {
+    for (;;) {
+      lap(u, wk);
+      std::uint8_t expect = kRunning;
+      if (pr_->state[u].compare_exchange_strong(expect, kIdle,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+        return;
+      }
+      // Perturbed mid-lap (kRerun): consume the flag and lap again — the
+      // lap rescans from the heaviest candidate, so nothing is missed.
+      OM_CHECK(expect == kRerun);
+      const bool consumed = pr_->state[u].compare_exchange_strong(
+          expect, kRunning, std::memory_order_acq_rel,
+          std::memory_order_acquire);
+      OM_CHECK_MSG(consumed, "only the owning worker consumes kRerun");
+    }
+  }
+
+  void lap(NodeId u, DynBatchRepair::Worker& wk) {
+    DynBatchRepair& pr = *pr_;
+    // (1) Reconcile placed_(u): an entry whose bid is no longer held at the
+    // holder was displaced by a concurrent admission (only u itself ever
+    // withdraws it, and u is exclusively ours right now).
+    wk.scratch.clear();
+    placed_->for_each(u, [&wk](EdgeId e) { wk.scratch.push_back(e); });
+    for (const EdgeId e : wk.scratch) {
+      const NodeId h = g_->edge(e).other(u);
+      if (!suitors_->holds(h, e)) {
+        placed_->erase(u, e);
+        wk.dirty.push_back(e);
+      }
+    }
+    // (2) Attract pass, when flagged. The exchange consumes the flag before
+    // the scan; a later withdrawal at u sets it again and re-enqueues u.
+    if (pr.attract[u].exchange(0, std::memory_order_acq_rel) != 0 &&
+        (*alive_)[u] != 0) {
+      for (const EdgeId e : w_->incident(u)) {
+        const SuitorSlab::Word word = suitors_->word_of(e);
+        if (!suitors_->admits(u, word)) break;
+        const NodeId x = g_->edge(e).other(u);
+        if ((*alive_)[x] == 0 || (*edge_off_)[e] != 0 ||
+            suitors_->holds(u, e)) {
+          continue;
+        }
+        // Racy peek at x's bidder side — safe to be stale in either
+        // direction: a false "wants" just costs x a no-op lap, and a false
+        // "doesn't want" means x's placed set weakened concurrently, which
+        // only happens under a displacement that independently re-enqueues
+        // x for a full re-seek.
+        if (!placed_->admits(x, word)) continue;
+        pr.enqueue(x);
+      }
+    }
+    // (3) Seek pass: the sequential seek() loop with CAS admission.
+    if ((*alive_)[u] == 0) return;
+    for (const EdgeId e : w_->incident(u)) {
+      const SuitorSlab::Word word = suitors_->word_of(e);
+      // Owner-exact wants(): only this worker mutates placed_(u).
+      if (!placed_->admits(u, word)) break;
+      const NodeId v = g_->edge(e).other(u);
+      if ((*alive_)[v] == 0 || (*edge_off_)[e] != 0 || placed_->holds(u, e)) {
+        continue;
+      }
+      const auto res = suitors_->try_admit(v, word);
+      if (!res.accepted) continue;  // final while v's slots only get heavier
+      wk.dirty.push_back(e);
+      ++wk.bids;
+      const auto put = placed_->admit_if(u, word);
+      OM_CHECK_MSG(put.accepted, "batch seek placed a bid it does not want");
+      if (put.displaced != SuitorSlab::kEmpty) {
+        // Upgrade: admit_if bumped u's weakest placed bid — the exact bid
+        // the sequential path withdraws first. Erase it at its holder; on a
+        // CAS miss a concurrent displacement got there first and owns the
+        // follow-up. Admit-then-withdraw order keeps placed_(u) full, so a
+        // concurrent attract peek never sees a transient deficit.
+        const EdgeId we = SuitorSlab::edge_of(put.displaced);
+        const NodeId h = g_->edge(we).other(u);
+        wk.dirty.push_back(we);
+        if (suitors_->try_erase(h, put.displaced)) {
+          ++wk.withdrawals;
+          // The erase weakened h's slots: flag + re-enqueue so h's attract
+          // lap gives stale-rejected bidders another look (see header).
+          pr.attract[h].store(1, std::memory_order_release);
+          pr.enqueue(h);
+        }
+      }
+      if (res.displaced != SuitorSlab::kEmpty) {
+        const EdgeId d = SuitorSlab::edge_of(res.displaced);
+        wk.dirty.push_back(d);
+        ++wk.displacements;
+        pr.enqueue(g_->edge(d).other(v));  // the loser re-seeks
+      }
+    }
+  }
+
+  const prefs::EdgeWeights* w_;
+  const graph::Graph* g_;
+  SuitorSlab* suitors_;
+  SuitorSlab* placed_;
+  const std::vector<std::uint8_t>* alive_;
+  const std::vector<std::uint8_t>* edge_off_;
+  DynBatchRepair* pr_;
+};
+
+}  // namespace
+
+DynamicBSuitor::~DynamicBSuitor() = default;  // DynBatchRepair complete here
+
+void DynamicBSuitor::DynBatchRepairDeleter::operator()(
+    DynBatchRepair* p) const noexcept {
+  delete p;
+}
+
+void DynamicBSuitor::parallel_drain(util::ThreadPool& pool) {
+  if (par_ == nullptr) {
+    par_.reset(new DynBatchRepair(w_->graph().num_nodes(),
+                                  w_->graph().num_edges()));
+  }
+  DynBatchRepair& pr = *par_;
+  // Convert the sequential token queue into the parallel frontier: one
+  // entry per distinct node, attract requests carried by the atomic flag.
+  pr.frontier.clear();
+  for (std::size_t i = queue_head_; i < queue_.size(); ++i) {
+    const NodeId u = queue_[i].node;
+    if (pending_seek_[u] == 0 && pending_attract_[u] == 0) continue;
+    if (pending_attract_[u] != 0) {
+      pr.attract[u].store(1, std::memory_order_relaxed);
+    }
+    pending_seek_[u] = 0;
+    pending_attract_[u] = 0;
+    pr.frontier.push_back(u);
+  }
+  queue_.clear();
+  queue_head_ = 0;
+  pr.fnext.store(0, std::memory_order_relaxed);
+  pr.pending.store(pr.frontier.size(), std::memory_order_relaxed);
+  const std::size_t workers = pool.size() + 1;
+  batch_.workers = workers;
+  pr.workers.resize(workers);
+  for (auto& wk : pr.workers) {
+    wk.bids = wk.displacements = wk.withdrawals = 0;
+    wk.dirty.clear();
+  }
+  BatchEngine eng(*w_, suitors_, placed_, alive_, edge_off_, pr);
+  // The caller is worker 0 (the run uses exactly pool.size() + 1 threads);
+  // the pool's submit/wait_idle mutex publishes the teardown-phase writes
+  // (alive_, edge_off_, slab state) to every worker.
+  for (std::size_t tid = 1; tid < workers; ++tid) {
+    auto* wk = &pr.workers[tid];
+    pool.submit([&eng, wk] { eng.run(*wk); });
+  }
+  eng.run(pr.workers[0]);
+  pool.wait_idle();
+  batch_reconcile(workers);
+}
+
+void DynamicBSuitor::batch_reconcile(std::size_t workers) {
+  DynBatchRepair& pr = *par_;
+  const auto& g = w_->graph();
+  constexpr std::uint8_t kMutual = kBidFromU | kBidFromV;
+  for (const NodeId u : pr.frontier) touch(u);
+  // Additions are replayed after every removal: a node that swapped partners
+  // inside the batch would otherwise transiently exceed its quota when its
+  // new edge is visited before its old one.
+  std::vector<EdgeId> became_mutual;
+  for (std::size_t tid = 0; tid < workers; ++tid) {
+    const auto& wk = pr.workers[tid];
+    last_.cascade_len += wk.bids + wk.withdrawals + wk.displacements;
+    bids_ctr_.inc(wk.bids);
+    displacements_ctr_.inc(wk.displacements);
+    for (const EdgeId e : wk.dirty) {
+      if (pr.edge_mark[e] != 0) continue;
+      pr.edge_mark[e] = 1;
+      const auto& [a, b] = g.edge(e);
+      touch(a);
+      touch(b);
+      // Recompute the bid-state byte from the slabs (the ground truth the
+      // workers maintained) and replay the matched-edge transition.
+      const std::uint8_t ns =
+          static_cast<std::uint8_t>((suitors_.holds(b, e) ? kBidFromU : 0) |
+                                    (suitors_.holds(a, e) ? kBidFromV : 0));
+      OM_CHECK_MSG(((ns & kBidFromU) != 0) == placed_.holds(a, e),
+                   "batch repair left a one-sided bid record");
+      OM_CHECK_MSG(((ns & kBidFromV) != 0) == placed_.holds(b, e),
+                   "batch repair left a one-sided bid record");
+      const std::uint8_t os = bid_state_[e];
+      if (os == ns) continue;
+      if (os == kMutual) matched_remove(e);
+      bid_state_[e] = ns;
+      if (ns == kMutual) became_mutual.push_back(e);
+    }
+  }
+  for (const EdgeId e : became_mutual) matched_add(e);
+  // Clear the dedup marks (O(dirty), keeping the engine allocation-stable).
+  for (std::size_t tid = 0; tid < workers; ++tid) {
+    for (const EdgeId e : pr.workers[tid].dirty) pr.edge_mark[e] = 0;
+  }
+}
+
+}  // namespace overmatch::matching

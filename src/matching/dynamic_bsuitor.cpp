@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/registry.hpp"
+#include "util/thread_pool.hpp"
 
 namespace overmatch::matching {
 namespace {
@@ -10,6 +11,11 @@ namespace {
 /// Fixed buckets for the per-event repair latency, 1 µs to 1 s.
 const std::vector<double> kRepairNsBuckets = {1e3, 1e4, 1e5, 1e6,
                                               1e7, 1e8, 1e9};
+
+/// Fixed buckets for the events-per-batch histogram (powers of two: typical
+/// bursts are tens to hundreds of events).
+const std::vector<double> kBatchSizeBuckets = {1,  2,   4,   8,   16,  32,
+                                               64, 128, 256, 512, 1024};
 
 }  // namespace
 
@@ -27,14 +33,23 @@ DynamicBSuitor::DynamicBSuitor(const prefs::EdgeWeights& w, const Quotas& quotas
       pending_attract_(w.graph().num_nodes(), 0),
       touch_epoch_(w.graph().num_nodes(), 0),
       changed_epoch_(w.graph().num_nodes(), 0),
+      node_seen_(w.graph().num_nodes(), 0),
+      node_final_(w.graph().num_nodes(), 0),
+      edge_seen_(w.graph().num_edges(), 0),
+      edge_final_(w.graph().num_edges(), 0),
       events_ctr_(obs::counter(registry, "dyn.events")),
       cascade_ctr_(obs::counter(registry, "dyn.cascade_len")),
       touched_ctr_(obs::counter(registry, "dyn.touched_nodes")),
       bids_ctr_(obs::counter(registry, "dyn.bids")),
-      displacements_ctr_(obs::counter(registry, "dyn.displacements")) {
+      displacements_ctr_(obs::counter(registry, "dyn.displacements")),
+      batches_ctr_(obs::counter(registry, "dyn.batches")),
+      batch_events_ctr_(obs::counter(registry, "dyn.batch_events")),
+      batch_coalesced_ctr_(obs::counter(registry, "dyn.batch_coalesced")),
+      batch_parallel_ctr_(obs::counter(registry, "dyn.batch_parallel")) {
   OM_CHECK(quotas.size() == w.graph().num_nodes());
   if (registry != nullptr) {
     repair_ns_hist_ = registry->histogram("dyn.repair_ns", kRepairNsBuckets);
+    batch_size_hist_ = registry->histogram("dyn.batch_size", kBatchSizeBuckets);
   }
   // Initial build: every node seeks from an empty state — the static
   // b-Suitor bidding process, so the result is the batch matching.
@@ -309,6 +324,194 @@ void DynamicBSuitor::on_edge_change(NodeId i, NodeId j, bool present) {
           std::chrono::steady_clock::now() - t0)
           .count());
   finish_event(/*count=*/true);
+}
+
+void DynamicBSuitor::batch_coalesce(std::span<const ChurnEvent> events) {
+  batch_ = BatchStats{};
+  batch_.events = events.size();
+  batch_nodes_.clear();
+  batch_edges_.clear();
+  const auto& g = w_->graph();
+  // Pass 1: replay the burst against a shadow of the node/edge flags,
+  // enforcing per-event validity exactly as the per-event entry points do
+  // (against the state left by the preceding events of the batch).
+  for (const ChurnEvent& ev : events) {
+    if (ev.is_node_event()) {
+      OM_CHECK_MSG(ev.u < alive_.size(), "apply_batch(): node out of range");
+      if (node_seen_[ev.u] == 0) {
+        node_seen_[ev.u] = 1;
+        node_final_[ev.u] = alive_[ev.u];
+        batch_nodes_.push_back(ev.u);
+      }
+      const std::uint8_t want = ev.kind == ChurnEvent::Kind::kJoin ? 1 : 0;
+      OM_CHECK_MSG(node_final_[ev.u] != want,
+                   ev.kind == ChurnEvent::Kind::kJoin
+                       ? "apply_batch(): join of an online node"
+                       : "apply_batch(): leave of an offline node");
+      node_final_[ev.u] = want;
+    } else {
+      const EdgeId e = g.find_edge(ev.u, ev.v);
+      OM_CHECK_MSG(e != graph::kInvalidEdge,
+                   "apply_batch(): edge event on a non-edge");
+      if (edge_seen_[e] == 0) {
+        edge_seen_[e] = 1;
+        edge_final_[e] = edge_off_[e];
+        batch_edges_.push_back(e);
+      }
+      const std::uint8_t want_off =
+          ev.kind == ChurnEvent::Kind::kEdgeDown ? 1 : 0;
+      OM_CHECK_MSG(edge_final_[e] != want_off,
+                   "apply_batch(): edge state unchanged");
+      edge_final_[e] = want_off;
+    }
+  }
+  // Pass 2: keep only net transitions. Dropping a node that left and
+  // rejoined (or an edge toggled down and back up) is sound because the
+  // repaired fixed point depends only on the final (alive, edge-enabled)
+  // configuration — and under the strict total weight order that fixed
+  // point is unique, so it cannot remember the intermediate states.
+  std::size_t kept_nodes = 0;
+  for (const NodeId v : batch_nodes_) {
+    node_seen_[v] = 0;
+    if (node_final_[v] == alive_[v]) continue;
+    batch_nodes_[kept_nodes++] = v;
+    if (node_final_[v] != 0) {
+      ++batch_.net_joins;
+    } else {
+      ++batch_.net_leaves;
+    }
+  }
+  batch_nodes_.resize(kept_nodes);
+  std::size_t kept_edges = 0;
+  for (const EdgeId e : batch_edges_) {
+    edge_seen_[e] = 0;
+    if (edge_final_[e] == edge_off_[e]) continue;
+    batch_edges_[kept_edges++] = e;
+    if (edge_final_[e] != 0) {
+      ++batch_.net_edges_down;
+    } else {
+      ++batch_.net_edges_up;
+    }
+  }
+  batch_edges_.resize(kept_edges);
+  batch_.coalesced = batch_.events - (kept_nodes + kept_edges);
+}
+
+void DynamicBSuitor::batch_teardown() {
+  const auto& g = w_->graph();
+  // Phase 1: leavers and netted-down edges go dark first, so no cascade in
+  // this batch can ever route a bid through them.
+  for (const NodeId v : batch_nodes_) {
+    if (node_final_[v] != 0) continue;
+    alive_[v] = 0;
+    touch(v);
+  }
+  for (const EdgeId e : batch_edges_) {
+    if (edge_final_[e] == 0) continue;
+    edge_off_[e] = 1;
+    touch(g.edge(e).u);
+    touch(g.edge(e).v);
+  }
+  // Phase 2: detach every invalidated bid and queue the union of repair
+  // frontiers. Leavers first; a dead edge whose bid went down with a leaver
+  // is skipped by the holds_bid_from() re-check (no double detach).
+  std::vector<EdgeId> snapshot;
+  for (const NodeId v : batch_nodes_) {
+    if (node_final_[v] != 0) continue;
+    snapshot.clear();
+    suitors_.for_each(v, [&snapshot](EdgeId e) { snapshot.push_back(e); });
+    for (const EdgeId e : snapshot) {
+      const NodeId x = g.edge(e).other(v);
+      detach_bid(x, v, e);
+      ++last_.cascade_len;
+      queue_seek(x);
+    }
+    snapshot.clear();
+    placed_.for_each(v, [&snapshot](EdgeId e) { snapshot.push_back(e); });
+    for (const EdgeId e : snapshot) {
+      const NodeId y = g.edge(e).other(v);
+      detach_bid(v, y, e);
+      ++last_.cascade_len;
+      queue_attract(y);
+    }
+  }
+  for (const EdgeId e : batch_edges_) {
+    if (edge_final_[e] == 0) continue;
+    const auto& [i, j] = g.edge(e);
+    for (const NodeId bidder : {i, j}) {
+      if (!holds_bid_from(bidder, e)) continue;
+      const NodeId holder = g.edge(e).other(bidder);
+      detach_bid(bidder, holder, e);
+      ++last_.cascade_len;
+      queue_seek(bidder);
+      queue_attract(holder);
+    }
+  }
+  // Phase 3: new capacity comes online. A joiner was offline at batch start
+  // (coalescing guarantees a *net* join), so it holds no bids; likewise a
+  // netted-up edge was disabled and carries none. Unlike the single-event
+  // enable fast path, batch repair just queues both endpoints of a fresh
+  // edge: seek/attract are no-ops at the fixed point, so the outcome is the
+  // same and the O(degree) scans amortize across the burst.
+  for (const NodeId v : batch_nodes_) {
+    if (node_final_[v] == 0) continue;
+    alive_[v] = 1;
+    touch(v);
+    OM_CHECK(suitors_.count(v) == 0 && placed_.count(v) == 0);
+    queue_seek(v);
+    queue_attract(v);
+  }
+  for (const EdgeId e : batch_edges_) {
+    if (edge_final_[e] != 0) continue;
+    edge_off_[e] = 0;
+    const auto& [i, j] = g.edge(e);
+    touch(i);
+    touch(j);
+    queue_seek(i);
+    queue_attract(i);
+    queue_seek(j);
+    queue_attract(j);
+  }
+}
+
+void DynamicBSuitor::finish_batch() {
+  events_ctr_.inc(batch_.events);
+  cascade_ctr_.inc(last_.cascade_len);
+  touched_ctr_.inc(last_.touched_nodes);
+  repair_ns_hist_.observe(static_cast<double>(last_.repair_ns));
+  batches_ctr_.inc();
+  batch_events_ctr_.inc(batch_.events);
+  batch_coalesced_ctr_.inc(batch_.coalesced);
+  if (batch_.workers > 1) batch_parallel_ctr_.inc();
+  batch_size_hist_.observe(static_cast<double>(batch_.events));
+}
+
+void DynamicBSuitor::apply_batch(std::span<const ChurnEvent> events,
+                                 util::ThreadPool* pool) {
+  batch_coalesce(events);
+  begin_event();
+  const auto t0 = std::chrono::steady_clock::now();
+  batch_teardown();
+  // Frontier size = distinct queued nodes (reusing the coalesce marks,
+  // which batch_coalesce left clear).
+  for (const Token& t : queue_) {
+    if (node_seen_[t.node] == 0) {
+      node_seen_[t.node] = 1;
+      ++batch_.frontier;
+    }
+  }
+  for (const Token& t : queue_) node_seen_[t.node] = 0;
+  if (pool != nullptr && pool->size() > 0 && !queue_.empty()) {
+    parallel_drain(*pool);
+  } else {
+    batch_.workers = 1;
+    drain();
+  }
+  last_.repair_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  finish_batch();
 }
 
 }  // namespace overmatch::matching

@@ -28,6 +28,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "matching/matching.hpp"
@@ -38,8 +40,49 @@
 namespace overmatch::obs {
 class Registry;
 }
+namespace overmatch::util {
+class ThreadPool;
+}
 
 namespace overmatch::matching {
+
+/// Shared state of the frontier-parallel batch repair engine; defined in
+/// dynamic_batch.cpp and opaque everywhere else.
+struct DynBatchRepair;
+
+/// One churn event for batched application (DynamicBSuitor::apply_batch).
+/// Node events use `u` only; edge events name the endpoints of a candidate
+/// edge. Events in a batch must be valid *in order* — the same rule the
+/// per-event entry points enforce (no leave of an offline node, no join of
+/// an online one, no same-state edge toggle), evaluated against the state
+/// left by the preceding events of the batch.
+struct ChurnEvent {
+  enum class Kind : std::uint8_t {
+    kLeave,     ///< node u goes offline
+    kJoin,      ///< node u comes online
+    kEdgeDown,  ///< candidate edge {u, v} disabled
+    kEdgeUp,    ///< candidate edge {u, v} enabled
+  };
+  Kind kind = Kind::kLeave;
+  NodeId u = 0;
+  NodeId v = 0;
+
+  [[nodiscard]] static ChurnEvent leave(NodeId n) noexcept {
+    return {Kind::kLeave, n, n};
+  }
+  [[nodiscard]] static ChurnEvent join(NodeId n) noexcept {
+    return {Kind::kJoin, n, n};
+  }
+  [[nodiscard]] static ChurnEvent edge_down(NodeId i, NodeId j) noexcept {
+    return {Kind::kEdgeDown, i, j};
+  }
+  [[nodiscard]] static ChurnEvent edge_up(NodeId i, NodeId j) noexcept {
+    return {Kind::kEdgeUp, i, j};
+  }
+  [[nodiscard]] bool is_node_event() const noexcept {
+    return kind == Kind::kLeave || kind == Kind::kJoin;
+  }
+};
 
 class DynamicBSuitor {
  public:
@@ -62,6 +105,41 @@ class DynamicBSuitor {
   /// `dyn.repair_ns` per-event latency histogram.
   DynamicBSuitor(const prefs::EdgeWeights& w, const Quotas& quotas,
                  obs::Registry* registry = nullptr);
+  ~DynamicBSuitor();  // out of line: ParallelRepair is incomplete here
+
+  /// Per-batch telemetry for apply_batch (also accumulated into the
+  /// registry's `dyn.batch_*` series and the `dyn.batch_size` histogram).
+  struct BatchStats {
+    std::size_t events = 0;     ///< raw events handed to apply_batch
+    std::size_t coalesced = 0;  ///< events cancelled by net-effect dedup
+    std::size_t net_leaves = 0;
+    std::size_t net_joins = 0;
+    std::size_t net_edges_down = 0;
+    std::size_t net_edges_up = 0;
+    std::size_t frontier = 0;  ///< distinct repair start nodes
+    std::size_t workers = 1;   ///< 1 = sequential fallback
+  };
+
+  /// Applies a burst of churn events as one repair. The burst is first
+  /// *coalesced*: a node that leaves and rejoins (or an edge toggled down
+  /// and back up) inside the batch nets out to no change and is dropped;
+  /// every node/edge is reduced to its net start-vs-end transition. Then
+  /// all invalidated bids are detached at once and repair cascades run from
+  /// the union of the affected frontiers — sequentially when `pool` is
+  /// null, or frontier-parallel on the pool (caller participates, so
+  /// pool->size() + 1 workers) reusing the SuitorSlab CAS admission and the
+  /// 4-state node serialization of the parallel engine (DESIGN.md §12).
+  ///
+  /// Both paths land on the same state as applying the events one-by-one
+  /// through on_node_leave/on_node_join/on_edge_change: the repaired fixed
+  /// point depends only on the final (alive, edge-enabled) configuration,
+  /// and under the strict total weight order it is unique — so the matching
+  /// is bit-identical at every thread count.
+  void apply_batch(std::span<const ChurnEvent> events,
+                   util::ThreadPool* pool = nullptr);
+  [[nodiscard]] const BatchStats& last_batch() const noexcept {
+    return batch_;
+  }
 
   /// Takes node v offline: voids its held and placed bids, repairs from the
   /// freed slots and orphaned bidders. Aborts if v is already offline.
@@ -135,6 +213,22 @@ class DynamicBSuitor {
   void matched_remove(EdgeId e);
   void note_changed(NodeId v);
 
+  // ---- batched application (apply_batch) --------------------------------
+  /// Validates the burst in order and reduces it to net per-node/per-edge
+  /// transitions (fills batch_ and the batch_nodes_/batch_edges_ lists).
+  void batch_coalesce(std::span<const ChurnEvent> events);
+  /// Applies the net flags, detaches every invalidated bid, and queues the
+  /// union of repair frontiers.
+  void batch_teardown();
+  void finish_batch();
+  // Defined in dynamic_batch.cpp (the frontier-parallel repair engine).
+  // The out-of-line deleter keeps DynBatchRepair an incomplete type here.
+  struct DynBatchRepairDeleter {
+    void operator()(DynBatchRepair* p) const noexcept;
+  };
+  void parallel_drain(util::ThreadPool& pool);
+  void batch_reconcile(std::size_t workers);
+
   const prefs::EdgeWeights* w_;
   const Quotas* quotas_;
   std::vector<std::uint8_t> alive_;
@@ -167,13 +261,30 @@ class DynamicBSuitor {
   std::vector<NodeId> changed_nodes_;
   RepairStats last_;
 
+  // Batch scratch: `seen` marks are cleared after each batch by walking the
+  // touched lists, so coalescing costs O(batch), not O(n + m).
+  std::vector<std::uint8_t> node_seen_;
+  std::vector<std::uint8_t> node_final_;  ///< net end-state: alive?
+  std::vector<std::uint8_t> edge_seen_;
+  std::vector<std::uint8_t> edge_final_;  ///< net end-state: off?
+  std::vector<NodeId> batch_nodes_;  ///< nodes with a net transition
+  std::vector<EdgeId> batch_edges_;  ///< edges with a net transition
+  BatchStats batch_;
+  /// Lazily built on the first pooled apply_batch.
+  std::unique_ptr<DynBatchRepair, DynBatchRepairDeleter> par_;
+
   // Registry handles resolved once (hot-path discipline, DESIGN.md §9).
   obs::Counter events_ctr_;
   obs::Counter cascade_ctr_;
   obs::Counter touched_ctr_;
   obs::Counter bids_ctr_;
   obs::Counter displacements_ctr_;
+  obs::Counter batches_ctr_;
+  obs::Counter batch_events_ctr_;
+  obs::Counter batch_coalesced_ctr_;
+  obs::Counter batch_parallel_ctr_;
   obs::Histogram repair_ns_hist_;
+  obs::Histogram batch_size_hist_;
 };
 
 }  // namespace overmatch::matching

@@ -112,4 +112,20 @@ SuitorSlab::Admit SuitorSlab::try_admit(NodeId v, Word word) {
   }
 }
 
+bool SuitorSlab::try_erase(NodeId v, Word word) {
+  std::atomic<Word>* s = slots_.data() + off_[v];
+  const std::size_t cap = capacity(v);
+  for (std::size_t i = 0; i < cap; ++i) {
+    if (s[i].load(std::memory_order_relaxed) != word) continue;
+    Word expect = word;
+    // acq_rel so the erase joins the slot's modification order cleanly; a
+    // failed CAS means a heavier bid displaced `word` between the scan and
+    // here — the displacer already handles the loser.
+    return s[i].compare_exchange_strong(expect, kEmpty,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed);
+  }
+  return false;  // already displaced by a concurrent admission
+}
+
 }  // namespace overmatch::matching

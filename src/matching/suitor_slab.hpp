@@ -122,6 +122,19 @@ class SuitorSlab {
   /// retry loop is bounded by the admissions that can still occur at v.
   Admit try_admit(NodeId v, Word word);
 
+  /// Lock-free withdrawal for the dynamic batch engine: CAS the slot holding
+  /// exactly `word` back to kEmpty. Returns false when the bid is no longer
+  /// there — i.e. a concurrent try_admit displaced it first, in which case
+  /// the displacer owns the follow-up and the caller must do nothing. Safe
+  /// because a given bid occupies at most one slot and only its bidder ever
+  /// withdraws it, so success and displacement are mutually exclusive.
+  ///
+  /// NOTE: a successful erase makes a slot *weaker*, which suspends the
+  /// monotone-slot invariant that makes try_admit rejects final. Callers must
+  /// therefore re-examine v (the batch engine re-enqueues v with its attract
+  /// flag set) so bidders whose rejects predate the erase get another look.
+  bool try_erase(NodeId v, Word word);
+
  private:
   /// Max over *all* slot words (empties = kEmpty, i.e. weakest). This is the
   /// admission bound. Pre: cap > 0.

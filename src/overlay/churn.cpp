@@ -1,9 +1,11 @@
 #include "overlay/churn.hpp"
 
 #include <chrono>
+#include <cmath>
 
 #include "obs/registry.hpp"
 #include "prefs/satisfaction.hpp"
+#include "util/thread_pool.hpp"
 
 namespace overmatch::overlay {
 namespace {
@@ -30,14 +32,40 @@ const char* churn_mode_name(ChurnMode m) {
   return "?";
 }
 
-ChurnMode churn_mode_by_name(const std::string& name) {
+std::optional<ChurnMode> try_churn_mode_by_name(const std::string& name) {
   for (const ChurnMode m : {ChurnMode::kIncremental, ChurnMode::kGreedyKeep,
                             ChurnMode::kScratch}) {
     if (name == churn_mode_name(m)) return m;
   }
-  OM_CHECK_MSG(false, "unknown churn mode name");
-  return ChurnMode::kIncremental;
+  return std::nullopt;
 }
+
+const char* churn_mode_names() { return "incremental|greedy-keep|scratch"; }
+
+ChurnMode churn_mode_by_name(const std::string& name) {
+  const auto m = try_churn_mode_by_name(name);
+  OM_CHECK_MSG(m.has_value(), "unknown churn mode name");
+  return *m;
+}
+
+const char* churn_arrival_name(ChurnArrival a) {
+  switch (a) {
+    case ChurnArrival::kUniform: return "uniform";
+    case ChurnArrival::kPoisson: return "poisson";
+    case ChurnArrival::kFlashCrowd: return "flash-crowd";
+  }
+  return "?";
+}
+
+std::optional<ChurnArrival> try_churn_arrival_by_name(const std::string& name) {
+  for (const ChurnArrival a : {ChurnArrival::kUniform, ChurnArrival::kPoisson,
+                               ChurnArrival::kFlashCrowd}) {
+    if (name == churn_arrival_name(a)) return a;
+  }
+  return std::nullopt;
+}
+
+const char* churn_arrival_names() { return "uniform|poisson|flash-crowd"; }
 
 ChurnSimulator::ChurnSimulator(const prefs::PreferenceProfile& profile,
                                const prefs::EdgeWeights& weights,
@@ -212,6 +240,154 @@ ChurnEvent ChurnSimulator::join(NodeId v) {
     }
   }
   return finish_event(true, v, removed, added, elapsed_ns(t0));
+}
+
+ChurnBatchReport ChurnSimulator::apply_batch(
+    std::span<const matching::ChurnEvent> events) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ChurnBatchReport rep;
+  rep.events = events.size();
+  if (opts_.mode == ChurnMode::kIncremental) {
+    dyn_->apply_batch(events, opts_.pool);
+    // Sync the simulator's alive view from the engine (net effects only;
+    // a coalesced leave+rejoin lands back on its starting value).
+    for (const matching::ChurnEvent& ev : events) {
+      if (ev.is_node_event()) alive_[ev.u] = dyn_->alive(ev.u) ? 1 : 0;
+    }
+    const auto& st = dyn_->last_repair();
+    const auto& bt = dyn_->last_batch();
+    rep.edges_removed = st.matched_removed;
+    rep.edges_added = st.matched_added;
+    rep.coalesced = bt.coalesced;
+    rep.workers = bt.workers;
+    for (const NodeId u : dyn_->last_changed_nodes()) refresh_satisfaction(u);
+    // Unmatched leavers/joiners still flip their own S_i term.
+    for (const matching::ChurnEvent& ev : events) {
+      if (ev.is_node_event()) refresh_satisfaction(ev.u);
+    }
+    rep.incremental_weight = dyn_->matched_weight();
+    if (opts_.registry != nullptr) {
+      obs::Registry& reg = *opts_.registry;
+      reg.counter("churn.edges_removed").inc(rep.edges_removed);
+      reg.counter("churn.edges_added").inc(rep.edges_added);
+      reg.histogram("churn.repair_added", kRepairBuckets)
+          .observe(static_cast<double>(rep.edges_added));
+    }
+  } else {
+    // No batch path in the sweep-based modes: replay node events one by one
+    // (each leave()/join() call does its own churn.* accounting).
+    for (const matching::ChurnEvent& ev : events) {
+      OM_CHECK_MSG(ev.is_node_event(),
+                   "edge churn events require ChurnMode::kIncremental");
+      const ChurnEvent done = ev.kind == matching::ChurnEvent::Kind::kJoin
+                                  ? join(ev.u)
+                                  : leave(ev.u);
+      rep.edges_removed += done.edges_removed;
+      rep.edges_added += done.edges_added;
+    }
+    rep.incremental_weight = m_.total_weight(*w_);
+  }
+  rep.satisfaction_total = total_satisfaction_alive();
+  rep.repair_ns = elapsed_ns(t0);
+  if (opts_.registry != nullptr) {
+    obs::Registry& reg = *opts_.registry;
+    reg.counter("churn.batches").inc();
+    reg.counter("churn.batch_events").inc(rep.events);
+    reg.counter("churn.batch_coalesced").inc(rep.coalesced);
+  }
+  return rep;
+}
+
+ChurnTraffic::ChurnTraffic(std::size_t num_nodes, ChurnArrival arrival,
+                           double mean_burst, std::uint64_t seed)
+    : rng_(seed),
+      arrival_(arrival),
+      mean_(mean_burst),
+      alive_(num_nodes, 1),
+      pos_(num_nodes, 0) {
+  OM_CHECK_MSG(num_nodes >= 2, "churn traffic needs at least two nodes");
+  OM_CHECK_MSG(mean_burst >= 1.0, "mean burst size must be >= 1");
+  online_.reserve(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    online_.push_back(v);
+    pos_[v] = v;
+  }
+}
+
+std::size_t ChurnTraffic::poisson(double mean) {
+  // Knuth's product-of-uniforms sampler; fine for the per-burst means used
+  // here (a normal approximation takes over for large means).
+  if (mean > 64.0) {
+    const double x = mean + std::sqrt(mean) * rng_.normal();
+    return x < 1.0 ? 1 : static_cast<std::size_t>(std::llround(x));
+  }
+  const double limit = std::exp(-mean);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng_.uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+void ChurnTraffic::move_node(NodeId v, bool to_online) {
+  std::vector<NodeId>& from = to_online ? offline_ : online_;
+  std::vector<NodeId>& to = to_online ? online_ : offline_;
+  const std::uint32_t i = pos_[v];
+  OM_CHECK(from[i] == v);
+  from[i] = from.back();
+  pos_[from[i]] = i;
+  from.pop_back();
+  pos_[v] = static_cast<std::uint32_t>(to.size());
+  to.push_back(v);
+  alive_[v] = to_online ? 1 : 0;
+}
+
+NodeId ChurnTraffic::pick(const std::vector<NodeId>& pool) {
+  return pool[rng_.index(pool.size())];
+}
+
+std::vector<matching::ChurnEvent> ChurnTraffic::next_burst() {
+  using matching::ChurnEvent;
+  const bool spike = arrival_ == ChurnArrival::kFlashCrowd &&
+                     burst_no_ % kFlashPeriod == kFlashPeriod - 1;
+  std::size_t target = 1;
+  switch (arrival_) {
+    case ChurnArrival::kUniform:
+      target = static_cast<std::size_t>(std::llround(mean_));
+      break;
+    case ChurnArrival::kPoisson:
+      target = poisson(mean_);
+      break;
+    case ChurnArrival::kFlashCrowd:
+      target = spike ? static_cast<std::size_t>(std::llround(mean_ * 4.0))
+                     : poisson(mean_ * 0.5);
+      break;
+  }
+  if (target < 1) target = 1;
+  ++burst_no_;
+  // A spike pushes in one correlated direction: mass leave while most peers
+  // are online, mass rejoin while most are offline.
+  const bool spike_join = offline_.size() > alive_.size() / 2;
+  std::vector<ChurnEvent> out;
+  out.reserve(target + target / 4);
+  while (out.size() < target) {
+    bool join = spike ? spike_join : rng_.chance(0.5);
+    // Never drain a pool completely (events must stay valid in order).
+    if (join && offline_.empty()) join = false;
+    if (!join && online_.size() <= 1) join = true;
+    if (join && offline_.empty()) break;  // everything online, can't join
+    const NodeId v = pick(join ? offline_ : online_);
+    out.push_back(join ? ChurnEvent::join(v) : ChurnEvent::leave(v));
+    move_node(v, join);
+    if (!spike && rng_.chance(0.15)) {
+      // Flap: immediately reverse — the coalescing fodder.
+      out.push_back(join ? ChurnEvent::leave(v) : ChurnEvent::join(v));
+      move_node(v, !join);
+    }
+  }
+  return out;
 }
 
 double ChurnSimulator::total_satisfaction_alive() const {

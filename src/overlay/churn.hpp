@@ -20,6 +20,8 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,9 +29,13 @@
 #include "matching/matching.hpp"
 #include "prefs/preference_profile.hpp"
 #include "prefs/weights.hpp"
+#include "util/rng.hpp"
 
 namespace overmatch::obs {
 class Registry;
+}
+namespace overmatch::util {
+class ThreadPool;
 }
 
 namespace overmatch::overlay {
@@ -44,7 +50,26 @@ enum class ChurnMode : std::uint8_t {
 };
 
 [[nodiscard]] const char* churn_mode_name(ChurnMode m);
+/// Aborts on an unknown name; CLI code should prefer try_churn_mode_by_name.
 [[nodiscard]] ChurnMode churn_mode_by_name(const std::string& name);
+/// nullopt on an unknown name (for callers that want to report, not abort).
+[[nodiscard]] std::optional<ChurnMode> try_churn_mode_by_name(
+    const std::string& name);
+/// All valid mode names, '|'-separated (for CLI error messages).
+[[nodiscard]] const char* churn_mode_names();
+
+/// Arrival process for batched churn traffic (ChurnTraffic).
+enum class ChurnArrival : std::uint8_t {
+  kUniform,     ///< every burst has the same size
+  kPoisson,     ///< burst sizes ~ Poisson(mean): independent arrivals
+  kFlashCrowd,  ///< Poisson trickle punctuated by correlated mass spikes
+};
+
+[[nodiscard]] const char* churn_arrival_name(ChurnArrival a);
+[[nodiscard]] std::optional<ChurnArrival> try_churn_arrival_by_name(
+    const std::string& name);
+/// All valid arrival names, '|'-separated (for CLI error messages).
+[[nodiscard]] const char* churn_arrival_names();
 
 struct ChurnOptions {
   ChurnMode mode = ChurnMode::kIncremental;
@@ -59,6 +84,10 @@ struct ChurnOptions {
   /// kChurnLeave/kChurnJoin trace entries) and, in incremental mode, the
   /// engine's `dyn.*` series.
   obs::Registry* registry = nullptr;
+  /// Optional pool for batched repair (apply_batch in incremental mode runs
+  /// the frontier cascades on it; caller-owned, caller participates). Per-
+  /// event repair and the other modes ignore it.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct ChurnEvent {
@@ -76,6 +105,18 @@ struct ChurnEvent {
   std::uint64_t repair_ns = 0;      ///< wall-clock of this event's repair
 };
 
+/// Aggregate result of one batched application (ChurnSimulator::apply_batch).
+struct ChurnBatchReport {
+  std::size_t events = 0;         ///< raw events in the burst
+  std::size_t coalesced = 0;      ///< events cancelled by net-effect dedup
+  std::size_t edges_removed = 0;  ///< matched edges torn by the burst
+  std::size_t edges_added = 0;    ///< matched edges (re)established by repair
+  double incremental_weight = 0.0;
+  double satisfaction_total = 0.0;  ///< Σ S_i over alive nodes
+  std::uint64_t repair_ns = 0;      ///< wall-clock of the whole batch
+  std::size_t workers = 1;          ///< repair threads (1 = sequential)
+};
+
 class ChurnSimulator {
  public:
   /// All profile/weight state references objects owned by the caller, which
@@ -90,6 +131,15 @@ class ChurnSimulator {
 
   /// Brings node v back online and repairs.
   ChurnEvent join(NodeId v);
+
+  /// Applies a burst of events as one repair. In incremental mode this is
+  /// DynamicBSuitor::apply_batch — coalesced, and frontier-parallel when
+  /// ChurnOptions::pool is set — and the burst may contain edge events. The
+  /// other modes have no batch path: node events replay through leave()/
+  /// join() one by one (edge events abort), so results stay comparable
+  /// across modes. Events must be valid in order (same rule as the
+  /// per-event entry points).
+  ChurnBatchReport apply_batch(std::span<const matching::ChurnEvent> events);
 
   [[nodiscard]] bool alive(NodeId v) const {
     OM_CHECK(v < alive_.size());
@@ -119,6 +169,53 @@ class ChurnSimulator {
   /// updated from DynamicBSuitor::last_changed_nodes per event).
   std::vector<double> sat_;
   double sat_total_ = 0.0;
+};
+
+/// Deterministic churn-traffic generator for batched sessions: draws bursts
+/// of sequentially-valid node leave/join events under an arrival process.
+///
+///  * kUniform — every burst has round(mean) events (at least 1);
+///  * kPoisson — burst sizes ~ Poisson(mean), clamped to >= 1: the classic
+///    independent-arrivals model;
+///  * kFlashCrowd — a Poisson trickle at mean/2, punctuated every
+///    kFlashPeriod-th burst by a correlated spike of ~4×mean events pushed
+///    in one direction (mass leave when most peers are online, mass rejoin
+///    when most are offline) — the "everyone piles in / the ISP dies"
+///    pattern overlay papers worry about.
+///
+/// Outside spikes, ~15% of drawn events are immediately-reversed *flaps*
+/// (leave then rejoin of the same node inside the burst) — the empirically
+/// dominant churn pattern, and exactly what apply_batch's coalescing
+/// eliminates. Everything is deterministic from the seed.
+class ChurnTraffic {
+ public:
+  /// Every spike-period-th burst of flash-crowd traffic is a spike.
+  static constexpr std::uint64_t kFlashPeriod = 8;
+
+  ChurnTraffic(std::size_t num_nodes, ChurnArrival arrival, double mean_burst,
+               std::uint64_t seed);
+
+  /// The next burst; valid when applied in order starting from the all-alive
+  /// state (the generator tracks the resulting alive set itself).
+  [[nodiscard]] std::vector<matching::ChurnEvent> next_burst();
+
+  [[nodiscard]] bool alive(NodeId v) const { return alive_[v] != 0; }
+  [[nodiscard]] std::size_t online_count() const { return online_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t poisson(double mean);
+  /// Moves v between the online_/offline_ pools (swap-remove, O(1)).
+  void move_node(NodeId v, bool to_online);
+  [[nodiscard]] NodeId pick(const std::vector<NodeId>& pool);
+
+  util::Rng rng_;
+  ChurnArrival arrival_;
+  double mean_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<NodeId> online_;
+  std::vector<NodeId> offline_;
+  std::vector<std::uint32_t> pos_;  ///< index of v inside its current pool
+  std::uint64_t burst_no_ = 0;
 };
 
 }  // namespace overmatch::overlay

@@ -1,0 +1,300 @@
+// DynamicBSuitor::apply_batch correctness: a batched application must land
+// on exactly the state of applying the same events one-by-one through the
+// per-event entry points — bit-identical matching (unique fixed point of the
+// final alive/enabled configuration, DESIGN.md §12) — at every thread count,
+// across topologies, quota shapes, batch sizes, coalescing patterns
+// (leave-then-rejoin flaps, double edge toggles, all-no-op bursts), quota-0
+// and isolated frontier nodes, and a many-thread hammer for TSan.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "matching/bsuitor.hpp"
+#include "matching/dynamic_bsuitor.hpp"
+#include "matching/verify.hpp"
+#include "tests/matching/common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+using testing::Instance;
+
+/// Draws bursts of sequentially-valid mixed node/edge churn events against a
+/// shadow alive/edge state (~70% node events with ~20% immediate flap pairs,
+/// ~30% edge toggles with occasional double toggles — the coalescing fodder).
+class BurstGen {
+ public:
+  BurstGen(const graph::Graph& g, std::uint64_t seed)
+      : g_(&g), rng_(seed), alive_(g.num_nodes(), 1), off_(g.num_edges(), 0) {}
+
+  std::vector<ChurnEvent> burst(std::size_t target) {
+    std::vector<ChurnEvent> out;
+    out.reserve(target + target / 2);
+    while (out.size() < target) {
+      if (g_->num_edges() > 0 && rng_.chance(0.3)) {
+        const auto e = static_cast<EdgeId>(rng_.index(g_->num_edges()));
+        const auto& [i, j] = g_->edge(e);
+        toggle(out, e, i, j);
+        if (rng_.chance(0.25)) toggle(out, e, i, j);  // double toggle: no-op
+      } else {
+        const auto v = static_cast<NodeId>(rng_.index(g_->num_nodes()));
+        flip(out, v);
+        if (rng_.chance(0.2)) flip(out, v);  // flap: leave+rejoin, no-op
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& alive() const { return alive_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& edge_off() const { return off_; }
+
+ private:
+  void flip(std::vector<ChurnEvent>& out, NodeId v) {
+    if (alive_[v] != 0) {
+      alive_[v] = 0;
+      out.push_back(ChurnEvent::leave(v));
+    } else {
+      alive_[v] = 1;
+      out.push_back(ChurnEvent::join(v));
+    }
+  }
+  void toggle(std::vector<ChurnEvent>& out, EdgeId e, NodeId i, NodeId j) {
+    if (off_[e] != 0) {
+      off_[e] = 0;
+      out.push_back(ChurnEvent::edge_up(i, j));
+    } else {
+      off_[e] = 1;
+      out.push_back(ChurnEvent::edge_down(i, j));
+    }
+  }
+
+  const graph::Graph* g_;
+  util::Rng rng_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<std::uint8_t> off_;
+};
+
+/// Replays one burst through the per-event entry points.
+void replay_per_event(DynamicBSuitor& dyn, const std::vector<ChurnEvent>& burst) {
+  for (const ChurnEvent& ev : burst) {
+    switch (ev.kind) {
+      case ChurnEvent::Kind::kLeave:
+        dyn.on_node_leave(ev.u);
+        break;
+      case ChurnEvent::Kind::kJoin:
+        dyn.on_node_join(ev.u);
+        break;
+      case ChurnEvent::Kind::kEdgeDown:
+        dyn.on_edge_change(ev.u, ev.v, false);
+        break;
+      case ChurnEvent::Kind::kEdgeUp:
+        dyn.on_edge_change(ev.u, ev.v, true);
+        break;
+    }
+  }
+}
+
+/// The core twin-engine property: `batched` applies each burst as one
+/// apply_batch (on `pool`), `reference` replays it event-by-event; the
+/// matchings must be bit-identical after every burst.
+void run_twin(const prefs::EdgeWeights& w, const Quotas& quotas,
+              util::ThreadPool* pool, std::uint64_t seed,
+              std::size_t batch_size, std::size_t bursts) {
+  DynamicBSuitor batched(w, quotas);
+  DynamicBSuitor reference(w, quotas);
+  BurstGen gen(w.graph(), seed);
+  for (std::size_t b = 0; b < bursts; ++b) {
+    const auto burst = gen.burst(batch_size);
+    batched.apply_batch(burst, pool);
+    replay_per_event(reference, burst);
+    ASSERT_TRUE(is_valid_bmatching(batched.matching())) << "burst " << b;
+    ASSERT_TRUE(batched.matching().same_edges(reference.matching()))
+        << "burst " << b << " batch_size " << batch_size;
+    ASSERT_NEAR(batched.matched_weight(), reference.matched_weight(), 1e-9)
+        << "burst " << b;
+    for (NodeId v = 0; v < w.graph().num_nodes(); ++v) {
+      ASSERT_EQ(batched.alive(v), gen.alive()[v] != 0) << "node " << v;
+    }
+  }
+}
+
+// The ISSUE's acceptance matrix: er/ba/ws x quotas {1, 3, hetero} x threads
+// {1, 2, 4, 8} x batch sizes {1, 16, 256}; batched == per-event replay,
+// bit-identical, after every burst.
+TEST(ApplyBatch, MatchesPerEventReplayAcrossTheMatrix) {
+  for (const char* topology : {"er", "ba", "ws"}) {
+    for (const std::uint32_t quota : {1u, 3u, 0u}) {  // 0 = heterogeneous
+      const auto inst =
+          quota == 0 ? Instance::random_quotas(topology, 120, 6.0, 4, 77)
+                     : Instance::random(topology, 120, 6.0, quota, 77);
+      const auto& quotas = inst->profile->quotas();
+      for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        std::unique_ptr<util::ThreadPool> pool =
+            threads > 1 ? std::make_unique<util::ThreadPool>(threads - 1)
+                        : nullptr;
+        for (const std::size_t batch : {1u, 16u, 256u}) {
+          ASSERT_NO_FATAL_FAILURE(run_twin(*inst->weights, quotas, pool.get(),
+                                           1000 + threads * 10 + batch, batch,
+                                           batch >= 256 ? 2 : 4))
+              << topology << " quota " << quota << " threads " << threads
+              << " batch " << batch;
+        }
+      }
+    }
+  }
+}
+
+TEST(ApplyBatch, LeaveThenRejoinSameNodeCoalescesToNoOp) {
+  auto inst = Instance::random("er", 60, 6.0, 3, 5);
+  DynamicBSuitor dyn(*inst->weights, inst->profile->quotas());
+  const Matching initial = dyn.matching();
+  const double w0 = dyn.matched_weight();
+
+  const std::vector<ChurnEvent> burst = {
+      ChurnEvent::leave(7), ChurnEvent::join(7),
+      ChurnEvent::leave(12), ChurnEvent::join(12)};
+  dyn.apply_batch(burst);
+  const auto& st = dyn.last_batch();
+  EXPECT_EQ(st.events, 4u);
+  EXPECT_EQ(st.coalesced, 4u);  // both pairs net out
+  EXPECT_EQ(st.net_leaves, 0u);
+  EXPECT_EQ(st.net_joins, 0u);
+  EXPECT_EQ(st.frontier, 0u);  // nothing to repair
+  EXPECT_TRUE(dyn.matching().same_edges(initial));
+  EXPECT_NEAR(dyn.matched_weight(), w0, 1e-12);
+  EXPECT_TRUE(dyn.alive(7));
+  EXPECT_TRUE(dyn.alive(12));
+}
+
+TEST(ApplyBatch, DoubleToggleSameEdgeCoalescesToNoOp) {
+  auto inst = Instance::random("ba", 50, 5.0, 2, 9);
+  DynamicBSuitor dyn(*inst->weights, inst->profile->quotas());
+  const Matching initial = dyn.matching();
+  const auto& [i, j] = inst->g.edge(3);
+
+  const std::vector<ChurnEvent> burst = {ChurnEvent::edge_down(i, j),
+                                         ChurnEvent::edge_up(i, j)};
+  dyn.apply_batch(burst);
+  EXPECT_EQ(dyn.last_batch().coalesced, 2u);
+  EXPECT_EQ(dyn.last_batch().net_edges_down, 0u);
+  EXPECT_EQ(dyn.last_batch().frontier, 0u);
+  EXPECT_TRUE(dyn.edge_present(3));
+  EXPECT_TRUE(dyn.matching().same_edges(initial));
+
+  // And a toggle mixed into a real burst still nets out while the rest of
+  // the burst takes effect.
+  const auto& [p, q] = inst->g.edge(8);
+  const std::vector<ChurnEvent> mixed = {
+      ChurnEvent::edge_down(p, q), ChurnEvent::leave(4),
+      ChurnEvent::edge_up(p, q)};
+  dyn.apply_batch(mixed);
+  EXPECT_EQ(dyn.last_batch().coalesced, 2u);
+  EXPECT_EQ(dyn.last_batch().net_leaves, 1u);
+  EXPECT_TRUE(dyn.edge_present(8));
+  EXPECT_FALSE(dyn.alive(4));
+}
+
+TEST(ApplyBatch, AllNoOpBatchLeavesEverythingUntouched) {
+  auto inst = Instance::random("ws", 40, 4.0, 3, 13);
+  DynamicBSuitor dyn(*inst->weights, inst->profile->quotas());
+  const Matching initial = dyn.matching();
+
+  std::vector<ChurnEvent> burst;
+  for (NodeId v = 0; v < 10; ++v) {
+    burst.push_back(ChurnEvent::leave(v));
+    burst.push_back(ChurnEvent::join(v));
+  }
+  for (EdgeId e = 0; e < 5; ++e) {
+    const auto& [i, j] = inst->g.edge(e);
+    burst.push_back(ChurnEvent::edge_down(i, j));
+    burst.push_back(ChurnEvent::edge_up(i, j));
+  }
+  // Parallel path too: an empty frontier must not deadlock the workers.
+  util::ThreadPool pool(3);
+  dyn.apply_batch(burst, &pool);
+  EXPECT_EQ(dyn.last_batch().events, 30u);
+  EXPECT_EQ(dyn.last_batch().coalesced, 30u);
+  EXPECT_EQ(dyn.last_batch().frontier, 0u);
+  EXPECT_EQ(dyn.last_repair().matched_removed, 0u);
+  EXPECT_EQ(dyn.last_repair().matched_added, 0u);
+  EXPECT_TRUE(dyn.matching().same_edges(initial));
+}
+
+TEST(ApplyBatch, QuotaZeroAndIsolatedNodesInTheFrontier) {
+  // Node 5 is isolated (no candidate edges); nodes 0 and 3 have quota 0.
+  graph::GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(0, 4);
+  graph::Graph g = std::move(b).build();
+  util::Rng rng(17);
+  const auto w = prefs::random_weights(g, rng);
+  Quotas quotas(g.num_nodes(), 2);
+  quotas[0] = 0;
+  quotas[3] = 0;
+
+  DynamicBSuitor batched(w, quotas);
+  DynamicBSuitor reference(w, quotas);
+  util::ThreadPool pool(3);
+  // One burst that puts the quota-0 nodes AND the isolated node into the
+  // repair frontier, alongside a real transition next to them.
+  const std::vector<ChurnEvent> burst = {
+      ChurnEvent::leave(0), ChurnEvent::leave(5), ChurnEvent::leave(1),
+      ChurnEvent::join(0),  ChurnEvent::join(5)};
+  batched.apply_batch(burst, &pool);
+  replay_per_event(reference, burst);
+  EXPECT_TRUE(batched.matching().same_edges(reference.matching()));
+  EXPECT_EQ(batched.matching().load(0), 0u);
+  EXPECT_EQ(batched.matching().load(3), 0u);
+  EXPECT_EQ(batched.matching().load(5), 0u);
+
+  // Rejoin everyone; the unique fixed point restores the initial matching.
+  const std::vector<ChurnEvent> back = {ChurnEvent::join(1)};
+  batched.apply_batch(back, &pool);
+  replay_per_event(reference, back);
+  EXPECT_TRUE(batched.matching().same_edges(reference.matching()));
+}
+
+// Many threads, bigger graph, long bursts: the TSan target for the 4-state
+// serialization and the CAS admission/erase protocol (run under the `tsan`
+// CMake preset; under the default build it is still a correctness check).
+TEST(ApplyBatch, EightThreadHammerStaysBitIdentical) {
+  auto inst = Instance::random_quotas("ba", 600, 8.0, 4, 29);
+  const auto& quotas = inst->profile->quotas();
+  util::ThreadPool pool(7);  // 8 workers with the caller
+  DynamicBSuitor batched(*inst->weights, quotas);
+  DynamicBSuitor reference(*inst->weights, quotas);
+  BurstGen gen(inst->g, 31);
+  for (std::size_t b = 0; b < 6; ++b) {
+    const auto burst = gen.burst(192);
+    batched.apply_batch(burst, &pool);
+    EXPECT_GE(batched.last_batch().workers, 2u);
+    replay_per_event(reference, burst);
+    ASSERT_TRUE(batched.matching().same_edges(reference.matching()))
+        << "burst " << b;
+    ASSERT_NEAR(batched.matched_weight(), reference.matched_weight(), 1e-9);
+  }
+}
+
+TEST(ApplyBatch, SequentialFallbackUsedWithoutPool) {
+  auto inst = Instance::random("er", 50, 5.0, 3, 37);
+  DynamicBSuitor dyn(*inst->weights, inst->profile->quotas());
+  dyn.apply_batch(std::vector<ChurnEvent>{ChurnEvent::leave(2)});
+  EXPECT_EQ(dyn.last_batch().workers, 1u);
+}
+
+TEST(ApplyBatchDeathTest, InvalidEventInBatchAborts) {
+  auto inst = Instance::random("er", 20, 4.0, 2, 41);
+  DynamicBSuitor dyn(*inst->weights, inst->profile->quotas());
+  // join of an online node — invalid even mid-batch.
+  const std::vector<ChurnEvent> bad = {ChurnEvent::leave(1),
+                                       ChurnEvent::join(2)};
+  EXPECT_DEATH(dyn.apply_batch(bad), "online");
+}
+
+}  // namespace
+}  // namespace overmatch::matching

@@ -1,0 +1,114 @@
+// Timed gate for the batched churn path: on a machine with >= 4 hardware
+// threads, batched + parallel apply_batch must sustain >= 5x the per-event
+// incremental event throughput at burst sizes >= 64 (ISSUE acceptance). Own
+// binary so the timed section never shares a machine with the parallel test
+// shuffle. On smaller machines (the reference container is single-core) the
+// timing half skips — but the bit-identity half runs unconditionally.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "matching/dynamic_bsuitor.hpp"
+#include "overlay/churn.hpp"
+#include "tests/matching/common.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace overmatch::matching {
+namespace {
+
+using testing::Instance;
+
+/// Pre-draws `total` events of Poisson(burst) traffic as a burst list.
+std::vector<std::vector<ChurnEvent>> draw_traffic(std::size_t n,
+                                                  std::size_t burst,
+                                                  std::size_t total) {
+  overlay::ChurnTraffic traffic(n, overlay::ChurnArrival::kPoisson,
+                                static_cast<double>(burst), 4242);
+  std::vector<std::vector<ChurnEvent>> bursts;
+  std::size_t events = 0;
+  while (events < total) {
+    bursts.push_back(traffic.next_burst());
+    events += bursts.back().size();
+  }
+  return bursts;
+}
+
+double run_per_event_ms(const prefs::EdgeWeights& w, const Quotas& quotas,
+                        const std::vector<std::vector<ChurnEvent>>& bursts) {
+  DynamicBSuitor dyn(w, quotas);
+  util::WallTimer t;
+  for (const auto& burst : bursts) {
+    for (const ChurnEvent& ev : burst) {
+      if (ev.kind == ChurnEvent::Kind::kJoin) {
+        dyn.on_node_join(ev.u);
+      } else {
+        dyn.on_node_leave(ev.u);
+      }
+    }
+  }
+  return t.millis();
+}
+
+double run_batched_ms(const prefs::EdgeWeights& w, const Quotas& quotas,
+                      const std::vector<std::vector<ChurnEvent>>& bursts,
+                      util::ThreadPool* pool) {
+  DynamicBSuitor dyn(w, quotas);
+  util::WallTimer t;
+  for (const auto& burst : bursts) dyn.apply_batch(burst, pool);
+  return t.millis();
+}
+
+// Unconditional half: at a size where parallel cascades genuinely overlap,
+// the batched matching equals the per-event one at every thread count.
+TEST(ApplyBatchSpeedup, BitIdenticalAtEveryThreadCount) {
+  auto inst = Instance::random("ba", 40000, 8.0, 3, 91);
+  const auto& quotas = inst->profile->quotas();
+  const auto bursts = draw_traffic(inst->g.num_nodes(), 128, 1024);
+
+  DynamicBSuitor reference(*inst->weights, quotas);
+  for (const auto& burst : bursts) reference.apply_batch(burst);
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    util::ThreadPool pool(threads - 1);
+    DynamicBSuitor dyn(*inst->weights, quotas);
+    for (const auto& burst : bursts) dyn.apply_batch(burst, &pool);
+    ASSERT_TRUE(dyn.matching().same_edges(reference.matching()))
+        << "threads " << threads;
+    ASSERT_NEAR(dyn.matched_weight(), reference.matched_weight(), 1e-9);
+  }
+}
+
+TEST(ApplyBatchSpeedup, BatchedParallelBeatsPerEventFiveFold) {
+  if (std::thread::hardware_concurrency() < 4) {
+    GTEST_SKIP() << "needs >= 4 hardware threads to measure batched scaling "
+                    "(reference container is single-core)";
+  }
+  auto inst = Instance::random("ba", 200000, 8.0, 3, 93);
+  const auto& quotas = inst->profile->quotas();
+  const auto bursts = draw_traffic(inst->g.num_nodes(), 128, 8192);
+
+  // Median of 3 reps each, fresh engine per rep (same discipline as
+  // test_parallel_bsuitor_speedup).
+  auto median3 = [](double a, double b, double c) {
+    return std::max(std::min(a, b), std::min(std::max(a, b), c));
+  };
+  const double per_event_ms =
+      median3(run_per_event_ms(*inst->weights, quotas, bursts),
+              run_per_event_ms(*inst->weights, quotas, bursts),
+              run_per_event_ms(*inst->weights, quotas, bursts));
+  util::ThreadPool pool(3);  // 4 workers with the caller
+  const double batched_ms =
+      median3(run_batched_ms(*inst->weights, quotas, bursts, &pool),
+              run_batched_ms(*inst->weights, quotas, bursts, &pool),
+              run_batched_ms(*inst->weights, quotas, bursts, &pool));
+
+  std::printf("per-event %.1f ms, batched(4t) %.1f ms, speedup %.2fx\n",
+              per_event_ms, batched_ms, per_event_ms / batched_ms);
+  EXPECT_GE(per_event_ms / batched_ms, 5.0)
+      << "batched+parallel apply_batch must be >= 5x per-event at burst >= 64";
+}
+
+}  // namespace
+}  // namespace overmatch::matching

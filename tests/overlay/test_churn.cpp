@@ -175,6 +175,99 @@ TEST(Churn, LeaveThenJoinOfIsolatedEventIsStableState) {
   EXPECT_GE(ev2.incremental_weight, ev1.incremental_weight - 1e-9);
 }
 
+TEST(Churn, ArrivalNamesRoundTrip) {
+  for (const ChurnArrival a : {ChurnArrival::kUniform, ChurnArrival::kPoisson,
+                               ChurnArrival::kFlashCrowd}) {
+    const auto back = try_churn_arrival_by_name(churn_arrival_name(a));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, a);
+  }
+  EXPECT_FALSE(try_churn_arrival_by_name("bogus").has_value());
+  EXPECT_FALSE(try_churn_mode_by_name("bogus").has_value());
+}
+
+TEST(Churn, TrafficBurstsAreSequentiallyValidAndDeterministic) {
+  for (const ChurnArrival a : {ChurnArrival::kUniform, ChurnArrival::kPoisson,
+                               ChurnArrival::kFlashCrowd}) {
+    ChurnTraffic t1(50, a, 8.0, 99);
+    ChurnTraffic t2(50, a, 8.0, 99);
+    std::vector<std::uint8_t> alive(50, 1);
+    for (int b = 0; b < 20; ++b) {
+      const auto burst = t1.next_burst();
+      const auto twin = t2.next_burst();
+      ASSERT_EQ(burst.size(), twin.size());
+      ASSERT_FALSE(burst.empty());
+      for (std::size_t k = 0; k < burst.size(); ++k) {
+        const auto& ev = burst[k];
+        ASSERT_TRUE(ev.is_node_event());
+        ASSERT_EQ(ev.kind, twin[k].kind);
+        ASSERT_EQ(ev.u, twin[k].u);
+        // Valid in order: leave of an online node, join of an offline one.
+        if (ev.kind == matching::ChurnEvent::Kind::kLeave) {
+          ASSERT_EQ(alive[ev.u], 1) << "burst " << b << " event " << k;
+          alive[ev.u] = 0;
+        } else {
+          ASSERT_EQ(alive[ev.u], 0) << "burst " << b << " event " << k;
+          alive[ev.u] = 1;
+        }
+      }
+    }
+    // The generator's own alive view matches the replayed one.
+    for (NodeId v = 0; v < 50; ++v) EXPECT_EQ(t1.alive(v), alive[v] != 0);
+  }
+}
+
+TEST(Churn, ApplyBatchMatchesPerEventReplayInIncrementalMode) {
+  ChurnFixture f(21, 60);
+  ChurnSimulator batched(*f.profile, *f.weights, {});
+  ChurnSimulator byone(*f.profile, *f.weights, {});
+  ChurnTraffic traffic(f.g.num_nodes(), ChurnArrival::kPoisson, 12.0, 7);
+  for (int b = 0; b < 10; ++b) {
+    const auto burst = traffic.next_burst();
+    const auto rep = batched.apply_batch(burst);
+    double sat = 0.0;
+    for (const auto& ev : burst) {
+      const auto done = ev.kind == matching::ChurnEvent::Kind::kJoin
+                            ? byone.join(ev.u)
+                            : byone.leave(ev.u);
+      sat = done.satisfaction_total;
+    }
+    EXPECT_EQ(rep.events, burst.size());
+    ASSERT_TRUE(batched.matching().same_edges(byone.matching())) << "burst " << b;
+    EXPECT_NEAR(rep.incremental_weight,
+                byone.matching().total_weight(*f.weights), 1e-9);
+    EXPECT_NEAR(rep.satisfaction_total, sat, 1e-9);
+    for (NodeId v = 0; v < f.g.num_nodes(); ++v) {
+      ASSERT_EQ(batched.alive(v), byone.alive(v)) << "node " << v;
+    }
+  }
+}
+
+TEST(Churn, ApplyBatchFallsBackToPerEventReplayInOtherModes) {
+  ChurnFixture f(22, 40);
+  ChurnSimulator greedy(*f.profile, *f.weights, {.mode = ChurnMode::kGreedyKeep});
+  ChurnSimulator twin(*f.profile, *f.weights, {.mode = ChurnMode::kGreedyKeep});
+  const std::vector<matching::ChurnEvent> burst = {
+      matching::ChurnEvent::leave(3), matching::ChurnEvent::leave(9),
+      matching::ChurnEvent::join(3)};
+  const auto rep = greedy.apply_batch(burst);
+  twin.leave(3);
+  twin.leave(9);
+  twin.join(3);
+  EXPECT_EQ(rep.events, 3u);
+  EXPECT_EQ(rep.coalesced, 0u);  // no batch path: nothing nets out
+  EXPECT_TRUE(greedy.matching().same_edges(twin.matching()));
+}
+
+TEST(ChurnDeathTest, ApplyBatchEdgeEventsRequireIncrementalMode) {
+  ChurnFixture f(23);
+  ChurnSimulator sim(*f.profile, *f.weights, {.mode = ChurnMode::kScratch});
+  const auto& [i, j] = f.g.edge(0);
+  const std::vector<matching::ChurnEvent> burst = {
+      matching::ChurnEvent::edge_down(i, j)};
+  EXPECT_DEATH((void)sim.apply_batch(burst), "kIncremental");
+}
+
 TEST(ChurnDeathTest, DoubleLeaveAborts) {
   ChurnFixture f(7);
   ChurnSimulator sim(*f.profile, *f.weights);

@@ -3,6 +3,7 @@
 
 Usage:
     bench_diff.py BASELINE.json CURRENT.json [--threshold=0.15] [--all]
+                  [--require-name=NAME ...]
 
 Records are keyed by (name, params, threads). For every key present in both
 files the median wall-clock time is compared; keys whose current median
@@ -18,6 +19,12 @@ A top-level "env" object (host/run properties such as hardware_concurrency
 and threads_max) is compared key by key: differences are printed as a
 warning, since timings from different environments are not directly
 comparable, but they never count as regressions.
+
+--require-name=NAME (repeatable) asserts that the CURRENT file contains at
+least one record with that series name; each missing name counts as a
+failure. This lets a gate pin the columns a bench must keep emitting (e.g.
+bench_churn's event_repair and batch_throughput series) so a refactor that
+silently drops a series fails instead of "self-diffing clean".
 """
 
 import json
@@ -55,9 +62,12 @@ def main(argv):
         sys.exit(__doc__.strip())
     threshold = 0.15
     show_all = "--all" in opts
+    required_names = []
     for o in opts:
         if o.startswith("--threshold="):
             threshold = float(o.split("=", 1)[1])
+        elif o.startswith("--require-name="):
+            required_names.append(o.split("=", 1)[1])
 
     base_env, base = load(args[0])
     cur_env, cur = load(args[1])
@@ -102,9 +112,14 @@ def main(argv):
         if keys:
             print(f"\n{label} ({len(keys)}):")
             print("\n".join(f"  {fmt_key(k)}" for k in keys))
-    if not regressions:
+    cur_names = {name for name, _, _ in cur}
+    missing = [n for n in required_names if n not in cur_names]
+    if missing:
+        print(f"\nMISSING required series ({len(missing)}):")
+        print("\n".join(f"  {n}" for n in missing))
+    if not regressions and not missing:
         print("\nno regressions")
-    return len(regressions)
+    return len(regressions) + len(missing)
 
 
 if __name__ == "__main__":

@@ -55,6 +55,11 @@ void print_usage() {
       "  --churn-events=E   after solving, replay E random leave/join events\n"
       "                     and report events/s + per-event latency [0 = off]\n"
       "  --churn-mode=NAME  incremental|greedy-keep|scratch  [incremental]\n"
+      "  --churn-batch=B    batch events into bursts of mean size B and repair\n"
+      "                     each burst as one apply_batch (incremental mode;\n"
+      "                     uses the --threads pool when given)     [0 = off]\n"
+      "  --churn-arrival=A  burst-size arrival process for --churn-batch:\n"
+      "                     uniform|poisson|flash-crowd          [poisson]\n"
       "  --churn-oracle     run the from-scratch comparator per event and\n"
       "                     report the weight gap (costs O(m) per event)\n"
       "output:\n"
@@ -183,12 +188,65 @@ int main(int argc, char** argv) {
   // selected repair engine and report throughput + per-event latency.
   const auto churn_events =
       static_cast<std::size_t>(flags.get_int("churn-events", 0));
+  const auto churn_batch =
+      static_cast<std::size_t>(flags.get_int("churn-batch", 0));
   if (churn_events > 0) {
     overlay::ChurnOptions copt;
-    copt.mode = overlay::churn_mode_by_name(flags.get("churn-mode", "incremental"));
+    const std::string mode_name = flags.get("churn-mode", "incremental");
+    const auto mode = overlay::try_churn_mode_by_name(mode_name);
+    if (!mode.has_value()) {
+      std::fprintf(stderr, "overmatch_cli: unknown --churn-mode '%s' (valid: %s)\n",
+                   mode_name.c_str(), overlay::churn_mode_names());
+      return 2;
+    }
+    copt.mode = *mode;
+    const std::string arrival_name = flags.get("churn-arrival", "poisson");
+    const auto arrival = overlay::try_churn_arrival_by_name(arrival_name);
+    if (!arrival.has_value()) {
+      std::fprintf(stderr,
+                   "overmatch_cli: unknown --churn-arrival '%s' (valid: %s)\n",
+                   arrival_name.c_str(), overlay::churn_arrival_names());
+      return 2;
+    }
     copt.oracle = flags.has("churn-oracle");
     copt.registry = &registry;
+    copt.pool = pool.get();
     overlay::ChurnSimulator churn(profile, weights, copt);
+    if (churn_batch > 0) {
+      // Batched session: draw bursts from the arrival process and repair each
+      // as one apply_batch (coalesced, frontier-parallel on the pool).
+      overlay::ChurnTraffic traffic(g.num_nodes(), *arrival,
+                                    static_cast<double>(churn_batch),
+                                    seed ^ 0x9e3779b97f4a7c15ULL);
+      std::size_t applied = 0, coalesced = 0, batches = 0;
+      std::size_t workers = 1;
+      util::StreamingStats burst_us;
+      double final_weight = 0.0, final_sat = 0.0;
+      util::WallTimer batch_timer;
+      while (applied < churn_events) {
+        const auto burst = traffic.next_burst();
+        const auto rep = churn.apply_batch(burst);
+        applied += rep.events;
+        coalesced += rep.coalesced;
+        ++batches;
+        workers = rep.workers;
+        burst_us.add(static_cast<double>(rep.repair_ns) / 1e3);
+        final_weight = rep.incremental_weight;
+        final_sat = rep.satisfaction_total;
+      }
+      const double batch_ms = batch_timer.millis();
+      std::printf(
+          "churn    : %zu events in %zu %s bursts (%s repair, %zu worker%s) "
+          "in %.2f ms\n"
+          "           — %.0f events/s, %zu coalesced away, per-burst repair "
+          "mean %.1f us / max %.1f us\n"
+          "           final weight %.4f, satisfaction %.4f\n",
+          applied, batches, overlay::churn_arrival_name(*arrival),
+          overlay::churn_mode_name(churn.mode()), workers,
+          workers == 1 ? "" : "s", batch_ms,
+          1000.0 * static_cast<double>(applied) / batch_ms, coalesced,
+          burst_us.mean(), burst_us.max(), final_weight, final_sat);
+    } else {
     util::Rng churn_rng(seed ^ 0x9e3779b97f4a7c15ULL);
     std::vector<graph::NodeId> offline;
     util::StreamingStats latency_us;
@@ -227,6 +285,7 @@ int main(int argc, char** argv) {
     if (copt.oracle) {
       std::printf("           weight gap to from-scratch: mean %.3f%% max %.3f%%\n",
                   gaps.mean(), gaps.max());
+    }
     }
   }
 
