@@ -6,6 +6,8 @@
 // most one PROP and one REJ, i.e. ≤ 4m messages total; observed counts run
 // well below it.
 #include "bench/bench_common.hpp"
+#include <thread>
+
 #include "matching/lid.hpp"
 
 namespace overmatch {
@@ -137,6 +139,11 @@ int main(int argc, char** argv) {
       "E6", "Lemma 5 (termination) — protocol cost series",
       "PROP/REJ message complexity of LID across size, density, quota, schedule.");
   overmatch::bench::JsonReport json("messages");
+  // LID under the DES is single-threaded; the env block still records the
+  // host so bench_diff.py can flag cross-machine comparisons.
+  json.set_env("threads_max", "1");
+  json.set_env("hardware_concurrency",
+               std::to_string(std::thread::hardware_concurrency()));
   overmatch::series_vs_n(json);
   overmatch::series_vs_degree();
   overmatch::series_vs_quota();

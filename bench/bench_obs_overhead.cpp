@@ -13,6 +13,8 @@
 // Min-of-reps is compared (the minimum is the standard noise-robust
 // estimator for same-work timing comparisons), plus a small absolute guard
 // so sub-millisecond smoke runs don't fail on scheduler jitter.
+#include <thread>
+
 #include "bench/bench_common.hpp"
 
 #include "matching/lic.hpp"
@@ -96,6 +98,9 @@ int main(int argc, char** argv) {
   std::printf("|------------------|----------|----------|----------|\n");
 
   bench::JsonReport json("obs_overhead");
+  json.set_env("threads_max", std::to_string(threads));
+  json.set_env("hardware_concurrency",
+               std::to_string(std::thread::hardware_concurrency()));
   obs::Registry registry;
 
   const Arm lic = measure(reps, registry, [&](obs::Registry* r) {

@@ -1,0 +1,280 @@
+// E22 — the epoch-snapshot serving layer under concurrent load
+// (DESIGN.md §13).
+//
+// Three views of overmatch_serve's core promise — readers never block on
+// repair:
+//  * publish_latency / apply_latency: per-step repair and snapshot-publish
+//    wall-clock on a size ladder (the writer-side cost of an epoch).
+//  * reader_query: throughput and latency of R reader threads running the
+//    neighbour-list + satisfaction query mix, first against an idle writer
+//    (baseline) and then while the writer sustains churn bursts. The
+//    acceptance comparison — concurrent within 10% of idle while the writer
+//    clears >= 10k events/s — is only meaningful with real cores under the
+//    readers; on fewer than 4 hardware threads the multi-reader rows are
+//    emitted for the record but the verdict is SKIP (threads timeshare one
+//    core, so reader and writer throughput trade off by construction —
+//    bench_diff.py also prints an oversubscription warning for such runs).
+//  * writer_throughput: events/s the writer sustains with readers attached.
+//
+// Emits BENCH_serve.json (overmatch-bench-v1, env block with
+// hardware_concurrency/threads_max); tools/bench_diff.py compares medians
+// against the checked-in baseline and fails on >15% regressions.
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "bench/bench_common.hpp"
+#include "serve/service_loop.hpp"
+#include "util/thread_pool.hpp"
+
+namespace overmatch {
+namespace {
+
+void publish_latency(bench::JsonReport& report) {
+  const std::vector<std::size_t> ladder =
+      bench::g_smoke ? std::vector<std::size_t>{400}
+                     : std::vector<std::size_t>{10'000, 100'000};
+  util::Table t({"n", "burst", "apply med ms", "publish med ms", "epochs"});
+  for (const std::size_t n : ladder) {
+    auto inst = bench::Instance::make("er", n, 8.0, 3, 42);
+    serve::ServeOptions opts;
+    opts.churn_batch_mean = 64.0;
+    opts.seed = 9;
+    serve::ServiceLoop loop(*inst->profile, *inst->weights, opts);
+    const std::size_t steps = bench::g_smoke ? 20 : 200;
+    std::vector<double> apply_ms, pub_ms;
+    apply_ms.reserve(steps);
+    pub_ms.reserve(steps);
+    for (std::size_t k = 0; k < steps; ++k) {
+      const auto st = loop.step();
+      apply_ms.push_back(static_cast<double>(st.apply_ns) / 1e6);
+      pub_ms.push_back(static_cast<double>(st.publish_ns) / 1e6);
+    }
+    bench::JsonReport::Params params = {{"topology", "er"},
+                                        {"n", std::to_string(n)},
+                                        {"burst", "64"}};
+    report.add("apply_latency", params, apply_ms);
+    report.add("publish_latency", params, pub_ms);
+    t.row();
+    t.cell(std::to_string(n));
+    t.cell("64");
+    t.cell(util::percentile(apply_ms, 50.0), 4);
+    t.cell(util::percentile(pub_ms, 50.0), 4);
+    t.cell(std::to_string(loop.epoch()));
+  }
+  t.print("per-step repair (apply) and snapshot-publish latency, er deg 8");
+}
+
+struct ReaderRun {
+  double queries_per_s = 0.0;
+  double p99_us = 0.0;
+  double writer_events_per_s = 0.0;  ///< 0 for the idle-writer arm
+  std::vector<double> batch_ms;      ///< per-1024-query wall-clock
+};
+
+/// Runs `readers` query threads against `loop` for `run_ms`, with the
+/// writer either idle or applying churn bursts on the calling thread.
+ReaderRun run_readers(serve::ServiceLoop& loop, std::size_t readers,
+                      double run_ms, bool writer_churn) {
+  constexpr std::size_t kBatch = 1024;
+  std::atomic<bool> done{false};
+  std::vector<std::vector<double>> batches(readers);
+  std::vector<std::vector<double>> lat_us(readers);
+  std::vector<std::uint64_t> counts(readers, 0);
+
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  for (std::size_t t = 0; t < readers; ++t) {
+    threads.emplace_back([&loop, &done, &batches, &lat_us, &counts, t] {
+      auto handle = loop.store().register_reader();
+      util::Rng rng(0x5eedbeefULL + t);
+      double sink = 0.0;
+      std::uint64_t ops = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        util::WallTimer bt;
+        for (std::size_t i = 0; i < kBatch; ++i) {
+          const bool sample = (ops & 31) == 0;
+          util::WallTimer qt;
+          {
+            serve::SnapshotRef snap = loop.store().acquire(handle);
+            const auto v =
+                static_cast<graph::NodeId>(rng.index(snap->num_nodes()));
+            for (const graph::NodeId u : snap->neighbors(v)) {
+              sink += static_cast<double>(u);
+            }
+            sink += snap->satisfaction(v);
+          }
+          if (sample) lat_us[t].push_back(qt.millis() * 1e3);
+          ++ops;
+        }
+        batches[t].push_back(bt.millis());
+        counts[t] += kBatch;
+      }
+      if (sink == -1.0) std::puts("");
+    });
+  }
+
+  std::size_t events = 0;
+  util::WallTimer wall;
+  if (writer_churn) {
+    while (wall.millis() < run_ms) events += loop.step().events;
+  } else {
+    while (wall.millis() < run_ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  const double writer_ms = wall.millis();
+  done.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  const double total_ms = wall.millis();
+
+  ReaderRun out;
+  std::uint64_t queries = 0;
+  std::vector<double> all_lat;
+  for (std::size_t t = 0; t < readers; ++t) {
+    queries += counts[t];
+    out.batch_ms.insert(out.batch_ms.end(), batches[t].begin(),
+                        batches[t].end());
+    all_lat.insert(all_lat.end(), lat_us[t].begin(), lat_us[t].end());
+  }
+  out.queries_per_s = 1000.0 * static_cast<double>(queries) / total_ms;
+  if (!all_lat.empty()) out.p99_us = util::percentile(all_lat, 99.0);
+  if (writer_churn) {
+    out.writer_events_per_s =
+        1000.0 * static_cast<double>(events) / writer_ms;
+  }
+  return out;
+}
+
+void reader_throughput(bench::JsonReport& report) {
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t n = bench::scaled(20'000, 400);
+  const double run_ms = bench::g_smoke ? 300.0 : 2000.0;
+  auto inst = bench::Instance::make("er", n, 8.0, 3, 42);
+
+  // Reader ladder: 1 always; multi-reader rows need cores to mean anything
+  // but are cheap, so they are emitted whenever not in smoke mode.
+  std::vector<std::size_t> ladder = {1};
+  if (!bench::g_smoke) ladder.push_back(4);
+  if (!bench::g_smoke && hw >= 8) ladder.push_back(8);
+
+  util::Table t({"readers", "writer", "queries/s", "p99 us", "events/s"});
+  for (const std::size_t readers : ladder) {
+    serve::ServeOptions opts;
+    opts.churn_batch_mean = 64.0;
+    opts.seed = 7;
+    opts.max_readers = readers + 1;
+    serve::ServiceLoop loop(*inst->profile, *inst->weights, opts);
+
+    const ReaderRun idle = run_readers(loop, readers, run_ms, false);
+    const ReaderRun churn = run_readers(loop, readers, run_ms, true);
+    for (const auto* arm : {"idle", "churn"}) {
+      const ReaderRun& r = std::string(arm) == "idle" ? idle : churn;
+      bench::JsonReport::Params params = {
+          {"n", std::to_string(n)},
+          {"readers", std::to_string(readers)},
+          {"writer", arm},
+          {"queries_per_s", std::to_string(r.queries_per_s)},
+          {"p99_us", std::to_string(r.p99_us)}};
+      if (r.writer_events_per_s > 0.0) {
+        params.emplace_back("events_per_s",
+                            std::to_string(r.writer_events_per_s));
+      }
+      report.add("reader_query", params, r.batch_ms, readers);
+      t.row();
+      t.cell(std::to_string(readers));
+      t.cell(arm);
+      t.cell(r.queries_per_s, 0);
+      t.cell(r.p99_us, 2);
+      t.cell(r.writer_events_per_s, 0);
+    }
+
+    // The acceptance comparison: concurrent readers within 10% of the idle
+    // baseline while the writer clears 10k events/s. Needs the readers and
+    // the writer on distinct cores — SKIP (not FAIL) when timesharing.
+    const double ratio =
+        idle.queries_per_s > 0.0 ? churn.queries_per_s / idle.queries_per_s
+                                 : 0.0;
+    if (hw < 4) {
+      std::printf(
+          "readers=%zu: concurrent/idle = %.2f — SKIP verdict "
+          "(hardware_concurrency %zu < 4: reader and writer threads "
+          "timeshare, the ratio measures scheduling, not interference)\n",
+          readers, ratio, hw);
+    } else {
+      const bool ok =
+          ratio >= 0.9 && churn.writer_events_per_s >= 10'000.0;
+      std::printf(
+          "readers=%zu: concurrent/idle = %.2f, writer %.0f events/s — %s\n",
+          readers, ratio, churn.writer_events_per_s,
+          ok ? "PASS (within 10%, writer >= 10k events/s)" : "FAIL");
+    }
+  }
+  t.print("reader query mix: idle writer vs concurrent churn writer");
+}
+
+void writer_throughput(bench::JsonReport& report) {
+  const std::size_t n = bench::scaled(100'000, 400);
+  auto inst = bench::Instance::make("er", n, 8.0, 3, 42);
+  util::Table t({"arrival", "burst", "events/s", "publishes/s"});
+  for (const auto* arrival_name : {"poisson", "flash-crowd"}) {
+    serve::ServeOptions opts;
+    opts.arrival = *overlay::try_churn_arrival_by_name(arrival_name);
+    opts.churn_batch_mean = 256.0;
+    opts.seed = 11;
+    serve::ServiceLoop loop(*inst->profile, *inst->weights, opts);
+    const double run_ms = bench::g_smoke ? 300.0 : 2000.0;
+    std::size_t events = 0, steps = 0;
+    std::vector<double> step_ms;
+    util::WallTimer wall;
+    while (wall.millis() < run_ms) {
+      util::WallTimer st;
+      events += loop.step().events;
+      ++steps;
+      step_ms.push_back(st.millis());
+    }
+    const double ms = wall.millis();
+    const double events_per_s = 1000.0 * static_cast<double>(events) / ms;
+    report.add("writer_throughput",
+               {{"n", std::to_string(n)},
+                {"arrival", arrival_name},
+                {"burst", "256"},
+                {"events_per_s", std::to_string(events_per_s)}},
+               step_ms);
+    t.row();
+    t.cell(arrival_name);
+    t.cell("256");
+    t.cell(events_per_s, 0);
+    t.cell(1000.0 * static_cast<double>(steps) / ms, 1);
+  }
+  t.print("sustained writer throughput with burst ~256 arrivals");
+}
+
+}  // namespace
+}  // namespace overmatch
+
+int main(int argc, char** argv) {
+  using namespace overmatch;
+  const bench::Env env(argc, argv);
+  bench::print_header(
+      "E22", "snapshot-service throughput (DESIGN.md §13)",
+      "Epoch-snapshot serving: writer publish/apply latency, reader query\n"
+      "throughput idle vs. under churn, and sustained writer events/s.");
+
+  bench::JsonReport report("serve");
+  report.set_env("hardware_concurrency",
+                 std::to_string(std::thread::hardware_concurrency()));
+  report.set_env("threads_max",
+                 std::to_string(std::thread::hardware_concurrency() >= 8
+                                    ? 8
+                                    : (env.smoke() ? 1 : 4)));
+
+  std::printf("\n-- publish / apply latency --\n");
+  publish_latency(report);
+  std::printf("\n-- reader query throughput (idle vs churn writer) --\n");
+  reader_throughput(report);
+  std::printf("\n-- writer throughput under arrival models --\n");
+  writer_throughput(report);
+  report.write();
+  return 0;
+}

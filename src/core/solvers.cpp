@@ -35,11 +35,28 @@ const char* algorithm_name(Algorithm a) {
 }
 
 Algorithm algorithm_by_name(const std::string& name) {
+  const auto a = try_algorithm_by_name(name);
+  OM_CHECK_MSG(a.has_value(), "unknown algorithm name");
+  return *a;
+}
+
+std::optional<Algorithm> try_algorithm_by_name(const std::string& name) {
   for (const Algorithm a : all_algorithms()) {
     if (name == algorithm_name(a)) return a;
   }
-  OM_CHECK_MSG(false, "unknown algorithm name");
-  return Algorithm::kLicGlobal;
+  return std::nullopt;
+}
+
+const char* algorithm_names() {
+  static const std::string joined = [] {
+    std::string s;
+    for (const Algorithm a : all_algorithms()) {
+      if (!s.empty()) s += '|';
+      s += algorithm_name(a);
+    }
+    return s;
+  }();
+  return joined.c_str();
 }
 
 const std::vector<Algorithm>& all_algorithms() {

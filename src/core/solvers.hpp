@@ -3,6 +3,7 @@
 // the API the examples and most benches drive.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,7 +42,13 @@ enum class Algorithm : std::uint8_t {
 };
 
 [[nodiscard]] const char* algorithm_name(Algorithm a);
+/// Aborts on an unknown name; CLIs should prefer try_algorithm_by_name and
+/// print algorithm_names() on failure (the friendly-error contract).
 [[nodiscard]] Algorithm algorithm_by_name(const std::string& name);
+[[nodiscard]] std::optional<Algorithm> try_algorithm_by_name(
+    const std::string& name);
+/// '|'-separated list of every registered algorithm name, for error text.
+[[nodiscard]] const char* algorithm_names();
 /// All algorithms, cheap-to-expensive.
 [[nodiscard]] const std::vector<Algorithm>& all_algorithms();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string_view>
 #include <unordered_set>
 
 #include "graph/properties.hpp"
@@ -294,6 +295,28 @@ Graph by_name(const std::string& name, std::size_t n, double avg_degree,
   }
   OM_CHECK_MSG(false, "unknown generator name");
   return Graph{};
+}
+
+const char* topology_names() { return "er|ba|ws|geo|grid|complete|regular"; }
+
+std::optional<Graph> try_by_name(const std::string& name, std::size_t n,
+                                 double avg_degree, util::Rng& rng) {
+  const std::string_view all = topology_names();
+  std::size_t pos = 0;
+  bool known = false;
+  while (pos <= all.size()) {
+    const std::size_t bar = all.find('|', pos);
+    const std::string_view tok =
+        all.substr(pos, bar == std::string_view::npos ? bar : bar - pos);
+    if (tok == name) {
+      known = true;
+      break;
+    }
+    if (bar == std::string_view::npos) break;
+    pos = bar + 1;
+  }
+  if (!known) return std::nullopt;
+  return by_name(name, n, avg_degree, rng);
 }
 
 Graph connect_components(const Graph& g) {

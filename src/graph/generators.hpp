@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,13 @@ namespace overmatch::graph {
 /// is roughly `avg_degree`.
 [[nodiscard]] Graph by_name(const std::string& name, std::size_t n, double avg_degree,
                             util::Rng& rng);
+/// Non-aborting variant for CLIs: nullopt on an unknown topology name (print
+/// topology_names() and exit 2 — the friendly-error contract).
+[[nodiscard]] std::optional<Graph> try_by_name(const std::string& name,
+                                               std::size_t n, double avg_degree,
+                                               util::Rng& rng);
+/// '|'-separated list of the topology names by_name accepts.
+[[nodiscard]] const char* topology_names();
 
 /// Adds (arbitrary) bridge edges until the graph is connected; returns the
 /// possibly-augmented graph. Used where experiments require connectivity.

@@ -163,6 +163,16 @@ class DynamicBSuitor {
     return edge_off_[e] == 0;
   }
 
+  /// Whole-configuration views (1 = alive / edge disabled), for snapshot
+  /// export (serve::MatchingSnapshot::capture copies the configuration the
+  /// maintained matching is the fixed point of). Valid between events.
+  [[nodiscard]] std::span<const std::uint8_t> alive_flags() const noexcept {
+    return alive_;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> edge_off_flags() const noexcept {
+    return edge_off_;
+  }
+
   /// The maintained matching (mutual bids). Valid between events.
   [[nodiscard]] const Matching& matching() const noexcept { return m_; }
   /// Σ weight of matching(), maintained incrementally (O(1) per query).

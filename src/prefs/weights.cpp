@@ -279,12 +279,21 @@ EdgeWeights random_weights(const Graph& g, util::Rng& rng, util::ThreadPool* poo
 
 EdgeWeights weights_by_name(const std::string& name, const PreferenceProfile& p,
                             util::ThreadPool* pool) {
+  auto w = try_weights_by_name(name, p, pool);
+  OM_CHECK_MSG(w.has_value(), "unknown weight design");
+  return *std::move(w);
+}
+
+std::optional<EdgeWeights> try_weights_by_name(const std::string& name,
+                                               const PreferenceProfile& p,
+                                               util::ThreadPool* pool) {
   if (name == "paper") return paper_weights(p, pool);
   if (name == "min") return min_weights(p, pool);
   if (name == "product") return product_weights(p, pool);
   if (name == "ranksum") return ranksum_weights(p, pool);
-  OM_CHECK_MSG(false, "unknown weight design");
-  return paper_weights(p, pool);
+  return std::nullopt;
 }
+
+const char* weight_design_names() { return "paper|min|product|ranksum"; }
 
 }  // namespace overmatch::prefs

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -149,5 +150,12 @@ class EdgeWeights {
 [[nodiscard]] EdgeWeights weights_by_name(const std::string& name,
                                           const PreferenceProfile& p,
                                           util::ThreadPool* pool = nullptr);
+/// Non-aborting variant for CLIs: nullopt on an unknown design name (print
+/// weight_design_names() and exit 2 — the friendly-error contract).
+[[nodiscard]] std::optional<EdgeWeights> try_weights_by_name(
+    const std::string& name, const PreferenceProfile& p,
+    util::ThreadPool* pool = nullptr);
+/// '|'-separated list of the design names weights_by_name accepts.
+[[nodiscard]] const char* weight_design_names();
 
 }  // namespace overmatch::prefs

@@ -1,0 +1,123 @@
+// ServiceLoop — the long-running overlay matching service (DESIGN.md §13).
+//
+// Owns the live engine side of the serving subsystem: a DynamicBSuitor
+// maintaining the greedy fixed point under churn, a ChurnTraffic generator
+// (or caller-supplied bursts), an incrementally-maintained per-node
+// satisfaction cache, and the MatchingStore the repaired state is published
+// through. One writer thread drives apply()/step()/run_for(); any number of
+// reader threads query via store().acquire() and never block on repair.
+//
+// Per burst the writer: applies the batch through
+// DynamicBSuitor::apply_batch (coalesced, frontier-parallel on
+// ServeOptions::pool), refreshes S_i for the changed nodes only, captures
+// an immutable MatchingSnapshot, and publishes it. Readers that acquired
+// the previous snapshot keep serving it — by fixed-point uniqueness it is
+// the exact matching of the configuration one burst ago, never a torn
+// intermediate (see snapshot.hpp).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "matching/dynamic_bsuitor.hpp"
+#include "overlay/churn.hpp"
+#include "serve/store.hpp"
+
+namespace overmatch::serve {
+
+struct ServeOptions {
+  /// Burst arrival process and mean size for the built-in traffic source
+  /// (run_for / step; apply() takes caller bursts and ignores these).
+  overlay::ChurnArrival arrival = overlay::ChurnArrival::kPoisson;
+  double churn_batch_mean = 64.0;
+  std::uint64_t seed = 1;
+  /// Optional pool for frontier-parallel batch repair (caller-owned;
+  /// caller participates). Null = sequential repair.
+  util::ThreadPool* pool = nullptr;
+  /// Optional caller-owned registry: receives the engine's `dyn.*` series
+  /// and the service's `serve.*` series (reads/snapshots/batches/events/
+  /// coalesced counters, `serve.read_ns` + `serve.publish_ns` + the
+  /// apply-latency `serve.apply_ns` histograms, `serve.epoch` gauge).
+  obs::Registry* registry = nullptr;
+  std::size_t max_readers = MatchingStore::kDefaultMaxReaders;
+  /// Audit every published snapshot with an O(m) blocking-edge sweep
+  /// (aborts unless 0). Debug/test aid; leave off in latency runs.
+  bool count_blocking = false;
+};
+
+class ServiceLoop {
+ public:
+  /// Builds the initial matching over the full graph and publishes epoch 1,
+  /// so readers registered before the first burst already see a snapshot.
+  /// `profile` and `weights` are caller-owned and must outlive the loop.
+  ServiceLoop(const prefs::PreferenceProfile& profile,
+              const prefs::EdgeWeights& weights, ServeOptions options = {});
+
+  /// Per-burst writer telemetry.
+  struct StepStats {
+    std::uint64_t epoch = 0;       ///< epoch of the published snapshot
+    std::size_t events = 0;        ///< raw events in the burst
+    std::size_t coalesced = 0;     ///< events cancelled by net-effect dedup
+    std::uint64_t apply_ns = 0;    ///< repair (apply_batch) wall-clock
+    std::uint64_t publish_ns = 0;  ///< snapshot capture + publish wall-clock
+  };
+
+  /// Applies one caller-supplied burst and publishes the repaired state.
+  /// Events must be valid in order against the live configuration (the
+  /// DynamicBSuitor rule); node *and* edge events are accepted.
+  StepStats apply(std::span<const matching::ChurnEvent> events);
+
+  /// Draws the next burst from the built-in traffic source and applies it.
+  StepStats step();
+
+  /// Aggregate of a run_for session.
+  struct RunStats {
+    std::size_t batches = 0;
+    std::size_t events = 0;
+    std::size_t coalesced = 0;
+    double wall_ms = 0.0;
+  };
+
+  /// Runs step() on the calling thread until `duration` elapses or another
+  /// thread calls request_stop(). The stop flag is rearmed on entry.
+  RunStats run_for(std::chrono::nanoseconds duration);
+  void request_stop() noexcept { stop_.store(true, std::memory_order_release); }
+
+  /// The read side. Reader threads register a handle and acquire snapshots;
+  /// both operations are safe concurrently with the writer.
+  [[nodiscard]] MatchingStore& store() noexcept { return store_; }
+  [[nodiscard]] const MatchingStore& store() const noexcept { return store_; }
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const matching::DynamicBSuitor& engine() const noexcept {
+    return dyn_;
+  }
+  [[nodiscard]] overlay::ChurnTraffic& traffic() noexcept { return traffic_; }
+
+ private:
+  void refresh_satisfaction(NodeId v);
+  void publish_current();
+
+  const prefs::PreferenceProfile* profile_;
+  const prefs::EdgeWeights* w_;
+  ServeOptions opts_;
+  matching::DynamicBSuitor dyn_;
+  overlay::ChurnTraffic traffic_;
+  MatchingStore store_;
+  std::vector<double> sat_;  ///< per-node S_i, refreshed from changed nodes
+  std::uint64_t epoch_ = 0;
+  std::atomic<bool> stop_{false};
+  std::uint64_t last_publish_ns_ = 0;
+
+  obs::Counter batches_ctr_;
+  obs::Counter events_ctr_;
+  obs::Counter coalesced_ctr_;
+  obs::Gauge epoch_gauge_;
+  obs::Histogram apply_ns_hist_;
+  obs::Histogram publish_ns_hist_;
+};
+
+}  // namespace overmatch::serve

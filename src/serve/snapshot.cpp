@@ -1,0 +1,93 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "matching/dynamic_bsuitor.hpp"
+#include "prefs/preference_profile.hpp"
+#include "prefs/weights.hpp"
+
+namespace overmatch::serve {
+
+std::unique_ptr<MatchingSnapshot> MatchingSnapshot::capture(
+    const matching::DynamicBSuitor& dyn, std::span<const double> satisfaction,
+    std::uint64_t epoch, obs::Snapshot metrics) {
+  const matching::Matching& m = dyn.matching();
+  const graph::Graph& g = m.graph();
+  const std::size_t n = g.num_nodes();
+  OM_CHECK_MSG(satisfaction.size() == n, "satisfaction span must cover all nodes");
+
+  auto out = std::unique_ptr<MatchingSnapshot>(new MatchingSnapshot());
+  MatchingSnapshot& snap = *out;
+  snap.epoch_ = epoch;
+  snap.metrics_ = std::move(metrics);
+  snap.weight_ = dyn.matched_weight();
+
+  const auto alive = dyn.alive_flags();
+  const auto edge_off = dyn.edge_off_flags();
+  snap.alive_.assign(alive.begin(), alive.end());
+  snap.edge_off_.assign(edge_off.begin(), edge_off.end());
+  snap.online_ = static_cast<std::size_t>(
+      std::count(snap.alive_.begin(), snap.alive_.end(), std::uint8_t{1}));
+
+  snap.edges_.assign(m.edges().begin(), m.edges().end());
+  std::sort(snap.edges_.begin(), snap.edges_.end());
+
+  // Matched neighbour lists in CSR: one prefix-sum over loads, one fill.
+  snap.offsets_.resize(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    snap.offsets_[v + 1] = snap.offsets_[v] + m.load(v);
+  }
+  snap.partners_.resize(snap.offsets_[n]);
+  std::vector<std::uint32_t> cursor(snap.offsets_.begin(),
+                                    snap.offsets_.end() - 1);
+  for (const EdgeId e : snap.edges_) {
+    const auto& [u, v] = g.edge(e);
+    snap.partners_[cursor[u]++] = v;
+    snap.partners_[cursor[v]++] = u;
+  }
+
+  snap.satisfaction_.assign(satisfaction.begin(), satisfaction.end());
+  snap.sat_total_ = 0.0;
+  for (const double s : snap.satisfaction_) snap.sat_total_ += s;
+  return out;
+}
+
+std::size_t count_blocking_edges(const prefs::EdgeWeights& w,
+                                 const prefs::PreferenceProfile& profile,
+                                 const MatchingSnapshot& snap) {
+  const graph::Graph& g = w.graph();
+  const std::size_t n = g.num_nodes();
+  OM_CHECK(snap.num_nodes() == n);
+
+  // Weakest matched key per node (max key = lightest edge; kNone when the
+  // node has a free slot, which admits anything).
+  constexpr auto kNone = std::numeric_limits<prefs::EdgeWeights::Key>::max();
+  std::vector<prefs::EdgeWeights::Key> weakest(n, kNone);
+  std::vector<std::uint32_t> load(n, 0);
+  for (const EdgeId e : snap.matched_edges()) {
+    const auto& [u, v] = g.edge(e);
+    for (const NodeId x : {u, v}) {
+      ++load[x];
+      if (weakest[x] == kNone || w.key(e) > weakest[x]) weakest[x] = w.key(e);
+    }
+  }
+  const auto wants = [&](NodeId x, EdgeId e) {
+    if (load[x] < profile.quota(x)) return true;
+    return profile.quota(x) > 0 && w.key(e) < weakest[x];
+  };
+
+  std::vector<std::uint8_t> matched(g.num_edges(), 0);
+  for (const EdgeId e : snap.matched_edges()) matched[e] = 1;
+
+  std::size_t blocking = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (matched[e] != 0 || !snap.edge_enabled(e)) continue;
+    const auto& [u, v] = g.edge(e);
+    if (!snap.alive(u) || !snap.alive(v)) continue;
+    if (wants(u, e) && wants(v, e)) ++blocking;
+  }
+  return blocking;
+}
+
+}  // namespace overmatch::serve

@@ -1,0 +1,142 @@
+// MatchingSnapshot — an immutable, self-contained view of the overlay
+// matching at one writer epoch, built for concurrent readers.
+//
+// The serving layer (DESIGN.md §13) never hands readers the live
+// DynamicBSuitor state: the writer captures a plain-value snapshot after
+// each repaired churn burst and publishes it through the MatchingStore's
+// epoch-pinned pointer swap. A snapshot therefore carries everything a
+// query needs with zero back-references to mutable state:
+//  * the matched neighbour lists in CSR layout (one offsets array + one
+//    flat partner array — the same cache-adjacent shape the Graph uses),
+//  * per-node satisfaction S_i and the Σ S_i total,
+//  * the matched edge set (sorted) and its total weight,
+//  * the alive/edge-disabled configuration the matching is the fixed point
+//    of (what consistency checks recompute from), and
+//  * a point-in-time obs::Snapshot of the service registry.
+//
+// Staleness is safe by construction: under the strict total weight order
+// the greedy fixed point of a given (alive, enabled) configuration is
+// unique (DESIGN.md §10), so a reader holding an older epoch sees *the*
+// correct matching of a recent configuration — never a torn or partially
+// repaired state. The `blocking_edges` field makes that checkable: it is 0
+// for every snapshot exported from the repaired fixed point.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "obs/snapshot.hpp"
+#include "util/check.hpp"
+
+namespace overmatch::prefs {
+class PreferenceProfile;
+class EdgeWeights;
+}  // namespace overmatch::prefs
+
+namespace overmatch::matching {
+class DynamicBSuitor;
+}
+
+namespace overmatch::serve {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+class MatchingSnapshot {
+ public:
+  /// Captures the current state of `dyn` as epoch `epoch`. `satisfaction`
+  /// must hold per-node S_i for every node (offline nodes contribute 0);
+  /// the writer maintains it incrementally from last_changed_nodes so the
+  /// capture itself is a copy, not an O(n · quota) recompute. `metrics`
+  /// is moved in (pass {} when no registry is attached). Heap-allocated
+  /// because the intrusive refcount pins the object's address for life.
+  static std::unique_ptr<MatchingSnapshot> capture(
+      const matching::DynamicBSuitor& dyn, std::span<const double> satisfaction,
+      std::uint64_t epoch, obs::Snapshot metrics);
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return offsets_.size() - 1;
+  }
+
+  /// Matched partners of v (the neighbour-list query; CSR slice).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    OM_CHECK(v + 1 < offsets_.size());
+    return {partners_.data() + offsets_[v], partners_.data() + offsets_[v + 1]};
+  }
+  [[nodiscard]] std::uint32_t load(NodeId v) const {
+    OM_CHECK(v + 1 < offsets_.size());
+    return offsets_[v + 1] - offsets_[v];
+  }
+  [[nodiscard]] double satisfaction(NodeId v) const {
+    OM_CHECK(v < satisfaction_.size());
+    return satisfaction_[v];
+  }
+  [[nodiscard]] double satisfaction_total() const noexcept { return sat_total_; }
+  [[nodiscard]] double matched_weight() const noexcept { return weight_; }
+
+  /// Matched edge ids, ascending (set semantics; the consistency oracle
+  /// compares this against a from-scratch solve of the same configuration).
+  [[nodiscard]] const std::vector<EdgeId>& matched_edges() const noexcept {
+    return edges_;
+  }
+
+  /// The configuration this matching is the fixed point of.
+  [[nodiscard]] bool alive(NodeId v) const {
+    OM_CHECK(v < alive_.size());
+    return alive_[v] != 0;
+  }
+  [[nodiscard]] bool edge_enabled(EdgeId e) const {
+    OM_CHECK(e < edge_off_.size());
+    return edge_off_[e] == 0;
+  }
+  [[nodiscard]] std::size_t online_count() const noexcept { return online_; }
+
+  /// Blocking-edge count of this snapshot: 0 when exported from the
+  /// repaired fixed point (set by the writer; see count_blocking_edges).
+  [[nodiscard]] std::size_t blocking_edges() const noexcept {
+    return blocking_edges_;
+  }
+
+  [[nodiscard]] const obs::Snapshot& metrics() const noexcept { return metrics_; }
+
+ private:
+  friend class MatchingStore;
+  friend class SnapshotRef;
+  friend class ServiceLoop;
+  MatchingSnapshot() = default;
+
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint32_t> offsets_;  ///< size n+1
+  std::vector<NodeId> partners_;        ///< flat matched-partner slices
+  std::vector<double> satisfaction_;
+  std::vector<EdgeId> edges_;  ///< matched edges, ascending
+  std::vector<std::uint8_t> alive_;
+  std::vector<std::uint8_t> edge_off_;
+  std::size_t online_ = 0;
+  double sat_total_ = 0.0;
+  double weight_ = 0.0;
+  std::size_t blocking_edges_ = 0;
+  obs::Snapshot metrics_;
+
+  /// Intrusive reference count owned by the MatchingStore protocol: 1 store
+  /// reference while current, +1 per outstanding SnapshotRef. Mutable so
+  /// readers can pin through a const snapshot.
+  mutable std::atomic<std::uint32_t> refs_{0};
+};
+
+/// Counts blocking edges of `snap` under `w`/quotas from `profile`: enabled
+/// edges between online endpoints that are unmatched yet wanted on both
+/// sides (each endpoint has a free slot or the edge beats its weakest
+/// matched edge in the strict key order). One O(m + n·b) sweep. The greedy
+/// fixed point has none — tests and the optional per-publish audit
+/// (ServeOptions::count_blocking) assert 0.
+[[nodiscard]] std::size_t count_blocking_edges(const prefs::EdgeWeights& w,
+                                               const prefs::PreferenceProfile& profile,
+                                               const MatchingSnapshot& snap);
+
+}  // namespace overmatch::serve

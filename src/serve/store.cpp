@@ -1,0 +1,146 @@
+#include "serve/store.hpp"
+
+#include <chrono>
+
+#include "obs/registry.hpp"
+
+namespace overmatch::serve {
+namespace {
+
+/// Acquire latency is tens of nanoseconds; buckets resolve the tail where a
+/// reader raced a publish or took a cache miss on the slot line.
+const std::vector<double> kReadNsBuckets = {50,   100,  250,   500,  1000,
+                                            2500, 5000, 10000, 50000};
+
+}  // namespace
+
+MatchingStore::MatchingStore(std::size_t max_readers, obs::Registry* registry)
+    : slots_(max_readers),
+      reads_ctr_(obs::counter(registry, "serve.reads")),
+      snapshots_ctr_(obs::counter(registry, "serve.snapshots")),
+      retired_gauge_(obs::gauge(registry, "serve.retired_peak")) {
+  OM_CHECK_MSG(max_readers >= 1, "store needs at least one reader slot");
+  if (registry != nullptr) {
+    read_ns_hist_ = registry->histogram("serve.read_ns", kReadNsBuckets);
+  }
+}
+
+MatchingStore::~MatchingStore() {
+  // Shutdown contract: all readers have unregistered and released. Every
+  // retired epoch has therefore drained, and the current snapshot holds
+  // only the store's own reference.
+  (void)reclaim();
+  OM_CHECK_MSG(retired_.empty(), "store destroyed with pinned retired snapshots");
+  const MatchingSnapshot* cur = current_.exchange(nullptr);
+  if (cur != nullptr) {
+    OM_CHECK_MSG(cur->refs_.load(std::memory_order_acquire) == 1,
+                 "store destroyed with pinned current snapshot");
+    delete cur;
+  }
+}
+
+MatchingStore::ReaderHandle& MatchingStore::ReaderHandle::operator=(
+    ReaderHandle&& o) noexcept {
+  if (this != &o) {
+    if (store_ != nullptr) store_->unregister(slot_);
+    store_ = o.store_;
+    slot_ = o.slot_;
+    o.store_ = nullptr;
+  }
+  return *this;
+}
+
+MatchingStore::ReaderHandle::~ReaderHandle() {
+  if (store_ != nullptr) store_->unregister(slot_);
+}
+
+MatchingStore::ReaderHandle MatchingStore::register_reader() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    std::uint8_t expected = 0;
+    if (slots_[i].claimed.compare_exchange_strong(expected, 1,
+                                                  std::memory_order_acq_rel)) {
+      slots_[i].epoch.store(kQuiescent, std::memory_order_release);
+      return {this, i};
+    }
+  }
+  OM_CHECK_MSG(false, "all reader slots claimed (raise max_readers)");
+  return {};
+}
+
+void MatchingStore::unregister(std::size_t slot) noexcept {
+  slots_[slot].epoch.store(kQuiescent, std::memory_order_release);
+  slots_[slot].claimed.store(0, std::memory_order_release);
+}
+
+SnapshotRef MatchingStore::acquire(const ReaderHandle& reader) {
+  OM_CHECK_MSG(reader.valid() && reader.store_ == this,
+               "acquire with a foreign or empty reader handle");
+  const bool timed = read_ns_hist_.engaged();
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+
+  Slot& slot = slots_[reader.slot_];
+  // Announce, then load — both seq_cst so the writer's "announced epoch
+  // >= retire epoch" test proves this load saw the post-swap pointer.
+  slot.epoch.store(epoch_.load(std::memory_order_seq_cst),
+                   std::memory_order_seq_cst);
+  const MatchingSnapshot* snap = current_.load(std::memory_order_seq_cst);
+  OM_CHECK_MSG(snap != nullptr, "acquire before the first publish");
+  snap->refs_.fetch_add(1, std::memory_order_acquire);
+  slot.epoch.store(kQuiescent, std::memory_order_release);
+
+  reads_ctr_.inc();
+  if (timed) {
+    read_ns_hist_.observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+  return SnapshotRef{snap};
+}
+
+void MatchingStore::publish(std::unique_ptr<MatchingSnapshot> snap) {
+  OM_CHECK_MSG(snap != nullptr, "publish of a null snapshot");
+  snap->refs_.store(1, std::memory_order_relaxed);  // the store's reference
+  const MatchingSnapshot* old =
+      current_.exchange(snap.release(), std::memory_order_seq_cst);
+  const std::uint64_t retire_epoch =
+      epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  ++published_;
+  snapshots_ctr_.inc();
+  if (old != nullptr) {
+    old->refs_.fetch_sub(1, std::memory_order_acq_rel);
+    retired_.push_back({old, retire_epoch});
+  }
+  retired_gauge_.set_max(static_cast<double>(retired_.size()));
+  (void)reclaim();
+}
+
+std::size_t MatchingStore::reclaim() {
+  if (retired_.empty()) return 0;
+  // Oldest announced epoch across claimed slots; kQuiescent when none are
+  // inside the two-instruction acquire window.
+  std::uint64_t min_active = kQuiescent;
+  for (const Slot& s : slots_) {
+    const std::uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e < min_active) min_active = e;
+  }
+  // Check the slots *before* the refcounts: a reader still inside the
+  // window for a retired snapshot shows an announcement < retire_epoch; a
+  // reader that already counted itself shows refs > 0. New entrants
+  // announce >= the current epoch and cannot reach retired snapshots.
+  std::size_t kept = 0;
+  for (const Retired& r : retired_) {
+    const bool drained = min_active >= r.retire_epoch &&
+                         r.snap->refs_.load(std::memory_order_acquire) == 0;
+    if (drained) {
+      delete r.snap;
+    } else {
+      retired_[kept++] = r;
+    }
+  }
+  retired_.resize(kept);
+  return kept;
+}
+
+}  // namespace overmatch::serve

@@ -1,0 +1,188 @@
+// MatchingStore — single-writer / many-reader snapshot publication with
+// epoch-pinned, refcounted reclamation (RCU-style; DESIGN.md §13).
+//
+// The store owns the *current* MatchingSnapshot behind one atomic pointer.
+// Readers never block on the writer and never touch a lock:
+//
+//   acquire:  announce the global epoch in the reader's slot  (1 store)
+//             load the current snapshot pointer                (1 load)
+//             increment the snapshot's intrusive refcount      (1 RMW)
+//             clear the announcement                           (1 store)
+//
+// The announcement closes the classic load-then-refcount race: between the
+// pointer load and the refcount increment the reader holds a raw pointer
+// with no reference, so the writer must not free it. Instead of hazard
+// pointers or a grace-period scheme, the writer reasons with epochs:
+//
+//   publish:  swap the current pointer, bump the global epoch to R, drop
+//             the store's reference on the old snapshot and push it onto
+//             the retired list tagged R.
+//   reclaim:  a retired snapshot tagged R is freed once (a) its refcount
+//             is 0 and (b) every announced reader epoch is >= R (or the
+//             slot is quiescent). All epoch/pointer operations are seq_cst,
+//             so a reader announcing an epoch >= R read the epoch *after*
+//             the writer's bump, hence after the pointer swap, hence its
+//             pointer load cannot return the retired snapshot. Any reader
+//             that could still produce a stale reference therefore shows an
+//             announcement < R and blocks reclamation exactly while its
+//             two-instruction window is open. Epochs only grow, so the
+//             condition is monotone: once a retired epoch drains it stays
+//             drained, and the writer reclaims opportunistically on each
+//             publish (plus on demand via reclaim()).
+//
+// Reader slots are fixed at construction (cache-line-aligned, claimed by
+// CAS), so registration is the only operation with any contention and the
+// hot path indexes a private slot. The writer side is single-threaded by
+// contract: publish()/reclaim() calls must come from one thread at a time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/snapshot.hpp"
+
+namespace overmatch::obs {
+class Registry;
+}
+
+namespace overmatch::serve {
+
+class MatchingStore;
+
+/// RAII pin on one published snapshot. Move-only; releases the reference on
+/// destruction. Dereference like a pointer.
+class SnapshotRef {
+ public:
+  SnapshotRef() = default;
+  SnapshotRef(SnapshotRef&& o) noexcept : snap_(o.snap_) { o.snap_ = nullptr; }
+  SnapshotRef& operator=(SnapshotRef&& o) noexcept {
+    if (this != &o) {
+      release();
+      snap_ = o.snap_;
+      o.snap_ = nullptr;
+    }
+    return *this;
+  }
+  SnapshotRef(const SnapshotRef&) = delete;
+  SnapshotRef& operator=(const SnapshotRef&) = delete;
+  ~SnapshotRef() { release(); }
+
+  [[nodiscard]] const MatchingSnapshot* operator->() const noexcept {
+    return snap_;
+  }
+  [[nodiscard]] const MatchingSnapshot& operator*() const noexcept {
+    return *snap_;
+  }
+  [[nodiscard]] const MatchingSnapshot* get() const noexcept { return snap_; }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return snap_ != nullptr;
+  }
+  void release() noexcept {
+    if (snap_ != nullptr) {
+      snap_->refs_.fetch_sub(1, std::memory_order_acq_rel);
+      snap_ = nullptr;
+    }
+  }
+
+ private:
+  friend class MatchingStore;
+  explicit SnapshotRef(const MatchingSnapshot* s) noexcept : snap_(s) {}
+  const MatchingSnapshot* snap_ = nullptr;
+};
+
+class MatchingStore {
+ public:
+  static constexpr std::size_t kDefaultMaxReaders = 64;
+
+  /// `registry` (optional, caller-owned) receives the `serve.reads` /
+  /// `serve.snapshots` counters, the `serve.read_ns` acquire-latency
+  /// histogram, and the `serve.retired` high-water gauge.
+  explicit MatchingStore(std::size_t max_readers = kDefaultMaxReaders,
+                         obs::Registry* registry = nullptr);
+  /// Requires quiescence: no outstanding SnapshotRef and no concurrent
+  /// acquire (OM_CHECK-enforced where checkable).
+  ~MatchingStore();
+  MatchingStore(const MatchingStore&) = delete;
+  MatchingStore& operator=(const MatchingStore&) = delete;
+
+  /// A registered reader identity: the index of a private announcement
+  /// slot. Move-only; unregisters on destruction.
+  class ReaderHandle {
+   public:
+    ReaderHandle() = default;
+    ReaderHandle(ReaderHandle&& o) noexcept : store_(o.store_), slot_(o.slot_) {
+      o.store_ = nullptr;
+    }
+    ReaderHandle& operator=(ReaderHandle&& o) noexcept;
+    ReaderHandle(const ReaderHandle&) = delete;
+    ReaderHandle& operator=(const ReaderHandle&) = delete;
+    ~ReaderHandle();
+    [[nodiscard]] bool valid() const noexcept { return store_ != nullptr; }
+
+   private:
+    friend class MatchingStore;
+    ReaderHandle(MatchingStore* s, std::size_t slot) : store_(s), slot_(slot) {}
+    MatchingStore* store_ = nullptr;
+    std::size_t slot_ = 0;
+  };
+
+  /// Claims a free announcement slot; aborts when all max_readers slots are
+  /// taken. Thread-safe (CAS claim); each handle is then single-threaded.
+  [[nodiscard]] ReaderHandle register_reader();
+
+  /// Pins and returns the current snapshot. Wait-free: one seq_cst store,
+  /// two loads, one fetch_add — never blocks on publish/repair. Requires a
+  /// first publish() to have happened.
+  [[nodiscard]] SnapshotRef acquire(const ReaderHandle& reader);
+
+  /// Publishes `snap` as the new current snapshot and retires the previous
+  /// one; opportunistically reclaims drained retirees. Single writer.
+  void publish(std::unique_ptr<MatchingSnapshot> snap);
+
+  /// Frees every retired snapshot whose epoch has drained; returns how many
+  /// remain retired. Called by publish(); exposed for tests and shutdown.
+  std::size_t reclaim();
+
+  [[nodiscard]] std::uint64_t published_count() const noexcept {
+    return published_;
+  }
+  [[nodiscard]] std::size_t retired_count() const noexcept {
+    return retired_.size();
+  }
+  /// Epoch of the current snapshot (0 before the first publish).
+  [[nodiscard]] std::uint64_t current_epoch() const noexcept {
+    const MatchingSnapshot* cur = current_.load(std::memory_order_acquire);
+    return cur != nullptr ? cur->epoch() : 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{kQuiescent};
+    std::atomic<std::uint8_t> claimed{0};
+  };
+
+  void unregister(std::size_t slot) noexcept;
+
+  std::vector<Slot> slots_;
+  std::atomic<const MatchingSnapshot*> current_{nullptr};
+  std::atomic<std::uint64_t> epoch_{1};
+
+  struct Retired {
+    const MatchingSnapshot* snap;
+    std::uint64_t retire_epoch;
+  };
+  std::vector<Retired> retired_;  ///< writer-thread only
+  std::uint64_t published_ = 0;   ///< writer-thread only
+
+  obs::Counter reads_ctr_;
+  obs::Counter snapshots_ctr_;
+  obs::Histogram read_ns_hist_;
+  obs::Gauge retired_gauge_;
+};
+
+}  // namespace overmatch::serve

@@ -1,0 +1,224 @@
+// ServiceLoop correctness: every published snapshot must be *the* greedy
+// (b-suitor / LIC) fixed point of its own (alive, edge-enabled)
+// configuration — checked from scratch per epoch — with consistent CSR
+// neighbour lists, satisfaction cache, weight, and zero blocking edges.
+// SnapshotHammer.EightReadersMixedChurnFixedPoint is the concurrent
+// version (8 readers × 1 writer applying mixed node+edge churn) and the
+// headline target of the `tsan-hammer` preset.
+#include "serve/service_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "prefs/satisfaction.hpp"
+#include "serve/snapshot.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::serve {
+namespace {
+
+using matching::ChurnEvent;
+using matching::testing::Instance;
+
+/// From-scratch greedy (locally heaviest first) on exactly the
+/// configuration a snapshot says it is the fixed point of. Equals batch
+/// b-suitor / LIC under the strict key order (DESIGN.md §10), so this is
+/// the oracle the store's stale-reads-are-safe claim rests on.
+std::vector<EdgeId> scratch_fixed_point(const prefs::EdgeWeights& w,
+                                        const matching::Quotas& quotas,
+                                        const MatchingSnapshot& snap) {
+  const auto& g = w.graph();
+  matching::Matching m(g, quotas);
+  for (const EdgeId e : w.by_weight()) {
+    if (!snap.edge_enabled(e)) continue;
+    const auto& [u, v] = g.edge(e);
+    if (!snap.alive(u) || !snap.alive(v)) continue;
+    if (m.can_add(e)) m.add(e);
+  }
+  std::vector<EdgeId> edges = m.edges();
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+/// Full audit of one snapshot against its instance: matched edges equal
+/// the from-scratch fixed point, CSR lists agree with the edge set, the
+/// satisfaction cache matches a recompute, and no blocking edge exists.
+void expect_snapshot_consistent(const Instance& inst, const MatchingSnapshot& s) {
+  const auto& quotas = inst.profile->quotas();
+  const auto scratch = scratch_fixed_point(*inst.weights, quotas, s);
+  ASSERT_EQ(s.matched_edges(), scratch);
+
+  // CSR neighbour lists must be exactly the matched edge set, per node.
+  std::vector<std::vector<NodeId>> adj(inst.g.num_nodes());
+  double weight = 0.0;
+  for (const EdgeId e : s.matched_edges()) {
+    const auto& [u, v] = inst.g.edge(e);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+    weight += inst.weights->weight(e);
+  }
+  double sat_total = 0.0;
+  for (NodeId v = 0; v < inst.g.num_nodes(); ++v) {
+    auto got = std::vector<NodeId>(s.neighbors(v).begin(), s.neighbors(v).end());
+    std::sort(got.begin(), got.end());
+    std::sort(adj[v].begin(), adj[v].end());
+    ASSERT_EQ(got, adj[v]) << "node " << v;
+    ASSERT_EQ(s.load(v), adj[v].size());
+    const double want_sat =
+        s.alive(v) ? prefs::satisfaction(*inst.profile, v, s.neighbors(v)) : 0.0;
+    ASSERT_NEAR(s.satisfaction(v), want_sat, 1e-9) << "node " << v;
+    sat_total += want_sat;
+  }
+  ASSERT_NEAR(s.matched_weight(), weight, 1e-6);
+  ASSERT_NEAR(s.satisfaction_total(), sat_total, 1e-6);
+  ASSERT_EQ(count_blocking_edges(*inst.weights, *inst.profile, s), 0u);
+}
+
+TEST(ServiceLoop, InitialSnapshotIsTheFullGraphFixedPoint) {
+  auto inst = Instance::random_quotas("er", 60, 5.0, 3, 101);
+  ServiceLoop loop(*inst->profile, *inst->weights, {});
+  EXPECT_EQ(loop.epoch(), 1u);
+  auto reader = loop.store().register_reader();
+  SnapshotRef snap = loop.store().acquire(reader);
+  EXPECT_EQ(snap->epoch(), 1u);
+  EXPECT_EQ(snap->online_count(), inst->g.num_nodes());
+  EXPECT_EQ(snap->num_nodes(), inst->g.num_nodes());
+  expect_snapshot_consistent(*inst, *snap);
+}
+
+TEST(ServiceLoop, EveryStepPublishesTheFixedPointOfItsEpoch) {
+  for (const char* topology : {"er", "ba"}) {
+    auto inst = Instance::random_quotas(topology, 80, 5.0, 3, 202);
+    ServeOptions opts;
+    opts.seed = 9;
+    opts.churn_batch_mean = 12.0;
+    opts.count_blocking = true;  // per-publish audit aborts unless 0
+    ServiceLoop loop(*inst->profile, *inst->weights, opts);
+    auto reader = loop.store().register_reader();
+    for (int k = 0; k < 40; ++k) {
+      const auto st = loop.step();
+      EXPECT_EQ(st.epoch, loop.epoch());
+      SnapshotRef snap = loop.store().acquire(reader);
+      EXPECT_EQ(snap->epoch(), loop.epoch());
+      ASSERT_NO_FATAL_FAILURE(expect_snapshot_consistent(*inst, *snap))
+          << topology << " step " << k;
+    }
+  }
+}
+
+TEST(ServiceLoop, MixedNodeAndEdgeBurstsStayAtFixedPoint) {
+  auto inst = Instance::random_quotas("ws", 70, 6.0, 2, 303);
+  ServiceLoop loop(*inst->profile, *inst->weights, {});
+  auto reader = loop.store().register_reader();
+  util::Rng rng(77);
+  for (int k = 0; k < 30; ++k) {
+    // Traffic burst (node events) + a few edge toggles valid against the
+    // live configuration; dedup edges so a burst never double-toggles.
+    std::vector<ChurnEvent> burst = loop.traffic().next_burst();
+    std::vector<std::uint8_t> touched(inst->g.num_edges(), 0);
+    for (int j = 0; j < 4; ++j) {
+      const auto e = static_cast<EdgeId>(rng.index(inst->g.num_edges()));
+      if (touched[e] != 0) continue;
+      touched[e] = 1;
+      const auto& [u, v] = inst->g.edge(e);
+      burst.push_back(loop.engine().edge_present(e) ? ChurnEvent::edge_down(u, v)
+                                                    : ChurnEvent::edge_up(u, v));
+    }
+    const auto st = loop.apply(burst);
+    EXPECT_EQ(st.events, burst.size());
+    SnapshotRef snap = loop.store().acquire(reader);
+    ASSERT_NO_FATAL_FAILURE(expect_snapshot_consistent(*inst, *snap))
+        << "burst " << k;
+  }
+}
+
+TEST(ServiceLoop, RunForStopsAtDeadlineAndOnRequest) {
+  auto inst = Instance::random_quotas("er", 40, 4.0, 2, 404);
+  ServeOptions opts;
+  opts.churn_batch_mean = 8.0;
+  ServiceLoop loop(*inst->profile, *inst->weights, opts);
+
+  const auto run = loop.run_for(std::chrono::milliseconds(50));
+  EXPECT_GT(run.batches, 0u);
+  EXPECT_GE(run.events, run.batches);  // bursts are non-empty on average
+  EXPECT_GT(loop.epoch(), 1u);
+
+  // request_stop() from another thread ends a long run early.
+  std::thread stopper([&loop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    loop.request_stop();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)loop.run_for(std::chrono::seconds(30));
+  stopper.join();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(10));
+}
+
+// The tentpole's concurrency contract, end to end: one writer applies mixed
+// node+edge churn bursts and publishes; 8 reader threads concurrently pin
+// snapshots and verify — from scratch — that each one is the unique greedy
+// fixed point of the configuration it carries, with zero blocking edges.
+// Readers never see a torn state regardless of how stale their epoch is.
+// Run under the `tsan` preset via the tsan-hammer ctest filter.
+TEST(SnapshotHammer, EightReadersMixedChurnFixedPoint) {
+  auto inst = Instance::random_quotas("er", 90, 5.0, 3, 505);
+  ServeOptions opts;
+  opts.seed = 13;
+  opts.churn_batch_mean = 10.0;
+  ServiceLoop loop(*inst->profile, *inst->weights, opts);
+
+  constexpr int kReaders = 8;
+  constexpr int kBursts = 60;
+  constexpr int kMinVerifies = 20;  // per reader, before the writer may stop
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> verified{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      auto handle = loop.store().register_reader();
+      std::uint64_t last_epoch = 0;
+      int checks = 0;
+      while (!done.load(std::memory_order_acquire) || checks < kMinVerifies) {
+        SnapshotRef snap = loop.store().acquire(handle);
+        ASSERT_GE(snap->epoch(), last_epoch);
+        last_epoch = snap->epoch();
+        ASSERT_NO_FATAL_FAILURE(expect_snapshot_consistent(*inst, *snap))
+            << "epoch " << snap->epoch();
+        ++checks;
+        verified.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  util::Rng rng(99);
+  std::vector<std::uint8_t> touched(inst->g.num_edges(), 0);
+  for (int k = 0; k < kBursts; ++k) {
+    std::vector<ChurnEvent> burst = loop.traffic().next_burst();
+    std::fill(touched.begin(), touched.end(), std::uint8_t{0});
+    for (int j = 0; j < 3; ++j) {
+      const auto e = static_cast<EdgeId>(rng.index(inst->g.num_edges()));
+      if (touched[e] != 0) continue;
+      touched[e] = 1;
+      const auto& [u, v] = inst->g.edge(e);
+      burst.push_back(loop.engine().edge_present(e) ? ChurnEvent::edge_down(u, v)
+                                                    : ChurnEvent::edge_up(u, v));
+    }
+    loop.apply(burst);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(loop.epoch(), 1u + kBursts);
+  EXPECT_GE(verified.load(), std::uint64_t{kReaders * kMinVerifies});
+  // All readers unregistered and released: retirees drain completely.
+  EXPECT_EQ(loop.store().reclaim(), 0u);
+}
+
+}  // namespace
+}  // namespace overmatch::serve

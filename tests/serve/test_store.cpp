@@ -1,0 +1,211 @@
+// MatchingStore protocol tests: publish/acquire/release lifecycle, refcount
+// + epoch-drain reclamation, reader-slot registration, the no-reader and
+// no-writer edge cases, and a multi-threaded acquire/publish stress run
+// (SnapshotHammer.* — the suite the tsan-hammer preset filters on).
+#include "serve/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "matching/dynamic_bsuitor.hpp"
+#include "serve/snapshot.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::serve {
+namespace {
+
+using matching::testing::Instance;
+
+/// Snapshot factory for store-level tests: captures the (static) engine
+/// state of a tiny instance under successive epochs, so every snapshot has
+/// identical payload and only the epoch differs — any torn or reclaimed-
+/// too-early read shows up as a payload mismatch or a sanitizer report.
+struct SnapshotFactory {
+  std::unique_ptr<Instance> inst;
+  std::unique_ptr<matching::DynamicBSuitor> dyn;
+  std::vector<double> sat;
+
+  explicit SnapshotFactory(std::uint64_t seed = 7) {
+    inst = Instance::random("er", 32, 4.0, 2, seed);
+    dyn = std::make_unique<matching::DynamicBSuitor>(*inst->weights,
+                                                     inst->profile->quotas());
+    sat.assign(inst->g.num_nodes(), 0.0);
+  }
+
+  [[nodiscard]] std::unique_ptr<MatchingSnapshot> make(std::uint64_t epoch) {
+    return MatchingSnapshot::capture(*dyn, sat, epoch, obs::Snapshot{});
+  }
+};
+
+TEST(MatchingStore, PublishAcquireRelease) {
+  SnapshotFactory f;
+  MatchingStore store(4);
+  EXPECT_EQ(store.current_epoch(), 0u);
+  store.publish(f.make(1));
+  EXPECT_EQ(store.current_epoch(), 1u);
+  EXPECT_EQ(store.published_count(), 1u);
+
+  auto reader = store.register_reader();
+  {
+    SnapshotRef ref = store.acquire(reader);
+    ASSERT_TRUE(ref);
+    EXPECT_EQ(ref->epoch(), 1u);
+    EXPECT_EQ(ref->matched_edges().size(),
+              f.dyn->matching().edges().size());
+  }
+  // Releasing the only outstanding ref leaves the store reclaimable.
+  store.publish(f.make(2));
+  EXPECT_EQ(store.current_epoch(), 2u);
+  EXPECT_EQ(store.reclaim(), 0u);
+}
+
+TEST(MatchingStore, NoReadersRetiredSnapshotsDrainOnPublish) {
+  SnapshotFactory f;
+  MatchingStore store(2);
+  for (std::uint64_t e = 1; e <= 16; ++e) {
+    store.publish(f.make(e));
+    // With nobody announced and no refs held, publish()'s opportunistic
+    // reclaim frees the predecessor immediately.
+    EXPECT_EQ(store.retired_count(), 0u) << "epoch " << e;
+  }
+  EXPECT_EQ(store.published_count(), 16u);
+}
+
+TEST(MatchingStore, HeldRefBlocksReclaimUntilRelease) {
+  SnapshotFactory f;
+  MatchingStore store(2);
+  store.publish(f.make(1));
+  auto reader = store.register_reader();
+
+  SnapshotRef pinned = store.acquire(reader);
+  store.publish(f.make(2));
+  // Epoch 1 is retired but pinned: the refcount keeps it.
+  EXPECT_EQ(store.retired_count(), 1u);
+  EXPECT_EQ(store.reclaim(), 1u);
+  EXPECT_EQ(pinned->epoch(), 1u);  // still readable while pinned
+
+  pinned.release();
+  EXPECT_EQ(store.reclaim(), 0u);
+}
+
+TEST(MatchingStore, ManyPinnedGenerationsReclaimInAnyReleaseOrder) {
+  SnapshotFactory f;
+  MatchingStore store(4);
+  auto reader = store.register_reader();
+  std::vector<SnapshotRef> pins;
+  for (std::uint64_t e = 1; e <= 5; ++e) {
+    store.publish(f.make(e));
+    pins.push_back(store.acquire(reader));
+  }
+  EXPECT_EQ(store.retired_count(), 4u);  // epochs 1..4 retired, all pinned
+  // Release out of order: middle, last, then the rest.
+  pins[2].release();
+  pins[4].release();
+  EXPECT_EQ(store.reclaim(), 3u);
+  for (auto& p : pins) p.release();
+  EXPECT_EQ(store.reclaim(), 0u);
+}
+
+TEST(MatchingStore, NoWriterRepeatedAcquiresSeeSameEpoch) {
+  SnapshotFactory f;
+  MatchingStore store(4);
+  store.publish(f.make(1));
+  auto r1 = store.register_reader();
+  auto r2 = store.register_reader();
+  for (int i = 0; i < 100; ++i) {
+    SnapshotRef a = store.acquire(r1);
+    SnapshotRef b = store.acquire(r2);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(a->epoch(), 1u);
+  }
+  EXPECT_EQ(store.retired_count(), 0u);
+}
+
+TEST(MatchingStore, ReaderHandlesRegisterUnregisterAndReuseSlots) {
+  SnapshotFactory f;
+  MatchingStore store(2);
+  store.publish(f.make(1));
+  auto a = store.register_reader();
+  {
+    auto b = store.register_reader();
+    EXPECT_TRUE(b.valid());
+    // Moving transfers the slot; the source no longer unregisters.
+    MatchingStore::ReaderHandle c = std::move(b);
+    EXPECT_TRUE(c.valid());
+    EXPECT_FALSE(b.valid());  // NOLINT(bugprone-use-after-move)
+    (void)store.acquire(c);
+  }  // c's destructor frees the slot
+  auto d = store.register_reader();  // reuses the freed slot
+  EXPECT_TRUE(d.valid());
+  (void)store.acquire(d);
+}
+
+TEST(MatchingStoreDeathTest, RegisterBeyondCapacityAborts) {
+  MatchingStore store(1);
+  auto only = store.register_reader();
+  EXPECT_DEATH((void)store.register_reader(), "reader slots");
+}
+
+TEST(MatchingStoreDeathTest, AcquireBeforeFirstPublishAborts) {
+  MatchingStore store(1);
+  auto reader = store.register_reader();
+  EXPECT_DEATH((void)store.acquire(reader), "publish");
+}
+
+// Store-level stress: 8 reader threads spin on acquire/validate/release
+// while the writer publishes fresh snapshots as fast as it can. Payloads
+// are identical across epochs (static engine), so any use-after-reclaim is
+// a payload mismatch under this test and a hard report under TSan/ASan.
+// Part of the SnapshotHammer suite the `tsan-hammer` preset runs.
+TEST(SnapshotHammer, StoreAcquireReleaseStress) {
+  SnapshotFactory f;
+  const double ref_weight = f.dyn->matched_weight();
+  const std::size_t ref_edges = f.dyn->matching().edges().size();
+
+  MatchingStore store(8);
+  store.publish(f.make(1));
+
+  constexpr int kReaders = 8;
+  constexpr std::uint64_t kPublishes = 400;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&store, &done, &reads, ref_weight, ref_edges] {
+      auto handle = store.register_reader();
+      std::uint64_t last_epoch = 0;
+      // Keep reading until the writer is done AND this reader has done a
+      // minimum amount of work — on few-core machines the writer can
+      // finish all publishes before a reader is ever scheduled.
+      constexpr std::uint64_t kMinReads = 50;
+      std::uint64_t mine = 0;
+      while (!done.load(std::memory_order_acquire) || mine < kMinReads) {
+        SnapshotRef ref = store.acquire(handle);
+        ASSERT_TRUE(ref);
+        // Epochs are monotone per reader; payload never changes.
+        ASSERT_GE(ref->epoch(), last_epoch);
+        last_epoch = ref->epoch();
+        ASSERT_EQ(ref->matched_edges().size(), ref_edges);
+        ASSERT_DOUBLE_EQ(ref->matched_weight(), ref_weight);
+        ++mine;
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (std::uint64_t e = 2; e <= kPublishes; ++e) store.publish(f.make(e));
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(store.published_count(), kPublishes);
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(store.reclaim(), 0u);  // all readers gone: everything drains
+}
+
+}  // namespace
+}  // namespace overmatch::serve

@@ -82,6 +82,25 @@ def main(argv):
               "timings may not be comparable:")
         print("\n".join(env_diffs))
 
+    # Oversubscription check: a run whose thread ladder exceeds the host's
+    # hardware concurrency timeshared its workers on too few cores, so its
+    # multi-thread rows measure scheduling, not parallel speedup. Warn
+    # loudly for either side (the baseline may be the unreliable one).
+    for label, env in (("baseline", base_env), ("current", cur_env)):
+        try:
+            hw = int(env.get("hardware_concurrency", "0"))
+            tmax = int(env.get("threads_max", "0"))
+        except ValueError:
+            continue
+        if 0 < hw < tmax:
+            print("=" * 64)
+            print(f"WARNING: {label} run is OVERSUBSCRIBED — "
+                  f"hardware_concurrency {hw} < threads_max {tmax}.")
+            print("  Its multi-thread records timeshared workers on too few")
+            print("  cores; treat their timings (and any speedup derived")
+            print("  from them) as unreliable.")
+            print("=" * 64)
+
     regressions, improvements, compared = [], [], 0
     for key in sorted(set(base) & set(cur)):
         b, c = base[key]["median_ms"], cur[key]["median_ms"]

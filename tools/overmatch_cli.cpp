@@ -45,6 +45,8 @@ void print_usage() {
       "  --seed=S           RNG seed                           [1]\n"
       "solver:\n"
       "  --algo=NAME        see --list-algos                   [lid]\n"
+      "  --weights=NAME     edge-weight design for the solve and the\n"
+      "                     certificate: paper|min|product|ranksum [paper]\n"
       "  --schedule=NAME    fifo|random|delay|adversarial      [random]\n"
       "  --loss=P           wire-message drop probability for the LID\n"
       "                     runtimes (reliable-delivery adapter) [0]\n"
@@ -95,9 +97,16 @@ int main(int argc, char** argv) {
   if (flags.has("graph")) {
     g = graph::load_edge_list(flags.get("graph", ""));
   } else {
-    g = graph::by_name(flags.get("topology", "er"),
-                       static_cast<std::size_t>(flags.get_int("n", 200)),
-                       flags.get_double("degree", 8.0), rng);
+    const std::string topology = flags.get("topology", "er");
+    auto built = graph::try_by_name(topology,
+                                    static_cast<std::size_t>(flags.get_int("n", 200)),
+                                    flags.get_double("degree", 8.0), rng);
+    if (!built.has_value()) {
+      std::fprintf(stderr, "overmatch_cli: unknown --topology '%s' (valid: %s)\n",
+                   topology.c_str(), graph::topology_names());
+      return 2;
+    }
+    g = *std::move(built);
   }
   const auto quota = static_cast<std::uint32_t>(flags.get_int("quota", 3));
   const auto quotas = prefs::uniform_quotas(g, quota);
@@ -135,17 +144,34 @@ int main(int argc, char** argv) {
     pool = std::make_unique<util::ThreadPool>(opt.threads);
     opt.pool = pool.get();
   }
-  const auto algo = core::algorithm_by_name(flags.get("algo", "lid"));
+  const std::string algo_name = flags.get("algo", "lid");
+  const auto algo_opt = core::try_algorithm_by_name(algo_name);
+  if (!algo_opt.has_value()) {
+    std::fprintf(stderr, "overmatch_cli: unknown --algo '%s' (valid: %s)\n",
+                 algo_name.c_str(), core::algorithm_names());
+    return 2;
+  }
+  const auto algo = *algo_opt;
   registry.set_label("topology", flags.has("graph") ? "file" : flags.get("topology", "er"));
   registry.set_label("nodes", std::to_string(g.num_nodes()));
   registry.set_label("edges", std::to_string(g.num_edges()));
   registry.set_label("seed", std::to_string(seed));
+  // Weight design: the eq.-9 paper weights by default; --weights swaps in an
+  // ablation design for the solve, certificate, and churn session alike.
+  const std::string weights_name = flags.get("weights", "paper");
+  auto weights_opt = prefs::try_weights_by_name(weights_name, profile, opt.pool);
+  if (!weights_opt.has_value()) {
+    std::fprintf(stderr, "overmatch_cli: unknown --weights '%s' (valid: %s)\n",
+                 weights_name.c_str(), prefs::weight_design_names());
+    return 2;
+  }
+  const auto& weights = *weights_opt;
+
   util::WallTimer timer;
-  const auto result = core::solve(profile, algo, opt);
+  const auto result = core::solve_with_weights(profile, weights, algo, opt);
   const double elapsed_ms = timer.millis();
 
   // Report.
-  const auto weights = prefs::paper_weights(profile, opt.pool);
   const auto cert = core::certify(profile, weights, result.matching);
   const auto sats = matching::node_satisfactions(profile, result.matching);
   util::StreamingStats ss;

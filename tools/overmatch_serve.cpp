@@ -1,0 +1,242 @@
+// overmatch_serve — the epoch-snapshot overlay matching service, as a
+// long-running daemon (DESIGN.md §13).
+//
+// One writer thread owns the live DynamicBSuitor and drives churn bursts
+// through ServiceLoop (repair → satisfaction refresh → snapshot publish);
+// R reader threads concurrently pin published MatchingSnapshots through the
+// MatchingStore and serve a query mix (neighbour lists, per-node
+// satisfaction, aggregate weight/epoch) without ever blocking on repair.
+// On exit it reports writer throughput (events/s, publishes/s, publish
+// latency) and reader throughput (queries/s, acquire+query p50/p99).
+//
+// Usage examples:
+//   overmatch_serve --n=100000 --readers=8 --duration=10
+//   overmatch_serve --churn-arrival=flash-crowd --churn-batch=256 --threads=4
+//   overmatch_serve --duration=2 --metrics-out=serve_metrics.json
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "prefs/weights.hpp"
+#include "serve/service_loop.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+void print_usage() {
+  std::puts(
+      "overmatch_serve — epoch-snapshot overlay matching service\n"
+      "\n"
+      "instance:\n"
+      "  --n=N              peers                              [5000]\n"
+      "  --topology=NAME    er|ba|ws|geo|grid|complete|regular [er]\n"
+      "  --degree=D         target average degree              [8]\n"
+      "  --quota=B          connection quota per peer          [3]\n"
+      "  --seed=S           RNG seed                           [1]\n"
+      "service:\n"
+      "  --readers=R        concurrent reader threads          [4]\n"
+      "  --churn-batch=B    mean churn burst size              [64]\n"
+      "  --churn-arrival=A  uniform|poisson|flash-crowd        [poisson]\n"
+      "  --duration=S       run length in seconds              [5]\n"
+      "  --threads=T        frontier-parallel repair pool (0 = sequential\n"
+      "                     repair on the writer thread)       [0]\n"
+      "  --count-blocking   audit every published snapshot with an O(m)\n"
+      "                     blocking-edge sweep (aborts unless 0)\n"
+      "output:\n"
+      "  --metrics-out=FILE write an overmatch-metrics-v1 JSON document\n"
+      "                     (validate/diff with tools/metrics_diff.py)\n"
+      "  --quiet            summary line only\n"
+      "  --help             this text");
+}
+
+/// Per-reader tally, written by the reader thread and read after join.
+struct ReaderStats {
+  std::uint64_t queries = 0;
+  std::vector<double> sampled_us;  ///< acquire+query latency, every 16th op
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace overmatch;
+  const util::Flags flags(argc, argv);
+  if (flags.has("help")) {
+    print_usage();
+    return 0;
+  }
+
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 5000));
+  const auto quota = static_cast<std::uint32_t>(flags.get_int("quota", 3));
+  const auto readers_n = static_cast<std::size_t>(flags.get_int("readers", 4));
+  const double duration_s = flags.get_double("duration", 5.0);
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  const bool quiet = flags.has("quiet");
+
+  const std::string topology = flags.get("topology", "er");
+  util::Rng rng(seed);
+  auto built =
+      graph::try_by_name(topology, n, flags.get_double("degree", 8.0), rng);
+  if (!built.has_value()) {
+    std::fprintf(stderr, "overmatch_serve: unknown --topology '%s' (valid: %s)\n",
+                 topology.c_str(), graph::topology_names());
+    return 2;
+  }
+  const graph::Graph g = *std::move(built);
+
+  const std::string arrival_name = flags.get("churn-arrival", "poisson");
+  const auto arrival = overlay::try_churn_arrival_by_name(arrival_name);
+  if (!arrival.has_value()) {
+    std::fprintf(stderr,
+                 "overmatch_serve: unknown --churn-arrival '%s' (valid: %s)\n",
+                 arrival_name.c_str(), overlay::churn_arrival_names());
+    return 2;
+  }
+
+  const auto profile = prefs::PreferenceProfile::random(
+      g, prefs::uniform_quotas(g, quota), rng);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads >= 1) pool = std::make_unique<util::ThreadPool>(threads);
+  const auto weights = prefs::paper_weights(profile, pool.get());
+
+  obs::Registry registry;
+  registry.set_label("topology", topology);
+  registry.set_label("nodes", std::to_string(g.num_nodes()));
+  registry.set_label("edges", std::to_string(g.num_edges()));
+  registry.set_label("seed", std::to_string(seed));
+  registry.set_label("readers", std::to_string(readers_n));
+
+  serve::ServeOptions sopt;
+  sopt.arrival = *arrival;
+  sopt.churn_batch_mean = flags.get_double("churn-batch", 64.0);
+  sopt.seed = seed;
+  sopt.pool = pool.get();
+  sopt.registry = &registry;
+  sopt.max_readers = std::max<std::size_t>(readers_n + 1,
+                                           serve::MatchingStore::kDefaultMaxReaders);
+  sopt.count_blocking = flags.has("count-blocking");
+  serve::ServiceLoop loop(profile, weights, sopt);
+
+  if (!quiet) {
+    std::printf(
+        "serve    : %zu nodes, %zu candidate edges, quota %u, %s topology, "
+        "seed %llu\n"
+        "           writer bursts ~%.0f events (%s arrival), %zu repair "
+        "thread%s, %zu readers, %.1f s\n",
+        g.num_nodes(), g.num_edges(), quota, topology.c_str(),
+        static_cast<unsigned long long>(seed), sopt.churn_batch_mean,
+        arrival_name.c_str(), std::max<std::size_t>(threads, 1),
+        threads > 1 ? "s" : "", readers_n, duration_s);
+  }
+
+  // Readers: each pins the current snapshot and serves a fixed query mix —
+  // one neighbour-list scan + one satisfaction read per op, plus the
+  // aggregate weight/epoch every 64th op. Latency (acquire through last
+  // read) is sampled every 16th op to bound memory.
+  std::atomic<bool> done{false};
+  std::vector<ReaderStats> tallies(readers_n);
+  std::vector<std::thread> reader_threads;
+  reader_threads.reserve(readers_n);
+  for (std::size_t t = 0; t < readers_n; ++t) {
+    reader_threads.emplace_back([&loop, &done, &tallies, t, seed] {
+      auto handle = loop.store().register_reader();
+      util::Rng qrng(seed ^ (0xabcdef12345678ULL + t));
+      ReaderStats& tally = tallies[t];
+      double sink = 0.0;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        {
+          serve::SnapshotRef snap = loop.store().acquire(handle);
+          const auto v =
+              static_cast<graph::NodeId>(qrng.index(snap->num_nodes()));
+          for (const graph::NodeId u : snap->neighbors(v)) {
+            sink += static_cast<double>(u);
+          }
+          sink += snap->satisfaction(v);
+          if (tally.queries % 64 == 0) {
+            sink += snap->matched_weight() +
+                    static_cast<double>(snap->epoch());
+          }
+        }
+        if (tally.queries % 16 == 0) {
+          const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+          tally.sampled_us.push_back(static_cast<double>(ns) / 1e3);
+        }
+        ++tally.queries;
+      }
+      // Keep the compiler honest about the reads without printing noise.
+      if (sink == -1.0) std::puts("");
+    });
+  }
+
+  // Writer: churn bursts until the deadline, tallying per-step latency.
+  util::StreamingStats apply_us, publish_us;
+  std::size_t batches = 0, events = 0, coalesced = 0;
+  util::WallTimer wall;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::nanoseconds(static_cast<std::int64_t>(duration_s * 1e9));
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto st = loop.step();
+    ++batches;
+    events += st.events;
+    coalesced += st.coalesced;
+    apply_us.add(static_cast<double>(st.apply_ns) / 1e3);
+    publish_us.add(static_cast<double>(st.publish_ns) / 1e3);
+  }
+  const double writer_ms = wall.millis();
+  done.store(true, std::memory_order_release);
+  for (auto& th : reader_threads) th.join();
+  const double wall_ms = wall.millis();
+  // With every reader gone the retired list drains; reclamation is normally
+  // piggybacked on publish, so run one final pass before reporting.
+  (void)loop.store().reclaim();
+
+  std::uint64_t queries = 0;
+  std::vector<double> samples;
+  for (const ReaderStats& tally : tallies) {
+    queries += tally.queries;
+    samples.insert(samples.end(), tally.sampled_us.begin(),
+                   tally.sampled_us.end());
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto pct = [&samples](double p) {
+    if (samples.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(samples.size() - 1));
+    return samples[idx];
+  };
+
+  const double events_per_s = 1000.0 * static_cast<double>(events) / writer_ms;
+  const double queries_per_s = 1000.0 * static_cast<double>(queries) / wall_ms;
+  std::printf(
+      "writer   : %zu bursts, %zu events (%zu coalesced away) in %.2f s — "
+      "%.0f events/s, %.1f publishes/s\n"
+      "publish  : mean %.1f us, max %.1f us (epoch %llu, %zu retired "
+      "unreclaimed)\n"
+      "readers  : %llu queries — %.0f queries/s, acquire+query p50 %.1f us, "
+      "p99 %.1f us\n",
+      batches, events, coalesced, writer_ms / 1000.0, events_per_s,
+      1000.0 * static_cast<double>(batches) / writer_ms, publish_us.mean(),
+      publish_us.max(), static_cast<unsigned long long>(loop.epoch()),
+      loop.store().retired_count(), static_cast<unsigned long long>(queries),
+      queries_per_s, pct(0.50), pct(0.99));
+
+  if (flags.has("metrics-out")) {
+    obs::write_json_file(registry.snapshot(), "overmatch_serve",
+                         flags.get("metrics-out", "serve_metrics.json"));
+  }
+  return 0;
+}
