@@ -20,8 +20,11 @@ void scheduler_table() {
     for (std::uint64_t seed = 1; seed <= runs; ++seed) {
       auto inst = bench::Instance::make("ba", 100, 6.0, 3, 2024);  // fixed instance
       const auto lic = matching::lic_global(*inst->weights, inst->profile->quotas());
-      const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                       {.schedule = schedule, .seed = seed});
+      matching::LidOptions opt;
+      opt.seed = seed;
+      opt.schedule = schedule;
+      const auto r =
+          matching::run_lid(*inst->weights, inst->profile->quotas(), opt);
       if (lic.same_edges(r.matching)) ++equal;
       msgs.push_back(static_cast<double>(r.stats.total_sent));
       vtime.add(r.stats.completion_time);
@@ -47,10 +50,12 @@ void threaded_repeatability() {
     std::size_t equal = 0;
     util::StreamingStats msgs;
     const std::size_t runs = 6;
+    matching::LidOptions opt;
+    opt.threads = threads;
+    opt.runtime = matching::LidRuntime::kThreaded;
     for (std::size_t rep = 0; rep < runs; ++rep) {
-      const auto r = matching::run_lid(
-          *inst->weights, inst->profile->quotas(),
-          {.runtime = matching::LidRuntime::kThreaded, .threads = threads});
+      const auto r =
+          matching::run_lid(*inst->weights, inst->profile->quotas(), opt);
       if (lic.same_edges(r.matching)) ++equal;
       msgs.add(static_cast<double>(r.stats.total_sent));
     }

@@ -29,8 +29,8 @@ void ablation_table() {
     for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
       auto inst = bench::Instance::make_mixed_quotas("er", n, 8.0, 4, seed * 71 + 7);
       const auto w = prefs::weights_by_name(design, *inst->profile);
-      const auto r = core::solve_with_weights(*inst->profile, w,
-                                              core::Algorithm::kLicGlobal);
+      const auto r =
+          core::solve(*inst->profile, core::Algorithm::kLicGlobal, {}, &w);
       sat.add(r.satisfaction);
       sbar.add(r.satisfaction_modified);
       blocking.add(static_cast<double>(
@@ -58,9 +58,9 @@ void random_weights_floor() {
     auto inst = bench::Instance::make_mixed_quotas("er", 96, 8.0, 4, seed * 73 + 1);
     util::Rng rng(seed);
     const auto wr = prefs::random_weights(inst->g, rng);
-    sat_random.add(core::solve_with_weights(*inst->profile, wr,
-                                            core::Algorithm::kLicGlobal)
-                       .satisfaction);
+    sat_random.add(
+        core::solve(*inst->profile, core::Algorithm::kLicGlobal, {}, &wr)
+            .satisfaction);
     sat_paper.add(core::solve(*inst->profile, core::Algorithm::kLicGlobal)
                       .satisfaction);
   }

@@ -1,0 +1,106 @@
+// E23 — Anytime quality vs. round budget (DESIGN.md §14). Sweeps
+// SolveOptions::budget.max_rounds for the two budget-honoring engine
+// families — LID (DES runtime, FIFO schedule so a budget-R run is a prefix
+// of the full run) and sequential b-suitor — across er/ba/ws topologies,
+// reporting how fast Σ S_i and the matched-weight approximation ratio climb
+// toward the unbudgeted fixed point and how the blocking-edge count (the
+// distance-from-convergence gauge) decays. Emits BENCH_anytime.json
+// ("anytime_quality" series) for the bench_diff.py self-diff gate.
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/solvers.hpp"
+#include "matching/verify.hpp"
+
+namespace overmatch {
+namespace {
+
+struct AlgoArm {
+  const char* name;
+  core::Algorithm algo;
+};
+
+void rounds_sweep(bench::JsonReport& report) {
+  const std::size_t n = bench::scaled(384, 96);
+  const double degree = 12.0;
+  const std::uint32_t quota = 3;
+  const std::vector<std::size_t> rounds =
+      bench::g_smoke ? std::vector<std::size_t>{1, 4, 16}
+                     : std::vector<std::size_t>{1, 2, 4, 8, 16, 32};
+  const AlgoArm arms[] = {{"lid", core::Algorithm::kLidDes},
+                          {"bsuitor", core::Algorithm::kBSuitor}};
+
+  util::Table t({"algo", "topology", "rounds", "S vs full %", "weight %",
+                 "blocking", "truncated/seeds"});
+  for (const AlgoArm& arm : arms) {
+    for (const auto* topology : {"er", "ba", "ws"}) {
+      // Unbudgeted references, one per seed (quality ratios are per-seed so
+      // a hard seed doesn't skew the sweep).
+      std::vector<double> ref_sat, ref_weight;
+      for (std::uint64_t seed = 1; seed <= bench::seeds(5); ++seed) {
+        auto inst = bench::Instance::make(topology, n, degree, quota, seed * 7 + 3);
+        core::SolveOptions opt;
+        opt.seed = seed;
+        opt.schedule = sim::Schedule::kFifo;
+        const auto r = core::solve(*inst->profile, arm.algo, opt,
+                                   inst->weights.get());
+        ref_sat.push_back(r.satisfaction);
+        ref_weight.push_back(r.weight);
+      }
+      for (const std::size_t budget_rounds : rounds) {
+        util::StreamingStats sat_pct, weight_pct, blocking;
+        std::size_t truncated_seeds = 0;
+        std::vector<double> samples_ms;
+        for (std::uint64_t seed = 1; seed <= bench::seeds(5); ++seed) {
+          auto inst = bench::Instance::make(topology, n, degree, quota, seed * 7 + 3);
+          core::SolveOptions opt;
+          opt.seed = seed;
+          opt.schedule = sim::Schedule::kFifo;
+          opt.budget.max_rounds = budget_rounds;
+          util::WallTimer timer;
+          const auto r = core::solve(*inst->profile, arm.algo, opt,
+                                     inst->weights.get());
+          samples_ms.push_back(timer.millis());
+          sat_pct.add(100.0 * r.satisfaction / ref_sat[seed - 1]);
+          weight_pct.add(100.0 * r.weight / ref_weight[seed - 1]);
+          blocking.add(static_cast<double>(
+              matching::count_blocking_edges(r.matching, *inst->weights)));
+          if (r.truncated) ++truncated_seeds;
+        }
+        t.row()
+            .cell(arm.name)
+            .cell(topology)
+            .cell(std::int64_t{static_cast<std::int64_t>(budget_rounds)})
+            .cell(sat_pct.mean(), 1)
+            .cell(weight_pct.mean(), 1)
+            .cell(blocking.mean(), 0)
+            .cell(std::to_string(truncated_seeds) + "/" +
+                  std::to_string(bench::seeds(5)));
+        report.add("anytime_quality",
+                   {{"algo", arm.name},
+                    {"topology", topology},
+                    {"rounds", std::to_string(budget_rounds)}},
+                   samples_ms);
+      }
+    }
+  }
+  t.print("Round-budget sweep (n per arm above, avg degree 12, b=3; quality "
+          "relative to the unbudgeted fixed point of the same seed):");
+}
+
+}  // namespace
+}  // namespace overmatch
+
+int main(int argc, char** argv) {
+  const overmatch::bench::Env env(argc, argv);
+  (void)env;
+  overmatch::bench::print_header(
+      "E23", "Anytime quality vs. round budget (DESIGN.md §14)",
+      "Σ S_i and approximation ratio vs. max_rounds for budgeted LID and\n"
+      "b-suitor; blocking edges measure the distance from convergence.");
+  overmatch::bench::JsonReport report("anytime");
+  overmatch::rounds_sweep(report);
+  report.write();
+  return 0;
+}

@@ -31,9 +31,11 @@ void equivalence_table() {
                                                          seed * 31 + b);
           const auto lic = matching::lic_global(*inst->weights,
                                                 inst->profile->quotas());
+          matching::LidOptions opt;
+          opt.seed = seed;
+          opt.schedule = schedule;
           const auto lid =
-              matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                {.schedule = schedule, .seed = seed});
+              matching::run_lid(*inst->weights, inst->profile->quotas(), opt);
           if (lic.same_edges(lid.matching)) ++equal;
           weight.add(lid.matching.total_weight(*inst->weights));
           msgs.add(static_cast<double>(lid.stats.total_sent));
@@ -70,10 +72,11 @@ void engine_family_table() {
             *inst->weights, inst->profile->quotas(), 4))) {
       ++eq_parallel;
     }
+    matching::LidOptions thr_opt;
+    thr_opt.threads = 4;
+    thr_opt.runtime = matching::LidRuntime::kThreaded;
     if (lic.same_edges(
-            matching::run_lid(*inst->weights, inst->profile->quotas(),
-                              {.runtime = matching::LidRuntime::kThreaded,
-                               .threads = 4})
+            matching::run_lid(*inst->weights, inst->profile->quotas(), thr_opt)
                 .matching)) {
       ++eq_threaded;
     }

@@ -19,9 +19,11 @@ void loss_sweep() {
     util::StreamingStats base;
     for (std::uint64_t seed = 1; seed <= bench::seeds(6); ++seed) {
       auto inst = bench::Instance::make("er", 80, 8.0, 3, seed * 5 + 1);
+      matching::LidOptions opt;
+      opt.seed = seed;
+      opt.schedule = sim::Schedule::kRandomDelay;
       base.add(static_cast<double>(
-          matching::run_lid(*inst->weights, inst->profile->quotas(),
-                            {.schedule = sim::Schedule::kRandomDelay, .seed = seed})
+          matching::run_lid(*inst->weights, inst->profile->quotas(), opt)
               .stats.total_sent));
     }
     baseline_msgs = base.mean();
@@ -37,9 +39,12 @@ void loss_sweep() {
     for (std::uint64_t seed = 1; seed <= runs; ++seed) {
       auto inst = bench::Instance::make("er", 80, 8.0, 3, seed * 5 + 1);
       const auto lic = matching::lic_global(*inst->weights, inst->profile->quotas());
+      matching::LidOptions opt;
+      opt.seed = seed;
+      opt.loss_rate = loss;
+      opt.reliable = true;
       const auto r =
-          matching::run_lid(*inst->weights, inst->profile->quotas(),
-                            {.loss_rate = loss, .reliable = true, .seed = seed});
+          matching::run_lid(*inst->weights, inst->profile->quotas(), opt);
       if (lic.same_edges(r.matching)) ++equal;
       msgs.add(static_cast<double>(r.stats.total_sent));
       dropped.add(static_cast<double>(r.stats.total_dropped));

@@ -24,9 +24,11 @@ void series_vs_n(bench::JsonReport& json) {
     std::vector<double> run_ms;
     for (std::uint64_t seed = 1; seed <= bench::seeds(5); ++seed) {
       auto inst = bench::Instance::make("er", n, 8.0, 3, seed * 7 + n);
+      matching::LidOptions opt;
+      opt.seed = seed;
       util::WallTimer timer;
-      const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                       {.seed = seed});
+      const auto r =
+          matching::run_lid(*inst->weights, inst->profile->quotas(), opt);
       run_ms.push_back(timer.millis());
       m_edges.add(static_cast<double>(inst->g.num_edges()));
       prop.add(static_cast<double>(r.stats.kind_count(matching::kMsgProp)));
@@ -58,8 +60,10 @@ void series_vs_degree() {
     util::StreamingStats total;
     for (std::uint64_t seed = 1; seed <= bench::seeds(5); ++seed) {
       auto inst = bench::Instance::make("er", 128, d, 3, seed * 11 + 1);
-      const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                       {.seed = seed});
+      matching::LidOptions opt;
+      opt.seed = seed;
+      const auto r =
+          matching::run_lid(*inst->weights, inst->profile->quotas(), opt);
       m_edges.add(static_cast<double>(inst->g.num_edges()));
       total.add(static_cast<double>(r.stats.total_sent));
     }
@@ -82,8 +86,10 @@ void series_vs_quota() {
     util::StreamingStats capacity_frac;
     for (std::uint64_t seed = 1; seed <= bench::seeds(5); ++seed) {
       auto inst = bench::Instance::make("er", 128, 16.0, b, seed * 13 + b);
-      const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                       {.seed = seed});
+      matching::LidOptions opt;
+      opt.seed = seed;
+      const auto r =
+          matching::run_lid(*inst->weights, inst->profile->quotas(), opt);
       total.add(static_cast<double>(r.stats.total_sent));
       per_edge.add(static_cast<double>(r.stats.total_sent) /
                    static_cast<double>(inst->g.num_edges()));
@@ -114,8 +120,11 @@ void schedule_spread() {
     double weight = 0.0;
     for (std::uint64_t seed = 1; seed <= bench::seeds(8); ++seed) {
       auto inst = bench::Instance::make("er", 96, 8.0, 3, 555);  // same instance
-      const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                       {.schedule = schedule, .seed = seed});
+      matching::LidOptions opt;
+      opt.seed = seed;
+      opt.schedule = schedule;
+      const auto r =
+          matching::run_lid(*inst->weights, inst->profile->quotas(), opt);
       msgs.add(static_cast<double>(r.stats.total_sent));
       weight = r.matching.total_weight(*inst->weights);  // identical across runs
     }

@@ -206,8 +206,10 @@ void run(bench::Env& env) {
   {
     const std::size_t lid_n = env.smoke() ? 256 : 2048;
     const auto li = bench::Instance::make("er", lid_n, 8.0, 3, 777);
+    matching::LidOptions lid_opt;
+    lid_opt.seed = 1;
     auto samples = bench::timed_samples(env.smoke() ? 1 : 3, [&] {
-      (void)matching::run_lid(*li->weights, li->profile->quotas(), {.seed = 1})
+      (void)matching::run_lid(*li->weights, li->profile->quotas(), lid_opt)
           .matching.size();
     });
     json.add("lid_des",

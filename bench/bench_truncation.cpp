@@ -75,6 +75,43 @@ void k_sweep() {
           "evaluated on the original full lists):");
 }
 
+// The other axis of "do less work": instead of shortening the lists fed in
+// (shortlist-k above), cap the protocol itself with the anytime round budget
+// (SolveOptions::budget, DESIGN.md §14) and stop mid-run. FIFO schedule so a
+// budget-R run is a prefix of the full run.
+void rounds_sweep() {
+  const std::size_t n = 96;
+  const std::uint32_t quota = 3;
+  util::Table t({"round budget", "match msgs", "S vs full-run %", "truncated"});
+  for (const std::size_t rounds : {1u, 2u, 4u, 8u, 16u, 0u}) {  // 0 = unlimited
+    util::StreamingStats msgs;
+    util::StreamingStats sat_pct;
+    std::size_t truncated_runs = 0;
+    for (std::uint64_t seed = 1; seed <= bench::seeds(5); ++seed) {
+      auto inst = bench::Instance::make("er", n, 16.0, quota, seed * 11 + 1);
+      core::SolveOptions opt;
+      opt.seed = seed;
+      opt.schedule = sim::Schedule::kFifo;
+      core::SolveOptions ref_opt = opt;
+      if (rounds != 0) opt.budget.max_rounds = rounds;
+      const auto full =
+          core::solve(*inst->profile, core::Algorithm::kLidDes, ref_opt);
+      const auto r = core::solve(*inst->profile, core::Algorithm::kLidDes, opt);
+      msgs.add(static_cast<double>(r.messages));
+      sat_pct.add(100.0 * r.satisfaction / full.satisfaction);
+      if (r.truncated) ++truncated_runs;
+    }
+    t.row()
+        .cell(rounds == 0 ? std::string("unlimited") : std::to_string(rounds))
+        .cell(msgs.mean(), 0)
+        .cell(sat_pct.mean(), 1)
+        .cell(std::to_string(truncated_runs) + "/" +
+              std::to_string(bench::seeds(5)));
+  }
+  t.print("Anytime round-budget sweep (ER n=96, avg degree 16, b=3, LID DES "
+          "fifo; satisfaction relative to the unbudgeted run):");
+}
+
 }  // namespace
 }  // namespace overmatch
 
@@ -83,7 +120,9 @@ int main(int argc, char** argv) {
   (void)env;
   overmatch::bench::print_header(
       "E17", "Bounded-preference-list ablation",
-      "Top-k candidate preselection: quality/traffic vs. shortlist size.");
+      "Top-k candidate preselection: quality/traffic vs. shortlist size;\n"
+      "plus the anytime round-budget sweep over the same instances.");
   overmatch::k_sweep();
+  overmatch::rounds_sweep();
   return 0;
 }

@@ -34,7 +34,10 @@ int main(int argc, char** argv) {
       prefs::PreferenceProfile::random(g, prefs::uniform_quotas(g, quota), rng);
   const auto weights = prefs::paper_weights(profile);
 
-  overlay::ChurnSimulator churn(profile, weights, {.mode = mode, .oracle = true});
+  overlay::ChurnOptions churn_opt;
+  churn_opt.mode = mode;
+  churn_opt.oracle = true;
+  overlay::ChurnSimulator churn(profile, weights, churn_opt);
   std::printf(
       "initial overlay (%s repair): %zu connections, weight %.3f, "
       "satisfaction %.3f\n\n",

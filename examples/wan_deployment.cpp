@@ -49,8 +49,11 @@ int main(int argc, char** argv) {
               "(quota %u)\n", quota);
 
   // Phase 3: distributed matching over the lossy WAN.
-  const auto r = matching::run_lid(weights, profile.quotas(),
-                                   {.loss_rate = loss, .reliable = true, .seed = seed});
+  matching::LidOptions lid_opt;
+  lid_opt.seed = seed;
+  lid_opt.loss_rate = loss;
+  lid_opt.reliable = true;
+  const auto r = matching::run_lid(weights, profile.quotas(), lid_opt);
   std::printf(
       "phase 3 — LID over %.0f%% loss: %zu connections established\n"
       "          wire traffic %zu msgs (%zu dropped, %zu retransmitted, "

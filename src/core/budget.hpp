@@ -1,0 +1,112 @@
+// Anytime solving budgets (DESIGN.md §14).
+//
+// A Budget bounds how much work a solver may spend before returning the
+// current partial matching: `max_rounds` caps protocol rounds (LID) or drain
+// rounds / worker sweeps (b-suitor), `deadline_ms` caps wall-clock time. An
+// unlimited budget — the default — must be *passive*: engines add no RNG
+// draws, no clock reads, and no ordering changes, so unbudgeted runs stay
+// bit-identical to the pre-anytime behaviour (ctest-enforced).
+//
+// RunContext is the shared execution-context quadruple (seed, threads, pool,
+// registry) plus the budget, embedded by SolveOptions, LidOptions, and
+// ChurnOptions so a new knob lands in one place instead of three.
+//
+// Header-only with no link dependencies: every library in src/ shares the
+// include root, so matching/sim/overlay can all see these types without a
+// circular library edge.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace overmatch::util {
+class ThreadPool;
+}
+namespace overmatch::obs {
+class Registry;
+}
+
+namespace overmatch::core {
+
+/// Sentinel: no round cap.
+inline constexpr std::size_t kUnlimitedRounds =
+    std::numeric_limits<std::size_t>::max();
+
+/// Round- and wall-clock budget for anytime solving. Default = unlimited
+/// (run to the fixed point; identical to the historical behaviour).
+struct Budget {
+  /// Protocol/drain rounds the engine may execute. 0 is legal and returns
+  /// an empty (but valid) matching. The exact granularity is per-engine:
+  /// LID counts message rounds (on_start sends are round 1, replies round 2,
+  /// …), sequential b-suitor counts work-queue generations, the parallel
+  /// b-suitor counts per-worker block sweeps (see DESIGN.md §14).
+  std::size_t max_rounds = kUnlimitedRounds;
+  /// Wall-clock deadline in milliseconds, measured from the start of the
+  /// engine's run; <= 0 disables the deadline. Checked at round/block/batch
+  /// granularity, so overruns are bounded by one check interval, not zero.
+  double deadline_ms = 0.0;
+
+  [[nodiscard]] bool limits_rounds() const noexcept {
+    return max_rounds != kUnlimitedRounds;
+  }
+  [[nodiscard]] bool has_deadline() const noexcept { return deadline_ms > 0.0; }
+  [[nodiscard]] bool limited() const noexcept {
+    return limits_rounds() || has_deadline();
+  }
+};
+
+/// Armed once at run start; expired() polls the monotonic clock. A
+/// default-constructed (or no-deadline) Deadline is inert: armed() is false
+/// and expired() never reads the clock, keeping unbudgeted runs free of
+/// timing syscalls.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+  explicit Deadline(const Budget& b) {
+    if (b.has_deadline()) {
+      armed_ = true;
+      at_ = Clock::now() + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                               b.deadline_ms * 1e6));
+    }
+  }
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  [[nodiscard]] bool expired() const {
+    return armed_ && Clock::now() >= at_;
+  }
+
+ private:
+  bool armed_ = false;
+  Clock::time_point at_{};
+};
+
+/// What a budgeted engine actually spent / whether it was cut short.
+struct BudgetStatus {
+  std::size_t rounds_used = 0;  ///< rounds (engine granularity) executed
+  bool truncated = false;       ///< true iff the budget stopped the run early
+};
+
+/// Shared execution context for every solver entry point. SolveOptions,
+/// LidOptions, and ChurnOptions embed this by inheritance, so existing
+/// member-assignment call sites (`opt.seed = …`, `opt.pool = …`) compile
+/// unchanged and new context knobs are added exactly once.
+struct RunContext {
+  /// Seeds schedule/loss RNG streams (and any engine-local randomness).
+  std::uint64_t seed = 1;
+  /// Worker count for threaded engines (ignored by sequential ones).
+  std::size_t threads = 2;
+  /// Optional shared thread pool (caller-owned, caller participates);
+  /// nullptr keeps single-threaded construction/solving paths exact.
+  util::ThreadPool* pool = nullptr;
+  /// Optional caller-owned metrics registry; nullptr records nothing (or,
+  /// for core::solve, a private registry backs the result snapshot).
+  obs::Registry* registry = nullptr;
+  /// Anytime budget; default unlimited = historical bit-identical behaviour.
+  Budget budget;
+};
+
+}  // namespace overmatch::core

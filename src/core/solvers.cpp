@@ -11,6 +11,7 @@
 #include "matching/metrics.hpp"
 #include "matching/parallel_bsuitor.hpp"
 #include "matching/parallel_local.hpp"
+#include "matching/verify.hpp"
 
 namespace overmatch::core {
 
@@ -78,11 +79,12 @@ matching::LidOptions lid_options(const SolveOptions& options,
                                  matching::LidRuntime runtime,
                                  obs::Registry& reg) {
   matching::LidOptions lopt;
+  // Copy the whole shared context (seed, threads, pool, budget), then point
+  // the registry at the solve-level one.
+  static_cast<RunContext&>(lopt) = options;
   lopt.runtime = runtime;
   lopt.schedule = options.schedule;
   lopt.loss_rate = options.loss_rate;
-  lopt.seed = options.seed;
-  lopt.threads = options.threads;
   lopt.registry = &reg;
   return lopt;
 }
@@ -96,6 +98,7 @@ SolveResult solve_impl(const prefs::PreferenceProfile& profile,
   std::size_t messages = 0;
   std::size_t retransmissions = 0;
   bool converged = true;
+  BudgetStatus anytime;
   {
     obs::ScopedTimer match_timer(reg.timer("phase.match"));
     switch (a) {
@@ -105,6 +108,7 @@ SolveResult solve_impl(const prefs::PreferenceProfile& profile,
         m = std::move(r.matching);
         messages = r.stats.total_sent;
         retransmissions = r.retransmissions;
+        anytime = {r.rounds_used, r.truncated};
         break;
       }
       case Algorithm::kLidThreaded: {
@@ -113,6 +117,7 @@ SolveResult solve_impl(const prefs::PreferenceProfile& profile,
         m = std::move(r.matching);
         messages = r.stats.total_sent;
         retransmissions = r.retransmissions;
+        anytime = {r.rounds_used, r.truncated};
         break;
       }
       case Algorithm::kLicGlobal:
@@ -127,12 +132,14 @@ SolveResult solve_impl(const prefs::PreferenceProfile& profile,
                 : matching::parallel_local_dominant(w, quotas, options.threads, &reg);
         break;
       case Algorithm::kBSuitor:
-        m = matching::b_suitor(w, quotas, &reg);
+        m = matching::b_suitor(w, quotas, &reg, options.budget, &anytime);
         break;
       case Algorithm::kParallelBSuitor:
         m = options.pool != nullptr
-                ? matching::parallel_b_suitor(w, quotas, *options.pool, &reg)
-                : matching::parallel_b_suitor(w, quotas, options.threads, &reg);
+                ? matching::parallel_b_suitor(w, quotas, *options.pool, &reg,
+                                              options.budget, &anytime)
+                : matching::parallel_b_suitor(w, quotas, options.threads, &reg,
+                                              options.budget, &anytime);
         break;
       case Algorithm::kDynamicBSuitor:
         m = matching::DynamicBSuitor(w, quotas, &reg).matching();
@@ -143,6 +150,8 @@ SolveResult solve_impl(const prefs::PreferenceProfile& profile,
         m = std::move(r.matching);
         messages = r.stats.total_sent;
         retransmissions = r.retransmissions;
+        anytime = {r.rounds_used, r.truncated};
+        // Local search improves any valid b-matching, truncated or not.
         (void)matching::improve_satisfaction(profile, m);
         break;
       }
@@ -168,13 +177,27 @@ SolveResult solve_impl(const prefs::PreferenceProfile& profile,
     }
   }
   SolveResult out{std::move(m), 0.0, 0.0, 0.0, messages, retransmissions,
-                  converged, {}};
+                  converged, anytime.truncated, anytime.rounds_used, {}};
   {
     obs::ScopedTimer metrics_timer(reg.timer("phase.metrics"));
     out.weight = out.matching.total_weight(w);
     out.satisfaction = matching::total_satisfaction(profile, out.matching);
     out.satisfaction_modified =
         matching::total_satisfaction_modified(profile, out.matching);
+  }
+  if (options.budget.limited()) {
+    // Anytime gauges (DESIGN.md §14): rounds actually spent, whether the
+    // budget bit, the quality reached, and — for truncated runs — how far
+    // from the greedy fixed point the partial matching still is. A run that
+    // reached its fixed point within budget has zero blocking edges by the
+    // greedy post-condition, so the O(m) sweep is only paid when truncated.
+    reg.gauge("anytime.rounds_used").set(static_cast<double>(out.rounds_used));
+    reg.gauge("anytime.truncated").set(out.truncated ? 1.0 : 0.0);
+    reg.gauge("anytime.satisfaction").set(out.satisfaction);
+    reg.gauge("anytime.blocking_edges")
+        .set(out.truncated ? static_cast<double>(
+                                 matching::count_blocking_edges(out.matching, w))
+                           : 0.0);
   }
   out.metrics = reg.snapshot();
   return out;
@@ -183,22 +206,16 @@ SolveResult solve_impl(const prefs::PreferenceProfile& profile,
 }  // namespace
 
 SolveResult solve(const prefs::PreferenceProfile& profile, Algorithm a,
-                  const SolveOptions& options) {
+                  const SolveOptions& options, const prefs::EdgeWeights* w) {
   obs::Registry owned;
   obs::Registry& reg = options.registry != nullptr ? *options.registry : owned;
-  const auto w = [&] {
+  std::optional<prefs::EdgeWeights> built;
+  if (w == nullptr) {
     obs::ScopedTimer build_timer(reg.timer("phase.weights_build"));
-    return prefs::paper_weights(profile, options.pool);
-  }();
-  return solve_impl(profile, w, a, options, reg);
-}
-
-SolveResult solve_with_weights(const prefs::PreferenceProfile& profile,
-                               const prefs::EdgeWeights& w, Algorithm a,
-                               const SolveOptions& options) {
-  obs::Registry owned;
-  obs::Registry& reg = options.registry != nullptr ? *options.registry : owned;
-  return solve_impl(profile, w, a, options, reg);
+    built.emplace(prefs::paper_weights(profile, options.pool));
+    w = &*built;
+  }
+  return solve_impl(profile, *w, a, options, reg);
 }
 
 }  // namespace overmatch::core

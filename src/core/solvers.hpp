@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/budget.hpp"
 #include "matching/matching.hpp"
 #include "obs/snapshot.hpp"
 #include "prefs/preference_profile.hpp"
@@ -52,25 +53,31 @@ enum class Algorithm : std::uint8_t {
 /// All algorithms, cheap-to-expensive.
 [[nodiscard]] const std::vector<Algorithm>& all_algorithms();
 
-struct SolveOptions {
-  std::uint64_t seed = 1;
+/// Solver configuration. The shared execution context — seed, threads, pool,
+/// registry, anytime budget — lives in the core::RunContext base (one place
+/// for every entry point); the members here are solve()-specific knobs.
+///
+/// Base-field semantics for solve():
+///  * seed      — schedule/loss RNG streams and engine-local randomness;
+///  * threads   — worker count for the threaded runtimes / parallel engines;
+///  * pool      — optional pool for the construction pipeline (weight build
+///                in solve()) and the shared-memory parallel engines;
+///                nullptr preserves the single-threaded path exactly, the
+///                solver never takes ownership;
+///  * registry  — optional caller-owned metrics registry (nullptr = solver-
+///                private); SolveResult::metrics carries the final snapshot
+///                either way;
+///  * budget    — anytime round/deadline budget, honored by the LID runtimes
+///                and both b-suitor engines (DESIGN.md §14); the default
+///                unlimited budget reproduces the historical behaviour
+///                bit-identically.
+struct SolveOptions : RunContext {
   sim::Schedule schedule = sim::Schedule::kRandomOrder;
-  std::size_t threads = 2;
   std::size_t best_reply_max_steps = 100000;
   /// i.i.d. wire-message drop probability for the distributed LID runtimes
   /// (loss > 0 composes every node with the reliable-delivery adapter).
   /// Ignored by the centralized/shared-memory algorithms.
   double loss_rate = 0.0;
-  /// Optional pool for the construction pipeline (weight build in solve())
-  /// and the shared-memory parallel engines. nullptr — the default —
-  /// preserves the single-threaded construction path exactly; the solver
-  /// does not take ownership.
-  util::ThreadPool* pool = nullptr;
-  /// Optional caller-owned metrics registry. When null the solver owns a
-  /// private registry for the duration of the call; either way
-  /// SolveResult::metrics carries the final snapshot (phase timers, runtime
-  /// message series, matcher counters).
-  obs::Registry* registry = nullptr;
 };
 
 struct SolveResult {
@@ -81,18 +88,31 @@ struct SolveResult {
   std::size_t messages = 0;          ///< protocol messages (0 for centralized)
   std::size_t retransmissions = 0;   ///< reliable-adapter resends (lossy LID)
   bool converged = true;             ///< false only for capped best-reply runs
+  /// True iff SolveOptions::budget stopped the engine before its fixed
+  /// point; the matching is then a valid partial b-matching (DESIGN.md §14)
+  /// but carries no approximation certificate.
+  bool truncated = false;
+  /// Rounds the engine executed, at its own granularity (0 for engines that
+  /// ignore the budget). Populated only by the budget-honoring algorithms.
+  std::size_t rounds_used = 0;
   obs::Snapshot metrics;             ///< always populated (see SolveOptions)
 };
 
-/// Runs `a` on (profile, eq.-9 weights) and reports every quality metric.
+/// Runs `a` on `profile` and reports every quality metric. With `w == nullptr`
+/// (the default) the eq.-9 paper weights are built internally; pass caller-
+/// supplied weights for weight-design ablations (exact-satisfaction ignores
+/// them). Satisfaction metrics always come from `profile`.
 [[nodiscard]] SolveResult solve(const prefs::PreferenceProfile& profile, Algorithm a,
-                                const SolveOptions& options = {});
+                                const SolveOptions& options = {},
+                                const prefs::EdgeWeights* w = nullptr);
 
-/// Same, but with caller-supplied weights (for weight-design ablations;
-/// exact-satisfaction ignores the weights). Satisfaction metrics always come
-/// from `profile`.
-[[nodiscard]] SolveResult solve_with_weights(const prefs::PreferenceProfile& profile,
-                                             const prefs::EdgeWeights& w, Algorithm a,
-                                             const SolveOptions& options = {});
+/// Deprecated forwarder (one PR cycle, same pattern as the PR 4 run_lid
+/// collapse): weights are now an optional trailing pointer on solve().
+[[deprecated("use solve(profile, a, options, &w)")]] [[nodiscard]]
+inline SolveResult solve_with_weights(const prefs::PreferenceProfile& profile,
+                                      const prefs::EdgeWeights& w, Algorithm a,
+                                      const SolveOptions& options = {}) {
+  return solve(profile, a, options, &w);
+}
 
 }  // namespace overmatch::core

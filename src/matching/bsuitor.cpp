@@ -14,6 +14,7 @@ struct BSuitorInfo {
 };
 
 Matching b_suitor_impl(const prefs::EdgeWeights& w, const Quotas& quotas,
+                       const core::Budget& budget, core::BudgetStatus& status,
                        BSuitorInfo& out_stats) {
   const auto& g = w.graph();
   OM_CHECK(quotas.size() == g.num_nodes());
@@ -30,9 +31,31 @@ Matching b_suitor_impl(const prefs::EdgeWeights& w, const Quotas& quotas,
   BSuitorInfo stats;
   std::deque<NodeId> work;
   for (NodeId v = 0; v < g.num_nodes(); ++v) work.push_back(v);
+  // Anytime round structure (DESIGN.md §14): round 1 is the initial sweep of
+  // all n nodes; the nodes a round pushes back (displaced re-bidders) form
+  // the next round. `round_left` counts this round's remaining dequeues. The
+  // unlimited default only pays integer compares — no clock, no RNG — so it
+  // stays bit-identical.
+  const core::Deadline deadline(budget);
+  std::size_t round = 1;
+  std::size_t round_left = work.size();
+  std::size_t dequeued = 0;
   while (!work.empty()) {
+    if (budget.limits_rounds() && round > budget.max_rounds) {
+      status.truncated = true;
+      break;
+    }
+    if (deadline.armed() && (dequeued & 63) == 0 && deadline.expired()) {
+      status.truncated = true;
+      break;
+    }
+    ++dequeued;
     const NodeId u = work.front();
     work.pop_front();
+    status.rounds_used = round;
+    // The round boundary is crossed only after u's displacements are pushed,
+    // so the next round's size is recomputed below, once u is processed.
+    const bool last_of_round = (--round_left == 0);
     // u keeps bidding until it holds quota-many accepted bids or runs out of
     // candidates it could still win.
     const auto candidates = w.incident(u);
@@ -55,6 +78,10 @@ Matching b_suitor_impl(const prefs::EdgeWeights& w, const Quotas& quotas,
         work.push_back(loser);  // re-bid for a replacement slot
       }
     }
+    if (last_of_round) {
+      ++round;
+      round_left = work.size();  // everything queued now is next round's work
+    }
   }
 
   // Matched edges are mutual suitor relationships.
@@ -70,9 +97,12 @@ Matching b_suitor_impl(const prefs::EdgeWeights& w, const Quotas& quotas,
 }  // namespace
 
 Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
-                  obs::Registry* registry) {
+                  obs::Registry* registry, const core::Budget& budget,
+                  core::BudgetStatus* status) {
   BSuitorInfo stats;
-  Matching m = b_suitor_impl(w, quotas, stats);
+  core::BudgetStatus local;
+  Matching m = b_suitor_impl(w, quotas, budget, local, stats);
+  if (status != nullptr) *status = local;
   if (registry != nullptr) {
     registry->counter("bsuitor.proposals").inc(stats.proposals);
     registry->counter("bsuitor.displacements").inc(stats.displacements);

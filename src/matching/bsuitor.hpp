@@ -9,6 +9,7 @@
 // executed by tests and bench E5/E9.
 #pragma once
 
+#include "core/budget.hpp"
 #include "matching/matching.hpp"
 #include "prefs/weights.hpp"
 
@@ -22,7 +23,18 @@ namespace overmatch::matching {
 /// lic_global for strict weight orders). `registry` (optional, caller-owned)
 /// receives `bsuitor.proposals` (total bids ≈ message complexity) and
 /// `bsuitor.displacements` (bids that knocked out a weaker suitor).
+///
+/// Anytime (DESIGN.md §14): `budget` caps drain rounds — one round processes
+/// every node queued at the round's start (the initial round covers all n
+/// nodes; later rounds are displacement-triggered re-bids) — and/or imposes a
+/// wall-clock deadline checked every 64 dequeues. A truncated run returns the
+/// mutual-suitor matching of the partial suitor state, which is always a
+/// valid b-matching. `status` (optional) receives rounds used and the
+/// truncation flag. The unlimited default is bit-identical to the historical
+/// behaviour.
 [[nodiscard]] Matching b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
-                                obs::Registry* registry = nullptr);
+                                obs::Registry* registry = nullptr,
+                                const core::Budget& budget = {},
+                                core::BudgetStatus* status = nullptr);
 
 }  // namespace overmatch::matching

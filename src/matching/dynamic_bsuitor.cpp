@@ -205,8 +205,25 @@ void DynamicBSuitor::queue_attract(NodeId v) {
   queue_.push_back({v, /*is_seek=*/false});
 }
 
-void DynamicBSuitor::drain() {
+void DynamicBSuitor::drain() { drain(core::Deadline()); }
+
+void DynamicBSuitor::drain(const core::Deadline& deadline) {
+  std::size_t processed = 0;
   while (queue_head_ < queue_.size()) {
+    // Deadline check amortised over 32 tokens (inert when unarmed). On
+    // expiry the unprocessed suffix is *kept* — tokens and their pending
+    // flags — so a later drain resumes the deferred cascades; only the
+    // processed prefix is compacted away. The matching/weight are valid at
+    // every token boundary (each cascade step leaves mutual-bid
+    // consistency), just short of the fixed point.
+    if (deadline.armed() && (processed & 31) == 0 && deadline.expired()) {
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(queue_head_));
+      queue_head_ = 0;
+      truncated_ = true;
+      return;
+    }
+    ++processed;
     const Token t = queue_[queue_head_++];
     if (t.is_seek) {
       pending_seek_[t.node] = 0;
@@ -218,6 +235,7 @@ void DynamicBSuitor::drain() {
   }
   queue_.clear();
   queue_head_ = 0;
+  truncated_ = false;
 }
 
 void DynamicBSuitor::begin_event() {
@@ -487,13 +505,15 @@ void DynamicBSuitor::finish_batch() {
 }
 
 void DynamicBSuitor::apply_batch(std::span<const ChurnEvent> events,
-                                 util::ThreadPool* pool) {
+                                 util::ThreadPool* pool,
+                                 const core::Deadline& deadline) {
   batch_coalesce(events);
   begin_event();
   const auto t0 = std::chrono::steady_clock::now();
   batch_teardown();
   // Frontier size = distinct queued nodes (reusing the coalesce marks,
-  // which batch_coalesce left clear).
+  // which batch_coalesce left clear). Includes tokens deferred by an
+  // earlier truncated drain — they are this batch's catch-up work.
   for (const Token& t : queue_) {
     if (node_seen_[t.node] == 0) {
       node_seen_[t.node] = 1;
@@ -501,8 +521,15 @@ void DynamicBSuitor::apply_batch(std::span<const ChurnEvent> events,
     }
   }
   for (const Token& t : queue_) node_seen_[t.node] = 0;
-  if (pool != nullptr && pool->size() > 0 && !queue_.empty()) {
+  if (deadline.armed()) {
+    // Deadline-budgeted repair drains sequentially: the frontier-parallel
+    // path has no preemption points, and a deterministic cut keeps the
+    // deferred suffix well-defined.
+    batch_.workers = 1;
+    drain(deadline);
+  } else if (pool != nullptr && pool->size() > 0 && !queue_.empty()) {
     parallel_drain(*pool);
+    truncated_ = false;  // parallel repair always runs to the fixed point
   } else {
     batch_.workers = 1;
     drain();

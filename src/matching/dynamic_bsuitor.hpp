@@ -32,6 +32,7 @@
 #include <span>
 #include <vector>
 
+#include "core/budget.hpp"
 #include "matching/matching.hpp"
 #include "matching/suitor_slab.hpp"
 #include "obs/metrics.hpp"
@@ -135,10 +136,30 @@ class DynamicBSuitor {
   /// point depends only on the final (alive, edge-enabled) configuration,
   /// and under the strict total weight order it is unique — so the matching
   /// is bit-identical at every thread count.
+  ///
+  /// Anytime (DESIGN.md §14): an armed `deadline` bounds the repair drain.
+  /// Teardown and coalescing always complete (the configuration flags and
+  /// detached bids are consistent), but repair tokens still queued when the
+  /// deadline expires are *deferred*, not dropped: the matching/weight stay
+  /// valid (just short of the fixed point), truncated() flips true, and the
+  /// next apply_batch or per-event call resumes the deferred cascades first.
+  /// A deadline-armed batch drains sequentially (the frontier-parallel path
+  /// has no preemption points), so pool is ignored while armed.
   void apply_batch(std::span<const ChurnEvent> events,
-                   util::ThreadPool* pool = nullptr);
+                   util::ThreadPool* pool = nullptr,
+                   const core::Deadline& deadline = {});
   [[nodiscard]] const BatchStats& last_batch() const noexcept {
     return batch_;
+  }
+
+  /// True iff the last drain was cut short by a deadline and deferred repair
+  /// tokens remain queued. Cleared by the next drain that runs to the fixed
+  /// point (any per-event call, or an apply_batch — possibly with an empty
+  /// event span — whose deadline does not expire first).
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+  /// Deferred repair tokens still queued (0 unless truncated()).
+  [[nodiscard]] std::size_t pending_repairs() const noexcept {
+    return queue_.size() - queue_head_;
   }
 
   /// Takes node v offline: voids its held and placed bids, repairs from the
@@ -215,6 +236,7 @@ class DynamicBSuitor {
   void queue_seek(NodeId u);
   void queue_attract(NodeId v);
   void drain();
+  void drain(const core::Deadline& deadline);
 
   void begin_event();
   void finish_event(bool count);
@@ -263,6 +285,7 @@ class DynamicBSuitor {
   std::size_t queue_head_ = 0;
   std::vector<std::uint8_t> pending_seek_;
   std::vector<std::uint8_t> pending_attract_;
+  bool truncated_ = false;  ///< deferred tokens remain after a deadline cut
 
   // Per-event accounting.
   std::uint64_t epoch_ = 0;

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/budget.hpp"
 #include "matching/matching.hpp"
 #include "obs/snapshot.hpp"
 #include "prefs/weights.hpp"
@@ -92,7 +93,15 @@ enum class LidRuntime : std::uint8_t {
 
 /// One-entry-point configuration for every LID backend. The defaults
 /// reproduce the paper's reliable asynchronous network under the DES.
-struct LidOptions {
+///
+/// Inherits the shared run context (core::RunContext): `seed` drives the DES
+/// schedule/loss RNG and the threaded runtime's loss streams, `threads` the
+/// kThreaded worker count (ignored by the DES), `registry` receives the
+/// runtime's `sim.*` series, the adapter's `reliable.*` series and the
+/// `lid.*` matcher counters (LidResult::metrics snapshots it), and `budget`
+/// caps message rounds / wall time (DESIGN.md §14). `pool` is unused here
+/// (kThreaded spawns its own OS threads).
+struct LidOptions : core::RunContext {
   LidRuntime runtime = LidRuntime::kEventSim;
   /// DES message schedule. Lossy DES runs need virtual time for the
   /// retransmission timers, so a non-delay schedule is promoted to
@@ -105,14 +114,6 @@ struct LidOptions {
   /// Engage the ACK/retransmit adapter even at loss_rate == 0 — isolates the
   /// adapter's overhead (ACK traffic, timers) from actual loss (bench E13).
   bool reliable = false;
-  /// Seeds the DES schedule/loss RNG and the threaded runtime's loss streams.
-  std::uint64_t seed = 1;
-  /// Worker count for LidRuntime::kThreaded; ignored by the DES.
-  std::size_t threads = 2;
-  /// Optional metrics registry (caller-owned, may be null): receives the
-  /// runtime's `sim.*` series, the adapter's `reliable.*` series, and the
-  /// `lid.*` matcher counters; LidResult::metrics snapshots it.
-  obs::Registry* registry = nullptr;
 };
 
 /// Result of a full distributed run, for every backend.
@@ -120,6 +121,10 @@ struct LidResult {
   Matching matching;
   sim::MessageStats stats;           ///< includes ACKs/retransmits when lossy
   std::size_t retransmissions = 0;   ///< reliable-adapter resends (lossy only)
+  /// True iff an anytime budget cut the run short; `matching` is then the
+  /// partial (still valid, mutually-locked) b-matching reached so far.
+  bool truncated = false;
+  std::size_t rounds_used = 0;       ///< highest message round delivered
   obs::Snapshot metrics;             ///< populated when a registry was attached
 };
 

@@ -43,6 +43,7 @@ struct Tally {
   std::size_t displacements = 0;  ///< admitted bids knocked out
   std::size_t range_claims = 0;   ///< initial-range chunks claimed
   std::size_t steals = 0;         ///< drains of a non-owned block
+  std::size_t sweeps = 0;         ///< productive block-set sweeps (anytime rounds)
 };
 
 /// One scheduler block: an initial node range claimed in chunks through an
@@ -58,10 +59,12 @@ struct alignas(64) Block {
 
 class Engine {
  public:
-  Engine(const EdgeWeights& w, const Quotas& quotas)
+  Engine(const EdgeWeights& w, const Quotas& quotas, const core::Budget& budget)
       : w_(&w),
         g_(&w.graph()),
         quotas_(&quotas),
+        budget_(budget),
+        deadline_(budget),
         slab_(w, quotas),
         cursor_(g_->num_nodes(), 0),
         accepts_(g_->num_nodes(), 0),
@@ -84,9 +87,21 @@ class Engine {
 
   /// Worker body: drain owned blocks (requeue stacks first, then initial
   /// ranges), steal from any block when dry, exit when no tokens remain.
+  /// Anytime budgets halt the whole engine: the first worker past its sweep
+  /// cap or the deadline raises `halt_`; everyone returns at the next block
+  /// boundary, leaving a partial (but mutually-consistent) suitor slab.
   void run(std::size_t tid, std::size_t nworkers, Tally& t) {
     const std::size_t nblocks = blocks_.size();
     for (;;) {
+      if (halt_.load(std::memory_order_acquire)) return;
+      if (budget_.limits_rounds() && t.sweeps >= budget_.max_rounds) {
+        halt_.store(true, std::memory_order_release);
+        return;
+      }
+      if (deadline_.armed() && deadline_.expired()) {
+        halt_.store(true, std::memory_order_release);
+        return;
+      }
       bool did = false;
       for (std::size_t b = tid; b < nblocks; b += nworkers) {
         did |= drain_block(blocks_[b], t);
@@ -104,7 +119,9 @@ class Engine {
           }
         }
       }
-      if (!did) {
+      if (did) {
+        ++t.sweeps;
+      } else {
         if (pending_.load(std::memory_order_acquire) == 0) return;
         std::this_thread::yield();
       }
@@ -116,6 +133,21 @@ class Engine {
     displacements_.fetch_add(t.displacements, std::memory_order_relaxed);
     range_claims_.fetch_add(t.range_claims, std::memory_order_relaxed);
     steals_.fetch_add(t.steals, std::memory_order_relaxed);
+    std::size_t s = sweeps_max_.load(std::memory_order_relaxed);
+    while (s < t.sweeps &&
+           !sweeps_max_.compare_exchange_weak(s, t.sweeps,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Valid after all workers merged: the budget cut the run short iff a halt
+  /// was raised while tokens (queued/running/unclaimed-initial) remained.
+  [[nodiscard]] core::BudgetStatus budget_status() const {
+    core::BudgetStatus s;
+    s.rounds_used = sweeps_max_.load(std::memory_order_relaxed);
+    s.truncated = halt_.load(std::memory_order_relaxed) &&
+                  pending_.load(std::memory_order_relaxed) > 0;
+    return s;
   }
 
   /// Matched edges are mutual suitor relationships (read-only post-pass; all
@@ -280,6 +312,14 @@ class Engine {
   bool drain_block(Block& b, Tally& t) {
     bool did = false;
     for (;;) {
+      // Halt promptly mid-drain (relaxed: the raiser rechecks pending_ after
+      // join); the deadline is re-checked here so a long drain of one block
+      // cannot overshoot it by a whole block's worth of work.
+      if (halt_.load(std::memory_order_relaxed)) return did;
+      if (deadline_.armed() && deadline_.expired()) {
+        halt_.store(true, std::memory_order_release);
+        return did;
+      }
       bool round = false;
       for (NodeId u; (u = pop(b)) != kNilNode;) {
         run_popped(u, t);
@@ -303,6 +343,10 @@ class Engine {
   const EdgeWeights* w_;
   const graph::Graph* g_;
   const Quotas* quotas_;
+  core::Budget budget_;
+  core::Deadline deadline_;  // armed at engine construction
+  std::atomic<bool> halt_{false};
+  std::atomic<std::size_t> sweeps_max_{0};
   SuitorSlab slab_;
 
   // Owner-only per-node state, handed between workers by the state chain.
@@ -335,8 +379,9 @@ void emit(obs::Registry* registry, const Tally& t) {
 
 Matching run_engine(const EdgeWeights& w, const Quotas& quotas,
                     util::ThreadPool* pool, std::size_t workers,
-                    obs::Registry* registry) {
-  Engine eng(w, quotas);
+                    obs::Registry* registry, const core::Budget& budget,
+                    core::BudgetStatus* status) {
+  Engine eng(w, quotas, budget);
   if (workers <= 1 || pool == nullptr) {
     Tally t;
     eng.run(0, 1, t);
@@ -354,6 +399,7 @@ Matching run_engine(const EdgeWeights& w, const Quotas& quotas,
     eng.merge(t);
     pool->wait_idle();
   }
+  if (status != nullptr) *status = eng.budget_status();
   emit(registry, eng.totals());
   return eng.extract();
 }
@@ -361,19 +407,26 @@ Matching run_engine(const EdgeWeights& w, const Quotas& quotas,
 }  // namespace
 
 Matching parallel_b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
-                           std::size_t threads, obs::Registry* registry) {
+                           std::size_t threads, obs::Registry* registry,
+                           const core::Budget& budget,
+                           core::BudgetStatus* status) {
   OM_CHECK(threads >= 1);
-  if (threads == 1) return run_engine(w, quotas, nullptr, 1, registry);
+  if (threads == 1) {
+    return run_engine(w, quotas, nullptr, 1, registry, budget, status);
+  }
   // Transient pool of threads−1 workers; the caller is worker 0, so the run
   // uses exactly `threads` threads. Callers that solve repeatedly should use
   // the pool overload and pay thread startup once.
   util::ThreadPool pool(threads - 1);
-  return run_engine(w, quotas, &pool, threads, registry);
+  return run_engine(w, quotas, &pool, threads, registry, budget, status);
 }
 
 Matching parallel_b_suitor(const prefs::EdgeWeights& w, const Quotas& quotas,
-                           util::ThreadPool& pool, obs::Registry* registry) {
-  return run_engine(w, quotas, &pool, pool.size() + 1, registry);
+                           util::ThreadPool& pool, obs::Registry* registry,
+                           const core::Budget& budget,
+                           core::BudgetStatus* status) {
+  return run_engine(w, quotas, &pool, pool.size() + 1, registry, budget,
+                    status);
 }
 
 }  // namespace overmatch::matching

@@ -28,6 +28,7 @@
 
 #include <cstddef>
 
+#include "core/budget.hpp"
 #include "matching/matching.hpp"
 #include "prefs/weights.hpp"
 
@@ -54,9 +55,20 @@ namespace overmatch::matching {
 ///  * `pbsuitor.range_claims`  — initial-range chunks claimed from the
 ///                               per-block cursors;
 ///  * `pbsuitor.steals`        — work taken from a non-owned block.
+///
+/// Anytime (DESIGN.md §14): `budget` caps per-worker productive sweeps over
+/// the block set (the parallel analogue of sequential drain rounds) and/or
+/// imposes a wall-clock deadline. The first worker past its cap raises a
+/// shared halt flag; all workers return at their next block boundary and the
+/// mutual-suitor matching of the partial slab — always a valid b-matching —
+/// is extracted. `status` (optional) receives sweeps used and the truncation
+/// flag. Note the truncated *partial* result is interleaving-dependent; only
+/// the completed fixed point is unique.
 [[nodiscard]] Matching parallel_b_suitor(const prefs::EdgeWeights& w,
                                          const Quotas& quotas, std::size_t threads,
-                                         obs::Registry* registry = nullptr);
+                                         obs::Registry* registry = nullptr,
+                                         const core::Budget& budget = {},
+                                         core::BudgetStatus* status = nullptr);
 
 /// Pool-backed variant: workers run as `pool` tasks plus the calling thread,
 /// so one pool serves the whole solve (`SolveOptions::pool` / `--threads`)
@@ -64,6 +76,8 @@ namespace overmatch::matching {
 [[nodiscard]] Matching parallel_b_suitor(const prefs::EdgeWeights& w,
                                          const Quotas& quotas,
                                          util::ThreadPool& pool,
-                                         obs::Registry* registry = nullptr);
+                                         obs::Registry* registry = nullptr,
+                                         const core::Budget& budget = {},
+                                         core::BudgetStatus* status = nullptr);
 
 }  // namespace overmatch::matching

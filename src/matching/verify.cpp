@@ -56,4 +56,34 @@ bool has_half_approx_certificate(const Matching& m, const prefs::EdgeWeights& w)
   return true;
 }
 
+std::size_t count_blocking_edges(const Matching& m, const prefs::EdgeWeights& w) {
+  const auto& g = m.graph();
+  // Precompute each node's weakest matched edge once (kInvalidEdge when the
+  // node has a free slot — then every unselected incident edge is wanted).
+  std::vector<EdgeId> weakest(g.num_nodes(), graph::kInvalidEdge);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (m.residual(v) != 0) continue;  // free slot: wants everything
+    EdgeId wk = graph::kInvalidEdge;
+    for (const NodeId partner : m.connections(v)) {
+      const EdgeId f = g.find_edge(v, partner);
+      if (wk == graph::kInvalidEdge || w.heavier(wk, f)) wk = f;
+    }
+    // A saturated node with quota 0 wants nothing; mark with a sentinel the
+    // wants() lambda below treats as "never wanted".
+    weakest[v] = wk;
+  }
+  const auto wants = [&](NodeId x, EdgeId e) {
+    if (m.residual(x) != 0) return true;
+    if (m.quota(x) == 0) return false;  // saturated at zero capacity
+    return w.heavier(e, weakest[x]);
+  };
+  std::size_t blocking = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (m.contains(e)) continue;
+    const auto& [u, v] = g.edge(e);
+    if (wants(u, e) && wants(v, e)) ++blocking;
+  }
+  return blocking;
+}
+
 }  // namespace overmatch::matching

@@ -21,4 +21,12 @@ namespace overmatch::matching {
 [[nodiscard]] bool has_half_approx_certificate(const Matching& m,
                                                const prefs::EdgeWeights& w);
 
+/// Number of blocking edges: unselected edges wanted by BOTH endpoints (an
+/// endpoint wants e when it has a free slot or e is heavier than its weakest
+/// matched edge). Zero exactly at the greedy fixed point; for anytime runs
+/// (DESIGN.md §14) this is the distance-from-convergence gauge of a
+/// truncated partial matching. O(m + n·b) full sweep.
+[[nodiscard]] std::size_t count_blocking_edges(const Matching& m,
+                                               const prefs::EdgeWeights& w);
+
 }  // namespace overmatch::matching

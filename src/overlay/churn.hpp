@@ -71,23 +71,22 @@ enum class ChurnArrival : std::uint8_t {
 /// All valid arrival names, '|'-separated (for CLI error messages).
 [[nodiscard]] const char* churn_arrival_names();
 
-struct ChurnOptions {
+/// Inherits the shared run context (core::RunContext): `registry` (optional,
+/// caller-owned) receives the `churn.*` series (leaves/joins/edges_removed/
+/// edges_added, the `churn.repair_added` histogram, `churn.disruption` when
+/// the oracle runs, per-event kChurnLeave/kChurnJoin trace entries) and, in
+/// incremental mode, the engine's `dyn.*` series; `pool` (optional,
+/// caller-owned, caller participates) runs apply_batch's frontier cascades in
+/// incremental mode (per-event repair and the other modes ignore it). `seed`,
+/// `threads`, and `budget` are unused by the simulator itself — traffic
+/// generators take their own seed.
+struct ChurnOptions : core::RunContext {
   ChurnMode mode = ChurnMode::kIncremental;
   /// Run the from-scratch comparator after every event and fill
   /// ChurnEvent::{recompute_weight, disruption}. Costs a full O(m) greedy
   /// solve per event — leave off for latency benchmarks. Implied by
   /// ChurnMode::kScratch (where the recomputation *is* the engine).
   bool oracle = false;
-  /// Optional caller-owned metrics registry: receives the `churn.*` series
-  /// (leaves/joins/edges_removed/edges_added, the `churn.repair_added`
-  /// histogram, `churn.disruption` when the oracle runs, per-event
-  /// kChurnLeave/kChurnJoin trace entries) and, in incremental mode, the
-  /// engine's `dyn.*` series.
-  obs::Registry* registry = nullptr;
-  /// Optional pool for batched repair (apply_batch in incremental mode runs
-  /// the frontier cascades on it; caller-owned, caller participates). Per-
-  /// event repair and the other modes ignore it.
-  util::ThreadPool* pool = nullptr;
 };
 
 struct ChurnEvent {

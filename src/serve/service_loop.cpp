@@ -35,7 +35,11 @@ ServiceLoop::ServiceLoop(const prefs::PreferenceProfile& profile,
       batches_ctr_(obs::counter(options.registry, "serve.batches")),
       events_ctr_(obs::counter(options.registry, "serve.events")),
       coalesced_ctr_(obs::counter(options.registry, "serve.coalesced")),
-      epoch_gauge_(obs::gauge(options.registry, "serve.epoch")) {
+      truncated_epochs_ctr_(
+          obs::counter(options.registry, "serve.truncated_epochs")),
+      epoch_gauge_(obs::gauge(options.registry, "serve.epoch")),
+      pending_repairs_gauge_(
+          obs::gauge(options.registry, "serve.pending_repairs")) {
   if (opts_.registry != nullptr) {
     apply_ns_hist_ = opts_.registry->histogram("serve.apply_ns", kApplyNsBuckets);
     publish_ns_hist_ =
@@ -59,7 +63,14 @@ void ServiceLoop::publish_current() {
   auto snap = MatchingSnapshot::capture(
       dyn_, sat_, epoch_,
       opts_.registry != nullptr ? opts_.registry->snapshot() : obs::Snapshot{});
-  if (opts_.count_blocking) {
+  if (dyn_.truncated()) {
+    // Truncated epoch (publish deadline hit): the snapshot is a valid
+    // b-matching short of the fixed point, so the zero-blocking audit does
+    // not apply — publish the honest distance-from-convergence gauge
+    // instead. The O(m) sweep is paid only on overrun epochs, and readers
+    // are never stalled either way.
+    snap->blocking_edges_ = count_blocking_edges(*w_, *profile_, *snap);
+  } else if (opts_.count_blocking) {
     snap->blocking_edges_ = count_blocking_edges(*w_, *profile_, *snap);
     OM_CHECK_MSG(snap->blocking_edges_ == 0,
                  "published snapshot is not the greedy fixed point");
@@ -73,7 +84,12 @@ void ServiceLoop::publish_current() {
 ServiceLoop::StepStats ServiceLoop::apply(
     std::span<const matching::ChurnEvent> events) {
   const auto t0 = std::chrono::steady_clock::now();
-  dyn_.apply_batch(events, opts_.pool);
+  // The publish deadline covers the repair drain; teardown always completes,
+  // so the configuration the epoch publishes is the post-burst one even when
+  // repair is cut short.
+  core::Budget budget;
+  budget.deadline_ms = opts_.epoch_deadline_ms;
+  dyn_.apply_batch(events, opts_.pool, core::Deadline(budget));
   const std::uint64_t apply_ns = elapsed_ns(t0);
 
   for (const NodeId v : dyn_.last_changed_nodes()) refresh_satisfaction(v);
@@ -89,9 +105,13 @@ ServiceLoop::StepStats ServiceLoop::apply(
   st.coalesced = dyn_.last_batch().coalesced;
   st.apply_ns = apply_ns;
   st.publish_ns = last_publish_ns_;
+  st.truncated = dyn_.truncated();
+  st.pending_repairs = dyn_.pending_repairs();
   batches_ctr_.inc();
   events_ctr_.inc(st.events);
   coalesced_ctr_.inc(st.coalesced);
+  if (st.truncated) truncated_epochs_ctr_.inc();
+  pending_repairs_gauge_.set(static_cast<double>(st.pending_repairs));
   apply_ns_hist_.observe(static_cast<double>(apply_ns));
   return st;
 }

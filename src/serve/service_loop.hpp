@@ -46,6 +46,13 @@ struct ServeOptions {
   /// Audit every published snapshot with an O(m) blocking-edge sweep
   /// (aborts unless 0). Debug/test aid; leave off in latency runs.
   bool count_blocking = false;
+  /// Per-epoch publish deadline in milliseconds (0 = none). When repair of a
+  /// burst overruns, the epoch publishes the *partial* matching anyway — a
+  /// valid b-matching with its honest blocking-edge gauge — instead of
+  /// stalling readers; deferred repair resumes on the next burst (DESIGN.md
+  /// §14). Deadline-armed batches repair sequentially (`pool` is bypassed
+  /// for that epoch).
+  double epoch_deadline_ms = 0.0;
 };
 
 class ServiceLoop {
@@ -63,6 +70,8 @@ class ServiceLoop {
     std::size_t coalesced = 0;     ///< events cancelled by net-effect dedup
     std::uint64_t apply_ns = 0;    ///< repair (apply_batch) wall-clock
     std::uint64_t publish_ns = 0;  ///< snapshot capture + publish wall-clock
+    bool truncated = false;        ///< epoch published before repair finished
+    std::size_t pending_repairs = 0;  ///< repair tokens deferred to later epochs
   };
 
   /// Applies one caller-supplied burst and publishes the repaired state.
@@ -97,6 +106,13 @@ class ServiceLoop {
   }
   [[nodiscard]] overlay::ChurnTraffic& traffic() noexcept { return traffic_; }
 
+  /// Adjusts the per-epoch publish deadline at runtime (0 disables). An
+  /// `apply()` with an empty burst then drains any deferred repair — the
+  /// catch-up path after truncated epochs.
+  void set_epoch_deadline_ms(double ms) noexcept {
+    opts_.epoch_deadline_ms = ms;
+  }
+
  private:
   void refresh_satisfaction(NodeId v);
   void publish_current();
@@ -115,7 +131,9 @@ class ServiceLoop {
   obs::Counter batches_ctr_;
   obs::Counter events_ctr_;
   obs::Counter coalesced_ctr_;
+  obs::Counter truncated_epochs_ctr_;
   obs::Gauge epoch_gauge_;
+  obs::Gauge pending_repairs_gauge_;
   obs::Histogram apply_ns_hist_;
   obs::Histogram publish_ns_hist_;
 };

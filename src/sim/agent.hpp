@@ -101,11 +101,22 @@ struct MessageStats {
   /// from `total_sent`.
   std::size_t total_delivered = 0;
   std::size_t total_dropped = 0;  ///< lost by the (lossy) network
+  /// Suppressed by an anytime budget (core::Budget): sends/timers beyond the
+  /// round cap, plus deliveries discarded after the deadline expired.
+  /// Disjoint from total_dropped (loss) — a suppressed message was counted
+  /// sent but never put on the wire.
+  std::size_t total_suppressed = 0;
   /// Indexed by message kind (kinds are small integers by convention).
   std::vector<std::size_t> sent_by_kind;
   /// Completion time: DES reports the last virtual delivery timestamp;
   /// the threaded runtime reports elapsed wall-clock seconds.
   double completion_time = 0.0;
+  /// Highest message round delivered (on_start sends are round 1; sends made
+  /// while delivering a round-r message are round r+1). 0 when nothing was
+  /// delivered.
+  std::size_t rounds_used = 0;
+  /// True iff an anytime budget (round cap or deadline) cut the run short.
+  bool truncated = false;
 
   void count_send(std::uint32_t kind) {
     ++total_sent;

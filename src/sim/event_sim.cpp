@@ -60,10 +60,21 @@ void EventSimulator::set_loss_probability(double p) {
 }
 
 void EventSimulator::enqueue(NodeId from, const Outbox& out) {
+  // Sends made while delivering a round-r message belong to round r+1;
+  // on_start sends (delivering_round_ == 0) are round 1.
+  const std::size_t round = delivering_round_ + 1;
   for (const auto& s : out.sends()) {
     OM_CHECK(s.to < agents_.size());
     stats_.count_send(s.msg.kind);
     obs::trace(registry_, trace_kind_for_wire(s.msg.kind), from, s.to);
+    // Round-budget suppression happens before the loss draw: budgeted runs
+    // may consume a different RNG stream, but the unlimited default takes
+    // this branch never and stays bit-identical.
+    if (budget_.limits_rounds() && round > budget_.max_rounds) {
+      ++stats_.total_suppressed;
+      stats_.truncated = true;
+      continue;
+    }
     if (loss_probability_ > 0.0 && rng_.chance(loss_probability_)) {
       ++stats_.total_dropped;
       obs::trace(registry_, obs::TraceKind::kDrop, from, s.to);
@@ -75,6 +86,7 @@ void EventSimulator::enqueue(NodeId from, const Outbox& out) {
     env.msg = s.msg;
     env.seq = next_seq_++;
     env.time = now_ + link_delay(from, s.to);
+    env.round = round;
     if (schedule_ == Schedule::kRandomOrder) {
       bag_.push_back(env);
     } else {
@@ -84,6 +96,11 @@ void EventSimulator::enqueue(NodeId from, const Outbox& out) {
   for (const auto& t : out.timers()) {
     OM_CHECK_MSG(schedule_ != Schedule::kFifo && schedule_ != Schedule::kRandomOrder,
                  "timers require a delay-based schedule");
+    if (budget_.limits_rounds() && round > budget_.max_rounds) {
+      ++stats_.total_suppressed;
+      stats_.truncated = true;
+      continue;
+    }
     obs::trace(registry_, obs::TraceKind::kTimer, from, from);
     Envelope env;
     env.from = from;
@@ -91,6 +108,7 @@ void EventSimulator::enqueue(NodeId from, const Outbox& out) {
     env.msg = t.msg;
     env.seq = next_seq_++;
     env.time = now_ + t.delay;
+    env.round = round;
     pq_.push(env);
   }
 }
@@ -103,7 +121,22 @@ MessageStats EventSimulator::run(std::size_t max_deliveries) {
     enqueue(v, out);
   }
   std::size_t delivered = 0;
+  const core::Deadline deadline(budget_);  // inert (no clock reads) unless armed
   for (;;) {
+    // Deadline check amortised over 64 deliveries so the unarmed/common path
+    // stays branch-cheap. On expiry the remaining queue is discarded
+    // undelivered: monotone-lock algorithms leave a valid partial state.
+    if (deadline.armed() && (delivered & 63) == 0 && deadline.expired()) {
+      const std::size_t leftover =
+          schedule_ == Schedule::kRandomOrder ? bag_.size() : pq_.size();
+      if (leftover > 0) {
+        stats_.total_suppressed += leftover;
+        stats_.truncated = true;
+        bag_.clear();
+        pq_ = {};
+      }
+      break;
+    }
     Envelope env;
     if (schedule_ == Schedule::kRandomOrder) {
       if (bag_.empty()) break;
@@ -119,6 +152,8 @@ MessageStats EventSimulator::run(std::size_t max_deliveries) {
     }
     OM_CHECK_MSG(++delivered <= max_deliveries,
                  "EventSimulator: delivery budget exceeded (non-termination?)");
+    delivering_round_ = env.round;
+    if (env.round > stats_.rounds_used) stats_.rounds_used = env.round;
     out.clear();
     agents_[env.to]->on_message(env.from, env.msg, out);
     enqueue(env.to, out);
@@ -130,6 +165,9 @@ MessageStats EventSimulator::run(std::size_t max_deliveries) {
     registry_->counter("sim.delivered").inc(stats_.total_delivered);
     registry_->counter("sim.dropped").inc(stats_.total_dropped);
     registry_->gauge("sim.virtual_time").set(now_);
+    if (budget_.limited()) {
+      registry_->counter("sim.suppressed").inc(stats_.total_suppressed);
+    }
   }
   return stats_;
 }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/budget.hpp"
 #include "sim/agent.hpp"
 #include "util/rng.hpp"
 
@@ -58,6 +59,16 @@ class EventSimulator {
   /// the end of run(). Null — the default — records nothing.
   void set_registry(obs::Registry* registry) noexcept { registry_ = registry; }
 
+  /// Attach an anytime budget (core::Budget; DESIGN.md §14). Rounds are
+  /// message generations: on_start sends are round 1, and a send made while
+  /// delivering a round-r message is round r+1. A send whose round exceeds
+  /// `budget.max_rounds` is suppressed at enqueue; once the deadline expires
+  /// the remaining queue is discarded undelivered. Both outcomes set
+  /// MessageStats::truncated. The default unlimited budget is passive: no
+  /// extra RNG draws, no clock reads — runs are bit-identical to a
+  /// budget-free simulator.
+  void set_budget(const core::Budget& budget) noexcept { budget_ = budget; }
+
   /// Executes on_start for every node, then delivers messages until none are
   /// pending. Returns accumulated statistics. Aborts if `max_deliveries`
   /// is exceeded (non-termination guard; default effectively unbounded).
@@ -69,6 +80,7 @@ class EventSimulator {
     std::uint64_t seq = 0; // tiebreak / FIFO order
     NodeId from = 0;
     NodeId to = 0;
+    std::size_t round = 1; // message generation (see set_budget)
     Message msg;
   };
 
@@ -83,6 +95,8 @@ class EventSimulator {
   std::uint64_t next_seq_ = 0;
   double now_ = 0.0;
   MessageStats stats_;
+  core::Budget budget_;
+  std::size_t delivering_round_ = 0;  // 0 during the on_start phase
 
   // Priority queue ordered by (time, seq).
   struct EnvelopeLater {

@@ -49,11 +49,22 @@ ThreadedRuntime::ThreadedRuntime(std::vector<Agent*> agents, std::size_t threads
 }
 
 void ThreadedRuntime::deliver_outbox(NodeId from, const Outbox& out,
-                                     WorkerContext& ctx) {
+                                     WorkerContext& ctx,
+                                     std::size_t send_round) {
+  const bool over_budget = options_.budget.limits_rounds() &&
+                           send_round > options_.budget.max_rounds;
   for (const auto& s : out.sends()) {
     OM_CHECK(s.to < agents_.size());
     ctx.stats.count_send(s.msg.kind);
     obs::trace(options_.registry, trace_kind_for_wire(s.msg.kind), from, s.to);
+    // Suppressed sends never touch in_flight_, so quiescence detection is
+    // oblivious to the budget (checked before the loss draw, mirroring the
+    // discrete-event simulator).
+    if (over_budget) {
+      ++ctx.stats.total_suppressed;
+      ctx.stats.truncated = true;
+      continue;
+    }
     if (options_.loss_probability > 0.0 &&
         ctx.loss_rng.chance(options_.loss_probability)) {
       ++ctx.stats.total_dropped;
@@ -66,18 +77,24 @@ void ThreadedRuntime::deliver_outbox(NodeId from, const Outbox& out,
     auto& shard = shards_[s.to % threads_];
     {
       std::lock_guard lk(shard.mu);
-      shard.q.push_back({from, s.to, s.msg});
+      shard.q.push_back({from, s.to, s.msg, send_round});
     }
   }
   // Timers are self-deliveries and this worker owns `from`, so the heap is
   // worker-local — no lock. Timers are never lost (loss applies to DATA only).
   for (const auto& t : out.timers()) {
     OM_CHECK_MSG(t.delay >= 0.0, "ThreadedRuntime: negative timer delay");
+    if (over_budget) {
+      ++ctx.stats.total_suppressed;
+      ctx.stats.truncated = true;
+      continue;
+    }
     in_flight_.fetch_add(1, std::memory_order_acq_rel);
     const auto delay = std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double, std::micro>(
             t.delay * static_cast<double>(options_.time_unit.count())));
-    ctx.timers.push({Clock::now() + delay, ctx.timer_seq++, from, t.msg});
+    ctx.timers.push({Clock::now() + delay, ctx.timer_seq++, from, t.msg,
+                     send_round});
   }
 }
 
@@ -91,7 +108,7 @@ void ThreadedRuntime::worker(std::size_t worker_id) {
        v += static_cast<NodeId>(threads_)) {
     out.clear();
     agents_[v]->on_start(out);
-    deliver_outbox(v, out, ctx);
+    deliver_outbox(v, out, ctx, /*send_round=*/1);
   }
   initialized_.fetch_add(1, std::memory_order_acq_rel);
 
@@ -99,6 +116,28 @@ void ThreadedRuntime::worker(std::size_t worker_id) {
   unsigned idle_rounds = 0;
   while (!stop_.load(std::memory_order_acquire)) {
     bool progressed = false;
+    // Deadline handling: the first worker to notice expiry raises the shared
+    // flag; from then on every worker discards queued envelopes and armed
+    // timers without invoking handlers, still decrementing in_flight_ so the
+    // run drains to quiescence instead of stalling. armed() is a plain bool,
+    // so the unbudgeted path never reads the clock here.
+    bool discarding = false;
+    if (deadline_.armed()) {
+      discarding = expired_.load(std::memory_order_acquire);
+      if (!discarding && deadline_.expired()) {
+        expired_.store(true, std::memory_order_release);
+        discarding = true;
+      }
+    }
+    if (discarding) {
+      while (!ctx.timers.empty()) {
+        ctx.timers.pop();
+        ++ctx.stats.total_suppressed;
+        ctx.stats.truncated = true;
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        progressed = true;
+      }
+    }
     // Fire due timers (owner-local heap; deliveries count like messages).
     while (!ctx.timers.empty() && ctx.timers.top().deadline <= Clock::now()) {
       const TimerEntry t = ctx.timers.top();
@@ -107,7 +146,8 @@ void ThreadedRuntime::worker(std::size_t worker_id) {
       agents_[t.node]->on_message(t.node, t.msg, out);
       ++ctx.stats.total_delivered;
       ++ctx.timer_fires;
-      deliver_outbox(t.node, out, ctx);
+      if (t.round > ctx.stats.rounds_used) ctx.stats.rounds_used = t.round;
+      deliver_outbox(t.node, out, ctx, t.round + 1);
       // Decrement only after the causal consequences are enqueued, so
       // in_flight_ == 0 really means quiescence.
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -121,10 +161,17 @@ void ThreadedRuntime::worker(std::size_t worker_id) {
       shards_[worker_id].q.swap(batch);
     }
     for (const Envelope& env : batch) {
+      if (discarding) {
+        ++ctx.stats.total_suppressed;
+        ctx.stats.truncated = true;
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
       out.clear();
       agents_[env.to]->on_message(env.from, env.msg, out);
       ++ctx.stats.total_delivered;
-      deliver_outbox(env.to, out, ctx);
+      if (env.round > ctx.stats.rounds_used) ctx.stats.rounds_used = env.round;
+      deliver_outbox(env.to, out, ctx, env.round + 1);
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     }
     progressed |= !batch.empty();
@@ -164,6 +211,8 @@ MessageStats ThreadedRuntime::run() {
   OM_CHECK_MSG(!ran_, "ThreadedRuntime::run() is single-shot; build a new "
                       "runtime (and fresh agents) to run again");
   ran_ = true;
+  // Arm the deadline (if any) relative to run() start, before workers spawn.
+  deadline_ = core::Deadline(options_.budget);
   const auto wall_start = Clock::now();
   std::vector<std::thread> pool;
   pool.reserve(threads_);
@@ -179,6 +228,9 @@ MessageStats ThreadedRuntime::run() {
     stats.total_sent += ws.total_sent;
     stats.total_delivered += ws.total_delivered;
     stats.total_dropped += ws.total_dropped;
+    stats.total_suppressed += ws.total_suppressed;
+    stats.truncated = stats.truncated || ws.truncated;
+    if (ws.rounds_used > stats.rounds_used) stats.rounds_used = ws.rounds_used;
     if (ws.sent_by_kind.size() > stats.sent_by_kind.size()) {
       stats.sent_by_kind.resize(ws.sent_by_kind.size(), 0);
     }
@@ -193,6 +245,9 @@ MessageStats ThreadedRuntime::run() {
     options_.registry->counter("sim.delivered").inc(stats.total_delivered);
     options_.registry->counter("sim.dropped").inc(stats.total_dropped);
     options_.registry->gauge("sim.wall_seconds").set(stats.completion_time);
+    if (options_.budget.limited()) {
+      options_.registry->counter("sim.suppressed").inc(stats.total_suppressed);
+    }
   }
   return stats;
 }

@@ -39,6 +39,7 @@
 #include <queue>
 #include <vector>
 
+#include "core/budget.hpp"
 #include "sim/agent.hpp"
 #include "util/rng.hpp"
 
@@ -63,6 +64,15 @@ class ThreadedRuntime {
     /// every send into their own per-thread rings and record `sim.*`
     /// counters (sent/delivered/dropped, timer fires, idle backoff) at exit.
     obs::Registry* registry = nullptr;
+    /// Anytime budget (core::Budget; DESIGN.md §14). Rounds are message
+    /// generations exactly as in EventSimulator: on_start sends are round 1,
+    /// sends made while handling a round-r delivery are round r+1. Sends
+    /// beyond `max_rounds` are suppressed at enqueue (never incrementing the
+    /// in-flight counter, so quiescence detection is untouched); once the
+    /// deadline expires, workers discard queued envelopes and armed timers
+    /// without invoking handlers until quiescence. The unlimited default is
+    /// passive — no extra RNG draws or clock reads on the hot path.
+    core::Budget budget;
   };
 
   /// `agents[v]` is node v's automaton (caller-owned). `threads` >= 1.
@@ -81,6 +91,7 @@ class ThreadedRuntime {
     NodeId from;
     NodeId to;
     Message msg;
+    std::size_t round = 1;  // message generation (see Options::budget)
   };
   /// One mailbox per worker; padded so neighbouring shards' locks do not
   /// false-share a cache line.
@@ -93,6 +104,7 @@ class ThreadedRuntime {
     std::uint64_t seq = 0;  // arm order: deterministic pop order on ties
     NodeId node = 0;
     Message msg;
+    std::size_t round = 1;  // message generation (see Options::budget)
   };
   struct TimerLater {
     bool operator()(const TimerEntry& a, const TimerEntry& b) const {
@@ -114,7 +126,10 @@ class ThreadedRuntime {
     std::uint64_t backoff_sleeps = 0;
   };
 
-  void deliver_outbox(NodeId from, const Outbox& out, WorkerContext& ctx);
+  /// `send_round` is the generation of the messages in `out` (delivered
+  /// round + 1; 1 for on_start sends).
+  void deliver_outbox(NodeId from, const Outbox& out, WorkerContext& ctx,
+                      std::size_t send_round);
   void worker(std::size_t worker_id);
 
   std::vector<Agent*> agents_;
@@ -125,6 +140,8 @@ class ThreadedRuntime {
   std::atomic<std::int64_t> in_flight_{0};
   std::atomic<std::size_t> initialized_{0};
   std::atomic<bool> stop_{false};
+  core::Deadline deadline_;          // armed in run() iff budget has a deadline
+  std::atomic<bool> expired_{false}; // first worker past the deadline sets it
   bool ran_ = false;
 };
 

@@ -1,0 +1,131 @@
+// Anytime budget contract (DESIGN.md §14): unlimited budgets are bit-identical
+// to unbudgeted runs for every budget-honoring engine, degenerate budgets
+// (zero rounds, already-expired deadlines) degrade to valid partial matchings
+// instead of aborting, and the truncated/rounds_used report is honest.
+#include <gtest/gtest.h>
+
+#include "core/solvers.hpp"
+#include "matching/lid.hpp"
+#include "matching/verify.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::core {
+namespace {
+
+using matching::testing::Instance;
+
+const Algorithm kBudgetedAlgos[] = {Algorithm::kLidDes, Algorithm::kLidThreaded,
+                                    Algorithm::kBSuitor,
+                                    Algorithm::kParallelBSuitor};
+
+TEST(Anytime, NonBindingRoundCapIsBitIdenticalToUnbudgeted) {
+  // A budget the run never hits must not perturb the engine: same edges, same
+  // message/round accounting, truncated = false.
+  auto inst = Instance::random_quotas("er", 40, 6.0, 3, 17);
+  for (const Algorithm a : kBudgetedAlgos) {
+    SolveOptions plain;
+    plain.seed = 3;
+    plain.schedule = sim::Schedule::kFifo;
+    SolveOptions capped = plain;
+    capped.budget.max_rounds = 1 << 20;
+    const auto r0 = solve(*inst->profile, a, plain);
+    const auto r1 = solve(*inst->profile, a, capped);
+    EXPECT_TRUE(r0.matching.same_edges(r1.matching)) << algorithm_name(a);
+    EXPECT_FALSE(r0.truncated) << algorithm_name(a);
+    EXPECT_FALSE(r1.truncated) << algorithm_name(a);
+    EXPECT_GT(r1.rounds_used, 0u) << algorithm_name(a);
+    if (a == Algorithm::kLidDes) EXPECT_EQ(r0.messages, r1.messages);
+  }
+}
+
+TEST(Anytime, ZeroRoundsReturnsEmptyValidMatching) {
+  auto inst = Instance::random("er", 30, 5.0, 2, 5);
+  for (const Algorithm a : kBudgetedAlgos) {
+    SolveOptions opt;
+    opt.budget.max_rounds = 0;
+    const auto r = solve(*inst->profile, a, opt);
+    EXPECT_TRUE(matching::is_valid_bmatching(r.matching)) << algorithm_name(a);
+    EXPECT_EQ(r.matching.size(), 0u) << algorithm_name(a);
+    EXPECT_TRUE(r.truncated) << algorithm_name(a);
+  }
+}
+
+TEST(Anytime, ExpiredDeadlineStillReturnsValidMatching) {
+  // A deadline that is (almost) already gone when the run starts: whatever
+  // partial matching the first amortized check catches must be valid — the
+  // engine must never abort or hang.
+  auto inst = Instance::random("ba", 60, 6.0, 3, 7);
+  for (const Algorithm a : kBudgetedAlgos) {
+    SolveOptions opt;
+    opt.budget.deadline_ms = 1e-4;
+    const auto r = solve(*inst->profile, a, opt);
+    EXPECT_TRUE(matching::is_valid_bmatching(r.matching)) << algorithm_name(a);
+  }
+}
+
+TEST(Anytime, BindingCapTruncatesAndReportsRounds) {
+  auto inst = Instance::random_quotas("ws", 40, 6.0, 3, 29);
+  for (const Algorithm a : {Algorithm::kLidDes, Algorithm::kBSuitor}) {
+    SolveOptions opt;
+    opt.schedule = sim::Schedule::kFifo;
+    opt.budget.max_rounds = 1;
+    const auto r = solve(*inst->profile, a, opt);
+    EXPECT_TRUE(r.truncated) << algorithm_name(a);
+    EXPECT_EQ(r.rounds_used, 1u) << algorithm_name(a);
+    EXPECT_TRUE(matching::is_valid_bmatching(r.matching)) << algorithm_name(a);
+  }
+}
+
+TEST(Anytime, BudgetedMetricsCarryTheAnytimeGauges) {
+  auto inst = Instance::random("er", 30, 5.0, 2, 11);
+  SolveOptions opt;
+  opt.schedule = sim::Schedule::kFifo;
+  opt.budget.max_rounds = 2;
+  const auto r = solve(*inst->profile, Algorithm::kLidDes, opt);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_DOUBLE_EQ(r.metrics.gauge("anytime.rounds_used"),
+                   static_cast<double>(r.rounds_used));
+  EXPECT_DOUBLE_EQ(r.metrics.gauge("anytime.truncated"), 1.0);
+  EXPECT_NEAR(r.metrics.gauge("anytime.satisfaction"), r.satisfaction, 1e-9);
+  EXPECT_DOUBLE_EQ(r.metrics.gauge("anytime.blocking_edges"),
+                   static_cast<double>(matching::count_blocking_edges(
+                       r.matching, *inst->weights)));
+}
+
+TEST(Anytime, ThreadedLidBudgetedRunsStayValidAcrossWorkerCounts) {
+  // The threaded runtime's truncation point is interleaving-dependent; the
+  // contract is validity (only mutual locks extracted) and termination.
+  auto inst = Instance::random_quotas("er", 36, 6.0, 3, 13);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const std::size_t rounds : {std::size_t{0}, std::size_t{2}}) {
+      matching::LidOptions opt;
+      opt.threads = threads;
+      opt.runtime = matching::LidRuntime::kThreaded;
+      opt.budget.max_rounds = rounds;
+      const auto r =
+          matching::run_lid(*inst->weights, inst->profile->quotas(), opt);
+      EXPECT_TRUE(matching::is_valid_bmatching(r.matching))
+          << "threads=" << threads << " rounds=" << rounds;
+      if (rounds == 0) EXPECT_EQ(r.matching.size(), 0u);
+    }
+  }
+}
+
+TEST(Anytime, DeprecatedForwarderStillSolves) {
+  auto inst = Instance::random("er", 14, 4.0, 2, 17);
+#ifdef __GNUC__
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  const auto legacy =
+      solve_with_weights(*inst->profile, *inst->weights, Algorithm::kLicGlobal);
+#ifdef __GNUC__
+#pragma GCC diagnostic pop
+#endif
+  const auto unified =
+      solve(*inst->profile, Algorithm::kLicGlobal, {}, inst->weights.get());
+  EXPECT_TRUE(legacy.matching.same_edges(unified.matching));
+}
+
+}  // namespace
+}  // namespace overmatch::core

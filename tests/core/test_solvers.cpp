@@ -93,7 +93,7 @@ TEST(Solve, WithCustomWeights) {
   auto inst = Instance::random("er", 14, 4.0, 2, 17);
   util::Rng rng(3);
   const auto rw = prefs::random_weights(inst->g, rng);
-  const auto r = solve_with_weights(*inst->profile, rw, Algorithm::kLicGlobal);
+  const auto r = solve(*inst->profile, Algorithm::kLicGlobal, {}, &rw);
   // Weight metric refers to the supplied weights; satisfaction to the profile.
   EXPECT_NEAR(r.weight, r.matching.total_weight(rw), 1e-12);
   EXPECT_TRUE(matching::is_valid_bmatching(r.matching));

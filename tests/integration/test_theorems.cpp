@@ -117,8 +117,11 @@ TEST(Lemma5, TerminatesUnderAllSchedulesAndNoWeightCycles) {
     for (const auto s : {sim::Schedule::kFifo, sim::Schedule::kRandomOrder,
                          sim::Schedule::kRandomDelay,
                          sim::Schedule::kAdversarialDelay}) {
-      const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                       {.schedule = s, .seed = seed + 1});
+      matching::LidOptions opt;
+      opt.seed = seed + 1;
+      opt.schedule = s;
+      const auto r =
+          matching::run_lid(*inst->weights, inst->profile->quotas(), opt);
       EXPECT_TRUE(r.matching.is_maximal());
     }
   }
@@ -129,13 +132,17 @@ TEST(Lemma5, TerminatesUnderAllSchedulesAndNoWeightCycles) {
 TEST(Lemmas346, AllEnginesOneLargeInstance) {
   auto inst = Instance::random_quotas("ba", 120, 8.0, 4, 1001);
   const auto lic = matching::lic_global(*inst->weights, inst->profile->quotas());
-  const auto lid = matching::run_lid(
-      *inst->weights, inst->profile->quotas(),
-      {.schedule = sim::Schedule::kAdversarialDelay, .seed = 5});
+  matching::LidOptions des_opt;
+  des_opt.seed = 5;
+  des_opt.schedule = sim::Schedule::kAdversarialDelay;
+  const auto lid =
+      matching::run_lid(*inst->weights, inst->profile->quotas(), des_opt);
   EXPECT_TRUE(lic.same_edges(lid.matching));
-  const auto lidt = matching::run_lid(
-      *inst->weights, inst->profile->quotas(),
-      {.runtime = matching::LidRuntime::kThreaded, .threads = 4});
+  matching::LidOptions thr_opt;
+  thr_opt.threads = 4;
+  thr_opt.runtime = matching::LidRuntime::kThreaded;
+  const auto lidt =
+      matching::run_lid(*inst->weights, inst->profile->quotas(), thr_opt);
   EXPECT_TRUE(lic.same_edges(lidt.matching));
 }
 

@@ -105,7 +105,9 @@ TEST(FuzzEngines, MassEquivalenceOnTinyInstances) {
     ASSERT_TRUE(lic.same_edges(b_suitor(w, q))) << seed;
     ASSERT_TRUE(lic.same_edges(parallel_b_suitor(w, q, 2))) << seed;
     ASSERT_TRUE(lic.same_edges(parallel_local_dominant(w, q, 2))) << seed;
-    ASSERT_TRUE(lic.same_edges(run_lid(w, q, {.seed = seed}).matching)) << seed;
+    LidOptions lid_opt;
+    lid_opt.seed = seed;
+    ASSERT_TRUE(lic.same_edges(run_lid(w, q, lid_opt).matching)) << seed;
     ASSERT_TRUE(is_valid_bmatching(lic));
     ASSERT_TRUE(lic.is_maximal());
     ++instances;

@@ -53,7 +53,9 @@ TEST(Lid, StarQuotaLimitsHub) {
   const prefs::EdgeWeights w(g, std::vector<double>(5, 1.0));
   Quotas q(6, 1);
   q[0] = 2;
-  const auto r = run_lid(w, q, {.seed = 42});
+  LidOptions opt;
+  opt.seed = 42;
+  const auto r = run_lid(w, q, opt);
   EXPECT_EQ(r.matching.size(), 2u);
   EXPECT_EQ(r.matching.load(0), 2u);
 }
@@ -69,8 +71,10 @@ TEST_P(LidEqualsLic, SameMatching) {
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     auto inst = testing::Instance::random(topology, n, 5.0, quota, seed * 13);
     const auto lic = lic_global(*inst->weights, inst->profile->quotas());
-    const auto lid = run_lid(*inst->weights, inst->profile->quotas(),
-                             {.schedule = schedule, .seed = seed});
+    LidOptions opt;
+    opt.seed = seed;
+    opt.schedule = schedule;
+    const auto lid = run_lid(*inst->weights, inst->profile->quotas(), opt);
     EXPECT_TRUE(lic.same_edges(lid.matching))
         << topology << " n=" << n << " b=" << quota
         << " sched=" << sim::schedule_name(schedule) << " seed=" << seed;
@@ -91,11 +95,15 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Lid, ScheduleIndependentOutcome) {
   // One instance, many adversarial seeds: matching never changes.
   auto inst = testing::Instance::random("er", 30, 6.0, 2, 777);
+  LidOptions ref_opt;
+  ref_opt.seed = 0;
+  ref_opt.schedule = sim::Schedule::kFifo;
   const auto reference =
-      run_lid(*inst->weights, inst->profile->quotas(),
-              {.schedule = sim::Schedule::kFifo, .seed = 0});
+      run_lid(*inst->weights, inst->profile->quotas(), ref_opt);
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
-    const auto r = run_lid(*inst->weights, inst->profile->quotas(), {.seed = seed});
+    LidOptions opt;
+    opt.seed = seed;
+    const auto r = run_lid(*inst->weights, inst->profile->quotas(), opt);
     EXPECT_TRUE(reference.matching.same_edges(r.matching)) << seed;
   }
 }
@@ -106,9 +114,11 @@ TEST(Lid, ThreadedMatchesDes) {
     const auto des = run_lid(*inst->weights, inst->profile->quotas(),
                             {.schedule = sim::Schedule::kFifo});
     for (const std::size_t threads : {1u, 2u, 4u}) {
+      LidOptions opt;
+      opt.threads = threads;
+      opt.runtime = LidRuntime::kThreaded;
       const auto thr =
-          run_lid(*inst->weights, inst->profile->quotas(),
-                  {.runtime = LidRuntime::kThreaded, .threads = threads});
+          run_lid(*inst->weights, inst->profile->quotas(), opt);
       EXPECT_TRUE(des.matching.same_edges(thr.matching))
           << "seed=" << seed << " threads=" << threads;
     }
@@ -120,7 +130,9 @@ TEST(Lid, MessageCountLinearInEdges) {
   // total ≤ 4m (the paper's local-communication claim, made concrete).
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
     auto inst = testing::Instance::random("er", 40, 6.0, 3, seed + 5);
-    const auto r = run_lid(*inst->weights, inst->profile->quotas(), {.seed = seed});
+    LidOptions opt;
+    opt.seed = seed;
+    const auto r = run_lid(*inst->weights, inst->profile->quotas(), opt);
     EXPECT_LE(r.stats.total_sent, 4 * inst->g.num_edges());
     EXPECT_EQ(r.stats.total_delivered, r.stats.total_sent);
   }
@@ -129,9 +141,10 @@ TEST(Lid, MessageCountLinearInEdges) {
 TEST(Lid, PropsBoundedByEdgeDirections) {
   // A node proposes to a given neighbour at most once → at most 2m PROPs.
   auto inst = testing::Instance::random("ba", 30, 4.0, 2, 3);
-  const auto r =
-      run_lid(*inst->weights, inst->profile->quotas(),
-              {.schedule = sim::Schedule::kAdversarialDelay, .seed = 9});
+  LidOptions opt;
+  opt.seed = 9;
+  opt.schedule = sim::Schedule::kAdversarialDelay;
+  const auto r = run_lid(*inst->weights, inst->profile->quotas(), opt);
   EXPECT_LE(r.stats.kind_count(kMsgProp), 2 * inst->g.num_edges());
   EXPECT_LE(r.stats.kind_count(kMsgRej), 2 * inst->g.num_edges());
 }
@@ -140,8 +153,9 @@ TEST(Lid, HeterogeneousQuotasStillEquivalent) {
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
     auto inst = testing::Instance::random_quotas("er", 26, 5.0, 4, seed * 3 + 11);
     const auto lic = lic_global(*inst->weights, inst->profile->quotas());
-    const auto lid =
-        run_lid(*inst->weights, inst->profile->quotas(), {.seed = seed});
+    LidOptions opt;
+    opt.seed = seed;
+    const auto lid = run_lid(*inst->weights, inst->profile->quotas(), opt);
     EXPECT_TRUE(lic.same_edges(lid.matching));
   }
 }
@@ -149,9 +163,10 @@ TEST(Lid, HeterogeneousQuotasStillEquivalent) {
 TEST(Lid, CompleteGraphHighQuota) {
   auto inst = testing::Instance::random("complete", 10, 9.0, 5, 2);
   const auto lic = lic_global(*inst->weights, inst->profile->quotas());
-  const auto lid =
-      run_lid(*inst->weights, inst->profile->quotas(),
-              {.schedule = sim::Schedule::kRandomDelay, .seed = 4});
+  LidOptions opt;
+  opt.seed = 4;
+  opt.schedule = sim::Schedule::kRandomDelay;
+  const auto lid = run_lid(*inst->weights, inst->profile->quotas(), opt);
   EXPECT_TRUE(lic.same_edges(lid.matching));
   // Dense graph, high quota: the greedy matching must be maximal and close to
   // the 25-edge capacity bound (Σb/2), though maximality alone does not force

@@ -25,8 +25,11 @@ TEST_P(LidLossSweep, SameMatchingUnderLoss) {
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     auto inst = testing::Instance::random_quotas("er", 24, 5.0, 3, seed * 61 + 1);
     const auto lic = lic_global(*inst->weights, inst->profile->quotas());
-    const auto r = run_lid(*inst->weights, inst->profile->quotas(),
-                           {.loss_rate = loss, .reliable = true, .seed = seed});
+    LidOptions opt;
+    opt.seed = seed;
+    opt.loss_rate = loss;
+    opt.reliable = true;
+    const auto r = run_lid(*inst->weights, inst->profile->quotas(), opt);
     EXPECT_TRUE(lic.same_edges(r.matching)) << "loss=" << loss << " seed=" << seed;
     EXPECT_TRUE(is_valid_bmatching(r.matching));
     if (loss > 0.0) {
@@ -44,10 +47,12 @@ INSTANTIATE_TEST_SUITE_P(Sweep, LidLossSweep,
 
 TEST(LidLossy, RetransmissionsGrowWithLoss) {
   auto inst = testing::Instance::random("ba", 30, 4.0, 2, 9);
-  const auto low = run_lid(*inst->weights, inst->profile->quotas(),
-                           {.loss_rate = 0.05, .seed = 2});
-  const auto high = run_lid(*inst->weights, inst->profile->quotas(),
-                            {.loss_rate = 0.5, .seed = 2});
+  LidOptions opt;
+  opt.seed = 2;
+  opt.loss_rate = 0.05;
+  const auto low = run_lid(*inst->weights, inst->profile->quotas(), opt);
+  opt.loss_rate = 0.5;
+  const auto high = run_lid(*inst->weights, inst->profile->quotas(), opt);
   EXPECT_LT(low.retransmissions, high.retransmissions);
 }
 
@@ -59,12 +64,13 @@ TEST(LidLossyThreaded, MatchesLicUnderLossAcrossWorkerCounts) {
     for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
       auto inst = testing::Instance::random_quotas("er", 24, 5.0, 3, 91);
       const auto lic = lic_global(*inst->weights, inst->profile->quotas());
-      const auto r = run_lid(*inst->weights, inst->profile->quotas(),
-                             {.runtime = LidRuntime::kThreaded,
-                              .loss_rate = loss,
-                              .reliable = true,
-                              .seed = 5,
-                              .threads = threads});
+      LidOptions opt;
+      opt.seed = 5;
+      opt.threads = threads;
+      opt.runtime = LidRuntime::kThreaded;
+      opt.loss_rate = loss;
+      opt.reliable = true;
+      const auto r = run_lid(*inst->weights, inst->profile->quotas(), opt);
       EXPECT_TRUE(lic.same_edges(r.matching))
           << "loss=" << loss << " threads=" << threads;
       EXPECT_TRUE(is_valid_bmatching(r.matching));
@@ -84,11 +90,12 @@ TEST(LidLossyThreaded, MatchesLicUnderLossAcrossWorkerCounts) {
 TEST(LidLossyThreaded, RetransmissionsRecoverDroppedMessages) {
   auto inst = testing::Instance::random("ba", 30, 4.0, 2, 9);
   const auto lic = lic_global(*inst->weights, inst->profile->quotas());
-  const auto r = run_lid(*inst->weights, inst->profile->quotas(),
-                         {.runtime = LidRuntime::kThreaded,
-                          .loss_rate = 0.3,
-                          .seed = 3,
-                          .threads = 4});
+  LidOptions opt;
+  opt.seed = 3;
+  opt.threads = 4;
+  opt.runtime = LidRuntime::kThreaded;
+  opt.loss_rate = 0.3;
+  const auto r = run_lid(*inst->weights, inst->profile->quotas(), opt);
   EXPECT_TRUE(lic.same_edges(r.matching));
   EXPECT_GT(r.retransmissions, 0u);
   EXPECT_GT(r.stats.kind_count(sim::kAckKind), 0u);
@@ -96,8 +103,10 @@ TEST(LidLossyThreaded, RetransmissionsRecoverDroppedMessages) {
 
 TEST(LidLossy, AcksAccountedInStats) {
   auto inst = testing::Instance::random("er", 16, 4.0, 2, 5);
-  const auto r = run_lid(*inst->weights, inst->profile->quotas(),
-                         {.loss_rate = 0.1, .seed = 3});
+  LidOptions opt;
+  opt.seed = 3;
+  opt.loss_rate = 0.1;
+  const auto r = run_lid(*inst->weights, inst->profile->quotas(), opt);
   // One ACK attempt per received DATA: ACK traffic must be substantial.
   EXPECT_GT(r.stats.kind_count(sim::kAckKind), 0u);
 }

@@ -31,10 +31,11 @@ TEST(LidUnified, DesRunsAreDeterministicPerSeedAndSchedule) {
   for (const auto schedule : schedules) {
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
       auto inst = testing::Instance::random_quotas("ws", 30, 5.0, 3, seed * 7 + 1);
-      const auto a = run_lid(*inst->weights, inst->profile->quotas(),
-                             {.schedule = schedule, .seed = seed});
-      const auto b = run_lid(*inst->weights, inst->profile->quotas(),
-                             {.schedule = schedule, .seed = seed});
+      LidOptions opt;
+      opt.seed = seed;
+      opt.schedule = schedule;
+      const auto a = run_lid(*inst->weights, inst->profile->quotas(), opt);
+      const auto b = run_lid(*inst->weights, inst->profile->quotas(), opt);
       EXPECT_TRUE(a.matching.same_edges(b.matching))
           << sim::schedule_name(schedule) << " seed=" << seed;
       expect_same_wire_stats(a.stats, b.stats);
@@ -45,11 +46,12 @@ TEST(LidUnified, DesRunsAreDeterministicPerSeedAndSchedule) {
 
 TEST(LidUnified, ScheduleChangesWireTrafficNotTheMatching) {
   auto inst = testing::Instance::random_quotas("ws", 30, 5.0, 3, 17);
-  const auto fifo = run_lid(*inst->weights, inst->profile->quotas(),
-                            {.schedule = sim::Schedule::kFifo, .seed = 2});
-  const auto adv =
-      run_lid(*inst->weights, inst->profile->quotas(),
-              {.schedule = sim::Schedule::kAdversarialDelay, .seed = 2});
+  LidOptions opt;
+  opt.seed = 2;
+  opt.schedule = sim::Schedule::kFifo;
+  const auto fifo = run_lid(*inst->weights, inst->profile->quotas(), opt);
+  opt.schedule = sim::Schedule::kAdversarialDelay;
+  const auto adv = run_lid(*inst->weights, inst->profile->quotas(), opt);
   EXPECT_TRUE(fifo.matching.same_edges(adv.matching));
 }
 
@@ -57,10 +59,14 @@ TEST(LidUnified, ThreadedRuntimeMatchesTheDes) {
   // The threaded runtime's interleaving (and thus its message counts) is
   // nondeterministic; the matching is the invariant (Lemmas 3–6).
   auto inst = testing::Instance::random("er", 60, 6.0, 3, 11);
-  const auto des = run_lid(*inst->weights, inst->profile->quotas(), {.seed = 1});
+  LidOptions des_opt;
+  des_opt.seed = 1;
+  const auto des = run_lid(*inst->weights, inst->profile->quotas(), des_opt);
+  LidOptions thr_opt;
+  thr_opt.threads = 4;
+  thr_opt.runtime = LidRuntime::kThreaded;
   const auto threaded =
-      run_lid(*inst->weights, inst->profile->quotas(),
-              {.runtime = LidRuntime::kThreaded, .threads = 4});
+      run_lid(*inst->weights, inst->profile->quotas(), thr_opt);
   EXPECT_TRUE(des.matching.same_edges(threaded.matching));
   EXPECT_EQ(threaded.stats.total_delivered, threaded.stats.total_sent);
 }
@@ -69,11 +75,13 @@ TEST(LidUnified, LossyRunsRecoverTheLosslessMatching) {
   for (const double loss : {0.1, 0.3}) {
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
       auto inst = testing::Instance::random("er", 30, 5.0, 2, seed * 13 + 2);
+      LidOptions opt;
+      opt.seed = seed;
       const auto lossless =
-          run_lid(*inst->weights, inst->profile->quotas(), {.seed = seed});
-      const auto lossy =
-          run_lid(*inst->weights, inst->profile->quotas(),
-                  {.loss_rate = loss, .reliable = true, .seed = seed});
+          run_lid(*inst->weights, inst->profile->quotas(), opt);
+      opt.loss_rate = loss;
+      opt.reliable = true;
+      const auto lossy = run_lid(*inst->weights, inst->profile->quotas(), opt);
       EXPECT_TRUE(lossless.matching.same_edges(lossy.matching))
           << "loss=" << loss << " seed=" << seed;
       EXPECT_GT(lossy.stats.total_dropped, 0u);
@@ -88,27 +96,37 @@ TEST(LidUnified, ReliableFlagAtZeroLossStillEngagesTheAdapter) {
   // carry ACK traffic, unlike a plain lossless run — while retransmitting
   // nothing (no message is ever dropped).
   auto inst = testing::Instance::random("er", 24, 4.0, 2, 5);
-  const auto reliable = run_lid(*inst->weights, inst->profile->quotas(),
-                                {.loss_rate = 0.0, .reliable = true, .seed = 9});
+  LidOptions reliable_opt;
+  reliable_opt.seed = 9;
+  reliable_opt.loss_rate = 0.0;
+  reliable_opt.reliable = true;
+  const auto reliable =
+      run_lid(*inst->weights, inst->profile->quotas(), reliable_opt);
   EXPECT_GT(reliable.stats.kind_count(sim::kAckKind), 0u);
   EXPECT_EQ(reliable.retransmissions, 0u);
   EXPECT_EQ(reliable.stats.total_dropped, 0u);
 
-  const auto plain = run_lid(*inst->weights, inst->profile->quotas(),
-                             {.schedule = sim::Schedule::kRandomDelay, .seed = 9});
+  LidOptions plain_opt;
+  plain_opt.seed = 9;
+  plain_opt.schedule = sim::Schedule::kRandomDelay;
+  const auto plain =
+      run_lid(*inst->weights, inst->profile->quotas(), plain_opt);
   EXPECT_EQ(plain.stats.kind_count(sim::kAckKind), 0u);
   EXPECT_TRUE(plain.matching.same_edges(reliable.matching));
 }
 
 TEST(LidUnified, LossyThreadedRunRecovers) {
   auto inst = testing::Instance::random("er", 40, 5.0, 2, 21);
-  const auto des = run_lid(*inst->weights, inst->profile->quotas(), {.seed = 1});
-  const auto lossy = run_lid(*inst->weights, inst->profile->quotas(),
-                             {.runtime = LidRuntime::kThreaded,
-                              .loss_rate = 0.2,
-                              .reliable = true,
-                              .seed = 3,
-                              .threads = 4});
+  LidOptions des_opt;
+  des_opt.seed = 1;
+  const auto des = run_lid(*inst->weights, inst->profile->quotas(), des_opt);
+  LidOptions lossy_opt;
+  lossy_opt.seed = 3;
+  lossy_opt.threads = 4;
+  lossy_opt.runtime = LidRuntime::kThreaded;
+  lossy_opt.loss_rate = 0.2;
+  lossy_opt.reliable = true;
+  const auto lossy = run_lid(*inst->weights, inst->profile->quotas(), lossy_opt);
   EXPECT_TRUE(des.matching.same_edges(lossy.matching));
   // Wire accounting under loss is interleaving-dependent (retransmissions
   // are delivered without re-counting as sends); only require that loss and
@@ -120,12 +138,13 @@ TEST(LidUnified, LossyThreadedRunRecovers) {
 TEST(LidUnified, DefaultOptionsAreTheReliableDes) {
   auto inst = testing::Instance::random("ba", 30, 4.0, 2, 4);
   const auto by_default = run_lid(*inst->weights, inst->profile->quotas());
+  LidOptions opt;
+  opt.seed = 1;
+  opt.runtime = LidRuntime::kEventSim;
+  opt.schedule = sim::Schedule::kRandomOrder;
+  opt.loss_rate = 0.0;
   const auto spelled_out =
-      run_lid(*inst->weights, inst->profile->quotas(),
-              {.runtime = LidRuntime::kEventSim,
-               .schedule = sim::Schedule::kRandomOrder,
-               .loss_rate = 0.0,
-               .seed = 1});
+      run_lid(*inst->weights, inst->profile->quotas(), opt);
   EXPECT_TRUE(by_default.matching.same_edges(spelled_out.matching));
   expect_same_wire_stats(by_default.stats, spelled_out.stats);
   EXPECT_EQ(by_default.stats.kind_count(sim::kAckKind), 0u);

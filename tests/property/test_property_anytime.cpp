@@ -1,0 +1,127 @@
+// Anytime monotonicity (DESIGN.md §14). Under the FIFO schedule a budget-R
+// LID run delivers exactly the round-<=R prefix of the full run, and LID
+// locks are permanent — so the extracted mutual-lock matching grows with R.
+// That makes every quality metric monotone in the budget: Σ S_i and matched
+// weight non-decreasing, the blocking-edge count non-increasing, converging
+// bit-identically to the unbudgeted fixed point. b-suitor's drain rounds
+// give validity per budget plus the same bit-identical convergence (its
+// mid-run weight is not monotone: a displaced bid can transiently lower it).
+#include <gtest/gtest.h>
+
+#include "core/solvers.hpp"
+#include "matching/verify.hpp"
+#include "tests/matching/common.hpp"
+
+namespace overmatch::core {
+namespace {
+
+using matching::testing::Instance;
+
+struct AnytimeParams {
+  const char* topology;
+  std::uint32_t quota;  ///< 0 = heterogeneous quotas in [1, 4]
+};
+
+std::unique_ptr<Instance> make_instance(const AnytimeParams& p,
+                                        std::uint64_t seed) {
+  return p.quota == 0
+             ? Instance::random_quotas(p.topology, 36, 6.0, 4, seed)
+             : Instance::random(p.topology, 36, 6.0, p.quota, seed);
+}
+
+class AnytimeMonotonicity : public ::testing::TestWithParam<AnytimeParams> {};
+
+TEST_P(AnytimeMonotonicity, LidQualityClimbsWithTheRoundBudget) {
+  const auto& p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    auto inst = make_instance(p, seed * 101 + 7);
+    SolveOptions opt;
+    opt.seed = seed;
+    opt.schedule = sim::Schedule::kFifo;
+    const auto full = solve(*inst->profile, Algorithm::kLidDes, opt,
+                            inst->weights.get());
+    ASSERT_FALSE(full.truncated);
+    ASSERT_GT(full.rounds_used, 0u);
+
+    double prev_sat = -1.0;
+    double prev_weight = -1.0;
+    std::size_t prev_blocking = inst->g.num_edges() + 1;
+    for (std::size_t rounds = 0; rounds <= full.rounds_used; ++rounds) {
+      SolveOptions bopt = opt;
+      bopt.budget.max_rounds = rounds;
+      const auto r = solve(*inst->profile, Algorithm::kLidDes, bopt,
+                           inst->weights.get());
+      ASSERT_TRUE(matching::is_valid_bmatching(r.matching))
+          << "rounds=" << rounds << " seed=" << seed;
+      const std::size_t blocking =
+          matching::count_blocking_edges(r.matching, *inst->weights);
+      EXPECT_GE(r.satisfaction, prev_sat - 1e-12)
+          << "rounds=" << rounds << " seed=" << seed;
+      EXPECT_GE(r.weight, prev_weight - 1e-12)
+          << "rounds=" << rounds << " seed=" << seed;
+      EXPECT_LE(blocking, prev_blocking)
+          << "rounds=" << rounds << " seed=" << seed;
+      prev_sat = r.satisfaction;
+      prev_weight = r.weight;
+      prev_blocking = blocking;
+      if (rounds == full.rounds_used) {
+        // The budget that covers the full run converges bit-identically.
+        EXPECT_TRUE(full.matching.same_edges(r.matching)) << "seed=" << seed;
+        EXPECT_FALSE(r.truncated);
+        EXPECT_EQ(blocking, 0u);
+        EXPECT_NEAR(r.satisfaction, full.satisfaction, 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(AnytimeMonotonicity, BSuitorBudgetsStayValidAndConverge) {
+  const auto& p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    auto inst = make_instance(p, seed * 59 + 3);
+    SolveOptions opt;
+    opt.seed = seed;
+    const auto full =
+        solve(*inst->profile, Algorithm::kBSuitor, opt, inst->weights.get());
+    ASSERT_FALSE(full.truncated);
+    ASSERT_GT(full.rounds_used, 0u);
+    for (std::size_t rounds = 0; rounds <= full.rounds_used; ++rounds) {
+      SolveOptions bopt = opt;
+      bopt.budget.max_rounds = rounds;
+      const auto r = solve(*inst->profile, Algorithm::kBSuitor, bopt,
+                           inst->weights.get());
+      EXPECT_TRUE(matching::is_valid_bmatching(r.matching))
+          << "rounds=" << rounds << " seed=" << seed;
+      EXPECT_LE(r.rounds_used, rounds == 0 ? 1u : rounds);
+      if (rounds == full.rounds_used) {
+        EXPECT_TRUE(full.matching.same_edges(r.matching)) << "seed=" << seed;
+        EXPECT_FALSE(r.truncated);
+        EXPECT_EQ(matching::count_blocking_edges(r.matching, *inst->weights),
+                  0u);
+      } else {
+        EXPECT_TRUE(r.truncated) << "rounds=" << rounds << " seed=" << seed;
+      }
+    }
+  }
+}
+
+std::string anytime_name(const ::testing::TestParamInfo<AnytimeParams>& info) {
+  return std::string(info.param.topology) + "_b" +
+         (info.param.quota == 0 ? std::string("mixed")
+                                : std::to_string(info.param.quota));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AnytimeMonotonicity,
+                         ::testing::Values(AnytimeParams{"er", 1},
+                                           AnytimeParams{"er", 3},
+                                           AnytimeParams{"er", 0},
+                                           AnytimeParams{"ba", 1},
+                                           AnytimeParams{"ba", 3},
+                                           AnytimeParams{"ba", 0},
+                                           AnytimeParams{"ws", 1},
+                                           AnytimeParams{"ws", 3},
+                                           AnytimeParams{"ws", 0}),
+                         anytime_name);
+
+}  // namespace
+}  // namespace overmatch::core

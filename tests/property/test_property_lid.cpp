@@ -27,8 +27,11 @@ TEST_P(LidProperties, EquivalenceAndBounds) {
     auto inst = Instance::random_quotas(p.topology, p.n, 5.0, p.quota_max,
                                         seed * 211 + 17);
     const auto lic = matching::lic_global(*inst->weights, inst->profile->quotas());
-    const auto r = matching::run_lid(*inst->weights, inst->profile->quotas(),
-                                     {.schedule = p.schedule, .seed = seed});
+    matching::LidOptions opt;
+    opt.seed = seed;
+    opt.schedule = p.schedule;
+    const auto r =
+        matching::run_lid(*inst->weights, inst->profile->quotas(), opt);
     // Equivalence (Lemmas 3,4,6).
     EXPECT_TRUE(lic.same_edges(r.matching)) << "seed=" << seed;
     // Validity and maximality.
@@ -71,10 +74,12 @@ TEST_P(LidThreadSweep, ThreadCountIrrelevantToOutcome) {
   auto inst = Instance::random("er", 36, 6.0, 3, 999);
   const auto reference = matching::lic_global(*inst->weights,
                                               inst->profile->quotas());
+  matching::LidOptions opt;
+  opt.threads = threads;
+  opt.runtime = matching::LidRuntime::kThreaded;
   for (int repeat = 0; repeat < 3; ++repeat) {
-    const auto r = matching::run_lid(
-        *inst->weights, inst->profile->quotas(),
-        {.runtime = matching::LidRuntime::kThreaded, .threads = threads});
+    const auto r =
+        matching::run_lid(*inst->weights, inst->profile->quotas(), opt);
     EXPECT_TRUE(reference.same_edges(r.matching))
         << "threads=" << threads << " repeat=" << repeat;
   }

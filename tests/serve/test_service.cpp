@@ -158,6 +158,53 @@ TEST(ServiceLoop, RunForStopsAtDeadlineAndOnRequest) {
   EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(10));
 }
 
+// Anytime serving (DESIGN.md §14): with an effectively-expired per-epoch
+// publish deadline every burst's repair is deferred, yet the epoch still
+// publishes — a valid partial matching whose blocking-edge gauge is the
+// honest from-scratch count, never a stalled or torn snapshot. Lifting the
+// deadline and applying an empty burst drains the deferred repair and the
+// next snapshot is the exact fixed point again.
+TEST(ServiceLoop, TruncatedEpochPublishesPartialThenCatchesUp) {
+  auto inst = Instance::random_quotas("er", 200, 6.0, 3, 606);
+  ServeOptions opts;
+  opts.seed = 21;
+  opts.churn_batch_mean = 32.0;
+  opts.epoch_deadline_ms = 1e-6;  // expired before the drain's first check
+  ServiceLoop loop(*inst->profile, *inst->weights, opts);
+  auto reader = loop.store().register_reader();
+
+  bool saw_truncated = false;
+  for (int k = 0; k < 20; ++k) {
+    const auto st = loop.step();
+    SnapshotRef snap = loop.store().acquire(reader);
+    EXPECT_EQ(snap->epoch(), st.epoch);
+    if (st.truncated) {
+      saw_truncated = true;
+      EXPECT_TRUE(loop.engine().truncated());
+      EXPECT_GT(st.pending_repairs, 0u);
+      EXPECT_EQ(st.pending_repairs, loop.engine().pending_repairs());
+      // Readers are never stalled, and the gauge is honest: it equals an
+      // independent O(m) recount on the published snapshot.
+      EXPECT_EQ(snap->blocking_edges(),
+                count_blocking_edges(*inst->weights, *inst->profile, *snap));
+    } else {
+      ASSERT_NO_FATAL_FAILURE(expect_snapshot_consistent(*inst, *snap))
+          << "step " << k;
+    }
+  }
+  EXPECT_TRUE(saw_truncated);
+
+  // Catch-up: no deadline + empty burst = drain everything deferred.
+  loop.set_epoch_deadline_ms(0.0);
+  const auto st = loop.apply({});
+  EXPECT_FALSE(st.truncated);
+  EXPECT_EQ(st.pending_repairs, 0u);
+  EXPECT_FALSE(loop.engine().truncated());
+  SnapshotRef snap = loop.store().acquire(reader);
+  EXPECT_EQ(snap->blocking_edges(), 0u);
+  ASSERT_NO_FATAL_FAILURE(expect_snapshot_consistent(*inst, *snap));
+}
+
 // The tentpole's concurrency contract, end to end: one writer applies mixed
 // node+edge churn bursts and publishes; 8 reader threads concurrently pin
 // snapshots and verify — from scratch — that each one is the unique greedy

@@ -283,9 +283,11 @@ TEST(ThreadedRuntimeStress, LidTenThousandNodesMatchesEventSim) {
                         {.schedule = Schedule::kFifo});
   EXPECT_EQ(reference.stats.total_delivered, reference.stats.total_sent);
   for (const std::size_t threads : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
-    const auto r = matching::run_lid(
-        *inst->weights, inst->profile->quotas(),
-        {.runtime = matching::LidRuntime::kThreaded, .threads = threads});
+    matching::LidOptions opt;
+    opt.threads = threads;
+    opt.runtime = matching::LidRuntime::kThreaded;
+    const auto r =
+        matching::run_lid(*inst->weights, inst->profile->quotas(), opt);
     // Only the matching is schedule-invariant; message counts depend on the
     // interleaving, so assert honest accounting rather than an exact total.
     EXPECT_TRUE(reference.matching.same_edges(r.matching)) << "threads=" << threads;
@@ -299,9 +301,11 @@ TEST(ThreadedRuntimeStress, MoreWorkersThanNodes) {
   // back off, and agree on quiescence.
   const auto inst = matching::testing::Instance::random("complete", 8, 7.0, 2, 7);
   const auto lic = matching::lic_global(*inst->weights, inst->profile->quotas());
-  const auto r = matching::run_lid(
-      *inst->weights, inst->profile->quotas(),
-      {.runtime = matching::LidRuntime::kThreaded, .threads = 32});
+  matching::LidOptions opt;
+  opt.threads = 32;
+  opt.runtime = matching::LidRuntime::kThreaded;
+  const auto r =
+      matching::run_lid(*inst->weights, inst->profile->quotas(), opt);
   EXPECT_TRUE(lic.same_edges(r.matching));
   EXPECT_EQ(r.stats.total_delivered, r.stats.total_sent);
 }

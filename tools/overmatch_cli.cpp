@@ -53,6 +53,11 @@ void print_usage() {
       "  --threads=T        threaded runtimes; when given explicitly, also\n"
       "                     parallelizes graph/preference/weight construction\n"
       "                     (default: single-threaded build)   [2]\n"
+      "  --max-rounds=R     anytime budget: cap message/drain rounds for the\n"
+      "                     lid and (parallel-)bsuitor engines; the partial\n"
+      "                     matching is returned              [unlimited]\n"
+      "  --deadline-ms=D    anytime budget: wall-clock deadline for the same\n"
+      "                     engines (fractions allowed)          [0 = off]\n"
       "churn:\n"
       "  --churn-events=E   after solving, replay E random leave/join events\n"
       "                     and report events/s + per-event latency [0 = off]\n"
@@ -135,6 +140,10 @@ int main(int argc, char** argv) {
   opt.schedule = sim::schedule_by_name(flags.get("schedule", "random"));
   opt.threads = static_cast<std::size_t>(flags.get_int("threads", 2));
   opt.loss_rate = flags.get_double("loss", 0.0);
+  // Anytime budget (DESIGN.md §14): round cap and/or wall-clock deadline.
+  const auto max_rounds = flags.get_int("max-rounds", -1);
+  if (max_rounds >= 0) opt.budget.max_rounds = static_cast<std::size_t>(max_rounds);
+  opt.budget.deadline_ms = flags.get_double("deadline-ms", 0.0);
   obs::Registry registry;
   opt.registry = &registry;
   // Construction parallelism is opt-in: only an explicit --threads arms the
@@ -168,7 +177,7 @@ int main(int argc, char** argv) {
   const auto& weights = *weights_opt;
 
   util::WallTimer timer;
-  const auto result = core::solve_with_weights(profile, weights, algo, opt);
+  const auto result = core::solve(profile, algo, opt, &weights);
   const double elapsed_ms = timer.millis();
 
   // Report.
@@ -209,6 +218,15 @@ int main(int argc, char** argv) {
                 opt.loss_rate);
   }
   if (!result.converged) std::printf("warning  : dynamics hit the step cap\n");
+  if (opt.budget.limited()) {
+    std::printf("anytime  : %s after %zu round%s (budget: %s)\n",
+                result.truncated ? "truncated" : "converged",
+                result.rounds_used, result.rounds_used == 1 ? "" : "s",
+                opt.budget.has_deadline()
+                    ? (opt.budget.limits_rounds() ? "rounds + deadline"
+                                                  : "deadline")
+                    : "rounds");
+  }
 
   // Optional churn session: replay random leave/join events against the
   // selected repair engine and report throughput + per-event latency.

@@ -52,6 +52,10 @@ void print_usage() {
       "                     repair on the writer thread)       [0]\n"
       "  --count-blocking   audit every published snapshot with an O(m)\n"
       "                     blocking-edge sweep (aborts unless 0)\n"
+      "  --deadline-ms=D    per-epoch publish deadline; overrunning epochs\n"
+      "                     publish the partial matching with its honest\n"
+      "                     blocking-edge gauge instead of stalling readers\n"
+      "                     (fractions allowed)                 [0 = off]\n"
       "output:\n"
       "  --metrics-out=FILE write an overmatch-metrics-v1 JSON document\n"
       "                     (validate/diff with tools/metrics_diff.py)\n"
@@ -125,6 +129,7 @@ int main(int argc, char** argv) {
   sopt.max_readers = std::max<std::size_t>(readers_n + 1,
                                            serve::MatchingStore::kDefaultMaxReaders);
   sopt.count_blocking = flags.has("count-blocking");
+  sopt.epoch_deadline_ms = flags.get_double("deadline-ms", 0.0);
   serve::ServiceLoop loop(profile, weights, sopt);
 
   if (!quiet) {
@@ -184,6 +189,7 @@ int main(int argc, char** argv) {
   // Writer: churn bursts until the deadline, tallying per-step latency.
   util::StreamingStats apply_us, publish_us;
   std::size_t batches = 0, events = 0, coalesced = 0;
+  std::size_t truncated_epochs = 0;
   util::WallTimer wall;
   const auto deadline =
       std::chrono::steady_clock::now() +
@@ -193,6 +199,7 @@ int main(int argc, char** argv) {
     ++batches;
     events += st.events;
     coalesced += st.coalesced;
+    if (st.truncated) ++truncated_epochs;
     apply_us.add(static_cast<double>(st.apply_ns) / 1e3);
     publish_us.add(static_cast<double>(st.publish_ns) / 1e3);
   }
@@ -233,6 +240,12 @@ int main(int argc, char** argv) {
       publish_us.max(), static_cast<unsigned long long>(loop.epoch()),
       loop.store().retired_count(), static_cast<unsigned long long>(queries),
       queries_per_s, pct(0.50), pct(0.99));
+  if (sopt.epoch_deadline_ms > 0.0) {
+    std::printf("anytime  : %zu/%zu epochs truncated by the %.3f ms publish "
+                "deadline (%zu repairs still pending)\n",
+                truncated_epochs, batches, sopt.epoch_deadline_ms,
+                loop.engine().pending_repairs());
+  }
 
   if (flags.has("metrics-out")) {
     obs::write_json_file(registry.snapshot(), "overmatch_serve",
