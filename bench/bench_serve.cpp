@@ -1,10 +1,13 @@
 // E22 — the epoch-snapshot serving layer under concurrent load
 // (DESIGN.md §13).
 //
-// Three views of overmatch_serve's core promise — readers never block on
+// Four views of overmatch_serve's core promise — readers never block on
 // repair:
 //  * publish_latency / apply_latency: per-step repair and snapshot-publish
 //    wall-clock on a size ladder (the writer-side cost of an epoch).
+//  * publish_delta: the same workload with snapshot capture forced to
+//    page-sharing delta (kOn) vs full rebuild (kOff) — the delta medians
+//    should be near-flat in n at fixed burst (DESIGN.md §15).
 //  * reader_query: throughput and latency of R reader threads running the
 //    neighbour-list + satisfaction query mix, first against an idle writer
 //    (baseline) and then while the writer sustains churn bursts. The
@@ -63,6 +66,51 @@ void publish_latency(bench::JsonReport& report) {
     t.cell(std::to_string(loop.epoch()));
   }
   t.print("per-step repair (apply) and snapshot-publish latency, er deg 8");
+}
+
+// The delta-vs-full arms of the same workload (DESIGN.md §15): identical
+// instance and burst stream, snapshot capture forced to delta (kOn) or to
+// full rebuild (kOff). The acceptance criteria read off this series: the
+// delta medians should be near-flat in n at fixed burst (O(touched pages)),
+// while the full medians scale with n + m.
+void publish_delta(bench::JsonReport& report) {
+  const std::vector<std::size_t> ladder =
+      bench::g_smoke ? std::vector<std::size_t>{400}
+                     : std::vector<std::size_t>{10'000, 100'000};
+  util::Table t({"n", "burst", "mode", "publish med ms", "dirty pages med"});
+  for (const std::size_t n : ladder) {
+    auto inst = bench::Instance::make("er", n, 8.0, 3, 42);
+    for (const auto* mode : {"delta", "full"}) {
+      serve::ServeOptions opts;
+      opts.churn_batch_mean = 64.0;
+      opts.seed = 9;
+      opts.delta_publish = std::string(mode) == "delta"
+                               ? serve::DeltaPublish::kOn
+                               : serve::DeltaPublish::kOff;
+      serve::ServiceLoop loop(*inst->profile, *inst->weights, opts);
+      const std::size_t steps = bench::g_smoke ? 20 : 200;
+      std::vector<double> pub_ms, dirty;
+      pub_ms.reserve(steps);
+      for (std::size_t k = 0; k < steps; ++k) {
+        const auto st = loop.step();
+        pub_ms.push_back(static_cast<double>(st.publish_ns) / 1e6);
+        if (st.delta) dirty.push_back(static_cast<double>(st.dirty_pages));
+      }
+      report.add("publish_delta",
+                 {{"topology", "er"},
+                  {"n", std::to_string(n)},
+                  {"burst", "64"},
+                  {"mode", mode}},
+                 pub_ms);
+      t.row();
+      t.cell(std::to_string(n));
+      t.cell("64");
+      t.cell(mode);
+      t.cell(util::percentile(pub_ms, 50.0), 4);
+      t.cell(dirty.empty() ? 0.0 : util::percentile(dirty, 50.0), 0);
+    }
+  }
+  t.print("snapshot publish: O(touched) delta capture vs full rebuild");
 }
 
 struct ReaderRun {
@@ -271,6 +319,8 @@ int main(int argc, char** argv) {
 
   std::printf("\n-- publish / apply latency --\n");
   publish_latency(report);
+  std::printf("\n-- delta vs full snapshot capture --\n");
+  publish_delta(report);
   std::printf("\n-- reader query throughput (idle vs churn writer) --\n");
   reader_throughput(report);
   std::printf("\n-- writer throughput under arrival models --\n");

@@ -106,13 +106,4 @@ struct SolveResult {
                                 const SolveOptions& options = {},
                                 const prefs::EdgeWeights* w = nullptr);
 
-/// Deprecated forwarder (one PR cycle, same pattern as the PR 4 run_lid
-/// collapse): weights are now an optional trailing pointer on solve().
-[[deprecated("use solve(profile, a, options, &w)")]] [[nodiscard]]
-inline SolveResult solve_with_weights(const prefs::PreferenceProfile& profile,
-                                      const prefs::EdgeWeights& w, Algorithm a,
-                                      const SolveOptions& options = {}) {
-  return solve(profile, a, options, &w);
-}
-
 }  // namespace overmatch::core

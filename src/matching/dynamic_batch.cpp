@@ -30,6 +30,10 @@
 // A sequential post-pass (batch_reconcile) then recomputes the bid-state
 // byte of each dirty edge from the slabs and replays matched-edge
 // transitions, so the derived state is exact regardless of interleaving.
+// Because every replayed transition goes through matched_add/matched_remove,
+// the last_changed_nodes/last_changed_edges dirty sets that delta snapshot
+// capture consumes (serve, DESIGN.md §15) are complete on this path too —
+// the parallel engine needs no dirty-tracking of its own.
 #include <atomic>
 #include <cstdint>
 #include <thread>

@@ -33,6 +33,7 @@ DynamicBSuitor::DynamicBSuitor(const prefs::EdgeWeights& w, const Quotas& quotas
       pending_attract_(w.graph().num_nodes(), 0),
       touch_epoch_(w.graph().num_nodes(), 0),
       changed_epoch_(w.graph().num_nodes(), 0),
+      edge_changed_epoch_(w.graph().num_edges(), 0),
       node_seen_(w.graph().num_nodes(), 0),
       node_final_(w.graph().num_nodes(), 0),
       edge_seen_(w.graph().num_edges(), 0),
@@ -85,12 +86,20 @@ void DynamicBSuitor::note_changed(NodeId v) {
   }
 }
 
+void DynamicBSuitor::note_changed_edge(EdgeId e) {
+  if (edge_changed_epoch_[e] != epoch_) {
+    edge_changed_epoch_[e] = epoch_;
+    changed_edges_.push_back(e);
+  }
+}
+
 void DynamicBSuitor::matched_add(EdgeId e) {
   m_.add(e);
   weight_ += w_->weight(e);
   ++last_.matched_added;
   note_changed(w_->graph().edge(e).u);
   note_changed(w_->graph().edge(e).v);
+  note_changed_edge(e);
 }
 
 void DynamicBSuitor::matched_remove(EdgeId e) {
@@ -99,6 +108,7 @@ void DynamicBSuitor::matched_remove(EdgeId e) {
   ++last_.matched_removed;
   note_changed(w_->graph().edge(e).u);
   note_changed(w_->graph().edge(e).v);
+  note_changed_edge(e);
 }
 
 void DynamicBSuitor::detach_bid(NodeId bidder, NodeId holder, EdgeId e) {
@@ -241,6 +251,7 @@ void DynamicBSuitor::drain(const core::Deadline& deadline) {
 void DynamicBSuitor::begin_event() {
   ++epoch_;
   changed_nodes_.clear();
+  changed_edges_.clear();
   last_ = RepairStats{};
 }
 
@@ -258,6 +269,7 @@ void DynamicBSuitor::on_node_leave(NodeId v) {
   const auto t0 = std::chrono::steady_clock::now();
   alive_[v] = 0;
   touch(v);
+  note_changed(v);  // alive flip: the leaver's own S_i drops to 0
   // Bids v held: each bidder lost a placed bid and re-seeks.
   std::vector<EdgeId> held;
   suitors_.for_each(v, [&held](EdgeId e) { held.push_back(e); });
@@ -290,6 +302,7 @@ void DynamicBSuitor::on_node_join(NodeId v) {
   const auto t0 = std::chrono::steady_clock::now();
   alive_[v] = 1;
   touch(v);
+  note_changed(v);  // alive flip: v re-enters the satisfaction aggregate
   OM_CHECK(suitors_.count(v) == 0 && placed_.count(v) == 0);
   queue_seek(v);     // v starts bidding
   queue_attract(v);  // v's free slots solicit bids (including upgrades)
@@ -311,6 +324,7 @@ void DynamicBSuitor::on_edge_change(NodeId i, NodeId j, bool present) {
     edge_off_[e] = 1;
     touch(i);
     touch(j);
+    note_changed_edge(e);
     for (const NodeId bidder : {i, j}) {
       if (!holds_bid_from(bidder, e)) continue;
       const NodeId holder = w_->graph().edge(e).other(bidder);
@@ -323,6 +337,7 @@ void DynamicBSuitor::on_edge_change(NodeId i, NodeId j, bool present) {
     edge_off_[e] = 0;
     touch(i);
     touch(j);
+    note_changed_edge(e);
     // The only new opportunity is e itself: either endpoint may now want to
     // bid across it (deficient, or upgrading over its weakest placed bid).
     for (const NodeId bidder : {i, j}) {
@@ -423,12 +438,14 @@ void DynamicBSuitor::batch_teardown() {
     if (node_final_[v] != 0) continue;
     alive_[v] = 0;
     touch(v);
+    note_changed(v);  // alive flip is reader-visible state
   }
   for (const EdgeId e : batch_edges_) {
     if (edge_final_[e] == 0) continue;
     edge_off_[e] = 1;
     touch(g.edge(e).u);
     touch(g.edge(e).v);
+    note_changed_edge(e);
   }
   // Phase 2: detach every invalidated bid and queue the union of repair
   // frontiers. Leavers first; a dead edge whose bid went down with a leaver
@@ -475,6 +492,7 @@ void DynamicBSuitor::batch_teardown() {
     if (node_final_[v] == 0) continue;
     alive_[v] = 1;
     touch(v);
+    note_changed(v);
     OM_CHECK(suitors_.count(v) == 0 && placed_.count(v) == 0);
     queue_seek(v);
     queue_attract(v);
@@ -485,6 +503,7 @@ void DynamicBSuitor::batch_teardown() {
     const auto& [i, j] = g.edge(e);
     touch(i);
     touch(j);
+    note_changed_edge(e);
     queue_seek(i);
     queue_attract(i);
     queue_seek(j);

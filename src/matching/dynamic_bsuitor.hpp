@@ -198,11 +198,22 @@ class DynamicBSuitor {
   [[nodiscard]] const Matching& matching() const noexcept { return m_; }
   /// Σ weight of matching(), maintained incrementally (O(1) per query).
   [[nodiscard]] double matched_weight() const noexcept { return weight_; }
-  /// Nodes whose matched connection set changed during the last event
-  /// (deduplicated). Lets callers update per-node derived state (e.g.
-  /// satisfaction) without an O(n) sweep.
+  /// Nodes whose reader-visible per-node state changed during the last
+  /// event (deduplicated): a matched-connection change *or* an alive flip.
+  /// Lets callers update per-node derived state (satisfaction caches, delta
+  /// snapshot pages) without an O(n) sweep.
   [[nodiscard]] const std::vector<NodeId>& last_changed_nodes() const noexcept {
     return changed_nodes_;
+  }
+  /// Edges whose reader-visible per-edge state changed during the last
+  /// event (deduplicated): matched-set membership or the enabled flag —
+  /// the per-edge dirty set delta snapshot capture rebuilds pages from
+  /// (serve::MatchingSnapshot::capture_delta, DESIGN.md §15). Every matched
+  /// transition funnels through matched_add/matched_remove — including the
+  /// frontier-parallel path, which replays transitions sequentially in
+  /// batch_reconcile — so the set is complete at every thread count.
+  [[nodiscard]] const std::vector<EdgeId>& last_changed_edges() const noexcept {
+    return changed_edges_;
   }
   [[nodiscard]] const RepairStats& last_repair() const noexcept { return last_; }
 
@@ -244,6 +255,7 @@ class DynamicBSuitor {
   void matched_add(EdgeId e);
   void matched_remove(EdgeId e);
   void note_changed(NodeId v);
+  void note_changed_edge(EdgeId e);
 
   // ---- batched application (apply_batch) --------------------------------
   /// Validates the burst in order and reduces it to net per-node/per-edge
@@ -292,6 +304,8 @@ class DynamicBSuitor {
   std::vector<std::uint64_t> touch_epoch_;
   std::vector<std::uint64_t> changed_epoch_;
   std::vector<NodeId> changed_nodes_;
+  std::vector<std::uint64_t> edge_changed_epoch_;
+  std::vector<EdgeId> changed_edges_;
   RepairStats last_;
 
   // Batch scratch: `seen` marks are cleared after each batch by walking the

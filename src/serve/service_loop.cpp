@@ -1,5 +1,7 @@
 #include "serve/service_loop.hpp"
 
+#include <limits>
+
 #include "obs/registry.hpp"
 #include "prefs/satisfaction.hpp"
 
@@ -13,10 +15,18 @@ namespace {
           .count());
 }
 
-/// Publish cost is dominated by the O(n + matched) snapshot capture;
-/// buckets span cache-resident small overlays to the n = 10^6 rung.
+/// Publish cost is O(dirty pages) on the delta path and O(n + m) on the
+/// full-capture path; buckets span both regimes up to the n = 10^6 rung.
 const std::vector<double> kPublishNsBuckets = {1e4, 1e5, 5e5, 1e6, 5e6,
                                                1e7, 5e7, 1e8, 1e9};
+
+/// EWMA step for the adaptive delta-vs-full cost estimates: slow enough to
+/// ride out scheduler noise, fast enough to track load shifts.
+constexpr double kCostEwmaAlpha = 0.2;
+
+[[nodiscard]] double ewma(double prev, double x) noexcept {
+  return prev == 0.0 ? x : (1.0 - kCostEwmaAlpha) * prev + kCostEwmaAlpha * x;
+}
 const std::vector<double> kApplyNsBuckets = {1e3, 1e4, 1e5, 5e5, 1e6,
                                              5e6, 1e7, 1e8, 1e9};
 
@@ -37,6 +47,11 @@ ServiceLoop::ServiceLoop(const prefs::PreferenceProfile& profile,
       coalesced_ctr_(obs::counter(options.registry, "serve.coalesced")),
       truncated_epochs_ctr_(
           obs::counter(options.registry, "serve.truncated_epochs")),
+      delta_publishes_ctr_(
+          obs::counter(options.registry, "serve.delta_publishes")),
+      full_publishes_ctr_(
+          obs::counter(options.registry, "serve.full_publishes")),
+      dirty_pages_ctr_(obs::counter(options.registry, "serve.dirty_pages")),
       epoch_gauge_(obs::gauge(options.registry, "serve.epoch")),
       pending_repairs_gauge_(
           obs::gauge(options.registry, "serve.pending_repairs")) {
@@ -57,24 +72,75 @@ void ServiceLoop::refresh_satisfaction(NodeId v) {
                           : 0.0;
 }
 
+std::size_t ServiceLoop::delta_page_budget() const noexcept {
+  switch (opts_.delta_publish) {
+    case DeltaPublish::kOff:
+      return 0;
+    case DeltaPublish::kOn:
+      return std::numeric_limits<std::size_t>::max();
+    case DeltaPublish::kAuto:
+      break;
+  }
+  // Break-even estimate: a delta capture costs ~dirty_pages × per-page
+  // cost, a rebuild ~ewma_full_ns_. Until both estimates exist (the first
+  // epoch seeds the full cost, the first delta the per-page cost), admit up
+  // to 85% dirty pages — delta's per-page work is the same page builder the
+  // rebuild runs, so it stays cheaper until the dirty fraction nears 1.
+  if (ewma_full_ns_ > 0.0 && ewma_delta_page_ns_ > 0.0) {
+    const double pages = ewma_full_ns_ / ewma_delta_page_ns_;
+    return pages < 1.0 ? 1 : static_cast<std::size_t>(pages);
+  }
+  const std::size_t total =
+      last_snap_ != nullptr ? last_snap_->page_count() : 0;
+  return (total * 85) / 100;
+}
+
 void ServiceLoop::publish_current() {
   const auto t0 = std::chrono::steady_clock::now();
   ++epoch_;
-  auto snap = MatchingSnapshot::capture(
-      dyn_, sat_, epoch_,
-      opts_.registry != nullptr ? opts_.registry->snapshot() : obs::Snapshot{});
+  obs::Snapshot metrics =
+      opts_.registry != nullptr ? opts_.registry->snapshot() : obs::Snapshot{};
+  std::unique_ptr<MatchingSnapshot> snap;
+  if (last_snap_ != nullptr && opts_.delta_publish != DeltaPublish::kOff) {
+    // `metrics` is passed by copy: a declined delta (nullptr) must leave it
+    // intact for the full-capture fallback.
+    snap = MatchingSnapshot::capture_delta(
+        *last_snap_, dyn_, sat_, dyn_.last_changed_nodes(),
+        dyn_.last_changed_edges(), epoch_, metrics, delta_page_budget());
+  }
+  last_delta_ = snap != nullptr;
+  if (!last_delta_) {
+    snap = MatchingSnapshot::capture(dyn_, sat_, epoch_, std::move(metrics));
+  }
+  const std::uint64_t capture_ns = elapsed_ns(t0);
+  last_dirty_pages_ = snap->delta_pages();
+  if (last_delta_) {
+    delta_publishes_ctr_.inc();
+    dirty_pages_ctr_.inc(last_dirty_pages_);
+    if (last_dirty_pages_ > 0) {
+      ewma_delta_page_ns_ =
+          ewma(ewma_delta_page_ns_, static_cast<double>(capture_ns) /
+                                        static_cast<double>(last_dirty_pages_));
+    }
+  } else {
+    full_publishes_ctr_.inc();
+    ewma_full_ns_ = ewma(ewma_full_ns_, static_cast<double>(capture_ns));
+  }
   if (dyn_.truncated()) {
     // Truncated epoch (publish deadline hit): the snapshot is a valid
     // b-matching short of the fixed point, so the zero-blocking audit does
     // not apply — publish the honest distance-from-convergence gauge
-    // instead. The O(m) sweep is paid only on overrun epochs, and readers
-    // are never stalled either way.
-    snap->blocking_edges_ = count_blocking_edges(*w_, *profile_, *snap);
+    // instead. The O(m) sweep is paid only on overrun epochs (on the repair
+    // pool when one is attached), and readers are never stalled either way.
+    snap->blocking_edges_ = count_blocking_edges(*w_, *profile_, *snap,
+                                                 blocking_scratch_, opts_.pool);
   } else if (opts_.count_blocking) {
-    snap->blocking_edges_ = count_blocking_edges(*w_, *profile_, *snap);
+    snap->blocking_edges_ = count_blocking_edges(*w_, *profile_, *snap,
+                                                 blocking_scratch_, opts_.pool);
     OM_CHECK_MSG(snap->blocking_edges_ == 0,
                  "published snapshot is not the greedy fixed point");
   }
+  last_snap_ = snap.get();
   store_.publish(std::move(snap));
   last_publish_ns_ = elapsed_ns(t0);
   publish_ns_hist_.observe(static_cast<double>(last_publish_ns_));
@@ -92,11 +158,13 @@ ServiceLoop::StepStats ServiceLoop::apply(
   dyn_.apply_batch(events, opts_.pool, core::Deadline(budget));
   const std::uint64_t apply_ns = elapsed_ns(t0);
 
+  // last_changed_nodes covers every node whose S_i can have moved: matched
+  // connection changes *and* alive flips (the engine notes leavers/joiners
+  // itself, so unmatched node events need no separate pass here). The same
+  // set drives which node pages the delta capture below rebuilds — the
+  // satisfaction refresh and the dirty-page set stay in lockstep by
+  // construction.
   for (const NodeId v : dyn_.last_changed_nodes()) refresh_satisfaction(v);
-  // Node events flip the leaver/joiner's own S_i even when unmatched.
-  for (const matching::ChurnEvent& ev : events) {
-    if (ev.is_node_event()) refresh_satisfaction(ev.u);
-  }
   publish_current();
 
   StepStats st;
@@ -107,6 +175,8 @@ ServiceLoop::StepStats ServiceLoop::apply(
   st.publish_ns = last_publish_ns_;
   st.truncated = dyn_.truncated();
   st.pending_repairs = dyn_.pending_repairs();
+  st.delta = last_delta_;
+  st.dirty_pages = last_dirty_pages_;
   batches_ctr_.inc();
   events_ctr_.inc(st.events);
   coalesced_ctr_.inc(st.coalesced);

@@ -28,6 +28,14 @@
 
 namespace overmatch::serve {
 
+/// How each epoch's snapshot is captured (DESIGN.md §15).
+enum class DeltaPublish {
+  kOff,   ///< full O(n + m) capture every epoch (the pre-delta behavior)
+  kOn,    ///< delta capture whenever a predecessor exists, however dirty
+  kAuto,  ///< delta capture with an adaptive fall-back to full capture when
+          ///< the dirty page count makes a rebuild cheaper (default)
+};
+
 struct ServeOptions {
   /// Burst arrival process and mean size for the built-in traffic source
   /// (run_for / step; apply() takes caller bursts and ignores these).
@@ -46,6 +54,11 @@ struct ServeOptions {
   /// Audit every published snapshot with an O(m) blocking-edge sweep
   /// (aborts unless 0). Debug/test aid; leave off in latency runs.
   bool count_blocking = false;
+  /// Snapshot capture mode. kAuto publishes O(touched) delta snapshots and
+  /// falls back to a full rebuild on the first epoch and whenever the
+  /// dirty-page count exceeds the adaptive break-even estimate (maintained
+  /// from observed full-capture and per-dirty-page delta costs).
+  DeltaPublish delta_publish = DeltaPublish::kAuto;
   /// Per-epoch publish deadline in milliseconds (0 = none). When repair of a
   /// burst overruns, the epoch publishes the *partial* matching anyway — a
   /// valid b-matching with its honest blocking-edge gauge — instead of
@@ -72,6 +85,8 @@ class ServiceLoop {
     std::uint64_t publish_ns = 0;  ///< snapshot capture + publish wall-clock
     bool truncated = false;        ///< epoch published before repair finished
     std::size_t pending_repairs = 0;  ///< repair tokens deferred to later epochs
+    bool delta = false;            ///< epoch published via delta capture
+    std::size_t dirty_pages = 0;   ///< pages rebuilt by a delta capture
   };
 
   /// Applies one caller-supplied burst and publishes the repaired state.
@@ -116,6 +131,7 @@ class ServiceLoop {
  private:
   void refresh_satisfaction(NodeId v);
   void publish_current();
+  [[nodiscard]] std::size_t delta_page_budget() const noexcept;
 
   const prefs::PreferenceProfile* profile_;
   const prefs::EdgeWeights* w_;
@@ -127,11 +143,27 @@ class ServiceLoop {
   std::uint64_t epoch_ = 0;
   std::atomic<bool> stop_{false};
   std::uint64_t last_publish_ns_ = 0;
+  bool last_delta_ = false;
+  std::size_t last_dirty_pages_ = 0;
+  /// Predecessor of the next capture: the snapshot the store currently
+  /// serves (this loop is its only publisher). Raw pointer is safe — the
+  /// store keeps it alive until the next publish, and any pages the next
+  /// delta capture shares are pinned by their own refcounts after that.
+  const MatchingSnapshot* last_snap_ = nullptr;
+  /// Adaptive delta-vs-full estimates (EWMA, ns): a delta capture is
+  /// declined once its predicted cost (dirty pages × per-page cost) exceeds
+  /// the predicted full-capture cost. See delta_page_budget().
+  double ewma_full_ns_ = 0.0;
+  double ewma_delta_page_ns_ = 0.0;
+  BlockingScratch blocking_scratch_;  ///< reused by the per-publish audits
 
   obs::Counter batches_ctr_;
   obs::Counter events_ctr_;
   obs::Counter coalesced_ctr_;
   obs::Counter truncated_epochs_ctr_;
+  obs::Counter delta_publishes_ctr_;
+  obs::Counter full_publishes_ctr_;
+  obs::Counter dirty_pages_ctr_;
   obs::Gauge epoch_gauge_;
   obs::Gauge pending_repairs_gauge_;
   obs::Histogram apply_ns_hist_;

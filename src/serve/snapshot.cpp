@@ -1,13 +1,177 @@
 #include "serve/snapshot.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <limits>
+#include <type_traits>
 
 #include "matching/dynamic_bsuitor.hpp"
 #include "prefs/preference_profile.hpp"
 #include "prefs/weights.hpp"
+#include "util/thread_pool.hpp"
 
 namespace overmatch::serve {
+namespace detail {
+namespace {
+
+/// Process-wide live-page counters (atomic only because the leak tests read
+/// them from the test thread while stores on other threads may exist).
+std::atomic<std::size_t> g_live_node_pages{0};
+std::atomic<std::size_t> g_live_edge_pages{0};
+
+/// Neumaier-compensated running sum. Both capture paths fold satisfaction
+/// through this accumulator in the same order (slot order within a page,
+/// page order across pages), which is what makes the delta-captured
+/// satisfaction_total bit-identical to a full capture's.
+struct NeumaierSum {
+  double s = 0.0;
+  double c = 0.0;
+  void add(double x) noexcept {
+    const double t = s + x;
+    if (std::abs(s) >= std::abs(x)) {
+      c += (s - t) + x;
+    } else {
+      c += (x - t) + s;
+    }
+    s = t;
+  }
+  [[nodiscard]] double value() const noexcept { return s + c; }
+};
+
+/// Builds the NodePage covering nodes [page·16, min(page·16 + 16, n)) from
+/// the engine's current state. The ONLY producer of node pages — full and
+/// delta capture both call it, so a rebuilt page is bit-identical to the
+/// page a full capture would have produced.
+NodePage* build_node_page(const matching::DynamicBSuitor& dyn,
+                          std::span<const double> satisfaction,
+                          std::size_t page) {
+  const matching::Matching& m = dyn.matching();
+  const std::size_t n = satisfaction.size();
+  const std::size_t base = page << kNodePageShift;
+  const std::size_t end = std::min(base + kNodePageSize, n);
+  const auto alive = dyn.alive_flags();
+
+  auto* p = new NodePage();
+  g_live_node_pages.fetch_add(1, std::memory_order_relaxed);
+  std::size_t total = 0;
+  for (std::size_t v = base; v < end; ++v) total += m.load(static_cast<NodeId>(v));
+  p->partners.reserve(total);
+  NeumaierSum sat_sum;
+  for (std::size_t v = base; v < end; ++v) {
+    const std::size_t s = v - base;
+    p->loff[s] = static_cast<std::uint32_t>(p->partners.size());
+    const auto conns = m.connections(static_cast<NodeId>(v));
+    p->partners.insert(p->partners.end(), conns.begin(), conns.end());
+    // Canonical partner order: ascending by partner id (connections() is
+    // insertion-ordered and must not leak execution history into the
+    // reader-visible snapshot).
+    std::sort(p->partners.begin() + p->loff[s], p->partners.end());
+    p->alive[s] = alive[v];
+    p->online += alive[v];
+    p->sat[s] = satisfaction[v];
+    sat_sum.add(satisfaction[v]);
+  }
+  for (std::size_t s = end - base; s <= kNodePageSize; ++s) {
+    p->loff[s] = static_cast<std::uint32_t>(p->partners.size());
+  }
+  p->sat_sum = sat_sum.value();
+  return p;
+}
+
+/// Builds the EdgePage covering edges [page·64, min(page·64 + 64, m)). The
+/// page's matched list is produced by scanning the id range in order, so it
+/// is sorted by construction — the global sorted matched-edge list is the
+/// page concatenation and no capture ever sorts more than a dirty page.
+EdgePage* build_edge_page(const matching::DynamicBSuitor& dyn,
+                          std::size_t page) {
+  const matching::Matching& m = dyn.matching();
+  const std::size_t num_edges = dyn.edge_off_flags().size();
+  const std::size_t base = page << kEdgePageShift;
+  const std::size_t end = std::min(base + kEdgePageSize, num_edges);
+  const auto off = dyn.edge_off_flags();
+
+  auto* p = new EdgePage();
+  g_live_edge_pages.fetch_add(1, std::memory_order_relaxed);
+  std::memcpy(p->off, off.data() + base, end - base);
+  for (std::size_t e = base; e < end; ++e) {
+    if (m.contains(static_cast<EdgeId>(e))) {
+      p->matched.push_back(static_cast<EdgeId>(e));
+    }
+  }
+  return p;
+}
+
+void release(NodePage* p) noexcept {
+  if (--p->refs == 0) {
+    delete p;
+    g_live_node_pages.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void release(EdgePage* p) noexcept {
+  if (--p->refs == 0) {
+    delete p;
+    g_live_edge_pages.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+/// Distinct page indices covering `ids`, ascending. `scratch` is reused.
+template <typename Id>
+void dirty_pages_of(std::span<const Id> ids, std::size_t shift,
+                    std::vector<std::uint32_t>& scratch) {
+  scratch.clear();
+  scratch.reserve(ids.size());
+  for (const Id id : ids) {
+    scratch.push_back(static_cast<std::uint32_t>(id >> shift));
+  }
+  std::sort(scratch.begin(), scratch.end());
+  scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+}
+
+}  // namespace
+
+std::size_t live_node_pages() noexcept {
+  return g_live_node_pages.load(std::memory_order_acquire);
+}
+std::size_t live_edge_pages() noexcept {
+  return g_live_edge_pages.load(std::memory_order_acquire);
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Global aggregates from the page tables, in page order (see NeumaierSum).
+/// Shared by full capture (sole source) and delta capture (bit-identity of
+/// satisfaction_total, plus the debug cross-check of the incrementally
+/// maintained integer aggregates). O(#pages) = O(n/16 + m/64) — float adds,
+/// not element copies, so it is never the dominant capture term.
+struct PageAggregates {
+  std::size_t online = 0;
+  std::size_t matched = 0;
+  double sat_total = 0.0;
+};
+
+PageAggregates combine_pages(const std::vector<detail::NodePage*>& node_pages,
+                             const std::vector<detail::EdgePage*>& edge_pages) {
+  PageAggregates agg;
+  detail::NeumaierSum sat;
+  for (const detail::NodePage* p : node_pages) {
+    agg.online += p->online;
+    sat.add(p->sat_sum);
+  }
+  agg.sat_total = sat.value();
+  for (const detail::EdgePage* p : edge_pages) agg.matched += p->matched.size();
+  return agg;
+}
+
+}  // namespace
+
+MatchingSnapshot::~MatchingSnapshot() {
+  for (detail::NodePage* p : node_pages_) detail::release(p);
+  for (detail::EdgePage* p : edge_pages_) detail::release(p);
+}
 
 std::unique_ptr<MatchingSnapshot> MatchingSnapshot::capture(
     const matching::DynamicBSuitor& dyn, std::span<const double> satisfaction,
@@ -21,73 +185,218 @@ std::unique_ptr<MatchingSnapshot> MatchingSnapshot::capture(
   MatchingSnapshot& snap = *out;
   snap.epoch_ = epoch;
   snap.metrics_ = std::move(metrics);
+  snap.n_ = n;
+  snap.m_ = g.num_edges();
   snap.weight_ = dyn.matched_weight();
 
-  const auto alive = dyn.alive_flags();
-  const auto edge_off = dyn.edge_off_flags();
-  snap.alive_.assign(alive.begin(), alive.end());
-  snap.edge_off_.assign(edge_off.begin(), edge_off.end());
-  snap.online_ = static_cast<std::size_t>(
-      std::count(snap.alive_.begin(), snap.alive_.end(), std::uint8_t{1}));
-
-  snap.edges_.assign(m.edges().begin(), m.edges().end());
-  std::sort(snap.edges_.begin(), snap.edges_.end());
-
-  // Matched neighbour lists in CSR: one prefix-sum over loads, one fill.
-  snap.offsets_.resize(n + 1, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    snap.offsets_[v + 1] = snap.offsets_[v] + m.load(v);
+  const std::size_t node_pages = (n + kNodePageSize - 1) >> kNodePageShift;
+  const std::size_t edge_pages =
+      (snap.m_ + kEdgePageSize - 1) >> kEdgePageShift;
+  snap.node_pages_.reserve(node_pages);
+  snap.edge_pages_.reserve(edge_pages);
+  for (std::size_t p = 0; p < node_pages; ++p) {
+    detail::NodePage* np = detail::build_node_page(dyn, satisfaction, p);
+    np->refs = 1;
+    snap.node_pages_.push_back(np);
   }
-  snap.partners_.resize(snap.offsets_[n]);
-  std::vector<std::uint32_t> cursor(snap.offsets_.begin(),
-                                    snap.offsets_.end() - 1);
-  for (const EdgeId e : snap.edges_) {
-    const auto& [u, v] = g.edge(e);
-    snap.partners_[cursor[u]++] = v;
-    snap.partners_[cursor[v]++] = u;
+  for (std::size_t p = 0; p < edge_pages; ++p) {
+    detail::EdgePage* ep = detail::build_edge_page(dyn, p);
+    ep->refs = 1;
+    snap.edge_pages_.push_back(ep);
   }
 
-  snap.satisfaction_.assign(satisfaction.begin(), satisfaction.end());
-  snap.sat_total_ = 0.0;
-  for (const double s : snap.satisfaction_) snap.sat_total_ += s;
+  const PageAggregates agg = combine_pages(snap.node_pages_, snap.edge_pages_);
+  snap.online_ = agg.online;
+  snap.matched_count_ = agg.matched;
+  snap.sat_total_ = agg.sat_total;
   return out;
 }
 
-std::size_t count_blocking_edges(const prefs::EdgeWeights& w,
-                                 const prefs::PreferenceProfile& profile,
-                                 const MatchingSnapshot& snap) {
+std::unique_ptr<MatchingSnapshot> MatchingSnapshot::capture_delta(
+    const MatchingSnapshot& prev, const matching::DynamicBSuitor& dyn,
+    std::span<const double> satisfaction, std::span<const NodeId> dirty_nodes,
+    std::span<const EdgeId> dirty_edges, std::uint64_t epoch,
+    obs::Snapshot metrics, std::size_t max_dirty_pages) {
+  OM_CHECK_MSG(satisfaction.size() == prev.n_,
+               "satisfaction span must cover all nodes");
+  // Dirty page sets first — the decline check must run before anything is
+  // built or any refcount moves, so a nullptr return leaves no trace.
+  std::vector<std::uint32_t> dirty_np;
+  std::vector<std::uint32_t> dirty_ep;
+  detail::dirty_pages_of(dirty_nodes, kNodePageShift, dirty_np);
+  detail::dirty_pages_of(dirty_edges, kEdgePageShift, dirty_ep);
+  if (dirty_np.size() + dirty_ep.size() > max_dirty_pages) return nullptr;
+
+  auto out = std::unique_ptr<MatchingSnapshot>(new MatchingSnapshot());
+  MatchingSnapshot& snap = *out;
+  snap.epoch_ = epoch;
+  snap.metrics_ = std::move(metrics);
+  snap.n_ = prev.n_;
+  snap.m_ = prev.m_;
+  snap.weight_ = dyn.matched_weight();
+  snap.delta_pages_ = dirty_np.size() + dirty_ep.size();
+
+  // Share every page with the predecessor, then swap in rebuilt copies of
+  // the dirty ones. The integer aggregates are maintained incrementally
+  // from the per-page deltas (exact — no float drift possible).
+  snap.node_pages_ = prev.node_pages_;
+  snap.edge_pages_ = prev.edge_pages_;
+  for (detail::NodePage* p : snap.node_pages_) ++p->refs;
+  for (detail::EdgePage* p : snap.edge_pages_) ++p->refs;
+  snap.online_ = prev.online_;
+  snap.matched_count_ = prev.matched_count_;
+  for (const std::uint32_t pi : dirty_np) {
+    detail::NodePage* np = detail::build_node_page(dyn, satisfaction, pi);
+    np->refs = 1;
+    detail::NodePage* old = snap.node_pages_[pi];
+    snap.online_ -= old->online;
+    snap.online_ += np->online;
+    snap.node_pages_[pi] = np;
+    detail::release(old);
+  }
+  for (const std::uint32_t pi : dirty_ep) {
+    detail::EdgePage* ep = detail::build_edge_page(dyn, pi);
+    ep->refs = 1;
+    detail::EdgePage* old = snap.edge_pages_[pi];
+    snap.matched_count_ -= old->matched.size();
+    snap.matched_count_ += ep->matched.size();
+    snap.edge_pages_[pi] = ep;
+    detail::release(old);
+  }
+  // satisfaction_total is *combined*, not incremented: compensated page
+  // sums re-folded in page order are bit-identical to the full-capture
+  // fold, which an incremental subtract/add of a compensated total is not.
+  detail::NeumaierSum sat;
+  for (const detail::NodePage* p : snap.node_pages_) sat.add(p->sat_sum);
+  snap.sat_total_ = sat.value();
+
+#ifndef NDEBUG
+  // Debug cross-check: the incrementally maintained aggregates must equal a
+  // full recompute over the page tables.
+  const PageAggregates agg = combine_pages(snap.node_pages_, snap.edge_pages_);
+  OM_CHECK_MSG(agg.online == snap.online_,
+               "delta capture drifted from the page online count");
+  OM_CHECK_MSG(agg.matched == snap.matched_count_,
+               "delta capture drifted from the page matched count");
+  OM_CHECK(agg.sat_total == snap.sat_total_);
+#endif
+  return out;
+}
+
+const std::vector<EdgeId>& MatchingSnapshot::matched_edges() const {
+  std::call_once(edges_once_, [this] {
+    edges_flat_.reserve(matched_count_);
+    for (const detail::EdgePage* p : edge_pages_) {
+      edges_flat_.insert(edges_flat_.end(), p->matched.begin(),
+                         p->matched.end());
+    }
+  });
+  return edges_flat_;
+}
+
+bool MatchingSnapshot::edge_matched(EdgeId e) const {
+  OM_CHECK(e < m_);
+  const detail::EdgePage& p = *edge_pages_[e >> kEdgePageShift];
+  return std::binary_search(p.matched.begin(), p.matched.end(), e);
+}
+
+std::size_t count_blocking_edges_impl(const prefs::EdgeWeights& w,
+                                      const prefs::PreferenceProfile& profile,
+                                      const MatchingSnapshot& snap,
+                                      BlockingScratch& scratch,
+                                      util::ThreadPool* pool) {
+  static_assert(std::is_same_v<prefs::EdgeWeights::Key, std::uint64_t>,
+                "BlockingScratch::weakest mirrors EdgeWeights::Key");
   const graph::Graph& g = w.graph();
   const std::size_t n = g.num_nodes();
   OM_CHECK(snap.num_nodes() == n);
 
   // Weakest matched key per node (max key = lightest edge; kNone when the
-  // node has a free slot, which admits anything).
+  // node has a free slot, which admits anything). assign() reuses the
+  // scratch capacity — no allocation after the first call.
   constexpr auto kNone = std::numeric_limits<prefs::EdgeWeights::Key>::max();
-  std::vector<prefs::EdgeWeights::Key> weakest(n, kNone);
-  std::vector<std::uint32_t> load(n, 0);
-  for (const EdgeId e : snap.matched_edges()) {
-    const auto& [u, v] = g.edge(e);
-    for (const NodeId x : {u, v}) {
-      ++load[x];
-      if (weakest[x] == kNone || w.key(e) > weakest[x]) weakest[x] = w.key(e);
+  scratch.weakest.assign(n, kNone);
+  scratch.load.assign(n, 0);
+  for (const detail::EdgePage* p : snap.edge_pages_) {
+    for (const EdgeId e : p->matched) {
+      const auto& [u, v] = g.edge(e);
+      for (const NodeId x : {u, v}) {
+        ++scratch.load[x];
+        if (scratch.weakest[x] == kNone || w.key(e) > scratch.weakest[x]) {
+          scratch.weakest[x] = w.key(e);
+        }
+      }
     }
   }
   const auto wants = [&](NodeId x, EdgeId e) {
-    if (load[x] < profile.quota(x)) return true;
-    return profile.quota(x) > 0 && w.key(e) < weakest[x];
+    if (scratch.load[x] < profile.quota(x)) return true;
+    return profile.quota(x) > 0 && w.key(e) < scratch.weakest[x];
+  };
+  // Matched edges are skipped with a merge walk over each page's sorted
+  // matched list — the per-call O(m) matched bitmap is gone.
+  const auto sweep_page = [&](const detail::EdgePage& p, std::size_t base,
+                              std::size_t end) {
+    std::size_t blocking = 0;
+    std::size_t mi = 0;
+    for (std::size_t e = base; e < end; ++e) {
+      const auto id = static_cast<EdgeId>(e);
+      if (mi < p.matched.size() && p.matched[mi] == id) {
+        ++mi;
+        continue;
+      }
+      if (p.off[e - base] != 0) continue;
+      const auto& [u, v] = g.edge(id);
+      if (!snap.alive(u) || !snap.alive(v)) continue;
+      if (wants(u, id) && wants(v, id)) ++blocking;
+    }
+    return blocking;
   };
 
-  std::vector<std::uint8_t> matched(g.num_edges(), 0);
-  for (const EdgeId e : snap.matched_edges()) matched[e] = 1;
-
-  std::size_t blocking = 0;
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    if (matched[e] != 0 || !snap.edge_enabled(e)) continue;
-    const auto& [u, v] = g.edge(e);
-    if (!snap.alive(u) || !snap.alive(v)) continue;
-    if (wants(u, e) && wants(v, e)) ++blocking;
+  const std::size_t pages = snap.edge_pages_.size();
+  if (pool == nullptr || pool->size() == 0 || pages < 4) {
+    std::size_t blocking = 0;
+    for (std::size_t pi = 0; pi < pages; ++pi) {
+      const std::size_t base = pi << kEdgePageShift;
+      blocking += sweep_page(*snap.edge_pages_[pi], base,
+                             std::min(base + kEdgePageSize, snap.num_edges()));
+    }
+    return blocking;
   }
+  // Pooled sweep for the truncated-epoch audit: per-chunk partial counts,
+  // summed on the caller — an exact integer regardless of chunking.
+  constexpr std::size_t kMinPagesPerChunk = 16;
+  scratch.chunk_counts.assign(pool->num_chunks(pages, kMinPagesPerChunk), 0);
+  pool->parallel_for_chunks(
+      pages,
+      [&](std::size_t chunk, std::size_t first, std::size_t last) {
+        std::size_t blocking = 0;
+        for (std::size_t pi = first; pi < last; ++pi) {
+          const std::size_t base = pi << kEdgePageShift;
+          blocking +=
+              sweep_page(*snap.edge_pages_[pi], base,
+                         std::min(base + kEdgePageSize, snap.num_edges()));
+        }
+        scratch.chunk_counts[chunk] = blocking;
+      },
+      kMinPagesPerChunk);
+  std::size_t blocking = 0;
+  for (const std::size_t c : scratch.chunk_counts) blocking += c;
   return blocking;
+}
+
+std::size_t count_blocking_edges(const prefs::EdgeWeights& w,
+                                 const prefs::PreferenceProfile& profile,
+                                 const MatchingSnapshot& snap,
+                                 BlockingScratch& scratch,
+                                 util::ThreadPool* pool) {
+  return count_blocking_edges_impl(w, profile, snap, scratch, pool);
+}
+
+std::size_t count_blocking_edges(const prefs::EdgeWeights& w,
+                                 const prefs::PreferenceProfile& profile,
+                                 const MatchingSnapshot& snap) {
+  BlockingScratch scratch;
+  return count_blocking_edges_impl(w, profile, snap, scratch, nullptr);
 }
 
 }  // namespace overmatch::serve

@@ -4,15 +4,35 @@
 // The serving layer (DESIGN.md §13) never hands readers the live
 // DynamicBSuitor state: the writer captures a plain-value snapshot after
 // each repaired churn burst and publishes it through the MatchingStore's
-// epoch-pinned pointer swap. A snapshot therefore carries everything a
-// query needs with zero back-references to mutable state:
-//  * the matched neighbour lists in CSR layout (one offsets array + one
-//    flat partner array — the same cache-adjacent shape the Graph uses),
+// epoch-pinned pointer swap. A snapshot carries everything a query needs
+// with zero back-references to mutable state:
+//  * the matched neighbour lists in CSR layout,
 //  * per-node satisfaction S_i and the Σ S_i total,
 //  * the matched edge set (sorted) and its total weight,
 //  * the alive/edge-disabled configuration the matching is the fixed point
 //    of (what consistency checks recompute from), and
 //  * a point-in-time obs::Snapshot of the service registry.
+//
+// Storage is *paged with structural sharing* (DESIGN.md §15): the per-node
+// arrays live in fixed-size refcounted NodePages (16 nodes: satisfaction,
+// alive flags, a local CSR of matched partners) and the per-edge arrays in
+// EdgePages (64 edges: disabled flags plus the page's sorted matched-edge
+// list). A snapshot is two page-pointer tables plus aggregates. Full
+// capture builds every page; *delta* capture (capture_delta) clones only
+// the pages containing nodes/edges the engine dirtied since the
+// predecessor snapshot and shares every clean page with it — O(touched)
+// instead of O(n + m) on the writer's critical path. Both paths construct
+// each page with the same builder over the same engine state, so a delta
+// snapshot is bit-identical to a full capture of the same epoch (the
+// twin-capture test matrix in tests/serve/test_delta.cpp asserts this).
+//
+// Page lifetime: pages are freed by snapshot destruction when their
+// refcount drops to zero — i.e. when the last snapshot referencing them
+// retires through the MatchingStore protocol. Page refcounts are plain
+// (non-atomic) integers: they are only touched at capture time and at
+// snapshot destruction, and both happen exclusively on the writer thread
+// (the store's single-writer publish/reclaim contract). Readers pin whole
+// snapshots via the store's atomic protocol and never see a page refcount.
 //
 // Staleness is safe by construction: under the strict total weight order
 // the greedy fixed point of a given (alive, enabled) configuration is
@@ -25,6 +45,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -40,60 +61,144 @@ class EdgeWeights;
 namespace overmatch::matching {
 class DynamicBSuitor;
 }
+namespace overmatch::util {
+class ThreadPool;
+}
 
 namespace overmatch::serve {
 
 using graph::EdgeId;
 using graph::NodeId;
 
+/// Page geometry. Pages are deliberately small: a burst of b churn events
+/// dirties O(b · cascade) *scattered* nodes regardless of n, so large pages
+/// would be almost all dirty at serving burst sizes and delta capture would
+/// degenerate to a rebuild. 16-node / 64-edge pages keep the dirty page
+/// count proportional to the dirty element count.
+inline constexpr std::size_t kNodePageShift = 4;
+inline constexpr std::size_t kNodePageSize = std::size_t{1} << kNodePageShift;
+inline constexpr std::size_t kEdgePageShift = 6;
+inline constexpr std::size_t kEdgePageSize = std::size_t{1} << kEdgePageShift;
+
+namespace detail {
+
+/// One 16-node slice of the per-node snapshot state. Immutable once built;
+/// shared across snapshots via `refs` (writer-thread-only, see file top).
+struct NodePage {
+  double sat[kNodePageSize] = {};
+  /// Local CSR offsets into `partners`; slot s of this page owns
+  /// [loff[s], loff[s+1]). Partner lists are sorted ascending by partner id
+  /// (the canonical order both capture paths produce).
+  std::uint32_t loff[kNodePageSize + 1] = {};
+  std::uint8_t alive[kNodePageSize] = {};
+  std::uint32_t online = 0;  ///< Σ alive over the page's nodes
+  /// Neumaier-compensated Σ sat over the page, in slot order. The global
+  /// satisfaction_total combines these per-page sums in page order, so the
+  /// total is bit-identical whether a page was rebuilt or shared.
+  double sat_sum = 0.0;
+  std::uint32_t refs = 0;  ///< writer-thread only (capture / destruction)
+  std::vector<NodeId> partners;
+};
+
+/// One 64-edge slice: disabled flags + the page's matched edges (ascending;
+/// the global sorted matched-edge list is the concatenation over pages, so
+/// delta capture never re-sorts anything outside dirtied pages).
+struct EdgePage {
+  std::uint8_t off[kEdgePageSize] = {};  ///< 1 = disabled
+  std::uint32_t refs = 0;                ///< writer-thread only
+  std::vector<EdgeId> matched;
+};
+
+/// Live page counts (all snapshots, all stores) — the leak oracle for the
+/// page-sharing tests: zero after every store is torn down.
+[[nodiscard]] std::size_t live_node_pages() noexcept;
+[[nodiscard]] std::size_t live_edge_pages() noexcept;
+
+}  // namespace detail
+
+/// Total live pages across the process; 0 once every snapshot is destroyed.
+[[nodiscard]] inline std::size_t live_page_count() noexcept {
+  return detail::live_node_pages() + detail::live_edge_pages();
+}
+
 class MatchingSnapshot {
  public:
-  /// Captures the current state of `dyn` as epoch `epoch`. `satisfaction`
-  /// must hold per-node S_i for every node (offline nodes contribute 0);
-  /// the writer maintains it incrementally from last_changed_nodes so the
-  /// capture itself is a copy, not an O(n · quota) recompute. `metrics`
-  /// is moved in (pass {} when no registry is attached). Heap-allocated
-  /// because the intrusive refcount pins the object's address for life.
+  /// Captures the current state of `dyn` as epoch `epoch`, building every
+  /// page (full capture — the first epoch and the delta fallback).
+  /// `satisfaction` must hold per-node S_i for every node (offline nodes
+  /// contribute 0); the writer maintains it incrementally from
+  /// last_changed_nodes so the capture itself is a copy, not an
+  /// O(n · quota) recompute. `metrics` is moved in (pass {} when no
+  /// registry is attached). Heap-allocated because the intrusive refcount
+  /// pins the object's address for life.
   static std::unique_ptr<MatchingSnapshot> capture(
       const matching::DynamicBSuitor& dyn, std::span<const double> satisfaction,
       std::uint64_t epoch, obs::Snapshot metrics);
 
-  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
-  [[nodiscard]] std::size_t num_nodes() const noexcept {
-    return offsets_.size() - 1;
-  }
+  /// Incremental capture: rebuilds only the pages containing `dirty_nodes` /
+  /// `dirty_edges` (the engine's last_changed_nodes / last_changed_edges —
+  /// every node whose partner list, alive flag, or satisfaction changed and
+  /// every edge whose enabled flag or matched membership changed since
+  /// `prev` was captured) and shares all other pages with `prev`. Returns
+  /// nullptr — having built nothing — when more than `max_dirty_pages`
+  /// pages would need rebuilding; the caller then falls back to capture().
+  /// Must run on the writer thread while `prev` is still the store's
+  /// current snapshot (page refcounts are non-atomic; see file top).
+  static std::unique_ptr<MatchingSnapshot> capture_delta(
+      const MatchingSnapshot& prev, const matching::DynamicBSuitor& dyn,
+      std::span<const double> satisfaction, std::span<const NodeId> dirty_nodes,
+      std::span<const EdgeId> dirty_edges, std::uint64_t epoch,
+      obs::Snapshot metrics, std::size_t max_dirty_pages);
 
-  /// Matched partners of v (the neighbour-list query; CSR slice).
+  ~MatchingSnapshot();
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return m_; }
+
+  /// Matched partners of v, ascending by partner id (the neighbour-list
+  /// query; a slice of v's page-local CSR).
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
-    OM_CHECK(v + 1 < offsets_.size());
-    return {partners_.data() + offsets_[v], partners_.data() + offsets_[v + 1]};
+    OM_CHECK(v < n_);
+    const detail::NodePage& p = *node_pages_[v >> kNodePageShift];
+    const std::size_t s = v & (kNodePageSize - 1);
+    return {p.partners.data() + p.loff[s], p.partners.data() + p.loff[s + 1]};
   }
   [[nodiscard]] std::uint32_t load(NodeId v) const {
-    OM_CHECK(v + 1 < offsets_.size());
-    return offsets_[v + 1] - offsets_[v];
+    OM_CHECK(v < n_);
+    const detail::NodePage& p = *node_pages_[v >> kNodePageShift];
+    const std::size_t s = v & (kNodePageSize - 1);
+    return p.loff[s + 1] - p.loff[s];
   }
   [[nodiscard]] double satisfaction(NodeId v) const {
-    OM_CHECK(v < satisfaction_.size());
-    return satisfaction_[v];
+    OM_CHECK(v < n_);
+    return node_pages_[v >> kNodePageShift]->sat[v & (kNodePageSize - 1)];
   }
   [[nodiscard]] double satisfaction_total() const noexcept { return sat_total_; }
   [[nodiscard]] double matched_weight() const noexcept { return weight_; }
+  [[nodiscard]] std::size_t matched_count() const noexcept {
+    return matched_count_;
+  }
 
   /// Matched edge ids, ascending (set semantics; the consistency oracle
   /// compares this against a from-scratch solve of the same configuration).
-  [[nodiscard]] const std::vector<EdgeId>& matched_edges() const noexcept {
-    return edges_;
-  }
+  /// Materialized lazily from the per-page lists on first call (thread-safe;
+  /// concurrent readers block only on the one-time flatten, never on the
+  /// writer) — the epoch-rate queries below stay wait-free.
+  [[nodiscard]] const std::vector<EdgeId>& matched_edges() const;
 
   /// The configuration this matching is the fixed point of.
   [[nodiscard]] bool alive(NodeId v) const {
-    OM_CHECK(v < alive_.size());
-    return alive_[v] != 0;
+    OM_CHECK(v < n_);
+    return node_pages_[v >> kNodePageShift]->alive[v & (kNodePageSize - 1)] != 0;
   }
   [[nodiscard]] bool edge_enabled(EdgeId e) const {
-    OM_CHECK(e < edge_off_.size());
-    return edge_off_[e] == 0;
+    OM_CHECK(e < m_);
+    return edge_pages_[e >> kEdgePageShift]->off[e & (kEdgePageSize - 1)] == 0;
   }
+  /// True iff edge e is matched (binary search in e's page-local matched
+  /// list, ≤ 64 entries).
+  [[nodiscard]] bool edge_matched(EdgeId e) const;
   [[nodiscard]] std::size_t online_count() const noexcept { return online_; }
 
   /// Blocking-edge count of this snapshot: 0 when exported from the
@@ -102,26 +207,42 @@ class MatchingSnapshot {
     return blocking_edges_;
   }
 
+  /// Pages rebuilt by capture_delta (0 for a full capture). Telemetry only.
+  [[nodiscard]] std::size_t delta_pages() const noexcept { return delta_pages_; }
+  /// Total pages (node + edge) backing this snapshot.
+  [[nodiscard]] std::size_t page_count() const noexcept {
+    return node_pages_.size() + edge_pages_.size();
+  }
+
   [[nodiscard]] const obs::Snapshot& metrics() const noexcept { return metrics_; }
 
  private:
   friend class MatchingStore;
   friend class SnapshotRef;
   friend class ServiceLoop;
+  friend std::size_t count_blocking_edges_impl(const prefs::EdgeWeights&,
+                                               const prefs::PreferenceProfile&,
+                                               const MatchingSnapshot&,
+                                               struct BlockingScratch&,
+                                               util::ThreadPool*);
   MatchingSnapshot() = default;
 
   std::uint64_t epoch_ = 0;
-  std::vector<std::uint32_t> offsets_;  ///< size n+1
-  std::vector<NodeId> partners_;        ///< flat matched-partner slices
-  std::vector<double> satisfaction_;
-  std::vector<EdgeId> edges_;  ///< matched edges, ascending
-  std::vector<std::uint8_t> alive_;
-  std::vector<std::uint8_t> edge_off_;
+  std::size_t n_ = 0;  ///< nodes
+  std::size_t m_ = 0;  ///< candidate edges
+  std::vector<detail::NodePage*> node_pages_;
+  std::vector<detail::EdgePage*> edge_pages_;
   std::size_t online_ = 0;
+  std::size_t matched_count_ = 0;
   double sat_total_ = 0.0;
   double weight_ = 0.0;
   std::size_t blocking_edges_ = 0;
+  std::size_t delta_pages_ = 0;
   obs::Snapshot metrics_;
+
+  /// Lazy flatten of the per-page matched lists (see matched_edges()).
+  mutable std::once_flag edges_once_;
+  mutable std::vector<EdgeId> edges_flat_;
 
   /// Intrusive reference count owned by the MatchingStore protocol: 1 store
   /// reference while current, +1 per outstanding SnapshotRef. Mutable so
@@ -129,12 +250,31 @@ class MatchingSnapshot {
   mutable std::atomic<std::uint32_t> refs_{0};
 };
 
+/// Caller-owned scratch for count_blocking_edges: reused across calls so
+/// the audit allocates nothing after its first use (the vectors are
+/// assign()-reset, which reuses capacity).
+struct BlockingScratch {
+  std::vector<std::uint64_t> weakest;  ///< weakest matched key per node
+  std::vector<std::uint32_t> load;     ///< matched load per node
+  std::vector<std::size_t> chunk_counts;  ///< pooled-sweep partials
+};
+
 /// Counts blocking edges of `snap` under `w`/quotas from `profile`: enabled
 /// edges between online endpoints that are unmatched yet wanted on both
 /// sides (each endpoint has a free slot or the edge beats its weakest
-/// matched edge in the strict key order). One O(m + n·b) sweep. The greedy
-/// fixed point has none — tests and the optional per-publish audit
-/// (ServeOptions::count_blocking) assert 0.
+/// matched edge in the strict key order). One O(m + n·b) sweep over the
+/// edge pages; with a non-null `pool` the sweep runs chunked across the
+/// pool (caller participates) — the truncated-epoch audit path, where the
+/// count is on the writer's publish path. The result is an exact integer
+/// either way. The greedy fixed point has none — tests and the optional
+/// per-publish audit (ServeOptions::count_blocking) assert 0.
+[[nodiscard]] std::size_t count_blocking_edges(const prefs::EdgeWeights& w,
+                                               const prefs::PreferenceProfile& profile,
+                                               const MatchingSnapshot& snap,
+                                               BlockingScratch& scratch,
+                                               util::ThreadPool* pool = nullptr);
+
+/// Convenience overload with internal scratch (tests / one-off audits).
 [[nodiscard]] std::size_t count_blocking_edges(const prefs::EdgeWeights& w,
                                                const prefs::PreferenceProfile& profile,
                                                const MatchingSnapshot& snap);

@@ -134,6 +134,9 @@ std::size_t MatchingStore::reclaim() {
     const bool drained = min_active >= r.retire_epoch &&
                          r.snap->refs_.load(std::memory_order_acquire) == 0;
     if (drained) {
+      // ~MatchingSnapshot drops one reference on each shared page and frees
+      // those no successor still holds. Writer thread only, so the page
+      // refcounts stay plain integers.
       delete r.snap;
     } else {
       retired_[kept++] = r;

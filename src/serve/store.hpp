@@ -34,6 +34,13 @@
 // CAS), so registration is the only operation with any contention and the
 // hot path indexes a private slot. The writer side is single-threaded by
 // contract: publish()/reclaim() calls must come from one thread at a time.
+//
+// Reclamation extends through the snapshots' shared pages (DESIGN.md §15):
+// deleting a drained snapshot runs ~MatchingSnapshot, which drops one
+// reference on each of its pages and frees those that hit zero. Every
+// snapshot deletion happens here, on the writer thread — which is exactly
+// why page refcounts can be plain (non-atomic) integers. Readers pin whole
+// snapshots via the protocol above and never touch page refcounts.
 #pragma once
 
 #include <atomic>

@@ -111,21 +111,5 @@ TEST(Anytime, ThreadedLidBudgetedRunsStayValidAcrossWorkerCounts) {
   }
 }
 
-TEST(Anytime, DeprecatedForwarderStillSolves) {
-  auto inst = Instance::random("er", 14, 4.0, 2, 17);
-#ifdef __GNUC__
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  const auto legacy =
-      solve_with_weights(*inst->profile, *inst->weights, Algorithm::kLicGlobal);
-#ifdef __GNUC__
-#pragma GCC diagnostic pop
-#endif
-  const auto unified =
-      solve(*inst->profile, Algorithm::kLicGlobal, {}, inst->weights.get());
-  EXPECT_TRUE(legacy.matching.same_edges(unified.matching));
-}
-
 }  // namespace
 }  // namespace overmatch::core

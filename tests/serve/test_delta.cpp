@@ -1,0 +1,324 @@
+// Delta snapshot capture (DESIGN.md §15): the page-sharing incremental
+// capture must be observably *indistinguishable* from a full rebuild.
+//
+// The core instrument is the twin-capture matrix: two ServiceLoops over the
+// same instance, fed the same burst stream, one forced to delta capture
+// (DeltaPublish::kOn) and one to full rebuild (kOff). After every epoch the
+// two published snapshots are compared field by field with exact equality —
+// including the doubles (satisfaction, satisfaction_total, matched_weight):
+// both paths fold the same values in the same order, so bit-identity is the
+// contract, not an approximation.
+//
+// Alongside: page-reclamation leak checks against the process-wide live
+// page counters, the 8-reader SnapshotHammer.DeltaPageSharing run for the
+// tsan-hammer preset (stale readers pin shared pages while the writer keeps
+// swapping dirty ones), and the hardware-gated DeltaSpeedup timing gate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "prefs/satisfaction.hpp"
+#include "serve/service_loop.hpp"
+#include "serve/snapshot.hpp"
+#include "tests/matching/common.hpp"
+#include "util/stats.hpp"
+
+namespace overmatch::serve {
+namespace {
+
+using matching::ChurnEvent;
+using matching::testing::Instance;
+
+/// Exact comparison of every reader-visible field of two snapshots. Doubles
+/// are compared with ==: the delta path must be bit-identical to the full
+/// path, not merely close (see snapshot.hpp file comment).
+void expect_snapshots_identical(const MatchingSnapshot& a,
+                                const MatchingSnapshot& b) {
+  ASSERT_EQ(a.epoch(), b.epoch());
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.online_count(), b.online_count());
+  ASSERT_EQ(a.matched_count(), b.matched_count());
+  ASSERT_EQ(a.matched_weight(), b.matched_weight());
+  ASSERT_EQ(a.satisfaction_total(), b.satisfaction_total());
+  ASSERT_EQ(a.blocking_edges(), b.blocking_edges());
+  ASSERT_EQ(a.matched_edges(), b.matched_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.alive(v), b.alive(v)) << "node " << v;
+    ASSERT_EQ(a.load(v), b.load(v)) << "node " << v;
+    ASSERT_EQ(a.satisfaction(v), b.satisfaction(v)) << "node " << v;
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+        << "node " << v;
+  }
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    ASSERT_EQ(a.edge_enabled(e), b.edge_enabled(e)) << "edge " << e;
+    ASSERT_EQ(a.edge_matched(e), b.edge_matched(e)) << "edge " << e;
+  }
+}
+
+enum class ChurnKind { kNode, kEdge, kMixed };
+
+/// Builds the next burst for the matrix: node events from `loop`'s traffic
+/// source, edge toggles valid against the live configuration (deduped so a
+/// burst never double-toggles an edge), or both.
+std::vector<ChurnEvent> next_burst(ServiceLoop& loop, const Instance& inst,
+                                   ChurnKind kind, std::size_t burst,
+                                   util::Rng& rng,
+                                   std::vector<std::uint8_t>& touched) {
+  std::vector<ChurnEvent> events;
+  if (kind != ChurnKind::kEdge) events = loop.traffic().next_burst();
+  if (kind != ChurnKind::kNode) {
+    std::fill(touched.begin(), touched.end(), std::uint8_t{0});
+    const std::size_t toggles = std::min(burst, inst.g.num_edges() / 2);
+    for (std::size_t j = 0; j < toggles; ++j) {
+      const auto e = static_cast<EdgeId>(rng.index(inst.g.num_edges()));
+      if (touched[e] != 0) continue;
+      touched[e] = 1;
+      const auto& [u, v] = inst.g.edge(e);
+      events.push_back(loop.engine().edge_present(e)
+                           ? ChurnEvent::edge_down(u, v)
+                           : ChurnEvent::edge_up(u, v));
+    }
+  }
+  return events;
+}
+
+// The tentpole's bit-identity contract, across the full matrix: er/ba/ws
+// topologies × node-only / edge-only / mixed churn × burst sizes 1, 64 and
+// 256, ≥ 100 epochs each. The kOn twin must publish a delta every epoch
+// after the first and be exactly equal to the kOff twin's full rebuild.
+TEST(DeltaEquivalence, TwinCaptureMatrix) {
+  for (const char* topology : {"er", "ba", "ws"}) {
+    for (const ChurnKind kind :
+         {ChurnKind::kNode, ChurnKind::kEdge, ChurnKind::kMixed}) {
+      for (const std::size_t burst : {std::size_t{1}, std::size_t{64},
+                                      std::size_t{256}}) {
+        auto inst = Instance::random_quotas(topology, 96, 5.0, 3, 707);
+        ServeOptions on_opts;
+        on_opts.seed = 31;
+        on_opts.churn_batch_mean = static_cast<double>(burst);
+        on_opts.delta_publish = DeltaPublish::kOn;
+        ServeOptions off_opts = on_opts;
+        off_opts.delta_publish = DeltaPublish::kOff;
+        ServiceLoop on_loop(*inst->profile, *inst->weights, on_opts);
+        ServiceLoop off_loop(*inst->profile, *inst->weights, off_opts);
+        auto on_reader = on_loop.store().register_reader();
+        auto off_reader = off_loop.store().register_reader();
+
+        util::Rng rng(0xde17a ^ burst);
+        std::vector<std::uint8_t> touched(inst->g.num_edges(), 0);
+        for (int k = 0; k < 100; ++k) {
+          // One burst, applied verbatim to both twins (their engines are in
+          // identical states, so validity against one implies the other).
+          const auto events =
+              next_burst(on_loop, *inst, kind, burst, rng, touched);
+          const auto on_st = on_loop.apply(events);
+          const auto off_st = off_loop.apply(events);
+          EXPECT_TRUE(on_st.delta) << "kOn must never fall back";
+          EXPECT_FALSE(off_st.delta) << "kOff must never delta";
+          SnapshotRef on_snap = on_loop.store().acquire(on_reader);
+          SnapshotRef off_snap = off_loop.store().acquire(off_reader);
+          // A burst with net effect must dirty at least one page; a fully
+          // coalesced burst (e.g. leave+join of the same node) correctly
+          // rebuilds nothing — the 0-page delta IS the win.
+          if (events.size() > on_st.coalesced) {
+            EXPECT_GT(on_snap->delta_pages(), 0u)
+                << topology << " kind=" << static_cast<int>(kind)
+                << " burst=" << burst << " epoch " << k;
+          }
+          EXPECT_EQ(off_snap->delta_pages(), 0u);
+          ASSERT_NO_FATAL_FAILURE(
+              expect_snapshots_identical(*on_snap, *off_snap))
+              << topology << " kind=" << static_cast<int>(kind)
+              << " burst=" << burst << " epoch " << k;
+        }
+      }
+    }
+  }
+}
+
+// kAuto may pick either path per epoch (its break-even estimate is a timing
+// artifact); whatever it picks must still equal the full rebuild exactly.
+TEST(DeltaEquivalence, AutoModeMatchesFullCapture) {
+  auto inst = Instance::random_quotas("er", 120, 6.0, 3, 808);
+  ServeOptions auto_opts;
+  auto_opts.seed = 17;
+  auto_opts.churn_batch_mean = 32.0;
+  auto_opts.delta_publish = DeltaPublish::kAuto;
+  ServeOptions off_opts = auto_opts;
+  off_opts.delta_publish = DeltaPublish::kOff;
+  ServiceLoop auto_loop(*inst->profile, *inst->weights, auto_opts);
+  ServiceLoop off_loop(*inst->profile, *inst->weights, off_opts);
+  auto auto_reader = auto_loop.store().register_reader();
+  auto off_reader = off_loop.store().register_reader();
+
+  util::Rng rng(4242);
+  std::vector<std::uint8_t> touched(inst->g.num_edges(), 0);
+  for (int k = 0; k < 100; ++k) {
+    const auto events =
+        next_burst(auto_loop, *inst, ChurnKind::kMixed, 8, rng, touched);
+    auto_loop.apply(events);
+    off_loop.apply(events);
+    SnapshotRef a = auto_loop.store().acquire(auto_reader);
+    SnapshotRef b = off_loop.store().acquire(off_reader);
+    ASSERT_NO_FATAL_FAILURE(expect_snapshots_identical(*a, *b)) << "epoch " << k;
+  }
+}
+
+// Satellite regression (the bug class delta capture is most exposed to):
+// edge-only churn flips satisfaction for nodes no node-event ever touches.
+// After bursts of pure edge toggles, every node's published S_i must equal
+// a from-scratch recompute over its published neighbour list.
+TEST(DeltaEquivalence, EdgeOnlyChurnSatisfactionMatchesRecompute) {
+  auto inst = Instance::random_quotas("ba", 110, 5.0, 3, 909);
+  ServeOptions opts;
+  opts.delta_publish = DeltaPublish::kOn;
+  ServiceLoop loop(*inst->profile, *inst->weights, opts);
+  auto reader = loop.store().register_reader();
+  util::Rng rng(31337);
+  std::vector<std::uint8_t> touched(inst->g.num_edges(), 0);
+  for (int k = 0; k < 60; ++k) {
+    loop.apply(next_burst(loop, *inst, ChurnKind::kEdge, 16, rng, touched));
+    SnapshotRef snap = loop.store().acquire(reader);
+    for (NodeId v = 0; v < inst->g.num_nodes(); ++v) {
+      const double want =
+          snap->alive(v)
+              ? prefs::satisfaction(*inst->profile, v, snap->neighbors(v))
+              : 0.0;
+      ASSERT_EQ(snap->satisfaction(v), want) << "node " << v << " epoch " << k;
+    }
+  }
+}
+
+// Page reclamation, end to end: when a store (and every snapshot it ever
+// published) is torn down, the shared pages must all be freed — the
+// process-wide live-page counters return to their pre-store baseline.
+TEST(DeltaEquivalence, PageReclaimNoLeaksAfterStoreTeardown) {
+  const std::size_t baseline = live_page_count();
+  {
+    auto inst = Instance::random_quotas("er", 130, 5.0, 3, 111);
+    ServeOptions opts;
+    opts.delta_publish = DeltaPublish::kOn;
+    opts.churn_batch_mean = 24.0;
+    ServiceLoop loop(*inst->profile, *inst->weights, opts);
+    auto reader = loop.store().register_reader();
+    EXPECT_GT(live_page_count(), baseline);
+    // Hold a stale snapshot across several publishes so shared pages carry
+    // refcounts > 1, then release and let the store reclaim.
+    SnapshotRef pinned = loop.store().acquire(reader);
+    for (int k = 0; k < 40; ++k) (void)loop.step();
+    pinned.release();
+    (void)loop.store().reclaim();
+  }
+  EXPECT_EQ(live_page_count(), baseline);
+}
+
+// Concurrency contract under page sharing, for the tsan-hammer preset: 8
+// readers pin snapshots — deliberately holding each across several writer
+// epochs so shared pages stay referenced by retired snapshots — and verify
+// the greedy fixed point from scratch, while the writer publishes deltas.
+TEST(SnapshotHammer, DeltaPageSharingEightReaders) {
+  auto inst = Instance::random_quotas("er", 90, 5.0, 3, 515);
+  ServeOptions opts;
+  opts.seed = 13;
+  opts.churn_batch_mean = 10.0;
+  opts.delta_publish = DeltaPublish::kOn;
+  ServiceLoop loop(*inst->profile, *inst->weights, opts);
+
+  constexpr int kReaders = 8;
+  constexpr int kBursts = 60;
+  constexpr int kMinVerifies = 15;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      auto handle = loop.store().register_reader();
+      std::uint64_t last_epoch = 0;
+      int checks = 0;
+      while (!done.load(std::memory_order_acquire) || checks < kMinVerifies) {
+        SnapshotRef snap = loop.store().acquire(handle);
+        ASSERT_GE(snap->epoch(), last_epoch);
+        last_epoch = snap->epoch();
+        // From-scratch greedy on the snapshot's own configuration — the
+        // published matching must be its unique fixed point even though
+        // most of the pages backing it are shared with other epochs.
+        const auto& g = inst->g;
+        matching::Matching m(g, inst->profile->quotas());
+        for (const EdgeId e : inst->weights->by_weight()) {
+          if (!snap->edge_enabled(e)) continue;
+          const auto& [u, v] = g.edge(e);
+          if (!snap->alive(u) || !snap->alive(v)) continue;
+          if (m.can_add(e)) m.add(e);
+        }
+        std::vector<EdgeId> scratch = m.edges();
+        std::sort(scratch.begin(), scratch.end());
+        ASSERT_EQ(snap->matched_edges(), scratch) << "epoch " << snap->epoch();
+        double sat_total = 0.0;
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          const double want =
+              snap->alive(v)
+                  ? prefs::satisfaction(*inst->profile, v, snap->neighbors(v))
+                  : 0.0;
+          ASSERT_EQ(snap->satisfaction(v), want) << "node " << v;
+          sat_total += want;
+        }
+        ASSERT_NEAR(snap->satisfaction_total(), sat_total, 1e-6);
+        // Hold the ref a little so the epoch retires while pinned and the
+        // writer keeps releasing dirty pages underneath shared ones.
+        if ((checks & 3) == t % 4) std::this_thread::yield();
+        ++checks;
+      }
+    });
+  }
+
+  util::Rng rng(99);
+  std::vector<std::uint8_t> touched(inst->g.num_edges(), 0);
+  for (int k = 0; k < kBursts; ++k) {
+    loop.apply(next_burst(loop, *inst, ChurnKind::kMixed, 3, rng, touched));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(loop.epoch(), 1u + kBursts);
+  EXPECT_EQ(loop.store().reclaim(), 0u);
+}
+
+// The perf claim behind the tentpole, as a gate: at n = 10^5 / burst 64 the
+// delta path's median publish must beat the full rebuild by ≥ 2× (the
+// acceptance run on real hardware shows far more; the gate is conservative
+// against CI noise). Timing needs the machine to itself — skip below 4
+// hardware threads, like the other speedup gates.
+TEST(DeltaSpeedup, MedianPublishBeatsFullRebuildAtScale) {
+  if (std::thread::hardware_concurrency() < 4) {
+    GTEST_SKIP() << "needs >= 4 hardware threads for stable timing";
+  }
+  auto inst = Instance::random_quotas("er", 100'000, 8.0, 3, 4242);
+  const auto run = [&](DeltaPublish mode) {
+    ServeOptions opts;
+    opts.seed = 9;
+    opts.churn_batch_mean = 64.0;
+    opts.delta_publish = mode;
+    ServiceLoop loop(*inst->profile, *inst->weights, opts);
+    std::vector<double> pub_ms;
+    pub_ms.reserve(60);
+    for (int k = 0; k < 60; ++k) {
+      pub_ms.push_back(static_cast<double>(loop.step().publish_ns) / 1e6);
+    }
+    return util::percentile(pub_ms, 50.0);
+  };
+  const double full_ms = run(DeltaPublish::kOff);
+  const double delta_ms = run(DeltaPublish::kOn);
+  EXPECT_LT(delta_ms * 2.0, full_ms)
+      << "delta median " << delta_ms << " ms vs full median " << full_ms
+      << " ms";
+}
+
+}  // namespace
+}  // namespace overmatch::serve

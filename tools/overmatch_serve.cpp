@@ -52,6 +52,10 @@ void print_usage() {
       "                     repair on the writer thread)       [0]\n"
       "  --count-blocking   audit every published snapshot with an O(m)\n"
       "                     blocking-edge sweep (aborts unless 0)\n"
+      "  --delta-publish=M  on|off|auto — O(touched) page-sharing delta\n"
+      "                     snapshots; auto falls back to a full rebuild\n"
+      "                     when the dirty-page fraction makes one cheaper\n"
+      "                     (DESIGN.md 15)                      [auto]\n"
       "  --deadline-ms=D    per-epoch publish deadline; overrunning epochs\n"
       "                     publish the partial matching with its honest\n"
       "                     blocking-edge gauge instead of stalling readers\n"
@@ -130,6 +134,20 @@ int main(int argc, char** argv) {
                                            serve::MatchingStore::kDefaultMaxReaders);
   sopt.count_blocking = flags.has("count-blocking");
   sopt.epoch_deadline_ms = flags.get_double("deadline-ms", 0.0);
+  const std::string delta_name = flags.get("delta-publish", "auto");
+  if (delta_name == "off") {
+    sopt.delta_publish = serve::DeltaPublish::kOff;
+  } else if (delta_name == "on") {
+    sopt.delta_publish = serve::DeltaPublish::kOn;
+  } else if (delta_name == "auto") {
+    sopt.delta_publish = serve::DeltaPublish::kAuto;
+  } else {
+    std::fprintf(stderr,
+                 "overmatch_serve: unknown --delta-publish '%s' (valid: "
+                 "on, off, auto)\n",
+                 delta_name.c_str());
+    return 2;
+  }
   serve::ServiceLoop loop(profile, weights, sopt);
 
   if (!quiet) {
@@ -190,6 +208,7 @@ int main(int argc, char** argv) {
   util::StreamingStats apply_us, publish_us;
   std::size_t batches = 0, events = 0, coalesced = 0;
   std::size_t truncated_epochs = 0;
+  std::size_t delta_publishes = 0, dirty_pages = 0;
   util::WallTimer wall;
   const auto deadline =
       std::chrono::steady_clock::now() +
@@ -200,6 +219,10 @@ int main(int argc, char** argv) {
     events += st.events;
     coalesced += st.coalesced;
     if (st.truncated) ++truncated_epochs;
+    if (st.delta) {
+      ++delta_publishes;
+      dirty_pages += st.dirty_pages;
+    }
     apply_us.add(static_cast<double>(st.apply_ns) / 1e3);
     publish_us.add(static_cast<double>(st.publish_ns) / 1e3);
   }
@@ -240,6 +263,17 @@ int main(int argc, char** argv) {
       publish_us.max(), static_cast<unsigned long long>(loop.epoch()),
       loop.store().retired_count(), static_cast<unsigned long long>(queries),
       queries_per_s, pct(0.50), pct(0.99));
+  if (sopt.delta_publish != serve::DeltaPublish::kOff) {
+    std::printf(
+        "delta    : %zu/%zu epochs published as deltas (%.1f dirty pages per "
+        "delta, %zu full rebuilds)\n",
+        delta_publishes, batches,
+        delta_publishes > 0
+            ? static_cast<double>(dirty_pages) /
+                  static_cast<double>(delta_publishes)
+            : 0.0,
+        batches - delta_publishes);
+  }
   if (sopt.epoch_deadline_ms > 0.0) {
     std::printf("anytime  : %zu/%zu epochs truncated by the %.3f ms publish "
                 "deadline (%zu repairs still pending)\n",
